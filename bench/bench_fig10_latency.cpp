@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Fig. 10a and Fig. 10b: the end-to-end computing-latency
+ * characterization of the SoV — best / mean / 99th-percentile split
+ * into sensing, perception, planning (10a), and the average per-task
+ * perception latencies (10b).
+ *
+ * Expected shape (paper): best 149 ms, mean 164 ms, long tail (p99
+ * toward 740 ms); sensing ~ half the latency; detection dominates
+ * perception; planning ~3 ms; localization 25 +- 14 ms; 10-30 Hz
+ * throughput sustained by pipelining.
+ */
+#include <cstdio>
+
+#include "core/config.h"
+#include "sovpipe/pipeline_model.h"
+
+using namespace sov;
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const auto frames =
+        static_cast<std::size_t>(cfg.getInt("frames", 50000));
+
+    const PlatformModel model;
+    SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(42));
+
+    std::printf("=== Fig. 10a: computing latency distribution "
+                "(%zu frames) ===\n\n", frames);
+    PipelineStats stats = pipeline.characterize(frames);
+    std::printf("%-12s %10s %10s %10s %10s\n", "stage", "best",
+                "mean", "p99", "max");
+    for (const auto &stage :
+         {std::string("sensing"), std::string("perception"),
+          std::string("planning"), std::string("total")}) {
+        std::printf("%-12s %9.1f %10.1f %10.1f %10.1f  (ms)\n",
+                    stage.c_str(),
+                    stats.tracer.percentileMs(stage, 0.0),
+                    stats.tracer.meanMs(stage),
+                    stats.tracer.percentileMs(stage, 99.0),
+                    stats.tracer.percentileMs(stage, 100.0));
+    }
+    std::printf("\npaper: best 149 ms / mean 164 ms / p99 ~740 ms\n");
+    std::printf("sensing share of mean total: %.0f%% (paper: ~50%%)\n",
+                100.0 * stats.tracer.meanMs("sensing") /
+                    stats.tracer.meanMs("total"));
+    std::printf("pipelined throughput: %.1f Hz (requirement: 10 Hz)\n",
+                stats.throughput_hz);
+
+    std::printf("\n=== Fig. 10b: average perception task latencies "
+                "===\n\n");
+    LatencyTracer tasks = pipeline.perceptionTaskBreakdown(frames);
+    std::printf("%-14s %10s %10s\n", "task", "mean (ms)",
+                "stddev (ms)");
+    for (const auto &task :
+         {std::string("depth"), std::string("detection"),
+          std::string("tracking"), std::string("localization")}) {
+        std::printf("%-14s %10.1f %10.1f\n", task.c_str(),
+                    tasks.meanMs(task), tasks.stddevMs(task));
+    }
+    std::printf("\npaper: detection dominates; localization median "
+                "25 ms, stddev 14 ms;\ntracking ~1 ms because Radar + "
+                "spatial sync replaces KCF (Sec. VI-B).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 2 / Fig. 3a: the end-to-end latency model (Eq. 1)
+ * and the computing-latency requirement as a function of the distance
+ * at which an object is sensed.
+ *
+ * Expected shape (paper): the budget tightens as the object gets
+ * closer; 164 ms mean T_comp covers objects >= ~5 m; 740 ms worst case
+ * needs >= 8.3 m; the braking distance (~4 m) is the hard floor.
+ */
+#include <cstdio>
+
+#include "analysis/latency_model.h"
+#include "core/config.h"
+
+using namespace sov;
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    LatencyModelParams params;
+    params.speed = Speed::metersPerSecond(
+        cfg.getDouble("speed", 5.6));
+    params.brake_decel = cfg.getDouble("decel", 4.0);
+
+    std::printf("=== Fig. 2 / Eq. 1: end-to-end latency model ===\n");
+    std::printf("v = %.2f m/s, a = %.1f m/s^2, T_data = %.0f ms, "
+                "T_mech = %.0f ms\n",
+                params.speed.toMetersPerSecond(), params.brake_decel,
+                params.t_data.toMillis(), params.t_mech.toMillis());
+    std::printf("braking distance (floor) : %.2f m\n",
+                brakingDistance(params));
+    std::printf("stopping time            : %.2f s\n\n",
+                stoppingTime(params).toSeconds());
+
+    std::printf("=== Fig. 3a: T_comp requirement vs object distance ===\n");
+    std::printf("%-14s %-22s\n", "distance (m)", "T_comp budget (ms)");
+    for (double d = 4.0; d <= 9.01; d += 0.25) {
+        const Duration budget = computeLatencyBudget(params, d);
+        if (budget < Duration::zero()) {
+            std::printf("%-14.2f %-22s\n", d, "unavoidable");
+        } else {
+            std::printf("%-14.2f %-22.1f\n", d, budget.toMillis());
+        }
+    }
+
+    std::printf("\n=== Paper reference points ===\n");
+    std::printf("mean T_comp 164 ms  -> min avoidable distance %.2f m "
+                "(paper: ~5 m)\n",
+                minimumAvoidableDistance(params, Duration::millisF(164)));
+    std::printf("worst T_comp 740 ms -> min avoidable distance %.2f m "
+                "(paper: 8.3 m)\n",
+                minimumAvoidableDistance(params, Duration::millisF(740)));
+    std::printf("reactive path 30 ms -> min avoidable distance %.2f m "
+                "(paper: 4.1 m)\n",
+                brakingDistance(params) +
+                    0.030 * params.speed.toMetersPerSecond());
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Reproduces Sec. VI-B (tracking): replacing the KCF visual tracker
+ * with radar tracking + spatial synchronization.
+ *
+ * Google-benchmark measures the *real* compute of both paths on this
+ * host: a full KCF update (windowed 2-D FFT correlation, 64x64) vs
+ * the spatial-synchronization matcher (project + greedy match).
+ * Functional equivalence is shown by tracking a crossing pedestrian
+ * with both and reporting the velocity estimate.
+ *
+ * Expected shape (paper): spatial sync ~1 ms on the CPU, ~100x
+ * lighter than KCF; radar additionally provides radial velocity
+ * "for free" and is robust to visual degradation.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/rng.h"
+#include "sensors/radar.h"
+#include "tracking/radar_tracker.h"
+#include "tracking/spatial_sync.h"
+#include "vision/kcf.h"
+
+using namespace sov;
+
+namespace {
+
+Image
+trackingFrame(double cx, double cy)
+{
+    Rng rng(7);
+    Image img(320, 240);
+    for (auto &v : img.data())
+        v = static_cast<float>(rng.uniform(0.35, 0.45));
+    for (int dy = -10; dy <= 10; ++dy) {
+        for (int dx = -10; dx <= 10; ++dx) {
+            const long x = static_cast<long>(cx) + dx;
+            const long y = static_cast<long>(cy) + dy;
+            if (x < 0 || y < 0 || x >= 320 || y >= 240)
+                continue;
+            img(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) =
+                0.5f + 0.4f * static_cast<float>(
+                    std::sin(dx * 0.8) * std::cos(dy * 0.6));
+        }
+    }
+    return img;
+}
+
+void
+BM_KcfTrackingUpdate(benchmark::State &state)
+{
+    KcfTracker tracker;
+    double cx = 160, cy = 120;
+    tracker.init(trackingFrame(cx, cy), cx, cy);
+    std::vector<Image> frames;
+    for (int i = 0; i < 8; ++i)
+        frames.push_back(trackingFrame(cx + 2.0 * i, cy + i));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tracker.update(frames[i % 8]));
+        ++i;
+    }
+}
+BENCHMARK(BM_KcfTrackingUpdate);
+
+void
+BM_RadarSpatialSync(benchmark::State &state)
+{
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    std::vector<RadarTrack> tracks;
+    for (int i = 0; i < 6; ++i) {
+        RadarTrack t;
+        t.id = i;
+        t.position = Vec2(10.0 + 3.0 * i, (i % 3) - 1.0);
+        t.velocity = Vec2(-1.0, 0.2);
+        tracks.push_back(t);
+    }
+    std::vector<Detection> detections;
+    for (int i = 0; i < 6; ++i) {
+        Detection d;
+        d.cls = ObjectClass::Pedestrian;
+        d.confidence = 0.8;
+        d.box = BoundingBox{40.0 * i + 20.0, 100.0, 25.0, 50.0};
+        detections.push_back(d);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            spatialSync(cam, pose, tracks, detections));
+    }
+}
+BENCHMARK(BM_RadarSpatialSync);
+
+void
+BM_RadarTrackerScanUpdate(benchmark::State &state)
+{
+    World world;
+    Rng rng(9);
+    for (int i = 0; i < 6; ++i) {
+        Obstacle o;
+        o.footprint = OrientedBox2{
+            Pose2{Vec2(10.0 + 5.0 * i, (i % 3) - 1.0), 0.0}, 0.5, 0.5};
+        o.velocity = Vec2(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        world.addObstacle(o);
+    }
+    RadarConfig cfg;
+    cfg.detection_probability = 1.0;
+    RadarModel radar(cfg, Rng(10));
+    RadarTracker tracker;
+    int step = 0;
+    for (auto _ : state) {
+        const auto dets =
+            radar.scan(world, Pose2{Vec2(0, 0), 0.0}, Vec2(5.6, 0),
+                       Timestamp::seconds(step * 0.05));
+        tracker.update(Pose2{Vec2(0, 0), 0.0}, dets,
+                       Timestamp::seconds(step * 0.05));
+        ++step;
+    }
+}
+BENCHMARK(BM_RadarTrackerScanUpdate);
+
+/** Functional demonstration printed before the micro-benchmarks. */
+void
+functionalDemo()
+{
+    std::printf("=== Sec. VI-B: radar tracking replaces KCF ===\n\n");
+
+    // A pedestrian crossing at 1.2 m/s tracked by the radar path.
+    World world;
+    Obstacle ped;
+    ped.cls = ObjectClass::Pedestrian;
+    ped.footprint = OrientedBox2{Pose2{Vec2(15.0, -5.0), 0.0}, 0.3, 0.3};
+    ped.velocity = Vec2(0.0, 1.2);
+    world.addObstacle(ped);
+
+    RadarConfig cfg;
+    cfg.detection_probability = 1.0;
+    RadarModel radar(cfg, Rng(11));
+    RadarTracker tracker;
+    for (int i = 0; i < 80; ++i) {
+        const Timestamp t = Timestamp::seconds(i * 0.05);
+        tracker.update(Pose2{Vec2(0, 0), 0.0},
+                       radar.scan(world, Pose2{Vec2(0, 0), 0.0},
+                                  Vec2(0, 0), t),
+                       t);
+    }
+    if (!tracker.tracks().empty()) {
+        const auto &track = tracker.tracks().front();
+        std::printf("crossing pedestrian: tracked velocity "
+                    "(%.2f, %.2f) m/s, truth (0.00, 1.20)\n",
+                    track.velocity.x(), track.velocity.y());
+    }
+    std::printf("micro-benchmarks below measure real host compute; the "
+                "paper reports\nspatial sync at ~1 ms, ~100x lighter "
+                "than KCF.\n\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    functionalDemo();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

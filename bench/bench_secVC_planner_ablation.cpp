@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces the Sec. V-C planner comparison: the lane-level MPC
+ * (~3 ms on the paper's CPU) vs the Baidu-Apollo-style EM motion
+ * planner (~100 ms, 33x). Google-benchmark measures the real compute
+ * of both implementations on this host; the ratio — not the absolute
+ * numbers — is the reproduced result.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "planning/em_planner.h"
+#include "planning/mpc.h"
+
+using namespace sov;
+
+namespace {
+
+PlannerInput
+busyIntersection()
+{
+    PlannerInput in;
+    in.now = Timestamp::origin();
+    Polyline2 path;
+    for (int i = 0; i <= 60; ++i)
+        path.append(Vec2(i * 1.0, 6.0 * std::sin(i / 18.0)));
+    in.reference_path = path;
+    in.ego_pose = Pose2{Vec2(2.0, 0.3), 0.1};
+    in.ego_speed = 5.0;
+    in.speed_limit = 5.6;
+    for (int i = 0; i < 4; ++i) {
+        FusedObject o;
+        o.track_id = static_cast<std::uint32_t>(i);
+        o.position = Vec2(12.0 + 9.0 * i, (i % 2) ? 1.0 : -0.8);
+        o.velocity = Vec2(0.0, (i % 2) ? -0.4 : 0.3);
+        in.objects.push_back(o);
+    }
+    return in;
+}
+
+void
+BM_LaneLevelMpc(benchmark::State &state)
+{
+    const MpcPlanner planner;
+    const PlannerInput in = busyIntersection();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planner.plan(in));
+}
+BENCHMARK(BM_LaneLevelMpc)->Unit(benchmark::kMicrosecond);
+
+void
+BM_EmStylePlanner(benchmark::State &state)
+{
+    // Centimeter-granularity settings (the Apollo EM planner's whole
+    // point, Sec. V-C): 0.25 m stations, 41 lateral samples, 24-speed
+    // grid — versus the lane-granularity MPC above.
+    EmPlannerConfig cfg;
+    cfg.station_step = 0.25;
+    cfg.lateral_samples = 41;
+    cfg.speed_samples = 24;
+    const EmPlanner planner(cfg);
+    const PlannerInput in = busyIntersection();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planner.plan(in));
+}
+BENCHMARK(BM_EmStylePlanner)->Unit(benchmark::kMicrosecond);
+
+void
+BM_EmStyleDpResolutionSweep(benchmark::State &state)
+{
+    // Ablation: EM planner cost vs lateral grid resolution — why
+    // centimeter-granularity planning is expensive.
+    EmPlannerConfig cfg;
+    cfg.lateral_samples = static_cast<std::size_t>(state.range(0));
+    const EmPlanner planner(cfg);
+    const PlannerInput in = busyIntersection();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planner.plan(in));
+}
+BENCHMARK(BM_EmStyleDpResolutionSweep)
+    ->Arg(7)
+    ->Arg(13)
+    ->Arg(25)
+    ->Arg(51)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("=== Sec. V-C: planner cost comparison ===\n");
+    std::printf("paper: lane-level MPC ~3 ms; EM-style planner ~100 ms "
+                "(33x).\nThe reproduced result is the *ratio* of the "
+                "two benchmarks below.\n\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,77 @@
+#include "analysis/cost_model.h"
+
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+CostBreakdown::add(std::string name, Money unit_cost, unsigned quantity)
+{
+    components_.push_back(
+        CostComponent{std::move(name), unit_cost, quantity});
+}
+
+Money
+CostBreakdown::total() const
+{
+    Money sum = Money::zero();
+    for (const auto &c : components_)
+        sum += c.total();
+    return sum;
+}
+
+CostBreakdown
+CostBreakdown::paperSensorSuite()
+{
+    // Table II, camera-based vehicle.
+    CostBreakdown b;
+    b.add("cameras-x4-plus-imu", Money::dollars(1000));
+    b.add("radar", Money::dollars(500), 6);
+    b.add("sonar", Money::dollars(200), 8);
+    b.add("gps", Money::dollars(1000));
+    return b;
+}
+
+CostBreakdown
+CostBreakdown::lidarSensorSuite()
+{
+    // Table II, LiDAR-based vehicle.
+    CostBreakdown b;
+    b.add("long-range-lidar", Money::dollars(80000));
+    b.add("short-range-lidar", Money::dollars(4000), 4);
+    return b;
+}
+
+std::string
+CostBreakdown::toString() const
+{
+    std::ostringstream os;
+    for (const auto &c : components_) {
+        os << c.name << " x" << c.quantity << ": $"
+           << c.total().toDollars() << "\n";
+    }
+    os << "total: $" << total().toDollars() << "\n";
+    return os.str();
+}
+
+Money
+tcoPerYear(const TcoParams &params)
+{
+    SOV_ASSERT(params.amortization_years > 0.0);
+    return Money::dollars(params.vehicle_price.toDollars() /
+                          params.amortization_years) +
+        params.cloud_service_per_year + params.maintenance_per_year;
+}
+
+Money
+costPerTrip(const TcoParams &params)
+{
+    const double trips_per_year =
+        params.operating_days_per_year * params.trips_per_day;
+    SOV_ASSERT(trips_per_year > 0.0);
+    return Money::dollars(tcoPerYear(params).toDollars() / trips_per_year);
+}
+
+} // namespace sov

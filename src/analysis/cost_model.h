@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The cost breakdown of Table II plus the TCO-style model the paper
+ * sketches in Sec. VII ("'TCO' Model for Autonomous Vehicles"): sensor
+ * bill of materials, vehicle price, and per-trip economics.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sov {
+
+/** One bill-of-materials row. */
+struct CostComponent
+{
+    std::string name;
+    Money unit_cost;
+    unsigned quantity = 1;
+
+    Money total() const { return unit_cost * quantity; }
+};
+
+/** A sensor/vehicle bill of materials. */
+class CostBreakdown
+{
+  public:
+    void add(std::string name, Money unit_cost, unsigned quantity = 1);
+
+    const std::vector<CostComponent> &components() const
+    {
+        return components_;
+    }
+    Money total() const;
+
+    /** Table II: the paper's camera-based sensor suite. */
+    static CostBreakdown paperSensorSuite();
+
+    /** Table II: a Waymo-style LiDAR suite. */
+    static CostBreakdown lidarSensorSuite();
+
+    std::string toString() const;
+
+  private:
+    std::vector<CostComponent> components_;
+};
+
+/** TCO-style operating model (Sec. VII). */
+struct TcoParams
+{
+    Money vehicle_price = Money::dollars(70000); //!< Table II
+    double amortization_years = 5.0;
+    Money cloud_service_per_year = Money::dollars(2000);
+    Money maintenance_per_year = Money::dollars(3000);
+    double operating_days_per_year = 330.0;
+    double trips_per_day = 100.0;
+};
+
+/** Total cost of ownership per year. */
+Money tcoPerYear(const TcoParams &params);
+
+/** Break-even cost per trip. */
+Money costPerTrip(const TcoParams &params);
+
+} // namespace sov

@@ -1,0 +1,36 @@
+#include "analysis/energy_model.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov {
+
+double
+drivingHours(const EnergyModelParams &params, Power p_ad)
+{
+    const Power total = params.vehicle_power + p_ad;
+    SOV_ASSERT(total.toWatts() > 0.0);
+    return params.battery.hoursAt(total);
+}
+
+double
+drivingTimeReduction(const EnergyModelParams &params, Power p_ad)
+{
+    return drivingHours(params, Power::zero()) -
+        drivingHours(params, p_ad);
+}
+
+double
+revenueLossFraction(const EnergyModelParams &params, Power base,
+                    Power with_extra, double shift_hours)
+{
+    SOV_ASSERT(shift_hours > 0.0);
+    const double hours_base =
+        std::min(drivingHours(params, base), shift_hours);
+    const double hours_extra =
+        std::min(drivingHours(params, with_extra), shift_hours);
+    return (hours_base - hours_extra) / shift_hours;
+}
+
+} // namespace sov

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The energy model of Sec. III-B (Eq. 2):
+ *
+ *   T_reduced = E / P_V  -  E / (P_V + P_AD)
+ *
+ * with E the battery capacity, P_V the base vehicle power, and P_AD
+ * the autonomous-driving power. Drives Fig. 3b and the "+1 server
+ * costs 3% of daily revenue" analysis.
+ */
+#pragma once
+
+#include "core/units.h"
+
+namespace sov {
+
+/** Vehicle energy parameters (paper defaults: 6 kWh, 0.6 kW). */
+struct EnergyModelParams
+{
+    Energy battery = Energy::kilowattHours(6.0);
+    Power vehicle_power = Power::kilowatts(0.6); //!< P_V (without AD)
+};
+
+/** Driving hours on one charge with AD power @p p_ad (0 = no AD). */
+double drivingHours(const EnergyModelParams &params, Power p_ad);
+
+/** Eq. 2: hours of driving time lost to AD power @p p_ad. */
+double drivingTimeReduction(const EnergyModelParams &params, Power p_ad);
+
+/**
+ * Fraction of a @p shift_hours operating day lost when the AD load
+ * rises from @p base to @p with_extra (the 3%-revenue-loss analysis).
+ */
+double revenueLossFraction(const EnergyModelParams &params, Power base,
+                           Power with_extra, double shift_hours);
+
+} // namespace sov

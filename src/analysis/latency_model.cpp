@@ -1,0 +1,45 @@
+#include "analysis/latency_model.h"
+
+namespace sov {
+
+Duration
+stoppingTime(const LatencyModelParams &params)
+{
+    return Duration::seconds(params.speed.toMetersPerSecond() /
+                             params.brake_decel);
+}
+
+double
+brakingDistance(const LatencyModelParams &params)
+{
+    const double v = params.speed.toMetersPerSecond();
+    return v * v / (2.0 * params.brake_decel);
+}
+
+Duration
+computeLatencyBudget(const LatencyModelParams &params,
+                     double object_distance)
+{
+    const double v = params.speed.toMetersPerSecond();
+    const double reaction_budget =
+        (object_distance - brakingDistance(params)) / v;
+    return Duration::seconds(reaction_budget) - params.t_data -
+        params.t_mech;
+}
+
+double
+minimumAvoidableDistance(const LatencyModelParams &params, Duration t_comp)
+{
+    const double v = params.speed.toMetersPerSecond();
+    const double reaction =
+        (t_comp + params.t_data + params.t_mech).toSeconds();
+    return reaction * v + brakingDistance(params);
+}
+
+bool
+canAvoid(const LatencyModelParams &params, Duration t_comp, double distance)
+{
+    return minimumAvoidableDistance(params, t_comp) <= distance;
+}
+
+} // namespace sov

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The end-to-end latency model of Sec. III-A (Fig. 2, Eq. 1):
+ *
+ *   (T_comp + T_data + T_mech) * v + v^2 / (2a) <= D
+ *
+ * where v is vehicle speed, a the brake deceleration, and D the
+ * distance at which an object is sensed. These helpers answer both
+ * directions: the T_comp budget for a given distance (Fig. 3a) and
+ * the minimum avoidable distance for a given T_comp.
+ */
+#pragma once
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace sov {
+
+/** Parameters of the Eq. 1 latency model. */
+struct LatencyModelParams
+{
+    Speed speed = Speed::metersPerSecond(5.6); //!< typical v (Sec. III-A)
+    double brake_decel = 4.0;                  //!< a, m/s^2
+    Duration t_data = Duration::millisF(1.0);  //!< CAN bus
+    Duration t_mech = Duration::millisF(19.0); //!< mechanical reaction
+};
+
+/** Eq. 1b: time to fully stop from speed v at deceleration a. */
+Duration stoppingTime(const LatencyModelParams &params);
+
+/** Braking distance v^2 / (2a) — the theoretical avoidance floor. */
+double brakingDistance(const LatencyModelParams &params);
+
+/**
+ * Eq. 1a solved for T_comp: the computing-latency budget to avoid an
+ * object first sensed at distance @p object_distance. Negative results
+ * mean the object is inside the braking envelope (unavoidable by any
+ * computing system).
+ */
+Duration computeLatencyBudget(const LatencyModelParams &params,
+                              double object_distance);
+
+/**
+ * Eq. 1a solved for D: the minimum distance at which an object must
+ * be sensed to be avoidable with computing latency @p t_comp.
+ */
+double minimumAvoidableDistance(const LatencyModelParams &params,
+                                Duration t_comp);
+
+/** True if an object at @p distance is avoidable under @p t_comp. */
+bool canAvoid(const LatencyModelParams &params, Duration t_comp,
+              double distance);
+
+} // namespace sov

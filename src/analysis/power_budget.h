@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The power breakdown of Table I, as structured data benches print
+ * and tests check. All values are the paper's measurements.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+
+namespace sov {
+
+/** One row of the power budget. */
+struct PowerComponent
+{
+    std::string name;
+    Power unit_power;
+    unsigned quantity = 1;
+
+    Power total() const { return unit_power * quantity; }
+};
+
+/** A named collection of power components. */
+class PowerBudget
+{
+  public:
+    void add(std::string name, Power unit_power, unsigned quantity = 1);
+
+    const std::vector<PowerComponent> &components() const
+    {
+        return components_;
+    }
+
+    Power total() const;
+
+    /** The paper's vehicle (Table I): server + vision module + radars
+     *  + sonars = 175 W operating (dynamic server figure). */
+    static PowerBudget paperVehicle();
+
+    /** The same vehicle with the server idle (31 W instead of 118 W). */
+    static PowerBudget paperVehicleIdleServer();
+
+    /** Waymo-style LiDAR suite: 1 long-range + 4 short-range (~92 W). */
+    static PowerBudget lidarSuite();
+
+    /** Render as a Table-I-style text table. */
+    std::string toString() const;
+
+  private:
+    std::vector<PowerComponent> components_;
+};
+
+} // namespace sov

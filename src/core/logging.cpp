@@ -1,0 +1,74 @@
+#include "core/logging.h"
+
+#include <atomic>
+
+namespace sov {
+
+namespace {
+std::atomic<bool> inform_enabled{true};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+} // namespace
+
+namespace detail {
+
+void
+logRecord(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    FILE *out = (level == LogLevel::Inform || level == LogLevel::Warn)
+        ? stdout : stderr;
+    if (file) {
+        std::fprintf(out, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
+                     file, line);
+    } else {
+        std::fprintf(out, "[%s] %s\n", levelName(level), msg.c_str());
+    }
+    std::fflush(out);
+}
+
+} // namespace detail
+
+void
+inform(const std::string &msg)
+{
+    if (inform_enabled.load(std::memory_order_relaxed))
+        detail::logRecord(LogLevel::Inform, msg, nullptr, 0);
+}
+
+void
+warn(const std::string &msg)
+{
+    detail::logRecord(LogLevel::Warn, msg, nullptr, 0);
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    inform_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    detail::logRecord(LogLevel::Fatal, msg, file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    detail::logRecord(LogLevel::Panic, msg, file, line);
+    std::abort();
+}
+
+} // namespace sov

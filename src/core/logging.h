@@ -1,0 +1,54 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  — the caller supplied an impossible configuration; exits(1).
+ * warn()   — something is degraded but simulation continues.
+ * inform() — plain status output.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sov {
+
+/** Severity of a log record. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+/** Emit one formatted log record to stderr (Fatal/Panic) or stdout. */
+void logRecord(LogLevel level, const std::string &msg,
+               const char *file, int line);
+} // namespace detail
+
+/** Print an informational message. */
+void inform(const std::string &msg);
+
+/** Print a warning; the simulation continues. */
+void warn(const std::string &msg);
+
+/** Suppress or re-enable inform() output (benches want clean tables). */
+void setInformEnabled(bool enabled);
+
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file, int line);
+[[noreturn]] void panicImpl(const std::string &msg, const char *file, int line);
+
+} // namespace sov
+
+/** User error: configuration/arguments make it impossible to continue. */
+#define SOV_FATAL(msg) ::sov::fatalImpl((msg), __FILE__, __LINE__)
+
+/** Library bug: a condition that must never happen regardless of input. */
+#define SOV_PANIC(msg) ::sov::panicImpl((msg), __FILE__, __LINE__)
+
+/** Assert an internal invariant; panics with the condition text on failure. */
+#define SOV_ASSERT(cond)                                                    \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::sov::panicImpl("assertion failed: " #cond, __FILE__,          \
+                             __LINE__);                                     \
+    } while (0)

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulation.
+ *
+ * Every stochastic component receives its own Rng forked from a master
+ * seed, so adding a component never perturbs the random stream of the
+ * others. The generator is SplitMix64-seeded xoshiro256++ — fast, high
+ * quality, and trivially portable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sov {
+
+/** A deterministic pseudo-random stream. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL);
+
+    /**
+     * Fork a statistically independent child stream.
+     * @param tag Distinguishes children forked from the same parent;
+     *            the same (parent seed, tag) pair always yields the
+     *            same child stream.
+     */
+    Rng fork(const std::string &tag) const;
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box–Muller (cached pair). */
+    double gaussian();
+
+    /** Normal with mean @p mu and standard deviation @p sigma. */
+    double gaussian(double mu, double sigma);
+
+    /** Exponential with rate lambda (mean 1/lambda). */
+    double exponential(double lambda);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Log-normal latency jitter: returns a value whose median is
+     * @p median and whose spread is controlled by @p sigma_log (the
+     * standard deviation of the underlying normal). Used to model the
+     * heavy-tailed software stack delays of Sec. VI-A.
+     */
+    double logNormal(double median, double sigma_log);
+
+  private:
+    std::uint64_t s_[4];
+    bool has_cached_gauss_ = false;
+    double cached_gauss_ = 0.0;
+};
+
+} // namespace sov

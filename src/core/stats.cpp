@@ -1,0 +1,143 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+PercentileBuffer::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+void
+PercentileBuffer::ensureSorted()
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+PercentileBuffer::percentile(double p)
+{
+    SOV_ASSERT(p >= 0.0 && p <= 100.0);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_.front();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0)
+{
+    SOV_ASSERT(bins >= 1);
+    SOV_ASSERT(hi > lo);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    double idx = (x - lo_) / width_;
+    std::size_t bin;
+    if (idx < 0.0) {
+        bin = 0;
+    } else if (idx >= static_cast<double>(counts_.size())) {
+        bin = counts_.size() - 1;
+    } else {
+        bin = static_cast<std::size_t>(idx);
+    }
+    counts_[bin] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + static_cast<double>(i) * width_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        os << binLow(i) << ".." << binLow(i) + width_ << ": "
+           << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sov

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Streaming statistics, percentile buffers, and histograms used by the
+ * latency/energy characterization benches (Figs. 3, 4a, 10).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sov {
+
+/** Welford streaming mean/variance plus min/max. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Stores every sample to answer arbitrary percentile queries.
+ * Used for the best/mean/p99 latency characterization of Fig. 10a.
+ */
+class PercentileBuffer
+{
+  public:
+    void add(double x) { samples_.push_back(x); sorted_ = false; }
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double min() { return percentile(0.0); }
+    double max() { return percentile(100.0); }
+
+    /**
+     * Linear-interpolated percentile.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p);
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted();
+    std::vector<double> samples_;
+    bool sorted_ = false;
+};
+
+/** Fixed-width linear-bin histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower edge of the first bin.
+     * @param hi Exclusive upper edge of the last bin.
+     * @param bins Number of equal-width bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add a sample; out-of-range samples land in the edge bins. */
+    void add(double x, std::uint64_t weight = 1);
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Render as "low..high: count" lines for bench output. */
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace sov

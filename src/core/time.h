@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Model-time primitives for the SoV simulation.
+ *
+ * All simulation components share a single notion of time: an integral
+ * nanosecond count since simulation start. Integral ticks keep event
+ * ordering exact and reproducible; helpers convert to/from seconds and
+ * milliseconds for model parameters expressed in SI units.
+ */
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace sov {
+
+/** Signed duration in nanoseconds of model time. */
+class Duration
+{
+  public:
+    constexpr Duration() = default;
+
+    /** Construct from raw nanoseconds. */
+    static constexpr Duration nanos(std::int64_t ns) { return Duration(ns); }
+    /** Construct from microseconds. */
+    static constexpr Duration
+    micros(std::int64_t us)
+    {
+        return Duration(us * 1000);
+    }
+    /** Construct from integral milliseconds. */
+    static constexpr Duration
+    millis(std::int64_t ms)
+    {
+        return Duration(ms * 1'000'000);
+    }
+    /** Construct from (possibly fractional) seconds. */
+    static constexpr Duration
+    seconds(double s)
+    {
+        return Duration(static_cast<std::int64_t>(s * 1e9));
+    }
+    /** Construct from (possibly fractional) milliseconds. */
+    static constexpr Duration
+    millisF(double ms)
+    {
+        return Duration(static_cast<std::int64_t>(ms * 1e6));
+    }
+    /** The zero duration. */
+    static constexpr Duration zero() { return Duration(0); }
+    /** Largest representable duration; used as "never". */
+    static constexpr Duration
+    max()
+    {
+        return Duration(std::numeric_limits<std::int64_t>::max());
+    }
+
+    constexpr std::int64_t ns() const { return ns_; }
+    constexpr double toSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+    constexpr double toMillis() const { return static_cast<double>(ns_) * 1e-6; }
+    constexpr double toMicros() const { return static_cast<double>(ns_) * 1e-3; }
+
+    constexpr auto operator<=>(const Duration &) const = default;
+
+    constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+    constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+    constexpr Duration operator-() const { return Duration(-ns_); }
+    constexpr Duration
+    operator*(double k) const
+    {
+        return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+    }
+    constexpr Duration
+    operator/(std::int64_t k) const
+    {
+        return Duration(ns_ / k);
+    }
+    constexpr double operator/(Duration o) const
+    {
+        return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+    }
+    Duration &operator+=(Duration o) { ns_ += o.ns_; return *this; }
+    Duration &operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  private:
+    constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+    std::int64_t ns_ = 0;
+};
+
+/** Absolute model time: nanoseconds since simulation start. */
+class Timestamp
+{
+  public:
+    constexpr Timestamp() = default;
+
+    /** Construct from raw nanoseconds since simulation start. */
+    static constexpr Timestamp nanos(std::int64_t ns) { return Timestamp(ns); }
+    /** Construct from (possibly fractional) seconds since start. */
+    static constexpr Timestamp
+    seconds(double s)
+    {
+        return Timestamp(static_cast<std::int64_t>(s * 1e9));
+    }
+    /** Construct from (possibly fractional) milliseconds since start. */
+    static constexpr Timestamp
+    millisF(double ms)
+    {
+        return Timestamp(static_cast<std::int64_t>(ms * 1e6));
+    }
+    /** Simulation start. */
+    static constexpr Timestamp origin() { return Timestamp(0); }
+    /** A timestamp later than every real event. */
+    static constexpr Timestamp
+    never()
+    {
+        return Timestamp(std::numeric_limits<std::int64_t>::max());
+    }
+
+    constexpr std::int64_t ns() const { return ns_; }
+    constexpr double toSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+    constexpr double toMillis() const { return static_cast<double>(ns_) * 1e-6; }
+    constexpr bool isNever() const { return *this == never(); }
+
+    constexpr auto operator<=>(const Timestamp &) const = default;
+
+    constexpr Timestamp operator+(Duration d) const { return Timestamp(ns_ + d.ns()); }
+    constexpr Timestamp operator-(Duration d) const { return Timestamp(ns_ - d.ns()); }
+    constexpr Duration operator-(Timestamp o) const { return Duration::nanos(ns_ - o.ns_); }
+    Timestamp &operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  private:
+    constexpr explicit Timestamp(std::int64_t ns) : ns_(ns) {}
+    std::int64_t ns_ = 0;
+};
+
+/** Render a duration as a human-readable string, e.g. "164.2 ms". */
+inline std::string
+toString(Duration d)
+{
+    const double ms = d.toMillis();
+    if (ms >= 1000.0 || ms <= -1000.0)
+        return std::to_string(ms / 1000.0) + " s";
+    if (ms >= 1.0 || ms <= -1.0)
+        return std::to_string(ms) + " ms";
+    return std::to_string(d.toMicros()) + " us";
+}
+
+} // namespace sov

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight SI-unit helper types for the analytical models of Sec. III.
+ *
+ * The analytical models (Eq. 1, Eq. 2, the power and cost breakdowns)
+ * mix quantities whose units are easy to confuse (watts vs kilowatts,
+ * m/s vs mph). Thin wrappers keep the units explicit at API boundaries
+ * while compiling down to bare doubles.
+ */
+#pragma once
+
+#include <compare>
+
+namespace sov {
+
+/** Electrical power. Stored in watts. */
+class Power
+{
+  public:
+    constexpr Power() = default;
+    static constexpr Power watts(double w) { return Power(w); }
+    static constexpr Power kilowatts(double kw) { return Power(kw * 1e3); }
+    static constexpr Power milliwatts(double mw) { return Power(mw * 1e-3); }
+    static constexpr Power zero() { return Power(0.0); }
+
+    constexpr double toWatts() const { return w_; }
+    constexpr double toKilowatts() const { return w_ * 1e-3; }
+
+    constexpr auto operator<=>(const Power &) const = default;
+    constexpr Power operator+(Power o) const { return Power(w_ + o.w_); }
+    constexpr Power operator-(Power o) const { return Power(w_ - o.w_); }
+    constexpr Power operator*(double k) const { return Power(w_ * k); }
+    Power &operator+=(Power o) { w_ += o.w_; return *this; }
+
+  private:
+    constexpr explicit Power(double w) : w_(w) {}
+    double w_ = 0.0;
+};
+
+/** Energy. Stored in joules. */
+class Energy
+{
+  public:
+    constexpr Energy() = default;
+    static constexpr Energy joules(double j) { return Energy(j); }
+    static constexpr Energy millijoules(double mj) { return Energy(mj * 1e-3); }
+    /** Battery capacities are quoted in kilowatt-hours. */
+    static constexpr Energy
+    kilowattHours(double kwh)
+    {
+        return Energy(kwh * 3.6e6);
+    }
+    static constexpr Energy zero() { return Energy(0.0); }
+
+    constexpr double toJoules() const { return j_; }
+    constexpr double toMillijoules() const { return j_ * 1e3; }
+    constexpr double toKilowattHours() const { return j_ / 3.6e6; }
+
+    constexpr auto operator<=>(const Energy &) const = default;
+    constexpr Energy operator+(Energy o) const { return Energy(j_ + o.j_); }
+    constexpr Energy operator-(Energy o) const { return Energy(j_ - o.j_); }
+    constexpr Energy operator*(double k) const { return Energy(j_ * k); }
+    Energy &operator+=(Energy o) { j_ += o.j_; return *this; }
+
+    /** Hours this energy sustains a given continuous draw. */
+    constexpr double
+    hoursAt(Power p) const
+    {
+        return j_ / (p.toWatts() * 3600.0);
+    }
+
+  private:
+    constexpr explicit Energy(double j) : j_(j) {}
+    double j_ = 0.0;
+};
+
+/** Speed. Stored in meters/second. */
+class Speed
+{
+  public:
+    constexpr Speed() = default;
+    static constexpr Speed metersPerSecond(double v) { return Speed(v); }
+    static constexpr Speed milesPerHour(double mph) { return Speed(mph * 0.44704); }
+    static constexpr Speed zero() { return Speed(0.0); }
+
+    constexpr double toMetersPerSecond() const { return v_; }
+    constexpr double toMilesPerHour() const { return v_ / 0.44704; }
+
+    constexpr auto operator<=>(const Speed &) const = default;
+    constexpr Speed operator+(Speed o) const { return Speed(v_ + o.v_); }
+    constexpr Speed operator-(Speed o) const { return Speed(v_ - o.v_); }
+    constexpr Speed operator*(double k) const { return Speed(v_ * k); }
+
+  private:
+    constexpr explicit Speed(double v) : v_(v) {}
+    double v_ = 0.0;
+};
+
+/** Money. Stored in US dollars (the paper quotes USD throughout). */
+class Money
+{
+  public:
+    constexpr Money() = default;
+    static constexpr Money dollars(double d) { return Money(d); }
+    static constexpr Money zero() { return Money(0.0); }
+
+    constexpr double toDollars() const { return d_; }
+
+    constexpr auto operator<=>(const Money &) const = default;
+    constexpr Money operator+(Money o) const { return Money(d_ + o.d_); }
+    constexpr Money operator-(Money o) const { return Money(d_ - o.d_); }
+    constexpr Money operator*(double k) const { return Money(d_ * k); }
+    Money &operator+=(Money o) { d_ += o.d_; return *this; }
+
+  private:
+    constexpr explicit Money(double d) : d_(d) {}
+    double d_ = 0.0;
+};
+
+} // namespace sov

@@ -1,0 +1,38 @@
+#include "localization/gps_fusion.h"
+
+#include <cmath>
+
+namespace sov {
+
+bool
+GpsVioFusion::applyGps(const GpsFix &fix)
+{
+    if (fix.multipath ||
+        fix.horizontal_accuracy > config_.max_accepted_accuracy) {
+        gnss_healthy_ = false;
+        return false;
+    }
+    gnss_healthy_ = true;
+
+    // Scalar-gain EKF update on the position: K = P / (P + R).
+    const double p_var = vio_.state().position_sigma *
+        vio_.state().position_sigma;
+    const double r_var = config_.gps_sigma * config_.gps_sigma;
+    // A fresh filter (sigma 0) still takes the first fix as its
+    // initialization.
+    double k = 1.0;
+    if (p_var + r_var > 1e-12)
+        k = std::max(p_var / (p_var + r_var), config_.min_gain);
+    if (vio_.state().distance_travelled == 0.0 &&
+        vio_.state().position_sigma == 0.0) {
+        k = 1.0;
+    }
+
+    const Vec2 innovation = fix.position - vio_.state().position;
+    const Vec2 corrected = vio_.state().position + innovation * k;
+    const double new_sigma = std::sqrt((1.0 - k) * p_var + 1e-6);
+    vio_.correctPosition(corrected, new_sigma);
+    return true;
+}
+
+} // namespace sov

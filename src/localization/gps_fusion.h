@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GPS-VIO hybrid localization (Sec. VI-B).
+ *
+ * When the GNSS signal is strong, fixes are used directly as the
+ * vehicle's position and simultaneously correct the VIO's cumulative
+ * drift via an EKF position update. When GNSS degrades (outage,
+ * multipath), the corrected VIO carries the estimate. The fusion
+ * update is ~1 ms of compute versus ~24 ms for the VIO front-end
+ * (Sec. VI-B) — sensing replacing computing.
+ */
+#pragma once
+
+#include "localization/vio.h"
+#include "sensors/gps.h"
+
+namespace sov {
+
+/** Fusion tuning. */
+struct GpsVioConfig
+{
+    /** Fixes flagged multipath or worse than this are rejected. */
+    double max_accepted_accuracy = 2.0;
+    /** Measurement sigma used in the EKF update. */
+    double gps_sigma = 0.5;
+    /** Floor on the correction gain: odometry error is partially
+     *  systematic, so the filter never fully trusts its own sigma. */
+    double min_gain = 0.15;
+};
+
+/** EKF fusing VIO dead reckoning with GNSS fixes. */
+class GpsVioFusion
+{
+  public:
+    explicit GpsVioFusion(const GpsVioConfig &config = {})
+        : config_(config) {}
+
+    /** Access the inner VIO (feed IMU / VO through this). */
+    VioOdometry &vio() { return vio_; }
+    const VioOdometry &vio() const { return vio_; }
+
+    /**
+     * Apply one GNSS fix. Rejected fixes (multipath / poor accuracy)
+     * leave the estimate untouched.
+     * @return True if the fix was accepted.
+     */
+    bool applyGps(const GpsFix &fix);
+
+    /** Fused position estimate. */
+    Vec2 position() const { return vio_.state().position; }
+    /** Current 1-sigma position uncertainty. */
+    double positionSigma() const { return vio_.state().position_sigma; }
+    /** True if the last fix was accepted (GNSS currently trusted). */
+    bool gnssHealthy() const { return gnss_healthy_; }
+
+  private:
+    GpsVioConfig config_;
+    VioOdometry vio_;
+    bool gnss_healthy_ = false;
+};
+
+} // namespace sov

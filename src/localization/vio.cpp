@@ -1,0 +1,148 @@
+#include "localization/vio.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+VoMeasurement
+makeVoMeasurement(const Trajectory &trajectory, Timestamp t0_actual,
+                  Timestamp t1_actual, Rng &rng, double translation_noise,
+                  double yaw_noise)
+{
+    SOV_ASSERT(t1_actual > t0_actual);
+    const TrajectorySample s0 = trajectory.sample(t0_actual);
+    const TrajectorySample s1 = trajectory.sample(t1_actual);
+
+    const Vec2 world_disp(s1.position.x() - s0.position.x(),
+                          s1.position.y() - s0.position.y());
+    const double yaw0 = s0.orientation.yaw();
+    const double c = std::cos(yaw0), s = std::sin(yaw0);
+
+    VoMeasurement vo;
+    vo.t0 = t0_actual;
+    vo.t1 = t1_actual;
+    vo.body_displacement =
+        Vec2(c * world_disp.x() + s * world_disp.y(),
+             -s * world_disp.x() + c * world_disp.y()) +
+        Vec2(rng.gaussian(0.0, translation_noise),
+             rng.gaussian(0.0, translation_noise));
+    vo.delta_yaw = wrapAngle(s1.orientation.yaw() - yaw0) +
+        rng.gaussian(0.0, yaw_noise);
+    return vo;
+}
+
+std::optional<VoMeasurement>
+toVoMeasurement(const VoEstimate &estimate, Timestamp t0, Timestamp t1)
+{
+    if (!estimate.valid)
+        return std::nullopt;
+    VoMeasurement vo;
+    vo.t0 = t0;
+    vo.t1 = t1;
+    vo.body_displacement = estimate.body_displacement;
+    vo.delta_yaw = estimate.delta_yaw;
+    return vo;
+}
+
+VioOdometry::VioOdometry(const VioConfig &config) : config_(config)
+{
+}
+
+void
+VioOdometry::initialize(const Vec2 &position, double yaw)
+{
+    state_.position = position;
+    state_.yaw = yaw;
+    state_.position_sigma = 0.0;
+    state_.distance_travelled = 0.0;
+    yaw_history_.clear();
+}
+
+void
+VioOdometry::propagateImu(const ImuSample &imu, Timestamp stamped_time)
+{
+    if (have_imu_) {
+        const double dt = (stamped_time - last_imu_).toSeconds();
+        if (dt > 0.0 && dt < 1.0) {
+            state_.yaw = wrapAngle(
+                state_.yaw +
+                (imu.angular_velocity.z() - state_.gyro_bias) * dt);
+        }
+    }
+    have_imu_ = true;
+    last_imu_ = stamped_time;
+
+    yaw_history_.emplace_back(stamped_time, state_.yaw);
+    if (yaw_history_.size() > kMaxHistory)
+        yaw_history_.pop_front();
+}
+
+double
+VioOdometry::yawAt(Timestamp stamped_time) const
+{
+    if (yaw_history_.empty())
+        return state_.yaw;
+    // Find the first entry at or after the query and interpolate.
+    const auto it = std::lower_bound(
+        yaw_history_.begin(), yaw_history_.end(), stamped_time,
+        [](const auto &entry, Timestamp t) { return entry.first < t; });
+    if (it == yaw_history_.begin())
+        return it->second;
+    if (it == yaw_history_.end())
+        return yaw_history_.back().second;
+    const auto &[t1, y1] = *it;
+    const auto &[t0, y0] = *(it - 1);
+    const double span = (t1 - t0).toSeconds();
+    if (span <= 0.0)
+        return y1;
+    const double f = (stamped_time - t0).toSeconds() / span;
+    return wrapAngle(y0 + f * wrapAngle(y1 - y0));
+}
+
+void
+VioOdometry::applyVo(const VoMeasurement &vo)
+{
+    SOV_ASSERT(vo.t1 > vo.t0);
+    const double dt = (vo.t1 - vo.t0).toSeconds();
+
+    // Rotate the body-frame displacement by the heading the filter
+    // believes it had at the (stamped) earlier frame time.
+    const double yaw0 = yawAt(vo.t0);
+    const double c = std::cos(yaw0), s = std::sin(yaw0);
+    const Vec2 world_disp(
+        c * vo.body_displacement.x() - s * vo.body_displacement.y(),
+        s * vo.body_displacement.x() + c * vo.body_displacement.y());
+    state_.position += world_disp;
+
+    const double dist = vo.body_displacement.norm();
+    state_.distance_travelled += dist;
+    state_.speed = dist / dt;
+
+    // Odometry uncertainty grows with distance.
+    const double step_sigma = config_.position_noise_per_meter * dist;
+    state_.position_sigma = std::sqrt(
+        state_.position_sigma * state_.position_sigma +
+        step_sigma * step_sigma);
+
+    // VO delta-yaw observes the gyro bias: the gyro-integrated yaw
+    // change over the same (stamped) interval should match.
+    const double gyro_delta = wrapAngle(yawAt(vo.t1) - yaw0);
+    const double innovation = wrapAngle(vo.delta_yaw - gyro_delta);
+    state_.gyro_bias = std::clamp(
+        state_.gyro_bias - config_.bias_gain * innovation,
+        -config_.max_gyro_bias, config_.max_gyro_bias);
+    // Small proportional heading pull toward VO keeps yaw bounded.
+    state_.yaw = wrapAngle(state_.yaw + 0.05 * innovation);
+}
+
+void
+VioOdometry::correctPosition(const Vec2 &position, double sigma)
+{
+    state_.position = position;
+    state_.position_sigma = sigma;
+}
+
+} // namespace sov

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Visual-Inertial Odometry (Table III: VIO localization).
+ *
+ * A dead-reckoning estimator in the VIO class: gyro integration gives
+ * heading, frame-to-frame visual odometry gives body-frame
+ * displacement and delta-yaw, and the two are fused — VO delta-yaw
+ * observes the gyro bias, gyro heading orients the VO displacement.
+ * Like all odometry it accumulates error with distance (Sec. VI-B),
+ * which the GPS-VIO fusion corrects.
+ *
+ * Timestamps matter: the filter looks up its heading *at the stamped
+ * capture time* of each camera frame. Unsynchronized camera/IMU
+ * timestamps therefore rotate displacements by stale headings — the
+ * Fig. 11b failure mode.
+ */
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "math/geometry.h"
+#include "math/vec.h"
+#include "sensors/imu.h"
+#include "vision/visual_odometry.h"
+#include "world/trajectory.h"
+
+namespace sov {
+
+/** Frame-to-frame visual odometry measurement. */
+struct VoMeasurement
+{
+    Timestamp t0; //!< stamped time of the earlier frame
+    Timestamp t1; //!< stamped time of the later frame
+    Vec2 body_displacement; //!< in the body frame at the earlier frame
+    double delta_yaw = 0.0; //!< radians
+};
+
+/**
+ * Generate a ground-truth-based VO measurement between two *actual*
+ * capture instants, with additive noise. The caller decides what
+ * stamped times the estimator will see (sync experiments).
+ */
+VoMeasurement makeVoMeasurement(const Trajectory &trajectory,
+                                Timestamp t0_actual, Timestamp t1_actual,
+                                Rng &rng, double translation_noise = 0.01,
+                                double yaw_noise = 0.002);
+
+/**
+ * Wrap a valid image-based front-end estimate (vision/visual_odometry)
+ * as the measurement the VIO consumes; nullopt for invalid estimates.
+ */
+std::optional<VoMeasurement> toVoMeasurement(const VoEstimate &estimate,
+                                             Timestamp t0, Timestamp t1);
+
+/** VIO tuning parameters. */
+struct VioConfig
+{
+    double gyro_noise = 0.002;       //!< rad/s
+    /** Per-VO-update feedback of the delta-yaw innovation into the
+     *  gyro-bias estimate (rad/s of bias per rad of innovation). */
+    double bias_gain = 0.002;
+    /** Physical bound on the MEMS gyro bias estimate (rad/s); keeps
+     *  the feedback loop stable when measurements are inconsistent
+     *  (e.g. unsynchronized timestamps, Sec. VI-A). */
+    double max_gyro_bias = 0.01;
+    double position_noise_per_meter = 0.01; //!< odometry noise model
+};
+
+/** Estimated state of the VIO filter. */
+struct VioState
+{
+    Vec2 position{0.0, 0.0};
+    double yaw = 0.0;
+    double speed = 0.0;        //!< latest VO-derived speed estimate
+    double gyro_bias = 0.0;
+    double position_sigma = 0.0; //!< 1-sigma position uncertainty
+    double distance_travelled = 0.0;
+};
+
+/** The VIO estimator. */
+class VioOdometry
+{
+  public:
+    explicit VioOdometry(const VioConfig &config = {});
+
+    /** Initialize the pose (e.g. from the map / first GPS fix). */
+    void initialize(const Vec2 &position, double yaw);
+
+    /**
+     * Integrate one gyro sample stamped at @p stamped_time. Only the
+     * z-rate is used on our planar vehicles.
+     */
+    void propagateImu(const ImuSample &imu, Timestamp stamped_time);
+
+    /** Apply one visual odometry measurement (stamped times inside). */
+    void applyVo(const VoMeasurement &vo);
+
+    /**
+     * Externally correct the position (GPS fusion, Sec. VI-B); resets
+     * the odometric uncertainty to @p sigma.
+     */
+    void correctPosition(const Vec2 &position, double sigma);
+
+    const VioState &state() const { return state_; }
+
+    /** Estimated heading at a past stamped time (history lookup). */
+    double yawAt(Timestamp stamped_time) const;
+
+  private:
+    VioConfig config_;
+    VioState state_;
+    Timestamp last_imu_ = Timestamp::origin();
+    bool have_imu_ = false;
+
+    /** Recent (stamped time, yaw) pairs for VO orientation lookup. */
+    std::deque<std::pair<Timestamp, double>> yaw_history_;
+    static constexpr std::size_t kMaxHistory = 512;
+};
+
+} // namespace sov

@@ -1,0 +1,80 @@
+#include "math/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace sov {
+
+EigenDecomposition
+symmetricEigen(const Matrix &input, int max_sweeps)
+{
+    SOV_ASSERT(input.rows() == input.cols());
+    const std::size_t n = input.rows();
+    Matrix a = input;
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Sum of off-diagonal magnitudes; convergence criterion.
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += std::fabs(a(p, q));
+        if (off < 1e-14)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::fabs(apq) < 1e-18)
+                    continue;
+                const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // Apply the rotation to rows/columns p and q.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&a](std::size_t i, std::size_t j) {
+        return a(i, i) < a(j, j);
+    });
+
+    EigenDecomposition out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.values[i] = a(order[i], order[i]);
+        for (std::size_t k = 0; k < n; ++k)
+            out.vectors(k, i) = v(k, order[i]);
+    }
+    return out;
+}
+
+} // namespace sov

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via cyclic Jacobi rotations; used by
+ * point-cloud normal estimation (PCA of local neighborhoods) and the
+ * recognition pipeline.
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace sov {
+
+/** Result of a symmetric eigendecomposition. */
+struct EigenDecomposition
+{
+    /** Eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Column i of this matrix is the eigenvector for values[i]. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+ * @param a Symmetric n x n matrix (symmetry is assumed, not checked
+ *          beyond a tolerance assert).
+ * @param max_sweeps Upper bound on full Jacobi sweeps.
+ */
+EigenDecomposition symmetricEigen(const Matrix &a, int max_sweeps = 32);
+
+} // namespace sov

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * 2-D planar geometry: poses, segments, and intersection/projection
+ * helpers used by the lane map, planner, and collision checker.
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "math/vec.h"
+
+namespace sov {
+
+/** Normalize an angle to (-pi, pi]. */
+double wrapAngle(double radians);
+
+/** Planar rigid-body pose: position plus heading. */
+struct Pose2
+{
+    Vec2 position{0.0, 0.0};
+    double heading = 0.0; //!< radians, CCW from +x
+
+    /** Map a point from this pose's local frame to the world frame. */
+    Vec2 transform(const Vec2 &local) const;
+
+    /** Map a world-frame point into this pose's local frame. */
+    Vec2 inverseTransform(const Vec2 &world) const;
+
+    /** Compose: the pose of (this ∘ other) in the world frame. */
+    Pose2 compose(const Pose2 &other) const;
+
+    /** Unit heading vector. */
+    Vec2 direction() const;
+};
+
+/** A 2-D line segment. */
+struct Segment2
+{
+    Vec2 a;
+    Vec2 b;
+
+    double length() const { return a.distanceTo(b); }
+
+    /** Closest point on the segment to @p p. */
+    Vec2 closestPoint(const Vec2 &p) const;
+
+    /** Distance from @p p to the segment. */
+    double distanceTo(const Vec2 &p) const;
+
+    /** Intersection point with another segment, if any. */
+    std::optional<Vec2> intersect(const Segment2 &o) const;
+};
+
+/** Axis-aligned bounding box. */
+struct Aabb2
+{
+    Vec2 lo;
+    Vec2 hi;
+
+    bool contains(const Vec2 &p) const;
+    bool overlaps(const Aabb2 &o) const;
+    /** Grow symmetrically by @p margin on all sides. */
+    Aabb2 inflated(double margin) const;
+};
+
+/** Oriented rectangle (vehicle/obstacle footprint). */
+struct OrientedBox2
+{
+    Pose2 pose;          //!< center + heading
+    double half_length;  //!< along heading
+    double half_width;   //!< across heading
+
+    /** The four corners, CCW. */
+    std::vector<Vec2> corners() const;
+
+    /** Separating-axis overlap test against another box. */
+    bool overlaps(const OrientedBox2 &o) const;
+
+    /** Containment test for a point. */
+    bool contains(const Vec2 &p) const;
+
+    /** Euclidean clearance to another box; 0 when they overlap. */
+    double distanceTo(const OrientedBox2 &o) const;
+};
+
+/**
+ * Arc-length parameterized polyline; the backbone of lane center-lines
+ * and planned paths.
+ */
+class Polyline2
+{
+  public:
+    Polyline2() = default;
+    explicit Polyline2(std::vector<Vec2> points);
+
+    const std::vector<Vec2> &points() const { return points_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /** Total arc length. */
+    double length() const;
+
+    /** Point at arc length s (clamped to [0, length]). */
+    Vec2 sample(double s) const;
+
+    /** Tangent heading (radians) at arc length s. */
+    double headingAt(double s) const;
+
+    /**
+     * Project a point onto the polyline.
+     * @return (arc length of the projection, signed lateral offset);
+     *         positive offset is to the left of travel direction.
+     */
+    std::pair<double, double> project(const Vec2 &p) const;
+
+    /** Append a point, extending the cumulative length table. */
+    void append(const Vec2 &p);
+
+  private:
+    std::vector<Vec2> points_;
+    std::vector<double> cumlen_; //!< cumulative arc length at each vertex
+};
+
+} // namespace sov

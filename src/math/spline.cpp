@@ -1,0 +1,94 @@
+#include "math/spline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+CubicSpline::CubicSpline(const std::vector<double> &xs,
+                         const std::vector<double> &ys)
+    : xs_(xs), a_(ys)
+{
+    SOV_ASSERT(xs.size() == ys.size());
+    SOV_ASSERT(xs.size() >= 2);
+    const std::size_t n = xs.size() - 1; // number of intervals
+    for (std::size_t i = 0; i < n; ++i)
+        SOV_ASSERT(xs[i + 1] > xs[i]);
+
+    std::vector<double> h(n);
+    for (std::size_t i = 0; i < n; ++i)
+        h[i] = xs[i + 1] - xs[i];
+
+    // Solve the tridiagonal system for second-derivative-related c.
+    std::vector<double> alpha(n + 1, 0.0);
+    for (std::size_t i = 1; i < n; ++i) {
+        alpha[i] = 3.0 * ((a_[i + 1] - a_[i]) / h[i] -
+                          (a_[i] - a_[i - 1]) / h[i - 1]);
+    }
+
+    std::vector<double> l(n + 1), mu(n + 1), z(n + 1);
+    l[0] = 1.0;
+    mu[0] = z[0] = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+        l[i] = 2.0 * (xs[i + 1] - xs[i - 1]) - h[i - 1] * mu[i - 1];
+        mu[i] = h[i] / l[i];
+        z[i] = (alpha[i] - h[i - 1] * z[i - 1]) / l[i];
+    }
+    l[n] = 1.0;
+    z[n] = 0.0;
+
+    c_.assign(n + 1, 0.0);
+    b_.assign(n, 0.0);
+    d_.assign(n, 0.0);
+    for (std::size_t j = n; j-- > 0;) {
+        c_[j] = z[j] - mu[j] * c_[j + 1];
+        b_[j] = (a_[j + 1] - a_[j]) / h[j] -
+            h[j] * (c_[j + 1] + 2.0 * c_[j]) / 3.0;
+        d_[j] = (c_[j + 1] - c_[j]) / (3.0 * h[j]);
+    }
+}
+
+std::size_t
+CubicSpline::findInterval(double x) const
+{
+    // Largest i with xs_[i] <= x, clamped to the last interval.
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    if (it == xs_.begin())
+        return 0;
+    std::size_t i = static_cast<std::size_t>(it - xs_.begin()) - 1;
+    return std::min(i, xs_.size() - 2);
+}
+
+double
+CubicSpline::evaluate(double x) const
+{
+    SOV_ASSERT(valid());
+    const double xc = std::clamp(x, xs_.front(), xs_.back());
+    const std::size_t i = findInterval(xc);
+    const double dx = xc - xs_[i];
+    return a_[i] + dx * (b_[i] + dx * (c_[i] + dx * d_[i]));
+}
+
+double
+CubicSpline::derivative(double x) const
+{
+    SOV_ASSERT(valid());
+    const double xc = std::clamp(x, xs_.front(), xs_.back());
+    const std::size_t i = findInterval(xc);
+    const double dx = xc - xs_[i];
+    return b_[i] + dx * (2.0 * c_[i] + dx * 3.0 * d_[i]);
+}
+
+double
+CubicSpline::secondDerivative(double x) const
+{
+    SOV_ASSERT(valid());
+    const double xc = std::clamp(x, xs_.front(), xs_.back());
+    const std::size_t i = findInterval(xc);
+    const double dx = xc - xs_[i];
+    return 2.0 * c_[i] + 6.0 * d_[i] * dx;
+}
+
+} // namespace sov

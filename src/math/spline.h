@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Natural cubic spline interpolation; used by the ground-truth
+ * trajectory generator (smooth vehicle paths) and the QP path smoother
+ * of the EM-style planner baseline.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sov {
+
+/**
+ * Natural cubic spline through (x_i, y_i) knots with strictly
+ * increasing x.
+ */
+class CubicSpline
+{
+  public:
+    CubicSpline() = default;
+
+    /**
+     * Fit the spline.
+     * @param xs Strictly increasing sample locations (>= 2 knots).
+     * @param ys Values at those locations.
+     */
+    CubicSpline(const std::vector<double> &xs, const std::vector<double> &ys);
+
+    /** Evaluate at x (clamped extrapolation beyond the knots). */
+    double evaluate(double x) const;
+
+    /** First derivative at x. */
+    double derivative(double x) const;
+
+    /** Second derivative at x. */
+    double secondDerivative(double x) const;
+
+    bool valid() const { return xs_.size() >= 2; }
+    double minX() const { return xs_.front(); }
+    double maxX() const { return xs_.back(); }
+
+  private:
+    /** Index of the knot interval containing x. */
+    std::size_t findInterval(double x) const;
+
+    std::vector<double> xs_;
+    std::vector<double> a_, b_, c_, d_; //!< per-interval coefficients
+};
+
+} // namespace sov

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fixed-size vector types used throughout perception and planning.
+ */
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "core/logging.h"
+
+namespace sov {
+
+/** Fixed-size N-dimensional vector of doubles. */
+template <std::size_t N>
+class Vec
+{
+  public:
+    constexpr Vec() : v_{} {}
+
+    /** Construct from exactly N components. */
+    template <typename... Args,
+              typename = std::enable_if_t<sizeof...(Args) == N>>
+    constexpr Vec(Args... args) : v_{static_cast<double>(args)...} {}
+
+    static constexpr Vec
+    zero()
+    {
+        return Vec();
+    }
+
+    /** Vector with every component set to @p x. */
+    static constexpr Vec
+    filled(double x)
+    {
+        Vec v;
+        for (std::size_t i = 0; i < N; ++i)
+            v.v_[i] = x;
+        return v;
+    }
+
+    constexpr double operator[](std::size_t i) const { return v_[i]; }
+    constexpr double &operator[](std::size_t i) { return v_[i]; }
+
+    constexpr double x() const requires (N >= 1) { return v_[0]; }
+    constexpr double y() const requires (N >= 2) { return v_[1]; }
+    constexpr double z() const requires (N >= 3) { return v_[2]; }
+    constexpr double &x() requires (N >= 1) { return v_[0]; }
+    constexpr double &y() requires (N >= 2) { return v_[1]; }
+    constexpr double &z() requires (N >= 3) { return v_[2]; }
+
+    constexpr Vec
+    operator+(const Vec &o) const
+    {
+        Vec r;
+        for (std::size_t i = 0; i < N; ++i)
+            r.v_[i] = v_[i] + o.v_[i];
+        return r;
+    }
+
+    constexpr Vec
+    operator-(const Vec &o) const
+    {
+        Vec r;
+        for (std::size_t i = 0; i < N; ++i)
+            r.v_[i] = v_[i] - o.v_[i];
+        return r;
+    }
+
+    constexpr Vec
+    operator-() const
+    {
+        Vec r;
+        for (std::size_t i = 0; i < N; ++i)
+            r.v_[i] = -v_[i];
+        return r;
+    }
+
+    constexpr Vec
+    operator*(double k) const
+    {
+        Vec r;
+        for (std::size_t i = 0; i < N; ++i)
+            r.v_[i] = v_[i] * k;
+        return r;
+    }
+
+    constexpr Vec
+    operator/(double k) const
+    {
+        return *this * (1.0 / k);
+    }
+
+    Vec &
+    operator+=(const Vec &o)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            v_[i] += o.v_[i];
+        return *this;
+    }
+
+    Vec &
+    operator-=(const Vec &o)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            v_[i] -= o.v_[i];
+        return *this;
+    }
+
+    Vec &
+    operator*=(double k)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            v_[i] *= k;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec &o) const = default;
+
+    constexpr double
+    dot(const Vec &o) const
+    {
+        double s = 0.0;
+        for (std::size_t i = 0; i < N; ++i)
+            s += v_[i] * o.v_[i];
+        return s;
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double squaredNorm() const { return dot(*this); }
+
+    /** Unit vector in this direction; panics on the zero vector. */
+    Vec
+    normalized() const
+    {
+        const double n = norm();
+        SOV_ASSERT(n > 0.0);
+        return *this / n;
+    }
+
+    /** Cross product (3-D only). */
+    constexpr Vec
+    cross(const Vec &o) const requires (N == 3)
+    {
+        return Vec(v_[1] * o.v_[2] - v_[2] * o.v_[1],
+                   v_[2] * o.v_[0] - v_[0] * o.v_[2],
+                   v_[0] * o.v_[1] - v_[1] * o.v_[0]);
+    }
+
+    /** Euclidean distance to another point. */
+    double distanceTo(const Vec &o) const { return (*this - o).norm(); }
+
+  private:
+    std::array<double, N> v_;
+};
+
+template <std::size_t N>
+constexpr Vec<N>
+operator*(double k, const Vec<N> &v)
+{
+    return v * k;
+}
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+
+} // namespace sov

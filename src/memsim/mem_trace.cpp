@@ -1,0 +1,75 @@
+#include "memsim/mem_trace.h"
+
+namespace sov {
+
+namespace {
+/** Base addresses keep clouds and trees in disjoint regions. */
+constexpr std::uint64_t kCloudRegion = 0x1000'0000ull;
+constexpr std::uint64_t kTreeRegion = 0x8000'0000ull;
+constexpr std::uint64_t kRegionStride = 0x0400'0000ull; // 64 MB apart
+} // namespace
+
+std::uint64_t
+MemTrace::pointAddress(std::uint32_t cloud_id, std::uint32_t index) const
+{
+    return kCloudRegion + cloud_id * kRegionStride +
+        static_cast<std::uint64_t>(index) * kPointBytes;
+}
+
+std::uint64_t
+MemTrace::nodeAddress(std::uint32_t tree_id, std::uint32_t index) const
+{
+    return kTreeRegion + tree_id * kRegionStride +
+        static_cast<std::uint64_t>(index) * kNodeBytes;
+}
+
+void
+MemTrace::touchPoint(std::uint32_t cloud_id, std::uint32_t index)
+{
+    ++total_;
+    ++point_reuse_[key(cloud_id, index)];
+    if (cache_)
+        cache_->access(pointAddress(cloud_id, index), kPointBytes);
+}
+
+void
+MemTrace::touchNode(std::uint32_t tree_id, std::uint32_t index)
+{
+    ++total_;
+    ++node_touches_[key(tree_id, index)];
+    if (cache_)
+        cache_->access(nodeAddress(tree_id, index), kNodeBytes);
+}
+
+std::vector<std::uint64_t>
+MemTrace::pointReuseCounts(std::uint32_t cloud_id) const
+{
+    std::vector<std::uint64_t> counts;
+    for (const auto &kv : point_reuse_) {
+        if (static_cast<std::uint32_t>(kv.first >> 32) == cloud_id)
+            counts.push_back(kv.second);
+    }
+    return counts;
+}
+
+Histogram
+MemTrace::reuseHistogram(std::uint32_t cloud_id, double bin_width,
+                         double max_reuse) const
+{
+    const std::size_t bins =
+        static_cast<std::size_t>(max_reuse / bin_width);
+    Histogram h(0.0, max_reuse, bins > 0 ? bins : 1);
+    for (const auto c : pointReuseCounts(cloud_id))
+        h.add(static_cast<double>(c));
+    return h;
+}
+
+void
+MemTrace::reset()
+{
+    total_ = 0;
+    point_reuse_.clear();
+    node_touches_.clear();
+}
+
+} // namespace sov

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Address-trace instrumentation bridging algorithm kernels and the
+ * cache simulator / reuse profiler.
+ *
+ * Point-cloud kernels (kd-tree search, ICP, clustering, ...) report
+ * which points and tree nodes they touch; the trace assigns synthetic
+ * addresses and forwards them to an optional CacheSim while counting
+ * per-point reuse for the Fig. 4a histogram.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stats.h"
+#include "memsim/cache_sim.h"
+
+namespace sov {
+
+/** Collects the access stream of an instrumented kernel. */
+class MemTrace
+{
+  public:
+    /** Bytes occupied by one point record (x, y, z, pad) — PCL's
+     *  PointXYZ layout is 16 bytes. */
+    static constexpr std::uint32_t kPointBytes = 16;
+    /** Bytes of one kd-tree node record. */
+    static constexpr std::uint32_t kNodeBytes = 32;
+
+    MemTrace() = default;
+
+    /** Attach a cache model; may be null to profile reuse only. */
+    void attachCache(CacheSim *cache) { cache_ = cache; }
+
+    /** Record a read of point @p index in cloud @p cloud_id. */
+    void touchPoint(std::uint32_t cloud_id, std::uint32_t index);
+
+    /** Record a read of kd-tree node @p index of tree @p tree_id. */
+    void touchNode(std::uint32_t tree_id, std::uint32_t index);
+
+    /** Total recorded accesses (points + nodes). */
+    std::uint64_t totalAccesses() const { return total_; }
+
+    /** Number of distinct points touched. */
+    std::size_t distinctPoints() const { return point_reuse_.size(); }
+
+    /** Number of distinct tree nodes touched. */
+    std::size_t distinctNodes() const { return node_touches_.size(); }
+
+    /**
+     * Bytes the algorithm actually needs, fetched exactly once and
+     * perfectly packed — the "optimal communication case" baseline of
+     * Fig. 4b.
+     */
+    std::uint64_t
+    usefulBytes() const
+    {
+        return static_cast<std::uint64_t>(distinctPoints()) * kPointBytes +
+            static_cast<std::uint64_t>(distinctNodes()) * kNodeBytes;
+    }
+
+    /**
+     * Per-point access counts ("reuse frequency", Fig. 4a x-axis) of
+     * one cloud.
+     */
+    std::vector<std::uint64_t> pointReuseCounts(std::uint32_t cloud_id) const;
+
+    /**
+     * Histogram of reuse frequency: bucket i counts points whose access
+     * count falls in bin i of width @p bin_width (Fig. 4a).
+     */
+    Histogram reuseHistogram(std::uint32_t cloud_id, double bin_width,
+                             double max_reuse) const;
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    std::uint64_t pointAddress(std::uint32_t cloud_id,
+                               std::uint32_t index) const;
+    std::uint64_t nodeAddress(std::uint32_t tree_id,
+                              std::uint32_t index) const;
+
+    CacheSim *cache_ = nullptr;
+    std::uint64_t total_ = 0;
+    /** Packed (id << 32 | index) -> access count; hashed for O(1)
+     *  updates — the trace sits on very hot paths. */
+    std::unordered_map<std::uint64_t, std::uint64_t> point_reuse_;
+    std::unordered_map<std::uint64_t, std::uint64_t> node_touches_;
+
+    static std::uint64_t
+    key(std::uint32_t id, std::uint32_t index)
+    {
+        return (static_cast<std::uint64_t>(id) << 32) | index;
+    }
+};
+
+} // namespace sov

@@ -1,0 +1,48 @@
+#include "planning/collision.h"
+
+#include <cmath>
+
+namespace sov {
+
+std::optional<CollisionInfo>
+firstCollision(const Polyline2 &path, double start_s, double speed,
+               const std::vector<ObjectPrediction> &predictions,
+               const EgoFootprint &ego, double max_lookahead)
+{
+    if (path.size() < 2 || speed <= 0.0)
+        return std::nullopt;
+
+    const double step = 0.5; // meters of path per sweep sample
+    const double end_s =
+        std::min(start_s + max_lookahead, path.length());
+
+    for (double s = start_s; s <= end_s; s += step) {
+        const double t = (s - start_s) / speed; // seconds from now
+        const OrientedBox2 ego_box{
+            Pose2{path.sample(s), path.headingAt(s)},
+            ego.half_length, ego.half_width};
+
+        for (const auto &pred : predictions) {
+            // Find the predicted state nearest in time.
+            const PredictedState *best = nullptr;
+            double best_dt = 1e18;
+            for (const auto &state : pred.states) {
+                const double dt = std::fabs(
+                    (state.time - pred.states.front().time).toSeconds() -
+                    t);
+                if (dt < best_dt) {
+                    best_dt = dt;
+                    best = &state;
+                }
+            }
+            if (!best || best_dt > 0.5)
+                continue; // object prediction doesn't cover this time
+            if (ego_box.overlaps(best->footprint)) {
+                return CollisionInfo{s - start_s, t, pred.track_id};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace sov

@@ -1,0 +1,99 @@
+#include "planning/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+Matrix
+MpcPlanner::lqrGain(double v) const
+{
+    const int bucket = static_cast<int>(std::max(v, 0.5) / 0.25);
+    const auto hit = gain_cache_.find(bucket);
+    if (hit != gain_cache_.end())
+        return hit->second;
+
+    // Discrete error dynamics: e = [d, psi];
+    //   d_{k+1}   = d_k + v dt psi_k
+    //   psi_{k+1} = psi_k + v dt u     (u = curvature command)
+    const double vdt = std::max(v, 0.5) * config_.dt;
+    const Matrix a{{1.0, vdt}, {0.0, 1.0}};
+    const Matrix b{{0.0}, {vdt}};
+    const Matrix q{{config_.q_lateral, 0.0}, {0.0, config_.q_heading}};
+    const Matrix r{{config_.r_curvature}};
+
+    // Backward Riccati recursion over the horizon.
+    Matrix p = q;
+    Matrix k(1, 2);
+    for (std::size_t i = 0; i < config_.horizon; ++i) {
+        const Matrix bt_p = b.transpose() * p;
+        const Matrix s = r + bt_p * b; // 1x1
+        const Matrix k_new = Matrix{{1.0 / s(0, 0)}} * (bt_p * a);
+        p = q + a.transpose() * p * (a - b * k_new);
+        k = k_new;
+    }
+    gain_cache_[bucket] = k;
+    return k;
+}
+
+MpcOutput
+MpcPlanner::plan(const PlannerInput &input) const
+{
+    MpcOutput out;
+    out.command.issued_at = input.now;
+
+    SOV_ASSERT(input.reference_path.size() >= 2);
+
+    // Project onto the reference path to get the error state.
+    const auto [s, lateral] =
+        input.reference_path.project(input.ego_pose.position);
+    const double path_heading = input.reference_path.headingAt(s);
+    const double heading_err =
+        wrapAngle(input.ego_pose.heading - path_heading);
+    out.lateral_error = lateral;
+    out.heading_error = heading_err;
+
+    // Lateral control: LQR feedback on [offset, heading error] plus
+    // the reference path's curvature as feedforward (pure feedback
+    // leaves a steady-state offset on curves).
+    const double lookahead = 1.0;
+    const double kappa_ref = wrapAngle(
+        input.reference_path.headingAt(s + lookahead) -
+        input.reference_path.headingAt(s)) / lookahead;
+    const Matrix k = lqrGain(input.ego_speed);
+    double curvature =
+        kappa_ref - (k(0, 0) * lateral + k(0, 1) * heading_err);
+    curvature = std::clamp(curvature, -config_.max_curvature,
+                           config_.max_curvature);
+    out.command.steer_curvature = curvature;
+
+    // Speed planning: obstacle-limited target speed.
+    const auto predictions = predictObjects(input.objects, input.now);
+    double target = input.speed_limit;
+    const auto collision = firstCollision(
+        input.reference_path, s, std::max(input.ego_speed, 1.0),
+        predictions);
+    if (collision) {
+        const double gap = collision->arc_length - config_.standoff;
+        if (gap <= 0.0) {
+            target = 0.0;
+            out.blocked = true;
+        } else {
+            // v = sqrt(2 a gap): comfortable stop at the standoff.
+            target = std::min(
+                target, std::sqrt(2.0 * config_.comfort_decel * gap));
+        }
+    }
+    out.target_speed = target;
+
+    // Longitudinal command toward the target speed.
+    const double dv = target - input.ego_speed;
+    double accel = std::clamp(dv / config_.dt, -config_.hard_decel,
+                              config_.max_accel);
+    out.command.acceleration = accel;
+    return out;
+}
+
+} // namespace sov

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared planning types: the control command sent over the CAN bus and
+ * the planner input snapshot.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/time.h"
+#include "math/geometry.h"
+#include "tracking/spatial_sync.h"
+
+namespace sov {
+
+/** The command the planner sends to the ECU (steer/brake/accelerate). */
+struct ControlCommand
+{
+    Timestamp issued_at;
+    double steer_curvature = 0.0; //!< commanded path curvature, 1/m
+    double acceleration = 0.0;    //!< m/s^2, negative = brake
+    bool emergency_brake = false; //!< reactive-path override flag
+};
+
+/** Everything the planner needs for one cycle. */
+struct PlannerInput
+{
+    Timestamp now;
+    Pose2 ego_pose;
+    double ego_speed = 0.0;       //!< m/s
+    Polyline2 reference_path;     //!< route center-line
+    std::vector<FusedObject> objects; //!< perceived obstacles
+    double speed_limit = 5.6;     //!< m/s for this segment
+};
+
+} // namespace sov

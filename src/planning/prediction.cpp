@@ -1,0 +1,34 @@
+#include "planning/prediction.h"
+
+#include <cmath>
+
+namespace sov {
+
+std::vector<ObjectPrediction>
+predictObjects(const std::vector<FusedObject> &objects, Timestamp now,
+               const PredictionConfig &config)
+{
+    std::vector<ObjectPrediction> predictions;
+    predictions.reserve(objects.size());
+    for (const auto &obj : objects) {
+        ObjectPrediction pred;
+        pred.track_id = obj.track_id;
+        pred.cls = obj.cls;
+        const double heading = obj.velocity.norm() > 0.1
+            ? std::atan2(obj.velocity.y(), obj.velocity.x())
+            : 0.0;
+        for (double dt = 0.0; dt <= config.horizon_s;
+             dt += config.step_s) {
+            PredictedState state;
+            state.time = now + Duration::seconds(dt);
+            state.footprint = OrientedBox2{
+                Pose2{obj.position + obj.velocity * dt, heading},
+                config.half_length, config.half_width};
+            pred.states.push_back(state);
+        }
+        predictions.push_back(std::move(pred));
+    }
+    return predictions;
+}
+
+} // namespace sov

@@ -1,0 +1,67 @@
+#include "platform/mapping.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov {
+
+std::string
+MappingOption::name() const
+{
+    return std::string("scene@") + toString(scene_platform) + "+loc@" +
+        toString(localization_platform);
+}
+
+MappingOption
+MappingExplorer::evaluate(Platform scene, Platform loc) const
+{
+    MappingOption option;
+    option.scene_platform = scene;
+    option.localization_platform = loc;
+    const bool shared = scene == Platform::Gtx1060 &&
+        loc == Platform::Gtx1060;
+    option.scene_latency =
+        model_.sceneUnderstandingLatency(scene, shared);
+    option.localization_latency =
+        model_.medianLatency(TaskKind::Localization, loc, shared);
+    return option;
+}
+
+std::vector<MappingOption>
+MappingExplorer::enumerate() const
+{
+    const Platform candidates[] = {Platform::Gtx1060, Platform::Tx2,
+                                   Platform::ZynqFpga};
+    std::vector<MappingOption> options;
+    for (const Platform scene : candidates)
+        for (const Platform loc : candidates)
+            options.push_back(evaluate(scene, loc));
+    std::sort(options.begin(), options.end(),
+              [](const MappingOption &a, const MappingOption &b) {
+                  return a.perceptionLatency() < b.perceptionLatency();
+              });
+    return options;
+}
+
+MappingOption
+MappingExplorer::best() const
+{
+    const auto options = enumerate();
+    SOV_ASSERT(!options.empty());
+    return options.front();
+}
+
+double
+MappingExplorer::endToEndReduction(const MappingOption &faster,
+                                   const MappingOption &slower,
+                                   Duration sensing_plus_planning)
+{
+    const Duration fast_total =
+        faster.perceptionLatency() + sensing_plus_planning;
+    const Duration slow_total =
+        slower.perceptionLatency() + sensing_plus_planning;
+    return 1.0 - fast_total / slow_total;
+}
+
+} // namespace sov

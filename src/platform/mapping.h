@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Algorithm-to-hardware mapping exploration (Sec. V-B2, Fig. 8).
+ *
+ * Enumerates assignments of the perception tasks (scene understanding,
+ * localization) to platforms, evaluates each with the calibrated
+ * model (contention included), and ranks them — reproducing the
+ * paper's conclusion: scene understanding on the GPU, localization on
+ * the FPGA, 1.6x perception speedup, ~23% end-to-end reduction.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform_model.h"
+
+namespace sov {
+
+/** One evaluated mapping. */
+struct MappingOption
+{
+    Platform scene_platform;
+    Platform localization_platform;
+    Duration scene_latency;
+    Duration localization_latency;
+
+    /** Perception latency = slower of the two parallel branches. */
+    Duration perceptionLatency() const
+    {
+        return std::max(scene_latency, localization_latency);
+    }
+
+    std::string name() const;
+};
+
+/** Mapping explorer. */
+class MappingExplorer
+{
+  public:
+    explicit MappingExplorer(const PlatformModel &model) : model_(model) {}
+
+    /**
+     * Evaluate all scene x localization platform assignments over the
+     * candidate platforms (GPU, TX2, FPGA — the CPU is never
+     * competitive for perception and is reserved for planning).
+     */
+    std::vector<MappingOption> enumerate() const;
+
+    /** The best mapping (minimum perception latency). */
+    MappingOption best() const;
+
+    /**
+     * End-to-end latency reduction of mapping @p a over @p b given the
+     * (mapping-independent) sensing + planning latency.
+     */
+    static double endToEndReduction(const MappingOption &faster,
+                                    const MappingOption &slower,
+                                    Duration sensing_plus_planning);
+
+  private:
+    MappingOption evaluate(Platform scene, Platform loc) const;
+
+    const PlatformModel &model_;
+};
+
+} // namespace sov

@@ -1,0 +1,142 @@
+#include "platform/platform_model.h"
+
+#include "core/logging.h"
+#include "platform/calibration.h"
+
+namespace sov {
+
+const char *
+toString(Platform p)
+{
+    switch (p) {
+      case Platform::CoffeeLakeCpu: return "cpu";
+      case Platform::Gtx1060: return "gpu";
+      case Platform::Tx2: return "tx2";
+      case Platform::ZynqFpga: return "fpga";
+    }
+    return "?";
+}
+
+const char *
+toString(TaskKind t)
+{
+    switch (t) {
+      case TaskKind::Sensing: return "sensing";
+      case TaskKind::DepthEstimation: return "depth-estimation";
+      case TaskKind::Detection: return "detection";
+      case TaskKind::KcfTracking: return "kcf-tracking";
+      case TaskKind::Localization: return "localization";
+      case TaskKind::MpcPlanning: return "mpc-planning";
+      case TaskKind::EmPlanning: return "em-planning";
+    }
+    return "?";
+}
+
+Duration
+LatencyProfile::sample(Rng &rng) const
+{
+    double ms = sigma_log > 0.0
+        ? rng.logNormal(median.toMillis(), sigma_log)
+        : median.toMillis();
+    if (tail_probability > 0.0 && rng.bernoulli(tail_probability))
+        ms += rng.exponential(1.0 / tail_scale_ms);
+    return Duration::millisF(ms);
+}
+
+namespace {
+
+std::size_t
+index(Platform p)
+{
+    return static_cast<std::size_t>(p);
+}
+
+} // namespace
+
+LatencyProfile
+PlatformModel::latency(TaskKind task, Platform platform,
+                       bool shared_gpu) const
+{
+    namespace cal = calibration;
+    const std::size_t i = index(platform);
+    double median_ms = 0.0;
+    double sigma = 0.0;
+    double tail_p = 0.0;
+    double tail_scale = 0.0;
+
+    switch (task) {
+      case TaskKind::Sensing:
+        median_ms = cal::kSensingMedianMs;
+        sigma = cal::kSensingSigmaLog;
+        tail_p = cal::kSensingTailProbability;
+        tail_scale = cal::kSensingTailScaleMs;
+        break;
+      case TaskKind::DepthEstimation:
+        median_ms = cal::kDepthMs[i];
+        sigma = 0.03;
+        break;
+      case TaskKind::Detection:
+        median_ms = cal::kDetectionMs[i];
+        sigma = cal::kDetectionSigmaLog;
+        tail_p = cal::kDetectionTailProbability;
+        tail_scale = cal::kDetectionTailScaleMs;
+        break;
+      case TaskKind::KcfTracking:
+        median_ms = cal::kKcfTrackingMs[i];
+        sigma = 0.2;
+        break;
+      case TaskKind::Localization:
+        median_ms = cal::kLocalizationMs[i];
+        sigma = cal::kLocalizationSigmaLog;
+        break;
+      case TaskKind::MpcPlanning:
+        median_ms = cal::kMpcPlanningMs;
+        sigma = 0.15;
+        break;
+      case TaskKind::EmPlanning:
+        median_ms = cal::kEmPlanningMs;
+        sigma = 0.2;
+        break;
+    }
+
+    // Contention hits the large scene-understanding kernels; the
+    // small localization kernel keeps its latency (Fig. 8).
+    const bool contended_task = task == TaskKind::DepthEstimation ||
+        task == TaskKind::Detection || task == TaskKind::KcfTracking;
+    if (shared_gpu && platform == Platform::Gtx1060 && contended_task)
+        median_ms *= cal::kSharedGpuContention;
+
+    return LatencyProfile{Duration::millisF(median_ms), sigma, tail_p,
+                          tail_scale};
+}
+
+Duration
+PlatformModel::medianLatency(TaskKind task, Platform platform,
+                             bool shared_gpu) const
+{
+    return latency(task, platform, shared_gpu).median;
+}
+
+Energy
+PlatformModel::energy(TaskKind task, Platform platform) const
+{
+    const Duration t = medianLatency(task, platform);
+    return Energy::joules(power(platform).toWatts() * t.toSeconds());
+}
+
+Power
+PlatformModel::power(Platform platform) const
+{
+    return Power::watts(
+        calibration::kPlatformPowerW[index(platform)]);
+}
+
+Duration
+PlatformModel::sceneUnderstandingLatency(Platform platform,
+                                         bool shared_gpu) const
+{
+    return medianLatency(TaskKind::DepthEstimation, platform, shared_gpu) +
+        medianLatency(TaskKind::Detection, platform, shared_gpu);
+}
+
+} // namespace sov

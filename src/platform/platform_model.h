@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Calibrated heterogeneous-platform timing/energy model (Sec. V).
+ *
+ * Maps (task, platform) to a latency distribution and energy cost,
+ * with the GPU-contention effect of Fig. 8. Latency distributions are
+ * log-normal: the medians come from the paper's measurements
+ * (calibration.h) and the sigmas reproduce the reported variation
+ * (e.g. localization 25 +- 14 ms from scene complexity).
+ */
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "core/units.h"
+
+namespace sov {
+
+/** Execution platforms of the design space (Sec. V-A/V-B). */
+enum class Platform { CoffeeLakeCpu, Gtx1060, Tx2, ZynqFpga };
+
+/** On-vehicle processing tasks with platform-dependent cost. */
+enum class TaskKind
+{
+    Sensing,        //!< camera pipeline on the FPGA's SoC
+    DepthEstimation,
+    Detection,
+    KcfTracking,    //!< visual-tracking baseline
+    Localization,
+    MpcPlanning,
+    EmPlanning,
+};
+
+const char *toString(Platform p);
+const char *toString(TaskKind t);
+
+/** Latency distribution of one (task, platform) pair. */
+struct LatencyProfile
+{
+    Duration median;
+    double sigma_log = 0.0;        //!< log-normal spread of the body
+    double tail_probability = 0.0; //!< chance of a rare stall
+    double tail_scale_ms = 0.0;    //!< exponential scale of the stall
+
+    /** Draw one latency sample (body jitter + occasional stall). */
+    Duration sample(Rng &rng) const;
+};
+
+/** The calibrated model. */
+class PlatformModel
+{
+  public:
+    PlatformModel() = default;
+
+    /**
+     * Latency profile of @p task on @p platform.
+     * @param shared_gpu Apply the Fig. 8 contention multiplier
+     *        (localization sharing the GPU with scene understanding).
+     */
+    LatencyProfile latency(TaskKind task, Platform platform,
+                           bool shared_gpu = false) const;
+
+    /** Median latency shortcut. */
+    Duration medianLatency(TaskKind task, Platform platform,
+                           bool shared_gpu = false) const;
+
+    /** Energy of one invocation = median latency x platform power. */
+    Energy energy(TaskKind task, Platform platform) const;
+
+    /** Active power of a platform. */
+    Power power(Platform platform) const;
+
+    /**
+     * Exclusive-GPU scene-understanding latency (depth + detection
+     * serialized on one platform) — the quantity Fig. 8 plots.
+     */
+    Duration sceneUnderstandingLatency(Platform platform,
+                                       bool shared_gpu = false) const;
+};
+
+} // namespace sov

@@ -1,0 +1,111 @@
+#include "platform/rpr.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov {
+
+RprResult
+RprEngine::reconfigure(std::uint64_t bitstream_bytes) const
+{
+    SOV_ASSERT(bitstream_bytes > 0);
+    const RprConfig &c = config_;
+
+    // Cycle-level producer/consumer simulation.
+    std::uint64_t cycles = 0;
+    std::uint64_t tx_remaining = bitstream_bytes; // not yet in FIFO
+    std::uint64_t rx_remaining = bitstream_bytes; // not yet in ICAP
+    std::uint32_t fifo_level = 0;
+    std::uint32_t burst_left = c.dram_burst_bytes;
+    std::uint32_t stall_left = 0;
+    std::uint64_t fifo_full_stalls = 0;
+    std::uint32_t icap_words_since_wait = 0;
+    std::uint32_t icap_wait_left = 0;
+
+    while (rx_remaining > 0) {
+        ++cycles;
+
+        // Tx side: push into the FIFO unless stalled or full.
+        if (tx_remaining > 0) {
+            if (stall_left > 0) {
+                --stall_left;
+            } else if (fifo_level + c.tx_word_bytes > c.fifo_bytes) {
+                ++fifo_full_stalls; // back-pressure from the Rx/ICAP
+            } else {
+                const std::uint32_t chunk = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(c.tx_word_bytes,
+                                            tx_remaining));
+                fifo_level += chunk;
+                tx_remaining -= chunk;
+                if (burst_left <= chunk) {
+                    // End of DRAM burst: pay the re-arbitration stall.
+                    stall_left = c.dram_stall_cycles;
+                    burst_left = c.dram_burst_bytes;
+                } else {
+                    burst_left -= chunk;
+                }
+            }
+        }
+
+        // Rx side: drain one ICAP word per cycle when available,
+        // honoring the ICAP's periodic wait states.
+        if (icap_wait_left > 0) {
+            --icap_wait_left;
+        } else if (fifo_level >= c.icap_word_bytes) {
+            fifo_level -= c.icap_word_bytes;
+            rx_remaining -= std::min<std::uint64_t>(c.icap_word_bytes,
+                                                    rx_remaining);
+            if (++icap_words_since_wait >= c.icap_wait_interval_words) {
+                icap_words_since_wait = 0;
+                icap_wait_left = c.icap_wait_cycles;
+            }
+        }
+    }
+
+    RprResult result;
+    result.cycles = cycles;
+    result.fifo_full_stalls = fifo_full_stalls;
+    result.duration =
+        Duration::seconds(static_cast<double>(cycles) / c.clock_hz);
+    result.energy = Energy::joules(c.power_w *
+                                   result.duration.toSeconds());
+    result.throughput_mb_s = static_cast<double>(bitstream_bytes) /
+        result.duration.toSeconds() / 1e6;
+    return result;
+}
+
+RprResult
+RprEngine::cpuDrivenReconfigure(std::uint64_t bitstream_bytes,
+                                double bytes_per_sec) const
+{
+    SOV_ASSERT(bytes_per_sec > 0.0);
+    RprResult result;
+    result.duration = Duration::seconds(
+        static_cast<double>(bitstream_bytes) / bytes_per_sec);
+    // CPU-driven path burns CPU power (~15 W active share) throughout.
+    result.energy =
+        Energy::joules(15.0 * result.duration.toSeconds());
+    result.throughput_mb_s = bytes_per_sec / 1e6;
+    result.cycles = 0;
+    return result;
+}
+
+Duration
+RprSchedule::meanFrameLatencyWithRpr(double switches_per_frame) const
+{
+    const double mean_compute =
+        keyframe_fraction * extraction.toMillis() +
+        (1.0 - keyframe_fraction) * tracking.toMillis();
+    return Duration::millisF(
+        mean_compute + switches_per_frame * reconfig_cost.toMillis());
+}
+
+Duration
+RprSchedule::meanFrameLatencyExtractionOnly() const
+{
+    // Without swapping, every frame pays the extraction-engine cost.
+    return extraction;
+}
+
+} // namespace sov

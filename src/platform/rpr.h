@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Runtime Partial Reconfiguration engine model (Sec. V-B3, Fig. 9).
+ *
+ * The paper's engine decouples receiving bitstream data from feeding
+ * the ICAP: a lightweight Tx DMA streams the bitstream from DRAM into
+ * a small FIFO in one handshake; an Rx drains the FIFO into the ICAP
+ * at the ICAP's word rate. We model the transfer cycle-by-cycle
+ * (DRAM burst stalls, FIFO back-pressure, ICAP word width) and the
+ * CPU-driven baseline, and expose the time-sharing economics of
+ * swapping the feature-extraction and feature-tracking accelerators.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace sov {
+
+/** RPR engine parameters (defaults from calibration.h). */
+struct RprConfig
+{
+    double clock_hz = 100e6;       //!< engine + ICAP clock
+    std::uint32_t icap_word_bytes = 4;
+    std::uint32_t fifo_bytes = 128;
+    /** Tx DRAM read: burst size and stall cycles between bursts. */
+    std::uint32_t dram_burst_bytes = 64;
+    std::uint32_t dram_stall_cycles = 2;
+    std::uint32_t tx_word_bytes = 8; //!< Tx pushes 8 B/cycle when able
+    /** The ICAP "is not designed to accept streaming data"
+     *  (Sec. V-B3): after this many words it inserts wait states. */
+    std::uint32_t icap_wait_interval_words = 32;
+    std::uint32_t icap_wait_cycles = 4;
+    double power_w = 0.73;
+};
+
+/** Result of one reconfiguration. */
+struct RprResult
+{
+    Duration duration;
+    Energy energy;
+    double throughput_mb_s = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t fifo_full_stalls = 0; //!< Tx cycles blocked by FIFO
+};
+
+/** The hardware RPR engine. */
+class RprEngine
+{
+  public:
+    explicit RprEngine(const RprConfig &config = {}) : config_(config) {}
+
+    /** Cycle-level simulation of transferring one bitstream. */
+    RprResult reconfigure(std::uint64_t bitstream_bytes) const;
+
+    /** CPU-driven baseline (Sec. V-B3: ~300 KB/s). */
+    RprResult cpuDrivenReconfigure(std::uint64_t bitstream_bytes,
+                                   double bytes_per_sec = 300e3) const;
+
+    /** Resource footprint reported in the paper. */
+    static constexpr std::uint32_t kLuts = 400;
+    static constexpr std::uint32_t kFlipFlops = 400;
+
+    const RprConfig &config() const { return config_; }
+
+  private:
+    RprConfig config_;
+};
+
+/**
+ * Time-sharing economics of RPR for the localization front-end
+ * (Sec. V-B3): key frames run feature *extraction*, non-key frames run
+ * feature *tracking* (50% faster). Swapping bitstreams costs
+ * reconfiguration time; spatially sharing the FPGA costs area and
+ * static power.
+ */
+struct RprSchedule
+{
+    double keyframe_fraction = 0.2;    //!< fraction of key frames
+    Duration extraction = Duration::millisF(20.0);
+    Duration tracking = Duration::millisF(10.0);
+    Duration reconfig_cost;            //!< per algorithm switch
+
+    /** Mean per-frame front-end latency with RPR swapping, assuming
+     *  key frames arrive in runs (two switches per run). */
+    Duration meanFrameLatencyWithRpr(double switches_per_frame) const;
+
+    /** Mean per-frame latency if only the (slower) extraction engine
+     *  fits the FPGA permanently. */
+    Duration meanFrameLatencyExtractionOnly() const;
+};
+
+} // namespace sov

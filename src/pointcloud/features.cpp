@@ -1,0 +1,151 @@
+#include "pointcloud/features.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "math/eigen.h"
+#include "math/matrix.h"
+
+namespace sov {
+
+std::vector<SurfaceNormal>
+estimateNormals(const PointCloud &cloud, const KdTree &tree, double radius,
+                MemTrace *trace)
+{
+    SOV_ASSERT(&tree.cloud() == &cloud);
+    std::vector<SurfaceNormal> normals(cloud.size());
+    for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+        const auto neighbors = tree.radiusSearch(cloud[i], radius, trace);
+        if (neighbors.size() < 3)
+            continue;
+
+        // Covariance of the neighborhood.
+        Vec3 mean = Vec3::zero();
+        for (const auto &n : neighbors)
+            mean += cloud[n.index];
+        mean = mean / static_cast<double>(neighbors.size());
+
+        Matrix cov = Matrix::zero(3, 3);
+        for (const auto &n : neighbors) {
+            const Vec3 d = cloud[n.index] - mean;
+            for (std::size_t r = 0; r < 3; ++r)
+                for (std::size_t c = 0; c < 3; ++c)
+                    cov(r, c) += d[r] * d[c];
+        }
+        cov = cov * (1.0 / static_cast<double>(neighbors.size()));
+
+        const EigenDecomposition eig = symmetricEigen(cov);
+        Vec3 normal(eig.vectors(0, 0), eig.vectors(1, 0),
+                    eig.vectors(2, 0));
+        if (normal.norm() < 1e-12)
+            continue;
+        normal = normal.normalized();
+        if (normal.z() < 0.0)
+            normal = -normal; // consistent orientation
+
+        const double total =
+            eig.values[0] + eig.values[1] + eig.values[2];
+        normals[i].normal = normal;
+        normals[i].curvature =
+            total > 1e-12 ? eig.values[0] / total : 0.0;
+        normals[i].valid = true;
+    }
+    return normals;
+}
+
+std::vector<std::uint32_t>
+curvatureKeypoints(const PointCloud &cloud, const KdTree &tree,
+                   const std::vector<SurfaceNormal> &normals,
+                   double radius, double curvature_threshold,
+                   MemTrace *trace)
+{
+    SOV_ASSERT(&tree.cloud() == &cloud);
+    SOV_ASSERT(normals.size() == cloud.size());
+    std::vector<std::uint32_t> keypoints;
+    for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+        if (!normals[i].valid ||
+            normals[i].curvature < curvature_threshold) {
+            continue;
+        }
+        const auto neighbors = tree.radiusSearch(cloud[i], radius, trace);
+        bool is_max = true;
+        for (const auto &n : neighbors) {
+            if (n.index != i && normals[n.index].valid &&
+                normals[n.index].curvature > normals[i].curvature) {
+                is_max = false;
+                break;
+            }
+        }
+        if (is_max)
+            keypoints.push_back(i);
+    }
+    return keypoints;
+}
+
+double
+Descriptor::distanceTo(const Descriptor &o) const
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < kBins; ++i) {
+        const double d = bins[i] - o.bins[i];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+std::vector<Descriptor>
+computeDescriptors(const PointCloud &cloud, const KdTree &tree,
+                   const std::vector<std::uint32_t> &keypoints,
+                   double radius, MemTrace *trace)
+{
+    SOV_ASSERT(&tree.cloud() == &cloud);
+    std::vector<Descriptor> descriptors(keypoints.size());
+    for (std::size_t k = 0; k < keypoints.size(); ++k) {
+        const Vec3 &center = cloud[keypoints[k]];
+        const auto neighbors = tree.radiusSearch(center, radius, trace);
+        if (neighbors.empty())
+            continue;
+        Descriptor &d = descriptors[k];
+        for (const auto &n : neighbors) {
+            const double dist = std::sqrt(n.squared_distance);
+            auto bin = static_cast<std::size_t>(
+                dist / radius * Descriptor::kBins);
+            if (bin >= Descriptor::kBins)
+                bin = Descriptor::kBins - 1;
+            d.bins[bin] += 1.0;
+        }
+        // Normalize to neighborhood size for density invariance.
+        for (auto &b : d.bins)
+            b /= static_cast<double>(neighbors.size());
+    }
+    return descriptors;
+}
+
+std::vector<Correspondence>
+matchDescriptors(const std::vector<Descriptor> &query,
+                 const std::vector<Descriptor> &train, double ratio)
+{
+    std::vector<Correspondence> matches;
+    if (train.empty())
+        return matches;
+    for (std::uint32_t q = 0; q < query.size(); ++q) {
+        double best = std::numeric_limits<double>::max();
+        double second = best;
+        std::uint32_t best_idx = 0;
+        for (std::uint32_t t = 0; t < train.size(); ++t) {
+            const double d = query[q].distanceTo(train[t]);
+            if (d < best) {
+                second = best;
+                best = d;
+                best_idx = t;
+            } else if (d < second) {
+                second = d;
+            }
+        }
+        if (train.size() == 1 || best < ratio * second)
+            matches.push_back(Correspondence{q, best_idx, best});
+    }
+    return matches;
+}
+
+} // namespace sov

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Surface normals, curvature keypoints, and descriptor matching — the
+ * "Recognition" workload of Fig. 4b (PCL-style 3-D object recognition:
+ * normal estimation -> keypoints -> descriptors -> correspondence).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/mem_trace.h"
+#include "pointcloud/kdtree.h"
+#include "pointcloud/point_cloud.h"
+
+namespace sov {
+
+/** Normal + curvature at one point. */
+struct SurfaceNormal
+{
+    Vec3 normal;      //!< unit, sign-disambiguated toward +z
+    double curvature; //!< lambda0 / (lambda0+lambda1+lambda2)
+    bool valid = false;
+};
+
+/**
+ * PCA normal estimation over a radius neighborhood.
+ * Points with fewer than 3 neighbors get valid == false.
+ */
+std::vector<SurfaceNormal> estimateNormals(const PointCloud &cloud,
+                                           const KdTree &tree,
+                                           double radius,
+                                           MemTrace *trace = nullptr);
+
+/**
+ * Indices of curvature keypoints: local curvature above
+ * @p curvature_threshold and maximal within @p radius.
+ */
+std::vector<std::uint32_t> curvatureKeypoints(
+    const PointCloud &cloud, const KdTree &tree,
+    const std::vector<SurfaceNormal> &normals,
+    double radius, double curvature_threshold,
+    MemTrace *trace = nullptr);
+
+/** A simple rotation-invariant neighborhood descriptor (radial
+ *  distance histogram, 8 bins). */
+struct Descriptor
+{
+    static constexpr std::size_t kBins = 8;
+    double bins[kBins] = {};
+
+    /** L2 distance between descriptors. */
+    double distanceTo(const Descriptor &o) const;
+};
+
+/** Compute descriptors at the given keypoints. */
+std::vector<Descriptor> computeDescriptors(
+    const PointCloud &cloud, const KdTree &tree,
+    const std::vector<std::uint32_t> &keypoints, double radius,
+    MemTrace *trace = nullptr);
+
+/** A matched keypoint pair (indices into the two keypoint arrays). */
+struct Correspondence
+{
+    std::uint32_t query;
+    std::uint32_t match;
+    double distance;
+};
+
+/**
+ * Greedy nearest-descriptor matching with a ratio test.
+ * @param ratio Lowe-style threshold; best/second-best must be below it.
+ */
+std::vector<Correspondence> matchDescriptors(
+    const std::vector<Descriptor> &query,
+    const std::vector<Descriptor> &train, double ratio = 0.8);
+
+} // namespace sov

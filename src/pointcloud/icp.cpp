@@ -1,0 +1,81 @@
+#include "pointcloud/icp.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "math/matrix.h"
+
+namespace sov {
+
+IcpResult
+icpAlign(const PointCloud &source, const PointCloud &target,
+         const KdTree &target_tree, const RigidTransform &initial_guess,
+         const IcpConfig &config, MemTrace *trace)
+{
+    SOV_ASSERT(!source.empty() && !target.empty());
+    IcpResult result;
+    result.transform = initial_guess;
+
+    const double max_d2 = config.max_correspondence_distance *
+        config.max_correspondence_distance;
+
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Accumulate the normal equations J^T J x = -J^T r over all
+        // correspondences; x = [theta(3); t(3)].
+        Matrix jtj = Matrix::zero(6, 6);
+        Matrix jtr = Matrix::zero(6, 1);
+        double error_sum = 0.0;
+        std::size_t inliers = 0;
+
+        for (std::size_t i = 0; i < source.size(); ++i) {
+            if (trace)
+                trace->touchPoint(source.id(),
+                                  static_cast<std::uint32_t>(i));
+            const Vec3 p = result.transform.apply(source[i]);
+            const auto nn = target_tree.nearest(p, trace);
+            if (!nn || nn->squared_distance > max_d2)
+                continue;
+            const Vec3 q = target[nn->index];
+            const Vec3 r = p - q;
+            error_sum += std::sqrt(nn->squared_distance);
+            ++inliers;
+
+            // J = [-skew(p) | I]; accumulate J^T J and J^T r directly.
+            const Matrix skew_p = Matrix::skew(p);
+            Matrix j(3, 6);
+            j.setBlock(0, 0, skew_p * -1.0);
+            j.setBlock(0, 3, Matrix::identity(3));
+            const Matrix jt = j.transpose();
+            jtj += jt * j;
+            jtr += jt * Matrix::columnVector({r.x(), r.y(), r.z()});
+        }
+
+        if (inliers < 3)
+            break; // degenerate; keep the current estimate
+        result.mean_error = error_sum / static_cast<double>(inliers);
+
+        // Levenberg damping keeps the solve well-conditioned when the
+        // geometry is thin (e.g., planar ground scans).
+        for (std::size_t d = 0; d < 6; ++d)
+            jtj(d, d) += 1e-6;
+
+        const Matrix x = jtj.choleskySolve(jtr * -1.0);
+        const Vec3 theta(x.at(0), x.at(1), x.at(2));
+        const Vec3 dt(x.at(3), x.at(4), x.at(5));
+
+        result.transform.rotation =
+            (Quat::fromAxisAngle(theta) * result.transform.rotation)
+                .normalized();
+        result.transform.translation += dt;
+
+        if (x.norm() < config.convergence_threshold) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace sov

@@ -1,0 +1,200 @@
+#include "pointcloud/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace sov {
+
+KdTree::KdTree(const PointCloud &cloud, std::uint32_t tree_id)
+    : cloud_(cloud), tree_id_(tree_id)
+{
+    indices_.resize(cloud.size());
+    std::iota(indices_.begin(), indices_.end(), 0u);
+    if (!cloud.empty())
+        root_ = build(0, static_cast<std::uint32_t>(cloud.size()), 0);
+}
+
+std::int32_t
+KdTree::build(std::uint32_t begin, std::uint32_t end, int depth)
+{
+    Node node;
+    if (end - begin <= kLeafSize) {
+        node.leaf = true;
+        node.begin = begin;
+        node.end = end;
+        nodes_.push_back(node);
+        return static_cast<std::int32_t>(nodes_.size() - 1);
+    }
+
+    // Split on the widest dimension of this subset's bounding box.
+    Vec3 lo = cloud_[indices_[begin]];
+    Vec3 hi = lo;
+    for (std::uint32_t i = begin; i < end; ++i) {
+        const Vec3 &p = cloud_[indices_[i]];
+        for (std::size_t d = 0; d < 3; ++d) {
+            lo[d] = std::min(lo[d], p[d]);
+            hi[d] = std::max(hi[d], p[d]);
+        }
+    }
+    std::uint8_t dim = 0;
+    double widest = hi[0] - lo[0];
+    for (std::uint8_t d = 1; d < 3; ++d) {
+        if (hi[d] - lo[d] > widest) {
+            widest = hi[d] - lo[d];
+            dim = d;
+        }
+    }
+
+    const std::uint32_t mid = (begin + end) / 2;
+    std::nth_element(indices_.begin() + begin, indices_.begin() + mid,
+                     indices_.begin() + end,
+                     [this, dim](std::uint32_t a, std::uint32_t b) {
+                         return cloud_[a][dim] < cloud_[b][dim];
+                     });
+
+    node.dim = dim;
+    node.split = static_cast<float>(cloud_[indices_[mid]][dim]);
+    nodes_.push_back(node);
+    const std::int32_t self = static_cast<std::int32_t>(nodes_.size() - 1);
+    const std::int32_t left = build(begin, mid, depth + 1);
+    const std::int32_t right = build(mid, end, depth + 1);
+    nodes_[self].left = left;
+    nodes_[self].right = right;
+    return self;
+}
+
+std::optional<Neighbor>
+KdTree::nearest(const Vec3 &query, MemTrace *trace) const
+{
+    if (root_ < 0)
+        return std::nullopt;
+    Neighbor best{0, std::numeric_limits<double>::max()};
+    searchNearest(root_, query, best, trace);
+    return best;
+}
+
+void
+KdTree::searchNearest(std::int32_t node_id, const Vec3 &query,
+                      Neighbor &best, MemTrace *trace) const
+{
+    const Node &node = nodes_[node_id];
+    if (trace)
+        trace->touchNode(tree_id_, static_cast<std::uint32_t>(node_id));
+
+    if (node.leaf) {
+        for (std::uint32_t i = node.begin; i < node.end; ++i) {
+            const std::uint32_t idx = indices_[i];
+            if (trace)
+                trace->touchPoint(cloud_.id(), idx);
+            const double d2 = (cloud_[idx] - query).squaredNorm();
+            if (d2 < best.squared_distance)
+                best = Neighbor{idx, d2};
+        }
+        return;
+    }
+
+    const double delta = query[node.dim] - node.split;
+    const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+    searchNearest(near, query, best, trace);
+    if (delta * delta < best.squared_distance)
+        searchNearest(far, query, best, trace);
+}
+
+std::vector<Neighbor>
+KdTree::radiusSearch(const Vec3 &query, double radius,
+                     MemTrace *trace) const
+{
+    std::vector<Neighbor> out;
+    if (root_ >= 0)
+        searchRadius(root_, query, radius * radius, out, trace);
+    return out;
+}
+
+void
+KdTree::searchRadius(std::int32_t node_id, const Vec3 &query,
+                     double radius2, std::vector<Neighbor> &out,
+                     MemTrace *trace) const
+{
+    const Node &node = nodes_[node_id];
+    if (trace)
+        trace->touchNode(tree_id_, static_cast<std::uint32_t>(node_id));
+
+    if (node.leaf) {
+        for (std::uint32_t i = node.begin; i < node.end; ++i) {
+            const std::uint32_t idx = indices_[i];
+            if (trace)
+                trace->touchPoint(cloud_.id(), idx);
+            const double d2 = (cloud_[idx] - query).squaredNorm();
+            if (d2 <= radius2)
+                out.push_back(Neighbor{idx, d2});
+        }
+        return;
+    }
+
+    const double delta = query[node.dim] - node.split;
+    const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+    searchRadius(near, query, radius2, out, trace);
+    if (delta * delta <= radius2)
+        searchRadius(far, query, radius2, out, trace);
+}
+
+std::vector<Neighbor>
+KdTree::kNearest(const Vec3 &query, std::size_t k, MemTrace *trace) const
+{
+    std::vector<Neighbor> heap; // max-heap on squared distance
+    if (root_ >= 0 && k > 0)
+        searchKNearest(root_, query, k, heap, trace);
+    std::sort(heap.begin(), heap.end(),
+              [](const Neighbor &a, const Neighbor &b) {
+                  return a.squared_distance < b.squared_distance;
+              });
+    return heap;
+}
+
+void
+KdTree::searchKNearest(std::int32_t node_id, const Vec3 &query,
+                       std::size_t k, std::vector<Neighbor> &heap,
+                       MemTrace *trace) const
+{
+    const auto cmp = [](const Neighbor &a, const Neighbor &b) {
+        return a.squared_distance < b.squared_distance;
+    };
+    const Node &node = nodes_[node_id];
+    if (trace)
+        trace->touchNode(tree_id_, static_cast<std::uint32_t>(node_id));
+
+    if (node.leaf) {
+        for (std::uint32_t i = node.begin; i < node.end; ++i) {
+            const std::uint32_t idx = indices_[i];
+            if (trace)
+                trace->touchPoint(cloud_.id(), idx);
+            const double d2 = (cloud_[idx] - query).squaredNorm();
+            if (heap.size() < k) {
+                heap.push_back(Neighbor{idx, d2});
+                std::push_heap(heap.begin(), heap.end(), cmp);
+            } else if (d2 < heap.front().squared_distance) {
+                std::pop_heap(heap.begin(), heap.end(), cmp);
+                heap.back() = Neighbor{idx, d2};
+                std::push_heap(heap.begin(), heap.end(), cmp);
+            }
+        }
+        return;
+    }
+
+    const double delta = query[node.dim] - node.split;
+    const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+    searchKNearest(near, query, k, heap, trace);
+    const double worst = heap.size() < k
+        ? std::numeric_limits<double>::max()
+        : heap.front().squared_distance;
+    if (delta * delta < worst)
+        searchKNearest(far, query, k, heap, trace);
+}
+
+} // namespace sov

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * 3-D kd-tree for neighbor search — the irregular kernel at the heart
+ * of LiDAR processing (Sec. III-D: "LiDAR processing relies on
+ * irregular kernels (e.g., neighbor search)").
+ *
+ * All queries optionally report the points and tree nodes they touch
+ * to a MemTrace, which is how Fig. 4a (reuse irregularity) and Fig. 4b
+ * (off-chip traffic) are measured.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "memsim/mem_trace.h"
+#include "pointcloud/point_cloud.h"
+
+namespace sov {
+
+/** Result of a nearest-neighbor query. */
+struct Neighbor
+{
+    std::uint32_t index;
+    double squared_distance;
+};
+
+/** Static kd-tree over a point cloud (median split, leaf size 8). */
+class KdTree
+{
+  public:
+    /**
+     * Build from a cloud. The cloud must outlive the tree.
+     * @param tree_id Identifier for address-trace purposes.
+     */
+    KdTree(const PointCloud &cloud, std::uint32_t tree_id = 0);
+
+    /** Nearest neighbor of @p query; nullopt on an empty cloud. */
+    std::optional<Neighbor> nearest(const Vec3 &query,
+                                    MemTrace *trace = nullptr) const;
+
+    /** All points within @p radius of @p query (unsorted). */
+    std::vector<Neighbor> radiusSearch(const Vec3 &query, double radius,
+                                       MemTrace *trace = nullptr) const;
+
+    /** The k nearest neighbors, closest first. */
+    std::vector<Neighbor> kNearest(const Vec3 &query, std::size_t k,
+                                   MemTrace *trace = nullptr) const;
+
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /** The cloud this tree indexes (results index into it). */
+    const PointCloud &cloud() const { return cloud_; }
+
+  private:
+    struct Node
+    {
+        // Internal node: split dimension/value and children.
+        // Leaf: begin/end range into indices_.
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+        float split = 0.0f;
+        std::uint8_t dim = 0;
+        bool leaf = false;
+    };
+
+    std::int32_t build(std::uint32_t begin, std::uint32_t end, int depth);
+
+    void searchNearest(std::int32_t node, const Vec3 &query,
+                       Neighbor &best, MemTrace *trace) const;
+    void searchRadius(std::int32_t node, const Vec3 &query, double radius2,
+                      std::vector<Neighbor> &out, MemTrace *trace) const;
+    void searchKNearest(std::int32_t node, const Vec3 &query, std::size_t k,
+                        std::vector<Neighbor> &heap, MemTrace *trace) const;
+
+    const PointCloud &cloud_;
+    std::uint32_t tree_id_;
+    std::vector<std::uint32_t> indices_;
+    std::vector<Node> nodes_;
+    std::int32_t root_ = -1;
+
+    static constexpr std::uint32_t kLeafSize = 8;
+};
+
+} // namespace sov

@@ -1,0 +1,73 @@
+#include "pointcloud/lidar_model.h"
+
+#include <cmath>
+
+namespace sov {
+
+PointCloud
+LidarModel::scan(const World &world, const Pose2 &pose, Timestamp t,
+                 std::uint32_t cloud_id)
+{
+    PointCloud cloud(cloud_id);
+    cloud.reserve(config_.rings * config_.azimuth_steps / 4);
+
+    const double min_el = config_.min_elevation_deg * M_PI / 180.0;
+    const double max_el = config_.max_elevation_deg * M_PI / 180.0;
+
+    for (std::uint32_t ring = 0; ring < config_.rings; ++ring) {
+        const double elevation = config_.rings > 1
+            ? min_el + (max_el - min_el) * ring / (config_.rings - 1)
+            : 0.0;
+        const double cos_el = std::cos(elevation);
+        const double sin_el = std::sin(elevation);
+
+        for (std::uint32_t a = 0; a < config_.azimuth_steps; ++a) {
+            const double azimuth = pose.heading +
+                2.0 * M_PI * a / config_.azimuth_steps;
+            const Vec2 dir2(std::cos(azimuth), std::sin(azimuth));
+
+            // Obstacle hit: planar raycast; the beam strikes the box if
+            // the hit point is below the obstacle's height.
+            double range = config_.max_range;
+            bool hit = false;
+            double hit_z = 0.0;
+            if (const auto d = world.raycast(pose.position, dir2,
+                                             config_.max_range, t)) {
+                const double horizontal = *d;
+                const double beam_z = config_.mount_height +
+                    horizontal / cos_el * sin_el;
+                // Find which obstacle to check height against: use the
+                // tallest plausible obstacle height (conservative).
+                if (beam_z >= 0.0 && beam_z <= 2.5 && horizontal > 0.01) {
+                    range = horizontal / cos_el;
+                    hit = true;
+                    hit_z = beam_z;
+                }
+            }
+
+            // Ground intersection for downward beams that miss objects.
+            if (!hit && sin_el < -1e-6) {
+                const double ground_range =
+                    -config_.mount_height / sin_el;
+                if (ground_range <= config_.max_range) {
+                    range = ground_range;
+                    hit = true;
+                    hit_z = 0.0;
+                }
+            }
+
+            if (!hit)
+                continue; // beam escapes to the sky
+
+            const double noisy =
+                range + rng_.gaussian(0.0, config_.range_noise_sigma);
+            const double horizontal = noisy * cos_el;
+            cloud.add(Vec3(pose.position.x() + dir2.x() * horizontal,
+                           pose.position.y() + dir2.y() * horizontal,
+                           hit_z));
+        }
+    }
+    return cloud;
+}
+
+} // namespace sov

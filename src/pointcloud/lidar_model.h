@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic spinning-LiDAR model.
+ *
+ * We do not mount LiDARs (Sec. III-D argues against them), but the
+ * case-study needs realistic point clouds to characterize. This model
+ * raycasts a Velodyne-style scan pattern (rings of azimuth steps at
+ * several elevation angles) against the world's obstacles and the
+ * ground plane, producing clouds with the irregular spatial density of
+ * real scans.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "math/geometry.h"
+#include "pointcloud/point_cloud.h"
+#include "world/world.h"
+
+namespace sov {
+
+/** Scan-pattern parameters (defaults approximate a 16-ring unit). */
+struct LidarConfig
+{
+    std::uint32_t rings = 16;          //!< elevation channels
+    std::uint32_t azimuth_steps = 900; //!< horizontal samples per rev
+    double min_elevation_deg = -15.0;
+    double max_elevation_deg = 15.0;
+    double max_range = 60.0;           //!< meters
+    double range_noise_sigma = 0.02;   //!< paper: ~2 cm ToF precision
+    double mount_height = 1.8;         //!< meters above ground
+};
+
+/** Synthetic LiDAR attached to the ego vehicle. */
+class LidarModel
+{
+  public:
+    LidarModel(const LidarConfig &config, Rng rng)
+        : config_(config), rng_(std::move(rng)) {}
+
+    /**
+     * Capture one scan from @p pose at time @p t.
+     * @param cloud_id Id to stamp onto the produced cloud.
+     */
+    PointCloud scan(const World &world, const Pose2 &pose, Timestamp t,
+                    std::uint32_t cloud_id);
+
+    const LidarConfig &config() const { return config_; }
+
+  private:
+    LidarConfig config_;
+    Rng rng_;
+};
+
+} // namespace sov

@@ -1,0 +1,56 @@
+#include "pointcloud/point_cloud.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov {
+
+Vec3
+PointCloud::centroid() const
+{
+    if (points_.empty())
+        return Vec3::zero();
+    Vec3 sum = Vec3::zero();
+    for (const auto &p : points_)
+        sum += p;
+    return sum / static_cast<double>(points_.size());
+}
+
+PointCloud
+PointCloud::transformed(const Quat &rotation, const Vec3 &translation) const
+{
+    PointCloud out(id_);
+    out.reserve(points_.size());
+    for (const auto &p : points_)
+        out.add(rotation.rotate(p) + translation);
+    return out;
+}
+
+std::pair<Vec3, Vec3>
+PointCloud::bounds() const
+{
+    SOV_ASSERT(!points_.empty());
+    Vec3 lo = points_.front();
+    Vec3 hi = points_.front();
+    for (const auto &p : points_) {
+        for (std::size_t d = 0; d < 3; ++d) {
+            lo[d] = std::min(lo[d], p[d]);
+            hi[d] = std::max(hi[d], p[d]);
+        }
+    }
+    return {lo, hi};
+}
+
+PointCloud
+PointCloud::downsampled(std::size_t stride) const
+{
+    SOV_ASSERT(stride >= 1);
+    PointCloud out(id_);
+    out.reserve(points_.size() / stride + 1);
+    for (std::size_t i = 0; i < points_.size(); i += stride)
+        out.add(points_[i]);
+    return out;
+}
+
+} // namespace sov

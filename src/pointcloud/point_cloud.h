@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Point cloud container for the LiDAR processing case-study (Sec. III-D).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/quat.h"
+#include "math/vec.h"
+
+namespace sov {
+
+/**
+ * A 3-D point cloud with a stable id used by the memory-trace
+ * instrumentation to assign addresses.
+ */
+class PointCloud
+{
+  public:
+    PointCloud() = default;
+    explicit PointCloud(std::uint32_t id) : id_(id) {}
+    PointCloud(std::uint32_t id, std::vector<Vec3> points)
+        : id_(id), points_(std::move(points)) {}
+
+    std::uint32_t id() const { return id_; }
+    void setId(std::uint32_t id) { id_ = id; }
+
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    const Vec3 &operator[](std::size_t i) const { return points_[i]; }
+    Vec3 &operator[](std::size_t i) { return points_[i]; }
+    const std::vector<Vec3> &points() const { return points_; }
+
+    void add(const Vec3 &p) { points_.push_back(p); }
+    void clear() { points_.clear(); }
+    void reserve(std::size_t n) { points_.reserve(n); }
+
+    /** Centroid of all points; zero for an empty cloud. */
+    Vec3 centroid() const;
+
+    /** Rigidly transformed copy: p' = R p + t. */
+    PointCloud transformed(const Quat &rotation, const Vec3 &translation)
+        const;
+
+    /** Axis-aligned bounds as (min, max) corners. */
+    std::pair<Vec3, Vec3> bounds() const;
+
+    /** Uniformly subsampled copy keeping every @p stride-th point. */
+    PointCloud downsampled(std::size_t stride) const;
+
+  private:
+    std::uint32_t id_ = 0;
+    std::vector<Vec3> points_;
+};
+
+} // namespace sov

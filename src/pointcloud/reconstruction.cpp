@@ -1,0 +1,77 @@
+#include "pointcloud/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/logging.h"
+
+namespace sov {
+
+double
+Mesh::surfaceArea(const PointCloud &cloud) const
+{
+    double area = 0.0;
+    for (const auto &t : triangles) {
+        const Vec3 ab = cloud[t.b] - cloud[t.a];
+        const Vec3 ac = cloud[t.c] - cloud[t.a];
+        area += 0.5 * ab.cross(ac).norm();
+    }
+    return area;
+}
+
+Mesh
+greedyTriangulation(const PointCloud &cloud, const KdTree &tree,
+                    const ReconstructionConfig &config, MemTrace *trace)
+{
+    SOV_ASSERT(&tree.cloud() == &cloud);
+    Mesh mesh;
+    const double max_edge2 =
+        config.max_edge_length * config.max_edge_length;
+
+    // Edges already used by two triangles are closed.
+    std::set<std::pair<std::uint32_t, std::uint32_t>> used_edges;
+    const auto edge_key = [](std::uint32_t x, std::uint32_t y) {
+        return std::make_pair(std::min(x, y), std::max(x, y));
+    };
+
+    for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+        if (trace)
+            trace->touchPoint(cloud.id(), i);
+        auto neighbors = tree.kNearest(cloud[i], config.max_neighbors + 1,
+                                       trace);
+        // Drop the query point itself.
+        std::erase_if(neighbors,
+                      [i](const Neighbor &n) { return n.index == i; });
+
+        // Fan-triangulate consecutive neighbor pairs around i.
+        for (std::size_t a = 0; a + 1 < neighbors.size(); ++a) {
+            const std::uint32_t na = neighbors[a].index;
+            const std::uint32_t nb = neighbors[a + 1].index;
+            if (na <= i || nb <= i)
+                continue; // each triangle emitted once (by lowest index)
+            if ((cloud[na] - cloud[nb]).squaredNorm() > max_edge2 ||
+                neighbors[a].squared_distance > max_edge2 ||
+                neighbors[a + 1].squared_distance > max_edge2) {
+                continue;
+            }
+            const auto e1 = edge_key(i, na);
+            const auto e2 = edge_key(i, nb);
+            const auto e3 = edge_key(na, nb);
+            if (used_edges.count(e3))
+                continue; // opposite edge already meshed
+            // Reject degenerate slivers.
+            const Vec3 ab = cloud[na] - cloud[i];
+            const Vec3 ac = cloud[nb] - cloud[i];
+            if (ab.cross(ac).norm() < 1e-9)
+                continue;
+            mesh.triangles.push_back(Triangle{i, na, nb});
+            used_edges.insert(e1);
+            used_edges.insert(e2);
+            used_edges.insert(e3);
+        }
+    }
+    return mesh;
+}
+
+} // namespace sov

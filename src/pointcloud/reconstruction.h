@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Greedy surface reconstruction — the "Reconstruction" workload of
+ * Fig. 4b. A greedy-projection-triangulation-style mesher: for each
+ * point, triangulate its local neighborhood ring, skipping triangles
+ * that duplicate already-meshed edges.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/mem_trace.h"
+#include "pointcloud/kdtree.h"
+#include "pointcloud/point_cloud.h"
+
+namespace sov {
+
+/** A mesh triangle referencing cloud point indices. */
+struct Triangle
+{
+    std::uint32_t a, b, c;
+};
+
+/** Parameters of the greedy mesher. */
+struct ReconstructionConfig
+{
+    /** Neighborhood search radius (meters). */
+    double radius = 1.0;
+    /** Maximum edge length accepted into the mesh. */
+    double max_edge_length = 1.5;
+    /** Neighbors considered per point. */
+    std::size_t max_neighbors = 12;
+};
+
+/** Result of surface reconstruction. */
+struct Mesh
+{
+    std::vector<Triangle> triangles;
+
+    /** Total surface area of the mesh. */
+    double surfaceArea(const PointCloud &cloud) const;
+};
+
+/**
+ * Greedy triangulation of @p cloud.
+ * @param trace Optional memory-trace instrumentation.
+ */
+Mesh greedyTriangulation(const PointCloud &cloud, const KdTree &tree,
+                         const ReconstructionConfig &config = {},
+                         MemTrace *trace = nullptr);
+
+} // namespace sov

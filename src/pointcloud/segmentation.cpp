@@ -1,0 +1,68 @@
+#include "pointcloud/segmentation.h"
+
+#include <queue>
+
+#include "core/logging.h"
+
+namespace sov {
+
+std::vector<Cluster>
+euclideanClusters(const PointCloud &cloud, const KdTree &tree,
+                  const SegmentationConfig &config, MemTrace *trace)
+{
+    SOV_ASSERT(&tree.cloud() == &cloud);
+    std::vector<Cluster> clusters;
+    std::vector<bool> visited(cloud.size(), false);
+
+    for (std::uint32_t seed = 0; seed < cloud.size(); ++seed) {
+        if (visited[seed])
+            continue;
+        visited[seed] = true;
+
+        Cluster cluster;
+        std::queue<std::uint32_t> frontier;
+        frontier.push(seed);
+        while (!frontier.empty()) {
+            const std::uint32_t idx = frontier.front();
+            frontier.pop();
+            cluster.indices.push_back(idx);
+            if (trace)
+                trace->touchPoint(cloud.id(), idx);
+
+            const auto neighbors = tree.radiusSearch(
+                cloud[idx], config.cluster_tolerance, trace);
+            for (const auto &n : neighbors) {
+                if (!visited[n.index]) {
+                    visited[n.index] = true;
+                    frontier.push(n.index);
+                }
+            }
+        }
+
+        if (cluster.indices.size() < config.min_cluster_size ||
+            cluster.indices.size() > config.max_cluster_size) {
+            continue;
+        }
+        Vec3 sum = Vec3::zero();
+        for (const auto idx : cluster.indices)
+            sum += cloud[idx];
+        cluster.centroid =
+            sum / static_cast<double>(cluster.indices.size());
+        clusters.push_back(std::move(cluster));
+    }
+    return clusters;
+}
+
+std::vector<std::uint32_t>
+removeGround(const PointCloud &cloud, double ground_z_threshold)
+{
+    std::vector<std::uint32_t> keep;
+    keep.reserve(cloud.size());
+    for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+        if (cloud[i].z() > ground_z_threshold)
+            keep.push_back(i);
+    }
+    return keep;
+}
+
+} // namespace sov

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Euclidean cluster segmentation — the "Segmentation" workload of
+ * Fig. 4b. Groups points whose mutual distance is below a tolerance,
+ * the PCL EuclideanClusterExtraction equivalent.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/mem_trace.h"
+#include "pointcloud/kdtree.h"
+#include "pointcloud/point_cloud.h"
+
+namespace sov {
+
+/** Parameters of Euclidean clustering. */
+struct SegmentationConfig
+{
+    double cluster_tolerance = 0.5; //!< meters
+    std::size_t min_cluster_size = 5;
+    std::size_t max_cluster_size = 100000;
+};
+
+/** One extracted cluster: indices into the source cloud. */
+struct Cluster
+{
+    std::vector<std::uint32_t> indices;
+    Vec3 centroid;
+};
+
+/**
+ * Extract Euclidean clusters via BFS over radius neighborhoods.
+ * @param tree kd-tree built over @p cloud.
+ * @param trace Optional memory-trace instrumentation.
+ */
+std::vector<Cluster> euclideanClusters(const PointCloud &cloud,
+                                       const KdTree &tree,
+                                       const SegmentationConfig &config = {},
+                                       MemTrace *trace = nullptr);
+
+/**
+ * Remove ground points by height threshold — the usual pre-processing
+ * step before clustering obstacles in a LiDAR pipeline.
+ * @return Indices of the non-ground points.
+ */
+std::vector<std::uint32_t> removeGround(const PointCloud &cloud,
+                                        double ground_z_threshold = 0.2);
+
+} // namespace sov

@@ -1,0 +1,44 @@
+#include "sensors/camera_sensor.h"
+
+namespace sov {
+
+CameraPose
+CameraSensor::poseAt(const Trajectory &trajectory, Timestamp t) const
+{
+    const TrajectorySample s = trajectory.sample(t);
+    return model_.poseAt(s.pose2());
+}
+
+CameraFrame
+CameraSensor::capture(const World &world, const Trajectory &trajectory,
+                      Timestamp t) const
+{
+    CameraFrame out;
+    out.trigger_time = t;
+    out.frame = renderer_.render(world, model_, poseAt(trajectory, t), t);
+    return out;
+}
+
+std::vector<FeatureObservation>
+CameraSensor::observeLandmarks(const World &world,
+                               const Trajectory &trajectory, Timestamp t)
+{
+    const CameraPose pose = poseAt(trajectory, t);
+    std::vector<FeatureObservation> observations;
+    for (const auto &lm : world.landmarks()) {
+        const auto proj = model_.project(pose, lm.position);
+        if (!proj)
+            continue;
+        FeatureObservation obs;
+        obs.landmark_id = lm.id;
+        obs.pixel.u =
+            proj->first.u + rng_.gaussian(0.0, config_.pixel_noise);
+        obs.pixel.v =
+            proj->first.v + rng_.gaussian(0.0, config_.pixel_noise);
+        obs.depth = proj->second;
+        observations.push_back(obs);
+    }
+    return observations;
+}
+
+} // namespace sov

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Camera sensor: the renderer-backed image source with exposure time
+ * and rolling trigger semantics. Also provides the "simulated feature
+ * front-end": landmark observations projected with pixel noise, used
+ * by the VIO sync study where thousands of trials make full rendering
+ * impractical (the rendered path is exercised separately).
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "vision/camera_model.h"
+#include "vision/renderer.h"
+#include "world/trajectory.h"
+#include "world/world.h"
+
+namespace sov {
+
+/** One captured camera frame. */
+struct CameraFrame
+{
+    Timestamp trigger_time; //!< true exposure start
+    RenderedFrame frame;
+};
+
+/** One projected landmark observation (simulated feature matching). */
+struct FeatureObservation
+{
+    std::uint32_t landmark_id;
+    Pixel pixel;
+    double depth; //!< true z-depth; consumers may ignore or noise it
+};
+
+/** Camera sensor parameters. */
+struct CameraSensorConfig
+{
+    double rate_hz = 30.0;          //!< paper: cameras at 30 FPS
+    Duration exposure = Duration::millisF(8.0);
+    Duration transmission = Duration::millisF(12.0); //!< readout + MIPI
+    double pixel_noise = 0.4;       //!< feature observation noise (px)
+};
+
+/** Renderer-backed camera sensor. */
+class CameraSensor
+{
+  public:
+    CameraSensor(const CameraModel &model, const CameraSensorConfig &config,
+                 Rng rng)
+        : model_(model), config_(config), rng_(std::move(rng)) {}
+
+    /** Render a frame with the vehicle at its time-@p t pose. */
+    CameraFrame capture(const World &world, const Trajectory &trajectory,
+                        Timestamp t) const;
+
+    /**
+     * Project all visible landmarks with pixel noise — the simulated
+     * feature front-end.
+     */
+    std::vector<FeatureObservation>
+    observeLandmarks(const World &world, const Trajectory &trajectory,
+                     Timestamp t);
+
+    /** World-frame camera pose at time t. */
+    CameraPose poseAt(const Trajectory &trajectory, Timestamp t) const;
+
+    Duration period() const
+    {
+        return Duration::seconds(1.0 / config_.rate_hz);
+    }
+
+    const CameraModel &model() const { return model_; }
+    const CameraSensorConfig &config() const { return config_; }
+
+    /** Fixed sensor-side delay: exposure + transmission (Sec. VI-A2,
+     *  the constant the application layer compensates). */
+    Duration
+    constantDelay() const
+    {
+        return config_.exposure + config_.transmission;
+    }
+
+  private:
+    CameraModel model_;
+    CameraSensorConfig config_;
+    Rng rng_;
+    Renderer renderer_;
+};
+
+} // namespace sov

@@ -1,0 +1,54 @@
+#include "sensors/gps.h"
+
+#include <cmath>
+
+namespace sov {
+
+void
+GpsModel::addOutage(Timestamp begin, Timestamp end)
+{
+    outages_.push_back(GpsOutage{begin, end});
+}
+
+bool
+GpsModel::inOutage(Timestamp t) const
+{
+    for (const auto &o : outages_) {
+        if (t >= o.begin && t <= o.end)
+            return true;
+    }
+    return false;
+}
+
+std::optional<GpsFix>
+GpsModel::sample(const Trajectory &trajectory, Timestamp t)
+{
+    if (inOutage(t))
+        return std::nullopt;
+
+    // Multipath burst bookkeeping.
+    if (t >= multipath_until_ &&
+        rng_.bernoulli(config_.multipath_probability)) {
+        multipath_until_ =
+            t + Duration::seconds(config_.multipath_duration_s);
+        const double angle = rng_.uniform(0.0, 2.0 * M_PI);
+        multipath_offset_ = Vec2(std::cos(angle), std::sin(angle)) *
+            config_.multipath_bias;
+    }
+    const bool multipath = t < multipath_until_;
+
+    const TrajectorySample truth = trajectory.sample(t);
+    GpsFix fix;
+    fix.trigger_time = t;
+    fix.position = Vec2(truth.position.x(), truth.position.y()) +
+        Vec2(rng_.gaussian(0.0, config_.noise_sigma),
+             rng_.gaussian(0.0, config_.noise_sigma));
+    if (multipath)
+        fix.position += multipath_offset_;
+    fix.horizontal_accuracy =
+        multipath ? config_.multipath_bias : config_.noise_sigma;
+    fix.multipath = multipath;
+    return fix;
+}
+
+} // namespace sov

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GNSS receiver model: noisy absolute position fixes, signal outages
+ * (tunnels), and multipath bias bursts (Sec. VI-B's GPS-VIO hybrid
+ * depends on all three behaviours).
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "math/vec.h"
+#include "world/trajectory.h"
+
+namespace sov {
+
+/** One GNSS fix. */
+struct GpsFix
+{
+    Timestamp trigger_time;
+    Vec2 position;          //!< world frame, meters
+    double horizontal_accuracy; //!< reported 1-sigma, meters
+    bool multipath = false; //!< fix corrupted by multipath reflection
+};
+
+/** GNSS model parameters. */
+struct GpsConfig
+{
+    double rate_hz = 10.0;
+    double noise_sigma = 0.5;         //!< nominal horizontal noise
+    double multipath_bias = 8.0;      //!< bias magnitude during bursts
+    double multipath_probability = 0.0; //!< per-fix burst start chance
+    double multipath_duration_s = 2.0;
+};
+
+/** An interval with no GNSS reception. */
+struct GpsOutage
+{
+    Timestamp begin;
+    Timestamp end;
+};
+
+/** Simulated GNSS receiver. */
+class GpsModel
+{
+  public:
+    GpsModel(const GpsConfig &config, Rng rng)
+        : config_(config), rng_(std::move(rng)) {}
+
+    /** Declare an outage window (e.g. an underground passage). */
+    void addOutage(Timestamp begin, Timestamp end);
+
+    /**
+     * Sample a fix at time @p t; nullopt while in an outage.
+     * Multipath bursts add a slowly-rotating bias and flag the fix.
+     */
+    std::optional<GpsFix> sample(const Trajectory &trajectory, Timestamp t);
+
+    Duration period() const
+    {
+        return Duration::seconds(1.0 / config_.rate_hz);
+    }
+
+    bool inOutage(Timestamp t) const;
+
+  private:
+    GpsConfig config_;
+    Rng rng_;
+    std::vector<GpsOutage> outages_;
+    Timestamp multipath_until_ = Timestamp::origin();
+    Vec2 multipath_offset_{0.0, 0.0};
+};
+
+} // namespace sov

@@ -1,0 +1,46 @@
+#include "sensors/imu.h"
+
+#include <cmath>
+
+namespace sov {
+
+ImuSample
+ImuModel::sample(const Trajectory &trajectory, Timestamp t)
+{
+    // Advance the bias random walks.
+    double dt = 1.0 / config_.rate_hz;
+    if (!first_)
+        dt = std::max((t - last_sample_).toSeconds(), 0.0);
+    first_ = false;
+    last_sample_ = t;
+    const double sqrt_dt = std::sqrt(std::max(dt, 1e-6));
+    for (std::size_t i = 0; i < 3; ++i) {
+        gyro_bias_[i] +=
+            rng_.gaussian(0.0, config_.gyro_bias_walk * sqrt_dt);
+        accel_bias_[i] +=
+            rng_.gaussian(0.0, config_.accel_bias_walk * sqrt_dt);
+    }
+
+    const TrajectorySample truth = trajectory.sample(t);
+
+    ImuSample out;
+    out.trigger_time = t;
+
+    // Gyro: body-frame angular velocity.
+    out.angular_velocity = truth.angular_velocity + gyro_bias_ +
+        Vec3(rng_.gaussian(0.0, config_.gyro_noise),
+             rng_.gaussian(0.0, config_.gyro_noise),
+             rng_.gaussian(0.0, config_.gyro_noise));
+
+    // Accelerometer: specific force f = R^T (a - g), g = (0,0,-9.81).
+    const Vec3 a_minus_g =
+        truth.acceleration - Vec3(0.0, 0.0, -config_.gravity);
+    out.acceleration =
+        truth.orientation.conjugate().rotate(a_minus_g) + accel_bias_ +
+        Vec3(rng_.gaussian(0.0, config_.accel_noise),
+             rng_.gaussian(0.0, config_.accel_noise),
+             rng_.gaussian(0.0, config_.accel_noise));
+    return out;
+}
+
+} // namespace sov

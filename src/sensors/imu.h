@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Inertial measurement unit model.
+ *
+ * Samples the ground-truth trajectory and produces gyro/accelerometer
+ * readings with bias random-walk and white noise — the IMU half of the
+ * VIO localization input (Table III) and of the synchronization
+ * study (Sec. VI-A, 240 FPS trigger).
+ */
+#pragma once
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "math/vec.h"
+#include "world/trajectory.h"
+
+namespace sov {
+
+/** One IMU reading (body frame). */
+struct ImuSample
+{
+    Timestamp trigger_time;  //!< true capture instant
+    Vec3 angular_velocity;   //!< rad/s
+    Vec3 acceleration;       //!< specific force, m/s^2 (gravity incl.)
+};
+
+/** IMU noise parameters (consumer-grade MEMS defaults). */
+struct ImuConfig
+{
+    double rate_hz = 240.0;            //!< paper: IMU at 240 FPS
+    double gyro_noise = 0.002;         //!< rad/s white noise (1 sigma)
+    double gyro_bias_walk = 1e-5;      //!< rad/s per sqrt(s)
+    double accel_noise = 0.03;         //!< m/s^2 white noise
+    double accel_bias_walk = 1e-4;     //!< m/s^2 per sqrt(s)
+    double gravity = 9.80665;
+};
+
+/** Simulated IMU with persistent bias state. */
+class ImuModel
+{
+  public:
+    ImuModel(const ImuConfig &config, Rng rng)
+        : config_(config), rng_(std::move(rng)) {}
+
+    /** Sample the IMU at time @p t along @p trajectory. */
+    ImuSample sample(const Trajectory &trajectory, Timestamp t);
+
+    /** Sampling period implied by the configured rate. */
+    Duration period() const
+    {
+        return Duration::seconds(1.0 / config_.rate_hz);
+    }
+
+    const ImuConfig &config() const { return config_; }
+    const Vec3 &gyroBias() const { return gyro_bias_; }
+    const Vec3 &accelBias() const { return accel_bias_; }
+
+  private:
+    ImuConfig config_;
+    Rng rng_;
+    Vec3 gyro_bias_{0.0, 0.0, 0.0};
+    Vec3 accel_bias_{0.0, 0.0, 0.0};
+    Timestamp last_sample_ = Timestamp::origin();
+    bool first_ = true;
+};
+
+} // namespace sov

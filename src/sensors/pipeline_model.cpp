@@ -1,0 +1,65 @@
+#include "sensors/pipeline_model.h"
+
+namespace sov {
+
+PipelineTraversal
+SensorPipelineModel::traverse(Timestamp trigger)
+{
+    PipelineTraversal out;
+    out.trigger_time = trigger;
+    Timestamp t = trigger;
+    for (const auto &stage : stages_) {
+        Duration d = stage.fixed;
+        if (stage.jitter_median > Duration::zero()) {
+            d += Duration::millisF(rng_.logNormal(
+                stage.jitter_median.toMillis(), stage.jitter_sigma));
+        }
+        out.stage_delays.push_back(d);
+        t += d;
+    }
+    out.arrival_time = t;
+    return out;
+}
+
+Duration
+SensorPipelineModel::fixedDelay() const
+{
+    Duration d = Duration::zero();
+    for (const auto &stage : stages_)
+        d += stage.fixed;
+    return d;
+}
+
+SensorPipelineModel
+SensorPipelineModel::cameraPipeline(Rng rng)
+{
+    // Medians chosen so ISP variation ~ 10 ms and the full software
+    // stack varies by up to ~100 ms, matching Sec. VI-A1's numbers.
+    std::vector<PipelineStage> stages{
+        {"exposure", Duration::millisF(8.0), Duration::zero(), 0.0},
+        {"transmission", Duration::millisF(12.0), Duration::zero(), 0.0},
+        {"sensor-interface", Duration::millisF(1.0),
+         Duration::millisF(1.0), 0.3},
+        {"isp", Duration::millisF(6.0), Duration::millisF(8.0), 0.45},
+        {"kernel-driver", Duration::millisF(2.0), Duration::millisF(5.0),
+         0.6},
+        {"application", Duration::millisF(3.0), Duration::millisF(18.0),
+         0.8},
+    };
+    return SensorPipelineModel(std::move(stages), std::move(rng));
+}
+
+SensorPipelineModel
+SensorPipelineModel::imuPipeline(Rng rng)
+{
+    std::vector<PipelineStage> stages{
+        {"transmission", Duration::millisF(0.5), Duration::zero(), 0.0},
+        {"kernel-driver", Duration::millisF(0.5), Duration::millisF(2.0),
+         0.5},
+        {"application", Duration::millisF(0.5), Duration::millisF(6.0),
+         0.8},
+    };
+    return SensorPipelineModel(std::move(stages), std::move(rng));
+}
+
+} // namespace sov

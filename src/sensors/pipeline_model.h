@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sensor-processing-pipeline latency model (Fig. 12b).
+ *
+ * Between the physical trigger and the application, a camera sample
+ * traverses exposure -> transmission -> sensor interface -> ISP ->
+ * DRAM/kernel -> application. Exposure and transmission are constant;
+ * the ISP and the software stack contribute *variable* latency (~10 ms
+ * at the ISP, up to ~100 ms at the application layer), which is what
+ * breaks software-only synchronization (Sec. VI-A1).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+
+namespace sov {
+
+/** One stage of a sensor processing pipeline. */
+struct PipelineStage
+{
+    std::string name;
+    Duration fixed;          //!< deterministic component
+    Duration jitter_median;  //!< median of the variable component
+    double jitter_sigma = 0.0; //!< log-normal sigma of the variable part
+};
+
+/** Latency contributions of one traversal. */
+struct PipelineTraversal
+{
+    Timestamp trigger_time;
+    Timestamp arrival_time;  //!< when the sample reaches the consumer
+    std::vector<Duration> stage_delays;
+
+    Duration total() const { return arrival_time - trigger_time; }
+};
+
+/** A chain of pipeline stages with stochastic delays. */
+class SensorPipelineModel
+{
+  public:
+    SensorPipelineModel(std::vector<PipelineStage> stages, Rng rng)
+        : stages_(std::move(stages)), rng_(std::move(rng)) {}
+
+    /** Simulate one traversal for a sample triggered at @p trigger. */
+    PipelineTraversal traverse(Timestamp trigger);
+
+    /** Sum of the fixed (compensatable) components. */
+    Duration fixedDelay() const;
+
+    const std::vector<PipelineStage> &stages() const { return stages_; }
+
+    /**
+     * The camera pipeline of Fig. 12b: exposure and transmission are
+     * fixed; sensor interface, ISP, DRAM/kernel, and application add
+     * variable latency (ISP ~ 10 ms variation; application ~100 ms).
+     */
+    static SensorPipelineModel cameraPipeline(Rng rng);
+
+    /** The IMU pipeline: fixed transmission, variable CPU-side code. */
+    static SensorPipelineModel imuPipeline(Rng rng);
+
+  private:
+    std::vector<PipelineStage> stages_;
+    Rng rng_;
+};
+
+} // namespace sov

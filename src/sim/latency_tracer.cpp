@@ -1,0 +1,94 @@
+#include "sim/latency_tracer.h"
+
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+LatencyTracer::record(const std::string &stage, Duration latency)
+{
+    buffers_[stage].add(latency.toMillis());
+}
+
+std::vector<std::string>
+LatencyTracer::stages() const
+{
+    std::vector<std::string> names;
+    names.reserve(buffers_.size());
+    for (const auto &kv : buffers_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::size_t
+LatencyTracer::count(const std::string &stage) const
+{
+    const auto it = buffers_.find(stage);
+    return it == buffers_.end() ? 0 : it->second.count();
+}
+
+double
+LatencyTracer::meanMs(const std::string &stage) const
+{
+    const auto it = buffers_.find(stage);
+    SOV_ASSERT(it != buffers_.end());
+    return it->second.mean();
+}
+
+double
+LatencyTracer::minMs(const std::string &stage) const
+{
+    const auto it = buffers_.find(stage);
+    SOV_ASSERT(it != buffers_.end());
+    return it->second.min();
+}
+
+double
+LatencyTracer::maxMs(const std::string &stage) const
+{
+    const auto it = buffers_.find(stage);
+    SOV_ASSERT(it != buffers_.end());
+    return it->second.max();
+}
+
+double
+LatencyTracer::percentileMs(const std::string &stage, double p) const
+{
+    const auto it = buffers_.find(stage);
+    SOV_ASSERT(it != buffers_.end());
+    return it->second.percentile(p);
+}
+
+double
+LatencyTracer::stddevMs(const std::string &stage) const
+{
+    const auto it = buffers_.find(stage);
+    SOV_ASSERT(it != buffers_.end());
+    RunningStats rs;
+    for (double x : it->second.samples())
+        rs.add(x);
+    return rs.stddev();
+}
+
+void
+LatencyTracer::clear()
+{
+    buffers_.clear();
+}
+
+std::string
+LatencyTracer::summary() const
+{
+    std::ostringstream os;
+    for (auto &kv : buffers_) {
+        auto &buf = kv.second;
+        os << kv.first << ": best=" << buf.percentile(0.0)
+           << "ms mean=" << buf.mean()
+           << "ms p99=" << buf.percentile(99.0) << "ms\n";
+    }
+    return os.str();
+}
+
+} // namespace sov

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Records named latency spans per end-to-end iteration so benches can
+ * report the stage breakdown of Fig. 10a (sensing / perception /
+ * planning, best-case vs mean vs 99th percentile).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/time.h"
+
+namespace sov {
+
+/** Accumulates per-stage latency samples across pipeline iterations. */
+class LatencyTracer
+{
+  public:
+    /** Record one latency sample for a named stage. */
+    void record(const std::string &stage, Duration latency);
+
+    /** Record an end-to-end sample (stage name "total"). */
+    void recordTotal(Duration latency) { record("total", latency); }
+
+    /** Distinct stage names seen so far, sorted. */
+    std::vector<std::string> stages() const;
+
+    /** Number of samples recorded for @p stage. */
+    std::size_t count(const std::string &stage) const;
+
+    double meanMs(const std::string &stage) const;
+    double minMs(const std::string &stage) const;
+    double maxMs(const std::string &stage) const;
+    /** Percentile in [0,100] of a stage's samples, in milliseconds. */
+    double percentileMs(const std::string &stage, double p) const;
+    double stddevMs(const std::string &stage) const;
+
+    /** Drop all samples. */
+    void clear();
+
+    /** Multi-line "stage: best/mean/p99" table for bench output. */
+    std::string summary() const;
+
+  private:
+    mutable std::map<std::string, PercentileBuffer> buffers_;
+};
+
+} // namespace sov

@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+Simulator::schedule(Duration delay, Callback fn)
+{
+    SOV_ASSERT(delay >= Duration::zero());
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Timestamp when, Callback fn)
+{
+    SOV_ASSERT(when >= now_);
+    queue_.push(Item{when, seq_++, std::move(fn)});
+}
+
+void
+Simulator::schedulePeriodic(Duration period, Duration phase, Callback fn)
+{
+    SOV_ASSERT(period > Duration::zero());
+    // The repeating wrapper reschedules itself after each firing.
+    auto repeat = std::make_shared<std::function<void()>>();
+    auto user = std::make_shared<Callback>(std::move(fn));
+    *repeat = [this, period, user, repeat]() {
+        (*user)();
+        schedule(period, *repeat);
+    };
+    schedule(phase, *repeat);
+}
+
+void
+Simulator::runUntil(Timestamp horizon)
+{
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+        const Item &top = queue_.top();
+        if (top.when > horizon)
+            break;
+        // Move the callback out before popping; executing may push.
+        Item item{top.when, top.seq, std::move(const_cast<Item &>(top).fn)};
+        queue_.pop();
+        now_ = item.when;
+        ++executed_;
+        item.fn();
+    }
+    if (queue_.empty() || stopped_) {
+        // Clock still advances to the horizon on a drained queue so
+        // periodic statistics windows stay well-defined.
+        if (!stopped_ && horizon > now_ && horizon != Timestamp::never())
+            now_ = horizon;
+    } else {
+        now_ = horizon;
+    }
+}
+
+void
+Simulator::run()
+{
+    runUntil(Timestamp::never());
+}
+
+} // namespace sov

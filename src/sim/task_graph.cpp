@@ -1,0 +1,129 @@
+#include "sim/task_graph.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov {
+
+Timestamp
+ScheduleResult::frameFinish(std::size_t f) const
+{
+    SOV_ASSERT(f < spans.size());
+    Timestamp last = Timestamp::origin();
+    for (const auto &s : spans[f])
+        last = std::max(last, s.finish);
+    return last;
+}
+
+double
+ScheduleResult::steadyStateThroughputHz() const
+{
+    if (spans.size() < 4)
+        return 0.0;
+    const std::size_t half = spans.size() / 2;
+    const Timestamp first = frameFinish(half);
+    const Timestamp last = frameFinish(spans.size() - 1);
+    const double seconds = (last - first).toSeconds();
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(spans.size() - 1 - half) / seconds;
+}
+
+TaskId
+TaskGraph::addTask(std::string name, ResourceId resource,
+                   std::function<Duration(std::size_t)> duration,
+                   std::vector<TaskId> deps)
+{
+    const TaskId id = nodes_.size();
+    for (TaskId d : deps)
+        SOV_ASSERT(d < id); // insertion order is topological
+    SOV_ASSERT(by_name_.count(name) == 0);
+    by_name_[name] = id;
+    nodes_.push_back(TaskNode{std::move(name), std::move(resource),
+                              std::move(duration), std::move(deps)});
+    return id;
+}
+
+TaskId
+TaskGraph::addFixedTask(std::string name, ResourceId resource,
+                        Duration duration, std::vector<TaskId> deps)
+{
+    return addTask(std::move(name), std::move(resource),
+                   [duration](std::size_t) { return duration; },
+                   std::move(deps));
+}
+
+TaskId
+TaskGraph::findTask(const std::string &name) const
+{
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        SOV_PANIC("unknown task: " + name);
+    return it->second;
+}
+
+ScheduleResult
+TaskGraph::schedule(std::size_t frames, Duration period) const
+{
+    SOV_ASSERT(!nodes_.empty());
+    ScheduleResult result;
+    result.spans.resize(frames);
+    result.frame_latency.resize(frames);
+    result.frame_release.resize(frames);
+
+    // Earliest time each resource becomes free.
+    std::map<ResourceId, Timestamp> resource_free;
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        const Timestamp release =
+            Timestamp::origin() + period * static_cast<double>(f);
+        result.frame_release[f] = release;
+        result.spans[f].reserve(nodes_.size());
+
+        // Tasks are stored in topological order; greedy list scheduling.
+        std::vector<Timestamp> finish(nodes_.size());
+        for (TaskId t = 0; t < nodes_.size(); ++t) {
+            const TaskNode &n = nodes_[t];
+            Timestamp ready = release;
+            for (TaskId d : n.deps)
+                ready = std::max(ready, finish[d]);
+            Timestamp &free_at = resource_free[n.resource];
+            const Timestamp start = std::max(ready, free_at);
+            const Timestamp end = start + n.duration(f);
+            free_at = end;
+            finish[t] = end;
+            result.spans[f].push_back(TaskSpan{t, f, start, end});
+        }
+        result.frame_latency[f] = result.frameFinish(f) - release;
+    }
+    return result;
+}
+
+Duration
+TaskGraph::criticalPathLatency(std::size_t frame) const
+{
+    std::vector<Duration> finish(nodes_.size(), Duration::zero());
+    Duration longest = Duration::zero();
+    for (TaskId t = 0; t < nodes_.size(); ++t) {
+        const TaskNode &n = nodes_[t];
+        Duration start = Duration::zero();
+        for (TaskId d : n.deps)
+            start = std::max(start, finish[d]);
+        finish[t] = start + n.duration(frame);
+        longest = std::max(longest, finish[t]);
+    }
+    return longest;
+}
+
+std::vector<std::string>
+TaskGraph::taskNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(nodes_.size());
+    for (const auto &n : nodes_)
+        names.push_back(n.name);
+    return names;
+}
+
+} // namespace sov

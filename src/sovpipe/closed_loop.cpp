@@ -1,0 +1,151 @@
+#include "sovpipe/closed_loop.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+ClosedLoopSim::ClosedLoopSim(World &world, Polyline2 route,
+                             const ClosedLoopConfig &config,
+                             const SovPipelineConfig &pipeline_config,
+                             Rng rng)
+    : world_(world), route_(std::move(route)), config_(config),
+      rng_(std::move(rng)),
+      pipeline_(platform_model_, pipeline_config, rng_.fork("pipeline")),
+      vehicle_(), ecu_(sim_, vehicle_), can_(sim_),
+      radar_(RadarConfig{}, rng_.fork("radar")),
+      reactive_(sim_, ecu_, radar_)
+{
+    can_.connect([this](const ControlCommand &cmd) { ecu_.onCommand(cmd); });
+    reset();
+}
+
+void
+ClosedLoopSim::reset()
+{
+    SOV_ASSERT(route_.size() >= 2);
+    vehicle_.setPose(Pose2{route_.sample(0.0), route_.headingAt(0.0)});
+    vehicle_.setSpeed(config_.cruise_speed);
+    // Start cruising even before the first command lands.
+    ActuatorState initial;
+    initial.acceleration = 0.0;
+    vehicle_.applyActuator(initial);
+    result_ = ClosedLoopResult{};
+    cycles_ = 0;
+    reactive_cycles_ = 0;
+    was_moving_ = false;
+}
+
+void
+ClosedLoopSim::planningCycle()
+{
+    ++cycles_;
+    if (reactive_.active())
+        ++reactive_cycles_;
+
+    if (!config_.enable_proactive)
+        return;
+
+    // Perception oracle with modelled latency: the planner sees the
+    // world as it was at cycle start, and its command reaches the CAN
+    // bus after the computing latency drawn from the pipeline model.
+    PlannerInput input;
+    input.now = sim_.now();
+    input.ego_pose = vehicle_.pose();
+    input.ego_speed = vehicle_.speed();
+    input.reference_path = route_;
+    input.speed_limit = config_.cruise_speed;
+    for (const auto &obs : world_.obstaclesNear(
+             vehicle_.pose().position, config_.perception_range,
+             sim_.now())) {
+        // Injected vision failure: the detector misses this object.
+        if (config_.perception_miss_probability > 0.0 &&
+            rng_.bernoulli(config_.perception_miss_probability)) {
+            continue;
+        }
+        FusedObject object;
+        object.track_id = obs.id;
+        object.position = obs.positionAt(sim_.now());
+        object.velocity = obs.velocity;
+        object.cls = obs.cls;
+        object.confidence = 1.0;
+        input.objects.push_back(object);
+    }
+
+    const MpcOutput plan = planner_.plan(input);
+
+    const Duration compute = config_.fixed_compute_latency
+        ? *config_.fixed_compute_latency
+        : pipeline_.sampleFrame().total();
+    sim_.schedule(compute, [this, cmd = plan.command]() mutable {
+        cmd.issued_at = sim_.now();
+        can_.transmit(cmd);
+    });
+}
+
+void
+ClosedLoopSim::physicsStep()
+{
+    const Duration dt =
+        Duration::seconds(1.0 / config_.physics_rate_hz);
+
+    // Reactive path: the radar watch runs at sensor rate, far faster
+    // than the planner (it bypasses the computing pipeline, Sec. IV).
+    if (config_.enable_reactive) {
+        reactive_.evaluate(world_, vehicle_.pose(), vehicle_.speed(),
+                           sim_.now());
+    }
+
+    vehicle_.step(dt);
+
+    // Gap and collision monitoring against every obstacle.
+    for (const auto &obs : world_.obstacles()) {
+        const OrientedBox2 box = obs.footprintAt(sim_.now());
+        const OrientedBox2 ego{vehicle_.pose(), 1.3, 0.7};
+        const double gap = ego.distanceTo(box);
+        result_.min_gap = std::min(result_.min_gap, gap);
+        if (gap <= 0.0) {
+            result_.collided = true;
+            sim_.stop();
+            return;
+        }
+    }
+
+    if (vehicle_.speed() > 0.5)
+        was_moving_ = true;
+    if (was_moving_ && vehicle_.stopped()) {
+        result_.stopped = true;
+        sim_.stop();
+        return;
+    }
+    // Route end.
+    const auto [s, off] = route_.project(vehicle_.pose().position);
+    (void)off;
+    if (s >= route_.length() - 1.0)
+        sim_.stop();
+}
+
+ClosedLoopResult
+ClosedLoopSim::run(Duration horizon)
+{
+    sim_.schedulePeriodic(
+        Duration::seconds(1.0 / config_.planner_rate_hz),
+        Duration::zero(), [this] { planningCycle(); });
+    sim_.schedulePeriodic(
+        Duration::seconds(1.0 / config_.physics_rate_hz),
+        Duration::millisF(0.1), [this] { physicsStep(); });
+
+    sim_.runUntil(Timestamp::origin() + horizon);
+
+    result_.distance_travelled = vehicle_.odometer();
+    result_.reactive_triggers = reactive_.triggerCount();
+    result_.reactive_fraction = cycles_
+        ? static_cast<double>(reactive_cycles_) /
+            static_cast<double>(cycles_)
+        : 0.0;
+    result_.elapsed = sim_.now() - Timestamp::origin();
+    return result_;
+}
+
+} // namespace sov

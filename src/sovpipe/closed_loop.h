@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Closed-loop SoV simulation: the full proactive pipeline (perception
+ * with modelled compute latency -> MPC -> CAN -> ECU -> actuator) plus
+ * the reactive safety path, driving the vehicle plant through a world.
+ *
+ * Used for the end-to-end safety experiments: obstacle-avoidance
+ * distance vs computing latency (Fig. 3a validated in closed loop),
+ * the reactive path's 4.1 m stopping capability (Sec. IV), and the
+ * >90% proactive-time statistic (Sec. V-C).
+ */
+#pragma once
+
+#include <optional>
+
+#include "core/rng.h"
+#include "planning/mpc.h"
+#include "sensors/radar.h"
+#include "sim/simulator.h"
+#include "sovpipe/pipeline_model.h"
+#include "vehicle/can_bus.h"
+#include "vehicle/ecu.h"
+#include "vehicle/reactive.h"
+
+namespace sov {
+
+/** Closed-loop simulation settings. */
+struct ClosedLoopConfig
+{
+    double cruise_speed = 5.6;       //!< m/s (Sec. III-A typical)
+    double planner_rate_hz = 10.0;   //!< throughput requirement
+    double physics_rate_hz = 200.0;
+    double perception_range = 40.0;  //!< oracle-perception radius
+    bool enable_reactive = true;
+    bool enable_proactive = true;
+    /** Failure injection (Sec. III-C, scenario 2: "vision algorithms
+     *  produce wrong results, e.g., missing an object"): probability
+     *  that the perception stage drops an object this cycle. */
+    double perception_miss_probability = 0.0;
+    /** Override the pipeline model with a fixed compute latency
+     *  (for latency-sweep experiments); unset = draw from model. */
+    std::optional<Duration> fixed_compute_latency;
+};
+
+/** Outcome of a scenario run. */
+struct ClosedLoopResult
+{
+    bool collided = false;
+    bool stopped = false;
+    /** Minimum gap between the vehicle front and any obstacle. */
+    double min_gap = 1e18;
+    double distance_travelled = 0.0;
+    std::uint64_t reactive_triggers = 0;
+    /** Fraction of cycles in which the reactive path was latched. */
+    double reactive_fraction = 0.0;
+    Duration elapsed;
+};
+
+/** The closed-loop simulator. */
+class ClosedLoopSim
+{
+  public:
+    /**
+     * @param world The environment (obstacles may be added later).
+     * @param route The reference path the planner tracks.
+     */
+    ClosedLoopSim(World &world, Polyline2 route,
+                  const ClosedLoopConfig &config,
+                  const SovPipelineConfig &pipeline_config, Rng rng);
+
+    /** Place the vehicle at the route start, at cruise speed. */
+    void reset();
+
+    /**
+     * Run until the vehicle stops (after having moved), collides,
+     * reaches the route end, or @p horizon elapses.
+     */
+    ClosedLoopResult run(Duration horizon);
+
+    VehicleDynamics &vehicle() { return vehicle_; }
+    World &world() { return world_; }
+
+  private:
+    void planningCycle();
+    void physicsStep();
+
+    World &world_;
+    Polyline2 route_;
+    ClosedLoopConfig config_;
+    Rng rng_;
+
+    Simulator sim_;
+    PlatformModel platform_model_;
+    SovPipelineModel pipeline_;
+    VehicleDynamics vehicle_;
+    Ecu ecu_;
+    CanBus can_;
+    RadarModel radar_;
+    ReactivePath reactive_;
+    MpcPlanner planner_;
+
+    // Run bookkeeping.
+    ClosedLoopResult result_;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t reactive_cycles_ = 0;
+    bool was_moving_ = false;
+};
+
+} // namespace sov

@@ -1,0 +1,127 @@
+#include "sovpipe/pipeline_model.h"
+
+#include <algorithm>
+
+namespace sov {
+
+FrameLatency
+SovPipelineModel::sampleFrame()
+{
+    const bool shared =
+        config_.scene_platform == Platform::Gtx1060 &&
+        config_.localization_platform == Platform::Gtx1060;
+
+    FrameLatency frame;
+    frame.sensing = model_
+        .latency(TaskKind::Sensing, Platform::ZynqFpga)
+        .sample(rng_);
+
+    // Scene understanding: depth || detection on the same platform
+    // (serialized by the resource), tracking after detection.
+    const Duration depth = model_
+        .latency(TaskKind::DepthEstimation, config_.scene_platform, shared)
+        .sample(rng_);
+    const Duration detection = model_
+        .latency(TaskKind::Detection, config_.scene_platform, shared)
+        .sample(rng_);
+    Duration tracking = Duration::zero();
+    if (!config_.radar_tracking) {
+        // KCF baseline runs on the CPU, serialized after detection.
+        tracking = model_
+            .latency(TaskKind::KcfTracking, Platform::CoffeeLakeCpu)
+            .sample(rng_);
+    } else {
+        // Radar tracking + spatial sync ~ 1 ms on the CPU (Sec. VI-B).
+        tracking = Duration::millisF(1.0);
+    }
+    const Duration scene = depth + detection + tracking;
+
+    const Duration localization = model_
+        .latency(TaskKind::Localization, config_.localization_platform,
+                 shared)
+        .sample(rng_);
+
+    frame.perception = std::max(scene, localization);
+
+    frame.planning = model_
+        .latency(config_.planner == PlannerKind::LaneMpc
+                     ? TaskKind::MpcPlanning
+                     : TaskKind::EmPlanning,
+                 Platform::CoffeeLakeCpu)
+        .sample(rng_);
+    return frame;
+}
+
+PipelineStats
+SovPipelineModel::characterize(std::size_t frames)
+{
+    PipelineStats stats;
+    std::vector<FrameLatency> samples;
+    samples.reserve(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+        const FrameLatency f = sampleFrame();
+        samples.push_back(f);
+        stats.tracer.record("sensing", f.sensing);
+        stats.tracer.record("perception", f.perception);
+        stats.tracer.record("planning", f.planning);
+        stats.tracer.recordTotal(f.total());
+    }
+    stats.best_case = Duration::millisF(
+        stats.tracer.percentileMs("total", 0.0));
+    stats.mean = Duration::millisF(stats.tracer.meanMs("total"));
+    stats.p99 = Duration::millisF(
+        stats.tracer.percentileMs("total", 99.0));
+
+    // Pipelined throughput via the TaskGraph executor: stage times are
+    // the mean stage latencies; the slowest stage bounds throughput,
+    // capped by the frame release rate.
+    TaskGraph graph;
+    const Duration sensing_mean =
+        Duration::millisF(stats.tracer.meanMs("sensing"));
+    const Duration perception_mean =
+        Duration::millisF(stats.tracer.meanMs("perception"));
+    const Duration planning_mean =
+        Duration::millisF(stats.tracer.meanMs("planning"));
+    const TaskId s =
+        graph.addFixedTask("sensing", "sensing-hw", sensing_mean);
+    const TaskId p = graph.addFixedTask("perception", "perception-hw",
+                                        perception_mean, {s});
+    graph.addFixedTask("planning", "cpu", planning_mean, {p});
+    const auto schedule = graph.schedule(
+        64, Duration::seconds(1.0 / config_.frame_rate_hz));
+    stats.throughput_hz = schedule.steadyStateThroughputHz();
+    return stats;
+}
+
+LatencyTracer
+SovPipelineModel::perceptionTaskBreakdown(std::size_t frames)
+{
+    const bool shared =
+        config_.scene_platform == Platform::Gtx1060 &&
+        config_.localization_platform == Platform::Gtx1060;
+    LatencyTracer tracer;
+    for (std::size_t i = 0; i < frames; ++i) {
+        tracer.record("depth",
+                      model_.latency(TaskKind::DepthEstimation,
+                                     config_.scene_platform, shared)
+                          .sample(rng_));
+        tracer.record("detection",
+                      model_.latency(TaskKind::Detection,
+                                     config_.scene_platform, shared)
+                          .sample(rng_));
+        tracer.record("tracking",
+                      config_.radar_tracking
+                          ? Duration::millisF(1.0)
+                          : model_.latency(TaskKind::KcfTracking,
+                                           Platform::CoffeeLakeCpu)
+                                .sample(rng_));
+        tracer.record("localization",
+                      model_.latency(TaskKind::Localization,
+                                     config_.localization_platform,
+                                     shared)
+                          .sample(rng_));
+    }
+    return tracer;
+}
+
+} // namespace sov

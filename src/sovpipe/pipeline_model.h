@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The SoV software pipeline as a calibrated stochastic model
+ * (Fig. 5 structure x Fig. 6/8 platform timings -> Fig. 10 latency
+ * characterization).
+ *
+ * Per frame: sensing feeds perception; within perception, localization
+ * runs parallel to scene understanding (depth || detection, tracking
+ * after detection); planning consumes both. Stage latencies are drawn
+ * from the PlatformModel's calibrated distributions for the chosen
+ * mapping. The TaskGraph executor provides pipelined throughput.
+ */
+#pragma once
+
+#include "core/rng.h"
+#include "platform/platform_model.h"
+#include "sim/latency_tracer.h"
+#include "sim/task_graph.h"
+
+namespace sov {
+
+/** Which planner runs (MPC lane-level vs EM-style fine-grained). */
+enum class PlannerKind { LaneMpc, EmStyle };
+
+/** Pipeline configuration: the algorithm-to-hardware mapping. */
+struct SovPipelineConfig
+{
+    Platform scene_platform = Platform::Gtx1060;
+    Platform localization_platform = Platform::ZynqFpga;
+    PlannerKind planner = PlannerKind::LaneMpc;
+    /** Radar replaces KCF tracking (Sec. VI-B); if false the KCF
+     *  baseline runs serialized after detection. */
+    bool radar_tracking = true;
+    double frame_rate_hz = 10.0; //!< pipeline cadence (Sec. III-A)
+};
+
+/** One frame's stage latencies. */
+struct FrameLatency
+{
+    Duration sensing;
+    Duration perception;
+    Duration planning;
+
+    Duration total() const { return sensing + perception + planning; }
+};
+
+/** Aggregated characterization results. */
+struct PipelineStats
+{
+    LatencyTracer tracer;      //!< stages: sensing/perception/planning/total
+    double throughput_hz = 0.0;
+    Duration best_case;
+    Duration mean;
+    Duration p99;
+};
+
+/** The calibrated pipeline model. */
+class SovPipelineModel
+{
+  public:
+    SovPipelineModel(const PlatformModel &model,
+                     const SovPipelineConfig &config, Rng rng)
+        : model_(model), config_(config), rng_(std::move(rng)) {}
+
+    /** Draw one frame's stage latencies. */
+    FrameLatency sampleFrame();
+
+    /** Characterize @p frames frames (Fig. 10a/10b). */
+    PipelineStats characterize(std::size_t frames);
+
+    /**
+     * Per-task mean latencies over @p frames draws, for Fig. 10b
+     * (depth / detection / tracking / localization).
+     */
+    LatencyTracer perceptionTaskBreakdown(std::size_t frames);
+
+    const SovPipelineConfig &config() const { return config_; }
+
+  private:
+    const PlatformModel &model_;
+    SovPipelineConfig config_;
+    Rng rng_;
+};
+
+} // namespace sov

@@ -1,0 +1,79 @@
+#include "sync/synchronizer.h"
+
+#include "core/logging.h"
+
+namespace sov {
+
+TriggerSchedule
+HardwareSynchronizer::schedule(Duration horizon) const
+{
+    TriggerSchedule out;
+    const Duration imu_period =
+        Duration::seconds(1.0 / config_.imu_rate_hz);
+    std::uint32_t tick = 0;
+    for (Timestamp t = Timestamp::origin();
+         t <= Timestamp::origin() + horizon; t += imu_period, ++tick) {
+        out.imu_triggers.push_back(t);
+        // Camera trigger = IMU trigger downsampled 8x, so every camera
+        // sample is always associated with an IMU sample (Sec. VI-A2).
+        if (tick % config_.camera_downsample == 0)
+            out.camera_triggers.push_back(t);
+    }
+    return out;
+}
+
+StampedSample
+HardwareSynchronizer::stampImu(Timestamp trigger,
+                               SensorPipelineModel &pipeline,
+                               Rng &rng) const
+{
+    StampedSample s;
+    s.trigger_time = trigger;
+    // The synchronizer itself records the trigger; only quantization
+    // of its timer remains as error.
+    s.stamped_time = trigger + Duration::nanos(static_cast<std::int64_t>(
+        rng.uniform(0.0,
+                    static_cast<double>(
+                        config_.stamp_quantization.ns()))));
+    s.arrival_time = pipeline.traverse(trigger).arrival_time;
+    return s;
+}
+
+StampedSample
+HardwareSynchronizer::stampCamera(Timestamp trigger, Duration constant_delay,
+                                  SensorPipelineModel &pipeline,
+                                  Rng &rng) const
+{
+    const PipelineTraversal traversal = pipeline.traverse(trigger);
+    SOV_ASSERT(traversal.stage_delays.size() >= 3);
+
+    StampedSample s;
+    s.trigger_time = trigger;
+    // The sensor interface stamps when the frame reaches it: after
+    // exposure + transmission (the first two stages) plus interface
+    // quantization; software then subtracts the datasheet constant.
+    const Timestamp at_interface = trigger + traversal.stage_delays[0] +
+        traversal.stage_delays[1];
+    const Timestamp stamped_raw = at_interface +
+        Duration::nanos(static_cast<std::int64_t>(
+            rng.uniform(0.0,
+                        static_cast<double>(
+                            config_.stamp_quantization.ns()))));
+    s.stamped_time = stamped_raw - constant_delay;
+    s.arrival_time = traversal.arrival_time;
+    return s;
+}
+
+StampedSample
+SoftwareSync::stamp(Timestamp trigger, SensorPipelineModel &pipeline) const
+{
+    const PipelineTraversal traversal =
+        pipeline.traverse(trigger + clock_skew_);
+    StampedSample s;
+    s.trigger_time = trigger;
+    s.stamped_time = traversal.arrival_time;
+    s.arrival_time = traversal.arrival_time;
+    return s;
+}
+
+} // namespace sov

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Sensor synchronization (Sec. VI-A, Fig. 12).
+ *
+ * Two strategies are modelled end-to-end:
+ *
+ *  - SoftwareSync (Fig. 12a): sensors free-run on their own clocks
+ *    (with skew), samples are timestamped when they *arrive at the
+ *    application* after the variable-latency pipeline. Timestamp error
+ *    = clock skew + whole-pipeline jitter (tens of ms).
+ *
+ *  - HardwareSync (Fig. 12c): a hardware synchronizer triggers all
+ *    sensors from one GPS-initialized timer (camera trigger is the IMU
+ *    trigger downsampled 8x); IMU samples are stamped in the
+ *    synchronizer, camera frames are stamped at the sensor interface
+ *    and the constant exposure+transmission delay is compensated in
+ *    software. Timestamp error < 1 ms.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "sensors/pipeline_model.h"
+
+namespace sov {
+
+/** A delivered sensor sample with true and believed capture times. */
+struct StampedSample
+{
+    Timestamp trigger_time;  //!< ground truth capture instant
+    Timestamp stamped_time;  //!< what the consumer believes
+    Timestamp arrival_time;  //!< when the consumer received it
+
+    /** Signed timestamp error (stamped - true). */
+    Duration error() const { return stamped_time - trigger_time; }
+};
+
+/** Hardware synchronizer configuration (Sec. VI-A2). */
+struct SynchronizerConfig
+{
+    double imu_rate_hz = 240.0;   //!< master trigger rate
+    std::uint32_t camera_downsample = 8; //!< 240/8 = 30 FPS cameras
+    std::uint32_t num_cameras = 4;
+    /** Residual stamping error of the near-sensor path. */
+    Duration stamp_quantization = Duration::micros(100);
+};
+
+/** Resource footprint reported for the FPGA synchronizer (Sec VI-A3). */
+struct SynchronizerFootprint
+{
+    std::uint32_t luts = 1443;
+    std::uint32_t registers = 1587;
+    double power_mw = 5.0;
+    Duration added_latency = Duration::millisF(1.0);
+};
+
+/** Trigger schedule produced by the common-timer design. */
+struct TriggerSchedule
+{
+    std::vector<Timestamp> imu_triggers;
+    std::vector<Timestamp> camera_triggers;
+};
+
+/** The hardware synchronizer model. */
+class HardwareSynchronizer
+{
+  public:
+    explicit HardwareSynchronizer(const SynchronizerConfig &config = {})
+        : config_(config) {}
+
+    /** Trigger schedule over @p horizon from the common timer. */
+    TriggerSchedule schedule(Duration horizon) const;
+
+    /**
+     * Stamp an IMU sample: the synchronizer records the trigger time
+     * directly (packed with the 20-byte sample).
+     */
+    StampedSample stampImu(Timestamp trigger,
+                           SensorPipelineModel &pipeline, Rng &rng) const;
+
+    /**
+     * Stamp a camera frame: the sensor interface stamps on arrival and
+     * software subtracts the constant exposure+transmission delay.
+     * @param constant_delay The camera's datasheet delay.
+     */
+    StampedSample stampCamera(Timestamp trigger, Duration constant_delay,
+                              SensorPipelineModel &pipeline,
+                              Rng &rng) const;
+
+    const SynchronizerConfig &config() const { return config_; }
+    SynchronizerFootprint footprint() const { return {}; }
+
+  private:
+    SynchronizerConfig config_;
+};
+
+/** The software-only baseline: stamp at application arrival. */
+class SoftwareSync
+{
+  public:
+    /**
+     * @param clock_skew Fixed skew of this sensor's own timer relative
+     *        to the reference clock (sensors are triggered
+     *        individually, Sec. VI-A1).
+     */
+    explicit SoftwareSync(Duration clock_skew = Duration::zero())
+        : clock_skew_(clock_skew) {}
+
+    /** Stamp a sample: believed time = arrival time at application. */
+    StampedSample stamp(Timestamp trigger,
+                        SensorPipelineModel &pipeline) const;
+
+  private:
+    Duration clock_skew_;
+};
+
+} // namespace sov

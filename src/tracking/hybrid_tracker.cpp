@@ -1,0 +1,79 @@
+#include "tracking/hybrid_tracker.h"
+
+namespace sov {
+
+std::vector<HybridTrack>
+HybridTracker::update(const Image &frame,
+                      const std::vector<Detection> &detections,
+                      const std::vector<RadarDetection> &radar_detections,
+                      const CameraModel &camera, const CameraPose &pose,
+                      const Pose2 &body, Timestamp t)
+{
+    radar_tracker_.update(body, radar_detections, t);
+    const auto confirmed = radar_tracker_.confirmedTracks();
+
+    // Radar health is judged from the raw returns: no echoes while
+    // vision still sees objects means the radar is unstable (coasting
+    // tracks would mask the outage until they expire).
+    if (radar_detections.empty() && !detections.empty()) {
+        ++quiet_scans_;
+    } else if (!radar_detections.empty()) {
+        quiet_scans_ = 0;
+    }
+
+    const bool fallback = quiet_scans_ >= config_.unstable_after;
+    std::vector<HybridTrack> tracks;
+
+    if (!fallback) {
+        if (mode_ == TrackingMode::KcfFallback)
+            kcf_trackers_.clear(); // radar recovered
+        mode_ = TrackingMode::Radar;
+
+        for (const auto &fused :
+             spatialSync(camera, pose, confirmed, detections,
+                         config_.spatial_sync)) {
+            HybridTrack track;
+            track.id = fused.track_id;
+            track.source = TrackingMode::Radar;
+            track.cls = fused.cls;
+            track.position = fused.position;
+            track.velocity = fused.velocity;
+            track.pixel_u = fused.box.centerX();
+            track.pixel_v = fused.box.centerY();
+            tracks.push_back(track);
+        }
+        return tracks;
+    }
+
+    // --------------------------- KCF fallback (Sec. IV, Table III)
+    if (mode_ != TrackingMode::KcfFallback) {
+        // Entering fallback: seed one KCF per current detection.
+        mode_ = TrackingMode::KcfFallback;
+        kcf_trackers_.clear();
+        for (const auto &det : detections) {
+            KcfSlot slot;
+            slot.id = next_kcf_id_++;
+            slot.cls = det.cls;
+            slot.tracker = std::make_unique<KcfTracker>(config_.kcf);
+            slot.tracker->init(frame, det.box.centerX(),
+                               det.box.centerY());
+            kcf_trackers_.push_back(std::move(slot));
+        }
+    }
+
+    for (auto &slot : kcf_trackers_) {
+        const KcfStatus status = slot.tracker->update(frame);
+        if (!status.confident)
+            continue;
+        HybridTrack track;
+        track.id = slot.id;
+        track.source = TrackingMode::KcfFallback;
+        track.cls = slot.cls;
+        track.pixel_u = status.x;
+        track.pixel_v = status.y;
+        tracks.push_back(track);
+    }
+    return tracks;
+}
+
+} // namespace sov

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hybrid radar/visual tracking (Sec. IV + Sec. VI-B).
+ *
+ * "Tracking is mostly done by a Radar ... but we use the Kernelized
+ * Correlation Filter (KCF) as the baseline tracking algorithm when
+ * Radar signals are unstable."
+ *
+ * The HybridTracker watches radar health per cycle: while confirmed
+ * radar tracks exist, objects come from radar + spatial sync (cheap).
+ * When the radar goes quiet for a few cycles (interference, clutter),
+ * it seeds KCF trackers from the latest vision detections and tracks
+ * in the image until radar recovers.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tracking/radar_tracker.h"
+#include "tracking/spatial_sync.h"
+#include "vision/kcf.h"
+
+namespace sov {
+
+/** Which tracking source produced this cycle's objects. */
+enum class TrackingMode { Radar, KcfFallback };
+
+/** One tracked object from either source. */
+struct HybridTrack
+{
+    std::uint32_t id = 0;
+    TrackingMode source = TrackingMode::Radar;
+    ObjectClass cls = ObjectClass::Static;
+    /** World position (radar mode) — not available in KCF mode. */
+    Vec2 position;
+    Vec2 velocity;
+    /** Image position (both modes). */
+    double pixel_u = 0.0;
+    double pixel_v = 0.0;
+};
+
+/** Hybrid tracker configuration. */
+struct HybridTrackerConfig
+{
+    /** Radar counts as unstable after this many scans with no
+     *  confirmed track while vision still sees objects. */
+    std::uint32_t unstable_after = 3;
+    SpatialSyncConfig spatial_sync;
+    KcfConfig kcf;
+};
+
+/** The radar-first, KCF-fallback tracker. */
+class HybridTracker
+{
+  public:
+    explicit HybridTracker(const HybridTrackerConfig &config = {})
+        : config_(config), radar_tracker_() {}
+
+    /**
+     * One tracking cycle.
+     * @param frame Current camera frame (used only in fallback mode).
+     * @param detections Current vision detections.
+     * @param radar_detections This cycle's radar scan output.
+     * @param camera / pose Projection for spatial sync.
+     * @param body Vehicle pose (radar polar -> world).
+     * @param t Cycle timestamp.
+     */
+    std::vector<HybridTrack> update(
+        const Image &frame, const std::vector<Detection> &detections,
+        const std::vector<RadarDetection> &radar_detections,
+        const CameraModel &camera, const CameraPose &pose,
+        const Pose2 &body, Timestamp t);
+
+    TrackingMode mode() const { return mode_; }
+    const RadarTracker &radarTracker() const { return radar_tracker_; }
+    std::size_t kcfTrackerCount() const { return kcf_trackers_.size(); }
+
+  private:
+    HybridTrackerConfig config_;
+    RadarTracker radar_tracker_;
+    TrackingMode mode_ = TrackingMode::Radar;
+    std::uint32_t quiet_scans_ = 0;
+
+    struct KcfSlot
+    {
+        std::uint32_t id;
+        ObjectClass cls;
+        std::unique_ptr<KcfTracker> tracker;
+    };
+    std::vector<KcfSlot> kcf_trackers_;
+    std::uint32_t next_kcf_id_ = 1000;
+};
+
+} // namespace sov

@@ -1,0 +1,101 @@
+#include "tracking/radar_tracker.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sov {
+
+void
+RadarTracker::update(const Pose2 &body,
+                     const std::vector<RadarDetection> &detections,
+                     Timestamp t, const Vec2 &ego_velocity)
+{
+    // Convert detections into world-frame points.
+    std::vector<Vec2> points;
+    points.reserve(detections.size());
+    for (const auto &det : detections) {
+        const double angle = body.heading + det.azimuth;
+        points.push_back(body.position +
+                         Vec2(std::cos(angle), std::sin(angle)) *
+                             det.range);
+    }
+
+    // Predict all tracks to the scan time.
+    for (auto &track : tracks_) {
+        const double dt = (t - track.last_update).toSeconds();
+        track.position += track.velocity * dt;
+    }
+
+    // Greedy nearest-neighbor association inside the gate.
+    std::vector<bool> det_used(points.size(), false);
+    for (auto &track : tracks_) {
+        double best = std::numeric_limits<double>::max();
+        std::size_t best_idx = points.size();
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (det_used[i])
+                continue;
+            const double d = track.position.distanceTo(points[i]);
+            if (d < best) {
+                best = d;
+                best_idx = i;
+            }
+        }
+        if (best_idx < points.size() && best <= config_.gate_distance) {
+            det_used[best_idx] = true;
+            const double dt =
+                std::max((t - track.last_update).toSeconds(), 1e-3);
+            const Vec2 residual = points[best_idx] - track.position;
+            track.position += residual * config_.alpha;
+            track.velocity += residual * (config_.beta / dt);
+            // Doppler: correct the radial velocity component with the
+            // direct measurement (relative vr + ego along the LOS).
+            const Vec2 rel = points[best_idx] - body.position;
+            if (rel.norm() > 1e-6) {
+                const Vec2 los = rel.normalized();
+                const double vr_world =
+                    detections[best_idx].radial_velocity +
+                    ego_velocity.dot(los);
+                const double vr_track = track.velocity.dot(los);
+                track.velocity +=
+                    los * ((vr_world - vr_track) * config_.doppler_gain);
+            }
+            track.last_update = t;
+            ++track.hits;
+            track.misses = 0;
+            track.truth_id = detections[best_idx].truth_id;
+        } else {
+            ++track.misses;
+        }
+    }
+
+    // Spawn tracks for unassociated detections.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (det_used[i])
+            continue;
+        RadarTrack track;
+        track.id = next_id_++;
+        track.position = points[i];
+        track.velocity = Vec2(0.0, 0.0);
+        track.last_update = t;
+        track.truth_id = detections[i].truth_id;
+        tracks_.push_back(track);
+    }
+
+    // Drop stale tracks.
+    std::erase_if(tracks_, [this](const RadarTrack &track) {
+        return track.misses > config_.max_misses;
+    });
+}
+
+std::vector<RadarTrack>
+RadarTracker::confirmedTracks() const
+{
+    std::vector<RadarTrack> out;
+    for (const auto &track : tracks_) {
+        if (track.confirmed())
+            out.push_back(track);
+    }
+    return out;
+}
+
+} // namespace sov

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Radar-based object tracking (Sec. VI-B).
+ *
+ * "We replace compute-intensive visual tracking algorithms with Radar
+ * sensors, which directly measure the relative radial velocity of an
+ * object and combine consecutive observations of the same target into
+ * a trajectory." Detections are associated to tracks by gated nearest-
+ * neighbor matching; each track runs an alpha-beta filter on position
+ * and velocity.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+#include "math/geometry.h"
+#include "sensors/radar.h"
+
+namespace sov {
+
+/** One maintained radar track. */
+struct RadarTrack
+{
+    std::uint32_t id = 0;
+    Vec2 position;      //!< world frame
+    Vec2 velocity;      //!< world frame, m/s
+    Timestamp last_update;
+    std::uint32_t hits = 1;     //!< associated detections so far
+    std::uint32_t misses = 0;   //!< consecutive unassociated scans
+    ObstacleId truth_id = 0;    //!< ground-truth link (tests only)
+
+    bool confirmed() const { return hits >= 3; }
+};
+
+/** Tracker tuning. */
+struct RadarTrackerConfig
+{
+    double gate_distance = 2.5;  //!< association gate, meters
+    double alpha = 0.5;          //!< position correction gain
+    double beta = 0.15;          //!< velocity correction gain
+    /** Doppler correction gain: the radar measures radial velocity
+     *  directly ("Radar ... directly measure[s] the relative radial
+     *  velocity of an object", Sec. VI-B), which is far less noisy
+     *  than differentiating positions. */
+    double doppler_gain = 0.6;
+    std::uint32_t max_misses = 5; //!< drop a track after this
+};
+
+/** Multi-object alpha-beta tracker over radar detections. */
+class RadarTracker
+{
+  public:
+    explicit RadarTracker(const RadarTrackerConfig &config = {})
+        : config_(config) {}
+
+    /**
+     * Feed one radar scan.
+     * @param body Vehicle pose at scan time (detections are in the
+     *        sensor polar frame and converted to world positions).
+     * @param detections The scan's detections.
+     * @param t Scan timestamp.
+     */
+    void update(const Pose2 &body,
+                const std::vector<RadarDetection> &detections, Timestamp t,
+                const Vec2 &ego_velocity = Vec2(0.0, 0.0));
+
+    const std::vector<RadarTrack> &tracks() const { return tracks_; }
+
+    /** Only tracks that have been confirmed by repeated association. */
+    std::vector<RadarTrack> confirmedTracks() const;
+
+  private:
+    RadarTrackerConfig config_;
+    std::vector<RadarTrack> tracks_;
+    std::uint32_t next_id_ = 1;
+};
+
+} // namespace sov

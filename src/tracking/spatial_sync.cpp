@@ -1,0 +1,56 @@
+#include "tracking/spatial_sync.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sov {
+
+std::vector<FusedObject>
+spatialSync(const CameraModel &camera, const CameraPose &pose,
+            const std::vector<RadarTrack> &tracks,
+            const std::vector<Detection> &detections,
+            const SpatialSyncConfig &config)
+{
+    std::vector<FusedObject> fused;
+    std::vector<bool> det_used(detections.size(), false);
+
+    for (const auto &track : tracks) {
+        // Project the track's assumed object center into the image.
+        const auto proj = camera.project(
+            pose, Vec3(track.position.x(), track.position.y(),
+                       config.assumed_height));
+        if (!proj)
+            continue;
+
+        double best = std::numeric_limits<double>::max();
+        std::size_t best_idx = detections.size();
+        for (std::size_t i = 0; i < detections.size(); ++i) {
+            if (det_used[i])
+                continue;
+            const double d =
+                std::hypot(detections[i].box.centerX() - proj->first.u,
+                           detections[i].box.centerY() - proj->first.v);
+            if (d < best) {
+                best = d;
+                best_idx = i;
+            }
+        }
+        if (best_idx >= detections.size() ||
+            best > config.max_pixel_distance) {
+            continue;
+        }
+        det_used[best_idx] = true;
+
+        FusedObject obj;
+        obj.track_id = track.id;
+        obj.position = track.position;
+        obj.velocity = track.velocity;
+        obj.cls = detections[best_idx].cls;
+        obj.confidence = detections[best_idx].confidence;
+        obj.box = detections[best_idx].box;
+        fused.push_back(obj);
+    }
+    return fused;
+}
+
+} // namespace sov

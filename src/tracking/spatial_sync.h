@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Spatial synchronization of radar tracks and vision detections
+ * (Sec. VI-B).
+ *
+ * Radar tracks positions and velocities but does not classify; vision
+ * detects and classifies but tracking visually (KCF) is ~100x more
+ * expensive than this matcher. The algorithm projects each radar
+ * track into the camera and greedily matches projected positions to
+ * detection boxes, producing classified, velocity-annotated objects.
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tracking/radar_tracker.h"
+#include "vision/camera_model.h"
+#include "vision/detector.h"
+
+namespace sov {
+
+/** A fused (radar + vision) object. */
+struct FusedObject
+{
+    std::uint32_t track_id = 0;
+    Vec2 position;      //!< world frame (radar)
+    Vec2 velocity;      //!< world frame (radar)
+    ObjectClass cls = ObjectClass::Static; //!< from vision
+    double confidence = 0.0;               //!< detector confidence
+    BoundingBox box;    //!< matched image box
+};
+
+/** Matching tuning. */
+struct SpatialSyncConfig
+{
+    /** Maximum pixel distance between a projected track and a box
+     *  center for a match. */
+    double max_pixel_distance = 60.0;
+    /** Assumed object center height for projection, meters. */
+    double assumed_height = 0.9;
+};
+
+/**
+ * Match radar tracks with vision detections.
+ * @param camera The camera the detections came from.
+ * @param pose Camera pose at the detection frame's capture time.
+ * @param tracks Confirmed radar tracks.
+ * @param detections Vision detections in that frame.
+ */
+std::vector<FusedObject> spatialSync(const CameraModel &camera,
+                                     const CameraPose &pose,
+                                     const std::vector<RadarTrack> &tracks,
+                                     const std::vector<Detection> &detections,
+                                     const SpatialSyncConfig &config = {});
+
+} // namespace sov

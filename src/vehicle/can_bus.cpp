@@ -1,0 +1,15 @@
+#include "vehicle/can_bus.h"
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+CanBus::transmit(const ControlCommand &command)
+{
+    SOV_ASSERT(receiver_ != nullptr);
+    ++frames_sent_;
+    sim_.schedule(latency_, [this, command] { receiver_(command); });
+}
+
+} // namespace sov

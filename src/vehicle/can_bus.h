@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Controller Area Network model: delivers control commands from the
+ * computing platform to the ECU with the ~1 ms latency the paper
+ * measures (T_data, Sec. III-A).
+ */
+#pragma once
+
+#include <functional>
+
+#include "core/time.h"
+#include "planning/planner_types.h"
+#include "sim/simulator.h"
+
+namespace sov {
+
+/** CAN bus with fixed transmission latency. */
+class CanBus
+{
+  public:
+    using Receiver = std::function<void(const ControlCommand &)>;
+
+    /**
+     * @param sim Event engine used for delayed delivery.
+     * @param latency One-way transmission latency (default 1 ms).
+     */
+    CanBus(Simulator &sim, Duration latency = Duration::millisF(1.0))
+        : sim_(sim), latency_(latency) {}
+
+    /** Register the ECU-side receiver. */
+    void connect(Receiver receiver) { receiver_ = std::move(receiver); }
+
+    /** Transmit a command; delivered after the bus latency. */
+    void transmit(const ControlCommand &command);
+
+    Duration latency() const { return latency_; }
+    std::uint64_t framesSent() const { return frames_sent_; }
+
+  private:
+    Simulator &sim_;
+    Duration latency_;
+    Receiver receiver_;
+    std::uint64_t frames_sent_ = 0;
+};
+
+} // namespace sov

@@ -1,0 +1,56 @@
+#include "vehicle/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+VehicleDynamics::applyActuator(const ActuatorState &state)
+{
+    actuator_ = state;
+    actuator_.acceleration =
+        std::clamp(actuator_.acceleration, -params_.max_brake_decel,
+                   params_.max_accel);
+    actuator_.curvature =
+        std::clamp(actuator_.curvature, -params_.max_curvature,
+                   params_.max_curvature);
+}
+
+void
+VehicleDynamics::step(Duration dt)
+{
+    const double h = dt.toSeconds();
+    SOV_ASSERT(h >= 0.0);
+
+    double accel = actuator_.acceleration;
+    if (actuator_.emergency_brake)
+        accel = -params_.max_brake_decel;
+
+    const double v0 = speed_;
+    double v1 = std::clamp(v0 + accel * h, 0.0, params_.max_speed);
+
+    // Distance under (possibly clamped) constant acceleration.
+    double dist;
+    if (accel < 0.0 && v1 == 0.0 && v0 > 0.0) {
+        // Stopped partway through the step.
+        const double t_stop = v0 / -accel;
+        dist = 0.5 * v0 * t_stop;
+    } else {
+        dist = 0.5 * (v0 + v1) * h;
+    }
+
+    // Kinematic steering: heading changes with curvature * distance.
+    const double dtheta = actuator_.curvature * dist;
+    const double heading_mid = pose_.heading + 0.5 * dtheta;
+    pose_.position += Vec2(std::cos(heading_mid), std::sin(heading_mid))
+        * dist;
+    pose_.heading = wrapAngle(pose_.heading + dtheta);
+
+    speed_ = v1;
+    odometer_ += dist;
+}
+
+} // namespace sov

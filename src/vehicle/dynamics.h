@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Longitudinal + kinematic-steering vehicle dynamics.
+ *
+ * Parameters follow the paper's 2-seater pod: 20 mph top speed,
+ * 4 m/s^2 braking deceleration (Sec. III-A), which yields the 4 m
+ * braking distance at the 5.6 m/s typical speed.
+ */
+#pragma once
+
+#include "core/time.h"
+#include "math/geometry.h"
+
+namespace sov {
+
+/** Physical limits of the vehicle. */
+struct VehicleParams
+{
+    double max_speed = 8.94;        //!< 20 mph (Sec. II-A)
+    double max_accel = 1.5;         //!< m/s^2
+    double max_brake_decel = 4.0;   //!< m/s^2 (Sec. III-A)
+    double max_curvature = 0.5;     //!< 1/m steering limit
+};
+
+/** Applied actuator setpoints. */
+struct ActuatorState
+{
+    double acceleration = 0.0;   //!< commanded accel (clamped)
+    double curvature = 0.0;      //!< commanded path curvature
+    bool emergency_brake = false;
+};
+
+/** The simulated vehicle plant. */
+class VehicleDynamics
+{
+  public:
+    explicit VehicleDynamics(const VehicleParams &params = {})
+        : params_(params) {}
+
+    /** Set actuator commands (already past CAN + mechanical delay). */
+    void applyActuator(const ActuatorState &state);
+
+    /** Advance the plant by @p dt. */
+    void step(Duration dt);
+
+    const Pose2 &pose() const { return pose_; }
+    double speed() const { return speed_; }
+    void setPose(const Pose2 &pose) { pose_ = pose; }
+    void setSpeed(double speed) { speed_ = speed; }
+    const VehicleParams &params() const { return params_; }
+
+    /** Distance covered since construction. */
+    double odometer() const { return odometer_; }
+
+    /** True once the vehicle has fully stopped. */
+    bool stopped() const { return speed_ <= 1e-6; }
+
+    /** Analytic braking distance from speed @p v at full braking. */
+    double
+    brakingDistance(double v) const
+    {
+        return v * v / (2.0 * params_.max_brake_decel);
+    }
+
+  private:
+    VehicleParams params_;
+    Pose2 pose_;
+    double speed_ = 0.0;
+    double odometer_ = 0.0;
+    ActuatorState actuator_;
+};
+
+} // namespace sov

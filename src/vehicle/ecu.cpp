@@ -1,0 +1,38 @@
+#include "vehicle/ecu.h"
+
+namespace sov {
+
+void
+Ecu::onCommand(const ControlCommand &command)
+{
+    sim_.schedule(mechanical_latency_, [this, command] {
+        if (emergency_)
+            return; // reactive override wins (Sec. IV)
+        ActuatorState state;
+        state.acceleration = command.acceleration;
+        state.curvature = command.steer_curvature;
+        state.emergency_brake = command.emergency_brake;
+        vehicle_.applyActuator(state);
+    });
+}
+
+void
+Ecu::emergencyBrake()
+{
+    emergency_ = true;
+    sim_.schedule(mechanical_latency_, [this] {
+        if (!emergency_)
+            return;
+        ActuatorState state;
+        state.emergency_brake = true;
+        vehicle_.applyActuator(state);
+    });
+}
+
+void
+Ecu::releaseEmergencyBrake()
+{
+    emergency_ = false;
+}
+
+} // namespace sov

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * From-scratch CNN engine for the DNN-based object detector (Table III:
+ * YOLO / Mask R-CNN class of workloads).
+ *
+ * The paper's detector is the only deep model in the pipeline; its
+ * models are retrained per deployment site (Sec. IV). We reproduce
+ * that with a small convolutional classifier — conv / ReLU / max-pool /
+ * fully-connected layers with softmax cross-entropy — including SGD
+ * training so site-specific models can be fit to the synthetic worlds.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "vision/image.h"
+
+namespace sov {
+
+/** CHW float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    Tensor(std::size_t channels, std::size_t height, std::size_t width)
+        : c_(channels), h_(height), w_(width),
+          data_(channels * height * width, 0.0f) {}
+
+    std::size_t channels() const { return c_; }
+    std::size_t height() const { return h_; }
+    std::size_t width() const { return w_; }
+    std::size_t size() const { return data_.size(); }
+
+    float operator()(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        return data_[(c * h_ + y) * w_ + x];
+    }
+    float &operator()(std::size_t c, std::size_t y, std::size_t x)
+    {
+        return data_[(c * h_ + y) * w_ + x];
+    }
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Wrap a grayscale image as a 1-channel tensor. */
+    static Tensor fromImage(const Image &image);
+
+  private:
+    std::size_t c_ = 0, h_ = 0, w_ = 0;
+    std::vector<float> data_;
+};
+
+/** Abstract differentiable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Forward pass; caches whatever backward needs. */
+    virtual Tensor forward(const Tensor &input) = 0;
+
+    /** Backward pass: dL/dInput from dL/dOutput; accumulates grads. */
+    virtual Tensor backward(const Tensor &grad_output) = 0;
+
+    /** SGD step with learning rate @p lr, then zero the gradients. */
+    virtual void applyGradients(float lr, std::size_t batch) = 0;
+
+    /** Number of learnable parameters. */
+    virtual std::size_t parameterCount() const = 0;
+
+    /** Multiply-accumulate count of one forward pass (compute model). */
+    virtual std::size_t macs(std::size_t in_h, std::size_t in_w) const = 0;
+};
+
+/** 2-D convolution, stride 1, zero padding to preserve size. */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(std::size_t in_channels, std::size_t out_channels,
+           std::size_t kernel, Rng &rng);
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    void applyGradients(float lr, std::size_t batch) override;
+    std::size_t parameterCount() const override;
+    std::size_t macs(std::size_t in_h, std::size_t in_w) const override;
+
+    /** Direct weight access: weight(out, in, ky, kx). */
+    float &weight(std::size_t o, std::size_t i, std::size_t ky,
+                  std::size_t kx);
+    float &bias(std::size_t o) { return bias_[o]; }
+
+  private:
+    std::size_t in_c_, out_c_, k_;
+    std::vector<float> weights_; //!< out*in*k*k
+    std::vector<float> bias_;
+    std::vector<float> grad_weights_;
+    std::vector<float> grad_bias_;
+    Tensor cached_input_;
+};
+
+/** Element-wise ReLU. */
+class Relu : public Layer
+{
+  public:
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    void applyGradients(float, std::size_t) override {}
+    std::size_t parameterCount() const override { return 0; }
+    std::size_t macs(std::size_t, std::size_t) const override { return 0; }
+
+  private:
+    Tensor cached_input_;
+};
+
+/** 2x2 max pooling, stride 2. */
+class MaxPool2 : public Layer
+{
+  public:
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    void applyGradients(float, std::size_t) override {}
+    std::size_t parameterCount() const override { return 0; }
+    std::size_t macs(std::size_t, std::size_t) const override { return 0; }
+
+  private:
+    Tensor cached_input_;
+    std::vector<std::size_t> argmax_;
+    std::size_t out_c_ = 0, out_h_ = 0, out_w_ = 0;
+};
+
+/** Fully connected layer (flattens its input). */
+class Dense : public Layer
+{
+  public:
+    Dense(std::size_t in_features, std::size_t out_features, Rng &rng);
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    void applyGradients(float lr, std::size_t batch) override;
+    std::size_t parameterCount() const override;
+    std::size_t macs(std::size_t, std::size_t) const override;
+
+  private:
+    std::size_t in_f_, out_f_;
+    std::vector<float> weights_; //!< out x in
+    std::vector<float> bias_;
+    std::vector<float> grad_weights_;
+    std::vector<float> grad_bias_;
+    Tensor cached_input_;
+};
+
+/** A sequential network with softmax-cross-entropy training. */
+class Network
+{
+  public:
+    Network() = default;
+
+    void add(std::unique_ptr<Layer> layer);
+    std::size_t numLayers() const { return layers_.size(); }
+
+    /** Forward pass to raw logits (1 x 1 x N tensor). */
+    Tensor forward(const Tensor &input);
+
+    /** Softmax class probabilities of the logits. */
+    static std::vector<double> softmax(const Tensor &logits);
+
+    /** Class prediction (argmax probability). */
+    std::size_t predict(const Tensor &input);
+
+    /**
+     * One SGD step on a single example.
+     * @return Cross-entropy loss before the step.
+     */
+    double trainStep(const Tensor &input, std::size_t label, float lr);
+
+    /**
+     * Train on a dataset for @p epochs (shuffled each epoch).
+     * @return Final-epoch mean loss.
+     */
+    double train(const std::vector<Tensor> &inputs,
+                 const std::vector<std::size_t> &labels, float lr,
+                 std::size_t epochs, Rng &rng);
+
+    /** Classification accuracy on a dataset. */
+    double evaluate(const std::vector<Tensor> &inputs,
+                    const std::vector<std::size_t> &labels);
+
+    /** Total learnable parameters. */
+    std::size_t parameterCount() const;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * The site-specific patch classifier used by the object detector:
+ * conv3x3(1->8) / ReLU / pool / conv3x3(8->16) / ReLU / pool / dense.
+ * @param patch Input patch edge length (must be divisible by 4).
+ * @param classes Output classes.
+ */
+Network makePatchClassifier(std::size_t patch, std::size_t classes,
+                            Rng &rng);
+
+} // namespace sov

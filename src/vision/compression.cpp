@@ -1,0 +1,117 @@
+#include "vision/compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+namespace {
+
+/** Map a signed delta to an unsigned code (0, -1, 1, -2, ... order). */
+std::uint8_t
+zigzag(int delta)
+{
+    // Deltas of 8-bit values fit in [-255, 255]; encode modulo 256
+    // with zigzag so small magnitudes get small codes.
+    const int z = delta >= 0 ? 2 * delta : -2 * delta - 1;
+    return static_cast<std::uint8_t>(z & 0xff);
+}
+
+int
+unzigzag(std::uint8_t code)
+{
+    const int z = code;
+    return (z & 1) ? -(z + 1) / 2 : z / 2;
+}
+
+constexpr std::uint8_t kRunMarker = 0xff; //!< marker, count, value
+
+} // namespace
+
+CompressedFrame
+compressFrame(const Image &frame)
+{
+    CompressedFrame out;
+    out.width = static_cast<std::uint32_t>(frame.width());
+    out.height = static_cast<std::uint32_t>(frame.height());
+    out.payload.reserve(frame.width() * frame.height() / 2);
+
+    // Quantize + horizontal delta + zigzag into a code stream.
+    std::vector<std::uint8_t> codes;
+    codes.reserve(frame.width() * frame.height());
+    for (std::size_t y = 0; y < frame.height(); ++y) {
+        int prev = 0; // each row predicts from 0 at its start
+        for (std::size_t x = 0; x < frame.width(); ++x) {
+            const int q = static_cast<int>(std::lround(
+                std::clamp(static_cast<double>(frame(x, y)), 0.0, 1.0) *
+                255.0));
+            // Deltas wrap modulo 256; the decoder reverses exactly.
+            int delta = q - prev;
+            if (delta > 127)
+                delta -= 256;
+            if (delta < -128)
+                delta += 256;
+            codes.push_back(zigzag(delta));
+            prev = q;
+        }
+    }
+
+    // Run-length encode the code stream. Literal 0xff is escaped as a
+    // run of length 1 so the marker stays unambiguous.
+    for (std::size_t i = 0; i < codes.size();) {
+        std::size_t run = 1;
+        while (i + run < codes.size() && codes[i + run] == codes[i] &&
+               run < 255) {
+            ++run;
+        }
+        if (run >= 4 || codes[i] == kRunMarker) {
+            out.payload.push_back(kRunMarker);
+            out.payload.push_back(static_cast<std::uint8_t>(run));
+            out.payload.push_back(codes[i]);
+        } else {
+            for (std::size_t k = 0; k < run; ++k)
+                out.payload.push_back(codes[i]);
+        }
+        i += run;
+    }
+    return out;
+}
+
+Image
+decompressFrame(const CompressedFrame &frame)
+{
+    // Expand the RLE stream back into codes.
+    std::vector<std::uint8_t> codes;
+    codes.reserve(static_cast<std::size_t>(frame.width) * frame.height);
+    for (std::size_t i = 0; i < frame.payload.size();) {
+        if (frame.payload[i] == kRunMarker) {
+            SOV_ASSERT(i + 2 < frame.payload.size());
+            const std::size_t run = frame.payload[i + 1];
+            const std::uint8_t value = frame.payload[i + 2];
+            codes.insert(codes.end(), run, value);
+            i += 3;
+        } else {
+            codes.push_back(frame.payload[i]);
+            ++i;
+        }
+    }
+    SOV_ASSERT(codes.size() ==
+               static_cast<std::size_t>(frame.width) * frame.height);
+
+    Image out(frame.width, frame.height);
+    std::size_t idx = 0;
+    for (std::size_t y = 0; y < frame.height; ++y) {
+        int prev = 0;
+        for (std::size_t x = 0; x < frame.width; ++x) {
+            int q = prev + unzigzag(codes[idx++]);
+            q &= 0xff; // undo the modulo-256 delta wrap
+            out(x, y) = static_cast<float>(q) / 255.0f;
+            prev = q;
+        }
+    }
+    return out;
+}
+
+} // namespace sov

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Lossless-after-quantization frame compression.
+ *
+ * The vehicles store raw camera data on the on-vehicle SSD ("as high
+ * as 1 TB per day ... even after compression", Sec. II-B) and upload
+ * compressed samples to the cloud; Sec. VII names this hourly
+ * compression task as the canonical infrequent workload to swap onto
+ * the FPGA via runtime partial reconfiguration. This is that codec:
+ * 8-bit quantization, horizontal predictive (delta) coding, zigzag
+ * mapping, and run-length encoding — cheap enough for an embedded
+ * accelerator, effective on the smooth frames cameras produce.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace sov {
+
+/** An encoded frame. */
+struct CompressedFrame
+{
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::vector<std::uint8_t> payload;
+
+    /** Compression ratio vs the 8-bit raw frame. */
+    double
+    ratio() const
+    {
+        const double raw = static_cast<double>(width) * height;
+        return payload.empty() ? 0.0 : raw / payload.size();
+    }
+};
+
+/**
+ * Encode a frame. Intensities are clamped to [0,1] and quantized to
+ * 8 bits; everything after quantization is lossless.
+ */
+CompressedFrame compressFrame(const Image &frame);
+
+/**
+ * Decode a frame. Round-trips the quantized values exactly, so the
+ * reconstruction error is bounded by the 1/255 quantization step.
+ */
+Image decompressFrame(const CompressedFrame &frame);
+
+} // namespace sov

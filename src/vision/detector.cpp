@@ -1,0 +1,293 @@
+#include "vision/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/logging.h"
+#include "vision/renderer.h"
+
+namespace sov {
+
+double
+BoundingBox::iou(const BoundingBox &o) const
+{
+    const double x1 = std::max(x, o.x);
+    const double y1 = std::max(y, o.y);
+    const double x2 = std::min(x + w, o.x + o.w);
+    const double y2 = std::min(y + h, o.y + o.h);
+    if (x2 <= x1 || y2 <= y1)
+        return 0.0;
+    const double inter = (x2 - x1) * (y2 - y1);
+    return inter / (area() + o.area() - inter);
+}
+
+std::optional<BoundingBox>
+projectObstacleBox(const CameraModel &camera, const CameraPose &pose,
+                   const Obstacle &obstacle, Timestamp t)
+{
+    const OrientedBox2 footprint = obstacle.footprintAt(t);
+    const auto corners = footprint.corners();
+    double u_min = 1e18, u_max = -1e18, v_min = 1e18, v_max = -1e18;
+    bool any = false;
+    for (const auto &c : corners) {
+        for (const double z : {0.0, obstacle.height}) {
+            const auto proj = camera.project(pose, Vec3(c.x(), c.y(), z));
+            if (!proj)
+                continue;
+            any = true;
+            u_min = std::min(u_min, proj->first.u);
+            u_max = std::max(u_max, proj->first.u);
+            v_min = std::min(v_min, proj->first.v);
+            v_max = std::max(v_max, proj->first.v);
+        }
+    }
+    if (!any || u_max - u_min < 1.0 || v_max - v_min < 1.0)
+        return std::nullopt;
+    return BoundingBox{u_min, v_min, u_max - u_min, v_max - v_min};
+}
+
+ObjectDetector::ObjectDetector(Network classifier,
+                               const DetectorConfig &config)
+    : classifier_(std::move(classifier)), config_(config)
+{
+}
+
+std::vector<BoundingBox>
+ObjectDetector::proposals(const Image &frame) const
+{
+    const std::size_t w = frame.width();
+    const std::size_t h = frame.height();
+
+    // Connected components of below-threshold pixels (8-connectivity).
+    std::vector<int> labels(w * h, -1);
+    std::vector<BoundingBox> boxes;
+    int next_label = 0;
+
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            if (labels[y * w + x] != -1 ||
+                frame(x, y) >= config_.intensity_threshold) {
+                continue;
+            }
+            // BFS flood fill.
+            std::size_t count = 0;
+            std::size_t x_min = x, x_max = x, y_min = y, y_max = y;
+            std::queue<std::pair<std::size_t, std::size_t>> frontier;
+            frontier.emplace(x, y);
+            labels[y * w + x] = next_label;
+            while (!frontier.empty()) {
+                const auto [cx, cy] = frontier.front();
+                frontier.pop();
+                ++count;
+                x_min = std::min(x_min, cx);
+                x_max = std::max(x_max, cx);
+                y_min = std::min(y_min, cy);
+                y_max = std::max(y_max, cy);
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const long nx = static_cast<long>(cx) + dx;
+                        const long ny = static_cast<long>(cy) + dy;
+                        if (nx < 0 || ny < 0 ||
+                            nx >= static_cast<long>(w) ||
+                            ny >= static_cast<long>(h)) {
+                            continue;
+                        }
+                        const auto idx = static_cast<std::size_t>(ny) * w +
+                            static_cast<std::size_t>(nx);
+                        if (labels[idx] != -1 ||
+                            frame(static_cast<std::size_t>(nx),
+                                  static_cast<std::size_t>(ny)) >=
+                                config_.intensity_threshold) {
+                            continue;
+                        }
+                        labels[idx] = next_label;
+                        frontier.emplace(static_cast<std::size_t>(nx),
+                                         static_cast<std::size_t>(ny));
+                    }
+                }
+            }
+            ++next_label;
+            if (count >= config_.min_box_pixels) {
+                boxes.push_back(BoundingBox{
+                    static_cast<double>(x_min), static_cast<double>(y_min),
+                    static_cast<double>(x_max - x_min + 1),
+                    static_cast<double>(y_max - y_min + 1)});
+            }
+        }
+    }
+    return boxes;
+}
+
+Image
+ObjectDetector::extractPatch(const Image &frame,
+                             const BoundingBox &box) const
+{
+    const std::size_t p = config_.patch_size;
+    Image patch(p, p);
+    for (std::size_t py = 0; py < p; ++py) {
+        for (std::size_t px = 0; px < p; ++px) {
+            const double sx = box.x + (px + 0.5) / p * box.w;
+            const double sy = box.y + (py + 0.5) / p * box.h;
+            patch(px, py) = frame.sampleBilinear(sx, sy);
+        }
+    }
+    return patch;
+}
+
+std::vector<Detection>
+ObjectDetector::detect(const Image &frame) const
+{
+    std::vector<Detection> detections;
+    for (const auto &box : proposals(frame)) {
+        const Image patch = extractPatch(frame, box);
+        const Tensor logits = classifier_.forward(Tensor::fromImage(patch));
+        const auto probs = Network::softmax(logits);
+        SOV_ASSERT(probs.size() == 5);
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < probs.size(); ++i)
+            if (probs[i] > probs[best])
+                best = i;
+        if (best == 4 || probs[best] < config_.min_confidence)
+            continue; // background or low confidence
+        Detection det;
+        det.box = box;
+        det.cls = static_cast<ObjectClass>(best);
+        det.confidence = probs[best];
+        detections.push_back(det);
+    }
+
+    // Greedy non-maximum suppression.
+    std::sort(detections.begin(), detections.end(),
+              [](const Detection &a, const Detection &b) {
+                  return a.confidence > b.confidence;
+              });
+    std::vector<Detection> kept;
+    for (const auto &det : detections) {
+        bool suppressed = false;
+        for (const auto &k : kept) {
+            if (det.box.iou(k.box) > config_.nms_iou) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(det);
+    }
+    return kept;
+}
+
+std::size_t
+classLabel(ObjectClass c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+std::vector<PatchExample>
+buildPatchDataset(const World &world, const CameraModel &camera,
+                  std::size_t views, std::size_t patch_size, Rng &rng)
+{
+    Renderer renderer;
+    std::vector<PatchExample> examples;
+    DetectorConfig cfg;
+    cfg.patch_size = patch_size;
+    // A scratch detector only used for its patch resampler.
+    Rng net_rng = rng.fork("scratch");
+    ObjectDetector resampler(makePatchClassifier(patch_size, 5, net_rng),
+                             cfg);
+
+    std::vector<PatchExample> background;
+    for (std::size_t v = 0; v < views; ++v) {
+        // Aim each viewpoint at a random obstacle so the dataset is not
+        // dominated by empty views.
+        Pose2 body{Vec2(rng.uniform(-30, 30), rng.uniform(-30, 30)),
+                   rng.uniform(-M_PI, M_PI)};
+        if (!world.obstacles().empty()) {
+            const auto &target = world.obstacles()[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(
+                                   world.obstacles().size()) - 1))];
+            const double bearing = rng.uniform(-M_PI, M_PI);
+            const double dist = rng.uniform(5.0, 22.0);
+            const Vec2 tpos = target.footprint.pose.position;
+            body.position = tpos +
+                Vec2(std::cos(bearing), std::sin(bearing)) * dist;
+            const Vec2 to_target = tpos - body.position;
+            body.heading = std::atan2(to_target.y(), to_target.x()) +
+                rng.uniform(-0.15, 0.15);
+        }
+        const CameraPose pose = camera.poseAt(body);
+        const RenderedFrame frame =
+            renderer.render(world, camera, pose, Timestamp::origin());
+
+        // Positive patches from ground-truth boxes.
+        for (const auto &obs : world.obstacles()) {
+            const auto box = projectObstacleBox(camera, pose, obs,
+                                                Timestamp::origin());
+            if (!box || box->w < 6.0 || box->h < 6.0)
+                continue;
+            const Image patch =
+                resampler.extractPatch(frame.intensity, *box);
+            examples.push_back(PatchExample{Tensor::fromImage(patch),
+                                            classLabel(obs.cls)});
+        }
+
+        // Background patches (label 4).
+        for (int b = 0; b < 2; ++b) {
+            const double bw = rng.uniform(12, 50);
+            const double bh = rng.uniform(12, 50);
+            const BoundingBox box{
+                rng.uniform(0.0, camera.intrinsics().width - bw),
+                rng.uniform(0.0, camera.intrinsics().height - bh), bw, bh};
+            bool overlaps = false;
+            for (const auto &obs : world.obstacles()) {
+                const auto gt = projectObstacleBox(camera, pose, obs,
+                                                   Timestamp::origin());
+                if (gt && gt->iou(box) > 0.05) {
+                    overlaps = true;
+                    break;
+                }
+            }
+            if (overlaps)
+                continue;
+            const Image patch =
+                resampler.extractPatch(frame.intensity, box);
+            background.push_back(
+                PatchExample{Tensor::fromImage(patch), 4});
+        }
+    }
+
+    // Keep the classes balanced: at most one background example per
+    // positive (and at least a handful).
+    const std::size_t keep =
+        std::max<std::size_t>(4, examples.size());
+    for (std::size_t i = 0; i < background.size() && i < keep; ++i)
+        examples.push_back(std::move(background[i]));
+    return examples;
+}
+
+ObjectDetector
+trainSiteDetector(const World &world, const CameraModel &camera,
+                  std::size_t views, std::size_t epochs, Rng &rng,
+                  const DetectorConfig &config)
+{
+    Rng net_rng = rng.fork("detector-weights");
+    Network net = makePatchClassifier(config.patch_size, 5, net_rng);
+
+    const auto dataset =
+        buildPatchDataset(world, camera, views, config.patch_size, rng);
+    SOV_ASSERT(!dataset.empty());
+
+    std::vector<Tensor> inputs;
+    std::vector<std::size_t> labels;
+    inputs.reserve(dataset.size());
+    for (const auto &ex : dataset) {
+        inputs.push_back(ex.patch);
+        labels.push_back(ex.label);
+    }
+    Rng train_rng = rng.fork("detector-train");
+    net.train(inputs, labels, 0.01f, epochs, train_rng);
+    return ObjectDetector(std::move(net), config);
+}
+
+} // namespace sov

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Object detection: region proposals + CNN patch classification.
+ *
+ * The paper detects objects with a DNN (YOLO / Mask R-CNN, Table III)
+ * retrained per deployment site. Our detector mirrors that structure
+ * at synthetic scale: a deterministic proposal stage finds candidate
+ * regions (obstacles render darker than the textured ground), and the
+ * trained patch classifier assigns the object class. The ground-truth
+ * projector and dataset builder make per-site training reproducible.
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "vision/camera_model.h"
+#include "vision/cnn.h"
+#include "vision/image.h"
+#include "world/world.h"
+
+namespace sov {
+
+/** Axis-aligned pixel bounding box. */
+struct BoundingBox
+{
+    double x = 0.0; //!< top-left u
+    double y = 0.0; //!< top-left v
+    double w = 0.0;
+    double h = 0.0;
+
+    double centerX() const { return x + w / 2.0; }
+    double centerY() const { return y + h / 2.0; }
+    double area() const { return w * h; }
+
+    /** Intersection-over-union with another box. */
+    double iou(const BoundingBox &o) const;
+};
+
+/** One detection. */
+struct Detection
+{
+    BoundingBox box;
+    ObjectClass cls = ObjectClass::Static;
+    double confidence = 0.0;
+};
+
+/** Detector parameters. */
+struct DetectorConfig
+{
+    double intensity_threshold = 0.33; //!< darker pixels are candidates
+    std::size_t min_box_pixels = 25;   //!< reject tiny components
+    std::size_t patch_size = 16;       //!< classifier input edge
+    double min_confidence = 0.5;
+    double nms_iou = 0.4;
+};
+
+/**
+ * Project an obstacle's 3-D extent into the image.
+ * @return The bounding box, or nullopt when fully out of view.
+ */
+std::optional<BoundingBox> projectObstacleBox(const CameraModel &camera,
+                                              const CameraPose &pose,
+                                              const Obstacle &obstacle,
+                                              Timestamp t);
+
+/** Proposal + CNN detector. */
+class ObjectDetector
+{
+  public:
+    /**
+     * @param classifier Trained patch classifier with 5 outputs:
+     *        pedestrian, car, bicycle, static, background.
+     */
+    ObjectDetector(Network classifier, const DetectorConfig &config = {});
+
+    /** Detect objects in a frame. */
+    std::vector<Detection> detect(const Image &frame) const;
+
+    /** Stage 1 only: candidate boxes before classification. */
+    std::vector<BoundingBox> proposals(const Image &frame) const;
+
+    /** Resample a box region into the classifier input patch. */
+    Image extractPatch(const Image &frame, const BoundingBox &box) const;
+
+    const DetectorConfig &config() const { return config_; }
+
+  private:
+    mutable Network classifier_;
+    DetectorConfig config_;
+};
+
+/** Labelled training example for the patch classifier. */
+struct PatchExample
+{
+    Tensor patch;
+    std::size_t label; //!< 0..3 = ObjectClass, 4 = background
+};
+
+/** Class label index of an ObjectClass. */
+std::size_t classLabel(ObjectClass c);
+
+/**
+ * Build a balanced patch dataset by rendering @p views random
+ * viewpoints of @p world and cropping ground-truth object boxes plus
+ * random background patches (the "deployment-specific training data"
+ * of Sec. IV).
+ */
+std::vector<PatchExample> buildPatchDataset(const World &world,
+                                            const CameraModel &camera,
+                                            std::size_t views,
+                                            std::size_t patch_size,
+                                            Rng &rng);
+
+/**
+ * Train a fresh site-specific detector on @p world.
+ * @param epochs SGD epochs over the generated dataset.
+ */
+ObjectDetector trainSiteDetector(const World &world,
+                                 const CameraModel &camera,
+                                 std::size_t views, std::size_t epochs,
+                                 Rng &rng,
+                                 const DetectorConfig &config = {});
+
+} // namespace sov

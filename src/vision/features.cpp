@@ -1,0 +1,203 @@
+#include "vision/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+std::vector<Corner>
+detectCorners(const Image &image, const CornerConfig &config)
+{
+    const Image gx = image.gradientX();
+    const Image gy = image.gradientY();
+    const std::size_t w = image.width();
+    const std::size_t h = image.height();
+    const int r = config.block_radius;
+
+    // Min-eigenvalue response per pixel.
+    Image response(w, h, 0.0f);
+    double best = 0.0;
+    for (std::size_t y = r; y + r < h; ++y) {
+        for (std::size_t x = r; x + r < w; ++x) {
+            double ixx = 0.0, iyy = 0.0, ixy = 0.0;
+            for (int dy = -r; dy <= r; ++dy) {
+                for (int dx = -r; dx <= r; ++dx) {
+                    const double vx = gx(x + dx, y + dy);
+                    const double vy = gy(x + dx, y + dy);
+                    ixx += vx * vx;
+                    iyy += vy * vy;
+                    ixy += vx * vy;
+                }
+            }
+            // Smaller eigenvalue of [[ixx, ixy], [ixy, iyy]].
+            const double tr = ixx + iyy;
+            const double det = ixx * iyy - ixy * ixy;
+            const double disc = std::sqrt(
+                std::max(0.0, tr * tr / 4.0 - det));
+            const double lambda_min = tr / 2.0 - disc;
+            response(x, y) = static_cast<float>(lambda_min);
+            best = std::max(best, lambda_min);
+        }
+    }
+
+    // Collect candidates above the quality threshold.
+    const double threshold = best * config.quality_level;
+    std::vector<Corner> candidates;
+    for (std::size_t y = r; y + r < h; ++y) {
+        for (std::size_t x = r; x + r < w; ++x) {
+            const double s = response(x, y);
+            if (s < threshold || s <= 0.0)
+                continue;
+            // Local 3x3 maximum only.
+            bool is_max = true;
+            for (int dy = -1; dy <= 1 && is_max; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    if (response.atClamped(static_cast<long>(x) + dx,
+                                           static_cast<long>(y) + dy) > s) {
+                        is_max = false;
+                        break;
+                    }
+            if (is_max) {
+                candidates.push_back(Corner{static_cast<double>(x),
+                                            static_cast<double>(y), s});
+            }
+        }
+    }
+
+    // Greedy NMS by score with a minimum spacing.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Corner &a, const Corner &b) {
+                  return a.score > b.score;
+              });
+    std::vector<Corner> corners;
+    const double min_d2 = config.min_distance * config.min_distance;
+    for (const auto &c : candidates) {
+        if (corners.size() >= config.max_corners)
+            break;
+        bool ok = true;
+        for (const auto &kept : corners) {
+            const double dx = kept.x - c.x;
+            const double dy = kept.y - c.y;
+            if (dx * dx + dy * dy < min_d2) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            corners.push_back(c);
+    }
+    return corners;
+}
+
+namespace {
+
+/** Single-level LK refinement of one point. */
+TrackResult
+lkSingleLevel(const Image &prev, const Image &next, const Image &gx,
+              const Image &gy, double px, double py, double guess_x,
+              double guess_y, const LkConfig &config)
+{
+    const int r = config.window_radius;
+
+    double x = guess_x;
+    double y = guess_y;
+    TrackResult result;
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+        double a11 = 0.0, a12 = 0.0, a22 = 0.0;
+        double b1 = 0.0, b2 = 0.0;
+        for (int dy = -r; dy <= r; ++dy) {
+            for (int dx = -r; dx <= r; ++dx) {
+                const double u0 = px + dx;
+                const double v0 = py + dy;
+                const double ix = gx.sampleBilinear(u0, v0);
+                const double iy = gy.sampleBilinear(u0, v0);
+                const double dt = next.sampleBilinear(x + dx, y + dy) -
+                    prev.sampleBilinear(u0, v0);
+                a11 += ix * ix;
+                a12 += ix * iy;
+                a22 += iy * iy;
+                b1 += ix * dt;
+                b2 += iy * dt;
+            }
+        }
+        const double det = a11 * a22 - a12 * a12;
+        if (det < 1e-9)
+            break; // texture-less window
+        const double du = -(a22 * b1 - a12 * b2) / det;
+        const double dv = -(-a12 * b1 + a11 * b2) / det;
+        x += du;
+        y += dv;
+        if (std::hypot(du, dv) < config.epsilon) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    // Final residual.
+    double err = 0.0;
+    int n = 0;
+    for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+            err += std::fabs(next.sampleBilinear(x + dx, y + dy) -
+                             prev.sampleBilinear(px + dx, py + dy));
+            ++n;
+        }
+    }
+    result.x = x;
+    result.y = y;
+    result.residual = err / n;
+    if (result.residual > config.max_residual)
+        result.converged = false;
+    return result;
+}
+
+} // namespace
+
+std::vector<TrackResult>
+trackFeatures(const Image &prev, const Image &next,
+              const std::vector<Corner> &points, const LkConfig &config)
+{
+    SOV_ASSERT(prev.width() == next.width() &&
+               prev.height() == next.height());
+
+    // Build pyramids.
+    std::vector<Image> pyr_prev{prev};
+    std::vector<Image> pyr_next{next};
+    for (int l = 1; l < config.pyramid_levels; ++l) {
+        pyr_prev.push_back(pyr_prev.back().halfSize());
+        pyr_next.push_back(pyr_next.back().halfSize());
+    }
+    // Per-level gradients of the previous frame, computed once.
+    std::vector<Image> pyr_gx, pyr_gy;
+    for (const auto &level : pyr_prev) {
+        pyr_gx.push_back(level.gradientX());
+        pyr_gy.push_back(level.gradientY());
+    }
+
+    std::vector<TrackResult> results(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double scale0 =
+            std::pow(2.0, config.pyramid_levels - 1);
+        double gx = points[i].x / scale0;
+        double gy = points[i].y / scale0;
+        TrackResult r;
+        for (int l = config.pyramid_levels - 1; l >= 0; --l) {
+            const double scale = std::pow(2.0, l);
+            const double px = points[i].x / scale;
+            const double py = points[i].y / scale;
+            const auto li = static_cast<std::size_t>(l);
+            r = lkSingleLevel(pyr_prev[li], pyr_next[li], pyr_gx[li],
+                              pyr_gy[li], px, py, gx, gy, config);
+            if (l > 0) {
+                gx = r.x * 2.0;
+                gy = r.y * 2.0;
+            }
+        }
+        results[i] = r;
+    }
+    return results;
+}
+
+} // namespace sov

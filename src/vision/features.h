@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse feature front-end: Shi–Tomasi corner extraction and pyramidal
+ * Lucas–Kanade tracking — the key-frame feature-extraction and
+ * non-key-frame tracking pair whose two FPGA bitstreams the RPR engine
+ * swaps at runtime (Sec. V-B3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace sov {
+
+/** A detected corner. */
+struct Corner
+{
+    double x = 0.0;
+    double y = 0.0;
+    double score = 0.0; //!< min eigenvalue of the structure tensor
+};
+
+/** Corner detection parameters. */
+struct CornerConfig
+{
+    std::size_t max_corners = 200;
+    double quality_level = 0.01;  //!< fraction of the best score
+    double min_distance = 8.0;    //!< NMS radius in pixels
+    int block_radius = 2;         //!< structure-tensor window radius
+};
+
+/** Shi–Tomasi ("good features to track") corner extraction. */
+std::vector<Corner> detectCorners(const Image &image,
+                                  const CornerConfig &config = {});
+
+/** Result of tracking one feature. */
+struct TrackResult
+{
+    double x = 0.0;
+    double y = 0.0;
+    bool converged = false;
+    double residual = 0.0; //!< mean absolute intensity error
+};
+
+/** LK tracking parameters. */
+struct LkConfig
+{
+    int window_radius = 7;
+    int max_iterations = 30;
+    double epsilon = 0.01;    //!< convergence threshold (pixels)
+    int pyramid_levels = 3;
+    double max_residual = 0.25; //!< reject tracks above this error
+};
+
+/**
+ * Track feature positions from @p prev to @p next with pyramidal LK.
+ * @param points Positions in the previous frame.
+ * @return One TrackResult per input point.
+ */
+std::vector<TrackResult> trackFeatures(const Image &prev, const Image &next,
+                                       const std::vector<Corner> &points,
+                                       const LkConfig &config = {});
+
+} // namespace sov

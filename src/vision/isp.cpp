@@ -1,0 +1,87 @@
+#include "vision/isp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sov {
+
+namespace {
+
+/** Radial falloff factor in [1-strength, 1] across the image. */
+double
+vignetteFactor(std::size_t x, std::size_t y, std::size_t w,
+               std::size_t h, double strength)
+{
+    const double dx = (static_cast<double>(x) - w / 2.0) / (w / 2.0);
+    const double dy = (static_cast<double>(y) - h / 2.0) / (h / 2.0);
+    const double r2 = std::min(1.0, (dx * dx + dy * dy) / 2.0);
+    return 1.0 - strength * r2;
+}
+
+} // namespace
+
+Image
+degradeRawFrame(const Image &ideal, const SensorDegradation &d, Rng &rng)
+{
+    Image raw(ideal.width(), ideal.height());
+    for (std::size_t y = 0; y < ideal.height(); ++y) {
+        for (std::size_t x = 0; x < ideal.width(); ++x) {
+            double v = ideal(x, y) * d.exposure_gain;
+            v *= vignetteFactor(x, y, ideal.width(), ideal.height(),
+                                d.vignette_strength);
+            v += rng.gaussian(0.0, d.read_noise_sigma);
+            raw(x, y) = static_cast<float>(std::clamp(v, 0.0, 1.0));
+        }
+    }
+    return raw;
+}
+
+Image
+ImageSignalProcessor::process(const Image &raw) const
+{
+    Image img = raw;
+
+    if (config_.vignette_correction) {
+        for (std::size_t y = 0; y < img.height(); ++y) {
+            for (std::size_t x = 0; x < img.width(); ++x) {
+                const double f = vignetteFactor(
+                    x, y, img.width(), img.height(),
+                    config_.vignette_strength);
+                img(x, y) = static_cast<float>(
+                    std::min(1.0, img(x, y) / f));
+            }
+        }
+    }
+
+    if (config_.denoise)
+        img = img.gaussianBlur(config_.denoise_sigma);
+
+    if (config_.sharpen) {
+        // Unsharp mask: img + amount * (img - blur(img)).
+        const Image blurred = img.gaussianBlur(1.2);
+        for (std::size_t y = 0; y < img.height(); ++y) {
+            for (std::size_t x = 0; x < img.width(); ++x) {
+                const double detail = img(x, y) - blurred(x, y);
+                img(x, y) = static_cast<float>(std::clamp(
+                    img(x, y) + config_.sharpen_amount * detail, 0.0,
+                    1.0));
+            }
+        }
+    }
+
+    if (config_.auto_exposure) {
+        const double mean = img.mean();
+        if (mean > 1e-6) {
+            const double gain = std::min(config_.max_gain,
+                                         config_.target_mean / mean);
+            if (gain > 1.0) {
+                for (auto &v : img.data())
+                    v = static_cast<float>(
+                        std::min(1.0, static_cast<double>(v) * gain));
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace sov

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Image signal processor (ISP) stage.
+ *
+ * The paper identifies the camera sensing pipeline — dominated by the
+ * ISP and the kernel/driver stack on the FPGA's embedded SoC — as the
+ * single biggest end-to-end latency contributor (Sec. V-C) and a
+ * ~10 ms source of timestamp jitter (Sec. VI-A). This module provides
+ * the *functional* ISP: the raw sensor frame is denoised, sharpened,
+ * vignette-corrected, and exposure-normalized before perception sees
+ * it. Its latency behaviour lives in sensors/pipeline_model.
+ */
+#pragma once
+
+#include "core/rng.h"
+#include "vision/image.h"
+
+namespace sov {
+
+/** ISP stage configuration. */
+struct IspConfig
+{
+    bool denoise = true;
+    double denoise_sigma = 0.7;     //!< Gaussian pre-filter strength
+    bool sharpen = true;
+    double sharpen_amount = 0.6;    //!< unsharp-mask gain
+    bool vignette_correction = true;
+    double vignette_strength = 0.25; //!< assumed lens falloff at corners
+    bool auto_exposure = true;
+    double target_mean = 0.45;      //!< AE target intensity
+    double max_gain = 2.5;          //!< AE gain clamp
+};
+
+/** Raw-sensor degradation model (what the ISP has to undo). */
+struct SensorDegradation
+{
+    double read_noise_sigma = 0.02; //!< additive Gaussian read noise
+    double vignette_strength = 0.25;
+    double exposure_gain = 1.0;     //!< scene under/over-exposure
+};
+
+/** Apply the degradations a raw sensor adds (for tests/simulation). */
+Image degradeRawFrame(const Image &ideal, const SensorDegradation &d,
+                      Rng &rng);
+
+/** The ISP: raw frame in, perception-ready frame out. */
+class ImageSignalProcessor
+{
+  public:
+    explicit ImageSignalProcessor(const IspConfig &config = {})
+        : config_(config) {}
+
+    /** Process one raw frame. */
+    Image process(const Image &raw) const;
+
+    const IspConfig &config() const { return config_; }
+
+  private:
+    IspConfig config_;
+};
+
+} // namespace sov

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Kernelized-correlation-filter visual tracker (Table III: KCF).
+ *
+ * The frequency-domain correlation tracker used as the baseline when
+ * Radar signals are unstable (Sec. IV). Linear-kernel KCF: a ridge-
+ * regression filter trained against a Gaussian response, evaluated and
+ * updated entirely with 2-D FFTs, with an online learning rate.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/fft.h"
+#include "vision/image.h"
+
+namespace sov {
+
+/** KCF parameters. */
+struct KcfConfig
+{
+    std::size_t window = 64;     //!< search window edge (power of two)
+    double sigma = 2.0;          //!< Gaussian target bandwidth (px)
+    double lambda = 1e-4;        //!< ridge regularization
+    double learning_rate = 0.08; //!< online model update factor
+    double psr_threshold = 4.0;  //!< peak-to-sidelobe quality gate
+};
+
+/** Tracker state after an update. */
+struct KcfStatus
+{
+    double x = 0.0;       //!< tracked center (pixels)
+    double y = 0.0;
+    double psr = 0.0;     //!< peak-to-sidelobe ratio (quality)
+    bool confident = false;
+};
+
+/** Linear-kernel KCF / DCF tracker. */
+class KcfTracker
+{
+  public:
+    explicit KcfTracker(const KcfConfig &config = {});
+
+    /** (Re)initialize on a target centered at (x, y). */
+    void init(const Image &frame, double x, double y);
+
+    /**
+     * Track into a new frame; searches around the last position and
+     * updates the model when the response is confident.
+     */
+    KcfStatus update(const Image &frame);
+
+    bool initialized() const { return initialized_; }
+    double x() const { return x_; }
+    double y() const { return y_; }
+
+  private:
+    /** Windowed, zero-mean patch centered at (cx, cy) as a spectrum. */
+    std::vector<Complex> patchSpectrum(const Image &frame, double cx,
+                                       double cy) const;
+
+    KcfConfig config_;
+    std::vector<double> hann_;       //!< 2-D Hann window (w*w)
+    std::vector<Complex> target_fft_; //!< Gaussian label spectrum
+    std::vector<Complex> numerator_;
+    std::vector<Complex> denominator_;
+    double x_ = 0.0;
+    double y_ = 0.0;
+    bool initialized_ = false;
+};
+
+} // namespace sov

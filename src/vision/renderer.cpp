@@ -1,0 +1,202 @@
+#include "vision/renderer.h"
+
+#include <cmath>
+
+namespace sov {
+
+namespace {
+
+/** Integer lattice hash -> [0,1], deterministic across platforms. */
+double
+latticeHash(long ix, long iy)
+{
+    std::uint64_t h = static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL
+        ^ static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double
+smoothstep(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+/** Obstacle surface shade: per-object albedo plus a class-specific
+ *  stripe pattern, so object faces carry gradient structure and the
+ *  patch classifier has a class signature to learn. */
+double
+obstacleShade(const Obstacle &obs, double along_face, double z)
+{
+    const double base = 0.10 + 0.08 * latticeHash(obs.id, 17);
+    double stripe_freq = 0.0;
+    switch (obs.cls) {
+      case ObjectClass::Pedestrian: stripe_freq = 22.0; break;
+      case ObjectClass::Car: stripe_freq = 3.0; break;
+      case ObjectClass::Bicycle: stripe_freq = 10.0; break;
+      case ObjectClass::Static: stripe_freq = 0.0; break;
+    }
+    const double stripe = stripe_freq > 0.0
+        ? 0.07 * std::sin(along_face * stripe_freq + obs.id)
+        : 0.0;
+    // Aperiodic surface noise prevents the stereo matcher from locking
+    // onto a stripe period one disparity-cycle off.
+    const double noise = 0.10 *
+        (Renderer::groundTexture(along_face + obs.id * 37.0, z, 0.3) - 0.5);
+    return base + stripe + noise + 0.02 * std::cos(z * 4.0);
+}
+
+} // namespace
+
+double
+Renderer::groundTexture(double wx, double wy, double scale)
+{
+    // Two octaves of smoothed value noise.
+    double value = 0.0;
+    double amplitude = 0.65;
+    double freq = 1.0 / scale;
+    for (int octave = 0; octave < 2; ++octave) {
+        const double x = wx * freq;
+        const double y = wy * freq;
+        const long ix = static_cast<long>(std::floor(x));
+        const long iy = static_cast<long>(std::floor(y));
+        const double fx = smoothstep(x - ix);
+        const double fy = smoothstep(y - iy);
+        const double v00 = latticeHash(ix, iy);
+        const double v10 = latticeHash(ix + 1, iy);
+        const double v01 = latticeHash(ix, iy + 1);
+        const double v11 = latticeHash(ix + 1, iy + 1);
+        value += amplitude *
+            (v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+             v01 * (1 - fx) * fy + v11 * fx * fy);
+        amplitude *= 0.5;
+        freq *= 3.1;
+    }
+    return value;
+}
+
+RenderedFrame
+Renderer::render(const World &world, const CameraModel &camera,
+                 const CameraPose &pose, Timestamp t) const
+{
+    const auto &intr = camera.intrinsics();
+    RenderedFrame frame;
+    frame.intensity = Image(intr.width, intr.height,
+                            static_cast<float>(config_.sky_brightness));
+    frame.depth = Image(intr.width, intr.height, 0.0f);
+
+    // Pass 1: per-pixel ray vs ground plane and obstacle boxes.
+    for (std::size_t v = 0; v < intr.height; ++v) {
+        for (std::size_t u = 0; u < intr.width; ++u) {
+            const Pixel px{static_cast<double>(u), static_cast<double>(v)};
+            const Vec3 ray = camera.rayDirection(pose, px);
+
+            double best_depth = 1e18;
+            float shade = static_cast<float>(config_.sky_brightness);
+
+            // Ground plane z = 0.
+            if (ray.z() < -1e-9) {
+                const double s = -pose.position.z() / ray.z();
+                const Vec3 hit = pose.position + ray * s;
+                best_depth = s;
+                double g = config_.ground_brightness;
+                if (config_.render_ground_texture) {
+                    g += 0.35 * (groundTexture(hit.x(), hit.y(),
+                                               config_.ground_texture_scale)
+                                 - 0.5);
+                }
+                shade = static_cast<float>(g);
+            }
+
+            // Obstacle boxes: intersect the vertical faces.
+            for (const auto &obs : world.obstacles()) {
+                const OrientedBox2 box = obs.footprintAt(t);
+                const auto corners = box.corners();
+                const Vec2 o2(pose.position.x(), pose.position.y());
+                const Vec2 d2(ray.x(), ray.y());
+                const double d2n = std::hypot(d2.x(), d2.y());
+                if (d2n < 1e-12)
+                    continue;
+                for (std::size_t e = 0; e < 4; ++e) {
+                    const Vec2 a = corners[e];
+                    const Vec2 b = corners[(e + 1) % 4];
+                    // Solve o2 + s*d2 on segment ab.
+                    const Vec2 ab = b - a;
+                    const double denom =
+                        d2.x() * ab.y() - d2.y() * ab.x();
+                    if (std::fabs(denom) < 1e-12)
+                        continue;
+                    const Vec2 ao = a - o2;
+                    const double s =
+                        (ao.x() * ab.y() - ao.y() * ab.x()) / denom;
+                    const double w =
+                        (ao.x() * d2.y() - ao.y() * d2.x()) / denom;
+                    if (s <= 1e-6 || w < 0.0 || w > 1.0)
+                        continue;
+                    const double z = pose.position.z() + ray.z() * s;
+                    if (z < 0.0 || z > obs.height)
+                        continue;
+                    if (s < best_depth) {
+                        best_depth = s;
+                        shade = static_cast<float>(
+                            obstacleShade(obs, w * ab.norm(), z));
+                    }
+                }
+            }
+
+            if (best_depth < 1e17) {
+                // Depth buffer stores z-distance along the optical axis
+                // (what stereo estimates), not the ray length.
+                const Vec3 cam_pt =
+                    pose.world_from_camera.conjugate().rotate(
+                        ray * best_depth);
+                frame.depth(u, v) = static_cast<float>(cam_pt.z());
+                frame.intensity(u, v) = shade;
+            }
+        }
+    }
+
+    // Pass 2: landmark blobs (drawn if not occluded).
+    for (const auto &lm : world.landmarks()) {
+        const auto proj = camera.project(pose, lm.position);
+        if (!proj)
+            continue;
+        const auto [px, depth] = *proj;
+        const long cu = static_cast<long>(std::lround(px.u));
+        const long cv = static_cast<long>(std::lround(px.v));
+        const double r = config_.landmark_radius_px;
+        const long ir = static_cast<long>(std::ceil(r)) + 1;
+        for (long dv = -ir; dv <= ir; ++dv) {
+            for (long du = -ir; du <= ir; ++du) {
+                const long x = cu + du;
+                const long y = cv + dv;
+                if (x < 0 || y < 0 ||
+                    x >= static_cast<long>(intr.width) ||
+                    y >= static_cast<long>(intr.height)) {
+                    continue;
+                }
+                const auto ux = static_cast<std::size_t>(x);
+                const auto uy = static_cast<std::size_t>(y);
+                const float existing = frame.depth(ux, uy);
+                if (existing > 0.0f && existing < depth - 0.5)
+                    continue; // occluded by nearer geometry
+                const double d2 = du * du + dv * dv;
+                const double w = std::exp(-d2 / (2.0 * r * r / 4.0));
+                if (w < 0.05)
+                    continue;
+                const float blob = static_cast<float>(lm.intensity * w);
+                frame.intensity(ux, uy) = std::max(
+                    frame.intensity(ux, uy) * (1.0f - static_cast<float>(w))
+                        + blob,
+                    frame.intensity(ux, uy));
+                frame.depth(ux, uy) = static_cast<float>(depth);
+            }
+        }
+    }
+
+    return frame;
+}
+
+} // namespace sov

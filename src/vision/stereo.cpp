@@ -1,0 +1,190 @@
+#include "vision/stereo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+double
+DisparityMap::depthAt(std::size_t x, std::size_t y,
+                      const StereoRig &rig) const
+{
+    const double d = disparity(x, y);
+    if (d <= 0.0)
+        return -1.0;
+    return rig.depthFromDisparity(d);
+}
+
+double
+StereoMatcher::matchPixel(const Image &left, const Image &right, int x,
+                          int y, int d_lo, int d_hi) const
+{
+    const int r = config_.block_radius;
+    const int w = static_cast<int>(left.width());
+    d_lo = std::max(d_lo, 0);
+    d_hi = std::min(d_hi, x - r); // right window must stay in-image
+    if (d_hi < d_lo)
+        return -1.0;
+
+    const int n = (2 * r + 1) * (2 * r + 1);
+    double best_sad = 1e18, second_sad = 1e18;
+    int best_d = -1;
+    std::vector<double> sads(static_cast<std::size_t>(d_hi - d_lo + 1));
+
+    for (int d = d_lo; d <= d_hi; ++d) {
+        double sad = 0.0;
+        for (int dy = -r; dy <= r; ++dy) {
+            for (int dx = -r; dx <= r; ++dx) {
+                const double a = left.atClamped(x + dx, y + dy);
+                const double b = right.atClamped(x - d + dx, y + dy);
+                sad += std::fabs(a - b);
+            }
+        }
+        sad /= n;
+        sads[static_cast<std::size_t>(d - d_lo)] = sad;
+        if (sad < best_sad) {
+            second_sad = best_sad;
+            best_sad = sad;
+            best_d = d;
+        } else if (sad < second_sad) {
+            second_sad = sad;
+        }
+    }
+    (void)w;
+
+    if (best_d < 0 || best_sad > config_.max_sad)
+        return -1.0;
+
+    // Parabolic subpixel refinement over the SAD curve.
+    double refined = best_d;
+    if (best_d > d_lo && best_d < d_hi) {
+        const double c0 = sads[static_cast<std::size_t>(best_d - 1 - d_lo)];
+        const double c1 = sads[static_cast<std::size_t>(best_d - d_lo)];
+        const double c2 = sads[static_cast<std::size_t>(best_d + 1 - d_lo)];
+        const double denom = c0 - 2.0 * c1 + c2;
+        if (denom > 1e-12)
+            refined += 0.5 * (c0 - c2) / denom;
+    }
+    return refined;
+}
+
+double
+StereoMatcher::matchRightPixel(const Image &left, const Image &right,
+                               int x, int y, int d_lo, int d_hi) const
+{
+    const int r = config_.block_radius;
+    const int w = static_cast<int>(left.width());
+    d_lo = std::max(d_lo, 0);
+    d_hi = std::min(d_hi, w - 1 - r - x); // left window stays in-image
+    if (d_hi < d_lo)
+        return -1.0;
+
+    const int n = (2 * r + 1) * (2 * r + 1);
+    double best_sad = 1e18;
+    int best_d = -1;
+    for (int d = d_lo; d <= d_hi; ++d) {
+        double sad = 0.0;
+        for (int dy = -r; dy <= r; ++dy)
+            for (int dx = -r; dx <= r; ++dx)
+                sad += std::fabs(right.atClamped(x + dx, y + dy) -
+                                 left.atClamped(x + d + dx, y + dy));
+        sad /= n;
+        if (sad < best_sad) {
+            best_sad = sad;
+            best_d = d;
+        }
+    }
+    if (best_d < 0 || best_sad > config_.max_sad)
+        return -1.0;
+    return best_d;
+}
+
+std::vector<SupportPoint>
+StereoMatcher::supportPoints(const Image &left, const Image &right) const
+{
+    std::vector<SupportPoint> points;
+    const int step = config_.support_grid_step;
+    const int r = config_.block_radius;
+    for (int y = r + step / 2; y < static_cast<int>(left.height()) - r;
+         y += step) {
+        for (int x = r + step / 2; x < static_cast<int>(left.width()) - r;
+             x += step) {
+            const double d =
+                matchPixel(left, right, x, y, 0, config_.max_disparity);
+            if (d >= 0.0)
+                points.push_back(SupportPoint{x, y, d});
+        }
+    }
+    return points;
+}
+
+DisparityMap
+StereoMatcher::match(const Image &left, const Image &right) const
+{
+    SOV_ASSERT(left.width() == right.width() &&
+               left.height() == right.height());
+    const std::size_t w = left.width();
+    const std::size_t h = left.height();
+
+    const auto supports = supportPoints(left, right);
+
+    DisparityMap out;
+    out.disparity = Image(w, h, -1.0f);
+    std::size_t valid = 0;
+
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            // Disparity prior: inverse-distance-weighted interpolation
+            // of nearby support points (cheap ELAS-style prior).
+            double prior = -1.0;
+            if (!supports.empty()) {
+                double wsum = 0.0, dsum = 0.0;
+                for (const auto &sp : supports) {
+                    const double dx = sp.x - static_cast<double>(x);
+                    const double dy = sp.y - static_cast<double>(y);
+                    const double dist2 = dx * dx + dy * dy + 1.0;
+                    if (dist2 > 40.0 * 40.0)
+                        continue;
+                    const double wgt = 1.0 / dist2;
+                    wsum += wgt;
+                    dsum += wgt * sp.disparity;
+                }
+                if (wsum > 0.0)
+                    prior = dsum / wsum;
+            }
+
+            int d_lo = 0, d_hi = config_.max_disparity;
+            if (prior >= 0.0) {
+                d_lo = static_cast<int>(prior) - config_.prior_margin;
+                d_hi = static_cast<int>(prior) + config_.prior_margin;
+            }
+
+            const double d = matchPixel(left, right,
+                                        static_cast<int>(x),
+                                        static_cast<int>(y), d_lo, d_hi);
+            if (d < 0.0)
+                continue;
+
+            if (config_.left_right_check) {
+                // The right pixel at (x - d) must match back to ~x.
+                const int rx = static_cast<int>(x) -
+                    static_cast<int>(std::lround(d));
+                if (rx < 0)
+                    continue;
+                const double dr = matchRightPixel(
+                    left, right, rx, static_cast<int>(y), d_lo, d_hi);
+                if (dr < 0.0 || std::fabs(dr - d) > config_.lr_tolerance)
+                    continue;
+            }
+
+            out.disparity(x, y) = static_cast<float>(d);
+            ++valid;
+        }
+    }
+    out.density = static_cast<double>(valid) / static_cast<double>(w * h);
+    return out;
+}
+
+} // namespace sov

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Stereo depth estimation (Table III: ELAS).
+ *
+ * A two-stage matcher in the spirit of ELAS: (1) robust support points
+ * on a coarse grid matched over the full disparity range, (2) dense
+ * block matching over a narrow range around the disparity prior
+ * interpolated from the support points, plus subpixel refinement and a
+ * left-right consistency check.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vision/camera_model.h"
+#include "vision/image.h"
+
+namespace sov {
+
+/** Stereo matcher parameters. */
+struct StereoConfig
+{
+    int max_disparity = 64;
+    int block_radius = 3;        //!< SAD window radius
+    int support_grid_step = 10;  //!< support-point grid spacing (px)
+    int prior_margin = 6;        //!< dense search range around prior
+    double max_sad = 0.30;       //!< per-pixel SAD acceptance threshold
+    bool left_right_check = true;
+    double lr_tolerance = 1.5;   //!< disparity tolerance for LR check
+};
+
+/** Dense disparity output. */
+struct DisparityMap
+{
+    Image disparity;  //!< pixels; <= 0 means invalid
+    double density = 0.0; //!< fraction of valid pixels
+
+    /** Depth (meters) at a pixel, given the rig geometry. */
+    double depthAt(std::size_t x, std::size_t y, const StereoRig &rig) const;
+};
+
+/** One matched support point. */
+struct SupportPoint
+{
+    int x, y;
+    double disparity;
+};
+
+/** ELAS-style stereo matcher. */
+class StereoMatcher
+{
+  public:
+    explicit StereoMatcher(const StereoConfig &config = {})
+        : config_(config) {}
+
+    /** Compute the dense disparity map of a rectified pair. */
+    DisparityMap match(const Image &left, const Image &right) const;
+
+    /** Stage 1 only: the grid of support points (exposed for tests). */
+    std::vector<SupportPoint> supportPoints(const Image &left,
+                                            const Image &right) const;
+
+  private:
+    /**
+     * SAD block match of one pixel over [d_lo, d_hi].
+     * @return Best disparity with parabolic subpixel refinement, or a
+     *         negative value when no acceptable match exists.
+     */
+    double matchPixel(const Image &left, const Image &right, int x, int y,
+                      int d_lo, int d_hi) const;
+
+    /** Match a right-image pixel back into the left image (LR check). */
+    double matchRightPixel(const Image &left, const Image &right, int x,
+                           int y, int d_lo, int d_hi) const;
+
+    StereoConfig config_;
+};
+
+} // namespace sov

@@ -1,0 +1,150 @@
+#include "vision/visual_odometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+std::optional<Vec2>
+VisualOdometryFrontEnd::backprojectBody(double u, double v,
+                                        const Image &depth) const
+{
+    const long xi = static_cast<long>(std::lround(u));
+    const long yi = static_cast<long>(std::lround(v));
+    if (xi < 0 || yi < 0 ||
+        xi >= static_cast<long>(depth.width()) ||
+        yi >= static_cast<long>(depth.height())) {
+        return std::nullopt;
+    }
+    const double z = depth(static_cast<std::size_t>(xi),
+                           static_cast<std::size_t>(yi));
+    if (z <= 0.1 || z > config_.max_depth)
+        return std::nullopt;
+
+    // Camera posed on an identity body pose: backprojection lands in
+    // the body frame directly.
+    const CameraPose pose = camera_.poseAt(Pose2{Vec2(0, 0), 0.0});
+    const Vec3 world = camera_.backproject(pose, Pixel{u, v}, z);
+    return Vec2(world.x(), world.y());
+}
+
+VoEstimate
+VisualOdometryFrontEnd::estimate(const Image &prev,
+                                 const Image &prev_depth,
+                                 const Image &next,
+                                 const Image &next_depth) const
+{
+    VoEstimate out;
+
+    const auto corners = detectCorners(prev, config_.corners);
+    if (corners.size() < config_.min_matches)
+        return out;
+    const auto tracks = trackFeatures(prev, next, corners, config_.lk);
+
+    // Matched 3-D (planar) point pairs in each frame's body frame.
+    std::vector<Vec2> p; // earlier frame
+    std::vector<Vec2> q; // later frame
+    for (std::size_t i = 0; i < corners.size(); ++i) {
+        if (!tracks[i].converged)
+            continue;
+        const auto bp = backprojectBody(corners[i].x, corners[i].y,
+                                        prev_depth);
+        const auto bq = backprojectBody(tracks[i].x, tracks[i].y,
+                                        next_depth);
+        if (!bp || !bq)
+            continue;
+        p.push_back(*bp);
+        q.push_back(*bq);
+    }
+    out.matches = p.size();
+    if (p.size() < config_.min_matches)
+        return out;
+
+    // Closed-form 2-D rigid alignment with outlier-rejection rounds.
+    std::vector<bool> inlier(p.size(), true);
+    double dyaw = 0.0;
+    Vec2 t(0.0, 0.0);
+    for (int round = 0; round <= config_.refine_rounds; ++round) {
+        Vec2 cp(0, 0), cq(0, 0);
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            if (!inlier[i])
+                continue;
+            cp += p[i];
+            cq += q[i];
+            ++n;
+        }
+        if (n < config_.min_matches)
+            return out;
+        cp = cp / static_cast<double>(n);
+        cq = cq / static_cast<double>(n);
+
+        // The body rotates by dyaw: q_i = R(-dyaw) (p_i - t), so
+        // p-centered and q-centered points satisfy
+        // (q - cq) = R(-dyaw) (p - cp). Estimate the rotation from
+        // cross/dot sums (Umeyama in 2-D).
+        double sin_sum = 0.0, cos_sum = 0.0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            if (!inlier[i])
+                continue;
+            const Vec2 a = p[i] - cp;
+            const Vec2 b = q[i] - cq;
+            cos_sum += a.dot(b);
+            sin_sum += a.x() * b.y() - a.y() * b.x();
+        }
+        const double theta = std::atan2(sin_sum, cos_sum); // = -dyaw
+        dyaw = -theta;
+
+        // Translation from centroids: cq = R(theta) (cp - t)
+        // => t = cp - R(-theta) cq.
+        const double c = std::cos(-theta), s = std::sin(-theta);
+        t = cp - Vec2(c * cq.x() - s * cq.y(),
+                      s * cq.x() + c * cq.y());
+
+        // Residuals -> outliers for the next round. The gate adapts
+        // to the residual median so a fit corrupted by bad depth
+        // pairs still keeps its better half and recovers.
+        std::vector<double> residuals(p.size());
+        const double cc = std::cos(theta), ss = std::sin(theta);
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            const Vec2 shifted = p[i] - t;
+            const Vec2 predicted(cc * shifted.x() - ss * shifted.y(),
+                                 ss * shifted.x() + cc * shifted.y());
+            residuals[i] = predicted.distanceTo(q[i]);
+        }
+        std::vector<double> sorted = residuals;
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + sorted.size() / 2,
+                         sorted.end());
+        const double gate = std::max(config_.outlier_threshold,
+                                     2.5 * sorted[sorted.size() / 2]);
+
+        double residual_sum = 0.0;
+        std::size_t survivors = 0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            const bool ok = residuals[i] <= gate;
+            inlier[i] = ok;
+            if (ok) {
+                residual_sum += residuals[i];
+                ++survivors;
+            }
+        }
+        out.inliers = survivors;
+        out.mean_residual =
+            survivors ? residual_sum / static_cast<double>(survivors)
+                      : 0.0;
+        if (survivors < config_.min_matches)
+            return out;
+    }
+
+    // Body displacement in the earlier body frame is t; the body
+    // yawed by dyaw.
+    out.body_displacement = t;
+    out.delta_yaw = wrapAngle(dyaw);
+    out.valid = true;
+    return out;
+}
+
+} // namespace sov

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Image-based visual odometry front-end.
+ *
+ * The VIO localization (Table III) consumes frame-to-frame relative
+ * motion. This front-end produces it from pixels: Shi–Tomasi corners
+ * tracked with pyramidal LK, back-projected to 3-D with the depth map
+ * (from the stereo pipeline or, in tests, the renderer's ground
+ * truth), then a closed-form 2-D rigid alignment (Umeyama) with
+ * residual-based outlier rejection recovers the planar body motion.
+ */
+#pragma once
+
+#include <optional>
+
+#include "core/time.h"
+#include "math/geometry.h"
+#include "vision/camera_model.h"
+#include "vision/features.h"
+#include "vision/image.h"
+
+namespace sov {
+
+/** Front-end configuration. */
+struct VoFrontEndConfig
+{
+    CornerConfig corners;
+    LkConfig lk;
+    std::size_t min_matches = 8;
+    double max_depth = 30.0;        //!< ignore far, noisy points
+    double outlier_threshold = 0.25; //!< meters of alignment residual
+    int refine_rounds = 2;           //!< outlier-rejection passes
+};
+
+/** Estimated planar motion between two frames. */
+struct VoEstimate
+{
+    bool valid = false;
+    Vec2 body_displacement;  //!< body frame at the earlier frame
+    double delta_yaw = 0.0;
+    std::size_t matches = 0; //!< tracked features used
+    std::size_t inliers = 0; //!< surviving the rejection rounds
+    double mean_residual = 0.0;
+};
+
+/** Corners + LK + depth -> planar rigid motion. */
+class VisualOdometryFrontEnd
+{
+  public:
+    explicit VisualOdometryFrontEnd(const CameraModel &camera,
+                                    const VoFrontEndConfig &config = {})
+        : camera_(camera), config_(config) {}
+
+    /**
+     * Estimate the body motion from the earlier frame to the later
+     * frame.
+     * @param prev / prev_depth Earlier intensity + per-pixel depth.
+     * @param next / next_depth Later intensity + per-pixel depth.
+     */
+    VoEstimate estimate(const Image &prev, const Image &prev_depth,
+                        const Image &next, const Image &next_depth) const;
+
+  private:
+    /** Pixel + depth -> 3-D point in the *body* frame (planar x, y). */
+    std::optional<Vec2> backprojectBody(double u, double v,
+                                        const Image &depth) const;
+
+    CameraModel camera_;
+    VoFrontEndConfig config_;
+};
+
+} // namespace sov

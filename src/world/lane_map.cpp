@@ -1,0 +1,181 @@
+#include "world/lane_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+LaneMap::addLane(Lane lane)
+{
+    SOV_ASSERT(lanes_.count(lane.id) == 0);
+    SOV_ASSERT(lane.centerline.size() >= 2);
+    lanes_.emplace(lane.id, std::move(lane));
+}
+
+const Lane &
+LaneMap::lane(LaneId id) const
+{
+    const auto it = lanes_.find(id);
+    if (it == lanes_.end())
+        SOV_PANIC("unknown lane id " + std::to_string(id));
+    return it->second;
+}
+
+std::vector<LaneId>
+LaneMap::laneIds() const
+{
+    std::vector<LaneId> ids;
+    ids.reserve(lanes_.size());
+    for (const auto &kv : lanes_)
+        ids.push_back(kv.first);
+    return ids;
+}
+
+std::optional<LaneMatch>
+LaneMap::match(const Vec2 &position) const
+{
+    std::optional<LaneMatch> best;
+    double best_abs = std::numeric_limits<double>::max();
+    for (const auto &kv : lanes_) {
+        const auto [s, offset] = kv.second.centerline.project(position);
+        const double a = std::fabs(offset);
+        if (a < best_abs) {
+            best_abs = a;
+            best = LaneMatch{kv.first, s, offset};
+        }
+    }
+    return best;
+}
+
+Route
+LaneMap::findRoute(LaneId from, LaneId to) const
+{
+    SOV_ASSERT(hasLane(from) && hasLane(to));
+    if (from == to)
+        return Route{{from}, lane(from).length()};
+
+    // Dijkstra: cost to *finish* each lane starting from `from`.
+    std::map<LaneId, double> dist;
+    std::map<LaneId, LaneId> prev;
+    using Entry = std::pair<double, LaneId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+
+    dist[from] = lane(from).length();
+    pq.emplace(dist[from], from);
+
+    while (!pq.empty()) {
+        const auto [d, id] = pq.top();
+        pq.pop();
+        if (d > dist[id])
+            continue;
+        if (id == to)
+            break;
+        for (LaneId next : lane(id).successors) {
+            if (!hasLane(next))
+                continue;
+            const double nd = d + lane(next).length();
+            const auto it = dist.find(next);
+            if (it == dist.end() || nd < it->second) {
+                dist[next] = nd;
+                prev[next] = id;
+                pq.emplace(nd, next);
+            }
+        }
+    }
+
+    if (dist.find(to) == dist.end())
+        return Route{};
+
+    Route route;
+    route.length = dist[to];
+    for (LaneId id = to;; id = prev[id]) {
+        route.lanes.push_back(id);
+        if (id == from)
+            break;
+    }
+    std::reverse(route.lanes.begin(), route.lanes.end());
+    return route;
+}
+
+Polyline2
+LaneMap::routeCenterline(const Route &route) const
+{
+    Polyline2 path;
+    for (LaneId id : route.lanes) {
+        const auto &pts = lane(id).centerline.points();
+        for (const auto &p : pts) {
+            // Skip duplicated junction vertices.
+            if (!path.empty() &&
+                path.points().back().distanceTo(p) < 1e-9) {
+                continue;
+            }
+            path.append(p);
+        }
+    }
+    return path;
+}
+
+LaneMap
+LaneMap::makeLoopMap(double width, double height, double lane_width)
+{
+    SOV_ASSERT(width > 0.0 && height > 0.0);
+    LaneMap map;
+    const Vec2 corners[4] = {
+        Vec2(0.0, 0.0), Vec2(width, 0.0),
+        Vec2(width, height), Vec2(0.0, height)};
+    for (LaneId i = 0; i < 4; ++i) {
+        Lane l;
+        l.id = i;
+        l.width = lane_width;
+        const Vec2 a = corners[i];
+        const Vec2 b = corners[(i + 1) % 4];
+        // Several intermediate vertices so projection is well-behaved.
+        std::vector<Vec2> pts;
+        const int segs = 8;
+        for (int k = 0; k <= segs; ++k)
+            pts.push_back(a + (b - a) * (static_cast<double>(k) / segs));
+        l.centerline = Polyline2(pts);
+        l.successors = {static_cast<LaneId>((i + 1) % 4)};
+        map.addLane(std::move(l));
+    }
+    return map;
+}
+
+LaneMap
+LaneMap::fromDrivenPath(const Polyline2 &path, double lane_width,
+                        double segment_length)
+{
+    SOV_ASSERT(path.length() > 1.0);
+    SOV_ASSERT(segment_length > 1.0);
+    LaneMap map;
+    const double total = path.length();
+    const auto segments = static_cast<std::size_t>(
+        std::max(1.0, std::round(total / segment_length)));
+    const double seg_len = total / static_cast<double>(segments);
+
+    for (std::size_t i = 0; i < segments; ++i) {
+        Lane lane;
+        lane.id = static_cast<LaneId>(i);
+        lane.width = lane_width;
+        const double s0 = static_cast<double>(i) * seg_len;
+        const double s1 = s0 + seg_len;
+        std::vector<Vec2> pts;
+        const int steps = 8;
+        for (int k = 0; k <= steps; ++k) {
+            pts.push_back(
+                path.sample(s0 + (s1 - s0) * k / steps));
+        }
+        lane.centerline = Polyline2(pts);
+        if (i + 1 < segments)
+            lane.successors = {static_cast<LaneId>(i + 1)};
+        map.addLane(std::move(lane));
+    }
+    return map;
+}
+
+} // namespace sov

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lane-level map, the OpenStreetMap substitute of Sec. II-B.
+ *
+ * The paper's vehicles navigate at lane granularity (1–3 m wide lanes,
+ * Sec. III-D) on a pre-constructed map annotated with semantic
+ * information. We model the map as a graph of lanes, each with a
+ * center-line polyline, a width, and successor links; routing is
+ * shortest-path over that graph.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/geometry.h"
+
+namespace sov {
+
+using LaneId = std::uint32_t;
+
+/** Semantic annotation attached to a lane (Sec. II-B: "we frequently
+ *  annotate OSM with semantic information of the environment"). */
+enum class LaneSemantic
+{
+    Normal,
+    Crosswalk,     //!< expect pedestrians; planner slows down
+    PickupZone,    //!< passengers board here; stopping allowed
+    SpeedRestricted, //!< site-specific lower cap
+};
+
+/** One directed lane of the map. */
+struct Lane
+{
+    LaneId id = 0;
+    Polyline2 centerline;
+    double width = 2.0;               //!< meters (paper: 1–3 m)
+    double speed_limit = 8.94;        //!< m/s (20 mph cap, Sec. II-A)
+    LaneSemantic semantic = LaneSemantic::Normal;
+    std::vector<LaneId> successors;   //!< lanes reachable at the end
+
+    double length() const { return centerline.length(); }
+};
+
+/** Result of localizing a point onto the map. */
+struct LaneMatch
+{
+    LaneId lane;
+    double s;        //!< arc length along the lane center-line
+    double offset;   //!< signed lateral offset (left positive)
+};
+
+/** A lane-level route: consecutive lane ids plus total length. */
+struct Route
+{
+    std::vector<LaneId> lanes;
+    double length = 0.0;
+
+    bool empty() const { return lanes.empty(); }
+};
+
+/** Directed graph of lanes with routing and matching queries. */
+class LaneMap
+{
+  public:
+    /** Add a lane; its id must be unique. */
+    void addLane(Lane lane);
+
+    bool hasLane(LaneId id) const { return lanes_.count(id) != 0; }
+    const Lane &lane(LaneId id) const;
+    std::size_t numLanes() const { return lanes_.size(); }
+    std::vector<LaneId> laneIds() const;
+
+    /** Match a point to the nearest lane center-line. */
+    std::optional<LaneMatch> match(const Vec2 &position) const;
+
+    /**
+     * Shortest route (by length) from @p from to @p to, inclusive.
+     * Dijkstra over the successor graph; empty Route if unreachable.
+     */
+    Route findRoute(LaneId from, LaneId to) const;
+
+    /**
+     * Concatenate the center-lines of a route into one polyline,
+     * the reference path handed to the planner.
+     */
+    Polyline2 routeCenterline(const Route &route) const;
+
+    /**
+     * Build a rectangular test-site map: a closed loop of @p legs
+     * straight lanes around a rectangle of @p width x @p height meters,
+     * mimicking the industrial-park/tourist-site deployments.
+     */
+    static LaneMap makeLoopMap(double width, double height,
+                               double lane_width = 2.5);
+
+    /**
+     * Cloud-side map generation (Fig. 1): build a lane map from a
+     * recorded drive. The driven path is chopped into consecutive
+     * lanes of roughly @p segment_length meters, chained by successor
+     * links — the "annotate OSM from field data" workflow.
+     */
+    static LaneMap fromDrivenPath(const Polyline2 &path,
+                                  double lane_width = 2.5,
+                                  double segment_length = 25.0);
+
+  private:
+    std::map<LaneId, Lane> lanes_;
+};
+
+} // namespace sov

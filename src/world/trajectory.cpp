@@ -1,0 +1,94 @@
+#include "world/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+Pose2
+TrajectorySample::pose2() const
+{
+    return Pose2{Vec2(position.x(), position.y()), orientation.yaw()};
+}
+
+Trajectory::Trajectory(const std::vector<Timestamp> &times,
+                       const std::vector<Vec2> &waypoints)
+{
+    SOV_ASSERT(times.size() == waypoints.size());
+    SOV_ASSERT(times.size() >= 2);
+    std::vector<double> ts, xs, ys;
+    ts.reserve(times.size());
+    xs.reserve(times.size());
+    ys.reserve(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        ts.push_back(times[i].toSeconds());
+        xs.push_back(waypoints[i].x());
+        ys.push_back(waypoints[i].y());
+    }
+    x_ = CubicSpline(ts, xs);
+    y_ = CubicSpline(ts, ys);
+}
+
+Trajectory
+Trajectory::alongPath(const Polyline2 &path, double speed,
+                      double waypoint_spacing)
+{
+    SOV_ASSERT(speed > 0.0);
+    SOV_ASSERT(waypoint_spacing > 0.0);
+    SOV_ASSERT(path.length() > waypoint_spacing);
+    std::vector<Timestamp> times;
+    std::vector<Vec2> pts;
+    for (double s = 0.0; s <= path.length(); s += waypoint_spacing) {
+        times.push_back(Timestamp::seconds(s / speed));
+        pts.push_back(path.sample(s));
+    }
+    return Trajectory(times, pts);
+}
+
+TrajectorySample
+Trajectory::sample(Timestamp t) const
+{
+    SOV_ASSERT(valid());
+    const double tc =
+        std::clamp(t.toSeconds(), x_.minX(), x_.maxX());
+
+    TrajectorySample s;
+    s.time = t;
+    s.position = Vec3(x_.evaluate(tc), y_.evaluate(tc), 0.0);
+
+    const double vx = x_.derivative(tc);
+    const double vy = y_.derivative(tc);
+    s.velocity = Vec3(vx, vy, 0.0);
+
+    const double ax = x_.secondDerivative(tc);
+    const double ay = y_.secondDerivative(tc);
+    s.acceleration = Vec3(ax, ay, 0.0);
+
+    const double speed2 = vx * vx + vy * vy;
+    const double yaw = speed2 > 1e-12 ? std::atan2(vy, vx) : 0.0;
+    s.orientation = Quat::fromYaw(yaw);
+
+    // Yaw rate = (vx*ay - vy*ax) / |v|^2 for planar motion.
+    const double yaw_rate = speed2 > 1e-9
+        ? (vx * ay - vy * ax) / speed2 : 0.0;
+    s.angular_velocity = Vec3(0.0, 0.0, yaw_rate);
+    return s;
+}
+
+Timestamp
+Trajectory::startTime() const
+{
+    SOV_ASSERT(valid());
+    return Timestamp::seconds(x_.minX());
+}
+
+Timestamp
+Trajectory::endTime() const
+{
+    SOV_ASSERT(valid());
+    return Timestamp::seconds(x_.maxX());
+}
+
+} // namespace sov

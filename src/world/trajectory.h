@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ground-truth vehicle trajectory.
+ *
+ * Sensor models (camera pose, IMU specific force and angular rate, GPS
+ * fixes) sample this trajectory; estimators are then evaluated against
+ * it (Fig. 11b localization error, Sec. VI-B drift correction).
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/time.h"
+#include "math/geometry.h"
+#include "math/quat.h"
+#include "math/spline.h"
+#include "math/vec.h"
+
+namespace sov {
+
+/** Full kinematic state at one instant along the trajectory. */
+struct TrajectorySample
+{
+    Timestamp time;
+    Vec3 position;          //!< world frame, z = 0 on flat ground
+    Quat orientation;       //!< body-to-world
+    Vec3 velocity;          //!< world frame, m/s
+    Vec3 acceleration;      //!< world frame, m/s^2 (no gravity)
+    Vec3 angular_velocity;  //!< body frame, rad/s
+
+    /** Planar pose (position + yaw). */
+    Pose2 pose2() const;
+    double speed() const { return velocity.norm(); }
+};
+
+/**
+ * Smooth time-parameterized trajectory built from planar waypoints.
+ * Position is a pair of cubic splines x(t), y(t); orientation tracks
+ * the velocity direction; acceleration and angular rate come from the
+ * spline derivatives so the IMU model is kinematically consistent.
+ */
+class Trajectory
+{
+  public:
+    Trajectory() = default;
+
+    /**
+     * Fit from timed waypoints.
+     * @param times Strictly increasing timestamps (>= 2).
+     * @param waypoints Planar positions at those times.
+     */
+    Trajectory(const std::vector<Timestamp> &times,
+               const std::vector<Vec2> &waypoints);
+
+    /**
+     * Constant-speed traversal of a path.
+     * @param path Polyline to follow.
+     * @param speed Cruise speed in m/s.
+     * @param waypoint_spacing Spline knot spacing in meters.
+     */
+    static Trajectory alongPath(const Polyline2 &path, double speed,
+                                double waypoint_spacing = 2.0);
+
+    /** Kinematic state at time t (clamped to the trajectory domain). */
+    TrajectorySample sample(Timestamp t) const;
+
+    Timestamp startTime() const;
+    Timestamp endTime() const;
+    Duration duration() const { return endTime() - startTime(); }
+
+    bool valid() const { return x_.valid(); }
+
+  private:
+    CubicSpline x_;
+    CubicSpline y_;
+};
+
+} // namespace sov

@@ -1,0 +1,112 @@
+#include "world/world.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sov {
+
+const char *
+toString(ObjectClass c)
+{
+    switch (c) {
+      case ObjectClass::Pedestrian: return "pedestrian";
+      case ObjectClass::Car: return "car";
+      case ObjectClass::Bicycle: return "bicycle";
+      case ObjectClass::Static: return "static";
+    }
+    return "?";
+}
+
+OrientedBox2
+Obstacle::footprintAt(Timestamp t) const
+{
+    OrientedBox2 box = footprint;
+    box.pose.position += velocity * t.toSeconds();
+    return box;
+}
+
+Vec2
+Obstacle::positionAt(Timestamp t) const
+{
+    return footprint.pose.position + velocity * t.toSeconds();
+}
+
+ObstacleId
+World::addObstacle(Obstacle o)
+{
+    o.id = next_obstacle_id_++;
+    obstacles_.push_back(o);
+    return o.id;
+}
+
+std::uint32_t
+World::addLandmark(const Vec3 &position, double intensity)
+{
+    landmarks_.push_back(Landmark{next_landmark_id_++, position, intensity});
+    return landmarks_.back().id;
+}
+
+void
+World::scatterLandmarks(const Polyline2 &path, std::size_t count,
+                        double corridor_half_width, double height_range,
+                        Rng &rng)
+{
+    SOV_ASSERT(path.length() > 0.0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double s = rng.uniform(0.0, path.length());
+        const Vec2 center = path.sample(s);
+        const double heading = path.headingAt(s);
+        // Offset laterally; keep landmarks off the road itself so they
+        // read as facades/poles, not road surface.
+        const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        const double lateral =
+            side * rng.uniform(0.35 * corridor_half_width,
+                               corridor_half_width);
+        const Vec2 normal(-std::sin(heading), std::cos(heading));
+        const Vec2 pos2 = center + normal * lateral;
+        const double z = rng.uniform(0.3, height_range);
+        addLandmark(Vec3(pos2.x(), pos2.y(), z),
+                    rng.uniform(0.35, 1.0));
+    }
+}
+
+std::optional<double>
+World::raycast(const Vec2 &origin, const Vec2 &direction, double max_range,
+               Timestamp t) const
+{
+    SOV_ASSERT(max_range > 0.0);
+    const Vec2 dir = direction.normalized();
+    const Segment2 ray{origin, origin + dir * max_range};
+    std::optional<double> best;
+    for (const auto &obs : obstacles_) {
+        const OrientedBox2 box = obs.footprintAt(t);
+        // Ray starting inside a box hits at distance 0.
+        if (box.contains(origin)) {
+            return 0.0;
+        }
+        const auto corners = box.corners();
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Segment2 edge{corners[i], corners[(i + 1) % 4]};
+            if (const auto hit = ray.intersect(edge)) {
+                const double d = origin.distanceTo(*hit);
+                if (!best || d < *best)
+                    best = d;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<Obstacle>
+World::obstaclesNear(const Vec2 &position, double range, Timestamp t) const
+{
+    std::vector<Obstacle> out;
+    for (const auto &obs : obstacles_) {
+        if (obs.positionAt(t).distanceTo(position) <= range)
+            out.push_back(obs);
+    }
+    return out;
+}
+
+} // namespace sov

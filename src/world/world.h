@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The synthetic deployment site: lane map + obstacles + visual
+ * landmarks. This is the proprietary-field-data substitute: everything
+ * the real vehicle would sense, we generate from this world model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "math/geometry.h"
+#include "math/vec.h"
+#include "world/lane_map.h"
+#include "world/trajectory.h"
+
+namespace sov {
+
+using ObstacleId = std::uint32_t;
+
+/** Object classes the detector distinguishes (YOLO-style labels). */
+enum class ObjectClass { Pedestrian, Car, Bicycle, Static };
+
+/** Printable name of an object class. */
+const char *toString(ObjectClass c);
+
+/** A world object the vehicle must perceive and avoid. */
+struct Obstacle
+{
+    ObstacleId id = 0;
+    ObjectClass cls = ObjectClass::Static;
+    OrientedBox2 footprint;   //!< pose + extents at spawn time
+    Vec2 velocity{0.0, 0.0};  //!< world frame, m/s (constant)
+    double height = 1.7;      //!< meters; used for camera projection
+
+    /** Footprint advanced to time @p t (constant-velocity motion). */
+    OrientedBox2 footprintAt(Timestamp t) const;
+    Vec2 positionAt(Timestamp t) const;
+};
+
+/** A 3-D visual landmark observable by the cameras (VIO features). */
+struct Landmark
+{
+    std::uint32_t id = 0;
+    Vec3 position;
+    double intensity = 1.0; //!< rendered brightness in [0,1]
+};
+
+/** The complete synthetic environment. */
+class World
+{
+  public:
+    World() = default;
+    explicit World(LaneMap map) : map_(std::move(map)) {}
+
+    const LaneMap &map() const { return map_; }
+    LaneMap &map() { return map_; }
+
+    /** Add an obstacle; returns its id. */
+    ObstacleId addObstacle(Obstacle o);
+    const std::vector<Obstacle> &obstacles() const { return obstacles_; }
+    std::size_t numObstacles() const { return obstacles_.size(); }
+    /** Remove all obstacles (scenario reset). */
+    void clearObstacles() { obstacles_.clear(); }
+
+    /** Add a landmark; returns its id. */
+    std::uint32_t addLandmark(const Vec3 &position, double intensity = 1.0);
+    const std::vector<Landmark> &landmarks() const { return landmarks_; }
+
+    /**
+     * Scatter @p count landmarks around a path corridor — building
+     * facades, poles, and texture the VIO front-end tracks.
+     * @param corridor_half_width Lateral extent around the path.
+     * @param height_range Landmarks get z in [0.3, height_range].
+     */
+    void scatterLandmarks(const Polyline2 &path, std::size_t count,
+                          double corridor_half_width, double height_range,
+                          Rng &rng);
+
+    /**
+     * Distance from @p origin along @p direction to the first obstacle
+     * hit at time @p t, up to @p max_range. The physics behind the
+     * radar/sonar models and the reactive path (Sec. IV).
+     */
+    std::optional<double> raycast(const Vec2 &origin, const Vec2 &direction,
+                                  double max_range, Timestamp t) const;
+
+    /** Obstacles whose center is within @p range of @p position at t. */
+    std::vector<Obstacle> obstaclesNear(const Vec2 &position, double range,
+                                        Timestamp t) const;
+
+  private:
+    LaneMap map_;
+    std::vector<Obstacle> obstacles_;
+    std::vector<Landmark> landmarks_;
+    ObstacleId next_obstacle_id_ = 0;
+    std::uint32_t next_landmark_id_ = 0;
+};
+
+} // namespace sov

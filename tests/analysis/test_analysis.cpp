@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.h"
+#include "analysis/energy_model.h"
+#include "analysis/latency_model.h"
+#include "analysis/power_budget.h"
+
+namespace sov {
+namespace {
+
+// ----------------------------------------------------------- Eq. 1
+
+TEST(LatencyModel, BrakingDistanceIsFourMeters)
+{
+    // Sec. III-A: v = 5.6 m/s, a = 4 m/s^2 -> 3.92 m ("4 m").
+    const LatencyModelParams p;
+    EXPECT_NEAR(brakingDistance(p), 3.92, 1e-9);
+    EXPECT_NEAR(stoppingTime(p).toSeconds(), 1.4, 1e-9);
+}
+
+TEST(LatencyModel, MeanLatencyAvoidsFiveMeters)
+{
+    // Sec. III-A: 164 ms mean T_comp -> avoid objects >= ~5 m away.
+    const LatencyModelParams p;
+    const double d = minimumAvoidableDistance(p, Duration::millisF(164.0));
+    EXPECT_NEAR(d, 5.0, 0.1);
+    EXPECT_TRUE(canAvoid(p, Duration::millisF(164.0), 5.1));
+    EXPECT_FALSE(canAvoid(p, Duration::millisF(164.0), 4.5));
+}
+
+TEST(LatencyModel, WorstCaseLatencyNeeds83Meters)
+{
+    // Sec. III-A: 740 ms worst-case -> objects >= 8.3 m away.
+    const LatencyModelParams p;
+    EXPECT_NEAR(minimumAvoidableDistance(p, Duration::millisF(740.0)),
+                8.3, 0.15);
+}
+
+TEST(LatencyModel, BudgetInverseOfDistance)
+{
+    const LatencyModelParams p;
+    // At 5 m, the budget should be ~164 ms (Fig. 3a's annotation).
+    EXPECT_NEAR(computeLatencyBudget(p, 5.0).toMillis(), 168.0, 10.0);
+    // Inside the braking envelope the budget is negative.
+    EXPECT_LT(computeLatencyBudget(p, 3.5).toMillis(), 0.0);
+    // Round trip.
+    const Duration budget = computeLatencyBudget(p, 7.0);
+    EXPECT_NEAR(minimumAvoidableDistance(p, budget), 7.0, 1e-9);
+}
+
+TEST(LatencyModel, ReactivePathApproachesLimit)
+{
+    // Sec. IV: 30 ms reactive latency -> 4.1 m avoidance distance.
+    LatencyModelParams p;
+    p.t_data = Duration::zero();
+    p.t_mech = Duration::zero(); // folded into the 30 ms total
+    EXPECT_NEAR(minimumAvoidableDistance(p, Duration::millisF(30.0)),
+                4.1, 0.05);
+}
+
+// ----------------------------------------------------------- Eq. 2
+
+TEST(EnergyModel, BaselineTenHours)
+{
+    const EnergyModelParams p;
+    EXPECT_DOUBLE_EQ(drivingHours(p, Power::zero()), 10.0);
+}
+
+TEST(EnergyModel, AdLoadCutsToSevenPointSeven)
+{
+    // Sec. III-B: 175 W AD load -> 10 h becomes 7.7 h.
+    const EnergyModelParams p;
+    EXPECT_NEAR(drivingHours(p, Power::watts(175)), 7.74, 0.01);
+    EXPECT_NEAR(drivingTimeReduction(p, Power::watts(175)), 2.26, 0.01);
+}
+
+TEST(EnergyModel, ExtraIdleServerLosesThreePercent)
+{
+    // Sec. III-B: +31 W idle server reduces driving ~0.3 h, ~3% of a
+    // 10-hour shift.
+    const EnergyModelParams p;
+    const double loss = revenueLossFraction(
+        p, Power::watts(175), Power::watts(175 + 31), 10.0);
+    EXPECT_NEAR(loss, 0.03, 0.005);
+}
+
+TEST(EnergyModel, LidarSuiteCostsMore)
+{
+    // Sec. III-D / Fig. 3b: Waymo's LiDAR config (+92 W) reduces the
+    // driving time by ~0.8 h compared to the camera system.
+    const EnergyModelParams p;
+    const double cameras = drivingHours(p, Power::watts(175));
+    const double lidar = drivingHours(p, Power::watts(175 + 92));
+    EXPECT_NEAR(cameras - lidar, 0.8, 0.1);
+}
+
+// ----------------------------------------------------------- Table I
+
+TEST(PowerBudget, PaperComponentsPresent)
+{
+    const PowerBudget b = PowerBudget::paperVehicle();
+    EXPECT_EQ(b.components().size(), 4u);
+    // Itemized worst-case total (118 + 11 + 78 + 16).
+    EXPECT_DOUBLE_EQ(b.total().toWatts(), 223.0);
+    // Thermal constraint: "well under 200 W" holds for the operating
+    // figure with the idle-server row.
+    EXPECT_LT(PowerBudget::paperVehicleIdleServer().total().toWatts(),
+              200.0);
+}
+
+TEST(PowerBudget, LidarSuiteNinetyTwoWatts)
+{
+    EXPECT_DOUBLE_EQ(PowerBudget::lidarSuite().total().toWatts(), 92.0);
+}
+
+TEST(PowerBudget, ToStringListsRows)
+{
+    const std::string s = PowerBudget::paperVehicle().toString();
+    EXPECT_NE(s.find("radar"), std::string::npos);
+    EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+// ----------------------------------------------------------- Table II
+
+TEST(CostModel, PaperSensorSuiteCost)
+{
+    // Table II: $1000 + $3000 + $1600 + $1000 = $6600.
+    EXPECT_DOUBLE_EQ(CostBreakdown::paperSensorSuite().total().toDollars(),
+                     6600.0);
+}
+
+TEST(CostModel, LidarSuiteDominatesVehiclePrice)
+{
+    // Table II: $80k + 4 x $4k = $96k of LiDAR alone > the whole
+    // $70k camera-based vehicle.
+    const Money lidar = CostBreakdown::lidarSensorSuite().total();
+    EXPECT_DOUBLE_EQ(lidar.toDollars(), 96000.0);
+    EXPECT_GT(lidar, Money::dollars(70000));
+}
+
+TEST(CostModel, TcoPerTripNearOneDollar)
+{
+    // Sec. III-C: the tourist site charges $1/trip; the TCO model
+    // should land in that ballpark with default parameters.
+    const TcoParams params;
+    EXPECT_NEAR(tcoPerYear(params).toDollars(), 19000.0, 1.0);
+    EXPECT_NEAR(costPerTrip(params).toDollars(), 0.58, 0.01);
+    EXPECT_LT(costPerTrip(params), Money::dollars(1.0));
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace sov {
+namespace {
+
+TEST(Config, FromArgsParsesKeyValuePairs)
+{
+    const char *argv[] = {"prog", "speed=5.6", "frames=100",
+                          "verbose=true", "not-a-pair", "name=sov"};
+    Config cfg = Config::fromArgs(6, argv);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("speed", 0.0), 5.6);
+    EXPECT_EQ(cfg.getInt("frames", 0), 100);
+    EXPECT_TRUE(cfg.getBool("verbose", false));
+    EXPECT_EQ(cfg.getString("name", ""), "sov");
+    EXPECT_FALSE(cfg.has("not-a-pair"));
+}
+
+TEST(Config, FallbacksWhenAbsent)
+{
+    Config cfg;
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 1.25), 1.25);
+    EXPECT_EQ(cfg.getInt("missing", -7), -7);
+    EXPECT_FALSE(cfg.getBool("missing", false));
+    EXPECT_EQ(cfg.getString("missing", "dflt"), "dflt");
+}
+
+TEST(Config, SetOverwrites)
+{
+    Config cfg;
+    cfg.set("k", "1");
+    cfg.set("k", "2");
+    EXPECT_EQ(cfg.getInt("k", 0), 2);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config cfg;
+    for (const char *t : {"1", "true", "yes", "on"}) {
+        cfg.set("b", t);
+        EXPECT_TRUE(cfg.getBool("b", false)) << t;
+    }
+    for (const char *f : {"0", "false", "no", "off"}) {
+        cfg.set("b", f);
+        EXPECT_FALSE(cfg.getBool("b", true)) << f;
+    }
+}
+
+TEST(Config, KeysSorted)
+{
+    Config cfg;
+    cfg.set("zeta", "1");
+    cfg.set("alpha", "2");
+    const auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+} // namespace
+} // namespace sov

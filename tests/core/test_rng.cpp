@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace sov {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent)
+{
+    Rng parent(7);
+    Rng c1 = parent.fork("camera");
+    Rng c2 = parent.fork("imu");
+    Rng c1_again = parent.fork("camera");
+    EXPECT_EQ(c1.next(), c1_again.next());
+    EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform(-5.0, 3.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(11);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.gaussian(2.0, 3.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(13);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, LogNormalMedianAndPositivity)
+{
+    Rng r(19);
+    std::vector<double> xs;
+    for (int i = 0; i < 100001; ++i) {
+        const double x = r.logNormal(10.0, 0.5);
+        EXPECT_GT(x, 0.0);
+        xs.push_back(x);
+    }
+    std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 10.0, 0.2);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+
+namespace sov {
+namespace {
+
+TEST(RunningStats, Basic)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.13809, 1e-4); // sample stddev
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.7 - 3.0;
+        a.add(x);
+        all.add(x);
+    }
+    for (int i = 0; i < 73; ++i) {
+        const double x = i * -0.2 + 10.0;
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(PercentileBuffer, KnownPercentiles)
+{
+    PercentileBuffer p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(i);
+    EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100.0), 100.0);
+    EXPECT_NEAR(p.percentile(50.0), 50.5, 1e-9);
+    EXPECT_NEAR(p.percentile(99.0), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(PercentileBuffer, SingleSample)
+{
+    PercentileBuffer p;
+    p.add(42.0);
+    EXPECT_EQ(p.percentile(0.0), 42.0);
+    EXPECT_EQ(p.percentile(50.0), 42.0);
+    EXPECT_EQ(p.percentile(100.0), 42.0);
+}
+
+TEST(PercentileBuffer, AddAfterQueryResorts)
+{
+    PercentileBuffer p;
+    p.add(10.0);
+    p.add(20.0);
+    EXPECT_EQ(p.percentile(100.0), 20.0);
+    p.add(5.0);
+    EXPECT_EQ(p.percentile(0.0), 5.0);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(5.0);  // exactly on a bin edge -> bin 5
+    h.add(-3.0); // clamps to first bin
+    h.add(42.0); // clamps to last bin
+    EXPECT_EQ(h.totalCount(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binLow(9), 9.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.binCount(1), 10u);
+    EXPECT_EQ(h.totalCount(), 10u);
+}
+
+TEST(Histogram, ToStringContainsAllBins)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.1);
+    const std::string s = h.toString();
+    EXPECT_NE(s.find("0..1"), std::string::npos);
+    EXPECT_NE(s.find("1..2"), std::string::npos);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/time.h"
+
+namespace sov {
+namespace {
+
+TEST(Duration, ConstructorsAgree)
+{
+    EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+    EXPECT_EQ(Duration::micros(5).ns(), 5'000);
+    EXPECT_EQ(Duration::seconds(1.5).ns(), 1'500'000'000);
+    EXPECT_EQ(Duration::millisF(0.5).ns(), 500'000);
+    EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(Duration, Arithmetic)
+{
+    const Duration a = Duration::millis(100);
+    const Duration b = Duration::millis(30);
+    EXPECT_EQ((a + b).toMillis(), 130.0);
+    EXPECT_EQ((a - b).toMillis(), 70.0);
+    EXPECT_EQ((-b).toMillis(), -30.0);
+    EXPECT_DOUBLE_EQ((a * 0.5).toMillis(), 50.0);
+    EXPECT_DOUBLE_EQ(a / b, 100.0 / 30.0);
+    Duration c = a;
+    c += b;
+    EXPECT_EQ(c.toMillis(), 130.0);
+    c -= a;
+    EXPECT_EQ(c.toMillis(), 30.0);
+}
+
+TEST(Duration, Comparison)
+{
+    EXPECT_LT(Duration::millis(1), Duration::millis(2));
+    EXPECT_GE(Duration::seconds(1.0), Duration::millis(1000));
+    EXPECT_EQ(Duration::seconds(0.001), Duration::millis(1));
+}
+
+TEST(Duration, UnitConversions)
+{
+    const Duration d = Duration::millisF(164.0);
+    EXPECT_DOUBLE_EQ(d.toSeconds(), 0.164);
+    EXPECT_DOUBLE_EQ(d.toMillis(), 164.0);
+    EXPECT_DOUBLE_EQ(d.toMicros(), 164000.0);
+}
+
+TEST(Timestamp, OriginAndAdvance)
+{
+    Timestamp t = Timestamp::origin();
+    EXPECT_EQ(t.ns(), 0);
+    t += Duration::millis(19);
+    EXPECT_EQ(t.toMillis(), 19.0);
+    const Timestamp u = t + Duration::millis(1);
+    EXPECT_EQ((u - t).toMillis(), 1.0);
+    EXPECT_EQ((t - u).toMillis(), -1.0);
+}
+
+TEST(Timestamp, Never)
+{
+    EXPECT_TRUE(Timestamp::never().isNever());
+    EXPECT_FALSE(Timestamp::origin().isNever());
+    EXPECT_LT(Timestamp::seconds(1e6), Timestamp::never());
+}
+
+TEST(Timestamp, Ordering)
+{
+    const Timestamp a = Timestamp::seconds(1.0);
+    const Timestamp b = Timestamp::seconds(2.0);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(a + Duration::seconds(1.0), b);
+    EXPECT_GT(b - Duration::nanos(1), a);
+}
+
+TEST(TimeToString, PicksScale)
+{
+    EXPECT_NE(toString(Duration::millis(164)).find("ms"), std::string::npos);
+    EXPECT_NE(toString(Duration::seconds(2.0)).find(" s"), std::string::npos);
+    EXPECT_NE(toString(Duration::micros(12)).find("us"), std::string::npos);
+}
+
+} // namespace
+} // namespace sov

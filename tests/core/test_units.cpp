@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace sov {
+namespace {
+
+TEST(Power, Conversions)
+{
+    EXPECT_DOUBLE_EQ(Power::kilowatts(0.175).toWatts(), 175.0);
+    EXPECT_DOUBLE_EQ(Power::milliwatts(5.0).toWatts(), 0.005);
+    EXPECT_DOUBLE_EQ(Power::watts(600).toKilowatts(), 0.6);
+}
+
+TEST(Power, Arithmetic)
+{
+    // Table I: server dynamic 118 W + vision 11 W + radar 6x13 W
+    // + sonar 8x2 W = not quite 175; the paper rounds.
+    Power p = Power::watts(118);
+    p += Power::watts(11);
+    p += Power::watts(13) * 6.0;
+    p += Power::watts(2) * 8.0;
+    EXPECT_DOUBLE_EQ(p.toWatts(), 223.0);
+    EXPECT_LT(Power::watts(1), Power::watts(2));
+}
+
+TEST(Energy, BatteryCapacity)
+{
+    // 6 kWh battery at 0.6 kW vehicle draw -> 10 hours (Sec. III-B).
+    const Energy battery = Energy::kilowattHours(6.0);
+    EXPECT_DOUBLE_EQ(battery.hoursAt(Power::kilowatts(0.6)), 10.0);
+    // Adding 175 W of AD load -> 7.74 hours.
+    EXPECT_NEAR(battery.hoursAt(Power::watts(775)), 7.74, 0.01);
+}
+
+TEST(Energy, Conversions)
+{
+    EXPECT_DOUBLE_EQ(Energy::kilowattHours(1.0).toJoules(), 3.6e6);
+    EXPECT_DOUBLE_EQ(Energy::millijoules(2100.0).toJoules(), 2.1);
+    EXPECT_DOUBLE_EQ(Energy::joules(7.2e6).toKilowattHours(), 2.0);
+}
+
+TEST(Speed, MphConversion)
+{
+    // Vehicles capped at 20 mph (Sec. II-A); typical speed 5.6 m/s.
+    EXPECT_NEAR(Speed::milesPerHour(20.0).toMetersPerSecond(), 8.94, 0.01);
+    EXPECT_NEAR(Speed::metersPerSecond(5.6).toMilesPerHour(), 12.53, 0.01);
+}
+
+TEST(Money, Arithmetic)
+{
+    Money total = Money::zero();
+    total += Money::dollars(1000);    // cameras + IMU
+    total += Money::dollars(3000);    // radars
+    total += Money::dollars(1600);    // sonars
+    total += Money::dollars(1000);    // GPS
+    EXPECT_DOUBLE_EQ(total.toDollars(), 6600.0);
+    EXPECT_LT(total, Money::dollars(70000));
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "localization/gps_fusion.h"
+#include "world/lane_map.h"
+
+namespace sov {
+namespace {
+
+Trajectory
+longStraight()
+{
+    const Polyline2 path({Vec2(0, 0), Vec2(1000, 0)});
+    return Trajectory::alongPath(path, 5.0);
+}
+
+GpsFix
+fixAt(const Vec2 &p, double accuracy = 0.5, bool multipath = false)
+{
+    GpsFix fix;
+    fix.position = p;
+    fix.horizontal_accuracy = accuracy;
+    fix.multipath = multipath;
+    return fix;
+}
+
+TEST(GpsVio, FirstFixInitializes)
+{
+    GpsVioFusion fusion;
+    EXPECT_TRUE(fusion.applyGps(fixAt(Vec2(10.0, 5.0))));
+    EXPECT_NEAR(fusion.position().x(), 10.0, 1e-9);
+    EXPECT_NEAR(fusion.position().y(), 5.0, 1e-9);
+    EXPECT_TRUE(fusion.gnssHealthy());
+}
+
+TEST(GpsVio, RejectsMultipathAndPoorAccuracy)
+{
+    GpsVioFusion fusion;
+    fusion.applyGps(fixAt(Vec2(0, 0)));
+    EXPECT_FALSE(fusion.applyGps(fixAt(Vec2(50, 50), 0.5, true)));
+    EXPECT_FALSE(fusion.applyGps(fixAt(Vec2(50, 50), 10.0)));
+    EXPECT_FALSE(fusion.gnssHealthy());
+    // Position untouched by the rejected fixes.
+    EXPECT_NEAR(fusion.position().x(), 0.0, 1e-9);
+}
+
+TEST(GpsVio, CorrectsVioDrift)
+{
+    const Trajectory traj = longStraight();
+    GpsVioFusion fusion;
+    Rng rng(1);
+
+    fusion.applyGps(fixAt(Vec2(0, 0)));
+    // Accumulate VO legs with injected systematic drift.
+    for (int i = 1; i <= 50; ++i) {
+        VoMeasurement vo = makeVoMeasurement(
+            traj, Timestamp::seconds((i - 1) * 0.5),
+            Timestamp::seconds(i * 0.5), rng);
+        vo.body_displacement += Vec2(0.0, 0.05); // lateral drift
+        fusion.vio().applyVo(vo);
+    }
+    // ~2.5 m of injected lateral drift by now.
+    const auto truth = traj.sample(Timestamp::seconds(25.0));
+    const double drift_before = fusion.position().distanceTo(
+        Vec2(truth.position.x(), truth.position.y()));
+    EXPECT_GT(drift_before, 1.5);
+
+    // A burst of good fixes pulls the estimate back.
+    for (int k = 0; k < 10; ++k) {
+        fusion.applyGps(
+            fixAt(Vec2(truth.position.x(), truth.position.y())));
+    }
+    const double drift_after = fusion.position().distanceTo(
+        Vec2(truth.position.x(), truth.position.y()));
+    EXPECT_LT(drift_after, drift_before * 0.3);
+}
+
+TEST(GpsVio, OutageFallsBackToCorrectedVio)
+{
+    const Trajectory traj = longStraight();
+    GpsVioFusion fusion;
+    Rng rng(2);
+    fusion.applyGps(fixAt(Vec2(0, 0)));
+
+    // Clean VO through a simulated outage: position keeps advancing.
+    for (int i = 1; i <= 20; ++i) {
+        fusion.vio().applyVo(makeVoMeasurement(
+            traj, Timestamp::seconds((i - 1) * 0.5),
+            Timestamp::seconds(i * 0.5), rng));
+    }
+    const auto truth = traj.sample(Timestamp::seconds(10.0));
+    EXPECT_NEAR(fusion.position().x(), truth.position.x(), 1.0);
+    // Uncertainty grew during the outage.
+    EXPECT_GT(fusion.positionSigma(), 0.0);
+}
+
+TEST(GpsVio, SigmaShrinksOnAcceptedFix)
+{
+    const Trajectory traj = longStraight();
+    GpsVioFusion fusion;
+    Rng rng(3);
+    fusion.applyGps(fixAt(Vec2(0, 0)));
+    for (int i = 1; i <= 30; ++i) {
+        fusion.vio().applyVo(makeVoMeasurement(
+            traj, Timestamp::seconds((i - 1) * 0.5),
+            Timestamp::seconds(i * 0.5), rng));
+    }
+    const double sigma_before = fusion.positionSigma();
+    fusion.applyGps(fixAt(Vec2(75.0, 0.0)));
+    EXPECT_LT(fusion.positionSigma(), sigma_before);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "localization/vio.h"
+#include "sensors/imu.h"
+#include "world/lane_map.h"
+
+namespace sov {
+namespace {
+
+/**
+ * A rounded-rectangle loop with realistic corner radii (the vehicle
+ * turns at lane granularity, not on a point); two laps give enough
+ * turning for timestamp-offset errors to compound (Fig. 11b).
+ */
+Trajectory
+loopTrajectory(double speed = 5.6)
+{
+    const double w = 120.0, h = 80.0, r = 8.0;
+    Polyline2 p;
+    const auto arc = [&p, r](Vec2 c, double a0, double a1) {
+        for (int i = 0; i <= 8; ++i) {
+            const double a = a0 + (a1 - a0) * i / 8.0;
+            p.append(c + Vec2(std::cos(a), std::sin(a)) * r);
+        }
+    };
+    for (int lap = 0; lap < 2; ++lap) {
+        p.append(Vec2(r, 0));
+        p.append(Vec2(w - r, 0));
+        arc(Vec2(w - r, r), -M_PI / 2, 0);
+        p.append(Vec2(w, h - r));
+        arc(Vec2(w - r, h - r), 0, M_PI / 2);
+        p.append(Vec2(r, h));
+        arc(Vec2(r, h - r), M_PI / 2, M_PI);
+        p.append(Vec2(0, r));
+        arc(Vec2(r, r), M_PI, 1.5 * M_PI);
+    }
+    return Trajectory::alongPath(p, speed);
+}
+
+/**
+ * Run the VIO along a trajectory.
+ * @param camera_stamp_offset Error added to camera timestamps only
+ *        (the Fig. 11b out-of-sync condition).
+ * @return Final position error (meters).
+ */
+double
+runVio(Duration camera_stamp_offset, std::uint64_t seed,
+       double *max_error = nullptr)
+{
+    const Trajectory traj = loopTrajectory();
+    ImuConfig imu_cfg;
+    imu_cfg.gyro_noise = 0.001;
+    ImuModel imu(imu_cfg, Rng(seed));
+    Rng vo_rng(seed + 1);
+
+    VioOdometry vio;
+    const auto start = traj.sample(traj.startTime());
+    vio.initialize(Vec2(start.position.x(), start.position.y()),
+                   start.orientation.yaw());
+
+    const double imu_dt = 1.0 / 240.0;
+    const double cam_dt = 1.0 / 30.0;
+    const double horizon = traj.duration().toSeconds() - 1.0;
+
+    double next_cam = cam_dt;
+    double prev_cam = 0.0;
+    double max_err = 0.0;
+    for (double t = imu_dt; t < horizon; t += imu_dt) {
+        const Timestamp now = Timestamp::seconds(t);
+        // IMU stamped correctly (hardware path).
+        vio.propagateImu(imu.sample(traj, now), now);
+
+        if (t >= next_cam) {
+            // VO measured between true capture instants...
+            VoMeasurement vo = makeVoMeasurement(
+                traj, Timestamp::seconds(prev_cam),
+                Timestamp::seconds(t), vo_rng);
+            // ...but stamped with the (possibly offset) believed times.
+            vo.t0 = Timestamp::seconds(prev_cam) + camera_stamp_offset;
+            vo.t1 = now + camera_stamp_offset;
+            vio.applyVo(vo);
+            prev_cam = t;
+            next_cam = t + cam_dt;
+
+            const auto truth = traj.sample(now);
+            const double err = vio.state().position.distanceTo(
+                Vec2(truth.position.x(), truth.position.y()));
+            max_err = std::max(max_err, err);
+        }
+    }
+    if (max_error)
+        *max_error = max_err;
+    const auto truth = traj.sample(Timestamp::seconds(horizon));
+    return vio.state().position.distanceTo(
+        Vec2(truth.position.x(), truth.position.y()));
+}
+
+TEST(Vio, SynchronizedTrackingIsAccurate)
+{
+    double max_err = 0.0;
+    const double final_err = runVio(Duration::zero(), 10, &max_err);
+    // ~770 m of driving: synced drift stays below ~0.7%.
+    EXPECT_LT(final_err, 5.0);
+    EXPECT_LT(max_err, 5.0);
+}
+
+TEST(Vio, UnsynchronizedCameraDriftsFar)
+{
+    // Fig. 11b: with 40 ms camera-IMU offset the error reaches meters.
+    double max_err_sync = 0.0, max_err_unsync = 0.0;
+    runVio(Duration::zero(), 11, &max_err_sync);
+    runVio(Duration::millisF(40.0), 11, &max_err_unsync);
+    EXPECT_GT(max_err_unsync, 5.0 * max_err_sync);
+    EXPECT_GT(max_err_unsync, 10.0);
+}
+
+TEST(Vio, ErrorGrowsWithOffset)
+{
+    double err20 = 0.0, err40 = 0.0;
+    runVio(Duration::millisF(20.0), 12, &err20);
+    runVio(Duration::millisF(40.0), 12, &err40);
+    EXPECT_GT(err40, err20);
+}
+
+TEST(Vio, YawHistoryLookupInterpolates)
+{
+    VioOdometry vio;
+    vio.initialize(Vec2(0, 0), 0.0);
+    ImuSample s;
+    s.angular_velocity = Vec3(0, 0, 0.5);
+    // Feed a steady 0.5 rad/s turn at 100 Hz.
+    for (int i = 0; i <= 100; ++i)
+        vio.propagateImu(s, Timestamp::seconds(i * 0.01));
+    // After 1 s, yaw ~ 0.5 rad; at t=0.5 s, yaw ~ 0.25 rad.
+    EXPECT_NEAR(vio.state().yaw, 0.5, 0.02);
+    EXPECT_NEAR(vio.yawAt(Timestamp::seconds(0.5)), 0.25, 0.02);
+    // Queries outside the history clamp.
+    EXPECT_NEAR(vio.yawAt(Timestamp::seconds(-1.0)), 0.0, 0.02);
+    EXPECT_NEAR(vio.yawAt(Timestamp::seconds(9.0)), 0.5, 0.02);
+}
+
+TEST(Vio, UncertaintyGrowsWithDistance)
+{
+    const Trajectory traj = loopTrajectory();
+    VioOdometry vio;
+    vio.initialize(Vec2(0, 0), 0.0);
+    Rng rng(13);
+    double prev_sigma = 0.0;
+    for (int i = 1; i <= 10; ++i) {
+        const VoMeasurement vo = makeVoMeasurement(
+            traj, Timestamp::seconds((i - 1) * 0.5),
+            Timestamp::seconds(i * 0.5), rng);
+        vio.applyVo(vo);
+        EXPECT_GT(vio.state().position_sigma, prev_sigma);
+        prev_sigma = vio.state().position_sigma;
+    }
+    EXPECT_GT(vio.state().distance_travelled, 10.0);
+}
+
+TEST(Vio, SpeedEstimateTracksTruth)
+{
+    const Trajectory traj = loopTrajectory(4.0);
+    VioOdometry vio;
+    vio.initialize(Vec2(0, 0), 0.0);
+    Rng rng(14);
+    const VoMeasurement vo = makeVoMeasurement(
+        traj, Timestamp::seconds(5.0), Timestamp::seconds(5.2), rng);
+    vio.applyVo(vo);
+    EXPECT_NEAR(vio.state().speed, 4.0, 0.3);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/spline.h"
+
+namespace sov {
+namespace {
+
+TEST(CubicSpline, InterpolatesKnots)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.5, 4.0};
+    const std::vector<double> ys{1.0, -1.0, 0.5, 2.0};
+    const CubicSpline s(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(s.evaluate(xs[i]), ys[i], 1e-12);
+}
+
+TEST(CubicSpline, LinearDataStaysLinear)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+    const CubicSpline s(xs, ys);
+    for (double x = 0.0; x <= 3.0; x += 0.1) {
+        EXPECT_NEAR(s.evaluate(x), 1.0 + 2.0 * x, 1e-10);
+        EXPECT_NEAR(s.derivative(x), 2.0, 1e-10);
+        EXPECT_NEAR(s.secondDerivative(x), 0.0, 1e-9);
+    }
+}
+
+TEST(CubicSpline, NaturalBoundaryConditions)
+{
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys{0.0, 1.0, 0.0, -1.0, 0.0};
+    const CubicSpline s(xs, ys);
+    EXPECT_NEAR(s.secondDerivative(0.0), 0.0, 1e-10);
+    EXPECT_NEAR(s.secondDerivative(4.0), 0.0, 1e-10);
+}
+
+TEST(CubicSpline, ApproximatesSine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i <= 20; ++i) {
+        xs.push_back(i * 0.3);
+        ys.push_back(std::sin(xs.back()));
+    }
+    const CubicSpline s(xs, ys);
+    for (double x = 0.5; x < 5.5; x += 0.07) {
+        EXPECT_NEAR(s.evaluate(x), std::sin(x), 2e-4);
+        EXPECT_NEAR(s.derivative(x), std::cos(x), 5e-3);
+    }
+}
+
+TEST(CubicSpline, ClampsOutsideDomain)
+{
+    const CubicSpline s({0.0, 1.0}, {2.0, 4.0});
+    EXPECT_NEAR(s.evaluate(-5.0), 2.0, 1e-12);
+    EXPECT_NEAR(s.evaluate(9.0), 4.0, 1e-12);
+}
+
+TEST(CubicSpline, TwoKnotsIsLinear)
+{
+    const CubicSpline s({0.0, 2.0}, {0.0, 4.0});
+    EXPECT_NEAR(s.evaluate(1.0), 2.0, 1e-12);
+    EXPECT_NEAR(s.derivative(1.0), 2.0, 1e-12);
+}
+
+TEST(CubicSpline, ValidAndDomain)
+{
+    const CubicSpline empty;
+    EXPECT_FALSE(empty.valid());
+    const CubicSpline s({1.0, 3.0}, {0.0, 0.0});
+    EXPECT_TRUE(s.valid());
+    EXPECT_DOUBLE_EQ(s.minX(), 1.0);
+    EXPECT_DOUBLE_EQ(s.maxX(), 3.0);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "math/vec.h"
+
+namespace sov {
+namespace {
+
+TEST(Vec, ConstructionAndAccess)
+{
+    const Vec3 v(1.0, 2.0, 3.0);
+    EXPECT_EQ(v.x(), 1.0);
+    EXPECT_EQ(v.y(), 2.0);
+    EXPECT_EQ(v.z(), 3.0);
+    EXPECT_EQ(v[2], 3.0);
+    EXPECT_EQ(Vec3::zero(), Vec3(0.0, 0.0, 0.0));
+    EXPECT_EQ(Vec2::filled(2.0), Vec2(2.0, 2.0));
+}
+
+TEST(Vec, Arithmetic)
+{
+    const Vec2 a(1.0, 2.0), b(3.0, -1.0);
+    EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+    EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+    EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+    Vec2 c = a;
+    c += b;
+    EXPECT_EQ(c, Vec2(4.0, 1.0));
+    c -= b;
+    EXPECT_EQ(c, a);
+    c *= 3.0;
+    EXPECT_EQ(c, Vec2(3.0, 6.0));
+}
+
+TEST(Vec, DotNormDistance)
+{
+    const Vec3 a(1.0, 2.0, 2.0);
+    EXPECT_DOUBLE_EQ(a.dot(a), 9.0);
+    EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+    EXPECT_DOUBLE_EQ(a.squaredNorm(), 9.0);
+    EXPECT_DOUBLE_EQ(a.distanceTo(Vec3(1.0, 2.0, 5.0)), 3.0);
+    const Vec3 n = a.normalized();
+    EXPECT_NEAR(n.norm(), 1.0, 1e-15);
+}
+
+TEST(Vec, Cross)
+{
+    const Vec3 x(1, 0, 0), y(0, 1, 0), z(0, 0, 1);
+    EXPECT_EQ(x.cross(y), z);
+    EXPECT_EQ(y.cross(z), x);
+    EXPECT_EQ(z.cross(x), y);
+    EXPECT_EQ(x.cross(x), Vec3::zero());
+}
+
+TEST(Vec, HigherDimension)
+{
+    Vec<5> v;
+    for (std::size_t i = 0; i < 5; ++i)
+        v[i] = static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(v.dot(Vec<5>::filled(1.0)), 10.0);
+}
+
+} // namespace
+} // namespace sov

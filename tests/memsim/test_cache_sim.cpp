@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "memsim/cache_sim.h"
+
+namespace sov {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.size_bytes = 4096; // 64 lines
+    c.line_bytes = 64;
+    c.associativity = 4; // 16 sets
+    return c;
+}
+
+TEST(CacheConfig, SetArithmetic)
+{
+    EXPECT_EQ(smallCache().numSets(), 16u);
+    CacheConfig paper; // 9 MB, 64 B lines, 16-way (Sec. III-D)
+    EXPECT_EQ(paper.numSets(), (9ull << 20) / (64 * 16));
+}
+
+TEST(CacheSim, FirstTouchMissesThenHits)
+{
+    CacheSim cache(smallCache());
+    cache.access(0x1000);
+    cache.access(0x1000);
+    cache.access(0x1010); // same line
+    EXPECT_EQ(cache.stats().accesses, 3u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().compulsory_misses, 1u);
+}
+
+TEST(CacheSim, AccessSpanningLinesCountsBoth)
+{
+    CacheSim cache(smallCache());
+    cache.access(0x103C, 8); // straddles the 0x1040 boundary
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheSim, LruEviction)
+{
+    CacheSim cache(smallCache());
+    // 5 lines mapping to the same set (stride = sets*line = 1024).
+    for (int i = 0; i < 5; ++i)
+        cache.access(0x0 + i * 1024);
+    // Line 0 is the LRU victim; re-access misses (capacity/conflict).
+    cache.access(0x0);
+    EXPECT_EQ(cache.stats().misses, 6u);
+    // Compulsory only counts first touches.
+    EXPECT_EQ(cache.stats().compulsory_misses, 5u);
+    // Line 2 is still resident.
+    cache.access(2 * 1024);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheSim, LruKeepsRecentlyUsed)
+{
+    CacheSim cache(smallCache());
+    cache.access(0 * 1024);
+    cache.access(1 * 1024);
+    cache.access(2 * 1024);
+    cache.access(3 * 1024);
+    cache.access(0 * 1024); // refresh line 0
+    cache.access(4 * 1024); // evicts line 1, not line 0
+    cache.access(0 * 1024);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    cache.access(1 * 1024);
+    EXPECT_EQ(cache.stats().misses, 6u);
+}
+
+TEST(CacheSim, NormalizedTrafficForStreamingIsOne)
+{
+    CacheSim cache(smallCache());
+    // Touch 1000 distinct lines once: all compulsory.
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        cache.access(i * 64);
+    EXPECT_DOUBLE_EQ(cache.stats().normalizedTraffic(), 1.0);
+}
+
+TEST(CacheSim, NormalizedTrafficGrowsWithThrashing)
+{
+    CacheSim cache(smallCache()); // 4 KB capacity
+    // Working set of 128 lines (8 KB) streamed 10 times: every pass
+    // misses everything (classic LRU thrash).
+    for (int pass = 0; pass < 10; ++pass)
+        for (std::uint64_t i = 0; i < 128; ++i)
+            cache.access(i * 64);
+    EXPECT_NEAR(cache.stats().normalizedTraffic(), 10.0, 1e-12);
+}
+
+TEST(CacheSim, WorkingSetFittingInCacheHasNoExtraTraffic)
+{
+    CacheSim cache(smallCache());
+    // 32 lines (2 KB) streamed 10 times fits in 4 KB.
+    for (int pass = 0; pass < 10; ++pass)
+        for (std::uint64_t i = 0; i < 32; ++i)
+            cache.access(i * 64);
+    EXPECT_DOUBLE_EQ(cache.stats().normalizedTraffic(), 1.0);
+    EXPECT_NEAR(cache.stats().hitRate(), 0.9, 1e-12);
+}
+
+TEST(CacheSim, TrafficBytes)
+{
+    CacheSim cache(smallCache());
+    for (std::uint64_t i = 0; i < 10; ++i)
+        cache.access(i * 64);
+    EXPECT_EQ(cache.stats().trafficBytes(64), 640u);
+}
+
+TEST(CacheSim, ResetClearsEverything)
+{
+    CacheSim cache(smallCache());
+    cache.access(0x1000);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    cache.access(0x1000);
+    EXPECT_EQ(cache.stats().misses, 1u); // cold again
+    EXPECT_EQ(cache.stats().compulsory_misses, 1u);
+}
+
+} // namespace
+} // namespace sov

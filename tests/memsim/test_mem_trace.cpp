@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "memsim/mem_trace.h"
+
+namespace sov {
+namespace {
+
+TEST(MemTrace, CountsReusePerPoint)
+{
+    MemTrace trace;
+    trace.touchPoint(0, 5);
+    trace.touchPoint(0, 5);
+    trace.touchPoint(0, 7);
+    trace.touchPoint(1, 5); // different cloud
+    EXPECT_EQ(trace.totalAccesses(), 4u);
+    EXPECT_EQ(trace.distinctPoints(), 3u);
+
+    const auto counts0 = trace.pointReuseCounts(0);
+    ASSERT_EQ(counts0.size(), 2u);
+    EXPECT_EQ(counts0[0] + counts0[1], 3u);
+
+    const auto counts1 = trace.pointReuseCounts(1);
+    ASSERT_EQ(counts1.size(), 1u);
+    EXPECT_EQ(counts1[0], 1u);
+}
+
+TEST(MemTrace, ReuseHistogram)
+{
+    MemTrace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.touchPoint(0, 1); // one point touched 10x
+    trace.touchPoint(0, 2);     // one point touched once
+    const Histogram h = trace.reuseHistogram(0, 5.0, 20.0);
+    EXPECT_EQ(h.totalCount(), 2u);
+    EXPECT_EQ(h.binCount(0), 1u); // reuse 1 in [0,5)
+    EXPECT_EQ(h.binCount(2), 1u); // reuse 10 in [10,15)
+}
+
+TEST(MemTrace, FeedsAttachedCache)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 4096;
+    cfg.line_bytes = 64;
+    cfg.associativity = 4;
+    CacheSim cache(cfg);
+
+    MemTrace trace;
+    trace.attachCache(&cache);
+    trace.touchPoint(0, 0);
+    trace.touchPoint(0, 0);
+    // Points are 16 B: 4 per line. Touching point 0 twice = 1 miss.
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    // Point 1 shares the line with point 0.
+    trace.touchPoint(0, 1);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    // Point 4 is on the next line.
+    trace.touchPoint(0, 4);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(MemTrace, CloudsAndTreesLiveInDisjointRegions)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 1 << 20;
+    CacheSim cache(cfg);
+    MemTrace trace;
+    trace.attachCache(&cache);
+    trace.touchPoint(0, 0);
+    trace.touchNode(0, 0);
+    trace.touchPoint(1, 0);
+    // All three are distinct lines.
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(MemTrace, NodesDoNotAffectPointReuse)
+{
+    MemTrace trace;
+    trace.touchNode(0, 3);
+    trace.touchNode(0, 3);
+    EXPECT_EQ(trace.totalAccesses(), 2u);
+    EXPECT_EQ(trace.distinctPoints(), 0u);
+}
+
+TEST(MemTrace, ResetForgets)
+{
+    MemTrace trace;
+    trace.touchPoint(0, 1);
+    trace.reset();
+    EXPECT_EQ(trace.totalAccesses(), 0u);
+    EXPECT_TRUE(trace.pointReuseCounts(0).empty());
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "planning/mpc.h"
+
+namespace sov {
+namespace {
+
+PlannerInput
+straightInput(double lateral_offset, double heading_error,
+              double speed = 5.0)
+{
+    PlannerInput in;
+    in.now = Timestamp::origin();
+    in.reference_path = Polyline2({Vec2(0, 0), Vec2(200, 0)});
+    in.ego_pose = Pose2{Vec2(20.0, lateral_offset), heading_error};
+    in.ego_speed = speed;
+    in.speed_limit = 5.6;
+    return in;
+}
+
+FusedObject
+staticObjectAt(double x, double y)
+{
+    FusedObject o;
+    o.position = Vec2(x, y);
+    o.velocity = Vec2(0, 0);
+    return o;
+}
+
+TEST(Mpc, OnPathNoCorrection)
+{
+    const MpcPlanner planner;
+    const auto out = planner.plan(straightInput(0.0, 0.0));
+    EXPECT_NEAR(out.command.steer_curvature, 0.0, 1e-6);
+    EXPECT_NEAR(out.lateral_error, 0.0, 1e-9);
+    EXPECT_FALSE(out.blocked);
+    EXPECT_NEAR(out.target_speed, 5.6, 1e-9);
+}
+
+TEST(Mpc, SteersBackTowardPath)
+{
+    const MpcPlanner planner;
+    // Left of the path (positive offset): steer right (negative curv).
+    const auto left = planner.plan(straightInput(1.0, 0.0));
+    EXPECT_LT(left.command.steer_curvature, 0.0);
+    // Right of the path: steer left.
+    const auto right = planner.plan(straightInput(-1.0, 0.0));
+    EXPECT_GT(right.command.steer_curvature, 0.0);
+    // Symmetry.
+    EXPECT_NEAR(left.command.steer_curvature,
+                -right.command.steer_curvature, 1e-9);
+}
+
+TEST(Mpc, CorrectsHeadingError)
+{
+    const MpcPlanner planner;
+    const auto out = planner.plan(straightInput(0.0, 0.3));
+    EXPECT_LT(out.command.steer_curvature, 0.0); // turn back right
+    EXPECT_NEAR(out.heading_error, 0.3, 1e-9);
+}
+
+TEST(Mpc, CurvatureClamped)
+{
+    const MpcPlanner planner;
+    const auto out = planner.plan(straightInput(10.0, 1.0));
+    EXPECT_GE(out.command.steer_curvature,
+              -planner.config().max_curvature - 1e-12);
+    EXPECT_LE(out.command.steer_curvature,
+              planner.config().max_curvature + 1e-12);
+}
+
+TEST(Mpc, SlowsForObstacleOnPath)
+{
+    const MpcPlanner planner;
+    auto in = straightInput(0.0, 0.0);
+    in.objects.push_back(staticObjectAt(28.0, 0.0)); // 8 m ahead
+    const auto out = planner.plan(in);
+    EXPECT_LT(out.target_speed, 5.6);
+    EXPECT_LT(out.command.acceleration, 0.0);
+}
+
+TEST(Mpc, StopsForCloseObstacle)
+{
+    const MpcPlanner planner;
+    auto in = straightInput(0.0, 0.0);
+    in.objects.push_back(staticObjectAt(23.0, 0.0)); // 3 m ahead
+    const auto out = planner.plan(in);
+    EXPECT_TRUE(out.blocked);
+    EXPECT_EQ(out.target_speed, 0.0);
+    EXPECT_LE(out.command.acceleration,
+              -planner.config().hard_decel + 1e-9);
+}
+
+TEST(Mpc, IgnoresOffPathObstacle)
+{
+    const MpcPlanner planner;
+    auto in = straightInput(0.0, 0.0);
+    in.objects.push_back(staticObjectAt(35.0, 6.0)); // off to the side
+    const auto out = planner.plan(in);
+    EXPECT_FALSE(out.blocked);
+    EXPECT_NEAR(out.target_speed, 5.6, 1e-9);
+}
+
+TEST(Mpc, AcceleratesTowardLimitWhenSlow)
+{
+    const MpcPlanner planner;
+    const auto out = planner.plan(straightInput(0.0, 0.0, 2.0));
+    EXPECT_GT(out.command.acceleration, 0.0);
+    EXPECT_LE(out.command.acceleration,
+              planner.config().max_accel + 1e-12);
+}
+
+TEST(Mpc, ClosedLoopConvergesToPath)
+{
+    // Integrate the kinematic model under the MPC for a few seconds.
+    const MpcPlanner planner;
+    Pose2 pose{Vec2(0.0, 1.5), 0.2};
+    double speed = 5.0;
+    const double dt = 0.05;
+    for (int i = 0; i < 200; ++i) {
+        PlannerInput in;
+        in.now = Timestamp::seconds(i * dt);
+        in.reference_path = Polyline2({Vec2(-10, 0), Vec2(500, 0)});
+        in.ego_pose = pose;
+        in.ego_speed = speed;
+        in.speed_limit = 5.6;
+        const auto out = planner.plan(in);
+        speed = std::clamp(speed + out.command.acceleration * dt, 0.0,
+                           8.94);
+        pose.heading = wrapAngle(
+            pose.heading + out.command.steer_curvature * speed * dt);
+        pose.position += Vec2(std::cos(pose.heading),
+                              std::sin(pose.heading)) * (speed * dt);
+    }
+    EXPECT_NEAR(pose.position.y(), 0.0, 0.15);
+    EXPECT_NEAR(wrapAngle(pose.heading), 0.0, 0.05);
+    EXPECT_NEAR(speed, 5.6, 0.2);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "platform/mapping.h"
+#include "platform/platform_model.h"
+
+namespace sov {
+namespace {
+
+TEST(PlatformModel, Fig6LatencyOrderings)
+{
+    const PlatformModel m;
+    // Fig. 6a: TX2 much slower than GPU for all three tasks; the
+    // embedded FPGA beats the GPU only for localization.
+    for (const TaskKind t : {TaskKind::DepthEstimation,
+                             TaskKind::Detection,
+                             TaskKind::Localization}) {
+        EXPECT_GT(m.medianLatency(t, Platform::Tx2),
+                  m.medianLatency(t, Platform::Gtx1060))
+            << toString(t);
+    }
+    EXPECT_LT(m.medianLatency(TaskKind::Localization, Platform::ZynqFpga),
+              m.medianLatency(TaskKind::Localization, Platform::Gtx1060));
+    EXPECT_GT(m.medianLatency(TaskKind::DepthEstimation,
+                              Platform::ZynqFpga),
+              m.medianLatency(TaskKind::DepthEstimation,
+                              Platform::Gtx1060));
+}
+
+TEST(PlatformModel, Tx2CumulativePerceptionLatency)
+{
+    // Sec. V-A: 844.2 ms cumulative perception latency on TX2.
+    const PlatformModel m;
+    const double total =
+        m.medianLatency(TaskKind::DepthEstimation, Platform::Tx2)
+            .toMillis() +
+        m.medianLatency(TaskKind::Detection, Platform::Tx2).toMillis() +
+        m.medianLatency(TaskKind::Localization, Platform::Tx2).toMillis();
+    EXPECT_NEAR(total, 844.0, 10.0);
+}
+
+TEST(PlatformModel, SharedGpuContention)
+{
+    // Fig. 8: scene understanding 77 -> 120 ms, localization 20 -> 31.
+    const PlatformModel m;
+    EXPECT_NEAR(m.sceneUnderstandingLatency(Platform::Gtx1060).toMillis(),
+                77.0, 0.5);
+    EXPECT_NEAR(
+        m.sceneUnderstandingLatency(Platform::Gtx1060, true).toMillis(),
+        120.0, 1.0);
+    EXPECT_NEAR(m.medianLatency(TaskKind::Localization, Platform::Gtx1060,
+                                true).toMillis(),
+                31.0, 0.5);
+    // Contention multiplier applies only to the GPU.
+    EXPECT_EQ(m.medianLatency(TaskKind::Localization, Platform::ZynqFpga,
+                              true),
+              m.medianLatency(TaskKind::Localization, Platform::ZynqFpga));
+}
+
+TEST(PlatformModel, Fig6EnergyShape)
+{
+    // Fig. 6b: TX2 energy is only marginally better (sometimes worse)
+    // than the GPU because of its long latency.
+    const PlatformModel m;
+    const double gpu_det =
+        m.energy(TaskKind::Detection, Platform::Gtx1060).toJoules();
+    const double tx2_det =
+        m.energy(TaskKind::Detection, Platform::Tx2).toJoules();
+    EXPECT_GT(tx2_det, gpu_det); // worse for detection
+    // The FPGA is the clear energy winner for localization.
+    const double fpga_loc =
+        m.energy(TaskKind::Localization, Platform::ZynqFpga).toJoules();
+    const double gpu_loc =
+        m.energy(TaskKind::Localization, Platform::Gtx1060).toJoules();
+    EXPECT_LT(fpga_loc, gpu_loc / 5.0);
+}
+
+TEST(PlatformModel, PlanningCostRatio)
+{
+    // Sec. V-C: EM planner ~33x the lane-level MPC.
+    const PlatformModel m;
+    const double ratio =
+        m.medianLatency(TaskKind::EmPlanning, Platform::CoffeeLakeCpu)
+            .toMillis() /
+        m.medianLatency(TaskKind::MpcPlanning, Platform::CoffeeLakeCpu)
+            .toMillis();
+    EXPECT_NEAR(ratio, 33.3, 1.0);
+}
+
+TEST(PlatformModel, LatencySamplesRespectMedianAndSpread)
+{
+    const PlatformModel m;
+    const LatencyProfile p =
+        m.latency(TaskKind::Localization, Platform::ZynqFpga);
+    Rng rng(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i)
+        xs.push_back(p.sample(rng).toMillis());
+    std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 24.0, 1.0);
+}
+
+TEST(Mapping, BestIsSceneGpuLocFpga)
+{
+    // Fig. 8's conclusion.
+    const PlatformModel m;
+    const MappingExplorer explorer(m);
+    const MappingOption best = explorer.best();
+    EXPECT_EQ(best.scene_platform, Platform::Gtx1060);
+    EXPECT_EQ(best.localization_platform, Platform::ZynqFpga);
+    EXPECT_NEAR(best.perceptionLatency().toMillis(), 77.0, 1.0);
+}
+
+TEST(Mapping, SpeedupOverAllGpuIs1p6x)
+{
+    // Fig. 8: offloading localization to the FPGA improves perception
+    // latency by 1.6x and the end-to-end latency by ~23%.
+    const PlatformModel m;
+    const MappingExplorer explorer(m);
+    const auto options = explorer.enumerate();
+    const MappingOption best = explorer.best();
+    const auto all_gpu = std::find_if(
+        options.begin(), options.end(), [](const MappingOption &o) {
+            return o.scene_platform == Platform::Gtx1060 &&
+                o.localization_platform == Platform::Gtx1060;
+        });
+    ASSERT_NE(all_gpu, options.end());
+    const double speedup = all_gpu->perceptionLatency() /
+        best.perceptionLatency();
+    EXPECT_NEAR(speedup, 1.56, 0.1);
+
+    const double e2e = MappingExplorer::endToEndReduction(
+        best, *all_gpu, Duration::millisF(69.0 + 3.0));
+    EXPECT_NEAR(e2e, 0.23, 0.03);
+}
+
+TEST(Mapping, Tx2AlwaysBottleneck)
+{
+    // Fig. 8: "TX2 is always a latency bottleneck".
+    const PlatformModel m;
+    const MappingExplorer explorer(m);
+    for (const auto &option : explorer.enumerate()) {
+        if (option.scene_platform == Platform::Tx2 ||
+            option.localization_platform == Platform::Tx2) {
+            EXPECT_GT(option.perceptionLatency().toMillis(), 90.0)
+                << option.name();
+        }
+    }
+}
+
+TEST(Mapping, EnumerationCoversNineOptions)
+{
+    const PlatformModel m;
+    const auto options = MappingExplorer(m).enumerate();
+    EXPECT_EQ(options.size(), 9u);
+    // Sorted ascending by perception latency.
+    for (std::size_t i = 1; i < options.size(); ++i)
+        EXPECT_GE(options[i].perceptionLatency(),
+                  options[i - 1].perceptionLatency());
+}
+
+} // namespace
+} // namespace sov

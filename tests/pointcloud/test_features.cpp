@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "math/eigen.h"
+#include "pointcloud/features.h"
+
+namespace sov {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix)
+{
+    const Matrix a = Matrix::diagonal({3.0, 1.0, 2.0});
+    const auto eig = symmetricEigen(a);
+    EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix)
+{
+    const Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, -0.2}, {0.5, -0.2, 2.0}};
+    const auto eig = symmetricEigen(a);
+    // A = V D V^T
+    const Matrix d = Matrix::diagonal(eig.values);
+    const Matrix recon = eig.vectors * d * eig.vectors.transpose();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(recon(i, j), a(i, j), 1e-10);
+}
+
+TEST(SymmetricEigen, VectorsOrthonormal)
+{
+    const Matrix a{{2.0, -1.0, 0.0}, {-1.0, 2.0, -1.0}, {0.0, -1.0, 2.0}};
+    const auto eig = symmetricEigen(a);
+    const Matrix vtv = eig.vectors.transpose() * eig.vectors;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Normals, FlatPlaneHasVerticalNormalZeroCurvature)
+{
+    Rng rng(1);
+    PointCloud cloud(0);
+    for (int i = 0; i < 400; ++i)
+        cloud.add(Vec3(rng.uniform(0, 10), rng.uniform(0, 10), 0.0));
+    const KdTree tree(cloud);
+    const auto normals = estimateNormals(cloud, tree, 1.0);
+    std::size_t valid = 0;
+    for (const auto &n : normals) {
+        if (!n.valid)
+            continue;
+        ++valid;
+        EXPECT_NEAR(std::fabs(n.normal.z()), 1.0, 1e-6);
+        EXPECT_NEAR(n.curvature, 0.0, 1e-9);
+    }
+    EXPECT_GT(valid, 350u);
+}
+
+TEST(Normals, TiltedPlane)
+{
+    Rng rng(2);
+    PointCloud cloud(0);
+    // Plane z = x (45 degrees): normal = (-1, 0, 1)/sqrt(2).
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.uniform(0, 10);
+        cloud.add(Vec3(x, rng.uniform(0, 10), x));
+    }
+    const KdTree tree(cloud);
+    const auto normals = estimateNormals(cloud, tree, 1.5);
+    const Vec3 expected = Vec3(-1, 0, 1).normalized();
+    for (const auto &n : normals) {
+        if (!n.valid)
+            continue;
+        EXPECT_NEAR(std::fabs(n.normal.dot(expected)), 1.0, 1e-6);
+    }
+}
+
+TEST(Normals, SparseNeighborhoodInvalid)
+{
+    PointCloud cloud(0);
+    cloud.add(Vec3(0, 0, 0));
+    cloud.add(Vec3(100, 0, 0));
+    const KdTree tree(cloud);
+    const auto normals = estimateNormals(cloud, tree, 1.0);
+    EXPECT_FALSE(normals[0].valid);
+    EXPECT_FALSE(normals[1].valid);
+}
+
+TEST(Keypoints, CornerHasHighCurvature)
+{
+    Rng rng(3);
+    PointCloud cloud(0);
+    // Two planes meeting at x = 0 form an edge.
+    for (int i = 0; i < 500; ++i) {
+        const double u = rng.uniform(0, 5);
+        const double v = rng.uniform(0, 5);
+        cloud.add(Vec3(-u, v, 0.0));      // horizontal plane
+        cloud.add(Vec3(0.0, v, u));       // vertical plane
+    }
+    const KdTree tree(cloud);
+    const auto normals = estimateNormals(cloud, tree, 0.8);
+    const auto keypoints =
+        curvatureKeypoints(cloud, tree, normals, 0.8, 0.02);
+    ASSERT_FALSE(keypoints.empty());
+    // Keypoints concentrate near the edge x ~ 0.
+    for (const auto k : keypoints)
+        EXPECT_LT(std::fabs(cloud[k].x()), 1.5);
+}
+
+TEST(Descriptors, IdenticalNeighborhoodsMatch)
+{
+    Rng rng(4);
+    PointCloud cloud(0);
+    // A distinctive blob duplicated at two locations.
+    std::vector<Vec3> pattern;
+    for (int i = 0; i < 40; ++i) {
+        pattern.push_back(Vec3(rng.gaussian(0, 0.3), rng.gaussian(0, 0.3),
+                               rng.gaussian(0, 0.3)));
+    }
+    for (const auto &p : pattern)
+        cloud.add(p);
+    for (const auto &p : pattern)
+        cloud.add(p + Vec3(20, 0, 0));
+    const KdTree tree(cloud);
+    const std::vector<std::uint32_t> kp{0, 40}; // same pattern point
+    const auto desc = computeDescriptors(cloud, tree, kp, 1.0);
+    ASSERT_EQ(desc.size(), 2u);
+    EXPECT_NEAR(desc[0].distanceTo(desc[1]), 0.0, 1e-12);
+}
+
+TEST(Descriptors, MatchingFindsCorrectPair)
+{
+    Rng rng(5);
+    PointCloud cloud(0);
+    for (int i = 0; i < 200; ++i) {
+        cloud.add(Vec3(rng.uniform(0, 10), rng.uniform(0, 10),
+                       rng.uniform(0, 2)));
+    }
+    const KdTree tree(cloud);
+    const std::vector<std::uint32_t> kp{3, 50, 120};
+    const auto desc = computeDescriptors(cloud, tree, kp, 2.0);
+    // Matching descriptors against themselves: each matches itself.
+    const auto matches = matchDescriptors(desc, desc, 0.99);
+    for (const auto &m : matches)
+        EXPECT_EQ(m.query, m.match);
+}
+
+TEST(Descriptors, RatioTestRejectsAmbiguous)
+{
+    // Two identical train descriptors: ratio best/second == 1.
+    Descriptor d;
+    d.bins[0] = 1.0;
+    const std::vector<Descriptor> train{d, d};
+    const std::vector<Descriptor> query{d};
+    EXPECT_TRUE(matchDescriptors(query, train, 0.8).empty());
+}
+
+} // namespace
+} // namespace sov

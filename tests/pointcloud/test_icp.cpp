@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "pointcloud/icp.h"
+
+namespace sov {
+namespace {
+
+/** Structured (non-planar) cloud so registration is well-conditioned. */
+PointCloud
+structuredCloud(std::uint32_t id, std::uint64_t seed)
+{
+    Rng rng(seed);
+    PointCloud cloud(id);
+    // Two walls plus scattered volume points.
+    for (int i = 0; i < 300; ++i) {
+        cloud.add(Vec3(rng.uniform(0, 20), 0.0, rng.uniform(0, 3)));
+        cloud.add(Vec3(0.0, rng.uniform(0, 15), rng.uniform(0, 3)));
+        cloud.add(Vec3(rng.uniform(0, 20), rng.uniform(0, 15),
+                       rng.uniform(0, 0.2)));
+    }
+    return cloud;
+}
+
+TEST(Icp, RecoversKnownTransform)
+{
+    const PointCloud target = structuredCloud(0, 1);
+    const Quat true_rot = Quat::fromYaw(0.08);
+    const Vec3 true_t(0.4, -0.3, 0.05);
+    // source = T^{-1}(target) so aligning source->target estimates T.
+    const PointCloud source =
+        target.transformed(true_rot.conjugate(),
+                           true_rot.conjugate().rotate(-true_t));
+
+    const KdTree tree(target);
+    const IcpResult r = icpAlign(source, target, tree);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.transform.rotation.angularDistance(true_rot), 0.0, 1e-3);
+    EXPECT_NEAR((r.transform.translation - true_t).norm(), 0.0, 5e-3);
+    EXPECT_LT(r.mean_error, 0.01);
+}
+
+TEST(Icp, IdentityWhenAlreadyAligned)
+{
+    const PointCloud cloud = structuredCloud(0, 2);
+    const KdTree tree(cloud);
+    const IcpResult r = icpAlign(cloud, cloud, tree);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.transform.translation.norm(), 0.0, 1e-9);
+    EXPECT_NEAR(r.transform.rotation.angularDistance(Quat::identity()),
+                0.0, 1e-9);
+}
+
+TEST(Icp, InitialGuessSpeedsConvergence)
+{
+    const PointCloud target = structuredCloud(0, 3);
+    const Quat rot = Quat::fromYaw(0.3); // too large for cold start
+    const Vec3 t(1.5, 1.0, 0.0);
+    const PointCloud source =
+        target.transformed(rot.conjugate(), rot.conjugate().rotate(-t));
+    const KdTree tree(target);
+
+    RigidTransform guess;
+    guess.rotation = Quat::fromYaw(0.25);
+    guess.translation = Vec3(1.2, 0.8, 0.0);
+    const IcpResult with_guess = icpAlign(source, target, tree, guess);
+    EXPECT_NEAR(with_guess.transform.rotation.angularDistance(rot), 0.0,
+                5e-3);
+    EXPECT_NEAR((with_guess.transform.translation - t).norm(), 0.0, 2e-2);
+}
+
+TEST(Icp, NoisyCloudStillConverges)
+{
+    Rng rng(9);
+    const PointCloud target = structuredCloud(0, 4);
+    PointCloud source =
+        target.transformed(Quat::fromYaw(-0.05), Vec3(0.2, 0.1, 0.0));
+    for (std::size_t i = 0; i < source.size(); ++i) {
+        source[i] += Vec3(rng.gaussian(0, 0.02), rng.gaussian(0, 0.02),
+                          rng.gaussian(0, 0.02));
+    }
+    const KdTree tree(target);
+    const IcpResult r = icpAlign(source, target, tree);
+    // source was transformed *forward*, so ICP should find the inverse.
+    EXPECT_NEAR(r.transform.rotation.angularDistance(Quat::fromYaw(0.05)),
+                0.0, 0.02);
+    EXPECT_LT(r.mean_error, 0.06);
+}
+
+TEST(Icp, TraceSeesIrregularAccess)
+{
+    const PointCloud target = structuredCloud(0, 5);
+    PointCloud source = structuredCloud(1, 5);
+    source = source.transformed(Quat::fromYaw(0.02), Vec3(0.1, 0, 0));
+    const KdTree tree(target, 0);
+    MemTrace trace;
+    icpAlign(source, target, tree, {}, {}, &trace);
+    // Target points are revisited across iterations -> reuse > 1.
+    const auto counts = trace.pointReuseCounts(0);
+    ASSERT_FALSE(counts.empty());
+    std::uint64_t max_reuse = 0;
+    for (const auto c : counts)
+        max_reuse = std::max(max_reuse, c);
+    EXPECT_GT(max_reuse, 1u);
+}
+
+} // namespace
+} // namespace sov

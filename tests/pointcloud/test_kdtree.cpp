@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "pointcloud/kdtree.h"
+
+namespace sov {
+namespace {
+
+PointCloud
+randomCloud(std::size_t n, std::uint64_t seed, double extent = 50.0)
+{
+    Rng rng(seed);
+    PointCloud cloud(0);
+    cloud.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.add(Vec3(rng.uniform(-extent, extent),
+                       rng.uniform(-extent, extent),
+                       rng.uniform(0.0, 5.0)));
+    }
+    return cloud;
+}
+
+/** Brute-force nearest for cross-checking. */
+std::uint32_t
+bruteNearest(const PointCloud &cloud, const Vec3 &q)
+{
+    std::uint32_t best = 0;
+    double best_d2 = std::numeric_limits<double>::max();
+    for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+        const double d2 = (cloud[i] - q).squaredNorm();
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best = i;
+        }
+    }
+    return best;
+}
+
+TEST(KdTree, NearestMatchesBruteForce)
+{
+    const PointCloud cloud = randomCloud(2000, 11);
+    const KdTree tree(cloud);
+    Rng rng(22);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Vec3 q(rng.uniform(-60, 60), rng.uniform(-60, 60),
+                     rng.uniform(-2, 7));
+        const auto nn = tree.nearest(q);
+        ASSERT_TRUE(nn.has_value());
+        const auto brute = bruteNearest(cloud, q);
+        EXPECT_NEAR(nn->squared_distance,
+                    (cloud[brute] - q).squaredNorm(), 1e-12);
+    }
+}
+
+TEST(KdTree, EmptyCloudReturnsNullopt)
+{
+    const PointCloud empty(0);
+    const KdTree tree(empty);
+    EXPECT_FALSE(tree.nearest(Vec3(0, 0, 0)).has_value());
+    EXPECT_TRUE(tree.radiusSearch(Vec3(0, 0, 0), 1.0).empty());
+    EXPECT_TRUE(tree.kNearest(Vec3(0, 0, 0), 3).empty());
+}
+
+TEST(KdTree, RadiusSearchMatchesBruteForce)
+{
+    const PointCloud cloud = randomCloud(1000, 33);
+    const KdTree tree(cloud);
+    Rng rng(44);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Vec3 q(rng.uniform(-50, 50), rng.uniform(-50, 50), 2.0);
+        const double radius = rng.uniform(1.0, 15.0);
+        auto found = tree.radiusSearch(q, radius);
+        std::size_t brute_count = 0;
+        for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+            if ((cloud[i] - q).squaredNorm() <= radius * radius)
+                ++brute_count;
+        }
+        EXPECT_EQ(found.size(), brute_count);
+        for (const auto &n : found)
+            EXPECT_LE(n.squared_distance, radius * radius + 1e-12);
+    }
+}
+
+TEST(KdTree, KNearestSortedAndCorrect)
+{
+    const PointCloud cloud = randomCloud(500, 55);
+    const KdTree tree(cloud);
+    const Vec3 q(1.0, 2.0, 3.0);
+    const auto knn = tree.kNearest(q, 10);
+    ASSERT_EQ(knn.size(), 10u);
+    for (std::size_t i = 1; i < knn.size(); ++i)
+        EXPECT_GE(knn[i].squared_distance, knn[i - 1].squared_distance);
+    // First equals global nearest.
+    EXPECT_EQ(knn[0].index, bruteNearest(cloud, q));
+}
+
+TEST(KdTree, KNearestClampsToCloudSize)
+{
+    const PointCloud cloud = randomCloud(5, 66);
+    const KdTree tree(cloud);
+    EXPECT_EQ(tree.kNearest(Vec3(0, 0, 0), 50).size(), 5u);
+}
+
+TEST(KdTree, TraceRecordsAccesses)
+{
+    const PointCloud cloud = randomCloud(512, 77);
+    const KdTree tree(cloud, 3);
+    MemTrace trace;
+    tree.nearest(Vec3(0, 0, 0), &trace);
+    EXPECT_GT(trace.totalAccesses(), 0u);
+    // Far fewer points touched than the whole cloud (tree pruning).
+    EXPECT_LT(trace.distinctPoints(), cloud.size() / 2);
+}
+
+TEST(KdTree, DuplicatePointsHandled)
+{
+    PointCloud cloud(0);
+    for (int i = 0; i < 100; ++i)
+        cloud.add(Vec3(1.0, 1.0, 1.0));
+    const KdTree tree(cloud);
+    const auto nn = tree.nearest(Vec3(1.0, 1.0, 1.0));
+    ASSERT_TRUE(nn.has_value());
+    EXPECT_NEAR(nn->squared_distance, 0.0, 1e-15);
+    EXPECT_EQ(tree.radiusSearch(Vec3(1, 1, 1), 0.5).size(), 100u);
+}
+
+} // namespace
+} // namespace sov

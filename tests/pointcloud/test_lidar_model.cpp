@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pointcloud/lidar_model.h"
+
+namespace sov {
+namespace {
+
+World
+worldWithBox(double x, double y)
+{
+    World w;
+    Obstacle o;
+    o.footprint = OrientedBox2{Pose2{Vec2(x, y), 0.0}, 1.0, 1.0};
+    o.height = 2.0;
+    w.addObstacle(o);
+    return w;
+}
+
+TEST(LidarModel, ProducesGroundReturns)
+{
+    World w; // empty world: only ground hits from downward rings
+    LidarConfig cfg;
+    cfg.azimuth_steps = 360;
+    LidarModel lidar(cfg, Rng(1));
+    const PointCloud cloud =
+        lidar.scan(w, Pose2{Vec2(0, 0), 0.0}, Timestamp::origin(), 0);
+    EXPECT_GT(cloud.size(), 500u);
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+        EXPECT_NEAR(cloud[i].z(), 0.0, 1e-9);
+}
+
+TEST(LidarModel, ObstacleCreatesElevatedReturns)
+{
+    World w = worldWithBox(10.0, 0.0);
+    LidarConfig cfg;
+    cfg.azimuth_steps = 720;
+    LidarModel lidar(cfg, Rng(2));
+    const PointCloud cloud =
+        lidar.scan(w, Pose2{Vec2(0, 0), 0.0}, Timestamp::origin(), 0);
+    std::size_t elevated = 0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        if (cloud[i].z() > 0.3) {
+            ++elevated;
+            // Elevated returns near the obstacle face at x ~ 9.
+            EXPECT_NEAR(cloud[i].x(), 9.0, 0.6);
+        }
+    }
+    EXPECT_GT(elevated, 5u);
+}
+
+TEST(LidarModel, RangeNoiseIsBounded)
+{
+    World w = worldWithBox(10.0, 0.0);
+    LidarConfig cfg;
+    cfg.range_noise_sigma = 0.02;
+    cfg.azimuth_steps = 360;
+    LidarModel lidar(cfg, Rng(3));
+    const PointCloud cloud =
+        lidar.scan(w, Pose2{Vec2(0, 0), 0.0}, Timestamp::origin(), 0);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        if (cloud[i].z() > 0.3) {
+            EXPECT_NEAR(cloud[i].x(), 9.0, 0.25); // ~10 sigma guard
+        }
+    }
+}
+
+TEST(LidarModel, MaxRangeLimitsReturns)
+{
+    World w;
+    LidarConfig cfg;
+    cfg.max_range = 20.0;
+    cfg.azimuth_steps = 180;
+    LidarModel lidar(cfg, Rng(4));
+    const PointCloud cloud =
+        lidar.scan(w, Pose2{Vec2(0, 0), 0.0}, Timestamp::origin(), 0);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const double r = std::hypot(cloud[i].x(), cloud[i].y());
+        EXPECT_LE(r, 20.5);
+    }
+}
+
+TEST(LidarModel, TwoScansFromDifferentPosesDiffer)
+{
+    World w = worldWithBox(15.0, 2.0);
+    LidarConfig cfg;
+    cfg.azimuth_steps = 360;
+    LidarModel lidar(cfg, Rng(5));
+    const PointCloud a =
+        lidar.scan(w, Pose2{Vec2(0, 0), 0.0}, Timestamp::origin(), 0);
+    const PointCloud b =
+        lidar.scan(w, Pose2{Vec2(3, 0), 0.1}, Timestamp::origin(), 1);
+    EXPECT_NE(a.size(), 0u);
+    EXPECT_NE(b.size(), 0u);
+    EXPECT_EQ(a.id(), 0u);
+    EXPECT_EQ(b.id(), 1u);
+}
+
+TEST(LidarModel, CloudIdStamped)
+{
+    World w;
+    LidarModel lidar(LidarConfig{}, Rng(6));
+    const PointCloud c =
+        lidar.scan(w, Pose2{Vec2(0, 0), 0.0}, Timestamp::origin(), 42);
+    EXPECT_EQ(c.id(), 42u);
+}
+
+} // namespace
+} // namespace sov

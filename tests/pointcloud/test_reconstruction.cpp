@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "pointcloud/reconstruction.h"
+
+namespace sov {
+namespace {
+
+PointCloud
+gridCloud(int nx, int ny, double spacing)
+{
+    PointCloud cloud(0);
+    for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x)
+            cloud.add(Vec3(x * spacing, y * spacing, 0.0));
+    return cloud;
+}
+
+TEST(Reconstruction, GridProducesTriangles)
+{
+    const PointCloud cloud = gridCloud(10, 10, 0.5);
+    const KdTree tree(cloud);
+    const Mesh mesh = greedyTriangulation(cloud, tree);
+    EXPECT_GT(mesh.triangles.size(), 20u);
+    // All triangle indices valid.
+    for (const auto &t : mesh.triangles) {
+        EXPECT_LT(t.a, cloud.size());
+        EXPECT_LT(t.b, cloud.size());
+        EXPECT_LT(t.c, cloud.size());
+        EXPECT_NE(t.a, t.b);
+        EXPECT_NE(t.b, t.c);
+        EXPECT_NE(t.a, t.c);
+    }
+}
+
+TEST(Reconstruction, EdgeLengthLimitRespected)
+{
+    const PointCloud cloud = gridCloud(8, 8, 0.5);
+    const KdTree tree(cloud);
+    ReconstructionConfig cfg;
+    cfg.max_edge_length = 0.9;
+    const Mesh mesh = greedyTriangulation(cloud, tree, cfg);
+    for (const auto &t : mesh.triangles) {
+        EXPECT_LE((cloud[t.a] - cloud[t.b]).norm(), 0.9 + 1e-12);
+        EXPECT_LE((cloud[t.b] - cloud[t.c]).norm(), 0.9 + 1e-12);
+        // a-c is the fan edge pair distance; only a-b and b-c and a-... are
+        // constrained directly, but grid geometry keeps all short.
+    }
+}
+
+TEST(Reconstruction, SurfaceAreaApproximatesPlane)
+{
+    // 10x10 unit grid covers 81 square units when fully meshed;
+    // greedy meshing covers a large fraction of it.
+    const PointCloud cloud = gridCloud(10, 10, 1.0);
+    const KdTree tree(cloud);
+    ReconstructionConfig cfg;
+    cfg.radius = 1.6;
+    cfg.max_edge_length = 1.6;
+    const Mesh mesh = greedyTriangulation(cloud, tree, cfg);
+    const double area = mesh.surfaceArea(cloud);
+    EXPECT_GT(area, 20.0);
+    EXPECT_LT(area, 81.0 + 1.0);
+}
+
+TEST(Reconstruction, SparseCloudYieldsNoTriangles)
+{
+    PointCloud cloud(0);
+    cloud.add(Vec3(0, 0, 0));
+    cloud.add(Vec3(10, 0, 0));
+    cloud.add(Vec3(0, 10, 0));
+    const KdTree tree(cloud);
+    ReconstructionConfig cfg;
+    cfg.max_edge_length = 1.0;
+    const Mesh mesh = greedyTriangulation(cloud, tree, cfg);
+    EXPECT_TRUE(mesh.triangles.empty());
+}
+
+TEST(Reconstruction, TraceRecordsNeighborhoodWork)
+{
+    const PointCloud cloud = gridCloud(12, 12, 0.5);
+    const KdTree tree(cloud, 0);
+    MemTrace trace;
+    greedyTriangulation(cloud, tree, {}, &trace);
+    EXPECT_GT(trace.totalAccesses(), cloud.size());
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "pointcloud/segmentation.h"
+
+namespace sov {
+namespace {
+
+/** Gaussian blob of points around a center. */
+void
+addBlob(PointCloud &cloud, const Vec3 &center, std::size_t n, Rng &rng,
+        double sigma = 0.1)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.add(center + Vec3(rng.gaussian(0, sigma),
+                                rng.gaussian(0, sigma),
+                                rng.gaussian(0, sigma)));
+    }
+}
+
+TEST(Segmentation, SeparatesTwoBlobs)
+{
+    Rng rng(1);
+    PointCloud cloud(0);
+    addBlob(cloud, Vec3(0, 0, 1), 50, rng);
+    addBlob(cloud, Vec3(10, 0, 1), 60, rng);
+    const KdTree tree(cloud);
+    const auto clusters = euclideanClusters(cloud, tree);
+    ASSERT_EQ(clusters.size(), 2u);
+    const std::size_t total =
+        clusters[0].indices.size() + clusters[1].indices.size();
+    EXPECT_EQ(total, 110u);
+    // Centroids near the blob centers.
+    for (const auto &c : clusters) {
+        const bool near0 = (c.centroid - Vec3(0, 0, 1)).norm() < 0.5;
+        const bool near10 = (c.centroid - Vec3(10, 0, 1)).norm() < 0.5;
+        EXPECT_TRUE(near0 || near10);
+    }
+}
+
+TEST(Segmentation, MinClusterSizeFiltersNoise)
+{
+    Rng rng(2);
+    PointCloud cloud(0);
+    addBlob(cloud, Vec3(0, 0, 1), 50, rng);
+    cloud.add(Vec3(30, 30, 1)); // isolated outlier
+    const KdTree tree(cloud);
+    SegmentationConfig cfg;
+    cfg.min_cluster_size = 5;
+    const auto clusters = euclideanClusters(cloud, tree, cfg);
+    EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(Segmentation, ToleranceBridgesOrSplits)
+{
+    PointCloud cloud(0);
+    // Chain of points 0.4 m apart.
+    for (int i = 0; i < 20; ++i)
+        cloud.add(Vec3(i * 0.4, 0, 1));
+    const KdTree tree(cloud);
+
+    SegmentationConfig tight;
+    tight.cluster_tolerance = 0.3;
+    tight.min_cluster_size = 1;
+    EXPECT_EQ(euclideanClusters(cloud, tree, tight).size(), 20u);
+
+    SegmentationConfig loose;
+    loose.cluster_tolerance = 0.5;
+    loose.min_cluster_size = 1;
+    EXPECT_EQ(euclideanClusters(cloud, tree, loose).size(), 1u);
+}
+
+TEST(Segmentation, MaxClusterSizeRejectsGiant)
+{
+    Rng rng(3);
+    PointCloud cloud(0);
+    addBlob(cloud, Vec3(0, 0, 1), 200, rng);
+    const KdTree tree(cloud);
+    SegmentationConfig cfg;
+    cfg.max_cluster_size = 100;
+    EXPECT_TRUE(euclideanClusters(cloud, tree, cfg).empty());
+}
+
+TEST(Segmentation, EveryPointAssignedOnce)
+{
+    Rng rng(4);
+    PointCloud cloud(0);
+    addBlob(cloud, Vec3(0, 0, 1), 40, rng);
+    addBlob(cloud, Vec3(5, 5, 1), 40, rng);
+    const KdTree tree(cloud);
+    SegmentationConfig cfg;
+    cfg.min_cluster_size = 1;
+    const auto clusters = euclideanClusters(cloud, tree, cfg);
+    std::vector<int> seen(cloud.size(), 0);
+    for (const auto &c : clusters)
+        for (const auto idx : c.indices)
+            ++seen[idx];
+    for (const int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(RemoveGround, FiltersByHeight)
+{
+    PointCloud cloud(0);
+    cloud.add(Vec3(0, 0, 0.0));   // ground
+    cloud.add(Vec3(1, 0, 0.15));  // ground-ish
+    cloud.add(Vec3(2, 0, 1.2));   // obstacle
+    cloud.add(Vec3(3, 0, 0.5));   // obstacle
+    const auto keep = removeGround(cloud, 0.2);
+    ASSERT_EQ(keep.size(), 2u);
+    EXPECT_EQ(keep[0], 2u);
+    EXPECT_EQ(keep[1], 3u);
+}
+
+} // namespace
+} // namespace sov

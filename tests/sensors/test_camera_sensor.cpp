@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "sensors/camera_sensor.h"
+
+namespace sov {
+namespace {
+
+TEST(CameraSensor, CaptureRendersWorld)
+{
+    World w;
+    Obstacle o;
+    o.footprint = OrientedBox2{Pose2{Vec2(10.0, 0.0), 0.0}, 0.5, 1.5};
+    o.height = 2.0;
+    w.addObstacle(o);
+    const Polyline2 path({Vec2(0, 0), Vec2(100, 0)});
+    const Trajectory traj = Trajectory::alongPath(path, 5.0);
+
+    const CameraModel model(CameraIntrinsics{}, Vec3(0, 0, 0));
+    CameraSensor sensor(model, CameraSensorConfig{}, Rng(1));
+    const CameraFrame frame =
+        sensor.capture(w, traj, Timestamp::origin());
+    EXPECT_EQ(frame.frame.intensity.width(), 320u);
+    // Obstacle visible near the image center.
+    EXPECT_GT(frame.frame.depth(160, 120), 5.0f);
+    EXPECT_LT(frame.frame.depth(160, 120), 12.0f);
+}
+
+TEST(CameraSensor, ObserveLandmarksProjectsWithNoise)
+{
+    World w;
+    w.addLandmark(Vec3(10.0, 0.0, 1.5), 1.0);
+    w.addLandmark(Vec3(-10.0, 0.0, 1.5), 1.0); // behind
+    const Polyline2 path({Vec2(0, 0), Vec2(100, 0)});
+    const Trajectory traj = Trajectory::alongPath(path, 5.0);
+
+    CameraSensorConfig cfg;
+    cfg.pixel_noise = 0.5;
+    const CameraModel model(CameraIntrinsics{}, Vec3(0, 0, 0));
+    CameraSensor sensor(model, cfg, Rng(2));
+    const auto obs =
+        sensor.observeLandmarks(w, traj, Timestamp::origin());
+    ASSERT_EQ(obs.size(), 1u); // only the forward landmark
+    EXPECT_EQ(obs[0].landmark_id, 0u);
+    EXPECT_NEAR(obs[0].pixel.u, 160.0, 3.0);
+    EXPECT_NEAR(obs[0].depth, 10.0, 0.1);
+}
+
+TEST(CameraSensor, ConstantDelayIsExposurePlusTransmission)
+{
+    CameraSensorConfig cfg;
+    cfg.exposure = Duration::millisF(8.0);
+    cfg.transmission = Duration::millisF(12.0);
+    const CameraModel model(CameraIntrinsics{}, Vec3(0, 0, 0));
+    CameraSensor sensor(model, cfg, Rng(3));
+    EXPECT_DOUBLE_EQ(sensor.constantDelay().toMillis(), 20.0);
+    EXPECT_NEAR(sensor.period().toMillis(), 33.33, 0.01);
+}
+
+} // namespace
+} // namespace sov

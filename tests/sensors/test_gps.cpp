@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "sensors/gps.h"
+
+namespace sov {
+namespace {
+
+Trajectory
+straight()
+{
+    const Polyline2 path({Vec2(0, 0), Vec2(500, 0)});
+    return Trajectory::alongPath(path, 5.0);
+}
+
+TEST(Gps, NoiseAroundTruth)
+{
+    GpsConfig cfg;
+    cfg.noise_sigma = 0.5;
+    GpsModel gps(cfg, Rng(1));
+    const Trajectory traj = straight();
+    RunningStats err;
+    for (int i = 0; i < 2000; ++i) {
+        const Timestamp t = Timestamp::seconds(10.0 + i * 0.1);
+        const auto fix = gps.sample(traj, t);
+        ASSERT_TRUE(fix.has_value());
+        const auto truth = traj.sample(t);
+        err.add(fix->position.distanceTo(
+            Vec2(truth.position.x(), truth.position.y())));
+    }
+    // Mean radial error of a 2-D Gaussian with sigma 0.5 ~ 0.63.
+    EXPECT_NEAR(err.mean(), 0.63, 0.06);
+}
+
+TEST(Gps, OutageSuppressesFixes)
+{
+    GpsModel gps(GpsConfig{}, Rng(2));
+    gps.addOutage(Timestamp::seconds(10.0), Timestamp::seconds(20.0));
+    const Trajectory traj = straight();
+    EXPECT_TRUE(gps.sample(traj, Timestamp::seconds(5.0)).has_value());
+    EXPECT_FALSE(gps.sample(traj, Timestamp::seconds(15.0)).has_value());
+    EXPECT_TRUE(gps.sample(traj, Timestamp::seconds(25.0)).has_value());
+    EXPECT_TRUE(gps.inOutage(Timestamp::seconds(12.0)));
+}
+
+TEST(Gps, MultipathBiasesAndFlags)
+{
+    GpsConfig cfg;
+    cfg.noise_sigma = 0.1;
+    cfg.multipath_probability = 1.0; // burst immediately
+    cfg.multipath_bias = 8.0;
+    cfg.multipath_duration_s = 5.0;
+    GpsModel gps(cfg, Rng(3));
+    const Trajectory traj = straight();
+    const auto fix = gps.sample(traj, Timestamp::seconds(10.0));
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_TRUE(fix->multipath);
+    const auto truth = traj.sample(Timestamp::seconds(10.0));
+    EXPECT_GT(fix->position.distanceTo(
+                  Vec2(truth.position.x(), truth.position.y())),
+              5.0);
+    EXPECT_GT(fix->horizontal_accuracy, 2.0);
+}
+
+TEST(Gps, CleanFixesNotFlagged)
+{
+    GpsConfig cfg;
+    cfg.multipath_probability = 0.0;
+    GpsModel gps(cfg, Rng(4));
+    const auto fix = gps.sample(straight(), Timestamp::seconds(1.0));
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_FALSE(fix->multipath);
+    EXPECT_NEAR(fix->horizontal_accuracy, 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace sov

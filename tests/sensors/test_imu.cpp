@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "sensors/imu.h"
+
+namespace sov {
+namespace {
+
+Trajectory
+straightLine(double speed)
+{
+    const Polyline2 path({Vec2(0, 0), Vec2(200, 0)});
+    return Trajectory::alongPath(path, speed);
+}
+
+Trajectory
+circle(double radius, double speed)
+{
+    std::vector<Timestamp> ts;
+    std::vector<Vec2> ps;
+    const double omega = speed / radius;
+    for (int i = 0; i <= 400; ++i) {
+        const double t = i * 0.1;
+        ts.push_back(Timestamp::seconds(t));
+        ps.push_back(Vec2(radius * std::cos(omega * t),
+                          radius * std::sin(omega * t)));
+    }
+    return Trajectory(ts, ps);
+}
+
+TEST(Imu, GravityVisibleAtRest)
+{
+    ImuConfig cfg;
+    cfg.gyro_noise = 0.0;
+    cfg.accel_noise = 0.0;
+    cfg.gyro_bias_walk = 0.0;
+    cfg.accel_bias_walk = 0.0;
+    ImuModel imu(cfg, Rng(1));
+    const Trajectory traj = straightLine(5.0);
+    const ImuSample s = imu.sample(traj, Timestamp::seconds(10.0));
+    // Constant-velocity: specific force = -g in body frame = +9.81 z.
+    EXPECT_NEAR(s.acceleration.z(), 9.80665, 1e-6);
+    EXPECT_NEAR(s.acceleration.x(), 0.0, 1e-6);
+    EXPECT_NEAR(s.angular_velocity.z(), 0.0, 1e-6);
+}
+
+TEST(Imu, YawRateOnCircle)
+{
+    ImuConfig cfg;
+    cfg.gyro_noise = 0.0;
+    cfg.accel_noise = 0.0;
+    cfg.gyro_bias_walk = 0.0;
+    cfg.accel_bias_walk = 0.0;
+    ImuModel imu(cfg, Rng(2));
+    const double radius = 20.0, speed = 5.6;
+    const Trajectory traj = circle(radius, speed);
+    const ImuSample s = imu.sample(traj, Timestamp::seconds(15.0));
+    EXPECT_NEAR(s.angular_velocity.z(), speed / radius, 0.01);
+    // Centripetal acceleration appears on the body lateral (y) axis.
+    EXPECT_NEAR(s.acceleration.y(), speed * speed / radius, 0.05);
+}
+
+TEST(Imu, NoiseStatistics)
+{
+    ImuConfig cfg;
+    cfg.gyro_noise = 0.01;
+    cfg.gyro_bias_walk = 0.0;
+    cfg.accel_bias_walk = 0.0;
+    ImuModel imu(cfg, Rng(3));
+    const Trajectory traj = straightLine(5.0);
+    RunningStats gz;
+    for (int i = 0; i < 5000; ++i) {
+        const auto s = imu.sample(
+            traj, Timestamp::seconds(1.0 + i / 240.0 * 0.001));
+        gz.add(s.angular_velocity.z());
+    }
+    EXPECT_NEAR(gz.mean(), 0.0, 0.002);
+    EXPECT_NEAR(gz.stddev(), 0.01, 0.002);
+}
+
+TEST(Imu, BiasRandomWalkGrows)
+{
+    ImuConfig cfg;
+    cfg.gyro_noise = 0.0;
+    cfg.gyro_bias_walk = 0.01;
+    ImuModel imu(cfg, Rng(4));
+    const Trajectory traj = straightLine(5.0);
+    for (int i = 0; i < 240 * 60; ++i)
+        imu.sample(traj, Timestamp::seconds(i / 240.0));
+    // After 60 s, the walk is very unlikely to be exactly zero.
+    EXPECT_GT(imu.gyroBias().norm(), 1e-5);
+}
+
+TEST(Imu, PeriodMatchesRate)
+{
+    ImuModel imu(ImuConfig{}, Rng(5));
+    EXPECT_NEAR(imu.period().toMillis(), 1000.0 / 240.0, 1e-5);
+}
+
+} // namespace
+} // namespace sov

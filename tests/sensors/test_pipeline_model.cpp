@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "sensors/pipeline_model.h"
+
+namespace sov {
+namespace {
+
+TEST(PipelineModel, FixedDelaySumsFixedParts)
+{
+    auto model = SensorPipelineModel::cameraPipeline(Rng(1));
+    // exposure 8 + transmission 12 + interface 1 + isp 6 + kernel 2
+    // + application 3 = 32 ms of fixed delay.
+    EXPECT_DOUBLE_EQ(model.fixedDelay().toMillis(), 32.0);
+}
+
+TEST(PipelineModel, TraversalNeverFasterThanFixed)
+{
+    auto model = SensorPipelineModel::cameraPipeline(Rng(2));
+    for (int i = 0; i < 200; ++i) {
+        const auto tr = model.traverse(Timestamp::seconds(i * 0.033));
+        EXPECT_GE(tr.total(), model.fixedDelay());
+        EXPECT_EQ(tr.stage_delays.size(), model.stages().size());
+    }
+}
+
+TEST(PipelineModel, VariableLatencyHasSpread)
+{
+    auto model = SensorPipelineModel::cameraPipeline(Rng(3));
+    RunningStats total;
+    for (int i = 0; i < 3000; ++i)
+        total.add(model.traverse(Timestamp::origin()).total().toMillis());
+    // Sec. VI-A1: ISP varies ~10 ms, application up to ~100 ms; the
+    // total spread must be tens of milliseconds.
+    EXPECT_GT(total.stddev(), 5.0);
+    EXPECT_GT(total.max() - total.min(), 30.0);
+}
+
+TEST(PipelineModel, ImuPipelineMuchFasterThanCamera)
+{
+    auto cam = SensorPipelineModel::cameraPipeline(Rng(4));
+    auto imu = SensorPipelineModel::imuPipeline(Rng(5));
+    RunningStats cam_ms, imu_ms;
+    for (int i = 0; i < 1000; ++i) {
+        cam_ms.add(cam.traverse(Timestamp::origin()).total().toMillis());
+        imu_ms.add(imu.traverse(Timestamp::origin()).total().toMillis());
+    }
+    EXPECT_GT(cam_ms.mean(), 3.0 * imu_ms.mean());
+}
+
+TEST(PipelineModel, DeterministicGivenSeed)
+{
+    auto a = SensorPipelineModel::cameraPipeline(Rng(42));
+    auto b = SensorPipelineModel::cameraPipeline(Rng(42));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.traverse(Timestamp::origin()).total().ns(),
+                  b.traverse(Timestamp::origin()).total().ns());
+    }
+}
+
+} // namespace
+} // namespace sov

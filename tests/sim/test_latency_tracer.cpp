@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/latency_tracer.h"
+
+namespace sov {
+namespace {
+
+TEST(LatencyTracer, RecordsPerStage)
+{
+    LatencyTracer tr;
+    tr.record("sensing", Duration::millis(80));
+    tr.record("sensing", Duration::millis(82));
+    tr.record("perception", Duration::millis(77));
+    EXPECT_EQ(tr.count("sensing"), 2u);
+    EXPECT_EQ(tr.count("perception"), 1u);
+    EXPECT_EQ(tr.count("planning"), 0u);
+    EXPECT_DOUBLE_EQ(tr.meanMs("sensing"), 81.0);
+    EXPECT_DOUBLE_EQ(tr.minMs("sensing"), 80.0);
+    EXPECT_DOUBLE_EQ(tr.maxMs("sensing"), 82.0);
+}
+
+TEST(LatencyTracer, Percentiles)
+{
+    LatencyTracer tr;
+    for (int i = 1; i <= 100; ++i)
+        tr.record("total", Duration::millis(i));
+    EXPECT_NEAR(tr.percentileMs("total", 99.0), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(tr.percentileMs("total", 0.0), 1.0);
+}
+
+TEST(LatencyTracer, StagesSorted)
+{
+    LatencyTracer tr;
+    tr.record("planning", Duration::millis(3));
+    tr.record("sensing", Duration::millis(80));
+    tr.recordTotal(Duration::millis(164));
+    const auto stages = tr.stages();
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[0], "planning");
+    EXPECT_EQ(stages[1], "sensing");
+    EXPECT_EQ(stages[2], "total");
+}
+
+TEST(LatencyTracer, SummaryAndClear)
+{
+    LatencyTracer tr;
+    tr.record("sensing", Duration::millis(80));
+    const std::string s = tr.summary();
+    EXPECT_NE(s.find("sensing"), std::string::npos);
+    EXPECT_NE(s.find("mean="), std::string::npos);
+    tr.clear();
+    EXPECT_TRUE(tr.stages().empty());
+}
+
+TEST(LatencyTracer, Stddev)
+{
+    LatencyTracer tr;
+    // Paper, Sec. V-C: localization median 25 ms, stddev 14 ms.
+    for (double ms : {11.0, 25.0, 39.0})
+        tr.record("localization", Duration::millisF(ms));
+    EXPECT_NEAR(tr.stddevMs("localization"), 14.0, 1e-9);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sov {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(Duration::millis(30), [&] { order.push_back(3); });
+    sim.schedule(Duration::millis(10), [&] { order.push_back(1); });
+    sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+}
+
+TEST(Simulator, FifoAmongSameTimeEvents)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(Duration::millis(10), [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesWithEvents)
+{
+    Simulator sim;
+    Timestamp seen;
+    sim.schedule(Duration::millis(42), [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen.toMillis(), 42.0);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(Duration::millis(1), [&] {
+        ++fired;
+        sim.schedule(Duration::millis(1), [&] { ++fired; });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now().toMillis(), 2.0);
+}
+
+TEST(Simulator, RunUntilHorizonLeavesLaterEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(Duration::millis(10), [&] { ++fired; });
+    sim.schedule(Duration::millis(100), [&] { ++fired; });
+    sim.runUntil(Timestamp::millisF(50.0));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now().toMillis(), 50.0);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedulePeriodic(Duration::millis(100), Duration::zero(),
+                         [&] { ++count; });
+    sim.runUntil(Timestamp::millisF(450.0));
+    EXPECT_EQ(count, 5); // t = 0, 100, 200, 300, 400
+}
+
+TEST(Simulator, PeriodicWithPhase)
+{
+    Simulator sim;
+    std::vector<double> times;
+    sim.schedulePeriodic(Duration::millis(100), Duration::millis(33),
+                         [&] { times.push_back(sim.now().toMillis()); });
+    sim.runUntil(Timestamp::millisF(300.0));
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_DOUBLE_EQ(times[0], 33.0);
+    EXPECT_DOUBLE_EQ(times[1], 133.0);
+    EXPECT_DOUBLE_EQ(times[2], 233.0);
+}
+
+TEST(Simulator, StopHaltsTheRun)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedulePeriodic(Duration::millis(10), Duration::zero(), [&] {
+        if (++fired == 3)
+            sim.stop();
+    });
+    sim.runUntil(Timestamp::seconds(10.0));
+    EXPECT_EQ(fired, 3);
+}
+
+} // namespace
+} // namespace sov

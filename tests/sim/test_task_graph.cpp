@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "sim/task_graph.h"
+
+namespace sov {
+namespace {
+
+// A miniature version of the Fig. 5 pipeline used across these tests:
+// sensing -> {localization, scene understanding} -> planning, with
+// localization on the FPGA and the rest on GPU/CPU.
+TaskGraph
+makePipeline(Duration sense, Duration loc, Duration scene, Duration plan)
+{
+    TaskGraph g;
+    const TaskId s = g.addFixedTask("sensing", "fpga", sense);
+    const TaskId l = g.addFixedTask("localization", "fpga", loc, {s});
+    const TaskId u = g.addFixedTask("scene", "gpu", scene, {s});
+    g.addFixedTask("planning", "cpu", plan, {l, u});
+    return g;
+}
+
+TEST(TaskGraph, CriticalPathTakesSlowerBranch)
+{
+    const auto g = makePipeline(Duration::millis(50), Duration::millis(24),
+                                Duration::millis(77), Duration::millis(3));
+    // 50 + max(24, 77) + 3 = 130
+    EXPECT_DOUBLE_EQ(g.criticalPathLatency().toMillis(), 130.0);
+}
+
+TEST(TaskGraph, ParallelBranchesOverlapInSchedule)
+{
+    const auto g = makePipeline(Duration::millis(10), Duration::millis(20),
+                                Duration::millis(30), Duration::millis(5));
+    const auto r = g.schedule(1, Duration::millis(100));
+    const auto &spans = r.spans[0];
+    // localization and scene start together right after sensing.
+    EXPECT_EQ(spans[1].start.toMillis(), 10.0);
+    EXPECT_EQ(spans[2].start.toMillis(), 10.0);
+    // planning starts when the slower branch ends.
+    EXPECT_EQ(spans[3].start.toMillis(), 40.0);
+    EXPECT_EQ(r.frame_latency[0].toMillis(), 45.0);
+}
+
+TEST(TaskGraph, ResourceSerializationWithinFrame)
+{
+    // Two independent tasks on one resource must serialize.
+    TaskGraph g;
+    g.addFixedTask("a", "gpu", Duration::millis(10));
+    g.addFixedTask("b", "gpu", Duration::millis(10));
+    const auto r = g.schedule(1, Duration::millis(100));
+    EXPECT_EQ(r.frame_latency[0].toMillis(), 20.0);
+    // Critical path (infinite resources) would be 10 ms.
+    EXPECT_EQ(g.criticalPathLatency().toMillis(), 10.0);
+}
+
+TEST(TaskGraph, PipeliningOverlapsFrames)
+{
+    // Stage times 50/77/3: throughput is set by the 77 ms bottleneck
+    // even though single-frame latency is 130 ms (Sec. III-A:
+    // "throughput ... easier to meet than latency due to pipelining").
+    TaskGraph g;
+    const TaskId s = g.addFixedTask("sense", "fpga", Duration::millis(50));
+    const TaskId p = g.addFixedTask("perceive", "gpu", Duration::millis(77),
+                                    {s});
+    g.addFixedTask("plan", "cpu", Duration::millis(3), {p});
+
+    const auto r = g.schedule(64, Duration::millis(77));
+    const double hz = r.steadyStateThroughputHz();
+    EXPECT_NEAR(hz, 1000.0 / 77.0, 0.5);
+    // Latency of late frames remains bounded (no queue explosion).
+    EXPECT_LT(r.frame_latency.back().toMillis(), 200.0);
+}
+
+TEST(TaskGraph, SlowInputPeriodThrottlesThroughput)
+{
+    TaskGraph g;
+    g.addFixedTask("only", "cpu", Duration::millis(10));
+    const auto r = g.schedule(32, Duration::millis(100));
+    EXPECT_NEAR(r.steadyStateThroughputHz(), 10.0, 0.3);
+}
+
+TEST(TaskGraph, PerFrameDurationCallback)
+{
+    TaskGraph g;
+    g.addTask("var", "cpu", [](std::size_t f) {
+        return Duration::millis(10 + static_cast<std::int64_t>(f) * 5);
+    });
+    const auto r = g.schedule(3, Duration::millis(1000));
+    EXPECT_EQ(r.frame_latency[0].toMillis(), 10.0);
+    EXPECT_EQ(r.frame_latency[1].toMillis(), 15.0);
+    EXPECT_EQ(r.frame_latency[2].toMillis(), 20.0);
+}
+
+TEST(TaskGraph, FindTaskByName)
+{
+    const auto g = makePipeline(Duration::millis(1), Duration::millis(1),
+                                Duration::millis(1), Duration::millis(1));
+    EXPECT_EQ(g.findTask("sensing"), 0u);
+    EXPECT_EQ(g.findTask("planning"), 3u);
+    EXPECT_EQ(g.taskNames().size(), 4u);
+    EXPECT_EQ(g.node(2).name, "scene");
+}
+
+TEST(TaskGraph, FrameReleaseTimes)
+{
+    TaskGraph g;
+    g.addFixedTask("t", "cpu", Duration::millis(1));
+    const auto r = g.schedule(3, Duration::millis(33));
+    EXPECT_EQ(r.frame_release[2].toMillis(), 66.0);
+    EXPECT_EQ(r.frameFinish(2).toMillis(), 67.0);
+}
+
+} // namespace
+} // namespace sov

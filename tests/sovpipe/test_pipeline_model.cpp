@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sovpipe/pipeline_model.h"
+
+namespace sov {
+namespace {
+
+TEST(SovPipeline, Fig10aLatencyCharacterization)
+{
+    // Fig. 10a: best ~149 ms, mean ~164 ms, long tail (p99 toward
+    // 740 ms in the paper's field data; our model reproduces best and
+    // mean tightly and a pronounced tail).
+    const PlatformModel model;
+    SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(1));
+    const PipelineStats stats = pipeline.characterize(20000);
+    EXPECT_NEAR(stats.mean.toMillis(), 164.0, 8.0);
+    EXPECT_NEAR(stats.best_case.toMillis(), 149.0, 13.0);
+    EXPECT_GT(stats.p99.toMillis(), 350.0);
+}
+
+TEST(SovPipeline, SensingIsNearlyHalf)
+{
+    // Sec. V-C / abstract: sensing constitutes almost 50% of the SoV
+    // latency.
+    const PlatformModel model;
+    SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(2));
+    const PipelineStats stats = pipeline.characterize(5000);
+    const double sensing = stats.tracer.meanMs("sensing");
+    const double total = stats.tracer.meanMs("total");
+    EXPECT_GT(sensing / total, 0.38);
+    EXPECT_LT(sensing / total, 0.52);
+}
+
+TEST(SovPipeline, PlanningIsInsignificant)
+{
+    // Sec. V-C: planning ~3 ms, ~1-2% of the end-to-end latency.
+    const PlatformModel model;
+    SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(3));
+    const PipelineStats stats = pipeline.characterize(5000);
+    EXPECT_NEAR(stats.tracer.meanMs("planning"), 3.0, 0.5);
+    EXPECT_LT(stats.tracer.meanMs("planning") /
+                  stats.tracer.meanMs("total"),
+              0.03);
+}
+
+TEST(SovPipeline, ThroughputMeetsTenHz)
+{
+    const PlatformModel model;
+    SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(4));
+    const PipelineStats stats = pipeline.characterize(2000);
+    EXPECT_NEAR(stats.throughput_hz, 10.0, 0.5);
+}
+
+TEST(SovPipeline, SharedGpuMappingIsSlower)
+{
+    const PlatformModel model;
+    SovPipelineConfig shared;
+    shared.localization_platform = Platform::Gtx1060;
+    SovPipelineModel pipe_shared(model, shared, Rng(5));
+    SovPipelineModel pipe_best(model, SovPipelineConfig{}, Rng(5));
+    const double mean_shared =
+        pipe_shared.characterize(5000).mean.toMillis();
+    const double mean_best =
+        pipe_best.characterize(5000).mean.toMillis();
+    // ~23% end-to-end reduction from the FPGA mapping (Fig. 8).
+    EXPECT_NEAR(1.0 - mean_best / mean_shared, 0.23, 0.05);
+}
+
+TEST(SovPipeline, KcfTrackingInflatesPerception)
+{
+    const PlatformModel model;
+    SovPipelineConfig kcf;
+    kcf.radar_tracking = false;
+    SovPipelineModel with_kcf(model, kcf, Rng(6));
+    SovPipelineModel with_radar(model, SovPipelineConfig{}, Rng(6));
+    const double kcf_ms =
+        with_kcf.characterize(3000).tracer.meanMs("perception");
+    const double radar_ms =
+        with_radar.characterize(3000).tracer.meanMs("perception");
+    // Sec. VI-B: replacing KCF with radar + spatial sync saves ~100 ms.
+    EXPECT_NEAR(kcf_ms - radar_ms, 100.0, 15.0);
+}
+
+TEST(SovPipeline, EmPlannerPushesLatencyUp)
+{
+    const PlatformModel model;
+    SovPipelineConfig em;
+    em.planner = PlannerKind::EmStyle;
+    SovPipelineModel pipe_em(model, em, Rng(7));
+    const PipelineStats stats = pipe_em.characterize(3000);
+    EXPECT_NEAR(stats.tracer.meanMs("planning"), 102.0, 10.0);
+}
+
+TEST(SovPipeline, Fig10bTaskBreakdown)
+{
+    // Fig. 10b average-case per-task latencies: detection dominates,
+    // localization ~25 ms with ~14 ms stddev (Sec. V-C).
+    const PlatformModel model;
+    SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(8));
+    const LatencyTracer tasks = pipeline.perceptionTaskBreakdown(20000);
+    EXPECT_GT(tasks.meanMs("detection"), tasks.meanMs("depth"));
+    EXPECT_GT(tasks.meanMs("detection"), tasks.meanMs("localization"));
+    EXPECT_NEAR(tasks.meanMs("localization"), 26.5, 2.0);
+    EXPECT_NEAR(tasks.stddevMs("localization"), 13.0, 3.0);
+    EXPECT_NEAR(tasks.meanMs("tracking"), 1.0, 0.1); // radar path
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "sync/synchronizer.h"
+
+namespace sov {
+namespace {
+
+TEST(HardwareSync, TriggerScheduleDownsamples)
+{
+    HardwareSynchronizer sync;
+    const auto sched = sync.schedule(Duration::seconds(1.0));
+    // 240 Hz IMU + t=0 sample.
+    EXPECT_EQ(sched.imu_triggers.size(), 241u);
+    EXPECT_EQ(sched.camera_triggers.size(), 31u); // 30 Hz + t=0
+
+    // Every camera trigger coincides exactly with an IMU trigger
+    // (Sec. VI-A2's alignment guarantee).
+    for (const auto &cam : sched.camera_triggers) {
+        bool found = false;
+        for (const auto &imu : sched.imu_triggers) {
+            if (imu == cam) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(HardwareSync, ImuStampErrorIsQuantizationOnly)
+{
+    HardwareSynchronizer sync;
+    auto pipeline = SensorPipelineModel::imuPipeline(Rng(1));
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        const Timestamp trigger = Timestamp::seconds(i / 240.0);
+        const auto s = sync.stampImu(trigger, pipeline, rng);
+        EXPECT_GE(s.error().toMillis(), 0.0);
+        EXPECT_LE(s.error().toMillis(), 0.1); // 100 us quantization
+        EXPECT_GT(s.arrival_time, s.trigger_time);
+    }
+}
+
+TEST(HardwareSync, CameraStampErrorUnderOneMillisecond)
+{
+    HardwareSynchronizer sync;
+    auto pipeline = SensorPipelineModel::cameraPipeline(Rng(3));
+    Rng rng(4);
+    const Duration constant = Duration::millisF(20.0); // 8 + 12
+    RunningStats err;
+    for (int i = 0; i < 500; ++i) {
+        const Timestamp trigger = Timestamp::seconds(i / 30.0);
+        const auto s = sync.stampCamera(trigger, constant, pipeline, rng);
+        err.add(std::fabs(s.error().toMillis()));
+    }
+    // Sec. VI-A3: "incurs less than 1 ms delay".
+    EXPECT_LT(err.max(), 1.0);
+}
+
+TEST(SoftwareSync, StampErrorIsPipelineDelay)
+{
+    SoftwareSync sync;
+    auto pipeline = SensorPipelineModel::cameraPipeline(Rng(5));
+    RunningStats err;
+    for (int i = 0; i < 1000; ++i) {
+        const auto s = sync.stamp(Timestamp::seconds(i / 30.0), pipeline);
+        err.add(s.error().toMillis());
+    }
+    // The fixed delay alone is 32 ms; jitter adds tens more.
+    EXPECT_GT(err.mean(), 32.0);
+    EXPECT_GT(err.stddev(), 3.0);
+}
+
+TEST(SoftwareSync, ClockSkewShiftsStamps)
+{
+    SoftwareSync skewed(Duration::millisF(15.0));
+    SoftwareSync clean;
+    auto p1 = SensorPipelineModel::imuPipeline(Rng(6));
+    auto p2 = SensorPipelineModel::imuPipeline(Rng(6));
+    RunningStats d;
+    for (int i = 0; i < 500; ++i) {
+        const Timestamp t = Timestamp::seconds(i / 240.0);
+        d.add((skewed.stamp(t, p1).stamped_time -
+               clean.stamp(t, p2).stamped_time)
+                  .toMillis());
+    }
+    EXPECT_NEAR(d.mean(), 15.0, 0.5);
+}
+
+TEST(HardwareSync, BeatsSofwareByOrdersOfMagnitude)
+{
+    HardwareSynchronizer hw;
+    SoftwareSync sw;
+    auto hw_pipe = SensorPipelineModel::cameraPipeline(Rng(7));
+    auto sw_pipe = SensorPipelineModel::cameraPipeline(Rng(8));
+    Rng rng(9);
+    RunningStats hw_err, sw_err;
+    for (int i = 0; i < 300; ++i) {
+        const Timestamp t = Timestamp::seconds(i / 30.0);
+        hw_err.add(std::fabs(
+            hw.stampCamera(t, Duration::millisF(20.0), hw_pipe, rng)
+                .error().toMillis()));
+        sw_err.add(std::fabs(sw.stamp(t, sw_pipe).error().toMillis()));
+    }
+    EXPECT_GT(sw_err.mean(), 20.0 * hw_err.mean());
+}
+
+TEST(HardwareSync, FootprintMatchesPaper)
+{
+    const auto fp = HardwareSynchronizer().footprint();
+    EXPECT_EQ(fp.luts, 1443u);
+    EXPECT_EQ(fp.registers, 1587u);
+    EXPECT_DOUBLE_EQ(fp.power_mw, 5.0);
+    EXPECT_LE(fp.added_latency.toMillis(), 1.0);
+}
+
+} // namespace
+} // namespace sov

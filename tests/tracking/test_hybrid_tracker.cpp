@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tracking/hybrid_tracker.h"
+#include "vision/renderer.h"
+
+namespace sov {
+namespace {
+
+/** Frame with a textured square target centered at (cx, cy). */
+Image
+targetFrame(double cx, double cy)
+{
+    Rng rng(3);
+    Image img(320, 240);
+    for (auto &v : img.data())
+        v = static_cast<float>(rng.uniform(0.35, 0.45));
+    for (int dy = -9; dy <= 9; ++dy) {
+        for (int dx = -9; dx <= 9; ++dx) {
+            const long x = static_cast<long>(cx) + dx;
+            const long y = static_cast<long>(cy) + dy;
+            if (x < 0 || y < 0 || x >= 320 || y >= 240)
+                continue;
+            img(static_cast<std::size_t>(x),
+                static_cast<std::size_t>(y)) =
+                0.5f + 0.4f * static_cast<float>(std::sin(dx * 0.8) *
+                                                 std::cos(dy * 0.6));
+        }
+    }
+    return img;
+}
+
+RadarDetection
+radarDet(double range, double azimuth)
+{
+    RadarDetection d;
+    d.range = range;
+    d.azimuth = azimuth;
+    return d;
+}
+
+Detection
+visionDet(double cx, double cy, ObjectClass cls)
+{
+    Detection d;
+    d.cls = cls;
+    d.confidence = 0.9;
+    d.box = BoundingBox{cx - 10, cy - 20, 20, 40};
+    return d;
+}
+
+struct Fixture
+{
+    CameraModel camera{CameraIntrinsics{}, Vec3(0, 0, 0)};
+    CameraPose pose;
+    Pose2 body{Vec2(0, 0), 0.0};
+
+    Fixture() { pose = camera.poseAt(body, 1.5); }
+};
+
+TEST(HybridTracker, RadarModeWhileHealthy)
+{
+    Fixture f;
+    HybridTracker tracker;
+    const Image frame = targetFrame(160, 125);
+    const auto dets = {visionDet(160, 125, ObjectClass::Pedestrian)};
+
+    std::vector<HybridTrack> tracks;
+    for (int i = 0; i < 5; ++i) {
+        tracks = tracker.update(
+            frame, {dets.begin(), dets.end()},
+            {radarDet(12.0, 0.0)}, f.camera, f.pose, f.body,
+            Timestamp::seconds(i * 0.05));
+    }
+    EXPECT_EQ(tracker.mode(), TrackingMode::Radar);
+    ASSERT_EQ(tracks.size(), 1u);
+    EXPECT_EQ(tracks[0].source, TrackingMode::Radar);
+    EXPECT_EQ(tracks[0].cls, ObjectClass::Pedestrian);
+    EXPECT_NEAR(tracks[0].position.x(), 12.0, 0.5);
+    EXPECT_EQ(tracker.kcfTrackerCount(), 0u);
+}
+
+TEST(HybridTracker, FallsBackToKcfWhenRadarGoesQuiet)
+{
+    Fixture f;
+    HybridTracker tracker;
+
+    // Healthy warm-up.
+    double cx = 160, cy = 125;
+    for (int i = 0; i < 5; ++i) {
+        tracker.update(targetFrame(cx, cy),
+                       {visionDet(cx, cy, ObjectClass::Bicycle)},
+                       {radarDet(12.0, 0.0)}, f.camera, f.pose, f.body,
+                       Timestamp::seconds(i * 0.05));
+    }
+
+    // Radar jammed: no detections for several scans while vision
+    // still sees the object.
+    std::vector<HybridTrack> tracks;
+    for (int i = 5; i < 12; ++i) {
+        cx += 2.0; // target drifts in the image
+        tracks = tracker.update(targetFrame(cx, cy),
+                                {visionDet(cx, cy, ObjectClass::Bicycle)},
+                                {}, f.camera, f.pose, f.body,
+                                Timestamp::seconds(i * 0.05));
+    }
+    EXPECT_EQ(tracker.mode(), TrackingMode::KcfFallback);
+    ASSERT_GE(tracks.size(), 1u);
+    EXPECT_EQ(tracks[0].source, TrackingMode::KcfFallback);
+    EXPECT_EQ(tracks[0].cls, ObjectClass::Bicycle);
+    // KCF followed the drifting target.
+    EXPECT_NEAR(tracks[0].pixel_u, cx, 4.0);
+    EXPECT_GE(tracker.kcfTrackerCount(), 1u);
+}
+
+TEST(HybridTracker, RecoversToRadarMode)
+{
+    Fixture f;
+    HybridTracker tracker;
+    const Image frame = targetFrame(160, 125);
+    const std::vector<Detection> dets{
+        visionDet(160, 125, ObjectClass::Car)};
+
+    // Warm up, jam, then restore radar.
+    for (int i = 0; i < 5; ++i)
+        tracker.update(frame, dets, {radarDet(12.0, 0.0)}, f.camera,
+                       f.pose, f.body, Timestamp::seconds(i * 0.05));
+    for (int i = 5; i < 10; ++i)
+        tracker.update(frame, dets, {}, f.camera, f.pose, f.body,
+                       Timestamp::seconds(i * 0.05));
+    EXPECT_EQ(tracker.mode(), TrackingMode::KcfFallback);
+
+    std::vector<HybridTrack> tracks;
+    for (int i = 10; i < 16; ++i) {
+        tracks = tracker.update(frame, dets, {radarDet(12.0, 0.0)},
+                                f.camera, f.pose, f.body,
+                                Timestamp::seconds(i * 0.05));
+    }
+    EXPECT_EQ(tracker.mode(), TrackingMode::Radar);
+    EXPECT_EQ(tracker.kcfTrackerCount(), 0u); // fallback state cleared
+    ASSERT_GE(tracks.size(), 1u);
+    EXPECT_EQ(tracks[0].source, TrackingMode::Radar);
+}
+
+TEST(HybridTracker, EmptySceneStaysRadarMode)
+{
+    Fixture f;
+    HybridTracker tracker;
+    const Image frame = targetFrame(-100, -100); // nothing visible
+    for (int i = 0; i < 10; ++i) {
+        const auto tracks =
+            tracker.update(frame, {}, {}, f.camera, f.pose, f.body,
+                           Timestamp::seconds(i * 0.05));
+        EXPECT_TRUE(tracks.empty());
+    }
+    // No vision objects either: radar quiet is not "unstable".
+    EXPECT_EQ(tracker.mode(), TrackingMode::Radar);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "sensors/radar.h"
+#include "tracking/radar_tracker.h"
+#include "tracking/spatial_sync.h"
+
+namespace sov {
+namespace {
+
+RadarDetection
+detection(double range, double azimuth, ObstacleId truth = 0,
+          double radial_velocity = 0.0)
+{
+    RadarDetection d;
+    d.range = range;
+    d.azimuth = azimuth;
+    d.truth_id = truth;
+    d.radial_velocity = radial_velocity;
+    return d;
+}
+
+TEST(RadarTracker, ConfirmsAfterRepeatedHits)
+{
+    RadarTracker tracker;
+    const Pose2 ego{Vec2(0, 0), 0.0};
+    for (int i = 0; i < 3; ++i) {
+        tracker.update(ego, {detection(10.0 + i * 0.1, 0.0)},
+                       Timestamp::seconds(i * 0.05));
+    }
+    ASSERT_EQ(tracker.tracks().size(), 1u);
+    EXPECT_TRUE(tracker.tracks()[0].confirmed());
+    EXPECT_EQ(tracker.confirmedTracks().size(), 1u);
+}
+
+TEST(RadarTracker, EstimatesVelocityFromMotion)
+{
+    RadarTracker tracker;
+    const Pose2 ego{Vec2(0, 0), 0.0};
+    // Target ahead moving +x at 2 m/s, scans at 10 Hz; the radar
+    // also reports the 2 m/s recession as radial velocity.
+    for (int i = 0; i < 30; ++i) {
+        const double range = 10.0 + 2.0 * i * 0.1;
+        tracker.update(ego, {detection(range, 0.0, 0, 2.0)},
+                       Timestamp::seconds(i * 0.1));
+    }
+    ASSERT_EQ(tracker.tracks().size(), 1u);
+    const auto &track = tracker.tracks()[0];
+    EXPECT_NEAR(track.velocity.x(), 2.0, 0.4);
+    EXPECT_NEAR(track.velocity.y(), 0.0, 0.2);
+    EXPECT_NEAR(track.position.x(), 10.0 + 2.0 * 2.9, 0.5);
+}
+
+TEST(RadarTracker, SeparateTargetsSeparateTracks)
+{
+    RadarTracker tracker;
+    const Pose2 ego{Vec2(0, 0), 0.0};
+    for (int i = 0; i < 4; ++i) {
+        tracker.update(ego,
+                       {detection(10.0, 0.3, 1), detection(20.0, -0.3, 2)},
+                       Timestamp::seconds(i * 0.1));
+    }
+    EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(RadarTracker, DropsStaleTracks)
+{
+    RadarTrackerConfig cfg;
+    cfg.max_misses = 2;
+    RadarTracker tracker(cfg);
+    const Pose2 ego{Vec2(0, 0), 0.0};
+    tracker.update(ego, {detection(10.0, 0.0)}, Timestamp::seconds(0.0));
+    for (int i = 1; i <= 4; ++i)
+        tracker.update(ego, {}, Timestamp::seconds(i * 0.1));
+    EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(RadarTracker, WorldFramePositions)
+{
+    RadarTracker tracker;
+    // Ego at (5, 5) facing +y: a target at range 10 dead ahead is at
+    // world (5, 15).
+    const Pose2 ego{Vec2(5, 5), M_PI / 2.0};
+    tracker.update(ego, {detection(10.0, 0.0)}, Timestamp::origin());
+    ASSERT_EQ(tracker.tracks().size(), 1u);
+    EXPECT_NEAR(tracker.tracks()[0].position.x(), 5.0, 1e-9);
+    EXPECT_NEAR(tracker.tracks()[0].position.y(), 15.0, 1e-9);
+}
+
+TEST(SpatialSync, MatchesTrackToDetection)
+{
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+
+    RadarTrack track;
+    track.id = 7;
+    track.position = Vec2(12.0, 0.0); // straight ahead
+    track.velocity = Vec2(-1.0, 0.0);
+
+    Detection det;
+    det.cls = ObjectClass::Pedestrian;
+    det.confidence = 0.9;
+    det.box = BoundingBox{150.0, 100.0, 20.0, 50.0}; // center ~(160,125)
+
+    const auto fused = spatialSync(cam, pose, {track}, {det});
+    ASSERT_EQ(fused.size(), 1u);
+    EXPECT_EQ(fused[0].track_id, 7u);
+    EXPECT_EQ(fused[0].cls, ObjectClass::Pedestrian);
+    EXPECT_NEAR(fused[0].velocity.x(), -1.0, 1e-9);
+}
+
+TEST(SpatialSync, FarApartNotMatched)
+{
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    RadarTrack track;
+    track.position = Vec2(12.0, 4.0); // projects far left
+
+    Detection det;
+    det.box = BoundingBox{280.0, 100.0, 30.0, 40.0}; // far right
+
+    EXPECT_TRUE(spatialSync(cam, pose, {track}, {det}).empty());
+}
+
+TEST(SpatialSync, EachDetectionUsedOnce)
+{
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    RadarTrack t1;
+    t1.id = 1;
+    t1.position = Vec2(12.0, 0.0);
+    RadarTrack t2;
+    t2.id = 2;
+    t2.position = Vec2(12.5, 0.1);
+    Detection det;
+    det.box = BoundingBox{150.0, 110.0, 20.0, 30.0};
+
+    const auto fused = spatialSync(cam, pose, {t1, t2}, {det});
+    EXPECT_EQ(fused.size(), 1u); // one detection, one match
+}
+
+TEST(SpatialSync, BehindCameraTrackIgnored)
+{
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    RadarTrack track;
+    track.position = Vec2(-5.0, 0.0);
+    Detection det;
+    det.box = BoundingBox{150.0, 110.0, 20.0, 30.0};
+    EXPECT_TRUE(spatialSync(cam, pose, {track}, {det}).empty());
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "vision/compression.h"
+#include "vision/renderer.h"
+
+namespace sov {
+namespace {
+
+TEST(Compression, RoundTripWithinQuantizationStep)
+{
+    Rng rng(1);
+    Image img(64, 48);
+    for (auto &v : img.data())
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    const CompressedFrame enc = compressFrame(img);
+    const Image dec = decompressFrame(enc);
+    ASSERT_EQ(dec.width(), img.width());
+    ASSERT_EQ(dec.height(), img.height());
+    for (std::size_t y = 0; y < img.height(); ++y)
+        for (std::size_t x = 0; x < img.width(); ++x)
+            EXPECT_NEAR(dec(x, y), img(x, y), 1.0 / 255.0 + 1e-6);
+}
+
+TEST(Compression, QuantizedValuesRoundTripExactly)
+{
+    // A frame already on the 8-bit grid decodes bit-exactly.
+    Image img(32, 32);
+    Rng rng(2);
+    for (auto &v : img.data())
+        v = static_cast<float>(rng.uniformInt(0, 255)) / 255.0f;
+    const Image dec = decompressFrame(compressFrame(img));
+    for (std::size_t y = 0; y < img.height(); ++y)
+        for (std::size_t x = 0; x < img.width(); ++x)
+            EXPECT_EQ(dec(x, y), img(x, y));
+}
+
+TEST(Compression, FlatFramesCompressHeavily)
+{
+    const Image flat(320, 240, 0.42f);
+    const CompressedFrame enc = compressFrame(flat);
+    EXPECT_GT(enc.ratio(), 40.0);
+    const Image dec = decompressFrame(enc);
+    EXPECT_NEAR(dec(160, 120), 0.42f, 1.0 / 255.0);
+}
+
+TEST(Compression, RenderedFramesCompress)
+{
+    // The actual workload: a camera frame from the renderer.
+    World w;
+    Rng rng(3);
+    w.scatterLandmarks(Polyline2({Vec2(-5, 0), Vec2(40, 0)}), 80, 8.0,
+                       4.0, rng);
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const Renderer renderer;
+    const RenderedFrame frame = renderer.render(
+        w, cam, cam.poseAt(Pose2{Vec2(0, 0), 0.0}), Timestamp::origin());
+
+    const CompressedFrame enc = compressFrame(frame.intensity);
+    EXPECT_GT(enc.ratio(), 1.5); // smooth sky/ground compress well
+    const Image dec = decompressFrame(enc);
+    double max_err = 0.0;
+    for (std::size_t y = 0; y < dec.height(); ++y)
+        for (std::size_t x = 0; x < dec.width(); ++x)
+            max_err = std::max(
+                max_err,
+                static_cast<double>(
+                    std::fabs(dec(x, y) - frame.intensity(x, y))));
+    EXPECT_LE(max_err, 1.0 / 255.0 + 1e-6);
+}
+
+TEST(Compression, WorstCaseNoiseStaysBounded)
+{
+    // Pure noise defeats RLE; the stream may grow, but never by more
+    // than the 3-byte escape per code worst case, and round-trips.
+    Rng rng(4);
+    Image noise(64, 64);
+    for (auto &v : noise.data())
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    const CompressedFrame enc = compressFrame(noise);
+    EXPECT_LE(enc.payload.size(), 3u * 64u * 64u);
+    const Image dec = decompressFrame(enc);
+    EXPECT_NEAR(dec(10, 10), noise(10, 10), 1.0 / 255.0 + 1e-6);
+}
+
+TEST(Compression, MarkerByteEscapedCorrectly)
+{
+    // Construct a frame whose deltas hit the 0xff code (delta -128).
+    Image img(8, 1, 0.0f);
+    img(0, 0) = 128.0f / 255.0f; // delta +128 -> wraps to -128 -> 0xff
+    const Image dec = decompressFrame(compressFrame(img));
+    EXPECT_EQ(dec(0, 0), img(0, 0));
+    EXPECT_EQ(dec(1, 0), img(1, 0));
+}
+
+TEST(Compression, OutOfRangeIntensitiesClamped)
+{
+    Image img(4, 4, 0.0f);
+    img(0, 0) = -0.5f;
+    img(1, 0) = 1.7f;
+    const Image dec = decompressFrame(compressFrame(img));
+    EXPECT_EQ(dec(0, 0), 0.0f);
+    EXPECT_EQ(dec(1, 0), 1.0f);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "vision/detector.h"
+#include "vision/renderer.h"
+
+namespace sov {
+namespace {
+
+World
+siteWorld()
+{
+    World w;
+    Obstacle ped;
+    ped.cls = ObjectClass::Pedestrian;
+    ped.footprint = OrientedBox2{Pose2{Vec2(12.0, 2.0), 0.0}, 0.3, 0.3};
+    ped.height = 1.8;
+    w.addObstacle(ped);
+    Obstacle car;
+    car.cls = ObjectClass::Car;
+    car.footprint = OrientedBox2{Pose2{Vec2(18.0, -4.0), 0.4}, 2.2, 1.0};
+    car.height = 1.6;
+    w.addObstacle(car);
+    return w;
+}
+
+TEST(BoundingBox, Iou)
+{
+    const BoundingBox a{0, 0, 10, 10};
+    const BoundingBox b{5, 5, 10, 10};
+    EXPECT_NEAR(a.iou(b), 25.0 / 175.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.iou(a), 1.0);
+    const BoundingBox c{20, 20, 5, 5};
+    EXPECT_DOUBLE_EQ(a.iou(c), 0.0);
+}
+
+TEST(ProjectObstacleBox, CoversRenderedObject)
+{
+    const World w = siteWorld();
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const auto box = projectObstacleBox(cam, pose, w.obstacles()[0],
+                                        Timestamp::origin());
+    ASSERT_TRUE(box.has_value());
+    // Pedestrian is left of center (world +y) and spans the horizon.
+    EXPECT_LT(box->centerX(), 160.0);
+    EXPECT_GT(box->h, 10.0);
+}
+
+TEST(ProjectObstacleBox, BehindCameraRejected)
+{
+    const World w = siteWorld();
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    // Face away from the obstacles.
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), M_PI}, 1.5);
+    EXPECT_FALSE(projectObstacleBox(cam, pose, w.obstacles()[0],
+                                    Timestamp::origin()).has_value());
+}
+
+TEST(Detector, ProposalsFindObstacles)
+{
+    const World w = siteWorld();
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+
+    Rng rng(1);
+    ObjectDetector det(makePatchClassifier(16, 5, rng));
+    const auto boxes = det.proposals(frame.intensity);
+    ASSERT_GE(boxes.size(), 2u);
+
+    // Each ground-truth object overlaps some proposal.
+    for (const auto &obs : w.obstacles()) {
+        const auto gt = projectObstacleBox(cam, pose, obs,
+                                           Timestamp::origin());
+        ASSERT_TRUE(gt.has_value());
+        double best_iou = 0.0;
+        for (const auto &b : boxes)
+            best_iou = std::max(best_iou, gt->iou(b));
+        EXPECT_GT(best_iou, 0.3) << toString(obs.cls);
+    }
+}
+
+TEST(Detector, TrainedDetectorClassifiesCorrectly)
+{
+    const World w = siteWorld();
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    Rng rng(42);
+    // Train a site-specific model (Sec. IV: per-deployment training).
+    const ObjectDetector det = trainSiteDetector(w, cam, 25, 8, rng);
+
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+    const auto detections = det.detect(frame.intensity);
+    ASSERT_GE(detections.size(), 1u);
+
+    // Count class-correct detections against ground truth.
+    std::size_t correct = 0;
+    for (const auto &d : detections) {
+        for (const auto &obs : w.obstacles()) {
+            const auto gt = projectObstacleBox(cam, pose, obs,
+                                               Timestamp::origin());
+            if (gt && gt->iou(d.box) > 0.3 && obs.cls == d.cls)
+                ++correct;
+        }
+    }
+    EXPECT_GE(correct, 1u);
+}
+
+TEST(Detector, ExtractPatchResamples)
+{
+    Image frame(64, 64);
+    for (std::size_t y = 20; y < 40; ++y)
+        for (std::size_t x = 20; x < 40; ++x)
+            frame(x, y) = 1.0f;
+    Rng rng(2);
+    ObjectDetector det(makePatchClassifier(16, 5, rng));
+    const Image patch =
+        det.extractPatch(frame, BoundingBox{20, 20, 20, 20});
+    EXPECT_EQ(patch.width(), 16u);
+    EXPECT_NEAR(patch(8, 8), 1.0f, 1e-5);
+}
+
+TEST(Detector, EmptySceneNoDetections)
+{
+    World w; // no obstacles
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+    Rng rng(3);
+    ObjectDetector det(makePatchClassifier(16, 5, rng));
+    EXPECT_TRUE(det.proposals(frame.intensity).empty());
+}
+
+TEST(Detector, ClassLabelMapping)
+{
+    EXPECT_EQ(classLabel(ObjectClass::Pedestrian), 0u);
+    EXPECT_EQ(classLabel(ObjectClass::Car), 1u);
+    EXPECT_EQ(classLabel(ObjectClass::Bicycle), 2u);
+    EXPECT_EQ(classLabel(ObjectClass::Static), 3u);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "vision/features.h"
+
+namespace sov {
+namespace {
+
+/** A checkerboard-like image with strong corners at known positions. */
+Image
+cornerImage(std::size_t size, std::size_t cell)
+{
+    Image img(size, size);
+    for (std::size_t y = 0; y < size; ++y)
+        for (std::size_t x = 0; x < size; ++x)
+            img(x, y) = ((x / cell + y / cell) % 2) ? 0.9f : 0.1f;
+    return img.gaussianBlur(0.8);
+}
+
+/** Textured random image (dense gradients everywhere). */
+Image
+noiseImage(std::size_t w, std::size_t h, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Image img(w, h);
+    for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x)
+            img(x, y) = static_cast<float>(rng.uniform(0.0, 1.0));
+    return img.gaussianBlur(1.2);
+}
+
+/** Shift an image by a fractional offset via bilinear sampling. */
+Image
+shifted(const Image &src, double dx, double dy)
+{
+    Image out(src.width(), src.height());
+    for (std::size_t y = 0; y < src.height(); ++y)
+        for (std::size_t x = 0; x < src.width(); ++x)
+            out(x, y) = src.sampleBilinear(x - dx, y - dy);
+    return out;
+}
+
+TEST(Corners, DetectsCheckerboardCorners)
+{
+    const Image img = cornerImage(64, 16);
+    const auto corners = detectCorners(img);
+    ASSERT_GE(corners.size(), 4u);
+    // Every strong corner lies near a cell boundary crossing.
+    for (const auto &c : corners) {
+        const double mx = std::fmod(c.x, 16.0);
+        const double my = std::fmod(c.y, 16.0);
+        const double dx = std::min(mx, 16.0 - mx);
+        const double dy = std::min(my, 16.0 - my);
+        EXPECT_LT(dx, 3.0) << "corner at " << c.x << "," << c.y;
+        EXPECT_LT(dy, 3.0);
+    }
+}
+
+TEST(Corners, UniformImageHasNone)
+{
+    const Image img(64, 64, 0.5f);
+    EXPECT_TRUE(detectCorners(img).empty());
+}
+
+TEST(Corners, RespectsMaxCornersAndSpacing)
+{
+    const Image img = noiseImage(96, 96, 7);
+    CornerConfig cfg;
+    cfg.max_corners = 10;
+    cfg.min_distance = 12.0;
+    const auto corners = detectCorners(img, cfg);
+    EXPECT_LE(corners.size(), 10u);
+    for (std::size_t i = 0; i < corners.size(); ++i) {
+        for (std::size_t j = i + 1; j < corners.size(); ++j) {
+            const double d = std::hypot(corners[i].x - corners[j].x,
+                                        corners[i].y - corners[j].y);
+            EXPECT_GE(d, 12.0);
+        }
+    }
+}
+
+TEST(Corners, SortedByScore)
+{
+    const Image img = noiseImage(96, 96, 8);
+    const auto corners = detectCorners(img);
+    for (std::size_t i = 1; i < corners.size(); ++i)
+        EXPECT_LE(corners[i].score, corners[i - 1].score);
+}
+
+TEST(Lk, TracksSubpixelTranslation)
+{
+    const Image prev = noiseImage(128, 128, 21);
+    const double dx = 1.3, dy = -0.8;
+    const Image next = shifted(prev, dx, dy);
+    auto corners = detectCorners(prev);
+    ASSERT_GE(corners.size(), 10u);
+    corners.resize(10);
+    const auto tracks = trackFeatures(prev, next, corners);
+    std::size_t good = 0;
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        if (!tracks[i].converged)
+            continue;
+        ++good;
+        EXPECT_NEAR(tracks[i].x - corners[i].x, dx, 0.25);
+        EXPECT_NEAR(tracks[i].y - corners[i].y, dy, 0.25);
+    }
+    EXPECT_GE(good, 7u);
+}
+
+TEST(Lk, TracksLargeMotionViaPyramid)
+{
+    const Image prev = noiseImage(128, 128, 22);
+    const double dx = 9.0, dy = 6.0; // beyond single-level window
+    const Image next = shifted(prev, dx, dy);
+    const auto corners = detectCorners(prev);
+    // Keep only interior corners so the tracked window stays in-image.
+    std::vector<Corner> interior;
+    for (const auto &c : corners) {
+        if (c.x > 20 && c.x < 100 && c.y > 20 && c.y < 100)
+            interior.push_back(c);
+        if (interior.size() == 8)
+            break;
+    }
+    ASSERT_GE(interior.size(), 3u);
+    const auto tracks = trackFeatures(prev, next, interior);
+    std::size_t good = 0;
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        if (!tracks[i].converged)
+            continue;
+        ++good;
+        EXPECT_NEAR(tracks[i].x - interior[i].x, dx, 0.5);
+        EXPECT_NEAR(tracks[i].y - interior[i].y, dy, 0.5);
+    }
+    EXPECT_GE(good, 2u);
+}
+
+TEST(Lk, FlagsLostFeatures)
+{
+    const Image prev = noiseImage(128, 128, 23);
+    const Image unrelated = noiseImage(128, 128, 99);
+    auto corners = detectCorners(prev);
+    ASSERT_GE(corners.size(), 5u);
+    corners.resize(5);
+    const auto tracks = trackFeatures(prev, unrelated, corners);
+    std::size_t lost = 0;
+    for (const auto &t : tracks)
+        lost += !t.converged;
+    EXPECT_GE(lost, 3u); // most tracks should fail the residual gate
+}
+
+TEST(Lk, ZeroMotionStaysPut)
+{
+    const Image img = noiseImage(96, 96, 31);
+    auto corners = detectCorners(img);
+    ASSERT_GE(corners.size(), 5u);
+    corners.resize(5);
+    const auto tracks = trackFeatures(img, img, corners);
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        EXPECT_TRUE(tracks[i].converged);
+        EXPECT_NEAR(tracks[i].x, corners[i].x, 0.05);
+        EXPECT_NEAR(tracks[i].y, corners[i].y, 0.05);
+    }
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vision/features.h"
+#include "vision/isp.h"
+#include "vision/renderer.h"
+
+namespace sov {
+namespace {
+
+Image
+flatFrame(float value)
+{
+    return Image(64, 64, value);
+}
+
+TEST(Isp, DegradationAddsNoiseAndVignette)
+{
+    Rng rng(1);
+    const Image ideal = flatFrame(0.5f);
+    SensorDegradation d;
+    d.read_noise_sigma = 0.02;
+    d.vignette_strength = 0.3;
+    const Image raw = degradeRawFrame(ideal, d, rng);
+    // Corners darker than center.
+    EXPECT_LT(raw(1, 1), raw(32, 32) - 0.05f);
+    // Noise visible.
+    EXPECT_GT(raw.variance(), 1e-5);
+}
+
+TEST(Isp, DenoiseReducesNoiseVariance)
+{
+    Rng rng(2);
+    const Image ideal = flatFrame(0.5f);
+    SensorDegradation d;
+    d.vignette_strength = 0.0;
+    const Image raw = degradeRawFrame(ideal, d, rng);
+
+    IspConfig cfg;
+    cfg.sharpen = false;
+    cfg.vignette_correction = false;
+    cfg.auto_exposure = false;
+    const ImageSignalProcessor isp(cfg);
+    const Image out = isp.process(raw);
+    EXPECT_LT(out.variance(), raw.variance() * 0.3);
+}
+
+TEST(Isp, VignetteCorrectionFlattensField)
+{
+    Rng rng(3);
+    const Image ideal = flatFrame(0.5f);
+    SensorDegradation d;
+    d.read_noise_sigma = 0.0;
+    d.vignette_strength = 0.3;
+    const Image raw = degradeRawFrame(ideal, d, rng);
+
+    IspConfig cfg;
+    cfg.denoise = false;
+    cfg.sharpen = false;
+    cfg.auto_exposure = false;
+    cfg.vignette_strength = 0.3; // matched model
+    const ImageSignalProcessor isp(cfg);
+    const Image out = isp.process(raw);
+    EXPECT_NEAR(out(1, 1), out(32, 32), 0.02f);
+}
+
+TEST(Isp, AutoExposureLiftsDarkFrames)
+{
+    const Image dark = flatFrame(0.15f);
+    IspConfig cfg;
+    cfg.denoise = false;
+    cfg.sharpen = false;
+    cfg.vignette_correction = false;
+    const ImageSignalProcessor isp(cfg);
+    const Image out = isp.process(dark);
+    EXPECT_NEAR(out.mean(), 0.375, 0.02); // 0.15 * 2.5 gain clamp
+    // Already-bright frames are not darkened.
+    const Image bright = flatFrame(0.8f);
+    EXPECT_NEAR(isp.process(bright).mean(), 0.8, 0.02);
+}
+
+TEST(Isp, ImprovesCornerDetectionOnNoisyFrames)
+{
+    // End-to-end justification: the perception front-end finds more
+    // stable corners on ISP output than on the raw frame.
+    World w;
+    Rng scatter_rng(4);
+    w.scatterLandmarks(Polyline2({Vec2(-5, 0), Vec2(40, 0)}), 120, 8.0,
+                       4.0, scatter_rng);
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const Renderer renderer;
+    const RenderedFrame frame = renderer.render(
+        w, cam, cam.poseAt(Pose2{Vec2(0, 0), 0.0}), Timestamp::origin());
+
+    Rng noise_rng(5);
+    SensorDegradation d;
+    d.read_noise_sigma = 0.05; // harsh
+    d.exposure_gain = 0.45;    // underexposed
+    const Image raw = degradeRawFrame(frame.intensity, d, noise_rng);
+
+    const ImageSignalProcessor isp;
+    const Image processed = isp.process(raw);
+
+    CornerConfig cc;
+    cc.max_corners = 400;
+    const auto raw_corners = detectCorners(raw, cc);
+    const auto isp_corners = detectCorners(processed, cc);
+
+    // Count corners that coincide with a true landmark projection.
+    const auto count_true = [&](const std::vector<Corner> &corners) {
+        std::size_t hits = 0;
+        const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0});
+        for (const auto &lm : w.landmarks()) {
+            const auto proj = cam.project(pose, lm.position);
+            if (!proj)
+                continue;
+            for (const auto &c : corners) {
+                if (std::hypot(c.x - proj->first.u,
+                               c.y - proj->first.v) < 2.5) {
+                    ++hits;
+                    break;
+                }
+            }
+        }
+        return hits;
+    };
+    EXPECT_GT(count_true(isp_corners), count_true(raw_corners));
+}
+
+TEST(Isp, SharpenPreservesMean)
+{
+    Rng rng(6);
+    Image textured(64, 64);
+    for (auto &v : textured.data())
+        v = static_cast<float>(rng.uniform(0.3, 0.7));
+    IspConfig cfg;
+    cfg.denoise = false;
+    cfg.vignette_correction = false;
+    cfg.auto_exposure = false;
+    const ImageSignalProcessor isp(cfg);
+    const Image out = isp.process(textured);
+    EXPECT_NEAR(out.mean(), textured.mean(), 0.02);
+    // Sharpening increases local contrast.
+    EXPECT_GE(out.variance(), textured.variance() * 0.9);
+}
+
+} // namespace
+} // namespace sov

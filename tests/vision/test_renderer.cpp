@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "vision/renderer.h"
+
+namespace sov {
+namespace {
+
+World
+emptyWorld()
+{
+    return World{};
+}
+
+TEST(Renderer, SkyAboveHorizonGroundBelow)
+{
+    const World w = emptyWorld();
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+
+    // Top rows are sky (depth 0, bright).
+    EXPECT_EQ(frame.depth(160, 5), 0.0f);
+    EXPECT_NEAR(frame.intensity(160, 5), 0.9f, 1e-5);
+    // Bottom rows are ground (positive depth).
+    EXPECT_GT(frame.depth(160, 230), 0.0f);
+}
+
+TEST(Renderer, GroundDepthMatchesGeometry)
+{
+    const World w = emptyWorld();
+    const CameraIntrinsics intr;
+    const CameraModel cam(intr, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+
+    // Pixel below the principal point by dv: ground at depth
+    // z = fy * h / dv (flat-ground geometry).
+    const std::size_t v = 200;
+    const double dv = v - intr.cy;
+    const double expected = intr.fy * 1.5 / dv;
+    EXPECT_NEAR(frame.depth(160, v), expected, expected * 0.02);
+}
+
+TEST(Renderer, ObstacleOccludesGroundAndIsDarker)
+{
+    World w;
+    Obstacle obs;
+    obs.footprint = OrientedBox2{Pose2{Vec2(8.0, 0.0), 0.0}, 0.5, 1.5};
+    obs.height = 2.0;
+    w.addObstacle(obs);
+
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+
+    // Center pixel sees the front face at ~7.5 m.
+    EXPECT_NEAR(frame.depth(160, 120), 7.5, 0.1);
+    EXPECT_LT(frame.intensity(160, 120), 0.33f);
+}
+
+TEST(Renderer, LandmarkRendersBrightBlob)
+{
+    World w;
+    w.addLandmark(Vec3(10.0, 0.0, 1.5), 1.0);
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+    // Landmark projects to the principal point; locally bright
+    // against sky-colored background it replaces.
+    EXPECT_GT(frame.intensity(160, 120), 0.85f);
+    EXPECT_NEAR(frame.depth(160, 120), 10.0, 0.1);
+}
+
+TEST(Renderer, OccludedLandmarkHidden)
+{
+    World w;
+    Obstacle obs;
+    obs.footprint = OrientedBox2{Pose2{Vec2(5.0, 0.0), 0.0}, 0.5, 2.0};
+    obs.height = 2.5;
+    w.addObstacle(obs);
+    w.addLandmark(Vec3(15.0, 0.0, 1.5), 1.0); // behind the box
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame frame =
+        renderer.render(w, cam, pose, Timestamp::origin());
+    // Depth at center stays the obstacle's, not the landmark's.
+    EXPECT_NEAR(frame.depth(160, 120), 4.5, 0.1);
+    EXPECT_LT(frame.intensity(160, 120), 0.4f);
+}
+
+TEST(Renderer, GroundTextureDeterministicAndViewConsistent)
+{
+    // The same world position yields the same texture value regardless
+    // of the viewpoint — this is what makes stereo matching valid.
+    const double a = Renderer::groundTexture(3.7, -2.1, 1.2);
+    const double b = Renderer::groundTexture(3.7, -2.1, 1.2);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    // Nearby positions differ (texture is not constant).
+    const double c = Renderer::groundTexture(4.6, -2.1, 1.2);
+    EXPECT_NE(a, c);
+}
+
+TEST(Renderer, MovingObstacleAdvances)
+{
+    World w;
+    Obstacle obs;
+    obs.footprint = OrientedBox2{Pose2{Vec2(20.0, 0.0), 0.0}, 0.5, 1.0};
+    obs.velocity = Vec2(-2.0, 0.0);
+    obs.height = 2.0;
+    w.addObstacle(obs);
+    const CameraModel cam(CameraIntrinsics{}, Vec3(0, 0, 0));
+    const CameraPose pose = cam.poseAt(Pose2{Vec2(0, 0), 0.0}, 1.5);
+    const Renderer renderer;
+    const RenderedFrame f0 =
+        renderer.render(w, cam, pose, Timestamp::origin());
+    const RenderedFrame f5 =
+        renderer.render(w, cam, pose, Timestamp::seconds(5.0));
+    EXPECT_NEAR(f0.depth(160, 120), 19.5, 0.2);
+    EXPECT_NEAR(f5.depth(160, 120), 9.5, 0.2);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vision/renderer.h"
+#include "vision/stereo.h"
+
+namespace sov {
+namespace {
+
+/** Render a stereo pair of a world from a body pose. */
+std::pair<RenderedFrame, RenderedFrame>
+renderPair(const World &world, const StereoRig &rig, const Pose2 &body)
+{
+    const Renderer renderer;
+    const CameraPose lp = rig.left.poseAt(body, 1.5);
+    const CameraPose rp = rig.right.poseAt(body, 1.5);
+    return {renderer.render(world, rig.left, lp, Timestamp::origin()),
+            renderer.render(world, rig.right, rp, Timestamp::origin())};
+}
+
+TEST(Stereo, SyntheticShiftRecovered)
+{
+    // A purely horizontally shifted texture: constant disparity.
+    Rng rng(5);
+    Image left(128, 96);
+    for (std::size_t y = 0; y < 96; ++y)
+        for (std::size_t x = 0; x < 128; ++x)
+            left(x, y) = static_cast<float>(rng.uniform(0.0, 1.0));
+    left = left.gaussianBlur(1.0);
+    const double d_true = 7.0;
+    Image right(128, 96);
+    for (std::size_t y = 0; y < 96; ++y)
+        for (std::size_t x = 0; x < 128; ++x)
+            right(x, y) = left.sampleBilinear(x + d_true, y);
+
+    StereoConfig cfg;
+    cfg.max_disparity = 16;
+    const StereoMatcher matcher(cfg);
+    const DisparityMap map = matcher.match(left, right);
+    EXPECT_GT(map.density, 0.5);
+
+    // Check central region disparity.
+    double err_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t y = 20; y < 76; ++y) {
+        for (std::size_t x = 30; x < 98; ++x) {
+            const double d = map.disparity(x, y);
+            if (d <= 0.0)
+                continue;
+            err_sum += std::fabs(d - d_true);
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 1000u);
+    EXPECT_LT(err_sum / n, 0.5);
+}
+
+TEST(Stereo, SupportPointsCoverImage)
+{
+    Rng rng(6);
+    Image left(128, 96);
+    for (auto &v : left.data())
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    left = left.gaussianBlur(1.0);
+    Image right(128, 96);
+    for (std::size_t y = 0; y < 96; ++y)
+        for (std::size_t x = 0; x < 128; ++x)
+            right(x, y) = left.sampleBilinear(x + 4.0, y);
+    const StereoMatcher matcher;
+    const auto supports = matcher.supportPoints(left, right);
+    EXPECT_GT(supports.size(), 50u);
+    for (const auto &sp : supports)
+        EXPECT_NEAR(sp.disparity, 4.0, 1.0);
+}
+
+TEST(Stereo, RenderedGroundDepthRecovered)
+{
+    World world; // textured ground only
+    const StereoRig rig =
+        StereoRig::forwardFacing(CameraIntrinsics{}, 0.5, 1.0);
+    const auto [lf, rf] = renderPair(world, rig, Pose2{Vec2(0, 0), 0.0});
+
+    StereoConfig cfg;
+    cfg.max_disparity = 48;
+    const StereoMatcher matcher(cfg);
+    const DisparityMap map = matcher.match(lf.intensity, rf.intensity);
+
+    // Compare estimated depth against the renderer's ground truth over
+    // the lower half of the image (near ground, strong texture).
+    double err_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t y = 150; y < 230; y += 5) {
+        for (std::size_t x = 60; x < 260; x += 5) {
+            const double d = map.disparity(x, y);
+            const double gt = lf.depth(x, y);
+            if (d <= 0.0 || gt <= 0.0)
+                continue;
+            const double z = map.depthAt(x, y, rig);
+            err_sum += std::fabs(z - gt) / gt;
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 100u);
+    EXPECT_LT(err_sum / n, 0.08); // < 8% mean relative depth error
+}
+
+TEST(Stereo, ObstacleDepthRecovered)
+{
+    World world;
+    Obstacle obs;
+    // Pedestrian class renders high-frequency stripes: the textured
+    // face the block matcher needs.
+    obs.cls = ObjectClass::Pedestrian;
+    obs.footprint = OrientedBox2{Pose2{Vec2(10.0, 0.0), 0.0}, 0.5, 2.0};
+    obs.height = 2.0;
+    world.addObstacle(obs);
+    const StereoRig rig =
+        StereoRig::forwardFacing(CameraIntrinsics{}, 0.5, 1.0);
+    const auto [lf, rf] = renderPair(world, rig, Pose2{Vec2(0, 0), 0.0});
+
+    StereoConfig cfg;
+    cfg.max_disparity = 48;
+    const StereoMatcher matcher(cfg);
+    const DisparityMap map = matcher.match(lf.intensity, rf.intensity);
+
+    // Sample the obstacle face region around the image center.
+    double err_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t y = 110; y < 130; y += 2) {
+        for (std::size_t x = 140; x < 180; x += 2) {
+            const double d = map.disparity(x, y);
+            const double gt = lf.depth(x, y);
+            if (d <= 0.0 || gt <= 0.0 || gt > 12.0)
+                continue;
+            err_sum += std::fabs(map.depthAt(x, y, rig) - gt);
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 20u);
+    // Paper, Sec. III-D: the vehicle tolerates ~0.2 m depth error.
+    EXPECT_LT(err_sum / n, 0.2);
+}
+
+TEST(Stereo, TextureLessRegionsRejected)
+{
+    const Image flat_l(96, 64, 0.5f);
+    const Image flat_r(96, 64, 0.5f);
+    const StereoMatcher matcher;
+    const DisparityMap map = matcher.match(flat_l, flat_r);
+    // With zero texture, the LR check can't invalidate (everything
+    // matches everything at SAD 0) but subpixel stays finite; accept
+    // either low density or near-zero disparity.
+    for (std::size_t y = 0; y < 64; y += 8) {
+        for (std::size_t x = 0; x < 96; x += 8) {
+            const double d = map.disparity(x, y);
+            if (d > 0.0) {
+                EXPECT_LT(d, 2.0);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace sov

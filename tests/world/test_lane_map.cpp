@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "world/lane_map.h"
+
+namespace sov {
+namespace {
+
+LaneMap
+makeTwoLaneMap()
+{
+    LaneMap map;
+    Lane a;
+    a.id = 1;
+    a.centerline = Polyline2({Vec2(0, 0), Vec2(50, 0)});
+    a.successors = {2};
+    map.addLane(a);
+    Lane b;
+    b.id = 2;
+    b.centerline = Polyline2({Vec2(50, 0), Vec2(50, 30)});
+    map.addLane(b);
+    return map;
+}
+
+TEST(LaneMap, AddAndQuery)
+{
+    const LaneMap map = makeTwoLaneMap();
+    EXPECT_EQ(map.numLanes(), 2u);
+    EXPECT_TRUE(map.hasLane(1));
+    EXPECT_FALSE(map.hasLane(7));
+    EXPECT_DOUBLE_EQ(map.lane(1).length(), 50.0);
+    EXPECT_EQ(map.laneIds(), (std::vector<LaneId>{1, 2}));
+}
+
+TEST(LaneMap, MatchNearestLane)
+{
+    const LaneMap map = makeTwoLaneMap();
+    const auto m = map.match(Vec2(20.0, 1.0));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->lane, 1u);
+    EXPECT_NEAR(m->s, 20.0, 1e-9);
+    EXPECT_NEAR(m->offset, 1.0, 1e-9);
+
+    const auto m2 = map.match(Vec2(49.0, 20.0));
+    ASSERT_TRUE(m2.has_value());
+    EXPECT_EQ(m2->lane, 2u);
+    EXPECT_NEAR(m2->offset, 1.0, 1e-9); // left of +y travel is -x side
+}
+
+TEST(LaneMap, FindRouteFollowsSuccessors)
+{
+    const LaneMap map = makeTwoLaneMap();
+    const Route r = map.findRoute(1, 2);
+    ASSERT_EQ(r.lanes.size(), 2u);
+    EXPECT_EQ(r.lanes[0], 1u);
+    EXPECT_EQ(r.lanes[1], 2u);
+    EXPECT_DOUBLE_EQ(r.length, 80.0);
+}
+
+TEST(LaneMap, RouteToSelf)
+{
+    const LaneMap map = makeTwoLaneMap();
+    const Route r = map.findRoute(2, 2);
+    ASSERT_EQ(r.lanes.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.length, 30.0);
+}
+
+TEST(LaneMap, UnreachableRouteIsEmpty)
+{
+    const LaneMap map = makeTwoLaneMap(); // no back-edge 2 -> 1
+    EXPECT_TRUE(map.findRoute(2, 1).empty());
+}
+
+TEST(LaneMap, DijkstraPicksShorterPath)
+{
+    LaneMap map;
+    Lane a;
+    a.id = 1;
+    a.centerline = Polyline2({Vec2(0, 0), Vec2(10, 0)});
+    a.successors = {2, 3};
+    map.addLane(a);
+    Lane b; // long detour
+    b.id = 2;
+    b.centerline = Polyline2({Vec2(10, 0), Vec2(10, 100), Vec2(20, 100)});
+    b.successors = {4};
+    map.addLane(b);
+    Lane c; // short
+    c.id = 3;
+    c.centerline = Polyline2({Vec2(10, 0), Vec2(20, 0)});
+    c.successors = {4};
+    map.addLane(c);
+    Lane d;
+    d.id = 4;
+    d.centerline = Polyline2({Vec2(20, 0), Vec2(30, 0)});
+    map.addLane(d);
+
+    const Route r = map.findRoute(1, 4);
+    ASSERT_EQ(r.lanes.size(), 3u);
+    EXPECT_EQ(r.lanes[1], 3u);
+}
+
+TEST(LaneMap, RouteCenterlineConcatenates)
+{
+    const LaneMap map = makeTwoLaneMap();
+    const Route r = map.findRoute(1, 2);
+    const Polyline2 path = map.routeCenterline(r);
+    EXPECT_DOUBLE_EQ(path.length(), 80.0);
+    // Duplicate junction vertex removed.
+    EXPECT_EQ(path.size(), 3u);
+}
+
+TEST(LaneMap, LoopMapIsClosedAndRoutable)
+{
+    const LaneMap map = LaneMap::makeLoopMap(100.0, 60.0);
+    EXPECT_EQ(map.numLanes(), 4u);
+    for (LaneId i = 0; i < 4; ++i) {
+        const Route r = map.findRoute(i, (i + 3) % 4);
+        EXPECT_EQ(r.lanes.size(), 4u) << "from lane " << i;
+    }
+    // Perimeter length.
+    const Route full = map.findRoute(0, 3);
+    EXPECT_DOUBLE_EQ(full.length, 2 * 100.0 + 2 * 60.0);
+}
+
+TEST(LaneMap, FromDrivenPathChainsSegments)
+{
+    // Cloud-side map generation (Fig. 1): a recorded 100 m drive
+    // becomes 4 chained 25 m lanes.
+    Polyline2 drive;
+    for (int i = 0; i <= 50; ++i)
+        drive.append(Vec2(i * 2.0, 3.0 * std::sin(i * 0.12)));
+    const LaneMap map = LaneMap::fromDrivenPath(drive, 2.0, 25.0);
+    EXPECT_GE(map.numLanes(), 3u);
+    // End-to-end route exists and covers the drive's length.
+    const auto ids = map.laneIds();
+    const Route r = map.findRoute(ids.front(), ids.back());
+    ASSERT_FALSE(r.empty());
+    EXPECT_NEAR(r.length, drive.length(), drive.length() * 0.05);
+    // The regenerated center-line stays close to the recorded drive.
+    const Polyline2 rebuilt = map.routeCenterline(r);
+    for (double s = 0.0; s < drive.length(); s += 7.0) {
+        const auto [ss, off] = rebuilt.project(drive.sample(s));
+        (void)ss;
+        EXPECT_LT(std::fabs(off), 0.25);
+    }
+}
+
+TEST(LaneMap, FromDrivenPathMatchesPositions)
+{
+    Polyline2 drive;
+    for (int i = 0; i <= 20; ++i)
+        drive.append(Vec2(i * 5.0, 0.0));
+    const LaneMap map = LaneMap::fromDrivenPath(drive, 2.5, 20.0);
+    const auto match = map.match(Vec2(42.0, 0.6));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_NEAR(match->offset, 0.6, 1e-6);
+}
+
+TEST(LaneMap, SemanticsAndLimitsPreserved)
+{
+    LaneMap map;
+    Lane l;
+    l.id = 9;
+    l.centerline = Polyline2({Vec2(0, 0), Vec2(5, 0)});
+    l.semantic = LaneSemantic::Crosswalk;
+    l.speed_limit = 2.0;
+    map.addLane(l);
+    EXPECT_EQ(map.lane(9).semantic, LaneSemantic::Crosswalk);
+    EXPECT_DOUBLE_EQ(map.lane(9).speed_limit, 2.0);
+}
+
+} // namespace
+} // namespace sov

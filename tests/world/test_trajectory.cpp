@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "world/trajectory.h"
+
+namespace sov {
+namespace {
+
+TEST(Trajectory, StraightLineConstantVelocity)
+{
+    // Waypoints along +x at 5 m/s.
+    std::vector<Timestamp> ts;
+    std::vector<Vec2> ps;
+    for (int i = 0; i <= 10; ++i) {
+        ts.push_back(Timestamp::seconds(i));
+        ps.push_back(Vec2(5.0 * i, 0.0));
+    }
+    const Trajectory tr(ts, ps);
+    const auto s = tr.sample(Timestamp::seconds(4.5));
+    EXPECT_NEAR(s.position.x(), 22.5, 1e-9);
+    EXPECT_NEAR(s.position.y(), 0.0, 1e-9);
+    EXPECT_NEAR(s.velocity.x(), 5.0, 1e-9);
+    EXPECT_NEAR(s.speed(), 5.0, 1e-9);
+    EXPECT_NEAR(s.acceleration.norm(), 0.0, 1e-8);
+    EXPECT_NEAR(s.orientation.yaw(), 0.0, 1e-9);
+    EXPECT_NEAR(s.angular_velocity.z(), 0.0, 1e-8);
+}
+
+TEST(Trajectory, CircularArcHasCentripetalAcceleration)
+{
+    // Circle of radius 20 m traversed at 5 m/s.
+    const double radius = 20.0, speed = 5.0;
+    const double omega = speed / radius;
+    std::vector<Timestamp> ts;
+    std::vector<Vec2> ps;
+    for (int i = 0; i <= 200; ++i) {
+        const double t = i * 0.1;
+        ts.push_back(Timestamp::seconds(t));
+        ps.push_back(Vec2(radius * std::cos(omega * t),
+                          radius * std::sin(omega * t)));
+    }
+    const Trajectory tr(ts, ps);
+    const auto s = tr.sample(Timestamp::seconds(10.0));
+    EXPECT_NEAR(s.speed(), speed, 0.01);
+    // a = v^2 / r, pointing at the center.
+    EXPECT_NEAR(s.acceleration.norm(), speed * speed / radius, 0.01);
+    // Yaw rate = omega.
+    EXPECT_NEAR(s.angular_velocity.z(), omega, 0.005);
+}
+
+TEST(Trajectory, AlongPathRespectsSpeed)
+{
+    const Polyline2 path({Vec2(0, 0), Vec2(100, 0)});
+    const Trajectory tr = Trajectory::alongPath(path, 5.6);
+    EXPECT_NEAR(tr.duration().toSeconds(), 100.0 / 5.6, 0.5);
+    const auto s = tr.sample(Timestamp::seconds(5.0));
+    EXPECT_NEAR(s.position.x(), 28.0, 0.2);
+    EXPECT_NEAR(s.speed(), 5.6, 0.05);
+}
+
+TEST(Trajectory, SampleClampsOutsideDomain)
+{
+    const Polyline2 path({Vec2(0, 0), Vec2(10, 0)});
+    const Trajectory tr = Trajectory::alongPath(path, 1.0, 1.0);
+    const auto before = tr.sample(Timestamp::origin() - Duration::seconds(5));
+    EXPECT_NEAR(before.position.x(), 0.0, 1e-9);
+    const auto after = tr.sample(tr.endTime() + Duration::seconds(99));
+    EXPECT_NEAR(after.position.x(), 10.0, 1e-9);
+}
+
+TEST(Trajectory, Pose2MatchesPositionAndYaw)
+{
+    const Polyline2 path({Vec2(0, 0), Vec2(0, 50)});
+    const Trajectory tr = Trajectory::alongPath(path, 2.0);
+    const auto s = tr.sample(Timestamp::seconds(10.0));
+    const Pose2 p = s.pose2();
+    EXPECT_NEAR(p.position.y(), 20.0, 0.1);
+    EXPECT_NEAR(p.heading, M_PI / 2.0, 0.01);
+}
+
+TEST(Trajectory, InvalidByDefault)
+{
+    const Trajectory tr;
+    EXPECT_FALSE(tr.valid());
+}
+
+} // namespace
+} // namespace sov

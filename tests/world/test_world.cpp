@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "world/world.h"
+
+namespace sov {
+namespace {
+
+Obstacle
+boxAt(double x, double y, double hl = 1.0, double hw = 1.0)
+{
+    Obstacle o;
+    o.footprint = OrientedBox2{Pose2{Vec2(x, y), 0.0}, hl, hw};
+    return o;
+}
+
+TEST(World, AddObstacleAssignsIds)
+{
+    World w;
+    const auto a = w.addObstacle(boxAt(5, 0));
+    const auto b = w.addObstacle(boxAt(9, 0));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(w.numObstacles(), 2u);
+    w.clearObstacles();
+    EXPECT_EQ(w.numObstacles(), 0u);
+}
+
+TEST(World, RaycastHitsNearestObstacle)
+{
+    World w;
+    w.addObstacle(boxAt(10.0, 0.0)); // front face at x = 9
+    w.addObstacle(boxAt(5.0, 0.0));  // front face at x = 4
+    const auto hit = w.raycast(Vec2(0, 0), Vec2(1, 0), 50.0,
+                               Timestamp::origin());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(*hit, 4.0, 1e-9);
+}
+
+TEST(World, RaycastMissesOffAxisObstacles)
+{
+    World w;
+    w.addObstacle(boxAt(10.0, 5.0));
+    const auto hit = w.raycast(Vec2(0, 0), Vec2(1, 0), 50.0,
+                               Timestamp::origin());
+    EXPECT_FALSE(hit.has_value());
+}
+
+TEST(World, RaycastRespectsMaxRange)
+{
+    World w;
+    w.addObstacle(boxAt(30.0, 0.0));
+    EXPECT_FALSE(w.raycast(Vec2(0, 0), Vec2(1, 0), 10.0,
+                           Timestamp::origin()).has_value());
+    EXPECT_TRUE(w.raycast(Vec2(0, 0), Vec2(1, 0), 40.0,
+                          Timestamp::origin()).has_value());
+}
+
+TEST(World, RaycastInsideObstacleIsZero)
+{
+    World w;
+    w.addObstacle(boxAt(0.0, 0.0, 2.0, 2.0));
+    const auto hit = w.raycast(Vec2(0.5, 0.0), Vec2(1, 0), 10.0,
+                               Timestamp::origin());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 0.0);
+}
+
+TEST(World, MovingObstacleAdvancesWithTime)
+{
+    World w;
+    Obstacle o = boxAt(20.0, 0.0);
+    o.velocity = Vec2(-1.0, 0.0); // approaching at 1 m/s
+    w.addObstacle(o);
+    const auto at0 = w.raycast(Vec2(0, 0), Vec2(1, 0), 50.0,
+                               Timestamp::origin());
+    const auto at5 = w.raycast(Vec2(0, 0), Vec2(1, 0), 50.0,
+                               Timestamp::seconds(5.0));
+    ASSERT_TRUE(at0 && at5);
+    EXPECT_NEAR(*at0 - *at5, 5.0, 1e-9);
+}
+
+TEST(World, ObstaclesNearFiltersByRange)
+{
+    World w;
+    w.addObstacle(boxAt(3.0, 0.0));
+    w.addObstacle(boxAt(50.0, 0.0));
+    const auto near = w.obstaclesNear(Vec2(0, 0), 10.0, Timestamp::origin());
+    ASSERT_EQ(near.size(), 1u);
+    EXPECT_NEAR(near[0].footprint.pose.position.x(), 3.0, 1e-12);
+}
+
+TEST(World, ScatterLandmarksStaysInCorridor)
+{
+    World w;
+    Rng rng(42);
+    const Polyline2 path({Vec2(0, 0), Vec2(100, 0)});
+    w.scatterLandmarks(path, 200, 8.0, 4.0, rng);
+    EXPECT_EQ(w.landmarks().size(), 200u);
+    for (const auto &lm : w.landmarks()) {
+        EXPECT_GE(lm.position.x(), -1.0);
+        EXPECT_LE(lm.position.x(), 101.0);
+        EXPECT_LE(std::fabs(lm.position.y()), 8.0 + 1e-9);
+        // Off the road surface.
+        EXPECT_GE(std::fabs(lm.position.y()), 0.35 * 8.0 - 1e-9);
+        EXPECT_GE(lm.position.z(), 0.3);
+        EXPECT_LE(lm.position.z(), 4.0);
+        EXPECT_GT(lm.intensity, 0.0);
+        EXPECT_LE(lm.intensity, 1.0);
+    }
+}
+
+TEST(World, ObjectClassNames)
+{
+    EXPECT_STREQ(toString(ObjectClass::Pedestrian), "pedestrian");
+    EXPECT_STREQ(toString(ObjectClass::Car), "car");
+    EXPECT_STREQ(toString(ObjectClass::Bicycle), "bicycle");
+    EXPECT_STREQ(toString(ObjectClass::Static), "static");
+}
+
+} // namespace
+} // namespace sov
