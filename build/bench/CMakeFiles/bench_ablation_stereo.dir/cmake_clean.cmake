@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stereo.dir/bench_ablation_stereo.cpp.o"
+  "CMakeFiles/bench_ablation_stereo.dir/bench_ablation_stereo.cpp.o.d"
+  "bench_ablation_stereo"
+  "bench_ablation_stereo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_sync_depth.dir/bench_fig11a_sync_depth.cpp.o"
+  "CMakeFiles/bench_fig11a_sync_depth.dir/bench_fig11a_sync_depth.cpp.o.d"
+  "bench_fig11a_sync_depth"
+  "bench_fig11a_sync_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_sync_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_sync_vio.dir/bench_fig11b_sync_vio.cpp.o"
+  "CMakeFiles/bench_fig11b_sync_vio.dir/bench_fig11b_sync_vio.cpp.o.d"
+  "bench_fig11b_sync_vio"
+  "bench_fig11b_sync_vio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_sync_vio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_latency_requirement.dir/bench_fig3a_latency_requirement.cpp.o"
+  "CMakeFiles/bench_fig3a_latency_requirement.dir/bench_fig3a_latency_requirement.cpp.o.d"
+  "bench_fig3a_latency_requirement"
+  "bench_fig3a_latency_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_latency_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4a_reuse.cpp" "bench/CMakeFiles/bench_fig4a_reuse.dir/bench_fig4a_reuse.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4a_reuse.dir/bench_fig4a_reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pointcloud/CMakeFiles/sov_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/sov_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_memtraffic.dir/bench_fig4b_memtraffic.cpp.o"
+  "CMakeFiles/bench_fig4b_memtraffic.dir/bench_fig4b_memtraffic.cpp.o.d"
+  "bench_fig4b_memtraffic"
+  "bench_fig4b_memtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_memtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rpr.dir/bench_fig9_rpr.cpp.o"
+  "CMakeFiles/bench_fig9_rpr.dir/bench_fig9_rpr.cpp.o.d"
+  "bench_fig9_rpr"
+  "bench_fig9_rpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6b_gpsvio.dir/bench_sec6b_gpsvio.cpp.o"
+  "CMakeFiles/bench_sec6b_gpsvio.dir/bench_sec6b_gpsvio.cpp.o.d"
+  "bench_sec6b_gpsvio"
+  "bench_sec6b_gpsvio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6b_gpsvio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

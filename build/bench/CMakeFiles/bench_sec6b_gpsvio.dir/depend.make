@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec6b_gpsvio.
+# This may be replaced when dependencies are built.

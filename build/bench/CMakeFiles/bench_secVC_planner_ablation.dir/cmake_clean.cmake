@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secVC_planner_ablation.dir/bench_secVC_planner_ablation.cpp.o"
+  "CMakeFiles/bench_secVC_planner_ablation.dir/bench_secVC_planner_ablation.cpp.o.d"
+  "bench_secVC_planner_ablation"
+  "bench_secVC_planner_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secVC_planner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perception_demo.dir/perception_demo.cpp.o"
+  "CMakeFiles/perception_demo.dir/perception_demo.cpp.o.d"
+  "perception_demo"
+  "perception_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perception_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_sync_demo.dir/sensor_sync_demo.cpp.o"
+  "CMakeFiles/sensor_sync_demo.dir/sensor_sync_demo.cpp.o.d"
+  "sensor_sync_demo"
+  "sensor_sync_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_sync_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tourist_shuttle.dir/tourist_shuttle.cpp.o"
+  "CMakeFiles/tourist_shuttle.dir/tourist_shuttle.cpp.o.d"
+  "tourist_shuttle"
+  "tourist_shuttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tourist_shuttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

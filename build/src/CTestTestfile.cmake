@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("math")
+subdirs("sim")
+subdirs("world")
+subdirs("memsim")
+subdirs("pointcloud")
+subdirs("vision")
+subdirs("sensors")
+subdirs("sync")
+subdirs("localization")
+subdirs("tracking")
+subdirs("planning")
+subdirs("vehicle")
+subdirs("analysis")
+subdirs("platform")
+subdirs("sovpipe")

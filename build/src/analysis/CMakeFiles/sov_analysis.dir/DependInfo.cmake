@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cost_model.cpp" "src/analysis/CMakeFiles/sov_analysis.dir/cost_model.cpp.o" "gcc" "src/analysis/CMakeFiles/sov_analysis.dir/cost_model.cpp.o.d"
+  "/root/repo/src/analysis/energy_model.cpp" "src/analysis/CMakeFiles/sov_analysis.dir/energy_model.cpp.o" "gcc" "src/analysis/CMakeFiles/sov_analysis.dir/energy_model.cpp.o.d"
+  "/root/repo/src/analysis/latency_model.cpp" "src/analysis/CMakeFiles/sov_analysis.dir/latency_model.cpp.o" "gcc" "src/analysis/CMakeFiles/sov_analysis.dir/latency_model.cpp.o.d"
+  "/root/repo/src/analysis/power_budget.cpp" "src/analysis/CMakeFiles/sov_analysis.dir/power_budget.cpp.o" "gcc" "src/analysis/CMakeFiles/sov_analysis.dir/power_budget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

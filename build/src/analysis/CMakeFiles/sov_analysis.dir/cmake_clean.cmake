@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_analysis.dir/cost_model.cpp.o"
+  "CMakeFiles/sov_analysis.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sov_analysis.dir/energy_model.cpp.o"
+  "CMakeFiles/sov_analysis.dir/energy_model.cpp.o.d"
+  "CMakeFiles/sov_analysis.dir/latency_model.cpp.o"
+  "CMakeFiles/sov_analysis.dir/latency_model.cpp.o.d"
+  "CMakeFiles/sov_analysis.dir/power_budget.cpp.o"
+  "CMakeFiles/sov_analysis.dir/power_budget.cpp.o.d"
+  "libsov_analysis.a"
+  "libsov_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_core.dir/config.cpp.o"
+  "CMakeFiles/sov_core.dir/config.cpp.o.d"
+  "CMakeFiles/sov_core.dir/logging.cpp.o"
+  "CMakeFiles/sov_core.dir/logging.cpp.o.d"
+  "CMakeFiles/sov_core.dir/rng.cpp.o"
+  "CMakeFiles/sov_core.dir/rng.cpp.o.d"
+  "CMakeFiles/sov_core.dir/stats.cpp.o"
+  "CMakeFiles/sov_core.dir/stats.cpp.o.d"
+  "libsov_core.a"
+  "libsov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_localization.dir/gps_fusion.cpp.o"
+  "CMakeFiles/sov_localization.dir/gps_fusion.cpp.o.d"
+  "CMakeFiles/sov_localization.dir/vio.cpp.o"
+  "CMakeFiles/sov_localization.dir/vio.cpp.o.d"
+  "libsov_localization.a"
+  "libsov_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/eigen.cpp" "src/math/CMakeFiles/sov_math.dir/eigen.cpp.o" "gcc" "src/math/CMakeFiles/sov_math.dir/eigen.cpp.o.d"
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/sov_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/sov_math.dir/fft.cpp.o.d"
+  "/root/repo/src/math/geometry.cpp" "src/math/CMakeFiles/sov_math.dir/geometry.cpp.o" "gcc" "src/math/CMakeFiles/sov_math.dir/geometry.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/sov_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/sov_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/quat.cpp" "src/math/CMakeFiles/sov_math.dir/quat.cpp.o" "gcc" "src/math/CMakeFiles/sov_math.dir/quat.cpp.o.d"
+  "/root/repo/src/math/spline.cpp" "src/math/CMakeFiles/sov_math.dir/spline.cpp.o" "gcc" "src/math/CMakeFiles/sov_math.dir/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_math.dir/eigen.cpp.o"
+  "CMakeFiles/sov_math.dir/eigen.cpp.o.d"
+  "CMakeFiles/sov_math.dir/fft.cpp.o"
+  "CMakeFiles/sov_math.dir/fft.cpp.o.d"
+  "CMakeFiles/sov_math.dir/geometry.cpp.o"
+  "CMakeFiles/sov_math.dir/geometry.cpp.o.d"
+  "CMakeFiles/sov_math.dir/matrix.cpp.o"
+  "CMakeFiles/sov_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/sov_math.dir/quat.cpp.o"
+  "CMakeFiles/sov_math.dir/quat.cpp.o.d"
+  "CMakeFiles/sov_math.dir/spline.cpp.o"
+  "CMakeFiles/sov_math.dir/spline.cpp.o.d"
+  "libsov_math.a"
+  "libsov_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

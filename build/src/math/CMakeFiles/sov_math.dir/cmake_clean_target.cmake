@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsov_math.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_memsim.dir/cache_sim.cpp.o"
+  "CMakeFiles/sov_memsim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/sov_memsim.dir/mem_trace.cpp.o"
+  "CMakeFiles/sov_memsim.dir/mem_trace.cpp.o.d"
+  "libsov_memsim.a"
+  "libsov_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_planning.dir/collision.cpp.o"
+  "CMakeFiles/sov_planning.dir/collision.cpp.o.d"
+  "CMakeFiles/sov_planning.dir/em_planner.cpp.o"
+  "CMakeFiles/sov_planning.dir/em_planner.cpp.o.d"
+  "CMakeFiles/sov_planning.dir/mpc.cpp.o"
+  "CMakeFiles/sov_planning.dir/mpc.cpp.o.d"
+  "CMakeFiles/sov_planning.dir/prediction.cpp.o"
+  "CMakeFiles/sov_planning.dir/prediction.cpp.o.d"
+  "libsov_planning.a"
+  "libsov_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

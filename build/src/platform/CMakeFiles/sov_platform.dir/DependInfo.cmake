@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/mapping.cpp" "src/platform/CMakeFiles/sov_platform.dir/mapping.cpp.o" "gcc" "src/platform/CMakeFiles/sov_platform.dir/mapping.cpp.o.d"
+  "/root/repo/src/platform/platform_model.cpp" "src/platform/CMakeFiles/sov_platform.dir/platform_model.cpp.o" "gcc" "src/platform/CMakeFiles/sov_platform.dir/platform_model.cpp.o.d"
+  "/root/repo/src/platform/rpr.cpp" "src/platform/CMakeFiles/sov_platform.dir/rpr.cpp.o" "gcc" "src/platform/CMakeFiles/sov_platform.dir/rpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

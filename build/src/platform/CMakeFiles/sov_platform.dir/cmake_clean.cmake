@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_platform.dir/mapping.cpp.o"
+  "CMakeFiles/sov_platform.dir/mapping.cpp.o.d"
+  "CMakeFiles/sov_platform.dir/platform_model.cpp.o"
+  "CMakeFiles/sov_platform.dir/platform_model.cpp.o.d"
+  "CMakeFiles/sov_platform.dir/rpr.cpp.o"
+  "CMakeFiles/sov_platform.dir/rpr.cpp.o.d"
+  "libsov_platform.a"
+  "libsov_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

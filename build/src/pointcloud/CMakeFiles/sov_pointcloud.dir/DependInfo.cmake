@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/features.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/features.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/features.cpp.o.d"
+  "/root/repo/src/pointcloud/icp.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/icp.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/icp.cpp.o.d"
+  "/root/repo/src/pointcloud/kdtree.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/kdtree.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/kdtree.cpp.o.d"
+  "/root/repo/src/pointcloud/lidar_model.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/lidar_model.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/lidar_model.cpp.o.d"
+  "/root/repo/src/pointcloud/point_cloud.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/point_cloud.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/point_cloud.cpp.o.d"
+  "/root/repo/src/pointcloud/reconstruction.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/reconstruction.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/reconstruction.cpp.o.d"
+  "/root/repo/src/pointcloud/segmentation.cpp" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/segmentation.cpp.o" "gcc" "src/pointcloud/CMakeFiles/sov_pointcloud.dir/segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/sov_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

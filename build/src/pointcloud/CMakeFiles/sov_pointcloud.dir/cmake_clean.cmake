@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_pointcloud.dir/features.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/features.cpp.o.d"
+  "CMakeFiles/sov_pointcloud.dir/icp.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/icp.cpp.o.d"
+  "CMakeFiles/sov_pointcloud.dir/kdtree.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/kdtree.cpp.o.d"
+  "CMakeFiles/sov_pointcloud.dir/lidar_model.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/lidar_model.cpp.o.d"
+  "CMakeFiles/sov_pointcloud.dir/point_cloud.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/point_cloud.cpp.o.d"
+  "CMakeFiles/sov_pointcloud.dir/reconstruction.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/sov_pointcloud.dir/segmentation.cpp.o"
+  "CMakeFiles/sov_pointcloud.dir/segmentation.cpp.o.d"
+  "libsov_pointcloud.a"
+  "libsov_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/camera_sensor.cpp" "src/sensors/CMakeFiles/sov_sensors.dir/camera_sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/sov_sensors.dir/camera_sensor.cpp.o.d"
+  "/root/repo/src/sensors/gps.cpp" "src/sensors/CMakeFiles/sov_sensors.dir/gps.cpp.o" "gcc" "src/sensors/CMakeFiles/sov_sensors.dir/gps.cpp.o.d"
+  "/root/repo/src/sensors/imu.cpp" "src/sensors/CMakeFiles/sov_sensors.dir/imu.cpp.o" "gcc" "src/sensors/CMakeFiles/sov_sensors.dir/imu.cpp.o.d"
+  "/root/repo/src/sensors/pipeline_model.cpp" "src/sensors/CMakeFiles/sov_sensors.dir/pipeline_model.cpp.o" "gcc" "src/sensors/CMakeFiles/sov_sensors.dir/pipeline_model.cpp.o.d"
+  "/root/repo/src/sensors/radar.cpp" "src/sensors/CMakeFiles/sov_sensors.dir/radar.cpp.o" "gcc" "src/sensors/CMakeFiles/sov_sensors.dir/radar.cpp.o.d"
+  "/root/repo/src/sensors/sonar.cpp" "src/sensors/CMakeFiles/sov_sensors.dir/sonar.cpp.o" "gcc" "src/sensors/CMakeFiles/sov_sensors.dir/sonar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/sov_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_sensors.dir/camera_sensor.cpp.o"
+  "CMakeFiles/sov_sensors.dir/camera_sensor.cpp.o.d"
+  "CMakeFiles/sov_sensors.dir/gps.cpp.o"
+  "CMakeFiles/sov_sensors.dir/gps.cpp.o.d"
+  "CMakeFiles/sov_sensors.dir/imu.cpp.o"
+  "CMakeFiles/sov_sensors.dir/imu.cpp.o.d"
+  "CMakeFiles/sov_sensors.dir/pipeline_model.cpp.o"
+  "CMakeFiles/sov_sensors.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/sov_sensors.dir/radar.cpp.o"
+  "CMakeFiles/sov_sensors.dir/radar.cpp.o.d"
+  "CMakeFiles/sov_sensors.dir/sonar.cpp.o"
+  "CMakeFiles/sov_sensors.dir/sonar.cpp.o.d"
+  "libsov_sensors.a"
+  "libsov_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_sim.dir/latency_tracer.cpp.o"
+  "CMakeFiles/sov_sim.dir/latency_tracer.cpp.o.d"
+  "CMakeFiles/sov_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sov_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sov_sim.dir/task_graph.cpp.o"
+  "CMakeFiles/sov_sim.dir/task_graph.cpp.o.d"
+  "libsov_sim.a"
+  "libsov_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_sovpipe.dir/closed_loop.cpp.o"
+  "CMakeFiles/sov_sovpipe.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/sov_sovpipe.dir/pipeline_model.cpp.o"
+  "CMakeFiles/sov_sovpipe.dir/pipeline_model.cpp.o.d"
+  "libsov_sovpipe.a"
+  "libsov_sovpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_sovpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_sync.dir/synchronizer.cpp.o"
+  "CMakeFiles/sov_sync.dir/synchronizer.cpp.o.d"
+  "libsov_sync.a"
+  "libsov_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

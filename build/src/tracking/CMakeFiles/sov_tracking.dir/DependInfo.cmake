@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracking/hybrid_tracker.cpp" "src/tracking/CMakeFiles/sov_tracking.dir/hybrid_tracker.cpp.o" "gcc" "src/tracking/CMakeFiles/sov_tracking.dir/hybrid_tracker.cpp.o.d"
+  "/root/repo/src/tracking/radar_tracker.cpp" "src/tracking/CMakeFiles/sov_tracking.dir/radar_tracker.cpp.o" "gcc" "src/tracking/CMakeFiles/sov_tracking.dir/radar_tracker.cpp.o.d"
+  "/root/repo/src/tracking/spatial_sync.cpp" "src/tracking/CMakeFiles/sov_tracking.dir/spatial_sync.cpp.o" "gcc" "src/tracking/CMakeFiles/sov_tracking.dir/spatial_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensors/CMakeFiles/sov_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/sov_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_tracking.dir/hybrid_tracker.cpp.o"
+  "CMakeFiles/sov_tracking.dir/hybrid_tracker.cpp.o.d"
+  "CMakeFiles/sov_tracking.dir/radar_tracker.cpp.o"
+  "CMakeFiles/sov_tracking.dir/radar_tracker.cpp.o.d"
+  "CMakeFiles/sov_tracking.dir/spatial_sync.cpp.o"
+  "CMakeFiles/sov_tracking.dir/spatial_sync.cpp.o.d"
+  "libsov_tracking.a"
+  "libsov_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

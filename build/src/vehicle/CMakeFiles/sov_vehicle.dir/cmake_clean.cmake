@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_vehicle.dir/can_bus.cpp.o"
+  "CMakeFiles/sov_vehicle.dir/can_bus.cpp.o.d"
+  "CMakeFiles/sov_vehicle.dir/dynamics.cpp.o"
+  "CMakeFiles/sov_vehicle.dir/dynamics.cpp.o.d"
+  "CMakeFiles/sov_vehicle.dir/ecu.cpp.o"
+  "CMakeFiles/sov_vehicle.dir/ecu.cpp.o.d"
+  "CMakeFiles/sov_vehicle.dir/reactive.cpp.o"
+  "CMakeFiles/sov_vehicle.dir/reactive.cpp.o.d"
+  "libsov_vehicle.a"
+  "libsov_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

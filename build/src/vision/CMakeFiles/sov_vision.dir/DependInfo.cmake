@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/camera_model.cpp" "src/vision/CMakeFiles/sov_vision.dir/camera_model.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/camera_model.cpp.o.d"
+  "/root/repo/src/vision/cnn.cpp" "src/vision/CMakeFiles/sov_vision.dir/cnn.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/cnn.cpp.o.d"
+  "/root/repo/src/vision/compression.cpp" "src/vision/CMakeFiles/sov_vision.dir/compression.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/compression.cpp.o.d"
+  "/root/repo/src/vision/detector.cpp" "src/vision/CMakeFiles/sov_vision.dir/detector.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/detector.cpp.o.d"
+  "/root/repo/src/vision/features.cpp" "src/vision/CMakeFiles/sov_vision.dir/features.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/features.cpp.o.d"
+  "/root/repo/src/vision/image.cpp" "src/vision/CMakeFiles/sov_vision.dir/image.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/image.cpp.o.d"
+  "/root/repo/src/vision/isp.cpp" "src/vision/CMakeFiles/sov_vision.dir/isp.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/isp.cpp.o.d"
+  "/root/repo/src/vision/kcf.cpp" "src/vision/CMakeFiles/sov_vision.dir/kcf.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/kcf.cpp.o.d"
+  "/root/repo/src/vision/renderer.cpp" "src/vision/CMakeFiles/sov_vision.dir/renderer.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/renderer.cpp.o.d"
+  "/root/repo/src/vision/stereo.cpp" "src/vision/CMakeFiles/sov_vision.dir/stereo.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/stereo.cpp.o.d"
+  "/root/repo/src/vision/visual_odometry.cpp" "src/vision/CMakeFiles/sov_vision.dir/visual_odometry.cpp.o" "gcc" "src/vision/CMakeFiles/sov_vision.dir/visual_odometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_vision.dir/camera_model.cpp.o"
+  "CMakeFiles/sov_vision.dir/camera_model.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/cnn.cpp.o"
+  "CMakeFiles/sov_vision.dir/cnn.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/compression.cpp.o"
+  "CMakeFiles/sov_vision.dir/compression.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/detector.cpp.o"
+  "CMakeFiles/sov_vision.dir/detector.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/features.cpp.o"
+  "CMakeFiles/sov_vision.dir/features.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/image.cpp.o"
+  "CMakeFiles/sov_vision.dir/image.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/isp.cpp.o"
+  "CMakeFiles/sov_vision.dir/isp.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/kcf.cpp.o"
+  "CMakeFiles/sov_vision.dir/kcf.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/renderer.cpp.o"
+  "CMakeFiles/sov_vision.dir/renderer.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/stereo.cpp.o"
+  "CMakeFiles/sov_vision.dir/stereo.cpp.o.d"
+  "CMakeFiles/sov_vision.dir/visual_odometry.cpp.o"
+  "CMakeFiles/sov_vision.dir/visual_odometry.cpp.o.d"
+  "libsov_vision.a"
+  "libsov_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

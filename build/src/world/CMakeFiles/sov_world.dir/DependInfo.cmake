@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/lane_map.cpp" "src/world/CMakeFiles/sov_world.dir/lane_map.cpp.o" "gcc" "src/world/CMakeFiles/sov_world.dir/lane_map.cpp.o.d"
+  "/root/repo/src/world/trajectory.cpp" "src/world/CMakeFiles/sov_world.dir/trajectory.cpp.o" "gcc" "src/world/CMakeFiles/sov_world.dir/trajectory.cpp.o.d"
+  "/root/repo/src/world/world.cpp" "src/world/CMakeFiles/sov_world.dir/world.cpp.o" "gcc" "src/world/CMakeFiles/sov_world.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

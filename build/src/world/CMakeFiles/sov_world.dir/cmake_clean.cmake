@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sov_world.dir/lane_map.cpp.o"
+  "CMakeFiles/sov_world.dir/lane_map.cpp.o.d"
+  "CMakeFiles/sov_world.dir/trajectory.cpp.o"
+  "CMakeFiles/sov_world.dir/trajectory.cpp.o.d"
+  "CMakeFiles/sov_world.dir/world.cpp.o"
+  "CMakeFiles/sov_world.dir/world.cpp.o.d"
+  "libsov_world.a"
+  "libsov_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sov_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sov_world.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_rng.cpp" "tests/CMakeFiles/test_core.dir/core/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_stats.cpp" "tests/CMakeFiles/test_core.dir/core/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "/root/repo/tests/core/test_time.cpp" "tests/CMakeFiles/test_core.dir/core/test_time.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_time.cpp.o.d"
+  "/root/repo/tests/core/test_units.cpp" "tests/CMakeFiles/test_core.dir/core/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/test_fft.cpp" "tests/CMakeFiles/test_math.dir/math/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_fft.cpp.o.d"
+  "/root/repo/tests/math/test_geometry.cpp" "tests/CMakeFiles/test_math.dir/math/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_geometry.cpp.o.d"
+  "/root/repo/tests/math/test_matrix.cpp" "tests/CMakeFiles/test_math.dir/math/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_matrix.cpp.o.d"
+  "/root/repo/tests/math/test_quat.cpp" "tests/CMakeFiles/test_math.dir/math/test_quat.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_quat.cpp.o.d"
+  "/root/repo/tests/math/test_spline.cpp" "tests/CMakeFiles/test_math.dir/math/test_spline.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_spline.cpp.o.d"
+  "/root/repo/tests/math/test_vec.cpp" "tests/CMakeFiles/test_math.dir/math/test_vec.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

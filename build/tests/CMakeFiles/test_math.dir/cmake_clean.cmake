@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/math/test_fft.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_fft.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_geometry.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_geometry.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_matrix.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_matrix.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_quat.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_quat.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_spline.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_spline.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_vec.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_vec.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim.dir/memsim/test_cache_sim.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_cache_sim.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_mem_trace.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_mem_trace.cpp.o.d"
+  "test_memsim"
+  "test_memsim.pdb"
+  "test_memsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

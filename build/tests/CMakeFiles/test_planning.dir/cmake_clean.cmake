@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planning.dir/planning/test_collision_prediction.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/test_collision_prediction.cpp.o.d"
+  "CMakeFiles/test_planning.dir/planning/test_em_planner.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/test_em_planner.cpp.o.d"
+  "CMakeFiles/test_planning.dir/planning/test_mpc.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/test_mpc.cpp.o.d"
+  "test_planning"
+  "test_planning.pdb"
+  "test_planning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

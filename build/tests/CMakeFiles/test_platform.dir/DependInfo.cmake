@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/test_platform_model.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_platform_model.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_platform_model.cpp.o.d"
+  "/root/repo/tests/platform/test_rpr.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_rpr.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_rpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/sov_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pointcloud/test_features.cpp" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_features.cpp.o.d"
+  "/root/repo/tests/pointcloud/test_icp.cpp" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_icp.cpp.o" "gcc" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_icp.cpp.o.d"
+  "/root/repo/tests/pointcloud/test_kdtree.cpp" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_kdtree.cpp.o" "gcc" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_kdtree.cpp.o.d"
+  "/root/repo/tests/pointcloud/test_lidar_model.cpp" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_lidar_model.cpp.o" "gcc" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_lidar_model.cpp.o.d"
+  "/root/repo/tests/pointcloud/test_reconstruction.cpp" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_reconstruction.cpp.o" "gcc" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_reconstruction.cpp.o.d"
+  "/root/repo/tests/pointcloud/test_segmentation.cpp" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_segmentation.cpp.o" "gcc" "tests/CMakeFiles/test_pointcloud.dir/pointcloud/test_segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pointcloud/CMakeFiles/sov_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/sov_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

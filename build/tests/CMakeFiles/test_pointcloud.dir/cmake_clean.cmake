@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_features.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_features.cpp.o.d"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_icp.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_icp.cpp.o.d"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_kdtree.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_kdtree.cpp.o.d"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_lidar_model.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_lidar_model.cpp.o.d"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_reconstruction.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_reconstruction.cpp.o.d"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_segmentation.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/pointcloud/test_segmentation.cpp.o.d"
+  "test_pointcloud"
+  "test_pointcloud.pdb"
+  "test_pointcloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

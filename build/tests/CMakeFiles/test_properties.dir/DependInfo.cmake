@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/test_math_properties.cpp" "tests/CMakeFiles/test_properties.dir/properties/test_math_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/test_math_properties.cpp.o.d"
+  "/root/repo/tests/properties/test_system_properties.cpp" "tests/CMakeFiles/test_properties.dir/properties/test_system_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/test_system_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/sov_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/sov_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sov_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/sov_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/sov_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sov_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/sov_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/sov_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/sov_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

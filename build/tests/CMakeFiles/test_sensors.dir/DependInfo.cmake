@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sensors/test_camera_sensor.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_camera_sensor.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_camera_sensor.cpp.o.d"
+  "/root/repo/tests/sensors/test_gps.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_gps.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_gps.cpp.o.d"
+  "/root/repo/tests/sensors/test_imu.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_imu.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_imu.cpp.o.d"
+  "/root/repo/tests/sensors/test_pipeline_model.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_pipeline_model.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_pipeline_model.cpp.o.d"
+  "/root/repo/tests/sensors/test_radar_sonar.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_radar_sonar.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_radar_sonar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensors/CMakeFiles/sov_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/sov_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

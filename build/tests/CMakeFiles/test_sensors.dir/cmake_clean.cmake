@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors.dir/sensors/test_camera_sensor.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_camera_sensor.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/test_gps.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_gps.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/test_imu.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_imu.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/test_pipeline_model.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_pipeline_model.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/test_radar_sonar.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_radar_sonar.cpp.o.d"
+  "test_sensors"
+  "test_sensors.pdb"
+  "test_sensors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sovpipe.dir/sovpipe/test_closed_loop.cpp.o"
+  "CMakeFiles/test_sovpipe.dir/sovpipe/test_closed_loop.cpp.o.d"
+  "CMakeFiles/test_sovpipe.dir/sovpipe/test_pipeline_model.cpp.o"
+  "CMakeFiles/test_sovpipe.dir/sovpipe/test_pipeline_model.cpp.o.d"
+  "test_sovpipe"
+  "test_sovpipe.pdb"
+  "test_sovpipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sovpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracking.dir/tracking/test_hybrid_tracker.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_hybrid_tracker.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_tracking.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_tracking.cpp.o.d"
+  "test_tracking"
+  "test_tracking.pdb"
+  "test_tracking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vision/test_camera_model.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_camera_model.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_camera_model.cpp.o.d"
+  "/root/repo/tests/vision/test_cnn.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_cnn.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_cnn.cpp.o.d"
+  "/root/repo/tests/vision/test_compression.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_compression.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_compression.cpp.o.d"
+  "/root/repo/tests/vision/test_detector.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_detector.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_detector.cpp.o.d"
+  "/root/repo/tests/vision/test_features.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_features.cpp.o.d"
+  "/root/repo/tests/vision/test_image.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_image.cpp.o.d"
+  "/root/repo/tests/vision/test_isp.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_isp.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_isp.cpp.o.d"
+  "/root/repo/tests/vision/test_kcf.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_kcf.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_kcf.cpp.o.d"
+  "/root/repo/tests/vision/test_renderer.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_renderer.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_renderer.cpp.o.d"
+  "/root/repo/tests/vision/test_stereo.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_stereo.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_stereo.cpp.o.d"
+  "/root/repo/tests/vision/test_visual_odometry.cpp" "tests/CMakeFiles/test_vision.dir/vision/test_visual_odometry.cpp.o" "gcc" "tests/CMakeFiles/test_vision.dir/vision/test_visual_odometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/sov_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/localization/CMakeFiles/sov_localization.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sov_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sov_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/sov_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sov_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

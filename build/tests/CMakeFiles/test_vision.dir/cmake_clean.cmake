@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vision.dir/vision/test_camera_model.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_camera_model.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_cnn.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_cnn.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_compression.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_compression.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_detector.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_detector.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_features.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_features.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_image.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_image.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_isp.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_isp.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_kcf.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_kcf.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_renderer.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_renderer.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_stereo.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_stereo.cpp.o.d"
+  "CMakeFiles/test_vision.dir/vision/test_visual_odometry.cpp.o"
+  "CMakeFiles/test_vision.dir/vision/test_visual_odometry.cpp.o.d"
+  "test_vision"
+  "test_vision.pdb"
+  "test_vision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
