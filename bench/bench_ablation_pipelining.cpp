@@ -7,13 +7,56 @@
  * single-frame latency is the sum — and splitting a stage helps
  * throughput but never latency.
  */
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "runtime/dataflow.h"
 #include "sim/task_graph.h"
 
 using namespace sov;
 
 namespace {
+
+/** Same chain lowered straight to a runtime StageGraph. */
+runtime::StageGraph
+stageChain(const std::vector<double> &stage_ms)
+{
+    runtime::StageGraph g;
+    runtime::StageId prev = 0;
+    for (std::size_t i = 0; i < stage_ms.size(); ++i) {
+        const std::string name = "stage" + std::to_string(i);
+        const std::string hw = "hw" + std::to_string(i);
+        std::vector<runtime::StageId> deps;
+        if (i > 0)
+            deps.push_back(prev);
+        prev = g.addFixed(name, hw, Duration::millisF(stage_ms[i]),
+                          deps);
+    }
+    return g;
+}
+
+void
+reportDeadline(const char *label, const std::vector<double> &stage_ms,
+               double input_hz, double deadline_ms)
+{
+    runtime::StageGraph g = stageChain(stage_ms);
+    runtime::RunOptions opts;
+    opts.frames = 128;
+    opts.period = Duration::seconds(1.0 / input_hz);
+    opts.deadline = Duration::millisF(deadline_ms);
+    const runtime::RunResult run = runtime::DataflowExecutor::run(g, opts);
+    // The bottleneck stage's queue is where the backlog accumulates.
+    Duration worst_queue = Duration::zero();
+    for (const auto &frame : run.frames)
+        for (const auto &span : frame.spans)
+            worst_queue = std::max(worst_queue, span.queueing());
+    std::printf("%-34s misses=%3llu/128  worst-queue=%7.1f ms  "
+                "throughput=%5.1f Hz\n",
+                label,
+                static_cast<unsigned long long>(run.deadline_misses),
+                worst_queue.toMillis(), run.steadyStateThroughputHz());
+}
 
 /** Serial chain of @p stage_ms stage durations on distinct hardware. */
 TaskGraph
@@ -74,6 +117,18 @@ main()
     // One monolithic stage: same latency, worst throughput ceiling.
     report("monolithic 167 ms stage @10Hz", {167.0}, 10.0);
     report("monolithic 167 ms stage @6Hz", {167.0}, 6.0);
+
+    // The same sweep through the runtime executor with a 300 ms frame
+    // deadline: a stable pipeline never misses, an oversubscribed one
+    // builds queueing until every frame is late.
+    std::printf("\n=== Deadline misses under oversubscription "
+                "(300 ms budget) ===\n\n");
+    reportDeadline("sensing|perception|planning @10Hz",
+                   {78.0, 86.0, 3.0}, 10.0, 300.0);
+    reportDeadline("same stages @15Hz (oversubscribed)",
+                   {78.0, 86.0, 3.0}, 15.0, 300.0);
+    reportDeadline("perception split in two @15Hz",
+                   {78.0, 43.0, 43.0, 3.0}, 15.0, 300.0);
 
     std::printf("\nShape: pipelined throughput = 1/slowest-stage "
                 "(splitting helps);\nsingle-frame latency = sum of "

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Executor substitution on the runtime dataflow layer: the same Fig. 5
+ * stage graph executed twice — once with analytic executors drawing
+ * from the calibrated platform latency model, once with kernel
+ * executors running the repo's real algorithms (stereo depth, CNN
+ * detection, corner-tracking visual front-end) under wall-clock
+ * measurement. The topology, resource lanes and scheduler are shared;
+ * only the per-stage executor changes.
+ *
+ * Run: ./runtime_substitution [scale=4] [frames=2]
+ * `scale` maps host wall-clock into model time (the SoV's embedded
+ * SoC is several times slower than a build machine).
+ */
+#include <cstdio>
+#include <string>
+
+#include "core/config.h"
+#include "runtime/dataflow.h"
+#include "sovpipe/fig5_graph.h"
+#include "vision/detector.h"
+#include "vision/features.h"
+#include "vision/renderer.h"
+#include "vision/stereo.h"
+
+using namespace sov;
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const double scale = cfg.getDouble("scale", 4.0);
+    const auto frames = static_cast<std::size_t>(cfg.getInt("frames", 2));
+
+    // ----------------------------------------------- shared test scene
+    World world;
+    Obstacle ped;
+    ped.cls = ObjectClass::Pedestrian;
+    ped.footprint = OrientedBox2{Pose2{Vec2(11.0, 2.0), 0.0}, 0.3, 0.3};
+    ped.height = 1.8;
+    world.addObstacle(ped);
+    Rng rng(99);
+    world.scatterLandmarks(Polyline2({Vec2(0, 0), Vec2(40, 0)}), 120,
+                           10.0, 4.0, rng);
+    const Pose2 ego{Vec2(0.0, 0.0), 0.0};
+    const StereoRig rig =
+        StereoRig::forwardFacing(CameraIntrinsics{}, 0.5, 1.0);
+    const Renderer renderer;
+    Rng train_rng(7);
+    const ObjectDetector detector = trainSiteDetector(
+        world, CameraModel(CameraIntrinsics{}, Vec3(1.0, 0.0, 0.0)), 8,
+        3, train_rng);
+
+    // ------------------------- graph A: analytic (calibrated profiles)
+    const PlatformModel platform;
+    runtime::StageGraph analytic;
+    buildFig5Graph(analytic, platform, SovPipelineConfig{}, nullptr,
+                   Fig5Latency::Mean);
+
+    // ---------------------------- graph B: kernels (real algorithms)
+    // Same shape and lanes; per-frame state lives in the captures.
+    runtime::StageGraph kernels;
+    RenderedFrame left, right, next;
+    const auto sense = kernels.addKernel(
+        "sensing", "sensor-fpga",
+        [&](std::size_t f) {
+            // The simulated sensor: render the stereo pair plus the
+            // next key-frame the visual front-end tracks into.
+            const Timestamp t = Timestamp::millisF(100.0 * double(f));
+            left = renderer.render(world, rig.left,
+                                   rig.left.poseAt(ego, 1.5), t);
+            right = renderer.render(world, rig.right,
+                                    rig.right.poseAt(ego, 1.5), t);
+            next = renderer.render(
+                world, rig.left,
+                rig.left.poseAt(Pose2{Vec2(0.28, 0.0), 0.005}, 1.5),
+                t + Duration::millisF(50.0));
+        },
+        {}, scale);
+    StereoConfig stereo_cfg;
+    stereo_cfg.max_disparity = 48;
+    const StereoMatcher matcher(stereo_cfg);
+    const auto depth = kernels.addKernel(
+        "depth", "scene",
+        [&](std::size_t) { matcher.match(left.intensity, right.intensity); },
+        {sense}, scale);
+    const auto det = kernels.addKernel(
+        "detection", "scene",
+        [&](std::size_t) { detector.detect(left.intensity); }, {sense},
+        scale);
+    // Radar tracking and planning stay modelled: they are not vision
+    // kernels, and mixing executor kinds in one graph is the point.
+    const auto track = kernels.addFixed("tracking", "cpu",
+                                        Duration::millisF(1.0), {det});
+    const auto loc = kernels.addKernel(
+        "localization", "loc",
+        [&](std::size_t) {
+            auto corners = detectCorners(left.intensity);
+            trackFeatures(left.intensity, next.intensity, corners);
+        },
+        {sense}, scale);
+    kernels.addFixed("planning", "cpu", Duration::millisF(3.0),
+                     {depth, track, loc});
+
+    // --------------------- run both through the same dataflow engine
+    runtime::RunOptions opts;
+    opts.frames = frames; // single-shot: no cross-frame contention
+    const runtime::RunResult model_run =
+        runtime::DataflowExecutor::run(analytic, opts);
+    const runtime::RunResult kernel_run =
+        runtime::DataflowExecutor::run(kernels, opts);
+
+    std::printf("=== Executor substitution: analytic model vs real "
+                "kernels (x%.0f host scale) ===\n\n", scale);
+    std::printf("%-14s %-10s %14s %16s\n", "stage", "executor",
+                "model (ms)", "measured (ms)");
+    const std::size_t last = frames - 1; // warm frame
+    for (std::size_t s = 0; s < kernels.size(); ++s) {
+        std::printf("%-14s %-10s %14.1f %16.1f\n",
+                    kernels.stage(s).name.c_str(),
+                    kernels.executor(s).kind(),
+                    model_run.span(last, s).duration().toMillis(),
+                    kernel_run.span(last, s).duration().toMillis());
+    }
+    std::printf("\nframe latency: model %.1f ms, kernels %.1f ms\n",
+                model_run.frames[last].latency().toMillis(),
+                kernel_run.frames[last].latency().toMillis());
+    std::printf("Same graph, same lanes, same scheduler; swapping the "
+                "executor swaps the\nlatency source — profile-driven "
+                "simulation vs measured real algorithms.\n");
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "platform/platform_model.h"
 
+#include <cmath>
+
 #include "core/logging.h"
 #include "platform/calibration.h"
 
@@ -40,6 +42,16 @@ LatencyProfile::sample(Rng &rng) const
         : median.toMillis();
     if (tail_probability > 0.0 && rng.bernoulli(tail_probability))
         ms += rng.exponential(1.0 / tail_scale_ms);
+    return Duration::millisF(ms);
+}
+
+Duration
+LatencyProfile::mean() const
+{
+    // E[lognormal(median, sigma)] = median * exp(sigma^2 / 2);
+    // the exponential stall adds p * scale.
+    double ms = median.toMillis() * std::exp(0.5 * sigma_log * sigma_log);
+    ms += tail_probability * tail_scale_ms;
     return Duration::millisF(ms);
 }
 

@@ -46,6 +46,10 @@ struct LatencyProfile
 
     /** Draw one latency sample (body jitter + occasional stall). */
     Duration sample(Rng &rng) const;
+
+    /** Analytic expectation of sample(): log-normal body mean plus
+     *  the stall tail's contribution. */
+    Duration mean() const;
 };
 
 /** The calibrated model. */

@@ -1,0 +1,195 @@
+#include "runtime/dataflow.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov::runtime {
+
+double
+RunResult::steadyStateThroughputHz() const
+{
+    if (frames.size() < 4)
+        return 0.0;
+    const std::size_t half = frames.size() / 2;
+    const double seconds =
+        (frames.back().finish - frames[half].finish).toSeconds();
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(frames.size() - 1 - half) / seconds;
+}
+
+void
+RunResult::emit(const StageGraph &graph, LatencyTracer &tracer) const
+{
+    for (const auto &frame : frames) {
+        for (const auto &span : frame.spans) {
+            const std::string &name = graph.stage(span.stage).name;
+            tracer.record(name, span.duration());
+            tracer.record("queue:" + name, span.queueing());
+        }
+        tracer.recordTotal(frame.latency());
+    }
+}
+
+DataflowExecutor::DataflowExecutor(Simulator &sim, StageGraph &graph)
+    : sim_(sim), graph_(graph)
+{
+    SOV_ASSERT(graph_.size() > 0);
+}
+
+std::size_t
+DataflowExecutor::releaseFrame(FrameCallback on_complete)
+{
+    const std::size_t f = next_frame_++;
+    const Timestamp now = sim_.now();
+    const std::size_t n = graph_.size();
+
+    FrameState state;
+    state.trace.frame = f;
+    state.trace.release = now;
+    state.trace.spans.resize(n);
+    state.deps_left.resize(n);
+    state.ready.resize(n);
+    state.stages_left = n;
+    state.on_complete = std::move(on_complete);
+
+    for (StageId s = 0; s < n; ++s) {
+        StageSpan &span = state.trace.spans[s];
+        span.stage = s;
+        span.frame = f;
+        span.released = now;
+        state.deps_left[s] = graph_.stage(s).deps.size();
+        state.ready[s] = state.deps_left[s] == 0;
+        if (state.ready[s])
+            span.ready = now;
+        resources_[graph_.stage(s).resource].queue.emplace_back(f, s);
+    }
+    in_flight_.emplace(f, std::move(state));
+
+    for (auto &[name, resource] : resources_)
+        tryDispatch(resource);
+    return f;
+}
+
+void
+DataflowExecutor::tryDispatch(ResourceState &resource)
+{
+    if (resource.busy || resource.queue.empty())
+        return;
+    // In-order issue: only the head may start; a ready instance behind
+    // an unready one waits (static per-resource schedule).
+    const auto [f, s] = resource.queue.front();
+    FrameState &state = in_flight_.at(f);
+    if (!state.ready[s])
+        return;
+
+    resource.busy = true;
+    StageSpan &span = state.trace.spans[s];
+    span.start = sim_.now();
+    const Duration duration = graph_.executor(s).execute(f);
+    SOV_ASSERT(duration >= Duration::zero());
+    span.finish = span.start + duration;
+    sim_.schedule(duration, [this, &resource, f = f, s = s] {
+        onStageFinish(resource, f, s);
+    });
+}
+
+void
+DataflowExecutor::onStageFinish(ResourceState &resource, std::size_t frame,
+                                StageId stage)
+{
+    resource.busy = false;
+    resource.queue.pop_front();
+
+    FrameState &state = in_flight_.at(frame);
+    for (StageId dep : graph_.dependents(stage)) {
+        SOV_ASSERT(state.deps_left[dep] > 0);
+        if (--state.deps_left[dep] == 0) {
+            state.ready[dep] = true;
+            state.trace.spans[dep].ready = sim_.now();
+            tryDispatch(resources_.at(graph_.stage(dep).resource));
+        }
+    }
+
+    SOV_ASSERT(state.stages_left > 0);
+    if (--state.stages_left == 0)
+        completeFrame(frame);
+    tryDispatch(resource);
+}
+
+void
+DataflowExecutor::completeFrame(std::size_t frame)
+{
+    const auto it = in_flight_.find(frame);
+    FrameTrace trace = std::move(it->second.trace);
+    FrameCallback on_complete = std::move(it->second.on_complete);
+    in_flight_.erase(it);
+
+    trace.finish = sim_.now();
+    if (deadline_ && trace.latency() > *deadline_) {
+        trace.deadline_missed = true;
+        ++deadline_misses_;
+    }
+    ++completed_count_;
+    if (tracer_) {
+        for (const auto &span : trace.spans) {
+            const std::string &name = graph_.stage(span.stage).name;
+            tracer_->record(name, span.duration());
+            tracer_->record("queue:" + name, span.queueing());
+        }
+        tracer_->recordTotal(trace.latency());
+    }
+    if (keep_traces_)
+        traces_.push_back(std::move(trace));
+    if (on_complete)
+        on_complete(keep_traces_ ? traces_.back() : trace);
+}
+
+RunResult
+DataflowExecutor::run(StageGraph &graph, const RunOptions &opts)
+{
+    Simulator sim;
+    DataflowExecutor exec(sim, graph);
+    exec.setDeadline(opts.deadline);
+
+    if (opts.period > Duration::zero()) {
+        // Pipelined: frame f releases at f * period regardless of the
+        // progress of earlier frames.
+        for (std::size_t f = 0; f < opts.frames; ++f) {
+            sim.scheduleAt(Timestamp::origin() +
+                               opts.period * static_cast<double>(f),
+                           [&exec] { exec.releaseFrame(); });
+        }
+        sim.run();
+    } else {
+        // Single-shot: chain releases so frames never contend.
+        struct SerialDriver
+        {
+            DataflowExecutor &exec;
+            std::size_t total;
+            std::size_t released = 0;
+
+            void
+            releaseNext()
+            {
+                if (released >= total)
+                    return;
+                ++released;
+                exec.releaseFrame(
+                    [this](const FrameTrace &) { releaseNext(); });
+            }
+        };
+        SerialDriver driver{exec, opts.frames};
+        driver.releaseNext();
+        sim.run();
+    }
+
+    SOV_ASSERT(exec.framesCompleted() == opts.frames);
+    RunResult result;
+    result.frames = std::move(exec.traces_);
+    result.deadline_misses = exec.deadlineMisses();
+    return result;
+}
+
+} // namespace sov::runtime

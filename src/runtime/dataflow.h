@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Discrete-event execution of a StageGraph with resource arbitration.
+ *
+ * The DataflowExecutor runs frames of a StageGraph on the shared
+ * discrete-event Simulator. Each resource lane executes one stage
+ * instance at a time; instances issue IN ORDER per resource (frame
+ * ascending, stage-insertion order within a frame), which models the
+ * static algorithm-to-hardware mapping of the paper (no dynamic work
+ * stealing between frames) and keeps schedules deterministic. Frames
+ * pipeline: instance f+1 of a stage may start while downstream stages
+ * of frame f are still in flight.
+ *
+ * Per stage instance the executor records a StageSpan (release / ready
+ * / start / finish, hence queueing delay = start - ready), and per
+ * frame a deadline verdict, giving the three characterizations of the
+ * same graph: single-shot latency, pipelined throughput, and
+ * closed-loop timing — the paper's Fig. 5 pipeline measured as in
+ * Fig. 10, Sec. III-A, and Sec. IV/V-C respectively.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "runtime/stage_graph.h"
+#include "sim/latency_tracer.h"
+#include "sim/simulator.h"
+
+namespace sov::runtime {
+
+/** Timing of one executed stage instance. */
+struct StageSpan
+{
+    StageId stage = 0;
+    std::size_t frame = 0;
+    Timestamp released; //!< frame release (sensor trigger) time
+    Timestamp ready;    //!< all dependencies satisfied
+    Timestamp start;    //!< resource granted, execution begins
+    Timestamp finish;
+
+    /** Time spent waiting for the resource after becoming ready. */
+    Duration queueing() const { return start - ready; }
+    Duration duration() const { return finish - start; }
+};
+
+/** Timing of one completed frame. */
+struct FrameTrace
+{
+    std::size_t frame = 0;
+    Timestamp release;
+    Timestamp finish;
+    bool deadline_missed = false;
+    /** spans[s] = span of stage s; indexed by StageId. */
+    std::vector<StageSpan> spans;
+
+    Duration latency() const { return finish - release; }
+};
+
+/** Options for a batch run of a StageGraph. */
+struct RunOptions
+{
+    std::size_t frames = 1;
+    /**
+     * Frame release cadence. Zero means single-shot mode: each frame
+     * is released when the previous one finishes, so frames never
+     * contend and per-frame latency equals the resource-constrained
+     * critical path (the Fig. 10 characterization). A positive period
+     * releases frame f at f * period and lets frames pipeline.
+     */
+    Duration period = Duration::zero();
+    /** Per-frame deadline measured from release; unset = no deadline. */
+    std::optional<Duration> deadline;
+};
+
+/** Result of a batch run. */
+struct RunResult
+{
+    std::vector<FrameTrace> frames; //!< in completion (== frame) order
+    std::uint64_t deadline_misses = 0;
+
+    const StageSpan &span(std::size_t frame, StageId stage) const
+    {
+        return frames.at(frame).spans.at(stage);
+    }
+
+    /**
+     * Steady-state throughput in frames per second, from the spacing
+     * of the last half of the frame completions.
+     */
+    double steadyStateThroughputHz() const;
+
+    /** Record per-stage durations, per-stage "queue:<name>" delays and
+     *  end-to-end totals into @p tracer. */
+    void emit(const StageGraph &graph, LatencyTracer &tracer) const;
+};
+
+/**
+ * Event-driven executor binding one StageGraph to one Simulator.
+ *
+ * Two modes of use:
+ *  - releaseFrame() from your own event loop (the closed-loop sim
+ *    releases one frame per planning cycle and transmits the actuation
+ *    command from the completion callback);
+ *  - the static run() convenience, which owns a private Simulator and
+ *    releases a fixed number of frames (batch characterization and the
+ *    TaskGraph scheduling front-end).
+ */
+class DataflowExecutor
+{
+  public:
+    using FrameCallback = std::function<void(const FrameTrace &)>;
+
+    DataflowExecutor(Simulator &sim, StageGraph &graph);
+
+    DataflowExecutor(const DataflowExecutor &) = delete;
+    DataflowExecutor &operator=(const DataflowExecutor &) = delete;
+
+    /** Per-frame deadline measured from release; unset = none. */
+    void setDeadline(std::optional<Duration> deadline)
+    {
+        deadline_ = deadline;
+    }
+
+    /** Keep completed FrameTraces in memory (default on). Long
+     *  closed-loop runs turn this off and attach a tracer instead. */
+    void setKeepTraces(bool keep) { keep_traces_ = keep; }
+
+    /** Stream span/queue/total samples of every completed frame into
+     *  @p tracer (nullptr detaches). */
+    void attachTracer(LatencyTracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Release one frame at the current simulation time. Stage events
+     * are scheduled on the bound Simulator; @p on_complete fires when
+     * the frame's last stage finishes. Completion callbacks fire in
+     * frame order (per-resource in-order issue guarantees it).
+     * @return The frame index.
+     */
+    std::size_t releaseFrame(FrameCallback on_complete = {});
+
+    std::uint64_t framesReleased() const { return next_frame_; }
+    std::uint64_t framesCompleted() const { return completed_count_; }
+    /** Frames released but not yet completed. Callers implementing
+     *  load shedding check this before releaseFrame(). */
+    std::uint64_t framesInFlight() const
+    {
+        return next_frame_ - completed_count_;
+    }
+    std::uint64_t deadlineMisses() const { return deadline_misses_; }
+
+    /** Completed traces (empty when keep-traces is off). */
+    const std::vector<FrameTrace> &traces() const { return traces_; }
+
+    /** Run @p opts.frames frames of @p graph on a private Simulator. */
+    static RunResult run(StageGraph &graph, const RunOptions &opts);
+
+  private:
+    struct FrameState
+    {
+        FrameTrace trace;
+        std::vector<std::size_t> deps_left; //!< per stage
+        std::vector<char> ready;            //!< per stage
+        std::size_t stages_left = 0;
+        FrameCallback on_complete;
+    };
+
+    struct ResourceState
+    {
+        /** Pending (frame, stage) instances in issue order. */
+        std::deque<std::pair<std::size_t, StageId>> queue;
+        bool busy = false;
+    };
+
+    void tryDispatch(ResourceState &resource);
+    void onStageFinish(ResourceState &resource, std::size_t frame,
+                       StageId stage);
+    void completeFrame(std::size_t frame);
+
+    Simulator &sim_;
+    StageGraph &graph_;
+    std::map<std::string, ResourceState> resources_;
+    std::map<std::size_t, FrameState> in_flight_;
+    std::vector<FrameTrace> traces_;
+    LatencyTracer *tracer_ = nullptr;
+    std::optional<Duration> deadline_;
+    bool keep_traces_ = true;
+    std::uint64_t next_frame_ = 0;
+    std::uint64_t completed_count_ = 0;
+    std::uint64_t deadline_misses_ = 0;
+};
+
+} // namespace sov::runtime

@@ -1,0 +1,19 @@
+#include "runtime/stage_executor.h"
+
+#include <chrono>
+
+namespace sov::runtime {
+
+Duration
+KernelExecutor::execute(std::size_t frame)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    kernel_(frame);
+    const auto t1 = std::chrono::steady_clock::now();
+    last_measured_ = Duration::nanos(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    return last_measured_ * time_scale_;
+}
+
+} // namespace sov::runtime

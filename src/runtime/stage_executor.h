@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pluggable stage executors for the sov::runtime dataflow layer.
+ *
+ * A stage of the pipeline graph declares *what* it computes and *where*
+ * it runs; the executor decides *how long* one invocation takes. Three
+ * strategies cover the repo's needs:
+ *
+ *  - AnalyticExecutor: draws the duration from a model (typically a
+ *    PlatformModel calibrated distribution) — the characterization and
+ *    closed-loop experiments.
+ *  - FixedExecutor: constant duration — deterministic schedules and
+ *    throughput runs at stage means.
+ *  - KernelExecutor: runs a real algorithm implementation (stereo,
+ *    detector, VIO, ...) and measures its wall-clock time, mapping the
+ *    measurement into model time.
+ *
+ * Swapping executors retargets the same graph between analytic and
+ * measured execution without re-encoding the DAG.
+ */
+#pragma once
+
+#include <functional>
+
+#include "core/time.h"
+
+namespace sov::runtime {
+
+/** Decides the duration of one invocation of a pipeline stage. */
+class StageExecutor
+{
+  public:
+    virtual ~StageExecutor() = default;
+
+    /** Duration of instance @p frame of the stage. Stateful executors
+     *  (samplers, measured kernels) mutate on each call. */
+    virtual Duration execute(std::size_t frame) = 0;
+
+    /** Strategy name for traces and docs: "analytic" / "fixed" /
+     *  "kernel". */
+    virtual const char *kind() const = 0;
+};
+
+/** Constant-duration executor. */
+class FixedExecutor final : public StageExecutor
+{
+  public:
+    explicit FixedExecutor(Duration duration) : duration_(duration) {}
+
+    Duration execute(std::size_t) override { return duration_; }
+    const char *kind() const override { return "fixed"; }
+
+  private:
+    Duration duration_;
+};
+
+/**
+ * Model-driven executor: delegates to a sampler callback, typically a
+ * calibrated latency distribution (log-normal body + stall tail).
+ */
+class AnalyticExecutor final : public StageExecutor
+{
+  public:
+    using Sampler = std::function<Duration(std::size_t frame)>;
+
+    explicit AnalyticExecutor(Sampler sampler)
+        : sampler_(std::move(sampler)) {}
+
+    Duration execute(std::size_t frame) override { return sampler_(frame); }
+    const char *kind() const override { return "analytic"; }
+
+  private:
+    Sampler sampler_;
+};
+
+/**
+ * Measured executor: runs a real algorithm and reports its wall-clock
+ * time as the stage duration. @p time_scale maps host time to model
+ * time (e.g. to account for the host being faster or slower than the
+ * modelled on-vehicle platform).
+ */
+class KernelExecutor final : public StageExecutor
+{
+  public:
+    using Kernel = std::function<void(std::size_t frame)>;
+
+    explicit KernelExecutor(Kernel kernel, double time_scale = 1.0)
+        : kernel_(std::move(kernel)), time_scale_(time_scale) {}
+
+    Duration execute(std::size_t frame) override;
+    const char *kind() const override { return "kernel"; }
+
+    /** Wall-clock time of the most recent execute(), unscaled. */
+    Duration lastMeasured() const { return last_measured_; }
+
+  private:
+    Kernel kernel_;
+    double time_scale_;
+    Duration last_measured_;
+};
+
+} // namespace sov::runtime

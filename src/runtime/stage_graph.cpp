@@ -1,0 +1,104 @@
+#include "runtime/stage_graph.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov::runtime {
+
+StageId
+StageGraph::addStage(std::string name, std::string resource,
+                     std::unique_ptr<StageExecutor> executor,
+                     std::vector<StageId> deps)
+{
+    const StageId id = stages_.size();
+    SOV_ASSERT(executor != nullptr);
+    for (StageId d : deps) {
+        SOV_ASSERT(d < id); // insertion order is topological
+        dependents_[d].push_back(id);
+    }
+    SOV_ASSERT(by_name_.count(name) == 0);
+    by_name_[name] = id;
+    stages_.push_back(Stage{std::move(name), std::move(resource),
+                            std::move(deps), std::move(executor)});
+    dependents_.emplace_back();
+    return id;
+}
+
+StageId
+StageGraph::addFixed(std::string name, std::string resource,
+                     Duration duration, std::vector<StageId> deps)
+{
+    return addStage(std::move(name), std::move(resource),
+                    std::make_unique<FixedExecutor>(duration),
+                    std::move(deps));
+}
+
+StageId
+StageGraph::addAnalytic(std::string name, std::string resource,
+                        AnalyticExecutor::Sampler sampler,
+                        std::vector<StageId> deps)
+{
+    return addStage(std::move(name), std::move(resource),
+                    std::make_unique<AnalyticExecutor>(std::move(sampler)),
+                    std::move(deps));
+}
+
+StageId
+StageGraph::addKernel(std::string name, std::string resource,
+                      KernelExecutor::Kernel kernel,
+                      std::vector<StageId> deps, double time_scale)
+{
+    return addStage(
+        std::move(name), std::move(resource),
+        std::make_unique<KernelExecutor>(std::move(kernel), time_scale),
+        std::move(deps));
+}
+
+StageId
+StageGraph::findStage(const std::string &name) const
+{
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        SOV_PANIC("unknown stage: " + name);
+    return it->second;
+}
+
+std::vector<std::string>
+StageGraph::stageNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(stages_.size());
+    for (const auto &s : stages_)
+        names.push_back(s.name);
+    return names;
+}
+
+std::vector<std::string>
+StageGraph::resources() const
+{
+    std::vector<std::string> out;
+    for (const auto &s : stages_) {
+        if (std::find(out.begin(), out.end(), s.resource) == out.end())
+            out.push_back(s.resource);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Duration
+StageGraph::criticalPathLatency(std::size_t frame)
+{
+    std::vector<Duration> finish(stages_.size(), Duration::zero());
+    Duration longest = Duration::zero();
+    for (StageId s = 0; s < stages_.size(); ++s) {
+        Duration start = Duration::zero();
+        for (StageId d : stages_[s].deps)
+            start = std::max(start, finish[d]);
+        finish[s] = start + stages_[s].executor->execute(frame);
+        longest = std::max(longest, finish[s]);
+    }
+    return longest;
+}
+
+} // namespace sov::runtime

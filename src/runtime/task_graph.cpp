@@ -1,0 +1,127 @@
+#include "runtime/task_graph.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "runtime/dataflow.h"
+#include "runtime/stage_graph.h"
+
+namespace sov {
+
+namespace {
+
+/** Lower the task DAG onto the runtime dataflow graph. */
+runtime::StageGraph
+lower(const std::vector<TaskNode> &nodes)
+{
+    runtime::StageGraph graph;
+    for (const TaskNode &n : nodes)
+        graph.addAnalytic(n.name, n.resource, n.duration, n.deps);
+    return graph;
+}
+
+} // namespace
+
+Timestamp
+ScheduleResult::frameFinish(std::size_t f) const
+{
+    SOV_ASSERT(f < spans.size());
+    Timestamp last = Timestamp::origin();
+    for (const auto &s : spans[f])
+        last = std::max(last, s.finish);
+    return last;
+}
+
+double
+ScheduleResult::steadyStateThroughputHz() const
+{
+    if (spans.size() < 4)
+        return 0.0;
+    const std::size_t half = spans.size() / 2;
+    const Timestamp first = frameFinish(half);
+    const Timestamp last = frameFinish(spans.size() - 1);
+    const double seconds = (last - first).toSeconds();
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(spans.size() - 1 - half) / seconds;
+}
+
+TaskId
+TaskGraph::addTask(std::string name, ResourceId resource,
+                   std::function<Duration(std::size_t)> duration,
+                   std::vector<TaskId> deps)
+{
+    const TaskId id = nodes_.size();
+    for (TaskId d : deps)
+        SOV_ASSERT(d < id); // insertion order is topological
+    SOV_ASSERT(by_name_.count(name) == 0);
+    by_name_[name] = id;
+    nodes_.push_back(TaskNode{std::move(name), std::move(resource),
+                              std::move(duration), std::move(deps)});
+    return id;
+}
+
+TaskId
+TaskGraph::addFixedTask(std::string name, ResourceId resource,
+                        Duration duration, std::vector<TaskId> deps)
+{
+    return addTask(std::move(name), std::move(resource),
+                   [duration](std::size_t) { return duration; },
+                   std::move(deps));
+}
+
+TaskId
+TaskGraph::findTask(const std::string &name) const
+{
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        SOV_PANIC("unknown task: " + name);
+    return it->second;
+}
+
+ScheduleResult
+TaskGraph::schedule(std::size_t frames, Duration period) const
+{
+    SOV_ASSERT(!nodes_.empty());
+    runtime::StageGraph graph = lower(nodes_);
+    runtime::RunOptions opts;
+    opts.frames = frames;
+    opts.period = period;
+    const runtime::RunResult run =
+        runtime::DataflowExecutor::run(graph, opts);
+
+    ScheduleResult result;
+    result.spans.resize(frames);
+    result.frame_latency.resize(frames);
+    result.frame_release.resize(frames);
+    for (std::size_t f = 0; f < frames; ++f) {
+        const runtime::FrameTrace &trace = run.frames[f];
+        result.frame_release[f] = trace.release;
+        result.frame_latency[f] = trace.latency();
+        result.spans[f].reserve(nodes_.size());
+        for (const runtime::StageSpan &span : trace.spans) {
+            result.spans[f].push_back(
+                TaskSpan{span.stage, f, span.start, span.finish});
+        }
+    }
+    return result;
+}
+
+Duration
+TaskGraph::criticalPathLatency(std::size_t frame) const
+{
+    runtime::StageGraph graph = lower(nodes_);
+    return graph.criticalPathLatency(frame);
+}
+
+std::vector<std::string>
+TaskGraph::taskNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(nodes_.size());
+    for (const auto &n : nodes_)
+        names.push_back(n.name);
+    return names;
+}
+
+} // namespace sov

@@ -24,14 +24,22 @@ void
 Simulator::schedulePeriodic(Duration period, Duration phase, Callback fn)
 {
     SOV_ASSERT(period > Duration::zero());
-    // The repeating wrapper reschedules itself after each firing.
-    auto repeat = std::make_shared<std::function<void()>>();
-    auto user = std::make_shared<Callback>(std::move(fn));
-    *repeat = [this, period, user, repeat]() {
-        (*user)();
-        schedule(period, *repeat);
+    // The repeating wrapper copies itself into the next event, so the
+    // pending event is the only owner of the chain (a self-capturing
+    // shared_ptr lambda would leak the cycle).
+    struct Repeater
+    {
+        Simulator *sim;
+        Duration period;
+        std::shared_ptr<Callback> user;
+        void operator()() const
+        {
+            (*user)();
+            sim->schedule(period, *this);
+        }
     };
-    schedule(phase, *repeat);
+    schedule(phase, Repeater{this, period,
+                             std::make_shared<Callback>(std::move(fn))});
 }
 
 void

@@ -1,123 +1,11 @@
 /**
  * @file
- * Task graph with task-level-parallelism-aware scheduling (Sec. IV).
- *
- * The paper's software pipeline (Fig. 5) is a DAG: sensing feeds
- * perception (localization parallel to scene understanding; detection
- * serialized with tracking) which feeds planning. Tasks are bound to
- * hardware resources (FPGA, GPU, CPU cores); a resource executes one
- * task at a time. The scheduler computes per-frame start/finish times
- * honoring both dependency and resource constraints, with frames
- * pipelined: instance f of a task also waits for instance f-1 on the
- * same resource.
+ * Forwarding header: TaskGraph moved to the sov::runtime dataflow
+ * layer (src/runtime/task_graph.h), where it is a thin analytic
+ * front-end over StageGraph + DataflowExecutor. Kept so existing
+ * `#include "sim/task_graph.h"` call sites keep compiling; targets
+ * using it must link sov_runtime.
  */
 #pragma once
 
-#include <cstddef>
-#include <functional>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "core/time.h"
-
-namespace sov {
-
-/** Identifies a hardware execution resource (e.g. "gpu", "fpga"). */
-using ResourceId = std::string;
-
-/** Index of a task within its TaskGraph. */
-using TaskId = std::size_t;
-
-/** One node of the processing DAG. */
-struct TaskNode
-{
-    std::string name;
-    ResourceId resource;
-    /** Duration of instance @p frame of this task. */
-    std::function<Duration(std::size_t frame)> duration;
-    std::vector<TaskId> deps;
-};
-
-/** Timing of one executed task instance. */
-struct TaskSpan
-{
-    TaskId task;
-    std::size_t frame;
-    Timestamp start;
-    Timestamp finish;
-};
-
-/** Result of scheduling F frames through the graph. */
-struct ScheduleResult
-{
-    /** spans[f][t] = span of task t in frame f. */
-    std::vector<std::vector<TaskSpan>> spans;
-    /** Per-frame latency: last finish minus frame release time. */
-    std::vector<Duration> frame_latency;
-    /** Release (sensor trigger) time of each frame. */
-    std::vector<Timestamp> frame_release;
-
-    /** Completion time of the last task of frame @p f. */
-    Timestamp frameFinish(std::size_t f) const;
-
-    /**
-     * Steady-state throughput in frames per second, measured from the
-     * spacing of the last half of the frame completions.
-     */
-    double steadyStateThroughputHz() const;
-};
-
-/**
- * A dependency/resource-constrained pipeline model.
- *
- * Typical use:
- * @code
- *   TaskGraph g;
- *   auto sense = g.addTask("sensing", "fpga", fixed(50ms));
- *   auto loc   = g.addTask("localization", "fpga", fixed(24ms), {sense});
- *   ...
- *   auto r = g.schedule(100, Duration::millis(100));
- * @endcode
- */
-class TaskGraph
-{
-  public:
-    /** Add a task; @p deps must reference previously added tasks. */
-    TaskId addTask(std::string name, ResourceId resource,
-                   std::function<Duration(std::size_t)> duration,
-                   std::vector<TaskId> deps = {});
-
-    /** Convenience: constant-duration task. */
-    TaskId addFixedTask(std::string name, ResourceId resource,
-                        Duration duration, std::vector<TaskId> deps = {});
-
-    std::size_t numTasks() const { return nodes_.size(); }
-    const TaskNode &node(TaskId id) const { return nodes_.at(id); }
-
-    /** Task id by name; panics if absent. */
-    TaskId findTask(const std::string &name) const;
-
-    /**
-     * Schedule @p frames frame instances released every @p period.
-     * Frames pipeline: different frames may be in flight concurrently,
-     * subject to resource serialization.
-     */
-    ScheduleResult schedule(std::size_t frames, Duration period) const;
-
-    /**
-     * Critical-path latency of one frame ignoring cross-frame resource
-     * contention — the single-shot latency of the pipeline.
-     * @param frame Frame index passed to the duration callbacks.
-     */
-    Duration criticalPathLatency(std::size_t frame = 0) const;
-
-    /** Names of all tasks in insertion (topological) order. */
-    std::vector<std::string> taskNames() const;
-
-  private:
-    std::vector<TaskNode> nodes_;
-    std::map<std::string, TaskId> by_name_;
-};
-
-} // namespace sov
+#include "runtime/task_graph.h"

@@ -13,10 +13,16 @@ ClosedLoopSim::ClosedLoopSim(World &world, Polyline2 route,
     : world_(world), route_(std::move(route)), config_(config),
       rng_(std::move(rng)),
       pipeline_(platform_model_, pipeline_config, rng_.fork("pipeline")),
+      pipeline_exec_(sim_, pipeline_.graph()),
       vehicle_(), ecu_(sim_, vehicle_), can_(sim_),
       radar_(RadarConfig{}, rng_.fork("radar")),
       reactive_(sim_, ecu_, radar_)
 {
+    // Long runs release thousands of frames; stream spans into the
+    // tracer instead of keeping every trace.
+    pipeline_exec_.setKeepTraces(false);
+    pipeline_exec_.attachTracer(&pipeline_tracer_);
+    pipeline_exec_.setDeadline(config_.pipeline_deadline);
     can_.connect([this](const ControlCommand &cmd) { ecu_.onCommand(cmd); });
     reset();
 }
@@ -47,6 +53,15 @@ ClosedLoopSim::planningCycle()
     if (!config_.enable_proactive)
         return;
 
+    // Load shedding: when a latency tail backs the pipeline up, drop
+    // this cycle's frame rather than queue work that would only yield
+    // a stale command hundreds of milliseconds late.
+    if (!config_.fixed_compute_latency &&
+        pipeline_exec_.framesInFlight() >= config_.max_frames_in_flight) {
+        ++result_.frames_dropped;
+        return;
+    }
+
     // Perception oracle with modelled latency: the planner sees the
     // world as it was at cycle start, and its command reaches the CAN
     // bus after the computing latency drawn from the pipeline model.
@@ -75,13 +90,24 @@ ClosedLoopSim::planningCycle()
 
     const MpcOutput plan = planner_.plan(input);
 
-    const Duration compute = config_.fixed_compute_latency
-        ? *config_.fixed_compute_latency
-        : pipeline_.sampleFrame().total();
-    sim_.schedule(compute, [this, cmd = plan.command]() mutable {
-        cmd.issued_at = sim_.now();
-        can_.transmit(cmd);
-    });
+    if (config_.fixed_compute_latency) {
+        // Latency-sweep experiments bypass the pipeline graph.
+        sim_.schedule(*config_.fixed_compute_latency,
+                      [this, cmd = plan.command]() mutable {
+                          cmd.issued_at = sim_.now();
+                          can_.transmit(cmd);
+                      });
+        return;
+    }
+    // Release one Fig. 5 frame into the dataflow runtime; the command
+    // reaches the CAN bus when the frame's planning stage completes.
+    // Per-resource in-order issue keeps command delivery in cycle
+    // order even when a frame hits a latency tail.
+    pipeline_exec_.releaseFrame(
+        [this, cmd = plan.command](const runtime::FrameTrace &) mutable {
+            cmd.issued_at = sim_.now();
+            can_.transmit(cmd);
+        });
 }
 
 void
@@ -140,6 +166,7 @@ ClosedLoopSim::run(Duration horizon)
 
     result_.distance_travelled = vehicle_.odometer();
     result_.reactive_triggers = reactive_.triggerCount();
+    result_.deadline_misses = pipeline_exec_.deadlineMisses();
     result_.reactive_fraction = cycles_
         ? static_cast<double>(reactive_cycles_) /
             static_cast<double>(cycles_)

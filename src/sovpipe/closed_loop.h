@@ -4,6 +4,13 @@
  * with modelled compute latency -> MPC -> CAN -> ECU -> actuator) plus
  * the reactive safety path, driving the vehicle plant through a world.
  *
+ * The proactive compute latency is not a private draw: each planning
+ * cycle releases one frame of the shared Fig. 5 StageGraph into a
+ * runtime::DataflowExecutor bound to the simulation clock, and the
+ * actuation command transmits from the frame-completion event — so the
+ * closed-loop experiments execute exactly the pipeline that Fig. 10
+ * characterizes, stage spans, resource contention and all.
+ *
  * Used for the end-to-end safety experiments: obstacle-avoidance
  * distance vs computing latency (Fig. 3a validated in closed loop),
  * the reactive path's 4.1 m stopping capability (Sec. IV), and the
@@ -15,6 +22,7 @@
 
 #include "core/rng.h"
 #include "planning/mpc.h"
+#include "runtime/dataflow.h"
 #include "sensors/radar.h"
 #include "sim/simulator.h"
 #include "sovpipe/pipeline_model.h"
@@ -38,8 +46,20 @@ struct ClosedLoopConfig
      *  that the perception stage drops an object this cycle. */
     double perception_miss_probability = 0.0;
     /** Override the pipeline model with a fixed compute latency
-     *  (for latency-sweep experiments); unset = draw from model. */
+     *  (for latency-sweep experiments); unset = run the Fig. 5
+     *  dataflow graph on the simulation clock. */
     std::optional<Duration> fixed_compute_latency;
+    /** Per-frame pipeline deadline (from release to planning done);
+     *  unset = only count, never enforce. Misses are reported in
+     *  ClosedLoopResult::deadline_misses. */
+    std::optional<Duration> pipeline_deadline;
+    /** Load shedding: a planning cycle drops its frame instead of
+     *  releasing it when this many frames are already in flight.
+     *  Detection latency tails would otherwise build a backlog and
+     *  every later command would act on stale state; real pipelines
+     *  shed sensor frames under congestion. Default allows normal
+     *  pipelining (two frames overlap at 10 Hz) plus one tail frame. */
+    std::uint64_t max_frames_in_flight = 3;
 };
 
 /** Outcome of a scenario run. */
@@ -53,6 +73,10 @@ struct ClosedLoopResult
     std::uint64_t reactive_triggers = 0;
     /** Fraction of cycles in which the reactive path was latched. */
     double reactive_fraction = 0.0;
+    /** Pipeline frames that blew config.pipeline_deadline. */
+    std::uint64_t deadline_misses = 0;
+    /** Planning cycles shed because the pipeline was congested. */
+    std::uint64_t frames_dropped = 0;
     Duration elapsed;
 };
 
@@ -80,6 +104,10 @@ class ClosedLoopSim
     VehicleDynamics &vehicle() { return vehicle_; }
     World &world() { return world_; }
 
+    /** Per-stage spans and queueing of the proactive pipeline frames
+     *  executed so far (stages of the shared Fig. 5 graph). */
+    const LatencyTracer &pipelineTracer() const { return pipeline_tracer_; }
+
   private:
     void planningCycle();
     void physicsStep();
@@ -92,6 +120,10 @@ class ClosedLoopSim
     Simulator sim_;
     PlatformModel platform_model_;
     SovPipelineModel pipeline_;
+    /** Executes pipeline_.graph() on sim_; planning cycles release
+     *  frames and commands transmit on frame completion. */
+    runtime::DataflowExecutor pipeline_exec_;
+    LatencyTracer pipeline_tracer_;
     VehicleDynamics vehicle_;
     Ecu ecu_;
     CanBus can_;

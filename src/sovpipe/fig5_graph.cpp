@@ -1,0 +1,85 @@
+#include "sovpipe/fig5_graph.h"
+
+#include <memory>
+#include <string>
+
+#include "core/logging.h"
+
+namespace sov {
+
+namespace {
+
+/** Executor for one (task, platform) pair in the requested mode. */
+std::unique_ptr<runtime::StageExecutor>
+makeExecutor(const PlatformModel &model, TaskKind task, Platform platform,
+             bool shared_gpu, Rng *rng, Fig5Latency mode)
+{
+    const LatencyProfile profile = model.latency(task, platform, shared_gpu);
+    if (mode == Fig5Latency::Mean)
+        return std::make_unique<runtime::FixedExecutor>(profile.mean());
+    SOV_ASSERT(rng != nullptr);
+    return std::make_unique<runtime::AnalyticExecutor>(
+        [profile, rng](std::size_t) { return profile.sample(*rng); });
+}
+
+} // namespace
+
+Fig5Stages
+buildFig5Graph(runtime::StageGraph &graph, const PlatformModel &model,
+               const SovPipelineConfig &config, Rng *rng, Fig5Latency mode)
+{
+    // GPU contention (Fig. 8) applies when localization shares the
+    // discrete GPU with scene understanding.
+    const bool shared = config.scene_platform == Platform::Gtx1060 &&
+        config.localization_platform == Platform::Gtx1060;
+
+    const std::string scene_hw =
+        std::string("scene-") + toString(config.scene_platform);
+    const std::string loc_hw =
+        std::string("loc-") + toString(config.localization_platform);
+
+    Fig5Stages ids;
+    ids.sensing = graph.addStage(
+        "sensing", "sensor-fpga",
+        makeExecutor(model, TaskKind::Sensing, Platform::ZynqFpga,
+                     false, rng, mode));
+    ids.depth = graph.addStage(
+        "depth", scene_hw,
+        makeExecutor(model, TaskKind::DepthEstimation,
+                     config.scene_platform, shared, rng, mode),
+        {ids.sensing});
+    ids.detection = graph.addStage(
+        "detection", scene_hw,
+        makeExecutor(model, TaskKind::Detection, config.scene_platform,
+                     shared, rng, mode),
+        {ids.sensing});
+    if (config.radar_tracking) {
+        // Radar tracking + spatial sync ~ 1 ms on the CPU (Sec. VI-B).
+        ids.tracking = graph.addFixed("tracking", "cpu",
+                                      Duration::millisF(1.0),
+                                      {ids.detection});
+    } else {
+        // KCF baseline runs on the CPU, serialized after detection.
+        ids.tracking = graph.addStage(
+            "tracking", "cpu",
+            makeExecutor(model, TaskKind::KcfTracking,
+                         Platform::CoffeeLakeCpu, false, rng, mode),
+            {ids.detection});
+    }
+    ids.localization = graph.addStage(
+        "localization", loc_hw,
+        makeExecutor(model, TaskKind::Localization,
+                     config.localization_platform, shared, rng, mode),
+        {ids.sensing});
+    ids.planning = graph.addStage(
+        "planning", "cpu",
+        makeExecutor(model,
+                     config.planner == PlannerKind::LaneMpc
+                         ? TaskKind::MpcPlanning
+                         : TaskKind::EmPlanning,
+                     Platform::CoffeeLakeCpu, false, rng, mode),
+        {ids.depth, ids.tracking, ids.localization});
+    return ids;
+}
+
+} // namespace sov

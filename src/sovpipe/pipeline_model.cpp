@@ -1,66 +1,50 @@
 #include "sovpipe/pipeline_model.h"
 
-#include <algorithm>
-
 namespace sov {
+
+SovPipelineModel::SovPipelineModel(const PlatformModel &model,
+                                   const SovPipelineConfig &config, Rng rng)
+    : model_(model), config_(config), rng_(std::move(rng))
+{
+    stages_ = buildFig5Graph(graph_, model_, config_, &rng_,
+                             Fig5Latency::Sampled);
+}
+
+FrameLatency
+SovPipelineModel::groupStages(const runtime::FrameTrace &trace) const
+{
+    const runtime::StageSpan &sensing = trace.spans[stages_.sensing];
+    const runtime::StageSpan &planning = trace.spans[stages_.planning];
+    FrameLatency frame;
+    frame.sensing = sensing.duration();
+    // Perception spans both branches: from sensing done until planning
+    // may start = max(depth + detection + tracking, localization).
+    frame.perception = planning.start - sensing.finish;
+    frame.planning = planning.duration();
+    return frame;
+}
 
 FrameLatency
 SovPipelineModel::sampleFrame()
 {
-    const bool shared =
-        config_.scene_platform == Platform::Gtx1060 &&
-        config_.localization_platform == Platform::Gtx1060;
-
-    FrameLatency frame;
-    frame.sensing = model_
-        .latency(TaskKind::Sensing, Platform::ZynqFpga)
-        .sample(rng_);
-
-    // Scene understanding: depth || detection on the same platform
-    // (serialized by the resource), tracking after detection.
-    const Duration depth = model_
-        .latency(TaskKind::DepthEstimation, config_.scene_platform, shared)
-        .sample(rng_);
-    const Duration detection = model_
-        .latency(TaskKind::Detection, config_.scene_platform, shared)
-        .sample(rng_);
-    Duration tracking = Duration::zero();
-    if (!config_.radar_tracking) {
-        // KCF baseline runs on the CPU, serialized after detection.
-        tracking = model_
-            .latency(TaskKind::KcfTracking, Platform::CoffeeLakeCpu)
-            .sample(rng_);
-    } else {
-        // Radar tracking + spatial sync ~ 1 ms on the CPU (Sec. VI-B).
-        tracking = Duration::millisF(1.0);
-    }
-    const Duration scene = depth + detection + tracking;
-
-    const Duration localization = model_
-        .latency(TaskKind::Localization, config_.localization_platform,
-                 shared)
-        .sample(rng_);
-
-    frame.perception = std::max(scene, localization);
-
-    frame.planning = model_
-        .latency(config_.planner == PlannerKind::LaneMpc
-                     ? TaskKind::MpcPlanning
-                     : TaskKind::EmPlanning,
-                 Platform::CoffeeLakeCpu)
-        .sample(rng_);
-    return frame;
+    const runtime::RunResult run =
+        runtime::DataflowExecutor::run(graph_, runtime::RunOptions{});
+    return groupStages(run.frames.front());
 }
 
 PipelineStats
 SovPipelineModel::characterize(std::size_t frames)
 {
+    // Single-shot runs (period zero): per-frame latency without
+    // cross-frame contention — the Fig. 10 characterization.
+    runtime::RunOptions opts;
+    opts.frames = frames;
+    const runtime::RunResult run =
+        runtime::DataflowExecutor::run(graph_, opts);
+
     PipelineStats stats;
-    std::vector<FrameLatency> samples;
-    samples.reserve(frames);
-    for (std::size_t i = 0; i < frames; ++i) {
-        const FrameLatency f = sampleFrame();
-        samples.push_back(f);
+    for (const runtime::FrameTrace &trace : run.frames) {
+        const FrameLatency f = groupStages(trace);
         stats.tracer.record("sensing", f.sensing);
         stats.tracer.record("perception", f.perception);
         stats.tracer.record("planning", f.planning);
@@ -72,54 +56,38 @@ SovPipelineModel::characterize(std::size_t frames)
     stats.p99 = Duration::millisF(
         stats.tracer.percentileMs("total", 99.0));
 
-    // Pipelined throughput via the TaskGraph executor: stage times are
-    // the mean stage latencies; the slowest stage bounds throughput,
-    // capped by the frame release rate.
-    TaskGraph graph;
-    const Duration sensing_mean =
-        Duration::millisF(stats.tracer.meanMs("sensing"));
-    const Duration perception_mean =
-        Duration::millisF(stats.tracer.meanMs("perception"));
-    const Duration planning_mean =
-        Duration::millisF(stats.tracer.meanMs("planning"));
-    const TaskId s =
-        graph.addFixedTask("sensing", "sensing-hw", sensing_mean);
-    const TaskId p = graph.addFixedTask("perception", "perception-hw",
-                                        perception_mean, {s});
-    graph.addFixedTask("planning", "cpu", planning_mean, {p});
-    const auto schedule = graph.schedule(
-        64, Duration::seconds(1.0 / config_.frame_rate_hz));
-    stats.throughput_hz = schedule.steadyStateThroughputHz();
+    // Pipelined throughput: the same Fig. 5 graph at the analytic
+    // stage means, released at the frame rate; the slowest resource
+    // lane bounds throughput, capped by the release rate.
+    runtime::StageGraph mean_graph;
+    buildFig5Graph(mean_graph, model_, config_, nullptr,
+                   Fig5Latency::Mean);
+    runtime::RunOptions pipelined;
+    pipelined.frames = 64;
+    pipelined.period = Duration::seconds(1.0 / config_.frame_rate_hz);
+    stats.throughput_hz =
+        runtime::DataflowExecutor::run(mean_graph, pipelined)
+            .steadyStateThroughputHz();
     return stats;
 }
 
 LatencyTracer
 SovPipelineModel::perceptionTaskBreakdown(std::size_t frames)
 {
-    const bool shared =
-        config_.scene_platform == Platform::Gtx1060 &&
-        config_.localization_platform == Platform::Gtx1060;
+    runtime::RunOptions opts;
+    opts.frames = frames;
+    const runtime::RunResult run =
+        runtime::DataflowExecutor::run(graph_, opts);
+
     LatencyTracer tracer;
-    for (std::size_t i = 0; i < frames; ++i) {
-        tracer.record("depth",
-                      model_.latency(TaskKind::DepthEstimation,
-                                     config_.scene_platform, shared)
-                          .sample(rng_));
+    for (const runtime::FrameTrace &trace : run.frames) {
+        tracer.record("depth", trace.spans[stages_.depth].duration());
         tracer.record("detection",
-                      model_.latency(TaskKind::Detection,
-                                     config_.scene_platform, shared)
-                          .sample(rng_));
+                      trace.spans[stages_.detection].duration());
         tracer.record("tracking",
-                      config_.radar_tracking
-                          ? Duration::millisF(1.0)
-                          : model_.latency(TaskKind::KcfTracking,
-                                           Platform::CoffeeLakeCpu)
-                                .sample(rng_));
+                      trace.spans[stages_.tracking].duration());
         tracer.record("localization",
-                      model_.latency(TaskKind::Localization,
-                                     config_.localization_platform,
-                                     shared)
-                          .sample(rng_));
+                      trace.spans[stages_.localization].duration());
     }
     return tracer;
 }

@@ -4,35 +4,22 @@
  * (Fig. 5 structure x Fig. 6/8 platform timings -> Fig. 10 latency
  * characterization).
  *
- * Per frame: sensing feeds perception; within perception, localization
- * runs parallel to scene understanding (depth || detection, tracking
- * after detection); planning consumes both. Stage latencies are drawn
- * from the PlatformModel's calibrated distributions for the chosen
- * mapping. The TaskGraph executor provides pipelined throughput.
+ * The pipeline DAG is built once through buildFig5Graph() and executed
+ * by the sov::runtime dataflow layer: single-shot runs give the
+ * per-frame latency distribution (Fig. 10a/10b), a pipelined run at
+ * the stage means gives the sustained throughput (Sec. III-A), and
+ * the closed-loop simulation drives the very same graph event by
+ * event — one pipeline definition, three characterizations.
  */
 #pragma once
 
 #include "core/rng.h"
 #include "platform/platform_model.h"
+#include "runtime/dataflow.h"
 #include "sim/latency_tracer.h"
-#include "sim/task_graph.h"
+#include "sovpipe/fig5_graph.h"
 
 namespace sov {
-
-/** Which planner runs (MPC lane-level vs EM-style fine-grained). */
-enum class PlannerKind { LaneMpc, EmStyle };
-
-/** Pipeline configuration: the algorithm-to-hardware mapping. */
-struct SovPipelineConfig
-{
-    Platform scene_platform = Platform::Gtx1060;
-    Platform localization_platform = Platform::ZynqFpga;
-    PlannerKind planner = PlannerKind::LaneMpc;
-    /** Radar replaces KCF tracking (Sec. VI-B); if false the KCF
-     *  baseline runs serialized after detection. */
-    bool radar_tracking = true;
-    double frame_rate_hz = 10.0; //!< pipeline cadence (Sec. III-A)
-};
 
 /** One frame's stage latencies. */
 struct FrameLatency
@@ -59,27 +46,43 @@ class SovPipelineModel
 {
   public:
     SovPipelineModel(const PlatformModel &model,
-                     const SovPipelineConfig &config, Rng rng)
-        : model_(model), config_(config), rng_(std::move(rng)) {}
+                     const SovPipelineConfig &config, Rng rng);
 
-    /** Draw one frame's stage latencies. */
+    // The stage executors capture the member rng; moving or copying
+    // the model would dangle them.
+    SovPipelineModel(const SovPipelineModel &) = delete;
+    SovPipelineModel &operator=(const SovPipelineModel &) = delete;
+
+    /** Draw one frame's stage latencies (single-shot runtime run). */
     FrameLatency sampleFrame();
 
     /** Characterize @p frames frames (Fig. 10a/10b). */
     PipelineStats characterize(std::size_t frames);
 
     /**
-     * Per-task mean latencies over @p frames draws, for Fig. 10b
-     * (depth / detection / tracking / localization).
+     * Per-task mean latencies over @p frames runtime frames, for
+     * Fig. 10b (depth / detection / tracking / localization).
      */
     LatencyTracer perceptionTaskBreakdown(std::size_t frames);
 
     const SovPipelineConfig &config() const { return config_; }
 
+    /** The shared Fig. 5 dataflow graph (Sampled executors). */
+    runtime::StageGraph &graph() { return graph_; }
+
+    /** Stage ids within graph(). */
+    const Fig5Stages &stages() const { return stages_; }
+
+    /** Group a runtime frame trace into the coarse Fig. 10a stages:
+     *  sensing / perception (both branches) / planning. */
+    FrameLatency groupStages(const runtime::FrameTrace &trace) const;
+
   private:
     const PlatformModel &model_;
     SovPipelineConfig config_;
     Rng rng_;
+    runtime::StageGraph graph_;
+    Fig5Stages stages_;
 };
 
 } // namespace sov
