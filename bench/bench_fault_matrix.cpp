@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Fault matrix: fault scenarios (Sec. III-C) x degradation policy, in
+ * closed loop against the Sec. IV sudden-wall scenario.
+ *
+ * Each cell injects one fault class into the full proactive+reactive
+ * stack and runs it (a) without supervision and (b) with the
+ * HealthMonitor + DegradationManager armed, reporting collision,
+ * minimum gap, proactive availability, the worst degradation level
+ * reached, and the fault-layer counters. The matrix is the repo's
+ * robustness headline: every scenario must end without collision when
+ * supervision is on, and the degradation level must match the fault
+ * (pipeline faults -> DEGRADED, a dead camera -> REACTIVE_ONLY, a dead
+ * radar -> SAFE_STOP).
+ *
+ * Usage:
+ *   bench_fault_matrix [smoke=1] [horizon_s=40] [wall_x=40] [seed=1]
+ *
+ * smoke=1 runs a reduced matrix (one scenario per fault class, shorter
+ * horizon) for CI.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "sovpipe/closed_loop.h"
+
+using namespace sov;
+
+namespace {
+
+Obstacle
+wallAt(double x)
+{
+    Obstacle o;
+    o.footprint = OrientedBox2{Pose2{Vec2(x, 0.0), 0.0}, 0.5, 2.5};
+    o.height = 2.0;
+    return o;
+}
+
+/** One row of the matrix: a named fault scenario. */
+struct Scenario
+{
+    std::string name;
+    std::vector<fault::FaultSpec> specs;
+    bool smoke = false; //!< included in the reduced CI matrix
+};
+
+fault::FaultSpec
+spec(const std::string &name, fault::FaultTarget target,
+     fault::FaultMode mode)
+{
+    fault::FaultSpec s;
+    s.name = name;
+    s.target = target;
+    s.mode = mode;
+    return s;
+}
+
+std::vector<Scenario>
+buildScenarios()
+{
+    using fault::FaultMode;
+    using fault::FaultTarget;
+    std::vector<Scenario> rows;
+
+    rows.push_back({"baseline (no fault)", {}, true});
+
+    {
+        Scenario s{"camera dropout @1s", {}, true};
+        auto cam = spec("cam-dead", FaultTarget::Camera, FaultMode::Dropout);
+        cam.window_start = Timestamp::seconds(1.0);
+        s.specs.push_back(cam);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"camera freeze @1s", {}, false};
+        auto cam = spec("cam-freeze", FaultTarget::Camera, FaultMode::Freeze);
+        cam.window_start = Timestamp::seconds(1.0);
+        s.specs.push_back(cam);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"camera latency +150ms p=0.5", {}, false};
+        auto cam =
+            spec("cam-late", FaultTarget::Camera, FaultMode::LatencySpike);
+        cam.probability = 0.5;
+        cam.latency = Duration::millisF(150.0);
+        s.specs.push_back(cam);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"perception miss p=0.8", {}, false};
+        auto miss =
+            spec("vision-miss", FaultTarget::Perception, FaultMode::Dropout);
+        miss.probability = 0.8;
+        s.specs.push_back(miss);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"planning crash p=0.35", {}, true};
+        auto crash = spec("planning-crash", FaultTarget::PipelineStage,
+                          FaultMode::Crash);
+        crash.stage = "planning";
+        crash.probability = 0.35;
+        crash.latency = Duration::millisF(5.0);
+        s.specs.push_back(crash);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"localization hang @2s", {}, false};
+        auto hang = spec("loc-hang", FaultTarget::PipelineStage,
+                         FaultMode::Hang);
+        hang.stage = "localization";
+        hang.window_start = Timestamp::seconds(2.0);
+        hang.window_end = Timestamp::seconds(2.2);
+        s.specs.push_back(hang);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"detection 5x slower", {}, false};
+        auto slow = spec("det-slow", FaultTarget::PipelineStage,
+                         FaultMode::LatencyMultiplier);
+        slow.stage = "detection";
+        slow.multiplier = 5.0;
+        s.specs.push_back(slow);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"CAN loss p=0.5", {}, true};
+        auto loss = spec("can-loss", FaultTarget::CanBus, FaultMode::Dropout);
+        loss.probability = 0.5;
+        s.specs.push_back(loss);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"radar dropout @1s", {}, true};
+        auto radar =
+            spec("radar-dead", FaultTarget::Radar, FaultMode::Dropout);
+        radar.window_start = Timestamp::seconds(1.0);
+        s.specs.push_back(radar);
+        rows.push_back(s);
+    }
+    {
+        Scenario s{"camera + planning combo", {}, false};
+        auto cam = spec("cam-dead", FaultTarget::Camera, FaultMode::Dropout);
+        cam.window_start = Timestamp::seconds(2.0);
+        cam.probability = 0.7;
+        auto crash = spec("planning-crash", FaultTarget::PipelineStage,
+                          FaultMode::Crash);
+        crash.stage = "planning";
+        crash.probability = 0.3;
+        s.specs.push_back(cam);
+        s.specs.push_back(crash);
+        rows.push_back(s);
+    }
+    return rows;
+}
+
+struct Cell
+{
+    ClosedLoopResult result;
+};
+
+Cell
+runCell(const Scenario &scenario, bool supervised, double wall_x,
+        double horizon_s, std::uint64_t seed)
+{
+    fault::FaultPlan plan{Rng(seed ^ 0xFA017ULL)};
+    for (const auto &s : scenario.specs)
+        plan.add(s);
+
+    World world;
+    if (wall_x > 0.0)
+        world.addObstacle(wallAt(wall_x));
+
+    ClosedLoopConfig cfg;
+    if (!plan.empty())
+        cfg.faults = &plan;
+    cfg.enable_health = supervised;
+    if (supervised) {
+        cfg.stage_watchdog = Duration::millisF(400.0);
+        cfg.stage_max_retries = 1;
+    }
+    ClosedLoopSim sim(world, Polyline2({Vec2(0, 0), Vec2(300, 0)}), cfg,
+                      SovPipelineConfig{}, Rng(seed));
+    return Cell{sim.run(Duration::seconds(horizon_s))};
+}
+
+void
+printCell(const Scenario &scenario, bool supervised, const Cell &cell)
+{
+    const ClosedLoopResult &r = cell.result;
+    std::printf("%-28s %-12s %-9s gap=%6.2f  avail=%5.1f%%  "
+                "worst=%-13s failed=%-3llu canlost=%-3llu drop=%llu\n",
+                scenario.name.c_str(),
+                supervised ? "supervised" : "bare",
+                r.collided ? "COLLIDED" : r.stopped ? "stopped" : "cruise",
+                r.min_gap,
+                100.0 * r.availability,
+                toString(r.worst_level),
+                static_cast<unsigned long long>(r.pipeline_frames_failed),
+                static_cast<unsigned long long>(r.can_frames_lost),
+                static_cast<unsigned long long>(r.sensor_dropouts));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config config = Config::fromArgs(argc, argv);
+    const bool smoke = config.getBool("smoke", false);
+    const double horizon_s =
+        config.getDouble("horizon_s", smoke ? 20.0 : 40.0);
+    const double wall_x = config.getDouble("wall_x", 40.0);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(config.getInt("seed", 1));
+
+    std::printf("=== Fault matrix: Sec. III-C scenarios x degradation "
+                "policy ===\n");
+    std::printf("wall at %.0f m, horizon %.0f s, seed %llu%s\n\n",
+                wall_x, horizon_s,
+                static_cast<unsigned long long>(seed),
+                smoke ? " [smoke]" : "");
+    std::printf("%-28s %-12s %-9s %s\n", "scenario", "policy", "outcome",
+                "metrics");
+
+    int collisions_supervised = 0;
+    int rows = 0;
+    for (const Scenario &scenario : buildScenarios()) {
+        if (smoke && !scenario.smoke)
+            continue;
+        const Cell bare =
+            runCell(scenario, false, wall_x, horizon_s, seed);
+        printCell(scenario, false, bare);
+        const Cell supervised =
+            runCell(scenario, true, wall_x, horizon_s, seed);
+        printCell(scenario, true, supervised);
+        collisions_supervised += supervised.result.collided ? 1 : 0;
+        ++rows;
+        std::printf("\n");
+    }
+
+    std::printf("%d scenarios; %d collisions under supervision "
+                "(expected 0)\n",
+                rows, collisions_supervised);
+    // Exit nonzero if the supervised stack ever collided: CI runs the
+    // smoke matrix as a hard robustness gate.
+    return collisions_supervised == 0 ? 0 : 1;
+}

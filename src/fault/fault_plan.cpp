@@ -1,0 +1,122 @@
+#include "fault/fault_plan.h"
+
+#include "core/logging.h"
+
+namespace sov::fault {
+
+const char *
+toString(FaultTarget target)
+{
+    switch (target) {
+    case FaultTarget::Camera: return "camera";
+    case FaultTarget::Imu: return "imu";
+    case FaultTarget::Gps: return "gps";
+    case FaultTarget::Radar: return "radar";
+    case FaultTarget::Sonar: return "sonar";
+    case FaultTarget::Perception: return "perception";
+    case FaultTarget::PipelineStage: return "stage";
+    case FaultTarget::CanBus: return "can";
+    case FaultTarget::Rpr: return "rpr";
+    }
+    return "?";
+}
+
+const char *
+toString(FaultMode mode)
+{
+    switch (mode) {
+    case FaultMode::Dropout: return "dropout";
+    case FaultMode::Freeze: return "freeze";
+    case FaultMode::LatencySpike: return "latency-spike";
+    case FaultMode::Corruption: return "corruption";
+    case FaultMode::Crash: return "crash";
+    case FaultMode::Hang: return "hang";
+    case FaultMode::LatencyMultiplier: return "latency-multiplier";
+    }
+    return "?";
+}
+
+bool
+FaultChannel::shouldInject(Timestamp t)
+{
+    if (t < spec_.window_start || t >= spec_.window_end)
+        return false;
+    if (spec_.probability <= 0.0)
+        return false;
+    // p == 1 decides without drawing so deterministic windows leave
+    // the channel stream untouched.
+    const bool fire =
+        spec_.probability >= 1.0 || rng_.bernoulli(spec_.probability);
+    if (fire)
+        ++injections_;
+    return fire;
+}
+
+double
+FaultChannel::corrupt(double value)
+{
+    if (spec_.corruption_sigma <= 0.0)
+        return value;
+    return value + rng_.gaussian(0.0, spec_.corruption_sigma);
+}
+
+FaultChannel &
+FaultPlan::add(const FaultSpec &spec)
+{
+    SOV_ASSERT(!spec.name.empty());
+    SOV_ASSERT(spec.probability >= 0.0 && spec.probability <= 1.0);
+    for (const auto &existing : channels_)
+        SOV_ASSERT(existing->spec().name != spec.name);
+    channels_.push_back(std::make_unique<FaultChannel>(
+        spec, rng_.fork("fault/" + spec.name)));
+    return *channels_.back();
+}
+
+FaultChannel *
+FaultPlan::find(FaultTarget target, FaultMode mode,
+                const std::string &stage)
+{
+    for (const auto &channel : channels_) {
+        const FaultSpec &s = channel->spec();
+        if (s.target != target || s.mode != mode)
+            continue;
+        if (target == FaultTarget::PipelineStage && !stage.empty() &&
+            s.stage != stage)
+            continue;
+        return channel.get();
+    }
+    return nullptr;
+}
+
+std::vector<FaultChannel *>
+FaultPlan::channelsFor(FaultTarget target)
+{
+    std::vector<FaultChannel *> out;
+    for (const auto &channel : channels_) {
+        if (channel->spec().target == target)
+            out.push_back(channel.get());
+    }
+    return out;
+}
+
+std::uint64_t
+FaultPlan::totalInjections() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel->injections();
+    return total;
+}
+
+FaultSpec
+perceptionMiss(double probability)
+{
+    FaultSpec spec;
+    spec.name = "perception-miss";
+    spec.target = FaultTarget::Perception;
+    spec.mode = FaultMode::Dropout;
+    spec.probability = probability;
+    return spec;
+}
+
+} // namespace sov::fault

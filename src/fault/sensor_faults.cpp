@@ -1,0 +1,42 @@
+#include "fault/sensor_faults.h"
+
+namespace sov::fault {
+
+SensorDisposition
+SensorFaultHub::evaluate(FaultTarget sensor, Timestamp t)
+{
+    SensorDisposition disposition;
+    if (plan_ == nullptr)
+        return disposition;
+    for (FaultChannel *channel : plan_->channelsFor(sensor)) {
+        if (!channel->shouldInject(t))
+            continue;
+        switch (channel->spec().mode) {
+        case FaultMode::Dropout:
+            disposition.drop = true;
+            break;
+        case FaultMode::Freeze:
+            disposition.freeze = true;
+            break;
+        case FaultMode::LatencySpike:
+            disposition.extra_latency += channel->spec().latency;
+            break;
+        case FaultMode::Corruption:
+            disposition.corruption = channel;
+            break;
+        default:
+            break; // stage/CAN/RPR modes don't apply to sensor samples
+        }
+    }
+    return disposition;
+}
+
+std::function<bool(Timestamp)>
+makeDropoutFilter(FaultChannel *channel)
+{
+    if (channel == nullptr)
+        return {};
+    return [channel](Timestamp t) { return channel->shouldInject(t); };
+}
+
+} // namespace sov::fault

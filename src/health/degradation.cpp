@@ -1,0 +1,83 @@
+#include "health/degradation.h"
+
+#include <algorithm>
+
+namespace sov::health {
+
+const char *
+toString(DegradationLevel level)
+{
+    switch (level) {
+    case DegradationLevel::Nominal: return "NOMINAL";
+    case DegradationLevel::Degraded: return "DEGRADED";
+    case DegradationLevel::ReactiveOnly: return "REACTIVE_ONLY";
+    case DegradationLevel::SafeStop: return "SAFE_STOP";
+    }
+    return "?";
+}
+
+DegradationLevel
+DegradationManager::update(const HealthSample &sample, Timestamp now)
+{
+    // The level the evidence calls for right now.
+    DegradationLevel target = DegradationLevel::Nominal;
+    if (sample.reactive_sensors_stale) {
+        // The last line of defense is blind: stop immediately.
+        target = DegradationLevel::SafeStop;
+    } else if (sample.proactive_sensors_stale || sample.pipeline_stalled ||
+               sample.pipeline_faults_in_window >=
+                   policy_.reactive_only_threshold) {
+        target = DegradationLevel::ReactiveOnly;
+    } else if (sample.pipeline_faults_in_window >=
+               policy_.degrade_threshold) {
+        target = DegradationLevel::Degraded;
+    }
+
+    if (level_ == DegradationLevel::SafeStop)
+        return level_; // terminal
+
+    if (target > level_) {
+        // Escalate immediately; safety never waits for hysteresis.
+        transitionTo(target, now);
+        clean_streak_ = 0;
+    } else if (target < level_ && policy_.allow_recovery) {
+        // Recover one level at a time after a clean streak.
+        if (++clean_streak_ >= policy_.recovery_cycles) {
+            transitionTo(
+                static_cast<DegradationLevel>(
+                    static_cast<int>(level_) - 1),
+                now);
+            clean_streak_ = 0;
+        }
+    } else {
+        clean_streak_ = 0;
+    }
+    return level_;
+}
+
+double
+DegradationManager::speedCap(double nominal_speed) const
+{
+    switch (level_) {
+    case DegradationLevel::Nominal:
+        return nominal_speed;
+    case DegradationLevel::Degraded:
+        return std::min(nominal_speed, policy_.degraded_speed_cap);
+    case DegradationLevel::ReactiveOnly:
+    case DegradationLevel::SafeStop:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+void
+DegradationManager::transitionTo(DegradationLevel level, Timestamp now)
+{
+    if (level == level_)
+        return;
+    level_ = level;
+    worst_ = std::max(worst_, level);
+    transitions_.emplace_back(now, level);
+}
+
+} // namespace sov::health

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Supervised degradation state machine (Sec. III-C, Sec. IV).
+ *
+ * The paper's production answer to misbehaving components is not to
+ * fix them mid-drive but to shed capability in controlled steps until
+ * what remains is trustworthy:
+ *
+ *   NOMINAL        full proactive pipeline at cruise speed
+ *   DEGRADED       proactive still drives, speed capped — latency
+ *                  faults make commands stale, so shrink the kinetic
+ *                  energy the stale command controls
+ *   REACTIVE_ONLY  the proactive path is untrusted (perception silent
+ *                  or persistently failing); only the radar->ECU
+ *                  reactive path drives, which can only brake
+ *   SAFE_STOP      the reactive path itself is untrusted; stop now
+ *
+ * Escalation is immediate; recovery steps down one level at a time
+ * after a clean-cycle streak (hysteresis, so a flapping component
+ * can't oscillate the vehicle), and SAFE_STOP is terminal.
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/time.h"
+
+namespace sov::health {
+
+/** Capability levels, ordered from full to none. */
+enum class DegradationLevel
+{
+    Nominal = 0,
+    Degraded = 1,
+    ReactiveOnly = 2,
+    SafeStop = 3,
+};
+
+const char *toString(DegradationLevel level);
+
+/** Escalation thresholds and recovery hysteresis. */
+struct DegradationPolicy
+{
+    /** Sliding window, in planning cycles, over which pipeline faults
+     *  (crashes, watchdog timeouts, abandoned frames) are counted. */
+    std::uint32_t window_cycles = 20;
+    /** Faults in the window that force DEGRADED. */
+    std::uint32_t degrade_threshold = 2;
+    /** Faults in the window that force REACTIVE_ONLY. */
+    std::uint32_t reactive_only_threshold = 6;
+    /** Speed cap while DEGRADED (m/s; half the 5.6 m/s cruise). */
+    double degraded_speed_cap = 2.8;
+    /** Consecutive clean cycles required to step one level up. */
+    std::uint32_t recovery_cycles = 40;
+    /** Allow stepping back up at all (SAFE_STOP never recovers). */
+    bool allow_recovery = true;
+};
+
+/** One evaluation of system health, fed to the state machine. */
+struct HealthSample
+{
+    /** Pipeline fault events inside the sliding window. */
+    std::uint32_t pipeline_faults_in_window = 0;
+    /** A proactive-critical sensor (camera/IMU/GPS) went silent. */
+    bool proactive_sensors_stale = false;
+    /** A reactive-critical sensor (radar/sonar) went silent. */
+    bool reactive_sensors_stale = false;
+    /** Frames are in flight but none has resolved for too long (an
+     *  unsupervised hang is wedging the pipeline). */
+    bool pipeline_stalled = false;
+};
+
+/** The state machine. */
+class DegradationManager
+{
+  public:
+    explicit DegradationManager(const DegradationPolicy &policy = {})
+        : policy_(policy) {}
+
+    /** Fold one health sample; returns the level after the update. */
+    DegradationLevel update(const HealthSample &sample, Timestamp now);
+
+    DegradationLevel level() const { return level_; }
+    DegradationLevel worstLevel() const { return worst_; }
+
+    /** Speed limit the planner must respect at the current level. */
+    double speedCap(double nominal_speed) const;
+
+    /** The proactive pipeline may drive (NOMINAL or DEGRADED). */
+    bool
+    proactiveEnabled() const
+    {
+        return level_ <= DegradationLevel::Degraded;
+    }
+
+    bool
+    safeStopRequested() const
+    {
+        return level_ == DegradationLevel::SafeStop;
+    }
+
+    const DegradationPolicy &policy() const { return policy_; }
+
+    /** Every transition taken, in order (for reports and tests). */
+    const std::vector<std::pair<Timestamp, DegradationLevel>> &
+    transitions() const
+    {
+        return transitions_;
+    }
+
+  private:
+    void transitionTo(DegradationLevel level, Timestamp now);
+
+    DegradationPolicy policy_;
+    DegradationLevel level_ = DegradationLevel::Nominal;
+    DegradationLevel worst_ = DegradationLevel::Nominal;
+    std::uint32_t clean_streak_ = 0;
+    std::vector<std::pair<Timestamp, DegradationLevel>> transitions_;
+};
+
+} // namespace sov::health

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Runtime health monitoring on the discrete-event simulator.
+ *
+ * The HealthMonitor is the glue between raw supervision signals and
+ * the DegradationManager:
+ *
+ *  - it implements runtime::DataflowHealthListener, so every stage
+ *    crash, watchdog timeout, retry and abandoned frame of the
+ *    DataflowExecutor lands here;
+ *  - it tracks per-sensor heartbeats (a sensor that stops producing
+ *    samples goes stale after its configured silence budget);
+ *  - once per planning cycle, evaluate() folds the events since the
+ *    last call into a sliding window, checks staleness and pipeline
+ *    stall, and drives the degradation state machine.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "health/degradation.h"
+#include "runtime/dataflow.h"
+
+namespace sov::health {
+
+/** Liveness expectations for one sensor stream. */
+struct HeartbeatSpec
+{
+    /** Nominal sample period (documentation; staleness only uses the
+     *  budget below). */
+    Duration expected_period = Duration::millisF(100.0);
+    /** Silence longer than this marks the sensor stale. */
+    Duration stale_after = Duration::millisF(500.0);
+    /** Guards the reactive path (radar/sonar): staleness escalates to
+     *  SAFE_STOP instead of REACTIVE_ONLY. */
+    bool reactive_critical = false;
+};
+
+/** The monitor. */
+class HealthMonitor final : public runtime::DataflowHealthListener
+{
+  public:
+    explicit HealthMonitor(const DegradationPolicy &policy = {})
+        : manager_(policy) {}
+
+    /** Register a sensor stream. @p now anchors the silence budget so
+     *  a sensor that never beats still goes stale. */
+    void watchSensor(const std::string &name, const HeartbeatSpec &spec,
+                     Timestamp now = Timestamp::origin());
+
+    /** Note one delivered sample of @p name at @p t. */
+    void noteHeartbeat(const std::string &name, Timestamp t);
+
+    /** True if @p name has been silent beyond its budget at @p now.
+     *  Unwatched sensors are never stale. */
+    bool sensorStale(const std::string &name, Timestamp now) const;
+
+    // runtime::DataflowHealthListener
+    void onStageAttempt(runtime::StageId stage, std::size_t frame,
+                        runtime::StageOutcome outcome,
+                        bool timed_out) override;
+    void onFrameFailed(const runtime::FrameTrace &trace) override;
+    void onFrameCompleted(const runtime::FrameTrace &trace) override;
+
+    /**
+     * One supervision cycle: fold events since the last call into the
+     * sliding fault window, evaluate sensor staleness and pipeline
+     * stall, and step the degradation state machine.
+     * @param frames_in_flight Released-but-unresolved pipeline frames
+     *        (stall detection); 0 disables stall checking.
+     */
+    DegradationLevel evaluate(Timestamp now,
+                              std::uint64_t frames_in_flight = 0);
+
+    DegradationManager &degradation() { return manager_; }
+    const DegradationManager &degradation() const { return manager_; }
+
+    /** No frame resolved for this long while frames were in flight =
+     *  pipeline stalled (default 1 s). */
+    void setPipelineStallAfter(Duration d) { stall_after_ = d; }
+
+    std::uint64_t stageCrashes() const { return stage_crashes_; }
+    std::uint64_t stageTimeouts() const { return stage_timeouts_; }
+    std::uint64_t framesFailed() const { return frames_failed_; }
+    std::uint64_t framesCompleted() const { return frames_completed_; }
+
+  private:
+    DegradationManager manager_;
+    std::map<std::string, HeartbeatSpec> specs_;
+    std::map<std::string, Timestamp> last_beat_;
+    std::deque<std::uint32_t> window_; //!< per-cycle fault counts
+    std::uint32_t pending_faults_ = 0;
+    Duration stall_after_ = Duration::seconds(1.0);
+    Timestamp last_frame_activity_ = Timestamp::origin();
+    std::uint64_t stage_crashes_ = 0;
+    std::uint64_t stage_timeouts_ = 0;
+    std::uint64_t frames_failed_ = 0;
+    std::uint64_t frames_completed_ = 0;
+};
+
+} // namespace sov::health

@@ -91,6 +91,43 @@ RprEngine::cpuDrivenReconfigure(std::uint64_t bitstream_bytes,
     return result;
 }
 
+RprFaultyResult
+RprEngine::reconfigureWithFaults(std::uint64_t bitstream_bytes,
+                                 double failure_probability,
+                                 std::uint32_t max_retries,
+                                 Rng &rng) const
+{
+    SOV_ASSERT(failure_probability >= 0.0 && failure_probability < 1.0);
+    const RprResult single = reconfigure(bitstream_bytes);
+
+    RprFaultyResult out;
+    out.attempts = 0;
+    out.total.duration = Duration::zero();
+    out.total.energy = Energy::joules(0.0);
+    for (;;) {
+        ++out.attempts;
+        out.total.cycles += single.cycles;
+        out.total.fifo_full_stalls += single.fifo_full_stalls;
+        out.total.duration += single.duration;
+        out.total.energy = out.total.energy + single.energy;
+        const bool failed = failure_probability > 0.0 &&
+            rng.bernoulli(failure_probability);
+        if (!failed) {
+            out.success = true;
+            break;
+        }
+        if (out.attempts > max_retries) {
+            out.success = false;
+            break;
+        }
+    }
+    out.total.throughput_mb_s = out.success
+        ? static_cast<double>(bitstream_bytes) /
+            out.total.duration.toSeconds() / 1e6
+        : 0.0;
+    return out;
+}
+
 Duration
 RprSchedule::meanFrameLatencyWithRpr(double switches_per_frame) const
 {

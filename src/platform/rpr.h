@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "core/rng.h"
 #include "core/time.h"
 #include "core/units.h"
 
@@ -46,6 +47,17 @@ struct RprResult
     std::uint64_t fifo_full_stalls = 0; //!< Tx cycles blocked by FIFO
 };
 
+/** Outcome of a reconfiguration attempted under injected failures. */
+struct RprFaultyResult
+{
+    /** Accumulated duration/energy over every attempt taken. */
+    RprResult total;
+    std::uint32_t attempts = 1;
+    /** False when the retry budget ran out with the fabric stale —
+     *  the scheduler must fall back to the resident engine. */
+    bool success = true;
+};
+
 /** The hardware RPR engine. */
 class RprEngine
 {
@@ -58,6 +70,18 @@ class RprEngine
     /** CPU-driven baseline (Sec. V-B3: ~300 KB/s). */
     RprResult cpuDrivenReconfigure(std::uint64_t bitstream_bytes,
                                    double bytes_per_sec = 300e3) const;
+
+    /**
+     * Reconfiguration with failure injection: each attempt fails the
+     * post-transfer CRC/DONE check with @p failure_probability, costing
+     * the full transfer time, and is retried up to @p max_retries
+     * times. Draws one bernoulli from @p rng per attempt (none when
+     * the probability is 0, so a disabled fault perturbs no stream).
+     */
+    RprFaultyResult reconfigureWithFaults(std::uint64_t bitstream_bytes,
+                                          double failure_probability,
+                                          std::uint32_t max_retries,
+                                          Rng &rng) const;
 
     /** Resource footprint reported in the paper. */
     static constexpr std::uint32_t kLuts = 400;

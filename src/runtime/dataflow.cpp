@@ -23,6 +23,8 @@ void
 RunResult::emit(const StageGraph &graph, LatencyTracer &tracer) const
 {
     for (const auto &frame : frames) {
+        if (frame.failed)
+            continue; // partial spans carry no meaningful timings
         for (const auto &span : frame.spans) {
             const std::string &name = graph.stage(span.stage).name;
             tracer.record(name, span.duration());
@@ -36,6 +38,27 @@ DataflowExecutor::DataflowExecutor(Simulator &sim, StageGraph &graph)
     : sim_(sim), graph_(graph)
 {
     SOV_ASSERT(graph_.size() > 0);
+}
+
+void
+DataflowExecutor::setStagePolicy(StageId stage, const StagePolicy &policy)
+{
+    SOV_ASSERT(stage < graph_.size());
+    policies_[stage] = policy;
+}
+
+void
+DataflowExecutor::setAllStagePolicies(const StagePolicy &policy)
+{
+    for (StageId s = 0; s < graph_.size(); ++s)
+        policies_[s] = policy;
+}
+
+const StagePolicy *
+DataflowExecutor::policyFor(StageId stage) const
+{
+    const auto it = policies_.find(stage);
+    return it == policies_.end() ? nullptr : &it->second;
 }
 
 std::size_t
@@ -87,22 +110,69 @@ DataflowExecutor::tryDispatch(ResourceState &resource)
     resource.busy = true;
     StageSpan &span = state.trace.spans[s];
     span.start = sim_.now();
-    const Duration duration = graph_.executor(s).execute(f);
-    SOV_ASSERT(duration >= Duration::zero());
-    span.finish = span.start + duration;
-    sim_.schedule(duration, [this, &resource, f = f, s = s] {
-        onStageFinish(resource, f, s);
+
+    // Supervised execution: attempts run back to back in model time
+    // (the watchdog kills a hung/overrunning attempt at the timeout
+    // and restarts the stage) until one succeeds or retries run out.
+    const StagePolicy *policy = policyFor(s);
+    StageExecutor &executor = graph_.executor(s);
+    Duration elapsed = Duration::zero();
+    bool attempt_failed = false;
+    std::uint32_t attempts = 0;
+    for (;;) {
+        Duration d = executor.execute(f);
+        SOV_ASSERT(d >= Duration::zero());
+        const StageOutcome outcome = executor.lastOutcome();
+        ++attempts;
+        bool timed_out = false;
+        if (policy && policy->timeout &&
+            (outcome == StageOutcome::Hang || d > *policy->timeout)) {
+            d = *policy->timeout;
+            timed_out = true;
+        }
+        elapsed += d;
+        const bool crashed = outcome == StageOutcome::Crash;
+        attempt_failed = timed_out || crashed;
+        if (timed_out)
+            ++stage_timeouts_;
+        if (crashed)
+            ++stage_crashes_;
+        if (health_)
+            health_->onStageAttempt(s, f, outcome, timed_out);
+        span.timed_out = timed_out;
+        span.crashed = crashed;
+        if (!attempt_failed || !policy || attempts > policy->max_retries)
+            break;
+        ++stage_retries_;
+    }
+    span.attempts = attempts;
+    span.finish = span.start + elapsed;
+    sim_.schedule(elapsed, [this, &resource, f = f, s = s,
+                            failed = attempt_failed] {
+        onStageFinish(resource, f, s, failed);
     });
 }
 
 void
 DataflowExecutor::onStageFinish(ResourceState &resource, std::size_t frame,
-                                StageId stage)
+                                StageId stage, bool stage_failed)
 {
     resource.busy = false;
     resource.queue.pop_front();
 
-    FrameState &state = in_flight_.at(frame);
+    const auto frame_it = in_flight_.find(frame);
+    if (frame_it == in_flight_.end()) {
+        // The frame was abandoned while this instance was running.
+        tryDispatch(resource);
+        return;
+    }
+    if (stage_failed) {
+        failFrame(frame, stage);
+        tryDispatch(resource);
+        return;
+    }
+
+    FrameState &state = frame_it->second;
     for (StageId dep : graph_.dependents(stage)) {
         SOV_ASSERT(state.deps_left[dep] > 0);
         if (--state.deps_left[dep] == 0) {
@@ -140,6 +210,44 @@ DataflowExecutor::completeFrame(std::size_t frame)
         }
         tracer_->recordTotal(trace.latency());
     }
+    if (health_)
+        health_->onFrameCompleted(trace);
+    if (keep_traces_)
+        traces_.push_back(std::move(trace));
+    if (on_complete)
+        on_complete(keep_traces_ ? traces_.back() : trace);
+}
+
+void
+DataflowExecutor::failFrame(std::size_t frame, StageId stage)
+{
+    const auto it = in_flight_.find(frame);
+    SOV_ASSERT(it != in_flight_.end());
+    FrameTrace trace = std::move(it->second.trace);
+    FrameCallback on_complete = std::move(it->second.on_complete);
+    in_flight_.erase(it);
+
+    // Cancel queued-but-not-started instances of the frame; a running
+    // instance (the busy head of a lane) keeps its slot and is
+    // discarded when its finish event fires.
+    for (auto &[name, resource] : resources_) {
+        (void)name;
+        auto &q = resource.queue;
+        const auto keep = q.begin() + (resource.busy ? 1 : 0);
+        q.erase(std::remove_if(keep, q.end(),
+                               [frame](const auto &inst) {
+                                   return inst.first == frame;
+                               }),
+                q.end());
+    }
+
+    trace.finish = sim_.now();
+    trace.failed = true;
+    trace.failed_stage = stage;
+    ++frames_failed_;
+    ++completed_count_; // resolved: no longer counts as in flight
+    if (health_)
+        health_->onFrameFailed(trace);
     if (keep_traces_)
         traces_.push_back(std::move(trace));
     if (on_complete)
@@ -189,6 +297,7 @@ DataflowExecutor::run(StageGraph &graph, const RunOptions &opts)
     RunResult result;
     result.frames = std::move(exec.traces_);
     result.deadline_misses = exec.deadlineMisses();
+    result.frames_failed = exec.framesFailed();
     return result;
 }
 

@@ -42,6 +42,12 @@ struct StageSpan
     Timestamp ready;    //!< all dependencies satisfied
     Timestamp start;    //!< resource granted, execution begins
     Timestamp finish;
+    /** Executor invocations (1 + retries taken by the watchdog). */
+    std::uint32_t attempts = 1;
+    /** Final attempt was truncated by the watchdog timeout. */
+    bool timed_out = false;
+    /** Final attempt crashed (fault injection). */
+    bool crashed = false;
 
     /** Time spent waiting for the resource after becoming ready. */
     Duration queueing() const { return start - ready; }
@@ -55,10 +61,53 @@ struct FrameTrace
     Timestamp release;
     Timestamp finish;
     bool deadline_missed = false;
+    /** A stage exhausted its watchdog retries; the frame was abandoned
+     *  (downstream stages cancelled) and produced no result. */
+    bool failed = false;
+    /** The stage that abandoned the frame (valid when failed). */
+    StageId failed_stage = 0;
     /** spans[s] = span of stage s; indexed by StageId. */
     std::vector<StageSpan> spans;
 
     Duration latency() const { return finish - release; }
+};
+
+/**
+ * Watchdog policy for one stage: how the runtime supervises the
+ * stage's executor. A timeout truncates hangs and latency tails (the
+ * watchdog kills and restarts the stage); crashes are detected from
+ * the executor outcome. A failed attempt is retried up to max_retries
+ * times (each retry re-invokes the executor); when retries are
+ * exhausted the frame is abandoned — skip-frame degradation, the
+ * paper's answer to a misbehaving pipeline component (Sec. III-C).
+ */
+struct StagePolicy
+{
+    /** Kill an attempt running longer than this; unset = never. */
+    std::optional<Duration> timeout;
+    /** Extra attempts after a crashed or timed-out one. */
+    std::uint32_t max_retries = 0;
+};
+
+/**
+ * Observer of supervision events, implemented by the health layer.
+ * Callbacks fire synchronously from the executor at simulation time.
+ */
+class DataflowHealthListener
+{
+  public:
+    virtual ~DataflowHealthListener() = default;
+
+    /** One executor attempt resolved (possibly to be retried). */
+    virtual void onStageAttempt(StageId stage, std::size_t frame,
+                                StageOutcome outcome, bool timed_out)
+    {
+        (void)stage; (void)frame; (void)outcome; (void)timed_out;
+    }
+    /** A frame was abandoned after exhausting a stage's retries. */
+    virtual void onFrameFailed(const FrameTrace &trace) { (void)trace; }
+    /** A frame completed all stages. */
+    virtual void onFrameCompleted(const FrameTrace &trace) { (void)trace; }
 };
 
 /** Options for a batch run of a StageGraph. */
@@ -82,6 +131,7 @@ struct RunResult
 {
     std::vector<FrameTrace> frames; //!< in completion (== frame) order
     std::uint64_t deadline_misses = 0;
+    std::uint64_t frames_failed = 0; //!< abandoned by the watchdog
 
     const StageSpan &span(std::size_t frame, StageId stage) const
     {
@@ -126,6 +176,19 @@ class DataflowExecutor
         deadline_ = deadline;
     }
 
+    /** Supervise @p stage with @p policy (watchdog timeout + retries).
+     *  Call before releasing frames. */
+    void setStagePolicy(StageId stage, const StagePolicy &policy);
+
+    /** Apply @p policy to every stage of the graph. */
+    void setAllStagePolicies(const StagePolicy &policy);
+
+    /** Attach the health observer (nullptr detaches). */
+    void setHealthListener(DataflowHealthListener *listener)
+    {
+        health_ = listener;
+    }
+
     /** Keep completed FrameTraces in memory (default on). Long
      *  closed-loop runs turn this off and attach a tracer instead. */
     void setKeepTraces(bool keep) { keep_traces_ = keep; }
@@ -153,6 +216,15 @@ class DataflowExecutor
     }
     std::uint64_t deadlineMisses() const { return deadline_misses_; }
 
+    /** Frames abandoned because a stage exhausted its retries. */
+    std::uint64_t framesFailed() const { return frames_failed_; }
+    /** Stage attempts truncated by a watchdog timeout. */
+    std::uint64_t stageTimeouts() const { return stage_timeouts_; }
+    /** Stage attempts that crashed (fault injection). */
+    std::uint64_t stageCrashes() const { return stage_crashes_; }
+    /** Watchdog-driven re-executions of a stage. */
+    std::uint64_t stageRetries() const { return stage_retries_; }
+
     /** Completed traces (empty when keep-traces is off). */
     const std::vector<FrameTrace> &traces() const { return traces_; }
 
@@ -178,8 +250,10 @@ class DataflowExecutor
 
     void tryDispatch(ResourceState &resource);
     void onStageFinish(ResourceState &resource, std::size_t frame,
-                       StageId stage);
+                       StageId stage, bool stage_failed);
     void completeFrame(std::size_t frame);
+    void failFrame(std::size_t frame, StageId stage);
+    const StagePolicy *policyFor(StageId stage) const;
 
     Simulator &sim_;
     StageGraph &graph_;
@@ -187,11 +261,17 @@ class DataflowExecutor
     std::map<std::size_t, FrameState> in_flight_;
     std::vector<FrameTrace> traces_;
     LatencyTracer *tracer_ = nullptr;
+    DataflowHealthListener *health_ = nullptr;
+    std::map<StageId, StagePolicy> policies_;
     std::optional<Duration> deadline_;
     bool keep_traces_ = true;
     std::uint64_t next_frame_ = 0;
     std::uint64_t completed_count_ = 0;
     std::uint64_t deadline_misses_ = 0;
+    std::uint64_t frames_failed_ = 0;
+    std::uint64_t stage_timeouts_ = 0;
+    std::uint64_t stage_crashes_ = 0;
+    std::uint64_t stage_retries_ = 0;
 };
 
 } // namespace sov::runtime

@@ -26,6 +26,21 @@
 
 namespace sov::runtime {
 
+/**
+ * What happened during one stage invocation. Plain executors always
+ * report Ok; fault-injecting wrappers (src/fault) report Crash when
+ * the invocation produced no usable result after the returned
+ * detection time, and Hang when the stage would never complete on its
+ * own (the returned duration is the hang time; a watchdog policy on
+ * the DataflowExecutor truncates it).
+ */
+enum class StageOutcome
+{
+    Ok,
+    Crash,
+    Hang,
+};
+
 /** Decides the duration of one invocation of a pipeline stage. */
 class StageExecutor
 {
@@ -35,6 +50,10 @@ class StageExecutor
     /** Duration of instance @p frame of the stage. Stateful executors
      *  (samplers, measured kernels) mutate on each call. */
     virtual Duration execute(std::size_t frame) = 0;
+
+    /** Outcome of the most recent execute(). Healthy executors never
+     *  fail; only fault injectors override this. */
+    virtual StageOutcome lastOutcome() const { return StageOutcome::Ok; }
 
     /** Strategy name for traces and docs: "analytic" / "fixed" /
      *  "kernel". */

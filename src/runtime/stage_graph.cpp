@@ -55,6 +55,18 @@ StageGraph::addKernel(std::string name, std::string resource,
         std::move(deps));
 }
 
+std::unique_ptr<StageExecutor>
+StageGraph::replaceExecutor(StageId id,
+                            std::unique_ptr<StageExecutor> executor)
+{
+    SOV_ASSERT(id < stages_.size());
+    SOV_ASSERT(executor != nullptr);
+    std::unique_ptr<StageExecutor> old =
+        std::move(stages_[id].executor);
+    stages_[id].executor = std::move(executor);
+    return old;
+}
+
 StageId
 StageGraph::findStage(const std::string &name) const
 {

@@ -71,6 +71,15 @@ class StageGraph
     const Stage &stage(StageId id) const { return stages_.at(id); }
     StageExecutor &executor(StageId id) { return *stages_.at(id).executor; }
 
+    /**
+     * Swap in a new executor for @p id, returning the old one. The
+     * fault layer uses this to wrap a stage's executor in place (the
+     * wrapper takes ownership of the original), leaving the DAG
+     * untouched.
+     */
+    std::unique_ptr<StageExecutor>
+    replaceExecutor(StageId id, std::unique_ptr<StageExecutor> executor);
+
     /** Stage id by name; panics if absent. */
     StageId findStage(const std::string &name) const;
 

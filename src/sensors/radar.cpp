@@ -9,6 +9,8 @@ RadarModel::scan(const World &world, const Pose2 &body,
                  const Vec2 &ego_velocity, Timestamp t)
 {
     std::vector<RadarDetection> detections;
+    if (dropout_filter_ && dropout_filter_(t))
+        return detections;
     const double boresight = body.heading + config_.mount_yaw;
 
     for (const auto &obs : world.obstacles()) {
@@ -44,6 +46,8 @@ std::optional<double>
 RadarModel::nearestInPath(const World &world, const Pose2 &body,
                           double corridor_half_width, Timestamp t) const
 {
+    if (dropout_filter_ && dropout_filter_(t))
+        return std::nullopt;
     // Three parallel rays across the corridor approximate the beam.
     const Vec2 dir = body.direction();
     const Vec2 normal(-dir.y(), dir.x());

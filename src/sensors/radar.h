@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -69,6 +70,17 @@ class RadarModel
                                         double corridor_half_width,
                                         Timestamp t) const;
 
+    /**
+     * Fault hook: when set and returning true at a scan time, the unit
+     * produces no data for that scan (RF blanking, power glitch). The
+     * fault layer adapts a dropout FaultChannel to this signature.
+     */
+    void
+    setDropoutFilter(std::function<bool(Timestamp)> filter)
+    {
+        dropout_filter_ = std::move(filter);
+    }
+
     Duration period() const
     {
         return Duration::seconds(1.0 / config_.rate_hz);
@@ -79,6 +91,7 @@ class RadarModel
   private:
     RadarConfig config_;
     Rng rng_;
+    std::function<bool(Timestamp)> dropout_filter_;
 };
 
 } // namespace sov

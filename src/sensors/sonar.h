@@ -6,6 +6,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "core/rng.h"
@@ -42,6 +43,14 @@ class SonarModel
     /** Ping from the vehicle at @p body, time @p t. */
     SonarReading ping(const World &world, const Pose2 &body, Timestamp t);
 
+    /** Fault hook: when set and returning true at a ping time, the
+     *  unit returns an empty reading (transducer dropout). */
+    void
+    setDropoutFilter(std::function<bool(Timestamp)> filter)
+    {
+        dropout_filter_ = std::move(filter);
+    }
+
     Duration period() const
     {
         return Duration::seconds(1.0 / config_.rate_hz);
@@ -52,6 +61,7 @@ class SonarModel
   private:
     SonarConfig config_;
     Rng rng_;
+    std::function<bool(Timestamp)> dropout_filter_;
 };
 
 } // namespace sov

@@ -1,8 +1,10 @@
 #include "sovpipe/closed_loop.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/logging.h"
+#include "fault/stage_faults.h"
 
 namespace sov {
 
@@ -16,7 +18,9 @@ ClosedLoopSim::ClosedLoopSim(World &world, Polyline2 route,
       pipeline_exec_(sim_, pipeline_.graph()),
       vehicle_(), ecu_(sim_, vehicle_), can_(sim_),
       radar_(RadarConfig{}, rng_.fork("radar")),
-      reactive_(sim_, ecu_, radar_)
+      reactive_(sim_, ecu_, radar_),
+      own_faults_(rng_.fork("fault")),
+      sensor_faults_(config_.faults)
 {
     // Long runs release thousands of frames; stream spans into the
     // tracer instead of keeping every trace.
@@ -24,6 +28,64 @@ ClosedLoopSim::ClosedLoopSim(World &world, Polyline2 route,
     pipeline_exec_.attachTracer(&pipeline_tracer_);
     pipeline_exec_.setDeadline(config_.pipeline_deadline);
     can_.connect([this](const ControlCommand &cmd) { ecu_.onCommand(cmd); });
+
+    // Legacy perception-miss knob, now a first-class fault channel
+    // (Sec. III-C scenario 2). p = 0 creates no channel and draws
+    // nothing, so fault-free runs reproduce the pre-fault-layer
+    // schedule bit for bit.
+    if (config_.perception_miss_probability > 0.0) {
+        perception_miss_.push_back(&own_faults_.add(
+            fault::perceptionMiss(config_.perception_miss_probability)));
+    }
+
+    if (config_.faults) {
+        for (fault::FaultChannel *ch :
+             config_.faults->channelsFor(fault::FaultTarget::Perception)) {
+            if (ch->spec().mode == fault::FaultMode::Dropout)
+                perception_miss_.push_back(ch);
+        }
+        // The reactive path polls the radar via the world oracle at
+        // physics rate; its dropout channel is consulted there (one
+        // draw per sweep) rather than through the model's filter hook.
+        radar_dropout_ = config_.faults->find(fault::FaultTarget::Radar,
+                                              fault::FaultMode::Dropout);
+        if (fault::FaultChannel *loss = config_.faults->find(
+                fault::FaultTarget::CanBus, fault::FaultMode::Dropout)) {
+            can_.setLossFilter(fault::makeDropoutFilter(loss));
+        }
+        fault::installStageFaults(pipeline_.graph(), *config_.faults,
+                                  [this] { return sim_.now(); });
+    }
+
+    if (config_.stage_watchdog) {
+        runtime::StagePolicy policy;
+        policy.timeout = config_.stage_watchdog;
+        policy.max_retries = config_.stage_max_retries;
+        pipeline_exec_.setAllStagePolicies(policy);
+    }
+
+    if (config_.enable_health) {
+        health_ =
+            std::make_unique<health::HealthMonitor>(config_.degradation);
+        pipeline_exec_.setHealthListener(health_.get());
+        // Camera frames arrive once per planning cycle; five silent
+        // cycles mark the proactive front-end stale.
+        health::HeartbeatSpec camera;
+        camera.expected_period =
+            Duration::seconds(1.0 / config_.planner_rate_hz);
+        camera.stale_after =
+            Duration::seconds(5.0 / config_.planner_rate_hz);
+        health_->watchSensor("camera", camera, sim_.now());
+        // The radar guards the reactive path: silence beyond 200 ms
+        // means the last line of defense is blind -> SAFE_STOP.
+        health::HeartbeatSpec radar;
+        radar.expected_period =
+            Duration::seconds(1.0 / config_.physics_rate_hz);
+        radar.stale_after = Duration::millisF(200.0);
+        radar.reactive_critical = true;
+        health_->watchSensor("radar", radar, sim_.now());
+    }
+
     reset();
 }
 
@@ -40,18 +102,66 @@ ClosedLoopSim::reset()
     result_ = ClosedLoopResult{};
     cycles_ = 0;
     reactive_cycles_ = 0;
+    proactive_cycles_ = 0;
     was_moving_ = false;
+    safe_stop_commanded_ = false;
+    last_camera_ = CameraSnapshot{};
+}
+
+void
+ClosedLoopSim::dispatchCommand(const ControlCommand &command)
+{
+    ControlCommand cmd = command;
+    cmd.issued_at = sim_.now();
+    can_.transmit(cmd);
 }
 
 void
 ClosedLoopSim::planningCycle()
 {
+    const Timestamp now = sim_.now();
     ++cycles_;
     if (reactive_.active())
         ++reactive_cycles_;
 
-    if (!config_.enable_proactive)
+    // Supervision cycle: fold watchdog events and sensor heartbeats
+    // into the degradation state machine before planning.
+    double speed_limit = config_.cruise_speed;
+    bool proactive_allowed = config_.enable_proactive;
+    if (health_) {
+        health_->evaluate(now, config_.fixed_compute_latency
+                                   ? 0
+                                   : pipeline_exec_.framesInFlight());
+        const health::DegradationManager &mgr = health_->degradation();
+        if (mgr.safeStopRequested()) {
+            // The reactive path itself is untrusted: stop now, once,
+            // through the ECU override (no pipeline in the way).
+            if (!safe_stop_commanded_) {
+                safe_stop_commanded_ = true;
+                ecu_.emergencyBrake();
+            }
+            return;
+        }
+        speed_limit = mgr.speedCap(config_.cruise_speed);
+        if (!mgr.proactiveEnabled())
+            proactive_allowed = false;
+    }
+
+    if (!proactive_allowed)
         return;
+
+    // Camera-side fault disposition for this cycle's frame.
+    fault::SensorDisposition cam =
+        sensor_faults_.evaluate(fault::FaultTarget::Camera, now);
+    if (cam.drop) {
+        // The frame never arrives: no heartbeat, no planning. The
+        // monitor sees the silence and degrades after the budget.
+        ++result_.sensor_dropouts;
+        return;
+    }
+    if (health_)
+        health_->noteHeartbeat("camera", now);
+    ++proactive_cycles_;
 
     // Load shedding: when a latency tail backs the pipeline up, drop
     // this cycle's frame rather than queue work that would only yield
@@ -66,47 +176,75 @@ ClosedLoopSim::planningCycle()
     // world as it was at cycle start, and its command reaches the CAN
     // bus after the computing latency drawn from the pipeline model.
     PlannerInput input;
-    input.now = sim_.now();
+    input.now = now;
     input.ego_pose = vehicle_.pose();
     input.ego_speed = vehicle_.speed();
     input.reference_path = route_;
-    input.speed_limit = config_.cruise_speed;
-    for (const auto &obs : world_.obstaclesNear(
-             vehicle_.pose().position, config_.perception_range,
-             sim_.now())) {
-        // Injected vision failure: the detector misses this object.
-        if (config_.perception_miss_probability > 0.0 &&
-            rng_.bernoulli(config_.perception_miss_probability)) {
-            continue;
+    input.speed_limit = std::min(config_.cruise_speed, speed_limit);
+    if (cam.freeze && last_camera_.valid) {
+        // Frozen sensor: the planner acts on the previous frame's
+        // world view (objects have moved on; the plan is stale).
+        input.objects = last_camera_.objects;
+    } else {
+        for (const auto &obs : world_.obstaclesNear(
+                 vehicle_.pose().position, config_.perception_range,
+                 now)) {
+            // Injected vision failure: the detector misses this
+            // object (each channel decides on its own stream).
+            bool missed = false;
+            for (fault::FaultChannel *ch : perception_miss_) {
+                if (ch->shouldInject(now))
+                    missed = true;
+            }
+            if (missed)
+                continue;
+            FusedObject object;
+            object.track_id = obs.id;
+            object.position = obs.positionAt(now);
+            object.velocity = obs.velocity;
+            object.cls = obs.cls;
+            object.confidence = 1.0;
+            if (cam.corruption) {
+                object.position.x() =
+                    cam.corruption->corrupt(object.position.x());
+                object.position.y() =
+                    cam.corruption->corrupt(object.position.y());
+            }
+            input.objects.push_back(object);
         }
-        FusedObject object;
-        object.track_id = obs.id;
-        object.position = obs.positionAt(sim_.now());
-        object.velocity = obs.velocity;
-        object.cls = obs.cls;
-        object.confidence = 1.0;
-        input.objects.push_back(object);
+        last_camera_.objects = input.objects;
+        last_camera_.valid = true;
     }
 
     const MpcOutput plan = planner_.plan(input);
 
     if (config_.fixed_compute_latency) {
         // Latency-sweep experiments bypass the pipeline graph.
-        sim_.schedule(*config_.fixed_compute_latency,
-                      [this, cmd = plan.command]() mutable {
-                          cmd.issued_at = sim_.now();
-                          can_.transmit(cmd);
-                      });
+        sim_.schedule(*config_.fixed_compute_latency + cam.extra_latency,
+                      [this, cmd = plan.command] { dispatchCommand(cmd); });
+        return;
+    }
+    if (cam.extra_latency > Duration::zero()) {
+        // Sensor latency spike: the frame enters the pipeline late.
+        sim_.schedule(cam.extra_latency, [this, cmd = plan.command] {
+            pipeline_exec_.releaseFrame(
+                [this, cmd](const runtime::FrameTrace &) {
+                    dispatchCommand(cmd);
+                });
+        });
         return;
     }
     // Release one Fig. 5 frame into the dataflow runtime; the command
     // reaches the CAN bus when the frame's planning stage completes.
     // Per-resource in-order issue keeps command delivery in cycle
-    // order even when a frame hits a latency tail.
+    // order even when a frame hits a latency tail. An abandoned frame
+    // (watchdog retries exhausted) never fires the callback with a
+    // command transmit — see the failed check below.
     pipeline_exec_.releaseFrame(
-        [this, cmd = plan.command](const runtime::FrameTrace &) mutable {
-            cmd.issued_at = sim_.now();
-            can_.transmit(cmd);
+        [this, cmd = plan.command](const runtime::FrameTrace &trace) {
+            if (trace.failed)
+                return; // skip-frame: no stale/garbage command
+            dispatchCommand(cmd);
         });
 }
 
@@ -118,9 +256,18 @@ ClosedLoopSim::physicsStep()
 
     // Reactive path: the radar watch runs at sensor rate, far faster
     // than the planner (it bypasses the computing pipeline, Sec. IV).
-    if (config_.enable_reactive) {
-        reactive_.evaluate(world_, vehicle_.pose(), vehicle_.speed(),
-                           sim_.now());
+    // Once SAFE_STOP latched the override, nothing may release it.
+    if (config_.enable_reactive && !safe_stop_commanded_) {
+        const bool radar_out =
+            radar_dropout_ && radar_dropout_->shouldInject(sim_.now());
+        if (radar_out) {
+            ++result_.sensor_dropouts;
+        } else {
+            if (health_)
+                health_->noteHeartbeat("radar", sim_.now());
+            reactive_.evaluate(world_, vehicle_.pose(), vehicle_.speed(),
+                               sim_.now());
+        }
     }
 
     vehicle_.step(dt);
@@ -167,10 +314,20 @@ ClosedLoopSim::run(Duration horizon)
     result_.distance_travelled = vehicle_.odometer();
     result_.reactive_triggers = reactive_.triggerCount();
     result_.deadline_misses = pipeline_exec_.deadlineMisses();
+    result_.pipeline_frames_failed = pipeline_exec_.framesFailed();
+    result_.can_frames_lost = can_.framesLost();
     result_.reactive_fraction = cycles_
         ? static_cast<double>(reactive_cycles_) /
             static_cast<double>(cycles_)
         : 0.0;
+    result_.availability = cycles_
+        ? static_cast<double>(proactive_cycles_) /
+            static_cast<double>(cycles_)
+        : 0.0;
+    if (health_) {
+        result_.final_level = health_->degradation().level();
+        result_.worst_level = health_->degradation().worstLevel();
+    }
     result_.elapsed = sim_.now() - Timestamp::origin();
     return result_;
 }

@@ -18,9 +18,14 @@
  */
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/rng.h"
+#include "fault/fault_plan.h"
+#include "fault/sensor_faults.h"
+#include "health/health_monitor.h"
 #include "planning/mpc.h"
 #include "runtime/dataflow.h"
 #include "sensors/radar.h"
@@ -60,6 +65,20 @@ struct ClosedLoopConfig
      *  shed sensor frames under congestion. Default allows normal
      *  pipelining (two frames overlap at 10 Hz) plus one tail frame. */
     std::uint64_t max_frames_in_flight = 3;
+    /** Fault scenario to run under (Sec. III-C). Not owned; must
+     *  outlive the sim. nullptr = fault-free. A plan whose channels
+     *  never fire leaves the run bit-identical to a fault-free one. */
+    fault::FaultPlan *faults = nullptr;
+    /** Run the HealthMonitor + DegradationManager (one supervision
+     *  cycle per planning cycle). Off = faults still inject but
+     *  nothing degrades gracefully — the "no supervision" baseline. */
+    bool enable_health = false;
+    health::DegradationPolicy degradation;
+    /** Watchdog timeout applied to every pipeline stage (truncates
+     *  hangs and latency tails); unset = unsupervised stages. */
+    std::optional<Duration> stage_watchdog;
+    /** Retries per stage attempt before the frame is abandoned. */
+    std::uint32_t stage_max_retries = 1;
 };
 
 /** Outcome of a scenario run. */
@@ -77,6 +96,21 @@ struct ClosedLoopResult
     std::uint64_t deadline_misses = 0;
     /** Planning cycles shed because the pipeline was congested. */
     std::uint64_t frames_dropped = 0;
+    /** Frames abandoned after a stage exhausted its watchdog retries. */
+    std::uint64_t pipeline_frames_failed = 0;
+    /** Command frames eaten by an injected CAN loss fault. */
+    std::uint64_t can_frames_lost = 0;
+    /** Sensor samples (camera frames, radar sweeps) lost to dropout. */
+    std::uint64_t sensor_dropouts = 0;
+    /** Degradation level at run end / worst reached (NOMINAL when
+     *  health monitoring is off). */
+    health::DegradationLevel final_level = health::DegradationLevel::Nominal;
+    health::DegradationLevel worst_level = health::DegradationLevel::Nominal;
+    /** Fraction of planning cycles at proactive capability (camera
+     *  frame delivered and the degradation level allowed the proactive
+     *  pipeline to drive) — the paper's >90% proactive-time statistic
+     *  under fault load. */
+    double availability = 0.0;
     Duration elapsed;
 };
 
@@ -108,9 +142,23 @@ class ClosedLoopSim
      *  executed so far (stages of the shared Fig. 5 graph). */
     const LatencyTracer &pipelineTracer() const { return pipeline_tracer_; }
 
+    /** The health monitor, when config.enable_health is set. */
+    const health::HealthMonitor *healthMonitor() const
+    {
+        return health_.get();
+    }
+
   private:
+    /** Last camera frame delivered to the planner (Freeze replays it). */
+    struct CameraSnapshot
+    {
+        std::vector<FusedObject> objects;
+        bool valid = false;
+    };
+
     void planningCycle();
     void physicsStep();
+    void dispatchCommand(const ControlCommand &command);
 
     World &world_;
     Polyline2 route_;
@@ -131,11 +179,25 @@ class ClosedLoopSim
     ReactivePath reactive_;
     MpcPlanner planner_;
 
+    // Fault + health wiring.
+    /** Holds the legacy perception_miss_probability knob as a real
+     *  fault channel; forked off rng_ so constructing it never
+     *  perturbs the simulation streams. */
+    fault::FaultPlan own_faults_;
+    /** All Perception/Dropout channels (legacy + external plan). */
+    std::vector<fault::FaultChannel *> perception_miss_;
+    fault::SensorFaultHub sensor_faults_;
+    fault::FaultChannel *radar_dropout_ = nullptr;
+    std::unique_ptr<health::HealthMonitor> health_;
+    CameraSnapshot last_camera_;
+
     // Run bookkeeping.
     ClosedLoopResult result_;
     std::uint64_t cycles_ = 0;
     std::uint64_t reactive_cycles_ = 0;
+    std::uint64_t proactive_cycles_ = 0;
     bool was_moving_ = false;
+    bool safe_stop_commanded_ = false;
 };
 
 } // namespace sov

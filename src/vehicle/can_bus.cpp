@@ -9,6 +9,10 @@ CanBus::transmit(const ControlCommand &command)
 {
     SOV_ASSERT(receiver_ != nullptr);
     ++frames_sent_;
+    if (loss_filter_ && loss_filter_(sim_.now())) {
+        ++frames_lost_;
+        return;
+    }
     sim_.schedule(latency_, [this, command] { receiver_(command); });
 }
 

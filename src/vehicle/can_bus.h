@@ -33,14 +33,29 @@ class CanBus
     /** Transmit a command; delivered after the bus latency. */
     void transmit(const ControlCommand &command);
 
+    /**
+     * Fault hook: when set and returning true at a transmit time, the
+     * frame is counted sent but never delivered (bus error / arbitration
+     * loss). The fault layer adapts a FaultChannel to this signature.
+     */
+    void
+    setLossFilter(std::function<bool(Timestamp)> filter)
+    {
+        loss_filter_ = std::move(filter);
+    }
+
     Duration latency() const { return latency_; }
     std::uint64_t framesSent() const { return frames_sent_; }
+    /** Frames eaten by the loss filter. */
+    std::uint64_t framesLost() const { return frames_lost_; }
 
   private:
     Simulator &sim_;
     Duration latency_;
     Receiver receiver_;
+    std::function<bool(Timestamp)> loss_filter_;
     std::uint64_t frames_sent_ = 0;
+    std::uint64_t frames_lost_ = 0;
 };
 
 } // namespace sov

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "fault/sensor_faults.h"
+
+namespace sov::fault {
+namespace {
+
+TEST(FaultChannel, ProbabilityOneAlwaysFires)
+{
+    FaultPlan plan(Rng(42));
+    FaultSpec spec;
+    spec.name = "always";
+    spec.target = FaultTarget::Camera;
+    spec.mode = FaultMode::Dropout;
+    spec.probability = 1.0;
+    FaultChannel &ch = plan.add(spec);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(ch.shouldInject(Timestamp::millisF(i * 10.0)));
+    EXPECT_EQ(ch.injections(), 10u);
+}
+
+TEST(FaultChannel, ProbabilityZeroNeverFires)
+{
+    FaultPlan plan(Rng(42));
+    FaultSpec spec;
+    spec.name = "never";
+    spec.probability = 0.0;
+    FaultChannel &ch = plan.add(spec);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(ch.shouldInject(Timestamp::millisF(i * 10.0)));
+    EXPECT_EQ(ch.injections(), 0u);
+}
+
+TEST(FaultChannel, WindowGatesInjection)
+{
+    FaultPlan plan(Rng(42));
+    FaultSpec spec;
+    spec.name = "windowed";
+    spec.probability = 1.0;
+    spec.window_start = Timestamp::seconds(1.0);
+    spec.window_end = Timestamp::seconds(2.0);
+    FaultChannel &ch = plan.add(spec);
+    EXPECT_FALSE(ch.shouldInject(Timestamp::millisF(999.0)));
+    EXPECT_TRUE(ch.shouldInject(Timestamp::seconds(1.0)));
+    EXPECT_TRUE(ch.shouldInject(Timestamp::millisF(1999.0)));
+    // [start, end): the end bound is exclusive.
+    EXPECT_FALSE(ch.shouldInject(Timestamp::seconds(2.0)));
+}
+
+TEST(FaultChannel, FractionalProbabilityIsDeterministicPerSeed)
+{
+    auto draw = [](std::uint64_t seed) {
+        FaultPlan plan{Rng(seed)};
+        FaultSpec spec;
+        spec.name = "coin";
+        spec.probability = 0.5;
+        FaultChannel &ch = plan.add(spec);
+        std::vector<bool> out;
+        for (int i = 0; i < 64; ++i)
+            out.push_back(ch.shouldInject(Timestamp::millisF(i * 1.0)));
+        return out;
+    };
+    EXPECT_EQ(draw(7), draw(7));
+    EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(FaultChannel, ChannelsDrawIndependentStreams)
+{
+    // Adding a second channel must not change what the first draws.
+    auto first_channel_draws = [](bool add_second) {
+        FaultPlan plan(Rng(99));
+        FaultSpec a;
+        a.name = "a";
+        a.probability = 0.5;
+        FaultChannel &ch = plan.add(a);
+        if (add_second) {
+            FaultSpec b;
+            b.name = "b";
+            b.probability = 0.5;
+            FaultChannel &other = plan.add(b);
+            for (int i = 0; i < 32; ++i)
+                other.shouldInject(Timestamp::millisF(i * 1.0));
+        }
+        std::vector<bool> out;
+        for (int i = 0; i < 64; ++i)
+            out.push_back(ch.shouldInject(Timestamp::millisF(i * 1.0)));
+        return out;
+    };
+    EXPECT_EQ(first_channel_draws(false), first_channel_draws(true));
+}
+
+TEST(FaultChannel, CorruptionAddsNoiseOnlyWithSigma)
+{
+    FaultPlan plan(Rng(42));
+    FaultSpec clean;
+    clean.name = "clean";
+    clean.mode = FaultMode::Corruption;
+    clean.corruption_sigma = 0.0;
+    EXPECT_DOUBLE_EQ(plan.add(clean).corrupt(3.5), 3.5);
+
+    FaultSpec noisy;
+    noisy.name = "noisy";
+    noisy.mode = FaultMode::Corruption;
+    noisy.corruption_sigma = 1.0;
+    FaultChannel &ch = plan.add(noisy);
+    bool moved = false;
+    for (int i = 0; i < 8; ++i)
+        moved = moved || ch.corrupt(3.5) != 3.5;
+    EXPECT_TRUE(moved);
+}
+
+TEST(FaultPlan, FindMatchesTargetModeAndStage)
+{
+    FaultPlan plan(Rng(1));
+    FaultSpec cam;
+    cam.name = "cam-drop";
+    cam.target = FaultTarget::Camera;
+    cam.mode = FaultMode::Dropout;
+    plan.add(cam);
+    FaultSpec stage;
+    stage.name = "planning-crash";
+    stage.target = FaultTarget::PipelineStage;
+    stage.mode = FaultMode::Crash;
+    stage.stage = "planning";
+    plan.add(stage);
+
+    EXPECT_NE(plan.find(FaultTarget::Camera, FaultMode::Dropout), nullptr);
+    EXPECT_EQ(plan.find(FaultTarget::Camera, FaultMode::Freeze), nullptr);
+    EXPECT_NE(plan.find(FaultTarget::PipelineStage, FaultMode::Crash,
+                        "planning"),
+              nullptr);
+    EXPECT_EQ(plan.find(FaultTarget::PipelineStage, FaultMode::Crash,
+                        "tracking"),
+              nullptr);
+    EXPECT_EQ(plan.channelsFor(FaultTarget::Camera).size(), 1u);
+    EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(SensorFaultHub, NullPlanIsAlwaysClean)
+{
+    SensorFaultHub hub(nullptr);
+    EXPECT_FALSE(hub.active());
+    const SensorDisposition d =
+        hub.evaluate(FaultTarget::Camera, Timestamp::origin());
+    EXPECT_FALSE(d.any());
+}
+
+TEST(SensorFaultHub, FoldsChannelsIntoDisposition)
+{
+    FaultPlan plan(Rng(5));
+    FaultSpec drop;
+    drop.name = "imu-drop";
+    drop.target = FaultTarget::Imu;
+    drop.mode = FaultMode::Dropout;
+    plan.add(drop);
+    FaultSpec spike;
+    spike.name = "imu-late";
+    spike.target = FaultTarget::Imu;
+    spike.mode = FaultMode::LatencySpike;
+    spike.latency = Duration::millisF(40.0);
+    plan.add(spike);
+
+    SensorFaultHub hub(&plan);
+    EXPECT_TRUE(hub.active());
+    const SensorDisposition d =
+        hub.evaluate(FaultTarget::Imu, Timestamp::origin());
+    EXPECT_TRUE(d.drop);
+    EXPECT_EQ(d.extra_latency, Duration::millisF(40.0));
+    // Other sensors are untouched.
+    EXPECT_FALSE(
+        hub.evaluate(FaultTarget::Gps, Timestamp::origin()).any());
+}
+
+TEST(SensorFaultHub, DropoutFilterAdapterFiresChannel)
+{
+    FaultPlan plan(Rng(5));
+    FaultSpec drop;
+    drop.name = "sonar-drop";
+    drop.target = FaultTarget::Sonar;
+    drop.mode = FaultMode::Dropout;
+    drop.window_start = Timestamp::seconds(1.0);
+    FaultChannel &ch = plan.add(drop);
+
+    auto filter = makeDropoutFilter(&ch);
+    EXPECT_FALSE(filter(Timestamp::origin()));
+    EXPECT_TRUE(filter(Timestamp::seconds(2.0)));
+}
+
+TEST(FaultPlan, PerceptionMissHelperMapsLegacyKnob)
+{
+    const FaultSpec spec = perceptionMiss(0.25);
+    EXPECT_EQ(spec.target, FaultTarget::Perception);
+    EXPECT_EQ(spec.mode, FaultMode::Dropout);
+    EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+}
+
+} // namespace
+} // namespace sov::fault

@@ -96,6 +96,53 @@ TEST(RprSchedule, TimeSharingBeatsExtractionOnly)
     EXPECT_NEAR(with_rpr.toMillis(), 13.2, 0.5);
 }
 
+TEST(RprFaults, ZeroProbabilityDrawsNothingAndMatchesBaseline)
+{
+    const RprEngine engine;
+    Rng rng(42);
+    const auto base = engine.reconfigure(1'000'000);
+    const auto faulty =
+        engine.reconfigureWithFaults(1'000'000, 0.0, 3, rng);
+    EXPECT_TRUE(faulty.success);
+    EXPECT_EQ(faulty.attempts, 1u);
+    EXPECT_EQ(faulty.total.duration.ns(), base.duration.ns());
+    EXPECT_EQ(faulty.total.cycles, base.cycles);
+    // p = 0 must not consume the stream: the next draw matches a
+    // fresh generator's first draw.
+    Rng fresh(42);
+    EXPECT_DOUBLE_EQ(rng.uniform(), fresh.uniform());
+}
+
+TEST(RprFaults, RetriesAccumulateTimeAndEnergy)
+{
+    // Force failures deterministically: p close to 1 fails every
+    // attempt until the retry budget runs out.
+    const RprEngine engine;
+    Rng rng(7);
+    const auto base = engine.reconfigure(1'000'000);
+    const auto faulty =
+        engine.reconfigureWithFaults(1'000'000, 0.999, 2, rng);
+    EXPECT_FALSE(faulty.success);
+    EXPECT_EQ(faulty.attempts, 3u); // 1 + 2 retries
+    EXPECT_NEAR(faulty.total.duration.toMillis(),
+                3.0 * base.duration.toMillis(), 1e-9);
+    EXPECT_NEAR(faulty.total.energy.toMillijoules(),
+                3.0 * base.energy.toMillijoules(), 1e-9);
+    EXPECT_DOUBLE_EQ(faulty.total.throughput_mb_s, 0.0);
+}
+
+TEST(RprFaults, OccasionalFailureEventuallySucceeds)
+{
+    const RprEngine engine;
+    Rng rng(3);
+    const auto faulty =
+        engine.reconfigureWithFaults(1'000'000, 0.5, 8, rng);
+    EXPECT_TRUE(faulty.success);
+    EXPECT_GE(faulty.attempts, 1u);
+    EXPECT_LE(faulty.attempts, 9u);
+    EXPECT_GT(faulty.total.throughput_mb_s, 0.0);
+}
+
 TEST(RprSchedule, FrequentSwitchingErodesBenefit)
 {
     RprSchedule sched;
