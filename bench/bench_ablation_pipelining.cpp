@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "runtime/dataflow.h"
-#include "sim/task_graph.h"
+#include "runtime/task_graph.h"
 
 using namespace sov;
 

@@ -3,206 +3,52 @@
  * Fault matrix: fault scenarios (Sec. III-C) x degradation policy, in
  * closed loop against the Sec. IV sudden-wall scenario.
  *
- * Each cell injects one fault class into the full proactive+reactive
- * stack and runs it (a) without supervision and (b) with the
- * HealthMonitor + DegradationManager armed, reporting collision,
- * minimum gap, proactive availability, the worst degradation level
- * reached, and the fault-layer counters. The matrix is the repo's
- * robustness headline: every scenario must end without collision when
- * supervision is on, and the degradation level must match the fault
- * (pipeline faults -> DEGRADED, a dead camera -> REACTIVE_ONLY, a dead
- * radar -> SAFE_STOP).
+ * The matrix rows are the named fleet presets
+ * (fleet::faultMatrixPresets()) crossed with the bare and supervised
+ * stack presets, executed by the FleetRunner — the same sweep engine
+ * bench_fleet_sweep scales up — instead of a hand-rolled loop. Each
+ * cell injects one fault class into the full proactive+reactive stack,
+ * reporting collision, minimum gap, proactive availability, the worst
+ * degradation level reached, and the fault-layer counters. The matrix
+ * is the repo's robustness headline: every scenario must end without
+ * collision when supervision is on, and the degradation level must
+ * match the fault (pipeline faults -> DEGRADED, a dead camera ->
+ * REACTIVE_ONLY, a dead radar -> SAFE_STOP).
  *
  * Usage:
  *   bench_fault_matrix [smoke=1] [horizon_s=40] [wall_x=40] [seed=1]
+ *                      [threads=N] [out=BENCH_fault_matrix.json]
  *
- * smoke=1 runs a reduced matrix (one scenario per fault class, shorter
- * horizon) for CI.
+ * smoke=1 runs a reduced matrix (the smoke fault presets, shorter
+ * horizon) for CI. Exit is nonzero if the supervised stack ever
+ * collided: CI runs the smoke matrix as a hard robustness gate.
  */
 #include <cstdio>
-#include <string>
+#include <fstream>
 #include <vector>
 
 #include "core/config.h"
-#include "sovpipe/closed_loop.h"
+#include "fleet/fleet_runner.h"
 
 using namespace sov;
+using namespace sov::fleet;
 
 namespace {
 
-Obstacle
-wallAt(double x)
-{
-    Obstacle o;
-    o.footprint = OrientedBox2{Pose2{Vec2(x, 0.0), 0.0}, 0.5, 2.5};
-    o.height = 2.0;
-    return o;
-}
-
-/** One row of the matrix: a named fault scenario. */
-struct Scenario
-{
-    std::string name;
-    std::vector<fault::FaultSpec> specs;
-    bool smoke = false; //!< included in the reduced CI matrix
-};
-
-fault::FaultSpec
-spec(const std::string &name, fault::FaultTarget target,
-     fault::FaultMode mode)
-{
-    fault::FaultSpec s;
-    s.name = name;
-    s.target = target;
-    s.mode = mode;
-    return s;
-}
-
-std::vector<Scenario>
-buildScenarios()
-{
-    using fault::FaultMode;
-    using fault::FaultTarget;
-    std::vector<Scenario> rows;
-
-    rows.push_back({"baseline (no fault)", {}, true});
-
-    {
-        Scenario s{"camera dropout @1s", {}, true};
-        auto cam = spec("cam-dead", FaultTarget::Camera, FaultMode::Dropout);
-        cam.window_start = Timestamp::seconds(1.0);
-        s.specs.push_back(cam);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"camera freeze @1s", {}, false};
-        auto cam = spec("cam-freeze", FaultTarget::Camera, FaultMode::Freeze);
-        cam.window_start = Timestamp::seconds(1.0);
-        s.specs.push_back(cam);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"camera latency +150ms p=0.5", {}, false};
-        auto cam =
-            spec("cam-late", FaultTarget::Camera, FaultMode::LatencySpike);
-        cam.probability = 0.5;
-        cam.latency = Duration::millisF(150.0);
-        s.specs.push_back(cam);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"perception miss p=0.8", {}, false};
-        auto miss =
-            spec("vision-miss", FaultTarget::Perception, FaultMode::Dropout);
-        miss.probability = 0.8;
-        s.specs.push_back(miss);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"planning crash p=0.35", {}, true};
-        auto crash = spec("planning-crash", FaultTarget::PipelineStage,
-                          FaultMode::Crash);
-        crash.stage = "planning";
-        crash.probability = 0.35;
-        crash.latency = Duration::millisF(5.0);
-        s.specs.push_back(crash);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"localization hang @2s", {}, false};
-        auto hang = spec("loc-hang", FaultTarget::PipelineStage,
-                         FaultMode::Hang);
-        hang.stage = "localization";
-        hang.window_start = Timestamp::seconds(2.0);
-        hang.window_end = Timestamp::seconds(2.2);
-        s.specs.push_back(hang);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"detection 5x slower", {}, false};
-        auto slow = spec("det-slow", FaultTarget::PipelineStage,
-                         FaultMode::LatencyMultiplier);
-        slow.stage = "detection";
-        slow.multiplier = 5.0;
-        s.specs.push_back(slow);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"CAN loss p=0.5", {}, true};
-        auto loss = spec("can-loss", FaultTarget::CanBus, FaultMode::Dropout);
-        loss.probability = 0.5;
-        s.specs.push_back(loss);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"radar dropout @1s", {}, true};
-        auto radar =
-            spec("radar-dead", FaultTarget::Radar, FaultMode::Dropout);
-        radar.window_start = Timestamp::seconds(1.0);
-        s.specs.push_back(radar);
-        rows.push_back(s);
-    }
-    {
-        Scenario s{"camera + planning combo", {}, false};
-        auto cam = spec("cam-dead", FaultTarget::Camera, FaultMode::Dropout);
-        cam.window_start = Timestamp::seconds(2.0);
-        cam.probability = 0.7;
-        auto crash = spec("planning-crash", FaultTarget::PipelineStage,
-                          FaultMode::Crash);
-        crash.stage = "planning";
-        crash.probability = 0.3;
-        s.specs.push_back(cam);
-        s.specs.push_back(crash);
-        rows.push_back(s);
-    }
-    return rows;
-}
-
-struct Cell
-{
-    ClosedLoopResult result;
-};
-
-Cell
-runCell(const Scenario &scenario, bool supervised, double wall_x,
-        double horizon_s, std::uint64_t seed)
-{
-    fault::FaultPlan plan{Rng(seed ^ 0xFA017ULL)};
-    for (const auto &s : scenario.specs)
-        plan.add(s);
-
-    World world;
-    if (wall_x > 0.0)
-        world.addObstacle(wallAt(wall_x));
-
-    ClosedLoopConfig cfg;
-    if (!plan.empty())
-        cfg.faults = &plan;
-    cfg.enable_health = supervised;
-    if (supervised) {
-        cfg.stage_watchdog = Duration::millisF(400.0);
-        cfg.stage_max_retries = 1;
-    }
-    ClosedLoopSim sim(world, Polyline2({Vec2(0, 0), Vec2(300, 0)}), cfg,
-                      SovPipelineConfig{}, Rng(seed));
-    return Cell{sim.run(Duration::seconds(horizon_s))};
-}
-
 void
-printCell(const Scenario &scenario, bool supervised, const Cell &cell)
+printRow(const ScenarioOutcome &o, const char *policy,
+         const std::string &fault_name)
 {
-    const ClosedLoopResult &r = cell.result;
     std::printf("%-28s %-12s %-9s gap=%6.2f  avail=%5.1f%%  "
                 "worst=%-13s failed=%-3llu canlost=%-3llu drop=%llu\n",
-                scenario.name.c_str(),
-                supervised ? "supervised" : "bare",
-                r.collided ? "COLLIDED" : r.stopped ? "stopped" : "cruise",
-                r.min_gap,
-                100.0 * r.availability,
-                toString(r.worst_level),
-                static_cast<unsigned long long>(r.pipeline_frames_failed),
-                static_cast<unsigned long long>(r.can_frames_lost),
-                static_cast<unsigned long long>(r.sensor_dropouts));
+                fault_name.c_str(), policy,
+                o.collided ? "COLLIDED" : o.stopped ? "stopped" : "cruise",
+                o.min_gap,
+                100.0 * o.availability,
+                toString(o.worst_level),
+                static_cast<unsigned long long>(o.pipeline_frames_failed),
+                static_cast<unsigned long long>(o.can_frames_lost),
+                static_cast<unsigned long long>(o.sensor_dropouts));
 }
 
 } // namespace
@@ -215,8 +61,30 @@ main(int argc, char **argv)
     const double horizon_s =
         config.getDouble("horizon_s", smoke ? 20.0 : 40.0);
     const double wall_x = config.getDouble("wall_x", 40.0);
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(config.getInt("seed", 1));
+    const auto seed = static_cast<std::uint64_t>(config.getInt("seed", 1));
+    const auto threads =
+        static_cast<std::size_t>(config.getInt("threads", 0));
+    const std::string out_path =
+        config.getString("out", "BENCH_fault_matrix.json");
+
+    std::vector<FaultPreset> presets = faultMatrixPresets();
+    if (smoke) {
+        std::vector<FaultPreset> kept;
+        for (FaultPreset &p : presets)
+            if (p.smoke)
+                kept.push_back(std::move(p));
+        presets = std::move(kept);
+    }
+
+    WorldPreset world = suddenWallWorld(wall_x);
+    world.horizon_s = horizon_s;
+
+    ScenarioMatrix matrix;
+    matrix.addWorld(world)
+        .addFaults(presets)
+        .addStack(bareStack())
+        .addStack(supervisedStack())
+        .addSeed(seed);
 
     std::printf("=== Fault matrix: Sec. III-C scenarios x degradation "
                 "policy ===\n");
@@ -227,25 +95,44 @@ main(int argc, char **argv)
     std::printf("%-28s %-12s %-9s %s\n", "scenario", "policy", "outcome",
                 "metrics");
 
+    FleetRunner runner(FleetConfig{threads, seed});
+    const FleetReport report = runner.run(matrix);
+
+    // Enumeration order: per fault preset, the bare row then the
+    // supervised row (the stack axis is innermost above seeds).
+    const std::vector<ScenarioOutcome> &rows = report.outcomes();
     int collisions_supervised = 0;
-    int rows = 0;
-    for (const Scenario &scenario : buildScenarios()) {
-        if (smoke && !scenario.smoke)
-            continue;
-        const Cell bare =
-            runCell(scenario, false, wall_x, horizon_s, seed);
-        printCell(scenario, false, bare);
-        const Cell supervised =
-            runCell(scenario, true, wall_x, horizon_s, seed);
-        printCell(scenario, true, supervised);
-        collisions_supervised += supervised.result.collided ? 1 : 0;
-        ++rows;
+    for (std::size_t f = 0; f < presets.size(); ++f) {
+        const ScenarioOutcome &bare = rows.at(2 * f);
+        const ScenarioOutcome &supervised = rows.at(2 * f + 1);
+        printRow(bare, "bare", presets[f].name);
+        printRow(supervised, "supervised", presets[f].name);
+        collisions_supervised += supervised.collided ? 1 : 0;
         std::printf("\n");
     }
 
-    std::printf("%d scenarios; %d collisions under supervision "
-                "(expected 0)\n",
-                rows, collisions_supervised);
+    const FleetTiming &timing = runner.lastTiming();
+    std::printf("%zu scenarios; %d collisions under supervision "
+                "(expected 0); %.3f s wall on %zu threads "
+                "(%.0f scenarios/sec)\n",
+                presets.size(), collisions_supervised,
+                timing.wall_seconds, timing.threads,
+                timing.scenarios_per_second);
+
+    {
+        std::ofstream json(out_path);
+        json << "{\n  \"bench\": \"fault_matrix\",\n  \"wall_x\": "
+             << wall_x << ",\n  \"horizon_s\": " << horizon_s
+             << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+             << ",\n  \"threads\": " << timing.threads
+             << ",\n  \"wall_s\": " << timing.wall_seconds
+             << ",\n  \"scenarios_per_sec\": "
+             << timing.scenarios_per_second
+             << ",\n  \"collisions_supervised\": " << collisions_supervised
+             << ",\n  \"report\": " << report.toJson() << "}\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
     // Exit nonzero if the supervised stack ever collided: CI runs the
     // smoke matrix as a hard robustness gate.
     return collisions_supervised == 0 ? 0 : 1;

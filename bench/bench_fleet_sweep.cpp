@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Fleet-scale scenario sweep: the repo's headline throughput number.
+ *
+ * Enumerates a scenario matrix (worlds x Sec. III-C fault presets x
+ * bare/supervised stacks x seeds — >= 500 scenarios by default), runs
+ * it on the FleetRunner at 1, 2, 4, and hardware-concurrency threads,
+ * and reports scenarios/sec per thread count. The hard gate is the
+ * fleet determinism contract: every thread count must produce a
+ * bit-identical FleetReport (compared by fingerprint); any mismatch
+ * exits nonzero. Speedup is reported but not gated — it depends on the
+ * machine's core count.
+ *
+ * Usage:
+ *   bench_fleet_sweep [smoke=1] [seed=1] [seeds=4] [horizon_s=40]
+ *                     [max_threads=N] [out=BENCH_fleet.json]
+ *
+ * smoke=1 runs the reduced (~40 scenario) matrix for CI.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/config.h"
+#include "core/thread_pool.h"
+#include "fleet/fleet_runner.h"
+
+using namespace sov;
+using namespace sov::fleet;
+
+namespace {
+
+ScenarioMatrix
+buildMatrix(bool smoke, std::uint64_t seed, std::size_t seeds,
+            double horizon_s)
+{
+    ScenarioMatrix matrix;
+    for (double wall_x : {30.0, 40.0, 50.0})
+        matrix.addWorld(suddenWallWorld(wall_x));
+    matrix.addWorld(openRoadWorld());
+    matrix.addWorld(crossingPedestrianWorld(150.0, 0.5));
+    matrix.addWorld(trafficWorld(6));
+    matrix.addFaults(faultMatrixPresets());
+    matrix.addStack(bareStack());
+    matrix.addStack(supervisedStack());
+    if (smoke) {
+        matrix.smokeOnly();
+        matrix.addSeed(seed);
+    } else {
+        matrix.addSeeds(seed, seeds);
+    }
+    // Apply the horizon override to every world axis entry.
+    ScenarioMatrix out;
+    for (WorldPreset w : matrix.worlds()) {
+        w.horizon_s = horizon_s;
+        out.addWorld(std::move(w));
+    }
+    out.addFaults(matrix.faults());
+    for (const StackPreset &s : matrix.stacks())
+        out.addStack(s);
+    for (std::uint64_t s : matrix.seeds())
+        out.addSeed(s);
+    return out;
+}
+
+struct ThreadResult
+{
+    std::size_t threads;
+    double wall_s;
+    double scen_per_s;
+    std::uint64_t fingerprint;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config config = Config::fromArgs(argc, argv);
+    const bool smoke = config.getBool("smoke", false);
+    const auto seed = static_cast<std::uint64_t>(config.getInt("seed", 1));
+    const auto seeds =
+        static_cast<std::size_t>(config.getInt("seeds", smoke ? 1 : 4));
+    const double horizon_s = config.getDouble("horizon_s", 40.0);
+    const std::size_t hw = ThreadPool::defaultThreads();
+    const auto max_threads = static_cast<std::size_t>(
+        config.getInt("max_threads", static_cast<std::int64_t>(hw)));
+    const std::string out_path =
+        config.getString("out", "BENCH_fleet.json");
+
+    const ScenarioMatrix matrix = buildMatrix(smoke, seed, seeds, horizon_s);
+    const std::vector<ScenarioSpec> scenarios = matrix.enumerate();
+
+    std::printf("=== Fleet sweep: %zu scenarios (%zu worlds x %zu faults "
+                "x %zu stacks x %zu seeds)%s ===\n",
+                scenarios.size(), matrix.worlds().size(),
+                matrix.faults().size(), matrix.stacks().size(),
+                matrix.seeds().size(), smoke ? " [smoke]" : "");
+    std::printf("hardware concurrency: %zu\n\n", hw);
+    if (hw < 4) {
+        std::printf("note: <4 hardware threads — speedups above %zux "
+                    "are not expected on this machine\n\n", hw);
+    }
+
+    std::vector<std::size_t> thread_counts{1, 2, 4};
+    thread_counts.push_back(max_threads);
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+
+    std::printf("%8s %12s %16s %10s  %s\n", "threads", "wall [s]",
+                "scenarios/sec", "speedup", "fingerprint");
+
+    std::vector<ThreadResult> results;
+    FleetReport reference;
+    bool deterministic = true;
+    for (std::size_t threads : thread_counts) {
+        FleetRunner runner(FleetConfig{threads, seed});
+        FleetReport report = runner.run(scenarios);
+        const FleetTiming &t = runner.lastTiming();
+        ThreadResult r{threads, t.wall_seconds, t.scenarios_per_second,
+                       report.fingerprint()};
+        const double speedup =
+            results.empty() ? 1.0 : results.front().scen_per_s > 0.0
+                ? r.scen_per_s / results.front().scen_per_s
+                : 0.0;
+        std::printf("%8zu %12.3f %16.1f %9.2fx  %016llx\n", threads,
+                    r.wall_s, r.scen_per_s, speedup,
+                    static_cast<unsigned long long>(r.fingerprint));
+        if (results.empty()) {
+            reference = std::move(report);
+        } else if (r.fingerprint != results.front().fingerprint) {
+            deterministic = false;
+        }
+        results.push_back(r);
+    }
+
+    const FleetAggregate &a = reference.aggregate();
+    std::printf("\naggregate: %llu collisions, %llu stops, %llu cruises; "
+                "availability p50 %.1f%%; min-gap p10 %.2f m; "
+                "pipeline mean-latency p50 %.1f ms\n",
+                static_cast<unsigned long long>(a.collisions),
+                static_cast<unsigned long long>(a.stops),
+                static_cast<unsigned long long>(a.cruises),
+                100.0 * a.availability_digest.quantile(0.50),
+                a.min_gap_digest.quantile(0.10),
+                a.pipeline_mean_ms_digest.quantile(0.50));
+    std::printf("determinism: %s\n",
+                deterministic ? "bit-identical across all thread counts"
+                              : "FINGERPRINT MISMATCH");
+
+    {
+        std::ofstream json(out_path);
+        json << "{\n  \"bench\": \"fleet_sweep\",\n  \"scenarios\": "
+             << scenarios.size() << ",\n  \"hardware_concurrency\": " << hw
+             << ",\n  \"deterministic\": "
+             << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const ThreadResult &r = results[i];
+            const double speedup = results.front().scen_per_s > 0.0
+                ? r.scen_per_s / results.front().scen_per_s : 0.0;
+            char fp[32];
+            std::snprintf(fp, sizeof(fp), "%016llx",
+                          static_cast<unsigned long long>(r.fingerprint));
+            json << "    {\"threads\": " << r.threads << ", \"wall_s\": "
+                 << r.wall_s << ", \"scenarios_per_sec\": " << r.scen_per_s
+                 << ", \"speedup\": " << speedup << ", \"fingerprint\": \""
+                 << fp << "\"}" << (i + 1 < results.size() ? "," : "")
+                 << "\n";
+        }
+        json << "  ],\n  \"aggregate\": {\"collisions\": " << a.collisions
+             << ", \"stops\": " << a.stops << ", \"cruises\": " << a.cruises
+             << ", \"availability_p50\": "
+             << a.availability_digest.quantile(0.50)
+             << ", \"min_gap_p10\": " << a.min_gap_digest.quantile(0.10)
+             << "}\n}\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    // The sweep's hard gate is determinism, not speedup: scaling is a
+    // property of the machine, bit-identical aggregation is ours.
+    return deterministic ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/logging.h"
@@ -92,6 +93,79 @@ PercentileBuffer::percentile(double p)
     if (lo + 1 >= samples_.size())
         return samples_.back();
     return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+namespace {
+/** Values below this are indistinguishable from zero in the sketch. */
+constexpr double kDigestMinValue = 1e-12;
+/** Reserved bucket index for the zero/sub-minimum bucket. */
+constexpr std::int32_t kZeroBucket =
+    std::numeric_limits<std::int32_t>::min();
+} // namespace
+
+QuantileDigest::QuantileDigest(double relative_accuracy)
+    : alpha_(relative_accuracy),
+      log_gamma_(std::log((1.0 + relative_accuracy) /
+                          (1.0 - relative_accuracy)))
+{
+    SOV_ASSERT(relative_accuracy > 0.0 && relative_accuracy < 1.0);
+}
+
+std::int32_t
+QuantileDigest::bucketIndex(double x) const
+{
+    if (!(x >= kDigestMinValue)) // negatives, zeros, NaN -> zero bucket
+        return kZeroBucket;
+    return static_cast<std::int32_t>(std::ceil(std::log(x) / log_gamma_));
+}
+
+double
+QuantileDigest::bucketValue(std::int32_t index) const
+{
+    if (index == kZeroBucket)
+        return 0.0;
+    // Midpoint of (gamma^(i-1), gamma^i] in relative terms: within
+    // alpha of every value that maps to bucket i.
+    const double gamma_i = std::exp(static_cast<double>(index) * log_gamma_);
+    return 2.0 * gamma_i / (1.0 + std::exp(log_gamma_));
+}
+
+void
+QuantileDigest::add(double x, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    buckets_[bucketIndex(x)] += weight;
+    count_ += weight;
+}
+
+void
+QuantileDigest::merge(const QuantileDigest &other)
+{
+    SOV_ASSERT(alpha_ == other.alpha_);
+    for (const auto &[index, weight] : other.buckets_)
+        buckets_[index] += weight;
+    count_ += other.count_;
+}
+
+double
+QuantileDigest::quantile(double q) const
+{
+    SOV_ASSERT(q >= 0.0 && q <= 1.0);
+    if (count_ == 0)
+        return 0.0;
+    // 1-based rank of the requested quantile.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (const auto &[index, weight] : buckets_) {
+        seen += weight;
+        if (seen >= rank)
+            return bucketValue(index);
+    }
+    return bucketValue(buckets_.rbegin()->first); // unreachable
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,63 @@ class PercentileBuffer
     void ensureSorted();
     std::vector<double> samples_;
     bool sorted_ = false;
+};
+
+/**
+ * Mergeable quantile sketch over non-negative samples (DDSketch-style
+ * logarithmic buckets with relative-accuracy guarantee).
+ *
+ * Samples land in geometric buckets index = ceil(log_gamma(x)) with
+ * gamma = (1+a)/(1-a); any reported quantile is within relative error
+ * a of a true sample value. State is integer bucket counts, so
+ * merge() is pure count addition: commutative, associative, and
+ * bit-identical regardless of merge order or sharding — the property
+ * the fleet layer relies on to aggregate thousands of scenario
+ * digests from any number of worker threads deterministically.
+ *
+ * Negative samples are clamped into the zero bucket (the fleet feeds
+ * latencies, gaps, and fractions, all non-negative).
+ */
+class QuantileDigest
+{
+  public:
+    /** @param relative_accuracy Quantile relative error bound in (0,1). */
+    explicit QuantileDigest(double relative_accuracy = 0.01);
+
+    /** Add @p weight samples of value @p x. */
+    void add(double x, std::uint64_t weight = 1);
+
+    /**
+     * Fold @p other into this digest (order-independent).
+     * Both digests must use the same relative accuracy.
+     */
+    void merge(const QuantileDigest &other);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * Value at quantile @p q in [0, 1] (0.5 = median, 0.99 = p99),
+     * within the configured relative accuracy; 0 for an empty digest.
+     */
+    double quantile(double q) const;
+
+    double relativeAccuracy() const { return alpha_; }
+
+    /** Non-empty buckets, ascending by index (zero bucket = INT32_MIN). */
+    const std::map<std::int32_t, std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+  private:
+    std::int32_t bucketIndex(double x) const;
+    double bucketValue(std::int32_t index) const;
+
+    double alpha_;
+    double log_gamma_;
+    std::map<std::int32_t, std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
 };
 
 /** Fixed-width linear-bin histogram over [lo, hi). */

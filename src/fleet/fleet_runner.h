@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FleetRunner: shard a scenario space across a work-stealing thread
+ * pool and aggregate the results deterministically.
+ *
+ * Each scenario is one independent closed-loop simulation. All of its
+ * random streams — world population, fault plan, simulation — fork
+ * from Rng(master_seed).fork(scenario name), so a scenario's outcome
+ * is a pure function of (master seed, scenario identity), independent
+ * of which worker runs it, when, or alongside what. Workers write
+ * outcome rows into per-scenario slots; the report is derived from the
+ * completed rows in index order. Consequence (the fleet determinism
+ * contract): for any thread count, including 1, the FleetReport is
+ * bit-identical.
+ *
+ * Wall-clock timing is reported separately (FleetTiming) and is
+ * explicitly outside the determinism contract.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/fleet_report.h"
+#include "fleet/scenario.h"
+
+namespace sov::fleet {
+
+/** Runner settings. */
+struct FleetConfig
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+    /** Master seed every scenario stream forks from. */
+    std::uint64_t master_seed = 1;
+};
+
+/** Wall-clock facts of a sweep (non-deterministic; never hashed). */
+struct FleetTiming
+{
+    double wall_seconds = 0.0;
+    double scenarios_per_second = 0.0;
+    std::size_t threads = 0;
+};
+
+/** Runs scenario sweeps on a thread pool. */
+class FleetRunner
+{
+  public:
+    explicit FleetRunner(FleetConfig config = {});
+
+    /** Run every scenario of @p matrix (its full enumeration). */
+    FleetReport run(const ScenarioMatrix &matrix);
+
+    /** Run an explicit scenario list. */
+    FleetReport run(const std::vector<ScenarioSpec> &scenarios);
+
+    /** Run one scenario synchronously on the calling thread. */
+    ScenarioOutcome runScenario(const ScenarioSpec &spec) const;
+
+    /** Timing of the most recent run(). */
+    const FleetTiming &lastTiming() const { return timing_; }
+
+    std::size_t numThreads() const;
+
+  private:
+    FleetConfig config_;
+    FleetTiming timing_;
+};
+
+} // namespace sov::fleet

@@ -8,8 +8,9 @@
  * retargeted to different execution substrates: analytic single-shot
  * characterization, pipelined throughput scheduling, closed-loop
  * event-driven execution, or measured kernel runs. The three former
- * per-experiment DAG encodings (sim/task_graph, sovpipe/pipeline_model,
- * sovpipe/closed_loop) are all front-ends over this type.
+ * per-experiment DAG encodings (runtime/task_graph,
+ * sovpipe/pipeline_model, sovpipe/closed_loop) are all front-ends over
+ * this type.
  */
 #pragma once
 

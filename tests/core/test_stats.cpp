@@ -117,5 +117,93 @@ TEST(Histogram, ToStringContainsAllBins)
     EXPECT_NE(s.find("1..2"), std::string::npos);
 }
 
+TEST(QuantileDigest, EmptyDigestReturnsZero)
+{
+    QuantileDigest d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.quantile(0.5), 0.0);
+}
+
+TEST(QuantileDigest, QuantilesWithinRelativeAccuracy)
+{
+    const double alpha = 0.01;
+    QuantileDigest d(alpha);
+    // 1..10000 uniformly: quantile q should be ~q*10000.
+    for (int i = 1; i <= 10000; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_EQ(d.count(), 10000u);
+    for (double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+        const double expect = q * 10000.0;
+        const double got = d.quantile(q);
+        // Bucketing adds one bucket of slack on top of alpha.
+        EXPECT_NEAR(got, expect, expect * (3.0 * alpha) + 1.0)
+            << "q=" << q;
+    }
+    EXPECT_LE(d.quantile(0.0), d.quantile(1.0));
+}
+
+TEST(QuantileDigest, ZeroAndNegativeSamplesLandInZeroBucket)
+{
+    QuantileDigest d;
+    d.add(0.0);
+    d.add(-5.0);
+    d.add(100.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.quantile(0.0), 0.0);
+    EXPECT_EQ(d.quantile(0.5), 0.0);
+    EXPECT_NEAR(d.quantile(1.0), 100.0, 100.0 * 0.03);
+}
+
+TEST(QuantileDigest, MergeMatchesCombinedAdds)
+{
+    QuantileDigest a, b, all;
+    for (int i = 1; i <= 500; ++i) {
+        a.add(i * 0.5);
+        all.add(i * 0.5);
+    }
+    for (int i = 1; i <= 700; ++i) {
+        b.add(i * 2.0);
+        all.add(i * 2.0);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    // Integer bucket counts: the merged state is exactly the combined
+    // state, not just approximately.
+    ASSERT_EQ(a.buckets().size(), all.buckets().size());
+    EXPECT_TRUE(a.buckets() == all.buckets());
+    for (double q : {0.1, 0.5, 0.99})
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+}
+
+TEST(QuantileDigest, MergeIsOrderIndependent)
+{
+    QuantileDigest parts[3];
+    for (int p = 0; p < 3; ++p)
+        for (int i = 1; i <= 200; ++i)
+            parts[p].add(static_cast<double>(i * (p + 1)));
+
+    QuantileDigest fwd, rev;
+    for (int p = 0; p < 3; ++p)
+        fwd.merge(parts[p]);
+    for (int p = 2; p >= 0; --p)
+        rev.merge(parts[p]);
+
+    EXPECT_TRUE(fwd.buckets() == rev.buckets());
+    EXPECT_EQ(fwd.count(), rev.count());
+    for (double q : {0.05, 0.5, 0.95})
+        EXPECT_DOUBLE_EQ(fwd.quantile(q), rev.quantile(q));
+}
+
+TEST(QuantileDigest, WeightedAddEqualsRepeatedAdd)
+{
+    QuantileDigest w, r;
+    w.add(42.0, 10);
+    for (int i = 0; i < 10; ++i)
+        r.add(42.0);
+    EXPECT_TRUE(w.buckets() == r.buckets());
+    EXPECT_DOUBLE_EQ(w.quantile(0.5), r.quantile(0.5));
+}
+
 } // namespace
 } // namespace sov

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fleet/fleet_runner.h"
+
+namespace sov::fleet {
+namespace {
+
+/** Small but heterogeneous matrix: 12 scenarios, short horizon. */
+ScenarioMatrix
+testMatrix()
+{
+    WorldPreset wall = suddenWallWorld(25.0);
+    wall.horizon_s = 4.0;
+    WorldPreset open = openRoadWorld();
+    open.horizon_s = 4.0;
+
+    const auto fault_rows = faultMatrixPresets();
+    ScenarioMatrix m;
+    m.addWorld(wall)
+        .addWorld(open)
+        .addFault(fault_rows[0])  // no-fault
+        .addFault(fault_rows[5])  // planning crash
+        .addFault(fault_rows[8])  // CAN loss
+        .addStack(supervisedStack())
+        .addSeeds(1, 2);
+    return m;
+}
+
+TEST(FleetRunner, RunsEveryScenarioOnce)
+{
+    FleetRunner runner(FleetConfig{2, 1});
+    const FleetReport report = runner.run(testMatrix());
+    EXPECT_EQ(report.outcomes().size(), 12u);
+    EXPECT_EQ(report.aggregate().scenarios, 12u);
+    for (std::size_t i = 0; i < report.outcomes().size(); ++i) {
+        EXPECT_EQ(report.outcomes()[i].index, i);
+        // Every scenario actually simulated something.
+        EXPECT_GT(report.outcomes()[i].sim_elapsed_s, 0.0);
+    }
+    EXPECT_GT(runner.lastTiming().wall_seconds, 0.0);
+    EXPECT_EQ(runner.lastTiming().threads, 2u);
+}
+
+TEST(FleetRunner, ReportIsBitIdenticalAcrossThreadCounts)
+{
+    // The fleet determinism contract: same matrix + master seed at 1,
+    // 2, and 8 threads -> bit-identical FleetReport.
+    const ScenarioMatrix matrix = testMatrix();
+    FleetRunner one(FleetConfig{1, 42});
+    FleetRunner two(FleetConfig{2, 42});
+    FleetRunner eight(FleetConfig{8, 42});
+
+    const FleetReport r1 = one.run(matrix);
+    const FleetReport r2 = two.run(matrix);
+    const FleetReport r8 = eight.run(matrix);
+
+    EXPECT_EQ(r1.fingerprint(), r2.fingerprint());
+    EXPECT_EQ(r1.fingerprint(), r8.fingerprint());
+    // The full serialization agrees, not just the hash.
+    EXPECT_EQ(r1.toJson(), r2.toJson());
+    EXPECT_EQ(r1.toJson(), r8.toJson());
+}
+
+TEST(FleetRunner, MasterSeedChangesTheOutcomes)
+{
+    const ScenarioMatrix matrix = testMatrix();
+    FleetRunner a(FleetConfig{2, 1});
+    FleetRunner b(FleetConfig{2, 999});
+    EXPECT_NE(a.run(matrix).fingerprint(), b.run(matrix).fingerprint());
+}
+
+TEST(FleetRunner, RunScenarioMatchesFleetRow)
+{
+    const auto specs = testMatrix().enumerate();
+    FleetRunner runner(FleetConfig{4, 42});
+    const FleetReport report = runner.run(specs);
+    FleetRunner solo(FleetConfig{1, 42});
+    const ScenarioOutcome lone = solo.runScenario(specs[3]);
+    const FleetReport single = FleetReport::fromOutcomes({lone});
+    const ScenarioOutcome &row = report.outcomes()[3];
+    EXPECT_EQ(single.outcomes()[0].name, row.name);
+    EXPECT_EQ(single.outcomes()[0].min_gap, row.min_gap);
+    EXPECT_EQ(single.outcomes()[0].availability, row.availability);
+    EXPECT_EQ(single.outcomes()[0].pipeline_mean_ms, row.pipeline_mean_ms);
+}
+
+TEST(FleetRunner, WorldBuilderExceptionPropagates)
+{
+    WorldPreset bad;
+    bad.name = "bad-world";
+    bad.horizon_s = 1.0;
+    bad.build = [](World &, Rng &) {
+        throw std::runtime_error("world build failed");
+    };
+    ScenarioMatrix m;
+    m.addWorld(bad);
+    FleetRunner runner(FleetConfig{2, 1});
+    EXPECT_THROW(runner.run(m), std::runtime_error);
+}
+
+TEST(FleetReport, MergeIsOrderIndependentAndMatchesWholeRun)
+{
+    const auto specs = testMatrix().enumerate();
+    FleetRunner runner(FleetConfig{2, 7});
+    const FleetReport whole = runner.run(specs);
+
+    // Shard the space in two, run the halves separately, merge both
+    // ways: all three reports must be bit-identical.
+    std::vector<ScenarioSpec> front(specs.begin(), specs.begin() + 5);
+    std::vector<ScenarioSpec> back(specs.begin() + 5, specs.end());
+    const FleetReport a = runner.run(front);
+    const FleetReport b = runner.run(back);
+
+    FleetReport ab = a;
+    ab.merge(b);
+    FleetReport ba = b;
+    ba.merge(a);
+
+    EXPECT_EQ(ab.fingerprint(), ba.fingerprint());
+    EXPECT_EQ(ab.fingerprint(), whole.fingerprint());
+    EXPECT_EQ(ab.toJson(), whole.toJson());
+}
+
+TEST(FleetReport, AggregateCountsAreConsistent)
+{
+    FleetRunner runner(FleetConfig{2, 1});
+    const FleetReport report = runner.run(testMatrix());
+    const FleetAggregate &a = report.aggregate();
+    EXPECT_EQ(a.collisions + a.stops + a.cruises, a.scenarios);
+    EXPECT_EQ(a.min_gap.count(), a.scenarios);
+    EXPECT_EQ(a.availability_digest.count(), a.scenarios);
+    std::uint64_t level_total = 0;
+    for (std::uint64_t c : a.worst_level_counts)
+        level_total += c;
+    EXPECT_EQ(level_total, a.scenarios);
+}
+
+TEST(FleetReport, JsonContainsRowsAndFingerprint)
+{
+    FleetRunner runner(FleetConfig{2, 1});
+    const FleetReport report = runner.run(testMatrix());
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"scenarios\": 12"), std::string::npos);
+    EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+    EXPECT_NE(json.find("sudden-wall-25/no-fault/supervised#s1"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace sov::fleet

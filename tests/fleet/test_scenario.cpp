@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/scenario.h"
+
+namespace sov::fleet {
+namespace {
+
+ScenarioMatrix
+smallMatrix()
+{
+    ScenarioMatrix m;
+    m.addWorld(suddenWallWorld(40.0))
+        .addWorld(openRoadWorld())
+        .addFault(noFaultPreset())
+        .addFaults({faultMatrixPresets()[1]})
+        .addStack(bareStack())
+        .addStack(supervisedStack())
+        .addSeeds(1, 3);
+    return m;
+}
+
+TEST(ScenarioMatrix, SizeIsCartesianProduct)
+{
+    const ScenarioMatrix m = smallMatrix();
+    EXPECT_EQ(m.size(), 2u * 2u * 2u * 3u);
+    EXPECT_EQ(m.enumerate().size(), m.size());
+}
+
+TEST(ScenarioMatrix, EnumerationOrderAndNamesAreStable)
+{
+    const ScenarioMatrix m = smallMatrix();
+    const auto a = m.enumerate();
+    const auto b = m.enumerate();
+    ASSERT_EQ(a.size(), b.size());
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].index, i);
+        names.insert(a[i].name);
+    }
+    // Composed names are unique across the matrix.
+    EXPECT_EQ(names.size(), a.size());
+    // Seeds are the innermost axis.
+    EXPECT_EQ(a[0].seed, 1u);
+    EXPECT_EQ(a[1].seed, 2u);
+    EXPECT_EQ(a[2].seed, 3u);
+    EXPECT_EQ(a[0].name, "sudden-wall-40/no-fault/bare#s1");
+}
+
+TEST(ScenarioMatrix, EmptyAxesGetNeutralDefaults)
+{
+    ScenarioMatrix m;
+    m.addWorld(openRoadWorld());
+    const auto specs = m.enumerate();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].faults.specs.size(), 0u);
+    EXPECT_EQ(specs[0].stack.name, "supervised");
+    EXPECT_EQ(specs[0].seed, 1u);
+}
+
+TEST(ScenarioMatrix, SmokeOnlyDropsNonSmokeAxes)
+{
+    ScenarioMatrix m;
+    m.addWorld(suddenWallWorld(40.0)); // smoke
+    m.addWorld(crossingPedestrianWorld(150.0, 0.5)); // not smoke
+    m.addFaults(faultMatrixPresets());
+    m.smokeOnly();
+    EXPECT_EQ(m.worlds().size(), 1u);
+    for (const FaultPreset &f : m.faults())
+        EXPECT_TRUE(f.smoke);
+    EXPECT_LT(m.faults().size(), faultMatrixPresets().size());
+}
+
+TEST(ScenarioPresets, FaultMatrixHasElevenUniqueRows)
+{
+    const auto presets = faultMatrixPresets();
+    EXPECT_EQ(presets.size(), 11u);
+    std::set<std::string> names;
+    for (const FaultPreset &p : presets)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), presets.size());
+    // The baseline row is smoke and fault-free.
+    EXPECT_EQ(presets[0].name, "no-fault");
+    EXPECT_TRUE(presets[0].smoke);
+    EXPECT_TRUE(presets[0].specs.empty());
+}
+
+TEST(ScenarioPresets, StackPresetsKeepFaultPointerNull)
+{
+    EXPECT_EQ(bareStack().loop.faults, nullptr);
+    EXPECT_EQ(supervisedStack().loop.faults, nullptr);
+    EXPECT_FALSE(bareStack().loop.enable_health);
+    EXPECT_TRUE(supervisedStack().loop.enable_health);
+}
+
+TEST(ScenarioPresets, WorldBuildersAreDeterministicInTheRng)
+{
+    const WorldPreset preset = trafficWorld(5);
+    World a, b;
+    Rng rng_a(7), rng_b(7);
+    preset.build(a, rng_a);
+    preset.build(b, rng_b);
+    ASSERT_EQ(a.numObstacles(), 5u);
+    ASSERT_EQ(b.numObstacles(), 5u);
+    for (std::size_t i = 0; i < a.numObstacles(); ++i) {
+        const Vec2 pa = a.obstacles()[i].positionAt(Timestamp::origin());
+        const Vec2 pb = b.obstacles()[i].positionAt(Timestamp::origin());
+        EXPECT_EQ(pa.x(), pb.x());
+        EXPECT_EQ(pa.y(), pb.y());
+    }
+}
+
+TEST(ScenarioPresets, SuddenWallPlacesOneObstacleAtX)
+{
+    World w;
+    Rng rng(1);
+    suddenWallWorld(40.0).build(w, rng);
+    ASSERT_EQ(w.numObstacles(), 1u);
+    EXPECT_DOUBLE_EQ(
+        w.obstacles()[0].positionAt(Timestamp::origin()).x(), 40.0);
+}
+
+} // namespace
+} // namespace sov::fleet

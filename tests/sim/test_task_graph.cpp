@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "sim/task_graph.h"
+#include "runtime/task_graph.h"
 
 namespace sov {
 namespace {
