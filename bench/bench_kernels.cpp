@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Gated benchmark of the perception kernel backends (vision/kernels.h).
+ *
+ * Runs each hot kernel in both backends on the same rendered inputs and
+ * enforces three hard gates (nonzero exit on any failure):
+ *
+ *  1. Equivalence — stereo inputs are quantized to multiples of 1/256
+ *     (8-bit sensor data), where Fast must be bit-identical to the
+ *     Reference oracle (checksum compare); the GEMM convolution must
+ *     stay within a small relative tolerance of the naive loop nest.
+ *  2. Determinism — the Fast stereo output must be bit-identical
+ *     across ThreadPool sizes 1 / 2 / 8 (fingerprint compare).
+ *  3. Speed — Fast must beat Reference by at least the per-kernel
+ *     floor (3x stereo, 2x conv forward by default; lowered in smoke
+ *     mode where tiny inputs amortize less, and overridable for
+ *     sanitizer runs with stereo_floor= / conv_floor=).
+ *
+ * Results (ns per call, speedup, checksums) go to BENCH_kernels.json.
+ *
+ * Usage:
+ *   bench_kernels [smoke=1] [reps=N] [stereo_floor=X] [conv_floor=X]
+ *                 [out=BENCH_kernels.json]
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "vision/cnn.h"
+#include "vision/renderer.h"
+#include "vision/stereo.h"
+
+using namespace sov;
+
+namespace {
+
+std::uint64_t
+fnv1a(const void *bytes, std::size_t n, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fingerprint(const DisparityMap &map)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    h = fnv1a(map.disparity.data().data(),
+              map.disparity.data().size() * sizeof(float), h);
+    h = fnv1a(&map.density, sizeof(map.density), h);
+    return h;
+}
+
+std::uint64_t
+fingerprint(const Tensor &t)
+{
+    return fnv1a(t.data().data(), t.data().size() * sizeof(float),
+                 1469598103934665603ULL);
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Best-of-N wall time of f(), in nanoseconds per call. */
+template <typename F>
+double
+bestNs(int reps, F &&f)
+{
+    double best = 1e30;
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        f();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, static_cast<double>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          t1 - t0)
+                          .count()));
+    }
+    return best;
+}
+
+/** Snap to multiples of 1/256 — 8-bit sensor quantization, the domain
+ *  where the stereo backends agree bit-for-bit. */
+void
+quantize256(Image &img)
+{
+    for (auto &v : img.data())
+        v = std::round(v * 256.0f) / 256.0f;
+}
+
+/** Render a textured obstacle scene stereo pair. */
+std::pair<Image, Image>
+renderScene(const CameraIntrinsics &intr)
+{
+    World world;
+    Obstacle obs;
+    obs.cls = ObjectClass::Pedestrian; // high-frequency striped texture
+    obs.footprint = OrientedBox2{Pose2{Vec2(10.0, 0.0), 0.0}, 0.5, 2.0};
+    obs.height = 2.0;
+    world.addObstacle(obs);
+    Obstacle car;
+    car.cls = ObjectClass::Car;
+    car.footprint = OrientedBox2{Pose2{Vec2(14.0, 3.0), 0.3}, 1.8, 4.2};
+    car.height = 1.5;
+    world.addObstacle(car);
+
+    const StereoRig rig = StereoRig::forwardFacing(intr, 0.5, 1.0);
+    const Renderer renderer;
+    const Pose2 body{Vec2(0, 0), 0.0};
+    const CameraPose lp = rig.left.poseAt(body, 1.5);
+    const CameraPose rp = rig.right.poseAt(body, 1.5);
+    auto lf = renderer.render(world, rig.left, lp, Timestamp::origin());
+    auto rf = renderer.render(world, rig.right, rp, Timestamp::origin());
+    quantize256(lf.intensity);
+    quantize256(rf.intensity);
+    return {std::move(lf.intensity), std::move(rf.intensity)};
+}
+
+struct KernelRow
+{
+    std::string name;
+    double ref_ns = 0.0;
+    double fast_ns = 0.0;
+    double speedup = 0.0;
+    double floor = 0.0;
+    std::uint64_t checksum_ref = 0;
+    std::uint64_t checksum_fast = 0;
+    bool equivalent = false;
+    double max_rel_diff = 0.0; //!< 0 for bitwise-gated kernels
+    bool pass = false;
+};
+
+double
+maxRelDiff(const Tensor &a, const Tensor &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double ra = a.data()[i];
+        const double rb = b.data()[i];
+        const double rel =
+            std::fabs(ra - rb) / std::max(1.0, std::fabs(ra));
+        worst = std::max(worst, rel);
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config config = Config::fromArgs(argc, argv);
+    const bool smoke = config.getBool("smoke", false);
+    const int reps = static_cast<int>(config.getInt("reps", smoke ? 3 : 5));
+    // Smoke inputs are small, so fixed per-frame costs amortize less;
+    // sanitizer CI lowers the floors to 0 (it gates equivalence and
+    // determinism, not machine-dependent speed).
+    const double stereo_floor =
+        config.getDouble("stereo_floor", smoke ? 1.3 : 3.0);
+    const double conv_floor =
+        config.getDouble("conv_floor", smoke ? 1.2 : 2.0);
+    const std::string out_path =
+        config.getString("out", "BENCH_kernels.json");
+
+    std::vector<KernelRow> rows;
+    bool thread_fingerprints_ok = true;
+
+    // ------------------------------------------------------------ stereo
+    {
+        CameraIntrinsics intr;
+        if (smoke) {
+            intr.fx = intr.fy = 135.0;
+            intr.cx = 80.0;
+            intr.cy = 60.0;
+            intr.width = 160;
+            intr.height = 120;
+        }
+        const auto [left, right] = renderScene(intr);
+
+        StereoConfig cfg;
+        cfg.max_disparity = smoke ? 24 : 48;
+        const StereoMatcher ref_matcher(cfg);
+        cfg.backend = KernelBackend::Fast;
+        const StereoMatcher fast_matcher(cfg);
+
+        KernelRow row;
+        row.name = "stereo_match";
+        row.floor = stereo_floor;
+
+        DisparityMap ref_map, fast_map;
+        row.ref_ns = bestNs(smoke ? 2 : reps, [&] {
+            ref_map = ref_matcher.match(left, right);
+        });
+        row.fast_ns = bestNs(reps, [&] {
+            fast_map = fast_matcher.match(left, right);
+        });
+        row.checksum_ref = fingerprint(ref_map);
+        row.checksum_fast = fingerprint(fast_map);
+        row.equivalent = row.checksum_ref == row.checksum_fast;
+        row.speedup = row.ref_ns / row.fast_ns;
+        row.pass = row.equivalent && row.speedup >= row.floor;
+        rows.push_back(row);
+
+        std::printf("stereo %zux%zu (max_disparity %d): density %.2f\n",
+                    left.width(), left.height(), cfg.max_disparity,
+                    fast_map.density);
+
+        // Determinism gate: Fast fingerprints across thread counts.
+        std::printf("  thread fingerprints:");
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+            ThreadPool pool(threads);
+            StereoMatcher pooled(cfg);
+            pooled.setThreadPool(&pool);
+            const std::uint64_t fp = fingerprint(pooled.match(left, right));
+            std::printf(" %zu:%s", threads, hex(fp).c_str());
+            if (fp != row.checksum_fast)
+                thread_fingerprints_ok = false;
+        }
+        std::printf(" serial:%s -> %s\n", hex(row.checksum_fast).c_str(),
+                    thread_fingerprints_ok ? "identical" : "MISMATCH");
+    }
+
+    // ----------------------------------------------------------- conv2d
+    {
+        const std::size_t side = smoke ? 32 : 64;
+        Rng wrng1(77), wrng2(77);
+        Conv2d ref_conv(8, 16, 3, wrng1);
+        Conv2d fast_conv(8, 16, 3, wrng2);
+        fast_conv.setBackend(KernelBackend::Fast);
+
+        Rng irng(78);
+        Tensor input(8, side, side);
+        for (auto &v : input.data())
+            v = static_cast<float>(irng.uniform(-1.0, 1.0));
+        Tensor grad_out(16, side, side);
+        for (auto &v : grad_out.data())
+            v = static_cast<float>(irng.uniform(-1.0, 1.0));
+
+        const int conv_reps = smoke ? 5 : 10;
+        Tensor ref_out, fast_out;
+        KernelRow fwd;
+        fwd.name = "conv2d_forward";
+        fwd.floor = conv_floor;
+        fwd.ref_ns = bestNs(conv_reps, [&] {
+            ref_out = ref_conv.forward(Tensor(input), true);
+        });
+        fwd.fast_ns = bestNs(conv_reps, [&] {
+            fast_out = fast_conv.forward(Tensor(input), true);
+        });
+        fwd.checksum_ref = fingerprint(ref_out);
+        fwd.checksum_fast = fingerprint(fast_out);
+        fwd.max_rel_diff = maxRelDiff(ref_out, fast_out);
+        fwd.equivalent = fwd.max_rel_diff <= 1e-4;
+        fwd.speedup = fwd.ref_ns / fwd.fast_ns;
+        fwd.pass = fwd.equivalent && fwd.speedup >= fwd.floor;
+        rows.push_back(fwd);
+
+        // Backward: equivalence-gated, speedup reported but not floored
+        // (the reference skips zero gradients, so its cost is
+        // input-dependent).
+        Tensor ref_grad, fast_grad;
+        KernelRow bwd;
+        bwd.name = "conv2d_backward";
+        bwd.floor = 0.0;
+        bwd.ref_ns = bestNs(conv_reps, [&] {
+            ref_grad = ref_conv.backward(grad_out);
+            ref_conv.applyGradients(0.0f, 1); // rezero accumulators
+        });
+        bwd.fast_ns = bestNs(conv_reps, [&] {
+            fast_grad = fast_conv.backward(grad_out);
+            fast_conv.applyGradients(0.0f, 1);
+        });
+        bwd.checksum_ref = fingerprint(ref_grad);
+        bwd.checksum_fast = fingerprint(fast_grad);
+        bwd.max_rel_diff = maxRelDiff(ref_grad, fast_grad);
+        bwd.equivalent = bwd.max_rel_diff <= 1e-3;
+        bwd.speedup = bwd.ref_ns / bwd.fast_ns;
+        bwd.pass = bwd.equivalent;
+        rows.push_back(bwd);
+    }
+
+    // ----------------------------------------------------------- report
+    std::printf("\n%-16s %14s %14s %9s %7s %6s\n", "kernel",
+                "reference [ns]", "fast [ns]", "speedup", "floor", "gate");
+    bool all_pass = thread_fingerprints_ok;
+    for (const KernelRow &r : rows) {
+        std::printf("%-16s %14.0f %14.0f %8.2fx %6.2fx %6s\n",
+                    r.name.c_str(), r.ref_ns, r.fast_ns, r.speedup,
+                    r.floor, r.pass ? "pass" : "FAIL");
+        if (!r.pass) {
+            all_pass = false;
+            if (!r.equivalent) {
+                std::printf("  -> DIVERGENCE: checksum %s vs %s "
+                            "(max rel diff %.3g)\n",
+                            hex(r.checksum_ref).c_str(),
+                            hex(r.checksum_fast).c_str(), r.max_rel_diff);
+            }
+            if (r.speedup < r.floor) {
+                std::printf("  -> speedup %.2fx below floor %.2fx\n",
+                            r.speedup, r.floor);
+            }
+        }
+    }
+    if (!thread_fingerprints_ok)
+        std::printf("FAIL: fast stereo output differs across thread "
+                    "counts\n");
+
+    {
+        std::ofstream json(out_path);
+        json << "{\n  \"bench\": \"kernels\",\n  \"smoke\": "
+             << (smoke ? "true" : "false")
+             << ",\n  \"thread_fingerprints_identical\": "
+             << (thread_fingerprints_ok ? "true" : "false")
+             << ",\n  \"kernels\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const KernelRow &r = rows[i];
+            json << "    {\"name\": \"" << r.name
+                 << "\", \"ref_ns_per_call\": " << r.ref_ns
+                 << ", \"fast_ns_per_call\": " << r.fast_ns
+                 << ", \"speedup\": " << r.speedup
+                 << ", \"floor\": " << r.floor
+                 << ", \"checksum_ref\": \"" << hex(r.checksum_ref)
+                 << "\", \"checksum_fast\": \"" << hex(r.checksum_fast)
+                 << "\", \"max_rel_diff\": " << r.max_rel_diff
+                 << ", \"equivalent\": " << (r.equivalent ? "true" : "false")
+                 << ", \"pass\": " << (r.pass ? "true" : "false") << "}"
+                 << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        json << "  ],\n  \"pass\": " << (all_pass ? "true" : "false")
+             << "\n}\n";
+        std::printf("\nwrote %s\n", out_path.c_str());
+    }
+
+    return all_pass ? 0 : 1;
+}

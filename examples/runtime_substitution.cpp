@@ -8,9 +8,11 @@
  * measurement. The topology, resource lanes and scheduler are shared;
  * only the per-stage executor changes.
  *
- * Run: ./runtime_substitution [scale=4] [frames=2]
+ * Run: ./runtime_substitution [scale=4] [frames=2] [backend=reference]
  * `scale` maps host wall-clock into model time (the SoV's embedded
- * SoC is several times slower than a build machine).
+ * SoC is several times slower than a build machine). `backend=fast`
+ * runs the optimized perception kernels (vision/kernels.h) in the
+ * stereo and detection stages instead of the reference oracles.
  */
 #include <cstdio>
 #include <string>
@@ -31,6 +33,8 @@ main(int argc, char **argv)
     const Config cfg = Config::fromArgs(argc, argv);
     const double scale = cfg.getDouble("scale", 4.0);
     const auto frames = static_cast<std::size_t>(cfg.getInt("frames", 2));
+    const KernelBackend backend =
+        kernelBackendFromName(cfg.getString("backend", "reference"));
 
     // ----------------------------------------------- shared test scene
     World world;
@@ -47,9 +51,11 @@ main(int argc, char **argv)
         StereoRig::forwardFacing(CameraIntrinsics{}, 0.5, 1.0);
     const Renderer renderer;
     Rng train_rng(7);
+    DetectorConfig det_cfg;
+    det_cfg.backend = backend;
     const ObjectDetector detector = trainSiteDetector(
         world, CameraModel(CameraIntrinsics{}, Vec3(1.0, 0.0, 0.0)), 8,
-        3, train_rng);
+        3, train_rng, det_cfg);
 
     // ------------------------- graph A: analytic (calibrated profiles)
     const PlatformModel platform;
@@ -79,6 +85,7 @@ main(int argc, char **argv)
         {}, scale);
     StereoConfig stereo_cfg;
     stereo_cfg.max_disparity = 48;
+    stereo_cfg.backend = backend;
     const StereoMatcher matcher(stereo_cfg);
     const auto depth = kernels.addKernel(
         "depth", "scene",
@@ -111,7 +118,8 @@ main(int argc, char **argv)
         runtime::DataflowExecutor::run(kernels, opts);
 
     std::printf("=== Executor substitution: analytic model vs real "
-                "kernels (x%.0f host scale) ===\n\n", scale);
+                "kernels (x%.0f host scale, %s backend) ===\n\n",
+                scale, kernelBackendName(backend));
     std::printf("%-14s %-10s %14s %16s\n", "stage", "executor",
                 "model (ms)", "measured (ms)");
     const std::size_t last = frames - 1; // warm frame

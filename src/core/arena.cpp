@@ -1,0 +1,88 @@
+#include "core/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/logging.h"
+
+namespace sov {
+
+void
+FrameArena::reset()
+{
+    for (Block &b : blocks_)
+        b.used = 0;
+    current_ = 0;
+}
+
+void
+FrameArena::release()
+{
+    blocks_.clear();
+    current_ = 0;
+}
+
+FrameArena::Block &
+FrameArena::addBlock(std::size_t min_bytes)
+{
+    std::size_t size = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().size * 2;
+    size = std::max(size, min_bytes);
+    Block b;
+    b.data = std::make_unique<std::byte[]>(size);
+    b.size = size;
+    ++system_allocations_;
+    blocks_.push_back(std::move(b));
+    return blocks_.back();
+}
+
+void *
+FrameArena::allocate(std::size_t bytes, std::size_t alignment)
+{
+    SOV_ASSERT(alignment > 0 &&
+               (alignment & (alignment - 1)) == 0); // power of two
+
+    // Find (or create) a block with room, starting from the current
+    // one; blocks before current_ are already full for this frame.
+    for (std::size_t i = current_; i < blocks_.size(); ++i) {
+        Block &b = blocks_[i];
+        const std::uintptr_t addr =
+            reinterpret_cast<std::uintptr_t>(b.data.get()) + b.used;
+        const std::size_t pad =
+            (alignment - addr % alignment) % alignment;
+        if (b.used + pad + bytes <= b.size) {
+            current_ = i;
+            b.used += pad;
+            void *p = b.data.get() + b.used;
+            b.used += bytes;
+            return p;
+        }
+    }
+    Block &b = addBlock(bytes + alignment);
+    const std::uintptr_t addr =
+        reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::size_t pad = (alignment - addr % alignment) % alignment;
+    b.used = pad + bytes;
+    current_ = blocks_.size() - 1;
+    return b.data.get() + pad;
+}
+
+std::size_t
+FrameArena::bytesInUse() const
+{
+    std::size_t n = 0;
+    for (const Block &b : blocks_)
+        n += b.used;
+    return n;
+}
+
+std::size_t
+FrameArena::bytesReserved() const
+{
+    std::size_t n = 0;
+    for (const Block &b : blocks_)
+        n += b.size;
+    return n;
+}
+
+} // namespace sov

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FrameArena: a reusable bump allocator for per-frame kernel scratch.
+ *
+ * The perception hot path (sliding-window stereo tables, im2col
+ * matrices) needs large short-lived buffers every frame. Heap-allocating
+ * them per frame dominates small-kernel runtimes and fragments the
+ * allocator; the arena instead reserves blocks once and hands out
+ * pointer-bumped slices. reset() rewinds the arena without returning
+ * memory to the system, so a steady-state frame performs zero system
+ * allocations — systemAllocations() makes that testable.
+ *
+ * Not thread-safe: allocate from one thread (typically before fanning
+ * work out over a ThreadPool into disjoint pre-allocated slices).
+ * Allocated memory is uninitialized; types must be trivially
+ * destructible because the arena never runs destructors.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace sov {
+
+/** Bump allocator with frame-granular reuse. */
+class FrameArena
+{
+  public:
+    /** @param first_block_bytes Size of the first reserved block;
+     *         later blocks double until an allocation exceeds that. */
+    explicit FrameArena(std::size_t first_block_bytes = 1u << 16)
+        : first_block_bytes_(first_block_bytes ? first_block_bytes : 1)
+    {
+    }
+
+    FrameArena(const FrameArena &) = delete;
+    FrameArena &operator=(const FrameArena &) = delete;
+    FrameArena(FrameArena &&) = default;
+    FrameArena &operator=(FrameArena &&) = default;
+
+    /** Rewind to empty, keeping every reserved block for reuse. */
+    void reset();
+
+    /** Return all blocks to the system (arena becomes empty). */
+    void release();
+
+    /**
+     * Allocate @p bytes with the given power-of-two @p alignment.
+     * Never returns nullptr (allocation failure is fatal, as
+     * everywhere else in the repo). Zero-byte requests return a
+     * valid pointer.
+     */
+    void *allocate(std::size_t bytes, std::size_t alignment);
+
+    /** Typed allocation of @p count elements (uninitialized). */
+    template <typename T>
+    T *alloc(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "FrameArena never runs destructors");
+        return static_cast<T *>(allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /** Bytes handed out since the last reset(). */
+    std::size_t bytesInUse() const;
+
+    /** Bytes reserved from the system across all blocks. */
+    std::size_t bytesReserved() const;
+
+    /** Number of blocks currently reserved. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /** Lifetime count of system (new[]) allocations — constant across
+     *  steady-state frames once the arena has warmed up. */
+    std::size_t systemAllocations() const { return system_allocations_; }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    /** Append a fresh block of at least @p min_bytes. */
+    Block &addBlock(std::size_t min_bytes);
+
+    std::vector<Block> blocks_;
+    std::size_t current_ = 0; //!< index of the block being bumped
+    std::size_t first_block_bytes_;
+    std::size_t system_allocations_ = 0;
+};
+
+} // namespace sov

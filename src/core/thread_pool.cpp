@@ -1,0 +1,129 @@
+#include "core/thread_pool.h"
+
+#include <utility>
+
+namespace sov {
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    shards_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+
+    const std::size_t shard =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    {
+        std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+        shards_[shard]->tasks.emplace_back(
+            [packaged] { (*packaged)(); });
+    }
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        ++pending_;
+    }
+    wake_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        futures.push_back(submit([&body, i] { body(i); }));
+
+    // Wait for everything, then rethrow the lowest-index failure so
+    // the surfaced error does not depend on completion order.
+    std::exception_ptr first;
+    for (std::future<void> &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+bool
+ThreadPool::runOne(std::size_t self)
+{
+    std::function<void()> task;
+    {
+        Shard &own = *shards_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+        }
+    }
+    if (!task) {
+        // Steal from the back of the first non-empty victim.
+        for (std::size_t off = 1; off < shards_.size() && !task; ++off) {
+            Shard &victim = *shards_[(self + off) % shards_.size()];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                task = std::move(victim.tasks.back());
+                victim.tasks.pop_back();
+            }
+        }
+    }
+    if (!task)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --pending_;
+    }
+    task(); // packaged_task: exceptions land in the future
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        if (runOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
+        if (stop_ && pending_ == 0)
+            return;
+    }
+}
+
+} // namespace sov

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Work-stealing thread pool — the repo's first threading primitive.
+ *
+ * Built for the fleet-scale scenario sweeps (src/fleet): thousands of
+ * independent closed-loop simulations, each a few milliseconds of CPU,
+ * sharded across hardware threads. Tasks are distributed round-robin
+ * over per-worker deques; a worker drains its own deque from the front
+ * and steals from the back of a victim's deque when it runs dry, so an
+ * unlucky shard (one worker handed all the slow scenarios) cannot
+ * serialize the sweep.
+ *
+ * Determinism contract: the pool schedules *when* a task runs, never
+ * *what it computes* — tasks must not share mutable state (each fleet
+ * scenario owns a forked Rng stream and writes its own result slot),
+ * and then any thread count, including 1, yields bit-identical
+ * results. Exceptions thrown by a task are captured into its future
+ * and rethrown at get(); parallelFor() rethrows the lowest-index
+ * failure so even error reporting is thread-count independent.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sov {
+
+/** Fixed-size work-stealing task pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn the workers.
+     * @param threads Worker count; 0 = hardware concurrency (>= 1).
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p task. The returned future becomes ready when the task
+     * finishes; if the task throws, get() rethrows the exception.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(0..count-1) across the workers and block until all
+     * complete. If any invocation throws, the exception of the
+     * lowest failing index is rethrown (deterministic across thread
+     * counts); remaining iterations still run to completion.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Default worker count: hardware concurrency, at least 1. */
+    static std::size_t defaultThreads();
+
+  private:
+    /** One worker's deque; owner pops the front, thieves the back. */
+    struct Shard
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    /** Pop own work or steal; true if a task was run. */
+    bool runOne(std::size_t self);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> workers_;
+
+    /** Guards sleep/wake; pending_ mutates under it so a submit racing
+     *  a worker's sleep check cannot lose the wakeup. */
+    std::mutex wake_mutex_;
+    std::condition_variable wake_;
+    std::size_t pending_ = 0; //!< queued, not yet popped
+    bool stop_ = false;
+
+    std::atomic<std::size_t> next_shard_{0};
+};
+
+} // namespace sov

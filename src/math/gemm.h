@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Blocked single-precision GEMM kernels for the im2col convolution
+ * path (and any other float matrix hot path).
+ *
+ * All three variants ACCUMULATE into C (C += ...), row-major, so the
+ * caller seeds C with the bias / prior gradient. The accumulation
+ * order contract matters for reproducibility: for every output
+ * element, the K (reduction) dimension is traversed in ascending
+ * order with one float rounding per step — the same sequence a naive
+ * scalar loop performs — so results are independent of the cache
+ * block sizes and match a direct reference convolution term-for-term
+ * (up to FMA contraction, which the build does not enable on the
+ * targets we support).
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace sov {
+
+/** C[m x n] += A[m x k] * B[k x n]. */
+void gemmF32(std::size_t m, std::size_t n, std::size_t k,
+             const float *a, const float *b, float *c);
+
+/** C[m x n] += A^T * B where A is stored [k x m]. */
+void gemmTnF32(std::size_t m, std::size_t n, std::size_t k,
+               const float *a, const float *b, float *c);
+
+/** C[m x n] += A * B^T where B is stored [n x k]. */
+void gemmNtF32(std::size_t m, std::size_t n, std::size_t k,
+               const float *a, const float *b, float *c);
+
+} // namespace sov

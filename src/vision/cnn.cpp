@@ -5,20 +5,66 @@
 #include <numeric>
 
 #include "core/logging.h"
+#include "math/gemm.h"
 
 namespace sov {
+
+Tensor::Tensor(std::size_t channels, std::size_t height, std::size_t width,
+               std::vector<float> data)
+    : c_(channels), h_(height), w_(width), data_(std::move(data))
+{
+    SOV_ASSERT(data_.size() == c_ * h_ * w_);
+}
 
 Tensor
 Tensor::fromImage(const Image &image)
 {
-    Tensor t(1, image.height(), image.width());
-    for (std::size_t y = 0; y < image.height(); ++y)
-        for (std::size_t x = 0; x < image.width(); ++x)
-            t(0, y, x) = image(x, y);
-    return t;
+    // Row-major image == 1 x H x W CHW tensor: one buffer copy.
+    return Tensor(1, image.height(), image.width(), image.data());
+}
+
+Tensor
+Tensor::fromImage(Image &&image)
+{
+    const std::size_t h = image.height();
+    const std::size_t w = image.width();
+    return Tensor(1, h, w, std::move(image.data()));
 }
 
 // ---------------------------------------------------------------- Conv2d
+
+namespace {
+
+/** Transpose of im2col: scatter-add col rows back into image space. */
+void
+col2imAdd(const float *col, std::size_t in_c, std::size_t k, std::size_t h,
+          std::size_t w, Tensor &out)
+{
+    const long pad = static_cast<long>(k / 2);
+    const std::size_t n = h * w;
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < in_c; ++i) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx, ++row) {
+                const float *src = col + row * n;
+                for (std::size_t y = 0; y < h; ++y) {
+                    const long sy = static_cast<long>(y + ky) - pad;
+                    if (sy < 0 || sy >= static_cast<long>(h))
+                        continue;
+                    for (std::size_t x = 0; x < w; ++x) {
+                        const long sx = static_cast<long>(x + kx) - pad;
+                        if (sx < 0 || sx >= static_cast<long>(w))
+                            continue;
+                        out(i, static_cast<std::size_t>(sy),
+                            static_cast<std::size_t>(sx)) += src[y * w + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, Rng &rng)
@@ -42,14 +88,25 @@ Conv2d::weight(std::size_t o, std::size_t i, std::size_t ky, std::size_t kx)
 }
 
 Tensor
-Conv2d::forward(const Tensor &input)
+Conv2d::forward(Tensor input, bool cache_for_backward)
 {
     SOV_ASSERT(input.channels() == in_c_);
-    cached_input_ = input;
+    Tensor out(out_c_, input.height(), input.width());
+    if (backend_ == KernelBackend::Fast)
+        forwardFast(input, out);
+    else
+        forwardReference(input, out);
+    if (cache_for_backward)
+        cached_input_ = std::move(input);
+    return out;
+}
+
+void
+Conv2d::forwardReference(const Tensor &input, Tensor &out) const
+{
     const std::size_t h = input.height();
     const std::size_t w = input.width();
     const long pad = static_cast<long>(k_ / 2);
-    Tensor out(out_c_, h, w);
 
     for (std::size_t o = 0; o < out_c_; ++o) {
         for (std::size_t y = 0; y < h; ++y) {
@@ -76,11 +133,76 @@ Conv2d::forward(const Tensor &input)
             }
         }
     }
-    return out;
+}
+
+void
+Conv2d::im2colInto(const Tensor &input, float *col) const
+{
+    const std::size_t h = input.height();
+    const std::size_t w = input.width();
+    const long pad = static_cast<long>(k_ / 2);
+    const std::size_t n = h * w;
+
+    // Row order (i, ky, kx) matches the weight layout, so weights_ can
+    // be used as the [out_c x in_c*k*k] GEMM operand unchanged.
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < in_c_; ++i) {
+        for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx, ++row) {
+                float *dst = col + row * n;
+                for (std::size_t y = 0; y < h; ++y) {
+                    const long sy = static_cast<long>(y + ky) - pad;
+                    if (sy < 0 || sy >= static_cast<long>(h)) {
+                        std::fill_n(dst + y * w, w, 0.0f);
+                        continue;
+                    }
+                    const float *srow =
+                        input.data().data() +
+                        (i * h + static_cast<std::size_t>(sy)) * w;
+                    for (std::size_t x = 0; x < w; ++x) {
+                        const long sx = static_cast<long>(x + kx) - pad;
+                        dst[y * w + x] =
+                            (sx < 0 || sx >= static_cast<long>(w))
+                                ? 0.0f
+                                : srow[static_cast<std::size_t>(sx)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Conv2d::forwardFast(const Tensor &input, Tensor &out)
+{
+    const std::size_t h = input.height();
+    const std::size_t w = input.width();
+    const std::size_t n = h * w;
+    const std::size_t kk = in_c_ * k_ * k_;
+
+    scratch_.reset();
+    float *col = scratch_.alloc<float>(kk * n);
+    im2colInto(input, col);
+
+    // Seed every output row with its bias, then out += W * col. The
+    // GEMM accumulates each element in ascending k order — the same
+    // order as the reference loop nest (zero-padded taps add 0.0f).
+    float *od = out.data().data();
+    for (std::size_t o = 0; o < out_c_; ++o)
+        std::fill_n(od + o * n, n, bias_[o]);
+    gemmF32(out_c_, n, kk, weights_.data(), col, od);
 }
 
 Tensor
 Conv2d::backward(const Tensor &grad_output)
+{
+    if (backend_ == KernelBackend::Fast)
+        return backwardFast(grad_output);
+    return backwardReference(grad_output);
+}
+
+Tensor
+Conv2d::backwardReference(const Tensor &grad_output)
 {
     const Tensor &input = cached_input_;
     const std::size_t h = input.height();
@@ -124,6 +246,41 @@ Conv2d::backward(const Tensor &grad_output)
     return grad_input;
 }
 
+Tensor
+Conv2d::backwardFast(const Tensor &grad_output)
+{
+    const Tensor &input = cached_input_;
+    const std::size_t h = input.height();
+    const std::size_t w = input.width();
+    const std::size_t n = h * w;
+    const std::size_t kk = in_c_ * k_ * k_;
+
+    scratch_.reset();
+    float *col = scratch_.alloc<float>(kk * n);
+    float *gcol = scratch_.alloc<float>(kk * n);
+    im2colInto(input, col);
+
+    const float *go = grad_output.data().data();
+    for (std::size_t o = 0; o < out_c_; ++o) {
+        float acc = 0.0f;
+        const float *row = go + o * n;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += row[j];
+        grad_bias_[o] += acc;
+    }
+
+    // dW += dOut [out_c x n] * col^T  (col stored row-major [kk x n]).
+    gemmNtF32(out_c_, kk, n, go, col, grad_weights_.data());
+
+    // dCol = W^T [kk x out_c] * dOut  (weights stored [out_c x kk]).
+    std::fill_n(gcol, kk * n, 0.0f);
+    gemmTnF32(kk, n, out_c_, weights_.data(), go, gcol);
+
+    Tensor grad_input(in_c_, h, w);
+    col2imAdd(gcol, in_c_, k_, h, w, grad_input);
+    return grad_input;
+}
+
 void
 Conv2d::applyGradients(float lr, std::size_t batch)
 {
@@ -153,13 +310,13 @@ Conv2d::macs(std::size_t in_h, std::size_t in_w) const
 // ------------------------------------------------------------------ Relu
 
 Tensor
-Relu::forward(const Tensor &input)
+Relu::forward(Tensor input, bool cache_for_backward)
 {
-    cached_input_ = input;
-    Tensor out = input;
-    for (auto &v : out.data())
+    if (cache_for_backward)
+        cached_input_ = input; // copy: backward needs the signs
+    for (auto &v : input.data())
         v = std::max(v, 0.0f);
-    return out;
+    return input;
 }
 
 Tensor
@@ -175,14 +332,16 @@ Relu::backward(const Tensor &grad_output)
 // -------------------------------------------------------------- MaxPool2
 
 Tensor
-MaxPool2::forward(const Tensor &input)
+MaxPool2::forward(Tensor input, bool cache_for_backward)
 {
-    cached_input_ = input;
     out_c_ = input.channels();
-    out_h_ = input.height() / 2;
-    out_w_ = input.width() / 2;
+    in_h_ = input.height();
+    in_w_ = input.width();
+    out_h_ = in_h_ / 2;
+    out_w_ = in_w_ / 2;
     Tensor out(out_c_, out_h_, out_w_);
-    argmax_.assign(out.size(), 0);
+    if (cache_for_backward)
+        argmax_.assign(out.size(), 0);
 
     for (std::size_t c = 0; c < out_c_; ++c) {
         for (std::size_t y = 0; y < out_h_; ++y) {
@@ -196,13 +355,13 @@ MaxPool2::forward(const Tensor &input)
                         const float v = input(c, sy, sx);
                         if (v > best) {
                             best = v;
-                            best_idx = (c * input.height() + sy) *
-                                input.width() + sx;
+                            best_idx = (c * in_h_ + sy) * in_w_ + sx;
                         }
                     }
                 }
                 out(c, y, x) = best;
-                argmax_[(c * out_h_ + y) * out_w_ + x] = best_idx;
+                if (cache_for_backward)
+                    argmax_[(c * out_h_ + y) * out_w_ + x] = best_idx;
             }
         }
     }
@@ -212,8 +371,7 @@ MaxPool2::forward(const Tensor &input)
 Tensor
 MaxPool2::backward(const Tensor &grad_output)
 {
-    Tensor grad(cached_input_.channels(), cached_input_.height(),
-                cached_input_.width());
+    Tensor grad(out_c_, in_h_, in_w_);
     for (std::size_t i = 0; i < grad_output.size(); ++i)
         grad.data()[argmax_[i]] += grad_output.data()[i];
     return grad;
@@ -232,10 +390,9 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng &rng)
 }
 
 Tensor
-Dense::forward(const Tensor &input)
+Dense::forward(Tensor input, bool cache_for_backward)
 {
     SOV_ASSERT(input.size() == in_f_);
-    cached_input_ = input;
     Tensor out(1, 1, out_f_);
     for (std::size_t o = 0; o < out_f_; ++o) {
         float acc = bias_[o];
@@ -243,6 +400,8 @@ Dense::forward(const Tensor &input)
             acc += weights_[o * in_f_ + i] * input.data()[i];
         out(0, 0, o) = acc;
     }
+    if (cache_for_backward)
+        cached_input_ = std::move(input);
     return out;
 }
 
@@ -299,10 +458,25 @@ Network::add(std::unique_ptr<Layer> layer)
 Tensor
 Network::forward(const Tensor &input)
 {
-    Tensor t = input;
+    Tensor t = input; // keep the caller's tensor (training reuses it)
     for (auto &layer : layers_)
-        t = layer->forward(t);
+        t = layer->forward(std::move(t), true);
     return t;
+}
+
+Tensor
+Network::infer(Tensor input)
+{
+    for (auto &layer : layers_)
+        input = layer->forward(std::move(input), false);
+    return input;
+}
+
+void
+Network::setBackend(KernelBackend backend)
+{
+    for (auto &layer : layers_)
+        layer->setBackend(backend);
 }
 
 std::vector<double>
@@ -324,9 +498,9 @@ Network::softmax(const Tensor &logits)
 }
 
 std::size_t
-Network::predict(const Tensor &input)
+Network::predict(Tensor input)
 {
-    const Tensor logits = forward(input);
+    const Tensor logits = infer(std::move(input));
     const auto &d = logits.data();
     return static_cast<std::size_t>(
         std::max_element(d.begin(), d.end()) - d.begin());

@@ -8,15 +8,33 @@
  * that with a small convolutional classifier — conv / ReLU / max-pool /
  * fully-connected layers with softmax cross-entropy — including SGD
  * training so site-specific models can be fit to the synthetic worlds.
+ *
+ * Two kernel backends (vision/kernels.h): Reference convolution is the
+ * naive 6-deep loop nest; Fast lowers it to im2col + blocked GEMM
+ * (math/gemm.h) with scratch from a FrameArena, so steady-state
+ * inference performs no scratch allocation. Both accumulate per output
+ * element in the same k-ascending order; equivalence is gated to a
+ * small epsilon by tests and bench_kernels.
+ *
+ * Data movement: tensors flow through the network by value and are
+ * moved, not copied — a layer that must remember its input for the
+ * backward pass takes ownership only when cache_for_backward is set,
+ * so inference (Network::infer) makes no per-layer copies. The
+ * remaining deliberate copies: Network::forward's entry copy (it keeps
+ * the caller's tensor intact for trainStep), Relu's pre-activation
+ * cache during training, and Tensor::fromImage from a const Image.
  */
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/rng.h"
 #include "vision/image.h"
+#include "vision/kernels.h"
 
 namespace sov {
 
@@ -28,6 +46,9 @@ class Tensor
     Tensor(std::size_t channels, std::size_t height, std::size_t width)
         : c_(channels), h_(height), w_(width),
           data_(channels * height * width, 0.0f) {}
+    /** Adopt an existing buffer (must hold c*h*w floats). */
+    Tensor(std::size_t channels, std::size_t height, std::size_t width,
+           std::vector<float> data);
 
     std::size_t channels() const { return c_; }
     std::size_t height() const { return h_; }
@@ -45,8 +66,11 @@ class Tensor
     const std::vector<float> &data() const { return data_; }
     std::vector<float> &data() { return data_; }
 
-    /** Wrap a grayscale image as a 1-channel tensor. */
+    /** Wrap a grayscale image as a 1-channel tensor (copies). */
     static Tensor fromImage(const Image &image);
+    /** Adopt an expiring image's pixel buffer — no copy (an Image row
+     *  is laid out exactly like a 1 x H x W CHW tensor). */
+    static Tensor fromImage(Image &&image);
 
   private:
     std::size_t c_ = 0, h_ = 0, w_ = 0;
@@ -59,8 +83,18 @@ class Layer
   public:
     virtual ~Layer() = default;
 
-    /** Forward pass; caches whatever backward needs. */
-    virtual Tensor forward(const Tensor &input) = 0;
+    /**
+     * Forward pass. The input is consumed (moved where the layer can);
+     * with @p cache_for_backward the layer keeps whatever backward
+     * needs, without it the pass is allocation- and copy-minimal.
+     */
+    virtual Tensor forward(Tensor input, bool cache_for_backward) = 0;
+
+    /** Training-path convenience: forward with caching. */
+    Tensor forward(Tensor input)
+    {
+        return forward(std::move(input), true);
+    }
 
     /** Backward pass: dL/dInput from dL/dOutput; accumulates grads. */
     virtual Tensor backward(const Tensor &grad_output) = 0;
@@ -73,6 +107,9 @@ class Layer
 
     /** Multiply-accumulate count of one forward pass (compute model). */
     virtual std::size_t macs(std::size_t in_h, std::size_t in_w) const = 0;
+
+    /** Select the kernel backend; layers without kernels ignore it. */
+    virtual void setBackend(KernelBackend) {}
 };
 
 /** 2-D convolution, stride 1, zero padding to preserve size. */
@@ -82,31 +119,50 @@ class Conv2d : public Layer
     Conv2d(std::size_t in_channels, std::size_t out_channels,
            std::size_t kernel, Rng &rng);
 
-    Tensor forward(const Tensor &input) override;
+    using Layer::forward;
+    Tensor forward(Tensor input, bool cache_for_backward) override;
     Tensor backward(const Tensor &grad_output) override;
     void applyGradients(float lr, std::size_t batch) override;
     std::size_t parameterCount() const override;
     std::size_t macs(std::size_t in_h, std::size_t in_w) const override;
+    void setBackend(KernelBackend backend) override
+    {
+        backend_ = backend;
+    }
 
     /** Direct weight access: weight(out, in, ky, kx). */
     float &weight(std::size_t o, std::size_t i, std::size_t ky,
                   std::size_t kx);
     float &bias(std::size_t o) { return bias_[o]; }
 
+    /** Fast-backend scratch arena (exposed so tests can assert
+     *  steady-state passes stop allocating). */
+    const FrameArena &scratchArena() const { return scratch_; }
+
   private:
+    void forwardReference(const Tensor &input, Tensor &out) const;
+    void forwardFast(const Tensor &input, Tensor &out);
+    Tensor backwardReference(const Tensor &grad_output);
+    Tensor backwardFast(const Tensor &grad_output);
+    /** Lower @p input to the [in_c*k*k x h*w] im2col matrix. */
+    void im2colInto(const Tensor &input, float *col) const;
+
     std::size_t in_c_, out_c_, k_;
     std::vector<float> weights_; //!< out*in*k*k
     std::vector<float> bias_;
     std::vector<float> grad_weights_;
     std::vector<float> grad_bias_;
     Tensor cached_input_;
+    KernelBackend backend_ = KernelBackend::Reference;
+    FrameArena scratch_; //!< Fast backend im2col / GEMM scratch
 };
 
 /** Element-wise ReLU. */
 class Relu : public Layer
 {
   public:
-    Tensor forward(const Tensor &input) override;
+    using Layer::forward;
+    Tensor forward(Tensor input, bool cache_for_backward) override;
     Tensor backward(const Tensor &grad_output) override;
     void applyGradients(float, std::size_t) override {}
     std::size_t parameterCount() const override { return 0; }
@@ -120,15 +176,18 @@ class Relu : public Layer
 class MaxPool2 : public Layer
 {
   public:
-    Tensor forward(const Tensor &input) override;
+    using Layer::forward;
+    Tensor forward(Tensor input, bool cache_for_backward) override;
     Tensor backward(const Tensor &grad_output) override;
     void applyGradients(float, std::size_t) override {}
     std::size_t parameterCount() const override { return 0; }
     std::size_t macs(std::size_t, std::size_t) const override { return 0; }
 
   private:
-    Tensor cached_input_;
+    /** Backward needs only the input shape and argmax map — caching
+     *  the full input tensor would be a dead frame-sized copy. */
     std::vector<std::size_t> argmax_;
+    std::size_t in_h_ = 0, in_w_ = 0;
     std::size_t out_c_ = 0, out_h_ = 0, out_w_ = 0;
 };
 
@@ -138,7 +197,8 @@ class Dense : public Layer
   public:
     Dense(std::size_t in_features, std::size_t out_features, Rng &rng);
 
-    Tensor forward(const Tensor &input) override;
+    using Layer::forward;
+    Tensor forward(Tensor input, bool cache_for_backward) override;
     Tensor backward(const Tensor &grad_output) override;
     void applyGradients(float lr, std::size_t batch) override;
     std::size_t parameterCount() const override;
@@ -162,14 +222,23 @@ class Network
     void add(std::unique_ptr<Layer> layer);
     std::size_t numLayers() const { return layers_.size(); }
 
-    /** Forward pass to raw logits (1 x 1 x N tensor). */
+    /** Forward pass to raw logits (1 x 1 x N tensor), caching layer
+     *  inputs for a subsequent backward pass. Copies the input once on
+     *  entry; use infer() on the no-training path. */
     Tensor forward(const Tensor &input);
+
+    /** Inference-only forward: consumes the input, no per-layer
+     *  caching or copying. */
+    Tensor infer(Tensor input);
 
     /** Softmax class probabilities of the logits. */
     static std::vector<double> softmax(const Tensor &logits);
 
-    /** Class prediction (argmax probability). */
-    std::size_t predict(const Tensor &input);
+    /** Class prediction (argmax probability); inference path. */
+    std::size_t predict(Tensor input);
+
+    /** Select the kernel backend of every layer (vision/kernels.h). */
+    void setBackend(KernelBackend backend);
 
     /**
      * One SGD step on a single example.

@@ -51,6 +51,7 @@ ObjectDetector::ObjectDetector(Network classifier,
                                const DetectorConfig &config)
     : classifier_(std::move(classifier)), config_(config)
 {
+    classifier_.setBackend(config_.backend);
 }
 
 std::vector<BoundingBox>
@@ -140,8 +141,9 @@ ObjectDetector::detect(const Image &frame) const
 {
     std::vector<Detection> detections;
     for (const auto &box : proposals(frame)) {
-        const Image patch = extractPatch(frame, box);
-        const Tensor logits = classifier_.forward(Tensor::fromImage(patch));
+        Image patch = extractPatch(frame, box);
+        const Tensor logits =
+            classifier_.infer(Tensor::fromImage(std::move(patch)));
         const auto probs = Network::softmax(logits);
         SOV_ASSERT(probs.size() == 5);
         std::size_t best = 0;
@@ -226,10 +228,10 @@ buildPatchDataset(const World &world, const CameraModel &camera,
                                                 Timestamp::origin());
             if (!box || box->w < 6.0 || box->h < 6.0)
                 continue;
-            const Image patch =
-                resampler.extractPatch(frame.intensity, *box);
-            examples.push_back(PatchExample{Tensor::fromImage(patch),
-                                            classLabel(obs.cls)});
+            Image patch = resampler.extractPatch(frame.intensity, *box);
+            examples.push_back(
+                PatchExample{Tensor::fromImage(std::move(patch)),
+                             classLabel(obs.cls)});
         }
 
         // Background patches (label 4).
@@ -250,10 +252,9 @@ buildPatchDataset(const World &world, const CameraModel &camera,
             }
             if (overlaps)
                 continue;
-            const Image patch =
-                resampler.extractPatch(frame.intensity, box);
+            Image patch = resampler.extractPatch(frame.intensity, box);
             background.push_back(
-                PatchExample{Tensor::fromImage(patch), 4});
+                PatchExample{Tensor::fromImage(std::move(patch)), 4});
         }
     }
 

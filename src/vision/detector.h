@@ -19,6 +19,7 @@
 #include "vision/camera_model.h"
 #include "vision/cnn.h"
 #include "vision/image.h"
+#include "vision/kernels.h"
 #include "world/world.h"
 
 namespace sov {
@@ -55,6 +56,8 @@ struct DetectorConfig
     std::size_t patch_size = 16;       //!< classifier input edge
     double min_confidence = 0.5;
     double nms_iou = 0.4;
+    /** Classifier kernel implementation (vision/kernels.h). */
+    KernelBackend backend = KernelBackend::Reference;
 };
 
 /**

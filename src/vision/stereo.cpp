@@ -19,19 +19,19 @@ DisparityMap::depthAt(std::size_t x, std::size_t y,
 
 double
 StereoMatcher::matchPixel(const Image &left, const Image &right, int x,
-                          int y, int d_lo, int d_hi) const
+                          int y, int d_lo, int d_hi,
+                          std::vector<double> &sads) const
 {
     const int r = config_.block_radius;
-    const int w = static_cast<int>(left.width());
     d_lo = std::max(d_lo, 0);
     d_hi = std::min(d_hi, x - r); // right window must stay in-image
     if (d_hi < d_lo)
         return -1.0;
 
     const int n = (2 * r + 1) * (2 * r + 1);
-    double best_sad = 1e18, second_sad = 1e18;
+    double best_sad = 1e18;
     int best_d = -1;
-    std::vector<double> sads(static_cast<std::size_t>(d_hi - d_lo + 1));
+    sads.resize(static_cast<std::size_t>(d_hi - d_lo + 1));
 
     for (int d = d_lo; d <= d_hi; ++d) {
         double sad = 0.0;
@@ -45,14 +45,10 @@ StereoMatcher::matchPixel(const Image &left, const Image &right, int x,
         sad /= n;
         sads[static_cast<std::size_t>(d - d_lo)] = sad;
         if (sad < best_sad) {
-            second_sad = best_sad;
             best_sad = sad;
             best_d = d;
-        } else if (sad < second_sad) {
-            second_sad = sad;
         }
     }
-    (void)w;
 
     if (best_d < 0 || best_sad > config_.max_sad)
         return -1.0;
@@ -104,15 +100,19 @@ StereoMatcher::matchRightPixel(const Image &left, const Image &right,
 std::vector<SupportPoint>
 StereoMatcher::supportPoints(const Image &left, const Image &right) const
 {
+    if (config_.backend == KernelBackend::Fast)
+        return supportPointsFast(left, right);
+
     std::vector<SupportPoint> points;
     const int step = config_.support_grid_step;
     const int r = config_.block_radius;
+    std::vector<double> sads;
     for (int y = r + step / 2; y < static_cast<int>(left.height()) - r;
          y += step) {
         for (int x = r + step / 2; x < static_cast<int>(left.width()) - r;
              x += step) {
-            const double d =
-                matchPixel(left, right, x, y, 0, config_.max_disparity);
+            const double d = matchPixel(left, right, x, y, 0,
+                                        config_.max_disparity, sads);
             if (d >= 0.0)
                 points.push_back(SupportPoint{x, y, d});
         }
@@ -125,6 +125,14 @@ StereoMatcher::match(const Image &left, const Image &right) const
 {
     SOV_ASSERT(left.width() == right.width() &&
                left.height() == right.height());
+    if (config_.backend == KernelBackend::Fast)
+        return matchFast(left, right);
+    return matchReference(left, right);
+}
+
+DisparityMap
+StereoMatcher::matchReference(const Image &left, const Image &right) const
+{
     const std::size_t w = left.width();
     const std::size_t h = left.height();
 
@@ -133,6 +141,7 @@ StereoMatcher::match(const Image &left, const Image &right) const
     DisparityMap out;
     out.disparity = Image(w, h, -1.0f);
     std::size_t valid = 0;
+    std::vector<double> sads;
 
     for (std::size_t y = 0; y < h; ++y) {
         for (std::size_t x = 0; x < w; ++x) {
@@ -163,7 +172,8 @@ StereoMatcher::match(const Image &left, const Image &right) const
 
             const double d = matchPixel(left, right,
                                         static_cast<int>(x),
-                                        static_cast<int>(y), d_lo, d_hi);
+                                        static_cast<int>(y), d_lo, d_hi,
+                                        sads);
             if (d < 0.0)
                 continue;
 

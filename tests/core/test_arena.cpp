@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/arena.h"
+
+namespace sov {
+namespace {
+
+TEST(FrameArena, AllocatesAlignedWritableMemory)
+{
+    FrameArena arena(256);
+    auto *a = arena.alloc<float>(10);
+    auto *b = arena.alloc<double>(4);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(float), 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(double), 0u);
+    for (int i = 0; i < 10; ++i)
+        a[i] = static_cast<float>(i);
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<double>(i);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a[i], static_cast<float>(i));
+}
+
+TEST(FrameArena, GrowsWhenFirstBlockIsExhausted)
+{
+    FrameArena arena(64);
+    EXPECT_EQ(arena.blockCount(), 0u);
+    arena.alloc<float>(8); // 32 bytes: fits the first block
+    EXPECT_EQ(arena.blockCount(), 1u);
+    arena.alloc<float>(64); // 256 bytes: needs a new, larger block
+    EXPECT_GE(arena.blockCount(), 2u);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesInUse());
+}
+
+TEST(FrameArena, ResetRewindsWithoutReleasingBlocks)
+{
+    FrameArena arena(128);
+    arena.alloc<float>(100);
+    const std::size_t reserved = arena.bytesReserved();
+    const std::size_t blocks = arena.blockCount();
+    arena.reset();
+    EXPECT_EQ(arena.bytesInUse(), 0u);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+    EXPECT_EQ(arena.blockCount(), blocks);
+}
+
+TEST(FrameArena, SteadyStateFramesPerformNoSystemAllocation)
+{
+    FrameArena arena(64);
+    // Frame 0 (warm-up): the arena grows to fit the working set.
+    arena.reset();
+    arena.alloc<float>(300);
+    arena.alloc<double>(50);
+    const std::uint64_t after_warmup = arena.systemAllocations();
+    EXPECT_GT(after_warmup, 0u);
+
+    // Steady state: identical per-frame working set, zero new blocks.
+    for (int frame = 0; frame < 16; ++frame) {
+        arena.reset();
+        auto *f = arena.alloc<float>(300);
+        auto *d = arena.alloc<double>(50);
+        f[299] = 1.0f;
+        d[49] = 1.0;
+        EXPECT_EQ(arena.systemAllocations(), after_warmup);
+    }
+}
+
+TEST(FrameArena, ResetMakesMemoryReusable)
+{
+    FrameArena arena(1024);
+    auto *first = arena.alloc<std::uint8_t>(100);
+    std::memset(first, 0xAB, 100);
+    arena.reset();
+    auto *second = arena.alloc<std::uint8_t>(100);
+    // Same block, same offset: bump allocation restarted.
+    EXPECT_EQ(first, second);
+}
+
+TEST(FrameArena, ReleaseDropsAllBlocks)
+{
+    FrameArena arena(64);
+    arena.alloc<float>(512);
+    EXPECT_GT(arena.bytesReserved(), 0u);
+    arena.release();
+    EXPECT_EQ(arena.bytesReserved(), 0u);
+    EXPECT_EQ(arena.blockCount(), 0u);
+    // Still usable afterwards.
+    auto *p = arena.alloc<float>(16);
+    ASSERT_NE(p, nullptr);
+    p[15] = 2.0f;
+}
+
+TEST(FrameArena, MoveTransfersOwnership)
+{
+    FrameArena a(128);
+    auto *p = a.alloc<float>(4);
+    p[0] = 42.0f;
+    FrameArena b = std::move(a);
+    EXPECT_GT(b.bytesInUse(), 0u);
+    EXPECT_EQ(p[0], 42.0f);
+}
+
+} // namespace
+} // namespace sov

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace sov {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4u);
+
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    pool.parallelFor(50, [&counter](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(8);
+    std::vector<int> hits(1000, 0);
+    // Distinct slots per index: no synchronization needed.
+    pool.parallelFor(hits.size(),
+                     [&hits](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+
+    // The pool survives a throwing task.
+    auto ok = pool.submit([] {});
+    EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelFor(64, [&completed](std::size_t i) {
+            if (i == 7)
+                throw std::invalid_argument("seven");
+            if (i == 40)
+                throw std::runtime_error("forty");
+            ++completed;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_STREQ(e.what(), "seven"); // lowest index wins
+    }
+    // Every non-throwing iteration still ran.
+    EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasksUnderLoad)
+{
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 100; ++i) {
+            futures.push_back(pool.submit([&counter] {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                ++counter;
+            }));
+        }
+        // Destructor must finish all queued work before joining.
+    }
+    EXPECT_EQ(counter.load(), 100);
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_NO_THROW(f.get());
+    }
+}
+
+TEST(ThreadPool, WorkSubmittedFromWorkerThreadCompletes)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    auto outer = pool.submit([&pool, &counter] {
+        // A task fanning out more tasks (nested submission).
+        std::vector<std::future<void>> inner;
+        for (int i = 0; i < 8; ++i)
+            inner.push_back(pool.submit([&counter] { ++counter; }));
+        for (auto &f : inner)
+            f.get();
+    });
+    outer.get();
+    EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ThreadPool pool; // default-sized pool must construct and drain
+    auto f = pool.submit([] {});
+    f.get();
+}
+
+} // namespace
+} // namespace sov

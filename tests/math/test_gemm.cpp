@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+#include "math/gemm.h"
+
+namespace sov {
+namespace {
+
+std::vector<float>
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    std::vector<float> m(rows * cols);
+    for (auto &v : m)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+/** Naive C += A*B in double, the accuracy yardstick. */
+std::vector<double>
+naiveGemm(std::size_t m, std::size_t n, std::size_t k,
+          const std::vector<float> &a, const std::vector<float> &b)
+{
+    std::vector<double> c(m * n, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk)
+            for (std::size_t j = 0; j < n; ++j)
+                c[i * n + j] += static_cast<double>(a[i * k + kk]) *
+                    static_cast<double>(b[kk * n + j]);
+    return c;
+}
+
+void
+expectClose(const std::vector<float> &got, const std::vector<double> &want,
+            double tol)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], tol) << "element " << i;
+}
+
+TEST(Gemm, MatchesNaiveDoubleReference)
+{
+    Rng rng(11);
+    // Odd sizes exercise the kBlockK remainder path (k > 64).
+    const std::size_t m = 7, n = 13, k = 130;
+    const auto a = randomMatrix(m, k, rng);
+    const auto b = randomMatrix(k, n, rng);
+    std::vector<float> c(m * n, 0.0f);
+    gemmF32(m, n, k, a.data(), b.data(), c.data());
+    expectClose(c, naiveGemm(m, n, k, a, b), 1e-4);
+}
+
+TEST(Gemm, AccumulatesIntoC)
+{
+    Rng rng(12);
+    const std::size_t m = 3, n = 4, k = 5;
+    const auto a = randomMatrix(m, k, rng);
+    const auto b = randomMatrix(k, n, rng);
+    std::vector<float> c(m * n, 2.0f);
+    gemmF32(m, n, k, a.data(), b.data(), c.data());
+    auto want = naiveGemm(m, n, k, a, b);
+    for (auto &v : want)
+        v += 2.0;
+    expectClose(c, want, 1e-5);
+}
+
+TEST(Gemm, TransposedAVariantAgrees)
+{
+    Rng rng(13);
+    const std::size_t m = 9, n = 6, k = 70;
+    const auto a = randomMatrix(m, k, rng); // logical A [m x k]
+    const auto b = randomMatrix(k, n, rng);
+    // Store A transposed: at[kk * m + i] = a[i * k + kk].
+    std::vector<float> at(k * m);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk)
+            at[kk * m + i] = a[i * k + kk];
+    std::vector<float> c(m * n, 0.0f);
+    gemmTnF32(m, n, k, at.data(), b.data(), c.data());
+    expectClose(c, naiveGemm(m, n, k, a, b), 1e-4);
+}
+
+TEST(Gemm, TransposedBVariantAgrees)
+{
+    Rng rng(14);
+    const std::size_t m = 5, n = 8, k = 90;
+    const auto a = randomMatrix(m, k, rng);
+    const auto b = randomMatrix(k, n, rng); // logical B [k x n]
+    // Store B transposed: bt[j * k + kk] = b[kk * n + j].
+    std::vector<float> bt(n * k);
+    for (std::size_t kk = 0; kk < k; ++kk)
+        for (std::size_t j = 0; j < n; ++j)
+            bt[j * k + kk] = b[kk * n + j];
+    std::vector<float> c(m * n, 0.0f);
+    gemmNtF32(m, n, k, a.data(), bt.data(), c.data());
+    expectClose(c, naiveGemm(m, n, k, a, b), 1e-4);
+}
+
+TEST(Gemm, BlockingDoesNotChangeTheResult)
+{
+    // The k-blocked loop must produce the bit-identical float sequence
+    // of a flat ascending-k loop (the documented order contract).
+    Rng rng(15);
+    const std::size_t m = 4, n = 10, k = 200;
+    const auto a = randomMatrix(m, k, rng);
+    const auto b = randomMatrix(k, n, rng);
+    std::vector<float> got(m * n, 0.0f);
+    gemmF32(m, n, k, a.data(), b.data(), got.data());
+
+    std::vector<float> flat(m * n, 0.0f);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = flat[i * n + j];
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a[i * k + kk] * b[kk * n + j];
+            flat[i * n + j] = acc;
+        }
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], flat[i]) << "element " << i;
+}
+
+} // namespace
+} // namespace sov
