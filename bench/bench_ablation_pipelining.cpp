@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness.h"
 #include "runtime/dataflow.h"
 #include "runtime/task_graph.h"
 
@@ -38,7 +39,8 @@ stageChain(const std::vector<double> &stage_ms)
 
 void
 reportDeadline(const char *label, const std::vector<double> &stage_ms,
-               double input_hz, double deadline_ms)
+               double input_hz, double deadline_ms,
+               bench::BenchReport &out)
 {
     runtime::StageGraph g = stageChain(stage_ms);
     runtime::RunOptions opts;
@@ -56,6 +58,12 @@ reportDeadline(const char *label, const std::vector<double> &stage_ms,
                 label,
                 static_cast<unsigned long long>(run.deadline_misses),
                 worst_queue.toMillis(), run.steadyStateThroughputHz());
+    out.addRow("deadlines")
+        .set("schedule", label)
+        .set("input_hz", input_hz)
+        .set("deadline_misses", run.deadline_misses)
+        .set("worst_queue_ms", worst_queue.toMillis())
+        .set("throughput_hz", run.steadyStateThroughputHz());
 }
 
 /** Serial chain of @p stage_ms stage durations on distinct hardware. */
@@ -79,9 +87,10 @@ chain(const std::vector<double> &stage_ms)
     return g;
 }
 
-void
+/** Returns pipelined steady-state throughput for the gate below. */
+double
 report(const char *label, const std::vector<double> &stage_ms,
-       double input_hz)
+       double input_hz, bench::BenchReport &out)
 {
     const TaskGraph g = chain(stage_ms);
     const auto schedule =
@@ -91,6 +100,14 @@ report(const char *label, const std::vector<double> &stage_ms,
                 label, g.criticalPathLatency().toMillis(),
                 schedule.steadyStateThroughputHz(),
                 schedule.frame_latency.back().toMillis());
+    out.addRow("schedules")
+        .set("schedule", label)
+        .set("input_hz", input_hz)
+        .set("latency_ms", g.criticalPathLatency().toMillis())
+        .set("throughput_hz", schedule.steadyStateThroughputHz())
+        .set("steady_frame_latency_ms",
+             schedule.frame_latency.back().toMillis());
+    return schedule.steadyStateThroughputHz();
 }
 
 } // namespace
@@ -101,22 +118,25 @@ main()
     std::printf("=== Ablation: pipelining vs latency (Sec. III-A) "
                 "===\n\n");
 
+    bench::BenchReport out("ablation_pipelining");
     // The SoV's three stages at their mean latencies.
-    report("sensing|perception|planning @10Hz", {78.0, 86.0, 3.0}, 10.0);
+    report("sensing|perception|planning @10Hz", {78.0, 86.0, 3.0}, 10.0,
+           out);
     // Feed frames faster than the bottleneck: throughput saturates at
     // the slowest stage, and queueing inflates per-frame latency.
     report("same stages @15Hz (oversubscribed)", {78.0, 86.0, 3.0},
-           15.0);
+           15.0, out);
     // Split the perception stage across two accelerators (ALP,
     // Sec. VII): the throughput ceiling moves to the next-slowest
     // stage (sensing, 78 ms -> 12.8 Hz); latency does not improve.
     report("perception split in two @10Hz", {78.0, 43.0, 43.0, 3.0},
-           10.0);
-    report("perception split in two @20Hz", {78.0, 43.0, 43.0, 3.0},
-           20.0);
+           10.0, out);
+    const double split_hz = report("perception split in two @20Hz",
+                                   {78.0, 43.0, 43.0, 3.0}, 20.0, out);
     // One monolithic stage: same latency, worst throughput ceiling.
-    report("monolithic 167 ms stage @10Hz", {167.0}, 10.0);
-    report("monolithic 167 ms stage @6Hz", {167.0}, 6.0);
+    report("monolithic 167 ms stage @10Hz", {167.0}, 10.0, out);
+    const double mono_hz =
+        report("monolithic 167 ms stage @6Hz", {167.0}, 6.0, out);
 
     // The same sweep through the runtime executor with a 300 ms frame
     // deadline: a stable pipeline never misses, an oversubscribed one
@@ -124,16 +144,18 @@ main()
     std::printf("\n=== Deadline misses under oversubscription "
                 "(300 ms budget) ===\n\n");
     reportDeadline("sensing|perception|planning @10Hz",
-                   {78.0, 86.0, 3.0}, 10.0, 300.0);
+                   {78.0, 86.0, 3.0}, 10.0, 300.0, out);
     reportDeadline("same stages @15Hz (oversubscribed)",
-                   {78.0, 86.0, 3.0}, 15.0, 300.0);
+                   {78.0, 86.0, 3.0}, 15.0, 300.0, out);
     reportDeadline("perception split in two @15Hz",
-                   {78.0, 43.0, 43.0, 3.0}, 15.0, 300.0);
+                   {78.0, 43.0, 43.0, 3.0}, 15.0, 300.0, out);
 
     std::printf("\nShape: pipelined throughput = 1/slowest-stage "
                 "(splitting helps);\nsingle-frame latency = sum of "
                 "stages (splitting does not help) — the\npaper's "
                 "reason for treating latency, not throughput, as the "
                 "binding constraint.\n");
-    return 0;
+    out.gate("splitting_raises_throughput", split_hz > mono_hz,
+             "Sec. III-A: pipelining must lift the throughput ceiling");
+    return out.write();
 }

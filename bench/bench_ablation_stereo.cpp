@@ -12,6 +12,7 @@
 
 #include "core/rng.h"
 #include "core/stats.h"
+#include "harness.h"
 #include "vision/renderer.h"
 #include "vision/stereo.h"
 
@@ -53,8 +54,10 @@ makeScene()
     return s;
 }
 
-void
-evaluate(const char *name, const Scene &scene, const StereoConfig &cfg)
+/** Returns the disparity-map density so gates can compare variants. */
+double
+evaluate(const char *name, const Scene &scene, const StereoConfig &cfg,
+         bench::BenchReport &report)
 {
     const StereoMatcher matcher(cfg);
     const auto t0 = std::chrono::steady_clock::now();
@@ -71,10 +74,16 @@ evaluate(const char *name, const Scene &scene, const StereoConfig &cfg)
             err.add(std::fabs(map.depthAt(x, y, scene.rig) - gt));
         }
     }
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
     std::printf("%-28s err=%6.3f m  density=%4.0f%%  time=%7.1f ms\n",
-                name, err.mean(), 100.0 * map.density,
-                std::chrono::duration<double, std::milli>(t1 - t0)
-                    .count());
+                name, err.mean(), 100.0 * map.density, ms);
+    report.addRow("variants")
+        .set("variant", name)
+        .set("mean_err_m", err.mean())
+        .set("density", map.density)
+        .set("time_ms", ms);
+    return map.density;
 }
 
 } // namespace
@@ -84,29 +93,34 @@ main()
 {
     std::printf("=== Ablation: stereo matcher design choices ===\n\n");
     const Scene scene = makeScene();
+    bench::BenchReport report("ablation_stereo");
 
     StereoConfig base;
     base.max_disparity = 48;
-    evaluate("baseline (ELAS-style)", scene, base);
+    const double base_density =
+        evaluate("baseline (ELAS-style)", scene, base, report);
 
     StereoConfig no_prior = base;
     no_prior.support_grid_step = 10000; // no support points -> full range
-    evaluate("no support-point prior", scene, no_prior);
+    evaluate("no support-point prior", scene, no_prior, report);
 
     StereoConfig no_lr = base;
     no_lr.left_right_check = false;
-    evaluate("no left-right check", scene, no_lr);
+    const double no_lr_density =
+        evaluate("no left-right check", scene, no_lr, report);
 
     for (const int r : {1, 2, 3, 5}) {
         StereoConfig cfg = base;
         cfg.block_radius = r;
         char label[40];
         std::snprintf(label, sizeof(label), "block radius %d", r);
-        evaluate(label, scene, cfg);
+        evaluate(label, scene, cfg, report);
     }
 
     std::printf("\nShape: the support-point prior buys most of the "
                 "speed; the LR check buys\naccuracy (density drops); "
                 "small blocks are fast but noisy.\n");
-    return 0;
+    report.gate("lr_check_prunes_matches", base_density <= no_lr_density,
+                "LR consistency must only remove disparities");
+    return report.write();
 }

@@ -24,11 +24,11 @@
  * collided: CI runs the smoke matrix as a hard robustness gate.
  */
 #include <cstdio>
-#include <fstream>
 #include <vector>
 
 #include "core/config.h"
 #include "fleet/fleet_runner.h"
+#include "harness.h"
 
 using namespace sov;
 using namespace sov::fleet;
@@ -101,12 +101,32 @@ main(int argc, char **argv)
     // Enumeration order: per fault preset, the bare row then the
     // supervised row (the stack axis is innermost above seeds).
     const std::vector<ScenarioOutcome> &rows = report.outcomes();
+    bench::BenchReport report_out("fault_matrix");
+    report_out.setSmoke(smoke);
+    const auto addCell = [&report_out](const ScenarioOutcome &o,
+                                       const char *policy,
+                                       const std::string &fault_name) {
+        report_out.addRow("cells")
+            .set("fault", fault_name)
+            .set("policy", policy)
+            .set("outcome", o.collided   ? "collided"
+                            : o.stopped ? "stopped"
+                                        : "cruise")
+            .set("min_gap_m", o.min_gap)
+            .set("availability", o.availability)
+            .set("worst_level", toString(o.worst_level))
+            .set("frames_failed", o.pipeline_frames_failed)
+            .set("can_frames_lost", o.can_frames_lost)
+            .set("sensor_dropouts", o.sensor_dropouts);
+    };
     int collisions_supervised = 0;
     for (std::size_t f = 0; f < presets.size(); ++f) {
         const ScenarioOutcome &bare = rows.at(2 * f);
         const ScenarioOutcome &supervised = rows.at(2 * f + 1);
         printRow(bare, "bare", presets[f].name);
         printRow(supervised, "supervised", presets[f].name);
+        addCell(bare, "bare", presets[f].name);
+        addCell(supervised, "supervised", presets[f].name);
         collisions_supervised += supervised.collided ? 1 : 0;
         std::printf("\n");
     }
@@ -119,21 +139,19 @@ main(int argc, char **argv)
                 timing.wall_seconds, timing.threads,
                 timing.scenarios_per_second);
 
-    {
-        std::ofstream json(out_path);
-        json << "{\n  \"bench\": \"fault_matrix\",\n  \"wall_x\": "
-             << wall_x << ",\n  \"horizon_s\": " << horizon_s
-             << ",\n  \"smoke\": " << (smoke ? "true" : "false")
-             << ",\n  \"threads\": " << timing.threads
-             << ",\n  \"wall_s\": " << timing.wall_seconds
-             << ",\n  \"scenarios_per_sec\": "
-             << timing.scenarios_per_second
-             << ",\n  \"collisions_supervised\": " << collisions_supervised
-             << ",\n  \"report\": " << report.toJson() << "}\n";
-        std::printf("wrote %s\n", out_path.c_str());
-    }
-
+    report_out.meta("wall_x", wall_x);
+    report_out.meta("horizon_s", horizon_s);
+    report_out.meta("threads", timing.threads);
+    report_out.meta("wall_s", timing.wall_seconds);
+    report_out.meta("scenarios_per_sec", timing.scenarios_per_second);
+    report_out.meta("collisions_supervised", collisions_supervised);
+    report_out.extra("report", report.toJson());
+    report_out.attachMetrics(runner.mergedMetrics());
     // Exit nonzero if the supervised stack ever collided: CI runs the
     // smoke matrix as a hard robustness gate.
-    return collisions_supervised == 0 ? 0 : 1;
+    report_out.gate("no_supervised_collisions", collisions_supervised == 0,
+                    collisions_supervised == 0
+                        ? ""
+                        : "the supervised stack collided");
+    return report_out.write(out_path);
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/config.h"
+#include "harness.h"
 #include "localization/vio.h"
 #include "sensors/imu.h"
 
@@ -115,14 +116,24 @@ main(int argc, char **argv)
     const VioRun off20 = run(Duration::millisF(20.0), 21);
     const VioRun off40 = run(Duration::millisF(40.0), 21);
 
+    bench::BenchReport report("fig11b_sync_vio");
     std::printf("%-22s %-16s %-16s\n", "condition", "max err (m)",
                 "final err (m)");
-    std::printf("%-22s %-16.2f %-16.2f\n", "synchronized",
-                synced.max_error, synced.final_error);
-    std::printf("%-22s %-16.2f %-16.2f\n", "20 ms unsynced",
-                off20.max_error, off20.final_error);
-    std::printf("%-22s %-16.2f %-16.2f\n", "40 ms unsynced",
-                off40.max_error, off40.final_error);
+    const struct
+    {
+        const char *name;
+        const VioRun *r;
+    } conditions[] = {{"synchronized", &synced},
+                      {"20 ms unsynced", &off20},
+                      {"40 ms unsynced", &off40}};
+    for (const auto &c : conditions) {
+        std::printf("%-22s %-16.2f %-16.2f\n", c.name, c.r->max_error,
+                    c.r->final_error);
+        report.addRow("conditions")
+            .set("condition", c.name)
+            .set("max_err_m", c.r->max_error)
+            .set("final_err_m", c.r->final_error);
+    }
 
     std::printf("\ntrajectory samples every 10 s "
                 "(truth -> sync / 20 ms / 40 ms):\n");
@@ -137,5 +148,8 @@ main(int argc, char **argv)
     std::printf("\npaper: synchronized is indistinguishable from ground "
                 "truth; 40 ms offset\nerrs by ~10 m over a shorter "
                 "course — the same compounding shape.\n");
-    return 0;
+    report.gate("sync_beats_unsynced",
+                synced.max_error < off40.max_error,
+                "Fig. 11b: camera-IMU offset must inflate drift");
+    return report.write();
 }

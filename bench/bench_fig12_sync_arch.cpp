@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/stats.h"
+#include "harness.h"
 #include "sync/synchronizer.h"
 
 using namespace sov;
@@ -20,6 +21,7 @@ using namespace sov;
 int
 main()
 {
+    bench::BenchReport report("fig12_sync_arch");
     std::printf("=== Fig. 12: sensor synchronization strategies ===\n\n");
 
     HardwareSynchronizer hw;
@@ -58,26 +60,24 @@ main()
                                hw_imu_sample.stamped_time).toMillis()));
     }
 
+    const struct
+    {
+        const char *name;
+        const RunningStats *s;
+    } errors[] = {{"sw_camera", &sw_cam_err}, {"sw_imu", &sw_imu_err},
+                  {"sw_pairing", &sw_pair},   {"hw_camera", &hw_cam_err},
+                  {"hw_imu", &hw_imu_err},    {"hw_pairing", &hw_pair}};
     std::printf("%-34s %-12s %-12s %-12s\n", "metric (ms, abs)",
                 "mean", "max", "stddev");
-    std::printf("%-34s %-12.2f %-12.2f %-12.2f\n",
-                "SW-only camera timestamp error", sw_cam_err.mean(),
-                sw_cam_err.max(), sw_cam_err.stddev());
-    std::printf("%-34s %-12.2f %-12.2f %-12.2f\n",
-                "SW-only IMU timestamp error", sw_imu_err.mean(),
-                sw_imu_err.max(), sw_imu_err.stddev());
-    std::printf("%-34s %-12.2f %-12.2f %-12.2f\n",
-                "SW-only camera-IMU pairing error", sw_pair.mean(),
-                sw_pair.max(), sw_pair.stddev());
-    std::printf("%-34s %-12.3f %-12.3f %-12.3f\n",
-                "HW camera timestamp error", hw_cam_err.mean(),
-                hw_cam_err.max(), hw_cam_err.stddev());
-    std::printf("%-34s %-12.3f %-12.3f %-12.3f\n",
-                "HW IMU timestamp error", hw_imu_err.mean(),
-                hw_imu_err.max(), hw_imu_err.stddev());
-    std::printf("%-34s %-12.3f %-12.3f %-12.3f\n",
-                "HW camera-IMU pairing error", hw_pair.mean(),
-                hw_pair.max(), hw_pair.stddev());
+    for (const auto &e : errors) {
+        std::printf("%-34s %-12.3f %-12.3f %-12.3f\n", e.name,
+                    e.s->mean(), e.s->max(), e.s->stddev());
+        report.addRow("errors")
+            .set("metric", e.name)
+            .set("mean_ms", e.s->mean())
+            .set("max_ms", e.s->max())
+            .set("stddev_ms", e.s->stddev());
+    }
 
     // With SW sync, a camera frame's stamp can drift past later IMU
     // samples — the "C0 paired with M7" failure of Fig. 12b.
@@ -94,5 +94,12 @@ main()
                 "/ 5 mW / <1 ms)\n",
                 fp.luts, fp.registers, fp.power_mw,
                 fp.added_latency.toMillis());
-    return 0;
+    report.meta("hw_luts", fp.luts);
+    report.meta("hw_registers", fp.registers);
+    report.meta("hw_power_mw", fp.power_mw);
+    report.meta("hw_added_latency_ms", fp.added_latency.toMillis());
+    report.gate("hw_pairing_beats_sw",
+                hw_pair.max() < sw_pair.max(),
+                "Fig. 12: HW sync must bound camera-IMU pairing error");
+    return report.write();
 }

@@ -12,6 +12,7 @@
 
 #include "analysis/latency_model.h"
 #include "core/config.h"
+#include "harness.h"
 
 using namespace sov;
 
@@ -23,6 +24,12 @@ main(int argc, char **argv)
     params.speed = Speed::metersPerSecond(
         cfg.getDouble("speed", 5.6));
     params.brake_decel = cfg.getDouble("decel", 4.0);
+
+    bench::BenchReport report("fig3a_latency_requirement");
+    report.meta("speed_mps", params.speed.toMetersPerSecond());
+    report.meta("brake_decel", params.brake_decel);
+    report.meta("braking_distance_m", brakingDistance(params));
+    report.meta("stopping_time_s", stoppingTime(params).toSeconds());
 
     std::printf("=== Fig. 2 / Eq. 1: end-to-end latency model ===\n");
     std::printf("v = %.2f m/s, a = %.1f m/s^2, T_data = %.0f ms, "
@@ -36,13 +43,23 @@ main(int argc, char **argv)
 
     std::printf("=== Fig. 3a: T_comp requirement vs object distance ===\n");
     std::printf("%-14s %-22s\n", "distance (m)", "T_comp budget (ms)");
+    double prev_budget_ms = -1e30;
+    bool budget_monotone = true;
     for (double d = 4.0; d <= 9.01; d += 0.25) {
         const Duration budget = computeLatencyBudget(params, d);
-        if (budget < Duration::zero()) {
+        const bool avoidable = budget >= Duration::zero();
+        if (!avoidable) {
             std::printf("%-14.2f %-22s\n", d, "unavoidable");
         } else {
             std::printf("%-14.2f %-22.1f\n", d, budget.toMillis());
         }
+        report.addRow("budget")
+            .set("distance_m", d)
+            .set("budget_ms", budget.toMillis())
+            .set("avoidable", avoidable);
+        if (budget.toMillis() < prev_budget_ms)
+            budget_monotone = false;
+        prev_budget_ms = budget.toMillis();
     }
 
     std::printf("\n=== Paper reference points ===\n");
@@ -56,5 +73,12 @@ main(int argc, char **argv)
                 "(paper: 4.1 m)\n",
                 brakingDistance(params) +
                     0.030 * params.speed.toMetersPerSecond());
-    return 0;
+
+    report.meta("min_avoidable_mean_m",
+                minimumAvoidableDistance(params, Duration::millisF(164)));
+    report.meta("min_avoidable_worst_m",
+                minimumAvoidableDistance(params, Duration::millisF(740)));
+    report.gate("budget_monotone_in_distance", budget_monotone,
+                "farther objects must leave a larger compute budget");
+    return report.write(cfg.getString("out", report.defaultPath()));
 }

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/rng.h"
 #include "core/stats.h"
+#include "harness.h"
 #include "memsim/mem_trace.h"
 #include "pointcloud/icp.h"
 #include "pointcloud/lidar_model.h"
@@ -68,13 +69,21 @@ profileLocalization(std::uint64_t seed, const Pose2 &scan_pose,
     return trace;
 }
 
-void
-report(const char *name, MemTrace &trace, std::uint32_t cloud_id)
+RunningStats
+report(const char *name, MemTrace &trace, std::uint32_t cloud_id,
+       bench::BenchReport &out)
 {
     const auto counts = trace.pointReuseCounts(cloud_id);
     RunningStats stats;
     for (const auto c : counts)
         stats.add(static_cast<double>(c));
+    out.addRow("frames")
+        .set("frame", name)
+        .set("distinct_points", counts.size())
+        .set("reuse_mean", stats.mean())
+        .set("reuse_stddev", stats.stddev())
+        .set("reuse_min", stats.min())
+        .set("reuse_max", stats.max());
 
     std::printf("--- %s ---\n", name);
     std::printf("distinct map points touched: %zu\n", counts.size());
@@ -93,6 +102,7 @@ report(const char *name, MemTrace &trace, std::uint32_t cloud_id)
                     static_cast<unsigned long long>(h.binCount(i)));
     }
     std::printf("\n");
+    return stats;
 }
 
 } // namespace
@@ -109,11 +119,16 @@ main(int argc, char **argv)
     MemTrace frame1 =
         profileLocalization(77, Pose2{Vec2(60.0, 42.0), 2.2}, 1);
 
-    report("Frame 0 (scene A)", frame0, 0);
-    report("Frame 1 (scene B)", frame1, 1);
+    bench::BenchReport out("fig4a_reuse");
+    const RunningStats a = report("Frame 0 (scene A)", frame0, 0, out);
+    const RunningStats b = report("Frame 1 (scene B)", frame1, 1, out);
 
     std::printf("Shape check: reuse is abundant (mean >> 1) but highly "
                 "irregular\n(large stddev, different distribution across "
                 "the two frames), matching the paper.\n");
-    return 0;
+    out.gate("reuse_abundant", a.mean() > 1.0 && b.mean() > 1.0,
+             "points must be reused many times during ICP");
+    out.gate("reuse_irregular", a.stddev() > 1.0 && b.stddev() > 1.0,
+             "reuse counts vary wildly across points");
+    return out.write();
 }

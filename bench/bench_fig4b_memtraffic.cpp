@@ -15,6 +15,7 @@
 
 #include "core/config.h"
 #include "core/rng.h"
+#include "harness.h"
 #include "memsim/cache_sim.h"
 #include "memsim/mem_trace.h"
 #include "pointcloud/features.h"
@@ -79,13 +80,19 @@ struct WorkloadResult
 };
 
 void
-report(const WorkloadResult &r)
+report(const WorkloadResult &r, bench::BenchReport &out)
 {
     std::printf("%-16s traffic=%8.1f MB  optimal=%7.2f MB  "
                 "normalized=%6.1fx  hit-rate=%.2f\n",
                 r.name, r.stats.trafficBytes(64) / 1e6,
                 r.useful_bytes / 1e6, r.normalizedToOptimal(),
                 r.stats.hitRate());
+    out.addRow("workloads")
+        .set("name", r.name)
+        .set("traffic_mb", r.stats.trafficBytes(64) / 1e6)
+        .set("optimal_mb", r.useful_bytes / 1e6)
+        .set("normalized", r.normalizedToOptimal())
+        .set("hit_rate", r.stats.hitRate());
 }
 
 } // namespace
@@ -104,6 +111,8 @@ main(int argc, char **argv)
 
     const PointCloud map = makeMapCloud(map_points, 1);
     const KdTree map_tree(map, 0);
+    bench::BenchReport out("fig4b_memtraffic");
+    out.meta("map_points", map_points);
 
     const CacheConfig llc; // paper: 9 MB, 64 B lines, 16-way
 
@@ -126,7 +135,7 @@ main(int argc, char **argv)
         loc.stats = cache.stats();
         loc.useful_bytes = trace.usefulBytes();
     }
-    report(loc);
+    report(loc, out);
 
     // ----------------------------------------------------- recognition
     WorkloadResult rec{"recognition", {}, 0};
@@ -144,7 +153,7 @@ main(int argc, char **argv)
         rec.stats = cache.stats();
         rec.useful_bytes = trace.usefulBytes();
     }
-    report(rec);
+    report(rec, out);
 
     // -------------------------------------------------- reconstruction
     WorkloadResult recon{"reconstruction", {}, 0};
@@ -160,7 +169,7 @@ main(int argc, char **argv)
         recon.stats = cache.stats();
         recon.useful_bytes = trace.usefulBytes();
     }
-    report(recon);
+    report(recon, out);
 
     // ---------------------------------------------------- segmentation
     WorkloadResult seg{"segmentation", {}, 0};
@@ -175,10 +184,16 @@ main(int argc, char **argv)
         seg.stats = cache.stats();
         seg.useful_bytes = trace.usefulBytes();
     }
-    report(seg);
+    report(seg, out);
 
     std::printf("\nShape check: every workload needs far more traffic "
                 "than the optimal\ncommunication case (paper reports "
                 "up to several hundred x on real hardware).\n");
-    return 0;
+    out.gate("traffic_exceeds_optimal",
+             loc.normalizedToOptimal() > 1.0 &&
+                 rec.normalizedToOptimal() > 1.0 &&
+                 recon.normalizedToOptimal() > 1.0 &&
+                 seg.normalizedToOptimal() > 1.0,
+             "every workload needs more off-chip traffic than optimal");
+    return out.write(cfg.getString("out", out.defaultPath()));
 }

@@ -12,6 +12,7 @@
  */
 #include <cstdio>
 
+#include "harness.h"
 #include "platform/platform_model.h"
 
 using namespace sov;
@@ -27,6 +28,8 @@ main()
                               TaskKind::Detection,
                               TaskKind::Localization};
 
+    bench::BenchReport report("fig6_platforms");
+
     std::printf("=== Fig. 6a: latency (ms) ===\n");
     std::printf("%-18s", "task");
     for (const auto p : platforms)
@@ -34,8 +37,12 @@ main()
     std::printf("\n");
     for (const auto t : tasks) {
         std::printf("%-18s", toString(t));
-        for (const auto p : platforms)
+        bench::Row &row = report.addRow("latency_ms");
+        row.set("task", toString(t));
+        for (const auto p : platforms) {
             std::printf("%10.1f", model.medianLatency(t, p).toMillis());
+            row.set(toString(p), model.medianLatency(t, p).toMillis());
+        }
         std::printf("\n");
     }
 
@@ -52,8 +59,12 @@ main()
     std::printf("\n");
     for (const auto t : tasks) {
         std::printf("%-18s", toString(t));
-        for (const auto p : platforms)
+        bench::Row &row = report.addRow("energy_j");
+        row.set("task", toString(t));
+        for (const auto p : platforms) {
             std::printf("%10.2f", model.energy(t, p).toJoules());
+            row.set(toString(p), model.energy(t, p).toJoules());
+        }
         std::printf("\n");
     }
 
@@ -65,5 +76,23 @@ main()
                 model.power(Platform::ZynqFpga).toWatts());
     std::printf("Shape checks: FPGA wins only localization; TX2 energy "
                 "vs GPU is marginal/worse for detection.\n");
-    return 0;
+
+    report.meta("tx2_cumulative_perception_ms", tx2_total);
+    const auto lat = [&model](TaskKind t, Platform p) {
+        return model.medianLatency(t, p).toMillis();
+    };
+    report.gate(
+        "fpga_wins_only_localization",
+        lat(TaskKind::Localization, Platform::ZynqFpga) <
+                lat(TaskKind::Localization, Platform::Gtx1060) &&
+            lat(TaskKind::DepthEstimation, Platform::ZynqFpga) >
+                lat(TaskKind::DepthEstimation, Platform::Gtx1060) &&
+            lat(TaskKind::Detection, Platform::ZynqFpga) >
+                lat(TaskKind::Detection, Platform::Gtx1060),
+        "Fig. 6a shape: the embedded FPGA beats the GPU only on "
+        "localization");
+    report.gate("tx2_bottlenecks_perception",
+                tx2_total > 500.0,
+                "paper: 844.2 ms cumulative perception on TX2");
+    return report.write();
 }

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "harness.h"
 #include "platform/calibration.h"
 #include "platform/mapping.h"
 
@@ -25,6 +26,7 @@ main()
     std::printf("=== Fig. 8: perception mapping strategies ===\n");
     std::printf("%-22s %12s %12s %12s\n", "mapping", "scene (ms)",
                 "loc (ms)", "percep (ms)");
+    bench::BenchReport report("fig8_mapping");
     const auto options = explorer.enumerate();
     for (const auto &option : options) {
         std::printf("%-22s %12.1f %12.1f %12.1f\n",
@@ -32,6 +34,11 @@ main()
                     option.scene_latency.toMillis(),
                     option.localization_latency.toMillis(),
                     option.perceptionLatency().toMillis());
+        report.addRow("mappings")
+            .set("name", option.name())
+            .set("scene_ms", option.scene_latency.toMillis())
+            .set("loc_ms", option.localization_latency.toMillis())
+            .set("perception_ms", option.perceptionLatency().toMillis());
     }
 
     const MappingOption best = explorer.best();
@@ -52,5 +59,14 @@ main()
                                                            rest));
     std::printf("\nFPGA localization accelerator footprint (paper): "
                 "~200K LUTs, 120K regs, 600 BRAMs, 800 DSPs, <6 W\n");
-    return 0;
+
+    const double speedup =
+        all_gpu->perceptionLatency() / best.perceptionLatency();
+    report.meta("best_mapping", best.name());
+    report.meta("perception_speedup_vs_all_gpu", speedup);
+    report.meta("end_to_end_reduction",
+                MappingExplorer::endToEndReduction(best, *all_gpu, rest));
+    report.gate("best_beats_all_gpu", speedup > 1.0,
+                "Fig. 8: moving localization off the GPU must pay");
+    return report.write();
 }

@@ -19,12 +19,13 @@
  */
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "core/config.h"
 #include "core/thread_pool.h"
 #include "fleet/fleet_runner.h"
+#include "harness.h"
 
 using namespace sov;
 using namespace sov::fleet;
@@ -115,6 +116,7 @@ main(int argc, char **argv)
 
     std::vector<ThreadResult> results;
     FleetReport reference;
+    obs::MetricRegistry reference_metrics;
     bool deterministic = true;
     for (std::size_t threads : thread_counts) {
         FleetRunner runner(FleetConfig{threads, seed});
@@ -131,6 +133,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.fingerprint));
         if (results.empty()) {
             reference = std::move(report);
+            reference_metrics = runner.mergedMetrics();
         } else if (r.fingerprint != results.front().fingerprint) {
             deterministic = false;
         }
@@ -151,35 +154,38 @@ main(int argc, char **argv)
                 deterministic ? "bit-identical across all thread counts"
                               : "FINGERPRINT MISMATCH");
 
-    {
-        std::ofstream json(out_path);
-        json << "{\n  \"bench\": \"fleet_sweep\",\n  \"scenarios\": "
-             << scenarios.size() << ",\n  \"hardware_concurrency\": " << hw
-             << ",\n  \"deterministic\": "
-             << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const ThreadResult &r = results[i];
-            const double speedup = results.front().scen_per_s > 0.0
-                ? r.scen_per_s / results.front().scen_per_s : 0.0;
-            char fp[32];
-            std::snprintf(fp, sizeof(fp), "%016llx",
-                          static_cast<unsigned long long>(r.fingerprint));
-            json << "    {\"threads\": " << r.threads << ", \"wall_s\": "
-                 << r.wall_s << ", \"scenarios_per_sec\": " << r.scen_per_s
-                 << ", \"speedup\": " << speedup << ", \"fingerprint\": \""
-                 << fp << "\"}" << (i + 1 < results.size() ? "," : "")
-                 << "\n";
-        }
-        json << "  ],\n  \"aggregate\": {\"collisions\": " << a.collisions
-             << ", \"stops\": " << a.stops << ", \"cruises\": " << a.cruises
-             << ", \"availability_p50\": "
-             << a.availability_digest.quantile(0.50)
-             << ", \"min_gap_p10\": " << a.min_gap_digest.quantile(0.10)
-             << "}\n}\n";
-        std::printf("wrote %s\n", out_path.c_str());
+    bench::BenchReport report_out("fleet_sweep");
+    report_out.setSmoke(smoke);
+    report_out.meta("scenarios", scenarios.size());
+    report_out.meta("hardware_concurrency", hw);
+    report_out.meta("deterministic", deterministic);
+    for (const ThreadResult &r : results) {
+        const double speedup = results.front().scen_per_s > 0.0
+            ? r.scen_per_s / results.front().scen_per_s
+            : 0.0;
+        report_out.addRow("runs")
+            .set("threads", r.threads)
+            .set("wall_s", r.wall_s)
+            .set("scenarios_per_sec", r.scen_per_s)
+            .set("speedup", speedup)
+            .set("fingerprint", bench::hex(r.fingerprint));
     }
-
+    {
+        std::ostringstream agg;
+        agg << "{\"collisions\": " << a.collisions
+            << ", \"stops\": " << a.stops
+            << ", \"cruises\": " << a.cruises
+            << ", \"availability_p50\": "
+            << a.availability_digest.quantile(0.50)
+            << ", \"min_gap_p10\": " << a.min_gap_digest.quantile(0.10)
+            << "}";
+        report_out.extra("aggregate", agg.str());
+    }
+    report_out.attachMetrics(reference_metrics);
     // The sweep's hard gate is determinism, not speedup: scaling is a
     // property of the machine, bit-identical aggregation is ours.
-    return deterministic ? 0 : 1;
+    report_out.gate("deterministic", deterministic,
+                    deterministic ? "" : "fingerprint mismatch across "
+                                         "thread counts");
+    return report_out.write(out_path);
 }

@@ -16,46 +16,38 @@
  *     mode where tiny inputs amortize less, and overridable for
  *     sanitizer runs with stereo_floor= / conv_floor=).
  *
- * Results (ns per call, speedup, checksums) go to BENCH_kernels.json.
+ * Results (ns per call, speedup, checksums) go to BENCH_kernels.json
+ * via the shared bench harness.
  *
  * Usage:
  *   bench_kernels [smoke=1] [reps=N] [stereo_floor=X] [conv_floor=X]
  *                 [out=BENCH_kernels.json]
  */
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "harness.h"
 #include "vision/cnn.h"
 #include "vision/renderer.h"
 #include "vision/stereo.h"
 
 using namespace sov;
+using bench::bestNs;
+using bench::fnv1a;
+using bench::hex;
 
 namespace {
 
 std::uint64_t
-fnv1a(const void *bytes, std::size_t n, std::uint64_t h)
-{
-    const auto *p = static_cast<const unsigned char *>(bytes);
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
-std::uint64_t
 fingerprint(const DisparityMap &map)
 {
-    std::uint64_t h = 1469598103934665603ULL;
+    std::uint64_t h = bench::kFnvOffset;
     h = fnv1a(map.disparity.data().data(),
               map.disparity.data().size() * sizeof(float), h);
     h = fnv1a(&map.density, sizeof(map.density), h);
@@ -65,36 +57,7 @@ fingerprint(const DisparityMap &map)
 std::uint64_t
 fingerprint(const Tensor &t)
 {
-    return fnv1a(t.data().data(), t.data().size() * sizeof(float),
-                 1469598103934665603ULL);
-}
-
-std::string
-hex(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-/** Best-of-N wall time of f(), in nanoseconds per call. */
-template <typename F>
-double
-bestNs(int reps, F &&f)
-{
-    double best = 1e30;
-    for (int i = 0; i < reps; ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
-        f();
-        const auto t1 = std::chrono::steady_clock::now();
-        best = std::min(
-            best, static_cast<double>(
-                      std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          t1 - t0)
-                          .count()));
-    }
-    return best;
+    return fnv1a(t.data().data(), t.data().size() * sizeof(float));
 }
 
 /** Snap to multiples of 1/256 — 8-bit sensor quantization, the domain
@@ -300,13 +263,11 @@ main(int argc, char **argv)
     // ----------------------------------------------------------- report
     std::printf("\n%-16s %14s %14s %9s %7s %6s\n", "kernel",
                 "reference [ns]", "fast [ns]", "speedup", "floor", "gate");
-    bool all_pass = thread_fingerprints_ok;
     for (const KernelRow &r : rows) {
         std::printf("%-16s %14.0f %14.0f %8.2fx %6.2fx %6s\n",
                     r.name.c_str(), r.ref_ns, r.fast_ns, r.speedup,
                     r.floor, r.pass ? "pass" : "FAIL");
         if (!r.pass) {
-            all_pass = false;
             if (!r.equivalent) {
                 std::printf("  -> DIVERGENCE: checksum %s vs %s "
                             "(max rel diff %.3g)\n",
@@ -323,31 +284,27 @@ main(int argc, char **argv)
         std::printf("FAIL: fast stereo output differs across thread "
                     "counts\n");
 
-    {
-        std::ofstream json(out_path);
-        json << "{\n  \"bench\": \"kernels\",\n  \"smoke\": "
-             << (smoke ? "true" : "false")
-             << ",\n  \"thread_fingerprints_identical\": "
-             << (thread_fingerprints_ok ? "true" : "false")
-             << ",\n  \"kernels\": [\n";
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const KernelRow &r = rows[i];
-            json << "    {\"name\": \"" << r.name
-                 << "\", \"ref_ns_per_call\": " << r.ref_ns
-                 << ", \"fast_ns_per_call\": " << r.fast_ns
-                 << ", \"speedup\": " << r.speedup
-                 << ", \"floor\": " << r.floor
-                 << ", \"checksum_ref\": \"" << hex(r.checksum_ref)
-                 << "\", \"checksum_fast\": \"" << hex(r.checksum_fast)
-                 << "\", \"max_rel_diff\": " << r.max_rel_diff
-                 << ", \"equivalent\": " << (r.equivalent ? "true" : "false")
-                 << ", \"pass\": " << (r.pass ? "true" : "false") << "}"
-                 << (i + 1 < rows.size() ? "," : "") << "\n";
-        }
-        json << "  ],\n  \"pass\": " << (all_pass ? "true" : "false")
-             << "\n}\n";
-        std::printf("\nwrote %s\n", out_path.c_str());
+    bench::BenchReport report("kernels");
+    report.setSmoke(smoke);
+    report.meta("thread_fingerprints_identical", thread_fingerprints_ok);
+    for (const KernelRow &r : rows) {
+        report.addRow("kernels")
+            .set("name", r.name)
+            .set("ref_ns_per_call", r.ref_ns)
+            .set("fast_ns_per_call", r.fast_ns)
+            .set("speedup", r.speedup)
+            .set("floor", r.floor)
+            .set("checksum_ref", hex(r.checksum_ref))
+            .set("checksum_fast", hex(r.checksum_fast))
+            .set("max_rel_diff", r.max_rel_diff)
+            .set("equivalent", r.equivalent)
+            .set("pass", r.pass);
+        report.gate(r.name, r.pass,
+                    r.pass ? "" : "equivalence or speed floor failed");
     }
-
-    return all_pass ? 0 : 1;
+    report.gate("thread_fingerprints", thread_fingerprints_ok,
+                thread_fingerprints_ok
+                    ? ""
+                    : "fast stereo differs across thread counts");
+    return report.write(out_path);
 }

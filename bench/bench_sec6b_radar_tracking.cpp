@@ -16,8 +16,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/rng.h"
+#include "harness.h"
 #include "sensors/radar.h"
 #include "tracking/radar_tracker.h"
 #include "tracking/spatial_sync.h"
@@ -121,9 +124,35 @@ BM_RadarTrackerScanUpdate(benchmark::State &state)
 }
 BENCHMARK(BM_RadarTrackerScanUpdate);
 
+/** Records per-benchmark timings while still printing the console
+ *  table, so the shared report can gate on the measured ratio. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Run
+    {
+        std::string name;
+        double real_ns;
+        std::int64_t iterations;
+    };
+
+    void
+    ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run> &runs)
+        override
+    {
+        for (const auto &r : runs)
+            captured.push_back(Run{r.benchmark_name(),
+                                   r.GetAdjustedRealTime(),
+                                   r.iterations});
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Run> captured;
+};
+
 /** Functional demonstration printed before the micro-benchmarks. */
 void
-functionalDemo()
+functionalDemo(bench::BenchReport &report)
 {
     std::printf("=== Sec. VI-B: radar tracking replaces KCF ===\n\n");
 
@@ -151,6 +180,8 @@ functionalDemo()
         std::printf("crossing pedestrian: tracked velocity "
                     "(%.2f, %.2f) m/s, truth (0.00, 1.20)\n",
                     track.velocity.x(), track.velocity.y());
+        report.meta("tracked_velocity_x", track.velocity.x());
+        report.meta("tracked_velocity_y", track.velocity.y());
     }
     std::printf("micro-benchmarks below measure real host compute; the "
                 "paper reports\nspatial sync at ~1 ms, ~100x lighter "
@@ -162,8 +193,27 @@ functionalDemo()
 int
 main(int argc, char **argv)
 {
-    functionalDemo();
+    bench::BenchReport report("sec6b_radar_tracking");
+    functionalDemo(report);
     benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    double kcf_ns = 0.0, sync_ns = 0.0;
+    for (const auto &r : reporter.captured) {
+        report.addRow("micro")
+            .set("name", r.name)
+            .set("real_ns_per_iter", r.real_ns)
+            .set("iterations", r.iterations);
+        if (r.name.find("Kcf") != std::string::npos)
+            kcf_ns = r.real_ns;
+        else if (r.name.find("SpatialSync") != std::string::npos)
+            sync_ns = r.real_ns;
+    }
+    if (kcf_ns > 0.0 && sync_ns > 0.0) {
+        report.meta("kcf_over_spatial_sync", kcf_ns / sync_ns);
+        report.gate("spatial_sync_lighter_than_kcf", sync_ns < kcf_ns,
+                    "paper: spatial sync ~100x lighter than KCF");
+    }
+    return report.write();
 }

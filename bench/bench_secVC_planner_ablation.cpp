@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "harness.h"
 #include "planning/em_planner.h"
 #include "planning/mpc.h"
 
@@ -85,6 +88,32 @@ BENCHMARK(BM_EmStyleDpResolutionSweep)
     ->Arg(51)
     ->Unit(benchmark::kMicrosecond);
 
+/** Records per-benchmark timings while still printing the console
+ *  table, so the shared report can gate on the measured ratio. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Run
+    {
+        std::string name;
+        double real_ns;
+        std::int64_t iterations;
+    };
+
+    void
+    ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run> &runs)
+        override
+    {
+        for (const auto &r : runs)
+            captured.push_back(Run{r.benchmark_name(),
+                                   r.GetAdjustedRealTime(),
+                                   r.iterations});
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Run> captured;
+};
+
 } // namespace
 
 int
@@ -95,6 +124,25 @@ main(int argc, char **argv)
                 "(33x).\nThe reproduced result is the *ratio* of the "
                 "two benchmarks below.\n\n");
     benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    bench::BenchReport report("secVC_planner_ablation");
+    double mpc_ns = 0.0, em_ns = 0.0;
+    for (const auto &r : reporter.captured) {
+        report.addRow("micro")
+            .set("name", r.name)
+            .set("real_ns_per_iter", r.real_ns)
+            .set("iterations", r.iterations);
+        if (r.name.find("LaneLevelMpc") != std::string::npos)
+            mpc_ns = r.real_ns;
+        else if (r.name == "BM_EmStylePlanner")
+            em_ns = r.real_ns;
+    }
+    if (mpc_ns > 0.0 && em_ns > 0.0) {
+        report.meta("em_over_mpc", em_ns / mpc_ns);
+        report.gate("em_costlier_than_mpc", em_ns > mpc_ns,
+                    "paper: EM-style planner ~33x the lane-level MPC");
+    }
+    return report.write();
 }

@@ -7,18 +7,24 @@
 
 #include "analysis/energy_model.h"
 #include "analysis/power_budget.h"
+#include "harness.h"
 
 using namespace sov;
 
 namespace {
 
 void
-printBudget(const char *title, const PowerBudget &budget)
+printBudget(const char *title, const PowerBudget &budget,
+            bench::BenchReport &report, const char *table)
 {
     std::printf("--- %s ---\n", title);
     for (const auto &c : budget.components()) {
         std::printf("  %-36s x%-2u %7.1f W\n", c.name.c_str(),
                     c.quantity, c.total().toWatts());
+        report.addRow(table)
+            .set("name", c.name)
+            .set("quantity", c.quantity)
+            .set("watts", c.total().toWatts());
     }
     std::printf("  %-40s %7.1f W\n\n", "TOTAL",
                 budget.total().toWatts());
@@ -29,14 +35,17 @@ printBudget(const char *title, const PowerBudget &budget)
 int
 main()
 {
+    bench::BenchReport report("table1_power");
+
     std::printf("=== Table I: power breakdown ===\n\n");
     printBudget("Our vehicle (operating, dynamic server)",
-                PowerBudget::paperVehicle());
+                PowerBudget::paperVehicle(), report, "operating");
     printBudget("Our vehicle (server idle)",
-                PowerBudget::paperVehicleIdleServer());
+                PowerBudget::paperVehicleIdleServer(), report, "idle");
     printBudget("LiDAR suite (not used by us; Waymo-style)",
-                PowerBudget::lidarSuite());
+                PowerBudget::lidarSuite(), report, "lidar_suite");
 
+    const double operating_w = PowerBudget::paperVehicle().total().toWatts();
     const EnergyModelParams energy;
     std::printf("Paper's measured operating total P_AD: 175 W\n");
     std::printf("Driving time at P_AD=175 W: %.2f h "
@@ -44,5 +53,21 @@ main()
                 drivingHours(energy, Power::watts(175)));
     std::printf("Thermal: operating totals stay well under 200 W "
                 "(Sec. III-B)\n");
-    return 0;
+
+    report.meta("operating_total_w", operating_w);
+    report.meta("idle_total_w",
+                PowerBudget::paperVehicleIdleServer().total().toWatts());
+    report.meta("lidar_suite_w",
+                PowerBudget::lidarSuite().total().toWatts());
+    report.meta("driving_hours_at_175w",
+                drivingHours(energy, Power::watts(175)));
+    report.gate("idle_server_saves_power",
+                PowerBudget::paperVehicleIdleServer().total().toWatts() <
+                    operating_w,
+                "idling the server must cut the AD power draw");
+    report.gate("driving_hours_match_paper",
+                drivingHours(energy, Power::watts(175)) > 7.0 &&
+                    drivingHours(energy, Power::watts(175)) < 8.5,
+                "paper: 10 h baseline shrinks to ~7.7 h at 175 W");
+    return report.write();
 }

@@ -6,6 +6,7 @@ namespace sov {
 
 namespace {
 std::atomic<bool> inform_enabled{true};
+std::atomic<LogSink> log_sink{nullptr};
 
 const char *
 levelName(LogLevel level)
@@ -25,6 +26,8 @@ namespace detail {
 void
 logRecord(LogLevel level, const std::string &msg, const char *file, int line)
 {
+    if (const LogSink sink = log_sink.load(std::memory_order_acquire))
+        sink(level, msg.c_str(), file, line);
     FILE *out = (level == LogLevel::Inform || level == LogLevel::Warn)
         ? stdout : stderr;
     if (file) {
@@ -55,6 +58,12 @@ void
 setInformEnabled(bool enabled)
 {
     inform_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    return log_sink.exchange(sink, std::memory_order_acq_rel);
 }
 
 void

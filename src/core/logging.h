@@ -34,6 +34,23 @@ void warn(const std::string &msg);
 /** Suppress or re-enable inform() output (benches want clean tables). */
 void setInformEnabled(bool enabled);
 
+/**
+ * Structured log sink: observes every record (level, message, source
+ * location) before the default stream write. Fatal/Panic records are
+ * the last thing a dying process produces, so sinks must tolerate
+ * being called on the abort path (the obs layer uses this to land a
+ * final instant event in the active TraceRecorder before the process
+ * dies). @p file is nullptr for records without a source location.
+ * A plain function pointer (not std::function) so installing a sink
+ * never allocates and the panic path stays re-entrancy-safe.
+ */
+using LogSink = void (*)(LogLevel level, const char *msg,
+                         const char *file, int line);
+
+/** Install a process-wide sink (nullptr uninstalls); returns the
+ *  previously installed sink. */
+LogSink setLogSink(LogSink sink);
+
 [[noreturn]] void fatalImpl(const std::string &msg, const char *file, int line);
 [[noreturn]] void panicImpl(const std::string &msg, const char *file, int line);
 

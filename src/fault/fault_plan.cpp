@@ -47,9 +47,24 @@ FaultChannel::shouldInject(Timestamp t)
     // the channel stream untouched.
     const bool fire =
         spec_.probability >= 1.0 || rng_.bernoulli(spec_.probability);
-    if (fire)
+    if (fire) {
         ++injections_;
+        if (recorder_)
+            recorder_->instant(trace_name_, trace_category_, trace_track_,
+                               t);
+    }
     return fire;
+}
+
+void
+FaultChannel::setTraceRecorder(obs::TraceRecorder *recorder)
+{
+    recorder_ = recorder;
+    if (!recorder_)
+        return;
+    trace_name_ = recorder_->intern(spec_.name);
+    trace_category_ = recorder_->intern("fault");
+    trace_track_ = recorder_->intern(toString(spec_.target));
 }
 
 double
@@ -69,7 +84,16 @@ FaultPlan::add(const FaultSpec &spec)
         SOV_ASSERT(existing->spec().name != spec.name);
     channels_.push_back(std::make_unique<FaultChannel>(
         spec, rng_.fork("fault/" + spec.name)));
+    channels_.back()->setTraceRecorder(recorder_);
     return *channels_.back();
+}
+
+void
+FaultPlan::setTraceRecorder(obs::TraceRecorder *recorder)
+{
+    recorder_ = recorder;
+    for (const auto &channel : channels_)
+        channel->setTraceRecorder(recorder);
 }
 
 FaultChannel *

@@ -28,6 +28,7 @@
 
 #include "core/rng.h"
 #include "core/time.h"
+#include "obs/trace.h"
 
 namespace sov::fault {
 
@@ -102,10 +103,19 @@ class FaultChannel
     /** Injections decided so far (for reports and tests). */
     std::uint64_t injections() const { return injections_; }
 
+    /** Emit an instant (category "fault", named after the spec) into
+     *  @p recorder for every injection decided from now on. Purely
+     *  observational: never touches the channel's Rng stream. */
+    void setTraceRecorder(obs::TraceRecorder *recorder);
+
   private:
     FaultSpec spec_;
     Rng rng_;
     std::uint64_t injections_ = 0;
+    obs::TraceRecorder *recorder_ = nullptr;
+    obs::NameId trace_name_ = 0;
+    obs::NameId trace_category_ = 0;
+    obs::NameId trace_track_ = 0;
 };
 
 /** A fault scenario: owned channels, stable addresses. */
@@ -136,9 +146,14 @@ class FaultPlan
     /** Sum of injections across all channels. */
     std::uint64_t totalInjections() const;
 
+    /** Trace every channel's injections into @p recorder (applies to
+     *  channels added later too; nullptr detaches). */
+    void setTraceRecorder(obs::TraceRecorder *recorder);
+
   private:
     Rng rng_;
     std::vector<std::unique_ptr<FaultChannel>> channels_;
+    obs::TraceRecorder *recorder_ = nullptr;
 };
 
 /** The legacy ClosedLoopConfig::perception_miss_probability knob as a

@@ -17,7 +17,8 @@ FleetRunner::numThreads() const
 }
 
 ScenarioOutcome
-FleetRunner::runScenario(const ScenarioSpec &spec) const
+FleetRunner::runScenario(const ScenarioSpec &spec,
+                         obs::MetricRegistry *metrics) const
 {
     // The scenario's whole random universe forks from its identity:
     // outcome = f(master_seed, spec), independent of scheduling.
@@ -40,6 +41,8 @@ FleetRunner::runScenario(const ScenarioSpec &spec) const
 
     ClosedLoopSim sim(world, spec.world.route, loop, spec.stack.pipeline,
                       scenario_rng.fork("sim"));
+    if (config_.trace)
+        sim.setTraceRecorder(config_.trace);
     const ClosedLoopResult r =
         sim.run(Duration::seconds(spec.world.horizon_s));
 
@@ -63,11 +66,20 @@ FleetRunner::runScenario(const ScenarioSpec &spec) const
     o.final_level = r.final_level;
     o.sim_elapsed_s = r.elapsed.toSeconds();
 
-    const LatencyTracer &tracer = sim.pipelineTracer();
-    o.pipeline_frames = tracer.count("total");
+    const obs::MetricRegistry &pipeline = sim.pipelineMetrics();
+    o.pipeline_frames = pipeline.count("total");
     if (o.pipeline_frames > 0) {
-        o.pipeline_mean_ms = tracer.meanMs("total");
-        o.pipeline_p99_ms = tracer.percentileMs("total", 99.0);
+        o.pipeline_mean_ms = pipeline.mean("total");
+        o.pipeline_p99_ms = pipeline.percentile("total", 99.0);
+    }
+    if (metrics) {
+        *metrics = pipeline;
+        metrics->incr("scenarios");
+        metrics->incr("collisions", r.collided ? 1 : 0);
+        metrics->incr("safe_stops", r.stopped ? 1 : 0);
+        metrics->incr("reactive_triggers", r.reactive_triggers);
+        metrics->incr("sensor_dropouts", r.sensor_dropouts);
+        metrics->incr("can_frames_lost", r.can_frames_lost);
     }
     return o;
 }
@@ -84,14 +96,21 @@ FleetRunner::run(const std::vector<ScenarioSpec> &scenarios)
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<ScenarioOutcome> rows(scenarios.size());
+    std::vector<obs::MetricRegistry> shard_metrics(scenarios.size());
     {
         ThreadPool pool(numThreads());
         // Per-index slots: workers never share mutable state, so the
         // pool only decides *when* each row is computed.
         pool.parallelFor(scenarios.size(), [&](std::size_t i) {
-            rows[i] = runScenario(scenarios[i]);
+            rows[i] = runScenario(scenarios[i], &shard_metrics[i]);
         });
     }
+
+    // Canonical index-order fold: the merged registry (and thus its
+    // fingerprint) does not depend on which worker ran what.
+    merged_metrics_.clear();
+    for (const obs::MetricRegistry &m : shard_metrics)
+        merged_metrics_.merge(m);
 
     const auto end = std::chrono::steady_clock::now();
     timing_.wall_seconds =

@@ -23,6 +23,8 @@
 
 #include "fleet/fleet_report.h"
 #include "fleet/scenario.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sov::fleet {
 
@@ -33,6 +35,12 @@ struct FleetConfig
     std::size_t threads = 0;
     /** Master seed every scenario stream forks from. */
     std::uint64_t master_seed = 1;
+    /**
+     * Optional shared trace recorder. Every scenario simulation emits
+     * its spans/instants into it (the recorder keeps per-thread
+     * buffers, so workers never contend). Observational only.
+     */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Wall-clock facts of a sweep (non-deterministic; never hashed). */
@@ -55,17 +63,36 @@ class FleetRunner
     /** Run an explicit scenario list. */
     FleetReport run(const std::vector<ScenarioSpec> &scenarios);
 
-    /** Run one scenario synchronously on the calling thread. */
-    ScenarioOutcome runScenario(const ScenarioSpec &spec) const;
+    /**
+     * Run one scenario synchronously on the calling thread. When
+     * @p metrics is non-null it receives the scenario's pipeline
+     * metric registry (per-stage latency histograms plus counters).
+     */
+    ScenarioOutcome runScenario(const ScenarioSpec &spec,
+                                obs::MetricRegistry *metrics
+                                = nullptr) const;
 
     /** Timing of the most recent run(). */
     const FleetTiming &lastTiming() const { return timing_; }
+
+    /**
+     * Metrics of the most recent run(), folded from the per-scenario
+     * registries in scenario-index order. Because each scenario's
+     * registry is a pure function of (master seed, scenario identity)
+     * and the fold order is canonical, the merged registry — and its
+     * fingerprint() — is independent of the thread count.
+     */
+    const obs::MetricRegistry &mergedMetrics() const
+    {
+        return merged_metrics_;
+    }
 
     std::size_t numThreads() const;
 
   private:
     FleetConfig config_;
     FleetTiming timing_;
+    obs::MetricRegistry merged_metrics_;
 };
 
 } // namespace sov::fleet

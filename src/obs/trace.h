@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Structured trace recording: the event half of the observability
+ * spine (DESIGN.md "The observability spine").
+ *
+ * A TraceRecorder collects span / instant / counter events from every
+ * subsystem — dataflow stage executions, closed-loop frame lifecycles,
+ * fault injections, degradation transitions, sensor pipeline hops —
+ * time-stamped in SIMULATION time (the deterministic nanosecond clock
+ * of sov::Simulator). Wall-clock stamps are optional, opt-in, and never
+ * mix into the sim-time fields: sim time is part of the determinism
+ * contract, wall time is diagnostics.
+ *
+ * Hot-path design: each producing thread owns a fixed-capacity ring of
+ * POD TraceEvents carved once from a per-thread FrameArena. emit() is
+ * a cached-pointer bump — no locks, no allocation, no cross-thread
+ * writes — so tracing a steady-state closed-loop frame performs zero
+ * system allocations (asserted in tests via systemAllocations()). The
+ * ring overwrites its oldest events when full (droppedEvents() counts
+ * them); post-run consumers snapshot(), fingerprint() or export the
+ * surviving window.
+ *
+ * Determinism: snapshot() orders events by content (time, kind,
+ * category, name, track, frame, duration, value), not by which thread
+ * or ring happened to hold them, so fingerprint() is identical for any
+ * thread count as long as the producers emitted the same events — the
+ * same canonical-order contract the fleet layer uses for outcomes.
+ *
+ * Export is the Chrome trace-event JSON format: load the file in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing. Tracks map
+ * to threads, spans to "X" duration events, instants to "i", counters
+ * to "C".
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/arena.h"
+#include "core/time.h"
+
+namespace sov::obs {
+
+/** Interned string handle; 0 is the empty string. */
+using NameId = std::uint32_t;
+
+/** What shape of event a TraceEvent is. */
+enum class EventKind : std::uint8_t
+{
+    Span = 0,    //!< an interval [ts, ts + dur)
+    Instant = 1, //!< a point event at ts
+    Counter = 2, //!< a sampled value at ts
+};
+
+/** One recorded event. POD; lives in the per-thread rings. */
+struct TraceEvent
+{
+    NameId name = 0;
+    NameId category = 0; //!< e.g. "stage", "frame", "fault", "health"
+    NameId track = 0;    //!< timeline lane (resource, subsystem)
+    EventKind kind = EventKind::Instant;
+    std::int64_t ts_ns = 0;  //!< SIMULATION time (never wall clock)
+    std::int64_t dur_ns = 0; //!< spans only
+    std::uint64_t frame = 0; //!< producing frame index (0 if n/a)
+    double value = 0.0;      //!< counters only
+    /** Wall-clock stamp (steady_clock ns); 0 unless
+     *  TraceConfig::wall_clock. Excluded from fingerprints and from
+     *  every sim-time field of the export. */
+    std::int64_t wall_ns = 0;
+};
+
+/** Recorder settings. */
+struct TraceConfig
+{
+    /** Events retained per producing thread (oldest overwritten). */
+    std::size_t ring_capacity = std::size_t{1} << 15;
+    /** Also stamp events with wall-clock time (diagnostics only). */
+    bool wall_clock = false;
+};
+
+/** Collects events from any number of threads; exports post-run. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(TraceConfig config = {});
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /**
+     * Intern @p s, returning a stable id (same string, same id).
+     * Takes a lock: producers intern once up front and cache ids;
+     * never intern per event on a hot path.
+     */
+    NameId intern(std::string_view s);
+
+    /** The string behind @p id (copies; export/test use). */
+    std::string name(NameId id) const;
+
+    /** Record a [start, finish) span. Lock-free after interning. */
+    void
+    span(NameId name, NameId category, NameId track, Timestamp start,
+         Timestamp finish, std::uint64_t frame = 0)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.category = category;
+        e.track = track;
+        e.kind = EventKind::Span;
+        e.ts_ns = start.ns();
+        e.dur_ns = (finish - start).ns();
+        e.frame = frame;
+        emit(e);
+    }
+
+    /** Record a point event. */
+    void
+    instant(NameId name, NameId category, NameId track, Timestamp at,
+            std::uint64_t frame = 0)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.category = category;
+        e.track = track;
+        e.kind = EventKind::Instant;
+        e.ts_ns = at.ns();
+        e.frame = frame;
+        emit(e);
+    }
+
+    /** Record a sampled counter value. */
+    void
+    counter(NameId name, NameId track, Timestamp at, double value)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.track = track;
+        e.kind = EventKind::Counter;
+        e.ts_ns = at.ns();
+        e.value = value;
+        emit(e);
+    }
+
+    /** Events currently retained across all rings. */
+    std::size_t eventCount() const;
+
+    /** Events overwritten because a ring wrapped. */
+    std::uint64_t droppedEvents() const;
+
+    /** Lifetime system allocations of the ring storage — constant in
+     *  steady state once every producing thread has registered. */
+    std::size_t systemAllocations() const;
+
+    /**
+     * All retained events in canonical content order (independent of
+     * thread count and ring layout). Call only while producers are
+     * quiescent (after the run / pool join).
+     */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** FNV-1a over the canonical snapshot, names resolved — identical
+     *  for identical event content regardless of threading. Wall-clock
+     *  stamps are excluded. */
+    std::uint64_t fingerprint() const;
+
+    /** Write Chrome trace-event JSON (Perfetto / chrome://tracing).
+     *  Deterministic: canonical event order, fixed key order, sim-time
+     *  ts/dur only (wall time appears solely as an args annotation). */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** writeChromeTrace() to @p path; false if the file can't open. */
+    bool writeChromeTraceFile(const std::string &path) const;
+
+    /** Drop all events (rings keep their storage; names survive). */
+    void clear();
+
+    const TraceConfig &config() const { return config_; }
+
+    /** Most recent sim-time stamp emitted (for post-mortem capture). */
+    Timestamp lastEventTime() const
+    {
+        return Timestamp::nanos(last_ts_.load(std::memory_order_relaxed));
+    }
+
+    /**
+     * Process-wide active recorder. setActive() also installs the
+     * core/logging sink that lands a final instant (category "log")
+     * in the active recorder when SOV_ASSERT / SOV_PANIC / SOV_FATAL
+     * fire, and — if setCrashDumpPath() was set — dumps the trace
+     * before the process dies, so a fault-matrix abort still leaves a
+     * readable timeline.
+     */
+    static void setActive(TraceRecorder *recorder);
+    static TraceRecorder *active();
+
+    /** Where the panic hook writes the trace (empty = don't dump). */
+    void setCrashDumpPath(std::string path);
+
+    /** Write the trace to the crash-dump path now (no-op if unset).
+     *  Called from the logging sink on fatal/panic. */
+    void dumpCrashTrace() const;
+
+  private:
+    struct ThreadBuffer
+    {
+        FrameArena arena;
+        TraceEvent *ring = nullptr;
+        std::size_t capacity = 0;
+        std::size_t head = 0;        //!< next write slot
+        std::uint64_t written = 0;   //!< lifetime events
+        std::thread::id owner;
+    };
+
+    /** The calling thread's ring (registers it on first use). */
+    ThreadBuffer &localBuffer();
+
+    void emit(const TraceEvent &event);
+
+    /** Copy one ring oldest-first into @p out (caller holds mu_). */
+    void drainBuffer(const ThreadBuffer &buffer,
+                     std::vector<TraceEvent> &out) const;
+
+    TraceConfig config_;
+    const std::uint64_t id_; //!< process-unique, guards the TLS cache
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::vector<std::string> names_;
+    std::map<std::string, NameId, std::less<>> ids_;
+    std::string crash_dump_path_;
+
+    std::atomic<std::int64_t> last_ts_{0};
+};
+
+} // namespace sov::obs

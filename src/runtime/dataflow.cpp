@@ -20,17 +20,17 @@ RunResult::steadyStateThroughputHz() const
 }
 
 void
-RunResult::emit(const StageGraph &graph, LatencyTracer &tracer) const
+RunResult::emit(const StageGraph &graph, obs::MetricRegistry &metrics) const
 {
     for (const auto &frame : frames) {
         if (frame.failed)
             continue; // partial spans carry no meaningful timings
         for (const auto &span : frame.spans) {
             const std::string &name = graph.stage(span.stage).name;
-            tracer.record(name, span.duration());
-            tracer.record("queue:" + name, span.queueing());
+            metrics.record(name, span.duration());
+            metrics.record("queue:" + name, span.queueing());
         }
-        tracer.recordTotal(frame.latency());
+        metrics.recordTotal(frame.latency());
     }
 }
 
@@ -38,6 +38,62 @@ DataflowExecutor::DataflowExecutor(Simulator &sim, StageGraph &graph)
     : sim_(sim), graph_(graph)
 {
     SOV_ASSERT(graph_.size() > 0);
+}
+
+void
+DataflowExecutor::attachTrace(obs::TraceRecorder *recorder)
+{
+    recorder_ = recorder;
+    if (!recorder_)
+        return;
+    // Intern once: per-frame emission must stay allocation-free.
+    trace_ids_.stage_names.clear();
+    trace_ids_.stage_tracks.clear();
+    for (StageId s = 0; s < graph_.size(); ++s) {
+        trace_ids_.stage_names.push_back(
+            recorder_->intern(graph_.stage(s).name));
+        trace_ids_.stage_tracks.push_back(
+            recorder_->intern(graph_.stage(s).resource));
+    }
+    trace_ids_.cat_stage = recorder_->intern("stage");
+    trace_ids_.cat_frame = recorder_->intern("frame");
+    trace_ids_.cat_sched = recorder_->intern("sched");
+    trace_ids_.cat_fault = recorder_->intern("fault");
+    trace_ids_.track_pipeline = recorder_->intern("pipeline");
+    trace_ids_.frame_name = recorder_->intern("frame");
+    trace_ids_.deadline_miss = recorder_->intern("deadline_miss");
+    trace_ids_.frame_failed = recorder_->intern("frame_failed");
+    trace_ids_.stage_timeout = recorder_->intern("stage_timeout");
+    trace_ids_.stage_crash = recorder_->intern("stage_crash");
+    trace_ids_.stage_retry = recorder_->intern("stage_retry");
+}
+
+void
+DataflowExecutor::traceFrame(const FrameTrace &trace)
+{
+    for (const auto &span : trace.spans) {
+        // In an abandoned frame only the stages up to the failure ran;
+        // the rest still hold default (zero) start/finish stamps.
+        if (trace.failed && !(span.finish > span.start))
+            continue;
+        recorder_->span(trace_ids_.stage_names[span.stage],
+                        trace_ids_.cat_stage,
+                        trace_ids_.stage_tracks[span.stage], span.start,
+                        span.finish, span.frame);
+    }
+    recorder_->span(trace_ids_.frame_name, trace_ids_.cat_frame,
+                    trace_ids_.track_pipeline, trace.release, trace.finish,
+                    trace.frame);
+    if (trace.deadline_missed) {
+        recorder_->instant(trace_ids_.deadline_miss, trace_ids_.cat_sched,
+                           trace_ids_.track_pipeline, trace.finish,
+                           trace.frame);
+    }
+    if (trace.failed) {
+        recorder_->instant(trace_ids_.frame_failed, trace_ids_.cat_fault,
+                           trace_ids_.track_pipeline, trace.finish,
+                           trace.frame);
+    }
 }
 
 void
@@ -137,6 +193,15 @@ DataflowExecutor::tryDispatch(ResourceState &resource)
             ++stage_timeouts_;
         if (crashed)
             ++stage_crashes_;
+        if (recorder_ && (timed_out || crashed)) {
+            // The supervision event lands where the attempt resolved
+            // in model time, on the stage's resource lane.
+            recorder_->instant(timed_out ? trace_ids_.stage_timeout
+                                         : trace_ids_.stage_crash,
+                               trace_ids_.cat_fault,
+                               trace_ids_.stage_tracks[s],
+                               span.start + elapsed, f);
+        }
         if (health_)
             health_->onStageAttempt(s, f, outcome, timed_out);
         span.timed_out = timed_out;
@@ -144,6 +209,12 @@ DataflowExecutor::tryDispatch(ResourceState &resource)
         if (!attempt_failed || !policy || attempts > policy->max_retries)
             break;
         ++stage_retries_;
+        if (recorder_) {
+            recorder_->instant(trace_ids_.stage_retry,
+                               trace_ids_.cat_fault,
+                               trace_ids_.stage_tracks[s],
+                               span.start + elapsed, f);
+        }
     }
     span.attempts = attempts;
     span.finish = span.start + elapsed;
@@ -200,16 +271,20 @@ DataflowExecutor::completeFrame(std::size_t frame)
     if (deadline_ && trace.latency() > *deadline_) {
         trace.deadline_missed = true;
         ++deadline_misses_;
+        if (metrics_)
+            metrics_->incr("deadline_misses");
     }
     ++completed_count_;
-    if (tracer_) {
+    if (metrics_) {
         for (const auto &span : trace.spans) {
             const std::string &name = graph_.stage(span.stage).name;
-            tracer_->record(name, span.duration());
-            tracer_->record("queue:" + name, span.queueing());
+            metrics_->record(name, span.duration());
+            metrics_->record("queue:" + name, span.queueing());
         }
-        tracer_->recordTotal(trace.latency());
+        metrics_->recordTotal(trace.latency());
     }
+    if (recorder_)
+        traceFrame(trace);
     if (health_)
         health_->onFrameCompleted(trace);
     if (keep_traces_)
@@ -246,6 +321,10 @@ DataflowExecutor::failFrame(std::size_t frame, StageId stage)
     trace.failed_stage = stage;
     ++frames_failed_;
     ++completed_count_; // resolved: no longer counts as in flight
+    if (metrics_)
+        metrics_->incr("frames_failed");
+    if (recorder_)
+        traceFrame(trace);
     if (health_)
         health_->onFrameFailed(trace);
     if (keep_traces_)
@@ -260,6 +339,8 @@ DataflowExecutor::run(StageGraph &graph, const RunOptions &opts)
     Simulator sim;
     DataflowExecutor exec(sim, graph);
     exec.setDeadline(opts.deadline);
+    if (opts.trace)
+        exec.attachTrace(opts.trace);
 
     if (opts.period > Duration::zero()) {
         // Pipelined: frame f releases at f * period regardless of the

@@ -27,8 +27,9 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/stage_graph.h"
-#include "sim/latency_tracer.h"
 #include "sim/simulator.h"
 
 namespace sov::runtime {
@@ -124,6 +125,8 @@ struct RunOptions
     Duration period = Duration::zero();
     /** Per-frame deadline measured from release; unset = no deadline. */
     std::optional<Duration> deadline;
+    /** Stream stage spans into this recorder (not owned; optional). */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Result of a batch run. */
@@ -145,8 +148,8 @@ struct RunResult
     double steadyStateThroughputHz() const;
 
     /** Record per-stage durations, per-stage "queue:<name>" delays and
-     *  end-to-end totals into @p tracer. */
-    void emit(const StageGraph &graph, LatencyTracer &tracer) const;
+     *  end-to-end totals into @p metrics. */
+    void emit(const StageGraph &graph, obs::MetricRegistry &metrics) const;
 };
 
 /**
@@ -190,12 +193,21 @@ class DataflowExecutor
     }
 
     /** Keep completed FrameTraces in memory (default on). Long
-     *  closed-loop runs turn this off and attach a tracer instead. */
+     *  closed-loop runs turn this off and attach metrics instead. */
     void setKeepTraces(bool keep) { keep_traces_ = keep; }
 
     /** Stream span/queue/total samples of every completed frame into
-     *  @p tracer (nullptr detaches). */
-    void attachTracer(LatencyTracer *tracer) { tracer_ = tracer; }
+     *  @p metrics (nullptr detaches), and count supervision events
+     *  (deadline misses, timeouts, crashes, retries, failed frames). */
+    void attachMetrics(obs::MetricRegistry *metrics) { metrics_ = metrics; }
+
+    /**
+     * Emit every stage execution as an obs span (track = resource
+     * lane) plus frame spans and supervision instants into @p
+     * recorder (nullptr detaches). Stage/resource names are interned
+     * here, so per-frame emission stays allocation-free.
+     */
+    void attachTrace(obs::TraceRecorder *recorder);
 
     /**
      * Release one frame at the current simulation time. Stage events
@@ -248,19 +260,41 @@ class DataflowExecutor
         bool busy = false;
     };
 
+    /** Interned obs names, filled by attachTrace(). */
+    struct TraceIds
+    {
+        std::vector<obs::NameId> stage_names; //!< per StageId
+        std::vector<obs::NameId> stage_tracks;
+        obs::NameId cat_stage = 0;
+        obs::NameId cat_frame = 0;
+        obs::NameId cat_sched = 0;
+        obs::NameId cat_fault = 0;
+        obs::NameId track_pipeline = 0;
+        obs::NameId frame_name = 0;
+        obs::NameId deadline_miss = 0;
+        obs::NameId frame_failed = 0;
+        obs::NameId stage_timeout = 0;
+        obs::NameId stage_crash = 0;
+        obs::NameId stage_retry = 0;
+    };
+
     void tryDispatch(ResourceState &resource);
     void onStageFinish(ResourceState &resource, std::size_t frame,
                        StageId stage, bool stage_failed);
     void completeFrame(std::size_t frame);
     void failFrame(std::size_t frame, StageId stage);
     const StagePolicy *policyFor(StageId stage) const;
+    /** Emit the spans of a resolved frame into the recorder. */
+    void traceFrame(const FrameTrace &trace);
 
     Simulator &sim_;
     StageGraph &graph_;
     std::map<std::string, ResourceState> resources_;
     std::map<std::size_t, FrameState> in_flight_;
     std::vector<FrameTrace> traces_;
-    LatencyTracer *tracer_ = nullptr;
+    obs::MetricRegistry *metrics_ = nullptr;
+    obs::TraceRecorder *recorder_ = nullptr;
+    TraceIds trace_ids_;
     DataflowHealthListener *health_ = nullptr;
     std::map<StageId, StagePolicy> policies_;
     std::optional<Duration> deadline_;

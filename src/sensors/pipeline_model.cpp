@@ -8,17 +8,40 @@ SensorPipelineModel::traverse(Timestamp trigger)
     PipelineTraversal out;
     out.trigger_time = trigger;
     Timestamp t = trigger;
-    for (const auto &stage : stages_) {
+    const std::uint64_t sample = traversals_++;
+    if (recorder_)
+        recorder_->instant(trace_trigger_, trace_category_, trace_track_,
+                           trigger, sample);
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const auto &stage = stages_[i];
         Duration d = stage.fixed;
         if (stage.jitter_median > Duration::zero()) {
             d += Duration::millisF(rng_.logNormal(
                 stage.jitter_median.toMillis(), stage.jitter_sigma));
         }
         out.stage_delays.push_back(d);
+        if (recorder_)
+            recorder_->span(trace_stage_names_[i], trace_category_,
+                            trace_track_, t, t + d, sample);
         t += d;
     }
     out.arrival_time = t;
     return out;
+}
+
+void
+SensorPipelineModel::setTraceRecorder(obs::TraceRecorder *recorder,
+                                      const std::string &track)
+{
+    recorder_ = recorder;
+    trace_stage_names_.clear();
+    if (!recorder_)
+        return;
+    trace_track_ = recorder_->intern(track);
+    trace_category_ = recorder_->intern("sensor");
+    trace_trigger_ = recorder_->intern("trigger");
+    for (const auto &stage : stages_)
+        trace_stage_names_.push_back(recorder_->intern(stage.name));
 }
 
 Duration

@@ -16,6 +16,7 @@
 
 #include "core/rng.h"
 #include "core/time.h"
+#include "obs/trace.h"
 
 namespace sov {
 
@@ -48,6 +49,15 @@ class SensorPipelineModel
     /** Simulate one traversal for a sample triggered at @p trigger. */
     PipelineTraversal traverse(Timestamp trigger);
 
+    /**
+     * Emit every traversal into @p recorder as a chain of spans — one
+     * per pipeline hop (exposure, transmission, ISP, ...) on the lane
+     * named @p track — plus a trigger instant. nullptr detaches.
+     * Observational only; the delay draws are unchanged.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder,
+                          const std::string &track);
+
     /** Sum of the fixed (compensatable) components. */
     Duration fixedDelay() const;
 
@@ -66,6 +76,12 @@ class SensorPipelineModel
   private:
     std::vector<PipelineStage> stages_;
     Rng rng_;
+    obs::TraceRecorder *recorder_ = nullptr;
+    obs::NameId trace_track_ = 0;
+    obs::NameId trace_category_ = 0;
+    obs::NameId trace_trigger_ = 0;
+    std::vector<obs::NameId> trace_stage_names_;
+    std::uint64_t traversals_ = 0;
 };
 
 } // namespace sov

@@ -22,10 +22,10 @@ ClosedLoopSim::ClosedLoopSim(World &world, Polyline2 route,
       own_faults_(rng_.fork("fault")),
       sensor_faults_(config_.faults)
 {
-    // Long runs release thousands of frames; stream spans into the
-    // tracer instead of keeping every trace.
+    // Long runs release thousands of frames; stream samples into the
+    // metric registry instead of keeping every trace.
     pipeline_exec_.setKeepTraces(false);
-    pipeline_exec_.attachTracer(&pipeline_tracer_);
+    pipeline_exec_.attachMetrics(&pipeline_metrics_);
     pipeline_exec_.setDeadline(config_.pipeline_deadline);
     can_.connect([this](const ControlCommand &cmd) { ecu_.onCommand(cmd); });
 
@@ -106,6 +106,49 @@ ClosedLoopSim::reset()
     was_moving_ = false;
     safe_stop_commanded_ = false;
     last_camera_ = CameraSnapshot{};
+    transitions_traced_ = 0;
+    reactive_triggers_traced_ = 0;
+}
+
+void
+ClosedLoopSim::setTraceRecorder(obs::TraceRecorder *recorder)
+{
+    recorder_ = recorder;
+    pipeline_exec_.attachTrace(recorder);
+    own_faults_.setTraceRecorder(recorder);
+    if (config_.faults)
+        config_.faults->setTraceRecorder(recorder);
+    if (!recorder_)
+        return;
+    trace_ids_.track_loop = recorder_->intern("loop");
+    trace_ids_.cat_sched = recorder_->intern("sched");
+    trace_ids_.cat_fault = recorder_->intern("fault");
+    trace_ids_.cat_health = recorder_->intern("health");
+    trace_ids_.load_shed = recorder_->intern("load_shed");
+    trace_ids_.camera_dropout = recorder_->intern("camera_dropout");
+    trace_ids_.radar_dropout = recorder_->intern("radar_dropout");
+    trace_ids_.safe_stop = recorder_->intern("safe_stop");
+    trace_ids_.reactive_trigger = recorder_->intern("reactive_trigger");
+    trace_ids_.frames_in_flight = recorder_->intern("frames_in_flight");
+    for (int level = 0; level < 4; ++level) {
+        trace_ids_.level_names[level] = recorder_->intern(
+            health::toString(static_cast<health::DegradationLevel>(level)));
+    }
+}
+
+void
+ClosedLoopSim::traceNewTransitions()
+{
+    if (!recorder_ || !health_)
+        return;
+    const auto &transitions = health_->degradation().transitions();
+    for (; transitions_traced_ < transitions.size();
+         ++transitions_traced_) {
+        const auto &[at, level] = transitions[transitions_traced_];
+        recorder_->instant(
+            trace_ids_.level_names[static_cast<int>(level)],
+            trace_ids_.cat_health, trace_ids_.track_loop, at);
+    }
 }
 
 void
@@ -123,6 +166,11 @@ ClosedLoopSim::planningCycle()
     ++cycles_;
     if (reactive_.active())
         ++reactive_cycles_;
+    if (recorder_ && !config_.fixed_compute_latency) {
+        recorder_->counter(
+            trace_ids_.frames_in_flight, trace_ids_.track_loop, now,
+            static_cast<double>(pipeline_exec_.framesInFlight()));
+    }
 
     // Supervision cycle: fold watchdog events and sensor heartbeats
     // into the degradation state machine before planning.
@@ -132,12 +180,18 @@ ClosedLoopSim::planningCycle()
         health_->evaluate(now, config_.fixed_compute_latency
                                    ? 0
                                    : pipeline_exec_.framesInFlight());
+        traceNewTransitions();
         const health::DegradationManager &mgr = health_->degradation();
         if (mgr.safeStopRequested()) {
             // The reactive path itself is untrusted: stop now, once,
             // through the ECU override (no pipeline in the way).
             if (!safe_stop_commanded_) {
                 safe_stop_commanded_ = true;
+                if (recorder_) {
+                    recorder_->instant(trace_ids_.safe_stop,
+                                       trace_ids_.cat_health,
+                                       trace_ids_.track_loop, now);
+                }
                 ecu_.emergencyBrake();
             }
             return;
@@ -157,6 +211,11 @@ ClosedLoopSim::planningCycle()
         // The frame never arrives: no heartbeat, no planning. The
         // monitor sees the silence and degrades after the budget.
         ++result_.sensor_dropouts;
+        if (recorder_) {
+            recorder_->instant(trace_ids_.camera_dropout,
+                               trace_ids_.cat_fault,
+                               trace_ids_.track_loop, now);
+        }
         return;
     }
     if (health_)
@@ -169,6 +228,10 @@ ClosedLoopSim::planningCycle()
     if (!config_.fixed_compute_latency &&
         pipeline_exec_.framesInFlight() >= config_.max_frames_in_flight) {
         ++result_.frames_dropped;
+        if (recorder_) {
+            recorder_->instant(trace_ids_.load_shed, trace_ids_.cat_sched,
+                               trace_ids_.track_loop, now);
+        }
         return;
     }
 
@@ -262,11 +325,27 @@ ClosedLoopSim::physicsStep()
             radar_dropout_ && radar_dropout_->shouldInject(sim_.now());
         if (radar_out) {
             ++result_.sensor_dropouts;
+            if (recorder_) {
+                recorder_->instant(trace_ids_.radar_dropout,
+                                   trace_ids_.cat_fault,
+                                   trace_ids_.track_loop, sim_.now());
+            }
         } else {
             if (health_)
                 health_->noteHeartbeat("radar", sim_.now());
             reactive_.evaluate(world_, vehicle_.pose(), vehicle_.speed(),
                                sim_.now());
+            if (recorder_) {
+                // Surface each new reactive-brake engagement as an
+                // instant on the loop lane.
+                const std::uint64_t triggers = reactive_.triggerCount();
+                for (; reactive_triggers_traced_ < triggers;
+                     ++reactive_triggers_traced_) {
+                    recorder_->instant(trace_ids_.reactive_trigger,
+                                       trace_ids_.cat_sched,
+                                       trace_ids_.track_loop, sim_.now());
+                }
+            }
         }
     }
 
@@ -310,6 +389,7 @@ ClosedLoopSim::run(Duration horizon)
         Duration::millisF(0.1), [this] { physicsStep(); });
 
     sim_.runUntil(Timestamp::origin() + horizon);
+    traceNewTransitions();
 
     result_.distance_travelled = vehicle_.odometer();
     result_.reactive_triggers = reactive_.triggerCount();

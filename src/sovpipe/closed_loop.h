@@ -138,9 +138,23 @@ class ClosedLoopSim
     VehicleDynamics &vehicle() { return vehicle_; }
     World &world() { return world_; }
 
-    /** Per-stage spans and queueing of the proactive pipeline frames
-     *  executed so far (stages of the shared Fig. 5 graph). */
-    const LatencyTracer &pipelineTracer() const { return pipeline_tracer_; }
+    /** Per-stage durations and queueing of the proactive pipeline
+     *  frames executed so far (histograms named after the Fig. 5
+     *  stages, plus "queue:<stage>" and "total"). */
+    const obs::MetricRegistry &pipelineMetrics() const
+    {
+        return pipeline_metrics_;
+    }
+
+    /**
+     * Stream the run into @p recorder (nullptr detaches): every Fig. 5
+     * stage execution as a span on its resource lane, frame spans,
+     * and instants for load shedding, sensor dropouts, fault
+     * injections, degradation transitions and the safe-stop command.
+     * Call before run(); purely observational — a traced run is
+     * bit-identical to an untraced one.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder);
 
     /** The health monitor, when config.enable_health is set. */
     const health::HealthMonitor *healthMonitor() const
@@ -159,6 +173,8 @@ class ClosedLoopSim
     void planningCycle();
     void physicsStep();
     void dispatchCommand(const ControlCommand &command);
+    /** Emit any degradation transitions not yet in the trace. */
+    void traceNewTransitions();
 
     World &world_;
     Polyline2 route_;
@@ -171,7 +187,7 @@ class ClosedLoopSim
     /** Executes pipeline_.graph() on sim_; planning cycles release
      *  frames and commands transmit on frame completion. */
     runtime::DataflowExecutor pipeline_exec_;
-    LatencyTracer pipeline_tracer_;
+    obs::MetricRegistry pipeline_metrics_;
     VehicleDynamics vehicle_;
     Ecu ecu_;
     CanBus can_;
@@ -190,6 +206,26 @@ class ClosedLoopSim
     fault::FaultChannel *radar_dropout_ = nullptr;
     std::unique_ptr<health::HealthMonitor> health_;
     CameraSnapshot last_camera_;
+
+    // Trace wiring (all optional; inert when recorder_ is null).
+    obs::TraceRecorder *recorder_ = nullptr;
+    /** Interned obs names for the sim-level events. */
+    struct TraceIds
+    {
+        obs::NameId track_loop = 0;
+        obs::NameId cat_sched = 0;
+        obs::NameId cat_fault = 0;
+        obs::NameId cat_health = 0;
+        obs::NameId load_shed = 0;
+        obs::NameId camera_dropout = 0;
+        obs::NameId radar_dropout = 0;
+        obs::NameId safe_stop = 0;
+        obs::NameId reactive_trigger = 0;
+        obs::NameId frames_in_flight = 0;
+        obs::NameId level_names[4] = {0, 0, 0, 0};
+    } trace_ids_;
+    std::size_t transitions_traced_ = 0;
+    std::uint64_t reactive_triggers_traced_ = 0;
 
     // Run bookkeeping.
     ClosedLoopResult result_;

@@ -45,16 +45,16 @@ SovPipelineModel::characterize(std::size_t frames)
     PipelineStats stats;
     for (const runtime::FrameTrace &trace : run.frames) {
         const FrameLatency f = groupStages(trace);
-        stats.tracer.record("sensing", f.sensing);
-        stats.tracer.record("perception", f.perception);
-        stats.tracer.record("planning", f.planning);
-        stats.tracer.recordTotal(f.total());
+        stats.metrics.record("sensing", f.sensing);
+        stats.metrics.record("perception", f.perception);
+        stats.metrics.record("planning", f.planning);
+        stats.metrics.recordTotal(f.total());
     }
     stats.best_case = Duration::millisF(
-        stats.tracer.percentileMs("total", 0.0));
-    stats.mean = Duration::millisF(stats.tracer.meanMs("total"));
+        stats.metrics.percentile("total", 0.0));
+    stats.mean = Duration::millisF(stats.metrics.mean("total"));
     stats.p99 = Duration::millisF(
-        stats.tracer.percentileMs("total", 99.0));
+        stats.metrics.percentile("total", 99.0));
 
     // Pipelined throughput: the same Fig. 5 graph at the analytic
     // stage means, released at the frame rate; the slowest resource
@@ -71,7 +71,7 @@ SovPipelineModel::characterize(std::size_t frames)
     return stats;
 }
 
-LatencyTracer
+obs::MetricRegistry
 SovPipelineModel::perceptionTaskBreakdown(std::size_t frames)
 {
     runtime::RunOptions opts;
@@ -79,17 +79,17 @@ SovPipelineModel::perceptionTaskBreakdown(std::size_t frames)
     const runtime::RunResult run =
         runtime::DataflowExecutor::run(graph_, opts);
 
-    LatencyTracer tracer;
+    obs::MetricRegistry metrics;
     for (const runtime::FrameTrace &trace : run.frames) {
-        tracer.record("depth", trace.spans[stages_.depth].duration());
-        tracer.record("detection",
-                      trace.spans[stages_.detection].duration());
-        tracer.record("tracking",
-                      trace.spans[stages_.tracking].duration());
-        tracer.record("localization",
-                      trace.spans[stages_.localization].duration());
+        metrics.record("depth", trace.spans[stages_.depth].duration());
+        metrics.record("detection",
+                       trace.spans[stages_.detection].duration());
+        metrics.record("tracking",
+                       trace.spans[stages_.tracking].duration());
+        metrics.record("localization",
+                       trace.spans[stages_.localization].duration());
     }
-    return tracer;
+    return metrics;
 }
 
 } // namespace sov

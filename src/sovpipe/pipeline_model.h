@@ -14,9 +14,9 @@
 #pragma once
 
 #include "core/rng.h"
+#include "obs/metrics.h"
 #include "platform/platform_model.h"
 #include "runtime/dataflow.h"
-#include "sim/latency_tracer.h"
 #include "sovpipe/fig5_graph.h"
 
 namespace sov {
@@ -34,7 +34,8 @@ struct FrameLatency
 /** Aggregated characterization results. */
 struct PipelineStats
 {
-    LatencyTracer tracer;      //!< stages: sensing/perception/planning/total
+    /** Histograms: sensing/perception/planning/total (milliseconds). */
+    obs::MetricRegistry metrics;
     double throughput_hz = 0.0;
     Duration best_case;
     Duration mean;
@@ -63,7 +64,7 @@ class SovPipelineModel
      * Per-task mean latencies over @p frames runtime frames, for
      * Fig. 10b (depth / detection / tracking / localization).
      */
-    LatencyTracer perceptionTaskBreakdown(std::size_t frames);
+    obs::MetricRegistry perceptionTaskBreakdown(std::size_t frames);
 
     const SovPipelineConfig &config() const { return config_; }
 

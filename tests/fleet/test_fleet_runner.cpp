@@ -63,6 +63,44 @@ TEST(FleetRunner, ReportIsBitIdenticalAcrossThreadCounts)
     EXPECT_EQ(r1.toJson(), r8.toJson());
 }
 
+TEST(FleetRunner, MergedMetricsFingerprintIndependentOfThreadCount)
+{
+    // The spine's aggregate contract: per-scenario MetricRegistries
+    // fold in scenario-index order, so the merged registry (and its
+    // fingerprint) is a pure function of the matrix + master seed.
+    const ScenarioMatrix matrix = testMatrix();
+    std::uint64_t first = 0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        FleetRunner runner(FleetConfig{threads, 42});
+        runner.run(matrix);
+        const obs::MetricRegistry &merged = runner.mergedMetrics();
+        EXPECT_EQ(merged.counter("scenarios"), 12u) << threads;
+        EXPECT_GT(merged.count("total"), 0u) << threads;
+        if (first == 0)
+            first = merged.fingerprint();
+        else
+            EXPECT_EQ(merged.fingerprint(), first) << threads;
+    }
+}
+
+TEST(FleetRunner, SharedTraceRecorderCollectsEveryScenario)
+{
+    // One recorder across all workers: per-thread rings mean no
+    // contention, and the canonical snapshot is thread-count-stable.
+    const ScenarioMatrix matrix = testMatrix();
+    obs::TraceRecorder rec_two;
+    FleetConfig cfg_two{2, 42};
+    cfg_two.trace = &rec_two;
+    FleetRunner(cfg_two).run(matrix);
+    EXPECT_GT(rec_two.eventCount(), 0u);
+
+    obs::TraceRecorder rec_one;
+    FleetConfig cfg_one{1, 42};
+    cfg_one.trace = &rec_one;
+    FleetRunner(cfg_one).run(matrix);
+    EXPECT_EQ(rec_one.fingerprint(), rec_two.fingerprint());
+}
+
 TEST(FleetRunner, MasterSeedChangesTheOutcomes)
 {
     const ScenarioMatrix matrix = testMatrix();

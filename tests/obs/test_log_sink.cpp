@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "obs/trace.h"
+
+namespace sov::obs {
+namespace {
+
+std::vector<std::string> g_sink_lines;
+
+void
+collectSink(LogLevel level, const char *msg, const char *file, int line)
+{
+    (void)file;
+    std::ostringstream os;
+    os << static_cast<int>(level) << ":" << (msg ? msg : "") << ":" << line;
+    g_sink_lines.push_back(os.str());
+}
+
+TEST(LogSink, ObservesRecordsAndUninstalls)
+{
+    g_sink_lines.clear();
+    const LogSink previous = setLogSink(&collectSink);
+    warn("spine test warning");
+    inform("spine test info");
+    setLogSink(previous);
+    warn("not observed");
+    ASSERT_EQ(g_sink_lines.size(), 2u);
+    EXPECT_EQ(g_sink_lines[0], "1:spine test warning:0");
+    EXPECT_EQ(g_sink_lines[1], "0:spine test info:0");
+}
+
+TEST(LogSinkDeathTest, PanicLandsFinalInstantAndDumpsTrace)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string dump = ::testing::TempDir() + "sov_crash_trace.json";
+    std::remove(dump.c_str());
+
+    // The child emits a normal span, arms the crash hook, then
+    // panics: the hook must land the dying message as an instant and
+    // write the Chrome trace before abort().
+    EXPECT_DEATH(
+        {
+            TraceRecorder rec;
+            rec.setCrashDumpPath(dump);
+            TraceRecorder::setActive(&rec);
+            const NameId n = rec.intern("frame");
+            const NameId cat = rec.intern("stage");
+            const NameId track = rec.intern("loop");
+            rec.span(n, cat, track, Timestamp::millisF(1.0),
+                     Timestamp::millisF(2.0), 1);
+            SOV_PANIC("observability spine post-mortem");
+        },
+        "observability spine post-mortem");
+
+    std::ifstream in(dump);
+    ASSERT_TRUE(in.good()) << "crash hook did not write " << dump;
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string json = os.str();
+    // The trace survives with the pre-crash span...
+    EXPECT_NE(json.find("\"name\":\"frame\""), std::string::npos);
+    // ...plus the dying message as a final "panic" instant stamped at
+    // the last sim-time the recorder saw.
+    EXPECT_NE(json.find("\"name\":\"observability spine post-mortem\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"panic\""), std::string::npos);
+    std::remove(dump.c_str());
+}
+
+} // namespace
+} // namespace sov::obs

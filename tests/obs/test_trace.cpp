@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sov::obs {
+namespace {
+
+TEST(TraceRecorder, InternIsStable)
+{
+    TraceRecorder rec;
+    const NameId a = rec.intern("alpha");
+    const NameId b = rec.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(rec.intern("alpha"), a);
+    EXPECT_EQ(rec.name(a), "alpha");
+    EXPECT_EQ(rec.name(0), "");
+}
+
+TEST(TraceRecorder, SnapshotIsTimeOrdered)
+{
+    TraceRecorder rec;
+    const NameId n = rec.intern("ev");
+    const NameId cat = rec.intern("c");
+    const NameId track = rec.intern("t");
+    rec.instant(n, cat, track, Timestamp::millisF(5.0));
+    rec.instant(n, cat, track, Timestamp::millisF(1.0));
+    rec.span(n, cat, track, Timestamp::millisF(2.0),
+             Timestamp::millisF(3.0), 7);
+    const std::vector<TraceEvent> events = rec.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].ts_ns, Duration::millisF(1.0).ns());
+    EXPECT_EQ(events[1].ts_ns, Duration::millisF(2.0).ns());
+    EXPECT_EQ(events[1].kind, EventKind::Span);
+    EXPECT_EQ(events[1].dur_ns, Duration::millisF(1.0).ns());
+    EXPECT_EQ(events[1].frame, 7u);
+    EXPECT_EQ(events[2].ts_ns, Duration::millisF(5.0).ns());
+}
+
+TEST(TraceRecorder, RingWrapKeepsNewestEvents)
+{
+    TraceConfig cfg;
+    cfg.ring_capacity = 4;
+    TraceRecorder rec(cfg);
+    const NameId n = rec.intern("ev");
+    for (int i = 0; i < 6; ++i)
+        rec.instant(n, 0, 0, Timestamp::millisF(static_cast<double>(i)));
+    EXPECT_EQ(rec.eventCount(), 4u);
+    EXPECT_EQ(rec.droppedEvents(), 2u);
+    const std::vector<TraceEvent> events = rec.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // The two oldest events (t=0, t=1 ms) were overwritten.
+    EXPECT_EQ(events.front().ts_ns, Duration::millisF(2.0).ns());
+    EXPECT_EQ(events.back().ts_ns, Duration::millisF(5.0).ns());
+}
+
+TEST(TraceRecorder, SteadyStateEmitsDoNotAllocate)
+{
+    TraceConfig cfg;
+    cfg.ring_capacity = 64;
+    TraceRecorder rec(cfg);
+    const NameId n = rec.intern("ev");
+    const NameId cat = rec.intern("c");
+    const NameId track = rec.intern("t");
+    // First emit registers this thread's ring (one arena block).
+    rec.instant(n, cat, track, Timestamp::origin());
+    const std::size_t baseline = rec.systemAllocations();
+    EXPECT_GE(baseline, 1u);
+    for (int i = 0; i < 10'000; ++i)
+        rec.span(n, cat, track, Timestamp::millisF(i),
+                 Timestamp::millisF(i + 1), static_cast<std::uint64_t>(i));
+    EXPECT_EQ(rec.systemAllocations(), baseline);
+    EXPECT_EQ(rec.eventCount(), cfg.ring_capacity);
+}
+
+TEST(TraceRecorder, FingerprintIndependentOfThreading)
+{
+    // The same logical events, recorded single-threaded vs split
+    // across two producer threads, fingerprint identically.
+    auto emitRange = [](TraceRecorder &rec, int lo, int hi) {
+        const NameId n = rec.intern("ev");
+        const NameId cat = rec.intern("c");
+        const NameId track = rec.intern("t");
+        for (int i = lo; i < hi; ++i)
+            rec.span(n, cat, track, Timestamp::millisF(i),
+                     Timestamp::millisF(i + 1),
+                     static_cast<std::uint64_t>(i));
+    };
+    TraceRecorder solo;
+    emitRange(solo, 0, 100);
+
+    TraceRecorder split;
+    std::thread t0([&] { emitRange(split, 0, 50); });
+    t0.join();
+    std::thread t1([&] { emitRange(split, 50, 100); });
+    t1.join();
+
+    EXPECT_EQ(solo.eventCount(), 100u);
+    EXPECT_EQ(split.eventCount(), 100u);
+    EXPECT_EQ(solo.fingerprint(), split.fingerprint());
+}
+
+TEST(TraceRecorder, GoldenChromeTrace)
+{
+    TraceRecorder rec;
+    const NameId sense = rec.intern("sense");
+    const NameId stage = rec.intern("stage");
+    const NameId cam = rec.intern("cam");
+    const NameId drop = rec.intern("drop");
+    const NameId fault = rec.intern("fault");
+    const NameId inflight = rec.intern("inflight");
+    rec.counter(inflight, 0, Timestamp::origin(), 2.0);
+    rec.span(sense, stage, cam, Timestamp::millisF(1.0),
+             Timestamp::millisF(2.5), 3);
+    rec.instant(drop, fault, cam, Timestamp::millisF(2.0), 3);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"main\"}},\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+        "\"args\":{\"name\":\"cam\"}},\n"
+        "{\"name\":\"inflight\",\"ph\":\"C\",\"ts\":0.000,\"pid\":0,"
+        "\"tid\":0,\"args\":{\"value\":2}},\n"
+        "{\"name\":\"sense\",\"cat\":\"stage\",\"ph\":\"X\","
+        "\"ts\":1000.000,\"dur\":1500.000,\"pid\":0,\"tid\":1,"
+        "\"args\":{\"frame\":3}},\n"
+        "{\"name\":\"drop\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":2000.000,\"pid\":0,\"tid\":1,\"args\":{\"frame\":3}}\n"
+        "]}\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceRecorder, WallClockNeverLeaksIntoSimTimeFields)
+{
+    TraceConfig cfg;
+    cfg.wall_clock = true;
+    TraceRecorder rec(cfg);
+    const NameId n = rec.intern("ev");
+    rec.instant(n, 0, 0, Timestamp::millisF(4.0));
+    const std::vector<TraceEvent> events = rec.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    // Sim time is exactly the model stamp; wall time rides separately.
+    EXPECT_EQ(events[0].ts_ns, Duration::millisF(4.0).ns());
+    EXPECT_NE(events[0].wall_ns, 0);
+
+    // The export's ts field stays pure sim time (4 ms = 4000 us);
+    // wall time appears only as the args.wall_us annotation.
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ts\":4000.000"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_us\":"), std::string::npos);
+
+    // Wall time must not perturb the fingerprint either.
+    TraceRecorder bare;
+    bare.instant(bare.intern("ev"), 0, 0, Timestamp::millisF(4.0));
+    EXPECT_EQ(rec.fingerprint(), bare.fingerprint());
+}
+
+TEST(TraceRecorder, ClearKeepsNamesDropsEvents)
+{
+    TraceRecorder rec;
+    const NameId n = rec.intern("ev");
+    rec.instant(n, 0, 0, Timestamp::millisF(1.0));
+    EXPECT_EQ(rec.eventCount(), 1u);
+    rec.clear();
+    EXPECT_EQ(rec.eventCount(), 0u);
+    EXPECT_EQ(rec.intern("ev"), n);
+    rec.instant(n, 0, 0, Timestamp::millisF(2.0));
+    EXPECT_EQ(rec.eventCount(), 1u);
+}
+
+TEST(TraceRecorder, ActiveRecorderRoundTrip)
+{
+    EXPECT_EQ(TraceRecorder::active(), nullptr);
+    {
+        TraceRecorder rec;
+        TraceRecorder::setActive(&rec);
+        EXPECT_EQ(TraceRecorder::active(), &rec);
+        // Destruction deactivates so the hook can't dangle.
+    }
+    EXPECT_EQ(TraceRecorder::active(), nullptr);
+}
+
+} // namespace
+} // namespace sov::obs

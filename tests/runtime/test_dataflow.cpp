@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "runtime/dataflow.h"
@@ -167,30 +168,57 @@ TEST(Dataflow, CompletionCallbacksFireInFrameOrder)
     EXPECT_EQ(exec.framesCompleted(), 2u);
 }
 
-TEST(Dataflow, TracerReceivesSpansQueueingAndTotals)
+TEST(Dataflow, MetricsReceiveSpansQueueingAndTotals)
 {
     Simulator sim;
     StageGraph g;
     const StageId a = g.addFixed("alpha", "lane", Duration::millis(10));
     g.addFixed("beta", "lane", Duration::millis(5), {a});
     DataflowExecutor exec(sim, g);
-    LatencyTracer tracer;
-    exec.attachTracer(&tracer);
+    obs::MetricRegistry metrics;
+    exec.attachMetrics(&metrics);
     exec.setKeepTraces(false);
     sim.scheduleAt(Timestamp::origin(), [&] { exec.releaseFrame(); });
     sim.scheduleAt(Timestamp::origin(), [&] { exec.releaseFrame(); });
     sim.run();
-    EXPECT_EQ(tracer.count("alpha"), 2u);
-    EXPECT_EQ(tracer.count("beta"), 2u);
-    EXPECT_EQ(tracer.count("total"), 2u);
-    EXPECT_DOUBLE_EQ(tracer.meanMs("alpha"), 10.0);
-    EXPECT_DOUBLE_EQ(tracer.meanMs("beta"), 5.0);
+    EXPECT_EQ(metrics.count("alpha"), 2u);
+    EXPECT_EQ(metrics.count("beta"), 2u);
+    EXPECT_EQ(metrics.count("total"), 2u);
+    EXPECT_DOUBLE_EQ(metrics.mean("alpha"), 10.0);
+    EXPECT_DOUBLE_EQ(metrics.mean("beta"), 5.0);
     // Both frames released at t=0 share the lane: frame 0 runs
     // 0-10-15, frame 1's alpha waits 15 ms and it finishes at 30.
-    EXPECT_DOUBLE_EQ(tracer.maxMs("queue:alpha"), 15.0);
-    EXPECT_DOUBLE_EQ(tracer.meanMs("total"), 22.5);
+    EXPECT_DOUBLE_EQ(metrics.max("queue:alpha"), 15.0);
+    EXPECT_DOUBLE_EQ(metrics.mean("total"), 22.5);
     // Keep-traces off: no per-frame history retained.
     EXPECT_TRUE(exec.traces().empty());
+}
+
+TEST(Dataflow, TraceFingerprintIndependentOfThreadCount)
+{
+    // The executor is single-threaded, but the recorder's snapshot
+    // order must be content-canonical: two identical runs recorded
+    // into recorders whose buffers were touched from different
+    // threads fingerprint identically.
+    auto runOnce = [](obs::TraceRecorder &rec) {
+        Simulator sim;
+        StageGraph g;
+        const StageId a =
+            g.addFixed("alpha", "lane", Duration::millis(10));
+        g.addFixed("beta", "lane", Duration::millis(5), {a});
+        DataflowExecutor exec(sim, g);
+        exec.attachTrace(&rec);
+        sim.scheduleAt(Timestamp::origin(), [&] { exec.releaseFrame(); });
+        sim.scheduleAt(Timestamp::origin(), [&] { exec.releaseFrame(); });
+        sim.run();
+    };
+    obs::TraceRecorder direct;
+    runOnce(direct);
+    obs::TraceRecorder threaded;
+    std::thread worker([&] { runOnce(threaded); });
+    worker.join();
+    EXPECT_GT(direct.eventCount(), 0u);
+    EXPECT_EQ(direct.fingerprint(), threaded.fingerprint());
 }
 
 } // namespace

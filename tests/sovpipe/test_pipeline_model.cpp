@@ -25,8 +25,8 @@ TEST(SovPipeline, SensingIsNearlyHalf)
     const PlatformModel model;
     SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(2));
     const PipelineStats stats = pipeline.characterize(5000);
-    const double sensing = stats.tracer.meanMs("sensing");
-    const double total = stats.tracer.meanMs("total");
+    const double sensing = stats.metrics.mean("sensing");
+    const double total = stats.metrics.mean("total");
     EXPECT_GT(sensing / total, 0.38);
     EXPECT_LT(sensing / total, 0.52);
 }
@@ -37,9 +37,9 @@ TEST(SovPipeline, PlanningIsInsignificant)
     const PlatformModel model;
     SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(3));
     const PipelineStats stats = pipeline.characterize(5000);
-    EXPECT_NEAR(stats.tracer.meanMs("planning"), 3.0, 0.5);
-    EXPECT_LT(stats.tracer.meanMs("planning") /
-                  stats.tracer.meanMs("total"),
+    EXPECT_NEAR(stats.metrics.mean("planning"), 3.0, 0.5);
+    EXPECT_LT(stats.metrics.mean("planning") /
+                  stats.metrics.mean("total"),
               0.03);
 }
 
@@ -74,9 +74,9 @@ TEST(SovPipeline, KcfTrackingInflatesPerception)
     SovPipelineModel with_kcf(model, kcf, Rng(6));
     SovPipelineModel with_radar(model, SovPipelineConfig{}, Rng(6));
     const double kcf_ms =
-        with_kcf.characterize(3000).tracer.meanMs("perception");
+        with_kcf.characterize(3000).metrics.mean("perception");
     const double radar_ms =
-        with_radar.characterize(3000).tracer.meanMs("perception");
+        with_radar.characterize(3000).metrics.mean("perception");
     // Sec. VI-B: replacing KCF with radar + spatial sync saves ~100 ms.
     EXPECT_NEAR(kcf_ms - radar_ms, 100.0, 15.0);
 }
@@ -88,7 +88,7 @@ TEST(SovPipeline, EmPlannerPushesLatencyUp)
     em.planner = PlannerKind::EmStyle;
     SovPipelineModel pipe_em(model, em, Rng(7));
     const PipelineStats stats = pipe_em.characterize(3000);
-    EXPECT_NEAR(stats.tracer.meanMs("planning"), 102.0, 10.0);
+    EXPECT_NEAR(stats.metrics.mean("planning"), 102.0, 10.0);
 }
 
 TEST(SovPipeline, Fig10bTaskBreakdown)
@@ -97,12 +97,13 @@ TEST(SovPipeline, Fig10bTaskBreakdown)
     // localization ~25 ms with ~14 ms stddev (Sec. V-C).
     const PlatformModel model;
     SovPipelineModel pipeline(model, SovPipelineConfig{}, Rng(8));
-    const LatencyTracer tasks = pipeline.perceptionTaskBreakdown(20000);
-    EXPECT_GT(tasks.meanMs("detection"), tasks.meanMs("depth"));
-    EXPECT_GT(tasks.meanMs("detection"), tasks.meanMs("localization"));
-    EXPECT_NEAR(tasks.meanMs("localization"), 26.5, 2.0);
-    EXPECT_NEAR(tasks.stddevMs("localization"), 13.0, 3.0);
-    EXPECT_NEAR(tasks.meanMs("tracking"), 1.0, 0.1); // radar path
+    const obs::MetricRegistry tasks =
+        pipeline.perceptionTaskBreakdown(20000);
+    EXPECT_GT(tasks.mean("detection"), tasks.mean("depth"));
+    EXPECT_GT(tasks.mean("detection"), tasks.mean("localization"));
+    EXPECT_NEAR(tasks.mean("localization"), 26.5, 2.0);
+    EXPECT_NEAR(tasks.stddev("localization"), 13.0, 3.0);
+    EXPECT_NEAR(tasks.mean("tracking"), 1.0, 0.1); // radar path
 }
 
 } // namespace

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json reports against bench/report_schema.json.
+
+Stdlib-only validator for the JSON-Schema subset the report schema
+actually uses: type (including lists of types and "integer"), const,
+enum, pattern, required, properties, additionalProperties (boolean or
+schema), and items. Exits nonzero and lists every violation if any
+report fails; prints one OK line per valid report.
+
+Usage:
+    tools/check_bench_report.py bench/report_schema.json BENCH_*.json
+"""
+
+import json
+import re
+import sys
+
+
+def type_matches(value, type_name):
+    if type_name == "null":
+        return value is None
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "object":
+        return isinstance(value, dict)
+    if type_name == "array":
+        return isinstance(value, list)
+    raise ValueError(f"unsupported schema type: {type_name}")
+
+
+def validate(value, schema, path, errors):
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']!r}")
+        return
+
+    if "type" in schema:
+        types = schema["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(type_matches(value, t) for t in types):
+            errors.append(f"{path}: expected type {types}, got "
+                          f"{type(value).__name__} ({value!r})")
+            return
+
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match pattern "
+                          f"{schema['pattern']!r}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+                continue
+            extra = schema.get("additionalProperties", True)
+            if extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+
+    failures = 0
+    for report_path in argv[2:]:
+        errors = []
+        try:
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{report_path}: unreadable or invalid JSON: "
+                          f"{exc}")
+            report = None
+        if report is not None:
+            validate(report, schema, report_path, errors)
+        if errors:
+            failures += 1
+            for err in errors:
+                print(f"FAIL {err}")
+        else:
+            print(f"OK   {report_path} "
+                  f"(bench={report.get('bench')}, "
+                  f"pass={report.get('pass')})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
