@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Dataflow execution-model comparison (companion dataflow-accelerator
+ * design, arxiv 2109.07047): the Fig. 5 pipeline run sequentially,
+ * with asynchronous pipeline parallelism, and mapped onto dedicated
+ * dataflow engines.
+ *
+ *  - sequential: single-shot frames on the Fig. 5 mean graph — the
+ *    resource-constrained critical path, one frame at a time;
+ *  - pipelined: the same graph under the async executor's self-paced
+ *    admission window (frame N+1 sensing while frame N perceives), so
+ *    throughput is set by the bottleneck lane, not the frame sum;
+ *  - accelerator-mapped: every perception stage on its own engine
+ *    (AcceleratorModel latencies: issue + compute + double-buffer
+ *    spill), which shortens the critical path AND moves the bottleneck
+ *    to the sensor.
+ *
+ * Gates (the async executor's correctness contract):
+ *  - sync_equivalence: async mode with overlap disabled is bit-
+ *    identical to DataflowExecutor::run single-shot (schedule
+ *    fingerprints match);
+ *  - pipelined_speedup: async throughput >= 1.5x single-shot on the
+ *    Fig. 5 graph;
+ *  - thread_independent: the async schedule fingerprint is identical
+ *    when the characterization runs on 1, 2 and 8 pool threads;
+ *  - zero_steady_state_alloc: once warm, releasing and retiring frames
+ *    grows no executor container and the FramePayloadRing performs no
+ *    system allocation — and double-buffered payloads are never
+ *    corrupted by cross-frame overlap.
+ *
+ * Usage:
+ *   bench_dataflow [smoke=1] [frames=N] [out=BENCH_dataflow.json]
+ */
+#include <cstdio>
+#include <vector>
+
+#include "core/config.h"
+#include "core/thread_pool.h"
+#include "harness.h"
+#include "platform/accelerator.h"
+#include "runtime/dataflow.h"
+#include "runtime/sched_core.h"
+#include "sovpipe/fig5_graph.h"
+
+using namespace sov;
+
+namespace {
+
+runtime::StageGraph
+meanGraph(const PlatformModel &model, const SovPipelineConfig &config)
+{
+    runtime::StageGraph graph;
+    buildFig5Graph(graph, model, config, nullptr, Fig5Latency::Mean);
+    return graph;
+}
+
+/** Self-paced async characterization; returns the schedule fingerprint. */
+std::uint64_t
+asyncFingerprint(const PlatformModel &model,
+                 const SovPipelineConfig &config, std::size_t frames)
+{
+    runtime::StageGraph graph = meanGraph(model, config);
+    runtime::AsyncOptions opts;
+    opts.frames = frames;
+    opts.max_in_flight = 3;
+    return runtime::DataflowExecutor::runAsync(graph, opts).fingerprint();
+}
+
+/**
+ * The zero-allocation configuration: a three-stage kernel-style
+ * pipeline whose stages materialize real per-frame payloads in a
+ * FramePayloadRing, double-buffered to the async admission window.
+ * Returns payload mismatches (cross-frame corruption) via @p
+ * mismatches.
+ */
+runtime::RunResult
+payloadRun(runtime::FramePayloadRing &ring, std::size_t frames,
+           std::size_t window, std::uint64_t &mismatches)
+{
+    constexpr std::size_t kWords = 4096;
+    // One live payload pointer per ring slot; producer writes, the
+    // consumer of the same frame validates before the slot is reused.
+    std::vector<std::uint32_t *> payload(ring.depth(), nullptr);
+    std::uint64_t bad = 0;
+
+    runtime::StageGraph graph;
+    const auto produce = graph.addAnalytic(
+        "produce", "sensor", [&](std::size_t frame) {
+            FrameArena &arena = ring.acquire(frame);
+            auto *buf = arena.alloc<std::uint32_t>(kWords);
+            for (std::size_t i = 0; i < kWords; ++i)
+                buf[i] = static_cast<std::uint32_t>(frame * 2654435761u + i);
+            payload[frame % ring.depth()] = buf;
+            return Duration::millisF(5.0);
+        });
+    const auto transform = graph.addAnalytic(
+        "transform", "engine",
+        [&](std::size_t frame) {
+            std::uint32_t *buf = payload[frame % ring.depth()];
+            for (std::size_t i = 0; i < kWords; ++i)
+                buf[i] ^= 0xa5a5a5a5u;
+            return Duration::millisF(8.0);
+        },
+        {produce});
+    graph.addAnalytic(
+        "consume", "cpu",
+        [&](std::size_t frame) {
+            const std::uint32_t *buf = payload[frame % ring.depth()];
+            for (std::size_t i = 0; i < kWords; ++i) {
+                const auto expect = static_cast<std::uint32_t>(
+                                        frame * 2654435761u + i) ^
+                                    0xa5a5a5a5u;
+                if (buf[i] != expect)
+                    ++bad;
+            }
+            return Duration::millisF(3.0);
+        },
+        {transform});
+
+    runtime::AsyncOptions opts;
+    opts.frames = frames;
+    opts.max_in_flight = window;
+    opts.keep_traces = false; // counters + finish times only
+    runtime::RunResult result =
+        runtime::DataflowExecutor::runAsync(graph, opts);
+    mismatches = bad;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config config = Config::fromArgs(argc, argv);
+    const bool smoke = config.getBool("smoke", false);
+    const auto frames = static_cast<std::size_t>(
+        config.getInt("frames", smoke ? 32 : 256));
+    const std::string out_path =
+        config.getString("out", "BENCH_dataflow.json");
+
+    const PlatformModel model;
+    const SovPipelineConfig pipe_config;
+    const AcceleratorModel accel;
+
+    std::printf("=== Dataflow execution models (Fig. 5 pipeline, "
+                "mean timings) ===\n\n");
+
+    bench::BenchReport report("dataflow");
+    report.setSmoke(smoke);
+    report.meta("frames", frames);
+
+    // ---- sequential: single-shot critical path ----------------------
+    runtime::StageGraph seq_graph = meanGraph(model, pipe_config);
+    runtime::RunOptions seq_opts;
+    seq_opts.frames = frames;
+    const runtime::RunResult seq =
+        runtime::DataflowExecutor::run(seq_graph, seq_opts);
+    const double seq_latency_ms = seq.frames.front().latency().toMillis();
+    const double seq_hz = seq.steadyStateThroughputHz();
+
+    // ---- pipelined: async self-paced admission ----------------------
+    runtime::StageGraph async_graph = meanGraph(model, pipe_config);
+    runtime::AsyncOptions async_opts;
+    async_opts.frames = frames;
+    async_opts.max_in_flight = 3;
+    const runtime::RunResult async_run =
+        runtime::DataflowExecutor::runAsync(async_graph, async_opts);
+    const double async_hz = async_run.steadyStateThroughputHz();
+    const double async_latency_ms =
+        async_run.frames.front().latency().toMillis();
+
+    // ---- accelerator-mapped: dedicated engines ----------------------
+    constexpr std::size_t kOverlap = 2;
+    runtime::StageGraph accel_graph;
+    buildFig5AcceleratorGraph(accel_graph, model, accel, pipe_config,
+                              kOverlap);
+    runtime::RunOptions accel_seq_opts;
+    accel_seq_opts.frames = frames;
+    const runtime::RunResult accel_seq =
+        runtime::DataflowExecutor::run(accel_graph, accel_seq_opts);
+    runtime::AsyncOptions accel_async_opts;
+    accel_async_opts.frames = frames;
+    accel_async_opts.max_in_flight = kOverlap;
+    const runtime::RunResult accel_async =
+        runtime::DataflowExecutor::runAsync(accel_graph, accel_async_opts);
+    const double accel_latency_ms =
+        accel_seq.frames.front().latency().toMillis();
+    const double accel_hz = accel_async.steadyStateThroughputHz();
+
+    // Perception energy per frame: time-shared platforms vs engines.
+    const double soc_energy_mj =
+        model.energy(TaskKind::DepthEstimation, pipe_config.scene_platform)
+            .toMillijoules() +
+        model.energy(TaskKind::Detection, pipe_config.scene_platform)
+            .toMillijoules() +
+        model
+            .energy(TaskKind::Localization,
+                    pipe_config.localization_platform)
+            .toMillijoules();
+    const double accel_energy_mj =
+        accel.stageEnergy(TaskKind::DepthEstimation, kOverlap, 4)
+            .toMillijoules() +
+        accel.stageEnergy(TaskKind::Detection, kOverlap, 4)
+            .toMillijoules() +
+        accel.stageEnergy(TaskKind::Localization, kOverlap, 4)
+            .toMillijoules();
+
+    struct ModeRow
+    {
+        const char *mode;
+        double latency_ms;
+        double throughput_hz;
+        double energy_mj;
+    };
+    const ModeRow rows[] = {
+        {"sequential", seq_latency_ms, seq_hz, soc_energy_mj},
+        {"pipelined-async", async_latency_ms, async_hz, soc_energy_mj},
+        {"accelerator-mapped", accel_latency_ms, accel_hz,
+         accel_energy_mj},
+    };
+    for (const ModeRow &row : rows) {
+        std::printf("%-20s latency=%7.1f ms  throughput=%5.2f Hz  "
+                    "perception=%8.1f mJ/frame\n",
+                    row.mode, row.latency_ms, row.throughput_hz,
+                    row.energy_mj);
+        report.addRow("modes")
+            .set("mode", row.mode)
+            .set("latency_ms", row.latency_ms)
+            .set("throughput_hz", row.throughput_hz)
+            .set("perception_energy_mj", row.energy_mj);
+    }
+
+    // ---- gate: async-off bit-identical to the sync executor ---------
+    runtime::StageGraph sync_a = meanGraph(model, pipe_config);
+    runtime::StageGraph sync_b = meanGraph(model, pipe_config);
+    runtime::RunOptions sync_opts;
+    sync_opts.frames = smoke ? 16 : 64;
+    runtime::AsyncOptions off_opts;
+    off_opts.frames = sync_opts.frames;
+    off_opts.overlap = false;
+    const std::uint64_t sync_fp =
+        runtime::DataflowExecutor::run(sync_a, sync_opts).fingerprint();
+    const std::uint64_t off_fp =
+        runtime::DataflowExecutor::runAsync(sync_b, off_opts)
+            .fingerprint();
+    report.meta("sync_fingerprint", bench::hex(sync_fp));
+    report.gate("sync_equivalence", sync_fp == off_fp,
+                "overlap-off async schedule == single-shot schedule, "
+                "bit for bit");
+
+    // ---- gate: pipelined throughput floor ---------------------------
+    const double speedup = seq_hz > 0.0 ? async_hz / seq_hz : 0.0;
+    std::printf("\nasync speedup over single-shot: %.2fx\n", speedup);
+    report.meta("async_speedup", speedup);
+    report.gate("pipelined_speedup", speedup >= 1.5,
+                "self-paced async must reach 1.5x single-shot "
+                "throughput on Fig. 5");
+
+    // ---- gate: fingerprints thread-count independent ----------------
+    const std::size_t fp_frames = smoke ? 16 : 48;
+    constexpr std::size_t kJobs = 4;
+    std::vector<std::uint64_t> combined;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::uint64_t> fps(kJobs, 0);
+        pool.parallelFor(kJobs, [&](std::size_t j) {
+            SovPipelineConfig cfg = pipe_config;
+            // Vary the mapping per job so the sweep is not one graph
+            // repeated four times.
+            cfg.radar_tracking = (j % 2) == 0;
+            fps[j] = asyncFingerprint(model, cfg, fp_frames + j);
+        });
+        combined.push_back(
+            bench::fnv1a(fps.data(), fps.size() * sizeof(fps[0])));
+    }
+    const bool thread_independent = combined[0] == combined[1] &&
+                                    combined[1] == combined[2];
+    report.meta("async_fingerprint", bench::hex(combined[0]));
+    report.gate("thread_independent", thread_independent,
+                "async schedule fingerprints identical on 1/2/8 pool "
+                "threads");
+
+    // ---- gate: zero steady-state allocations + payload integrity ----
+    constexpr std::size_t kWindow = 2;
+    runtime::FramePayloadRing ring(kWindow);
+    std::uint64_t mismatches_warm = 0;
+    std::uint64_t mismatches_steady = 0;
+    // Warmup run: the ring's arenas and the executor's pools size
+    // themselves.
+    payloadRun(ring, smoke ? 8 : 16, kWindow, mismatches_warm);
+    const std::size_t ring_allocs_warm = ring.systemAllocations();
+    // Steady run on the warmed ring: no new system allocations, no
+    // container growth after the fresh executor's own warmup, and no
+    // cross-frame payload corruption.
+    const runtime::RunResult steady =
+        payloadRun(ring, frames, kWindow, mismatches_steady);
+    const std::size_t ring_allocs_steady = ring.systemAllocations();
+    const bool zero_alloc = steady.steady_growth_events == 0 &&
+                            ring_allocs_steady == ring_allocs_warm &&
+                            mismatches_warm == 0 &&
+                            mismatches_steady == 0;
+    std::printf("payload ring: allocs warm=%zu steady=%zu  "
+                "core growths post-warmup=%llu  mismatches=%llu\n",
+                ring_allocs_warm, ring_allocs_steady,
+                static_cast<unsigned long long>(
+                    steady.steady_growth_events),
+                static_cast<unsigned long long>(mismatches_warm +
+                                                mismatches_steady));
+    report.addRow("steady_state")
+        .set("ring_system_allocs", ring_allocs_steady)
+        .set("core_growth_events", steady.growth_events)
+        .set("steady_growth_events", steady.steady_growth_events)
+        .set("payload_mismatches",
+             mismatches_warm + mismatches_steady);
+    report.gate("zero_steady_state_alloc", zero_alloc,
+                "warm async frames must allocate nothing and never "
+                "corrupt a double-buffered payload");
+
+    return report.write(out_path);
+}

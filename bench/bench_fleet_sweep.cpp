@@ -182,6 +182,47 @@ main(int argc, char **argv)
         report_out.extra("aggregate", agg.str());
     }
     report_out.attachMetrics(reference_metrics);
+
+    // ---- pipeline modes: sync window (1 frame) vs async overlap -----
+    // The same scenario slice under the supervised stack with the
+    // pipeline admission window forced to 1 (every overlapping frame
+    // is shed) and at its async default of 3 (cross-frame overlap).
+    std::printf("\n%-14s %16s %14s %14s %12s\n", "pipeline", "scenarios/sec",
+                "frames_drop", "latency p50", "avail p50");
+    for (const StackPreset &stack :
+         {syncPipelineStack(), supervisedStack()}) {
+        ScenarioMatrix modes;
+        for (const WorldPreset &w : matrix.worlds())
+            modes.addWorld(w);
+        modes.addFault(noFaultPreset());
+        modes.addStack(stack);
+        modes.addSeed(seed);
+        FleetRunner runner(FleetConfig{max_threads, seed});
+        const FleetReport mode_report = runner.run(modes.enumerate());
+        const FleetTiming &t = runner.lastTiming();
+        const FleetAggregate &ma = mode_report.aggregate();
+        const char *mode =
+            stack.loop.max_frames_in_flight == 1 ? "sync" : "async";
+        const double latency_p50 =
+            ma.pipeline_mean_ms_digest.quantile(0.50);
+        const double avail_p50 =
+            100.0 * ma.availability_digest.quantile(0.50);
+        std::printf("%-14s %16.1f %14llu %11.1f ms %11.1f%%\n", mode,
+                    t.scenarios_per_second,
+                    static_cast<unsigned long long>(ma.frames_dropped),
+                    latency_p50, avail_p50);
+        report_out.addRow("pipeline_modes")
+            .set("mode", mode)
+            .set("stack", stack.name)
+            .set("max_frames_in_flight",
+                 stack.loop.max_frames_in_flight)
+            .set("scenarios_per_sec", t.scenarios_per_second)
+            .set("frames_dropped", ma.frames_dropped)
+            .set("collisions", ma.collisions)
+            .set("latency_p50_ms", latency_p50)
+            .set("availability_p50", avail_p50);
+    }
+
     // The sweep's hard gate is determinism, not speedup: scaling is a
     // property of the machine, bit-identical aggregation is ours.
     report_out.gate("deterministic", deterministic,

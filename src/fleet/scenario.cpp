@@ -336,4 +336,13 @@ supervisedStack()
     return s;
 }
 
+StackPreset
+syncPipelineStack()
+{
+    StackPreset s = supervisedStack();
+    s.name = "sync-pipeline";
+    s.loop.max_frames_in_flight = 1;
+    return s;
+}
+
 } // namespace sov::fleet

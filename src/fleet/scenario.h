@@ -148,4 +148,11 @@ StackPreset bareStack();
  *  watchdogs (the "supervised" column). */
 StackPreset supervisedStack();
 
+/** Supervised stack with the pipeline admission window forced to one
+ *  frame: no cross-frame overlap, every planning cycle that would
+ *  pipeline sheds its frame instead. The synchronous baseline of the
+ *  bench_fleet_sweep pipeline-modes comparison (the supervised stack's
+ *  default window of 3 is the async column). */
+StackPreset syncPipelineStack();
+
 } // namespace sov::fleet

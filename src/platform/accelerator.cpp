@@ -1,0 +1,85 @@
+#include "platform/accelerator.h"
+
+#include "core/logging.h"
+#include "platform/calibration.h"
+
+namespace sov {
+
+AcceleratorConfig
+AcceleratorConfig::calibrated()
+{
+    AcceleratorConfig config;
+    config.issue_latency = Duration::micros(
+        static_cast<std::int64_t>(calibration::kAccelIssueUs));
+    config.onchip_buffer_bytes =
+        static_cast<std::size_t>(calibration::kAccelOnchipBytes);
+    config.dram_bytes_per_sec = calibration::kAccelDramBytesPerSec;
+    config.engine_power = Power::watts(calibration::kAccelEnginePowerW);
+    config.dram_joules_per_byte =
+        calibration::kAccelDramPjPerByte * 1e-12;
+    return config;
+}
+
+AccelStageProfile
+AcceleratorModel::profile(TaskKind task) const
+{
+    const auto i = static_cast<std::size_t>(task);
+    SOV_ASSERT(i < 7);
+    AccelStageProfile p;
+    p.compute = Duration::millisF(calibration::kAccelComputeMs[i]);
+    p.working_set_bytes = static_cast<std::size_t>(
+        calibration::kAccelWorkingSetMib[i] * 1024.0 * 1024.0);
+    return p;
+}
+
+std::size_t
+AcceleratorModel::spilledBytes(const AccelStageProfile &profile,
+                               std::size_t frames_resident,
+                               std::size_t engines) const
+{
+    SOV_ASSERT(frames_resident > 0 && engines > 0);
+    const std::size_t capacity = config_.onchip_buffer_bytes / engines;
+    const std::size_t resident = profile.working_set_bytes * frames_resident;
+    return resident > capacity ? resident - capacity : 0;
+}
+
+Duration
+AcceleratorModel::spillPenalty(const AccelStageProfile &profile,
+                               std::size_t frames_resident,
+                               std::size_t engines) const
+{
+    const std::size_t spilled =
+        spilledBytes(profile, frames_resident, engines);
+    if (spilled == 0)
+        return Duration::zero();
+    // Round trip: the overflow is written out and read back once per
+    // invocation.
+    const double seconds = 2.0 * static_cast<double>(spilled) /
+                           config_.dram_bytes_per_sec;
+    return Duration::seconds(seconds);
+}
+
+Duration
+AcceleratorModel::stageLatency(TaskKind task, std::size_t frames_resident,
+                               std::size_t engines) const
+{
+    const AccelStageProfile p = profile(task);
+    return config_.issue_latency + p.compute +
+           spillPenalty(p, frames_resident, engines);
+}
+
+Energy
+AcceleratorModel::stageEnergy(TaskKind task, std::size_t frames_resident,
+                              std::size_t engines) const
+{
+    const AccelStageProfile p = profile(task);
+    const double compute_j =
+        p.compute.toSeconds() * config_.engine_power.toWatts();
+    const double dram_j =
+        2.0 *
+        static_cast<double>(spilledBytes(p, frames_resident, engines)) *
+        config_.dram_joules_per_byte;
+    return Energy::joules(compute_j + dram_j);
+}
+
+} // namespace sov

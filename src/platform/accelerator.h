@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Calibrated dataflow-accelerator timing/energy model.
+ *
+ * The companion dataflow-accelerator work (arxiv 2109.07047) maps each
+ * pipeline stage to a dedicated spatial engine: stages no longer
+ * time-share one GPU, and successive frames stream through the engines
+ * in pipeline fashion. What bounds that design is not compute but the
+ * memory system, which this model captures with three calibrated
+ * quantities per stage invocation:
+ *
+ *  - issue latency: fixed per-launch cost (descriptor setup, DMA kick,
+ *    synchronization with the upstream engine) paid even by an empty
+ *    stage;
+ *  - compute time: the dataflow execution itself, assuming the stage's
+ *    working set is resident in on-chip SRAM;
+ *  - spill penalty: when the working sets of all concurrently resident
+ *    frames exceed the on-chip buffer capacity, the excess round-trips
+ *    DRAM at the (shared) DRAM bandwidth — the cost of running the
+ *    pipeline double-buffered.
+ *
+ * The model is deliberately deterministic (no jitter term): dedicated
+ * engines with static schedules are the companion paper's argument for
+ * tail-free latency, and the bench compares its fixed numbers against
+ * the jittery platform distributions of PlatformModel.
+ *
+ * Energy = compute time x engine power + spilled bytes x DRAM energy
+ * per byte, the usual first-order accelerator energy split.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "platform/platform_model.h"
+
+namespace sov {
+
+/** Accelerator fabric parameters (defaults from calibration.h). */
+struct AcceleratorConfig
+{
+    /** Per-launch engine issue latency (descriptor + DMA setup). */
+    Duration issue_latency;
+    /** On-chip SRAM shared by all engines' working sets. */
+    std::size_t onchip_buffer_bytes = 0;
+    /** DRAM bandwidth available to spills, bytes per second. */
+    double dram_bytes_per_sec = 0.0;
+    /** Active power of one engine while computing. */
+    Power engine_power;
+    /** DRAM energy per spilled byte (pJ/B scaled to joules). */
+    double dram_joules_per_byte = 0.0;
+
+    /** The calibrated default fabric. */
+    static AcceleratorConfig calibrated();
+};
+
+/** Calibrated cost of one stage on its dedicated engine. */
+struct AccelStageProfile
+{
+    /** Dataflow compute time with the working set on-chip. */
+    Duration compute;
+    /** Activation + weight footprint of one in-flight frame. */
+    std::size_t working_set_bytes = 0;
+};
+
+/**
+ * The dataflow-accelerator model: per-stage latency/energy as a
+ * function of how many frames are concurrently resident (the pipeline
+ * overlap depth). A first-class platform backend next to the SoC
+ * (PlatformModel) and RPR (RprEngine) models.
+ */
+class AcceleratorModel
+{
+  public:
+    explicit AcceleratorModel(
+        const AcceleratorConfig &config = AcceleratorConfig::calibrated())
+        : config_(config)
+    {
+    }
+
+    /** Calibrated engine profile of @p task (see calibration.h). */
+    AccelStageProfile profile(TaskKind task) const;
+
+    /**
+     * Bytes that do not fit on-chip when @p frames_resident frames keep
+     * @p profile's working set live simultaneously. The buffer is
+     * modeled as evenly partitioned across the pipeline's engines
+     * (@p engines sharing it), the static allocation a dataflow
+     * compiler would emit.
+     */
+    std::size_t spilledBytes(const AccelStageProfile &profile,
+                             std::size_t frames_resident,
+                             std::size_t engines) const;
+
+    /** DRAM round-trip time of the spill (write + read back). */
+    Duration spillPenalty(const AccelStageProfile &profile,
+                          std::size_t frames_resident,
+                          std::size_t engines) const;
+
+    /** issue + compute + spill for one invocation of @p task. */
+    Duration stageLatency(TaskKind task, std::size_t frames_resident,
+                          std::size_t engines) const;
+
+    /** Energy of one invocation (compute + DRAM traffic). */
+    Energy stageEnergy(TaskKind task, std::size_t frames_resident,
+                       std::size_t engines) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    AcceleratorConfig config_;
+};
+
+} // namespace sov

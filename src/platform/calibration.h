@@ -93,5 +93,32 @@ inline constexpr double kBitstreamBytes = 1.0e6; // ~1 MB per algorithm
 inline constexpr double kFeatureExtractionMs = 20.0;
 inline constexpr double kFeatureTrackingMs = 10.0;
 
+// --------------------------------------------------------------------
+// Dataflow accelerator (fitted to the companion dataflow-accelerator
+// design, arxiv 2109.07047: per-stage spatial engines, static
+// schedules, on-chip working sets). Engine compute times are fitted so
+// a dedicated engine modestly beats the discrete GPU's time-shared
+// kernels while drawing embedded-class power; the memory-system
+// constants are LPDDR4-class.
+// --------------------------------------------------------------------
+// Per-launch issue cost: descriptor setup + DMA kick + upstream sync.
+inline constexpr double kAccelIssueUs = 50.0;
+// On-chip SRAM shared by the engines (static per-engine partition).
+inline constexpr unsigned long long kAccelOnchipBytes =
+    32ull * 1024 * 1024;
+// DRAM bandwidth available to working-set spills (single LPDDR4
+// channel) and its access energy.
+inline constexpr double kAccelDramBytesPerSec = 12.8e9;
+inline constexpr double kAccelDramPjPerByte = 40.0;
+// Active power of one engine while computing.
+inline constexpr double kAccelEnginePowerW = 2.5;
+// Per-task engine compute time (ms) and one-frame working set (MiB),
+// indexed by TaskKind order: Sensing, DepthEstimation, Detection,
+// KcfTracking, Localization, MpcPlanning, EmPlanning.
+inline constexpr double kAccelComputeMs[7] = {8.0,  24.0, 28.0, 4.0,
+                                              12.0, 2.0,  40.0};
+inline constexpr double kAccelWorkingSetMib[7] = {4.0, 6.0,  7.0, 1.0,
+                                                  2.0, 0.25, 1.0};
+
 } // namespace calibration
 } // namespace sov

@@ -6,17 +6,65 @@
 
 namespace sov::runtime {
 
+namespace {
+
+/** FNV-1a over the 8 bytes of @p v. */
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 1099511628211ULL;
+    }
+}
+
+} // namespace
+
 double
 RunResult::steadyStateThroughputHz() const
 {
-    if (frames.size() < 4)
+    const std::vector<Timestamp> *times = &finish_times;
+    std::vector<Timestamp> from_traces;
+    if (times->empty()) {
+        from_traces.reserve(frames.size());
+        for (const auto &frame : frames)
+            from_traces.push_back(frame.finish);
+        times = &from_traces;
+    }
+    if (times->size() < 4)
         return 0.0;
-    const std::size_t half = frames.size() / 2;
+    const std::size_t half = times->size() / 2;
     const double seconds =
-        (frames.back().finish - frames[half].finish).toSeconds();
+        (times->back() - (*times)[half]).toSeconds();
     if (seconds <= 0.0)
         return 0.0;
-    return static_cast<double>(frames.size() - 1 - half) / seconds;
+    return static_cast<double>(times->size() - 1 - half) / seconds;
+}
+
+std::uint64_t
+RunResult::fingerprint() const
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const auto &frame : frames) {
+        fnvMix(h, frame.frame);
+        fnvMix(h, static_cast<std::uint64_t>(frame.release.ns()));
+        fnvMix(h, static_cast<std::uint64_t>(frame.finish.ns()));
+        fnvMix(h, (frame.deadline_missed ? 1u : 0u) |
+                      (frame.failed ? 2u : 0u));
+        fnvMix(h, frame.failed ? frame.failed_stage : 0u);
+        for (const auto &span : frame.spans) {
+            fnvMix(h, span.stage);
+            fnvMix(h, static_cast<std::uint64_t>(span.ready.ns()));
+            fnvMix(h, static_cast<std::uint64_t>(span.start.ns()));
+            fnvMix(h, static_cast<std::uint64_t>(span.finish.ns()));
+            fnvMix(h, span.attempts);
+            fnvMix(h, (span.timed_out ? 1u : 0u) |
+                          (span.crashed ? 2u : 0u));
+        }
+    }
+    for (const Timestamp t : finish_times)
+        fnvMix(h, static_cast<std::uint64_t>(t.ns()));
+    return h;
 }
 
 void
@@ -35,25 +83,28 @@ RunResult::emit(const StageGraph &graph, obs::MetricRegistry &metrics) const
 }
 
 DataflowExecutor::DataflowExecutor(Simulator &sim, StageGraph &graph)
-    : sim_(sim), graph_(graph)
+    : sim_(sim), graph_(graph), core_(graph)
 {
-    SOV_ASSERT(graph_.size() > 0);
 }
 
 void
-DataflowExecutor::attachTrace(obs::TraceRecorder *recorder)
+DataflowExecutor::attachTrace(obs::TraceRecorder *recorder,
+                              bool emit_in_flight)
 {
     recorder_ = recorder;
+    trace_in_flight_ = recorder && emit_in_flight;
     if (!recorder_)
         return;
-    // Intern once: per-frame emission must stay allocation-free.
+    // Intern once: per-frame emission must stay allocation-free. Intern
+    // in stage order (name then resource per stage) so id numbering is
+    // independent of the lane layout.
     trace_ids_.stage_names.clear();
-    trace_ids_.stage_tracks.clear();
+    trace_ids_.lane_tracks.assign(core_.laneCount(), 0);
     for (StageId s = 0; s < graph_.size(); ++s) {
         trace_ids_.stage_names.push_back(
             recorder_->intern(graph_.stage(s).name));
-        trace_ids_.stage_tracks.push_back(
-            recorder_->intern(graph_.stage(s).resource));
+        trace_ids_.lane_tracks[core_.laneOf(s)] =
+            recorder_->intern(graph_.stage(s).resource);
     }
     trace_ids_.cat_stage = recorder_->intern("stage");
     trace_ids_.cat_frame = recorder_->intern("frame");
@@ -66,6 +117,8 @@ DataflowExecutor::attachTrace(obs::TraceRecorder *recorder)
     trace_ids_.stage_timeout = recorder_->intern("stage_timeout");
     trace_ids_.stage_crash = recorder_->intern("stage_crash");
     trace_ids_.stage_retry = recorder_->intern("stage_retry");
+    if (trace_in_flight_)
+        trace_ids_.in_flight = recorder_->intern("frames_in_flight");
 }
 
 void
@@ -78,8 +131,8 @@ DataflowExecutor::traceFrame(const FrameTrace &trace)
             continue;
         recorder_->span(trace_ids_.stage_names[span.stage],
                         trace_ids_.cat_stage,
-                        trace_ids_.stage_tracks[span.stage], span.start,
-                        span.finish, span.frame);
+                        trace_ids_.lane_tracks[core_.laneOf(span.stage)],
+                        span.start, span.finish, span.frame);
     }
     recorder_->span(trace_ids_.frame_name, trace_ids_.cat_frame,
                     trace_ids_.track_pipeline, trace.release, trace.finish,
@@ -94,6 +147,16 @@ DataflowExecutor::traceFrame(const FrameTrace &trace)
                            trace_ids_.track_pipeline, trace.finish,
                            trace.frame);
     }
+}
+
+void
+DataflowExecutor::traceInFlight()
+{
+    if (!trace_in_flight_)
+        return;
+    recorder_->counter(trace_ids_.in_flight, trace_ids_.track_pipeline,
+                       sim_.now(),
+                       static_cast<double>(framesInFlight()));
 }
 
 void
@@ -121,50 +184,31 @@ std::size_t
 DataflowExecutor::releaseFrame(FrameCallback on_complete)
 {
     const std::size_t f = next_frame_++;
-    const Timestamp now = sim_.now();
-    const std::size_t n = graph_.size();
+    const std::uint32_t idx = core_.acquire(f, sim_.now());
+    core_.slot(idx).on_complete = std::move(on_complete);
+    traceInFlight();
 
-    FrameState state;
-    state.trace.frame = f;
-    state.trace.release = now;
-    state.trace.spans.resize(n);
-    state.deps_left.resize(n);
-    state.ready.resize(n);
-    state.stages_left = n;
-    state.on_complete = std::move(on_complete);
-
-    for (StageId s = 0; s < n; ++s) {
-        StageSpan &span = state.trace.spans[s];
-        span.stage = s;
-        span.frame = f;
-        span.released = now;
-        state.deps_left[s] = graph_.stage(s).deps.size();
-        state.ready[s] = state.deps_left[s] == 0;
-        if (state.ready[s])
-            span.ready = now;
-        resources_[graph_.stage(s).resource].queue.emplace_back(f, s);
-    }
-    in_flight_.emplace(f, std::move(state));
-
-    for (auto &[name, resource] : resources_)
-        tryDispatch(resource);
+    for (std::uint32_t lane = 0; lane < core_.laneCount(); ++lane)
+        tryDispatch(lane);
     return f;
 }
 
 void
-DataflowExecutor::tryDispatch(ResourceState &resource)
+DataflowExecutor::tryDispatch(std::uint32_t lane)
 {
-    if (resource.busy || resource.queue.empty())
+    if (core_.laneBusy(lane) || core_.laneQueue(lane).empty())
         return;
     // In-order issue: only the head may start; a ready instance behind
     // an unready one waits (static per-resource schedule).
-    const auto [f, s] = resource.queue.front();
-    FrameState &state = in_flight_.at(f);
-    if (!state.ready[s])
+    const Instance head = core_.laneQueue(lane).front();
+    FrameSlot &slot = core_.slot(head.slot);
+    const StageId s = head.stage;
+    if (!slot.ready[s])
         return;
+    const std::uint64_t f = slot.frame;
 
-    resource.busy = true;
-    StageSpan &span = state.trace.spans[s];
+    core_.setLaneBusy(lane, true);
+    StageSpan &span = slot.trace.spans[s];
     span.start = sim_.now();
 
     // Supervised execution: attempts run back to back in model time
@@ -199,7 +243,7 @@ DataflowExecutor::tryDispatch(ResourceState &resource)
             recorder_->instant(timed_out ? trace_ids_.stage_timeout
                                          : trace_ids_.stage_crash,
                                trace_ids_.cat_fault,
-                               trace_ids_.stage_tracks[s],
+                               trace_ids_.lane_tracks[lane],
                                span.start + elapsed, f);
         }
         if (health_)
@@ -212,61 +256,59 @@ DataflowExecutor::tryDispatch(ResourceState &resource)
         if (recorder_) {
             recorder_->instant(trace_ids_.stage_retry,
                                trace_ids_.cat_fault,
-                               trace_ids_.stage_tracks[s],
+                               trace_ids_.lane_tracks[lane],
                                span.start + elapsed, f);
         }
     }
     span.attempts = attempts;
     span.finish = span.start + elapsed;
-    sim_.schedule(elapsed, [this, &resource, f = f, s = s,
+    sim_.schedule(elapsed, [this, lane, idx = head.slot, f, s,
                             failed = attempt_failed] {
-        onStageFinish(resource, f, s, failed);
+        onStageFinish(lane, idx, f, s, failed);
     });
 }
 
 void
-DataflowExecutor::onStageFinish(ResourceState &resource, std::size_t frame,
-                                StageId stage, bool stage_failed)
+DataflowExecutor::onStageFinish(std::uint32_t lane, std::uint32_t slot_idx,
+                                std::uint64_t frame, StageId stage,
+                                bool stage_failed)
 {
-    resource.busy = false;
-    resource.queue.pop_front();
+    core_.setLaneBusy(lane, false);
+    core_.laneQueue(lane).pop();
 
-    const auto frame_it = in_flight_.find(frame);
-    if (frame_it == in_flight_.end()) {
-        // The frame was abandoned while this instance was running.
-        tryDispatch(resource);
+    FrameSlot &slot = core_.slot(slot_idx);
+    if (!slot.active || slot.frame != frame) {
+        // The frame was abandoned (and the slot possibly re-acquired by
+        // a later frame) while this instance was running.
+        tryDispatch(lane);
         return;
     }
     if (stage_failed) {
-        failFrame(frame, stage);
-        tryDispatch(resource);
+        failFrame(slot_idx, stage);
+        tryDispatch(lane);
         return;
     }
 
-    FrameState &state = frame_it->second;
     for (StageId dep : graph_.dependents(stage)) {
-        SOV_ASSERT(state.deps_left[dep] > 0);
-        if (--state.deps_left[dep] == 0) {
-            state.ready[dep] = true;
-            state.trace.spans[dep].ready = sim_.now();
-            tryDispatch(resources_.at(graph_.stage(dep).resource));
+        SOV_ASSERT(slot.deps_left[dep] > 0);
+        if (--slot.deps_left[dep] == 0) {
+            slot.ready[dep] = true;
+            slot.trace.spans[dep].ready = sim_.now();
+            tryDispatch(core_.laneOf(dep));
         }
     }
 
-    SOV_ASSERT(state.stages_left > 0);
-    if (--state.stages_left == 0)
-        completeFrame(frame);
-    tryDispatch(resource);
+    SOV_ASSERT(slot.stages_left > 0);
+    if (--slot.stages_left == 0)
+        completeFrame(slot_idx);
+    tryDispatch(lane);
 }
 
 void
-DataflowExecutor::completeFrame(std::size_t frame)
+DataflowExecutor::completeFrame(std::uint32_t slot_idx)
 {
-    const auto it = in_flight_.find(frame);
-    FrameTrace trace = std::move(it->second.trace);
-    FrameCallback on_complete = std::move(it->second.on_complete);
-    in_flight_.erase(it);
-
+    FrameSlot &slot = core_.slot(slot_idx);
+    FrameTrace &trace = slot.trace;
     trace.finish = sim_.now();
     if (deadline_ && trace.latency() > *deadline_) {
         trace.deadline_missed = true;
@@ -285,37 +327,31 @@ DataflowExecutor::completeFrame(std::size_t frame)
     }
     if (recorder_)
         traceFrame(trace);
+    traceInFlight();
     if (health_)
         health_->onFrameCompleted(trace);
     if (keep_traces_)
-        traces_.push_back(std::move(trace));
+        traces_.push_back(trace); // copy: the slot keeps its capacity
+    FrameCallback on_complete = std::move(slot.on_complete);
     if (on_complete)
         on_complete(keep_traces_ ? traces_.back() : trace);
+    // Recycle after the callback: a release triggered from it cannot
+    // re-acquire this slot, so the trace reference above stays valid.
+    core_.recycle(slot_idx);
 }
 
 void
-DataflowExecutor::failFrame(std::size_t frame, StageId stage)
+DataflowExecutor::failFrame(std::uint32_t slot_idx, StageId stage)
 {
-    const auto it = in_flight_.find(frame);
-    SOV_ASSERT(it != in_flight_.end());
-    FrameTrace trace = std::move(it->second.trace);
-    FrameCallback on_complete = std::move(it->second.on_complete);
-    in_flight_.erase(it);
+    FrameSlot &slot = core_.slot(slot_idx);
+    SOV_ASSERT(slot.active);
 
     // Cancel queued-but-not-started instances of the frame; a running
     // instance (the busy head of a lane) keeps its slot and is
     // discarded when its finish event fires.
-    for (auto &[name, resource] : resources_) {
-        (void)name;
-        auto &q = resource.queue;
-        const auto keep = q.begin() + (resource.busy ? 1 : 0);
-        q.erase(std::remove_if(keep, q.end(),
-                               [frame](const auto &inst) {
-                                   return inst.first == frame;
-                               }),
-                q.end());
-    }
+    core_.cancelQueued(slot_idx);
 
+    FrameTrace &trace = slot.trace;
     trace.finish = sim_.now();
     trace.failed = true;
     trace.failed_stage = stage;
@@ -325,12 +361,15 @@ DataflowExecutor::failFrame(std::size_t frame, StageId stage)
         metrics_->incr("frames_failed");
     if (recorder_)
         traceFrame(trace);
+    traceInFlight();
     if (health_)
         health_->onFrameFailed(trace);
     if (keep_traces_)
-        traces_.push_back(std::move(trace));
+        traces_.push_back(trace); // copy: the slot keeps its capacity
+    FrameCallback on_complete = std::move(slot.on_complete);
     if (on_complete)
         on_complete(keep_traces_ ? traces_.back() : trace);
+    core_.recycle(slot_idx);
 }
 
 RunResult
@@ -377,8 +416,98 @@ DataflowExecutor::run(StageGraph &graph, const RunOptions &opts)
     SOV_ASSERT(exec.framesCompleted() == opts.frames);
     RunResult result;
     result.frames = std::move(exec.traces_);
+    result.finish_times.reserve(result.frames.size());
+    for (const auto &frame : result.frames)
+        result.finish_times.push_back(frame.finish);
     result.deadline_misses = exec.deadlineMisses();
     result.frames_failed = exec.framesFailed();
+    result.growth_events = exec.coreGrowthEvents();
+    return result;
+}
+
+RunResult
+DataflowExecutor::runAsync(StageGraph &graph, const AsyncOptions &opts)
+{
+    Simulator sim;
+    DataflowExecutor exec(sim, graph);
+    exec.setDeadline(opts.deadline);
+    exec.setKeepTraces(opts.keep_traces);
+    if (opts.trace)
+        exec.attachTrace(opts.trace, /*emit_in_flight=*/true);
+
+    RunResult result;
+    result.finish_times.reserve(opts.frames);
+
+    // Admission-windowed release: a frame enters only while fewer than
+    // `window` frames are in flight. overlap=false forces the window to
+    // 1, which (with a zero period) reproduces single-shot scheduling
+    // bit for bit.
+    const std::size_t window =
+        opts.overlap ? std::max<std::size_t>(std::size_t{1},
+                                             opts.max_in_flight)
+                     : 1;
+    // Steady state begins once the window has cycled a few times; any
+    // container growth after this many completions is a leak in the
+    // recycling design (the bench gate).
+    const std::size_t warmup =
+        std::max<std::size_t>(2 * window, std::size_t{4});
+    std::uint64_t warmup_growth = 0;
+
+    struct AsyncDriver
+    {
+        DataflowExecutor &exec;
+        RunResult &result;
+        std::size_t total;
+        std::size_t window;
+        std::size_t warmup;
+        std::uint64_t &warmup_growth;
+        bool self_paced; //!< zero period: release whenever there is room
+        std::size_t released = 0;
+        std::size_t due = 0; //!< frames whose release tick has passed
+
+        void
+        pump()
+        {
+            while (released < total &&
+                   (self_paced || released < due) &&
+                   exec.framesInFlight() < window) {
+                ++released;
+                exec.releaseFrame([this](const FrameTrace &trace) {
+                    result.finish_times.push_back(trace.finish);
+                    if (result.finish_times.size() == warmup)
+                        warmup_growth = exec.coreGrowthEvents();
+                    // Backpressure release: the retirement that freed
+                    // this window slot admits the next due frame.
+                    pump();
+                });
+            }
+        }
+    };
+    AsyncDriver driver{exec,   result,       opts.frames,
+                       window, warmup,       warmup_growth,
+                       opts.period <= Duration::zero()};
+    if (driver.self_paced) {
+        driver.pump();
+    } else {
+        for (std::size_t f = 0; f < opts.frames; ++f) {
+            sim.scheduleAt(Timestamp::origin() +
+                               opts.period * static_cast<double>(f),
+                           [&driver] {
+                               ++driver.due;
+                               driver.pump();
+                           });
+        }
+    }
+    sim.run();
+
+    SOV_ASSERT(exec.framesCompleted() == opts.frames);
+    result.frames = std::move(exec.traces_);
+    result.deadline_misses = exec.deadlineMisses();
+    result.frames_failed = exec.framesFailed();
+    result.growth_events = exec.coreGrowthEvents();
+    result.steady_growth_events =
+        opts.frames > warmup ? result.growth_events - warmup_growth
+                             : 0;
     return result;
 }
 

@@ -11,17 +11,32 @@
  * pipeline: instance f+1 of a stage may start while downstream stages
  * of frame f are still in flight.
  *
+ * The arbitration state (resource lanes, recycled frame slots, payload
+ * double-buffers) lives in runtime/sched_core.h; this front end adds
+ * supervision (watchdog timeouts, retries, frame abandonment),
+ * observability (metric streams, trace spans) and the release
+ * strategies:
+ *
+ *  - single-shot (RunOptions, period 0): frame f+1 releases when f
+ *    completes — the resource-constrained critical path (Fig. 10);
+ *  - pipelined (RunOptions, period > 0): frame f releases at f*period
+ *    unconditionally — throughput under a fixed input rate;
+ *  - asynchronous pipeline-parallel (AsyncOptions / runAsync): frames
+ *    release on a period *under an admission window*, so frame N+1's
+ *    sensing overlaps frame N's perception across lanes while the
+ *    in-flight count — and therefore the payload double-buffer depth —
+ *    stays bounded, and steady state allocates nothing.
+ *
  * Per stage instance the executor records a StageSpan (release / ready
  * / start / finish, hence queueing delay = start - ready), and per
- * frame a deadline verdict, giving the three characterizations of the
- * same graph: single-shot latency, pipelined throughput, and
- * closed-loop timing — the paper's Fig. 5 pipeline measured as in
- * Fig. 10, Sec. III-A, and Sec. IV/V-C respectively.
+ * frame a deadline verdict, giving the characterizations of the same
+ * graph: single-shot latency, pipelined throughput, and closed-loop
+ * timing — the paper's Fig. 5 pipeline measured as in Fig. 10,
+ * Sec. III-A, and Sec. IV/V-C respectively.
  */
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -29,49 +44,11 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/sched_core.h"
 #include "runtime/stage_graph.h"
 #include "sim/simulator.h"
 
 namespace sov::runtime {
-
-/** Timing of one executed stage instance. */
-struct StageSpan
-{
-    StageId stage = 0;
-    std::size_t frame = 0;
-    Timestamp released; //!< frame release (sensor trigger) time
-    Timestamp ready;    //!< all dependencies satisfied
-    Timestamp start;    //!< resource granted, execution begins
-    Timestamp finish;
-    /** Executor invocations (1 + retries taken by the watchdog). */
-    std::uint32_t attempts = 1;
-    /** Final attempt was truncated by the watchdog timeout. */
-    bool timed_out = false;
-    /** Final attempt crashed (fault injection). */
-    bool crashed = false;
-
-    /** Time spent waiting for the resource after becoming ready. */
-    Duration queueing() const { return start - ready; }
-    Duration duration() const { return finish - start; }
-};
-
-/** Timing of one completed frame. */
-struct FrameTrace
-{
-    std::size_t frame = 0;
-    Timestamp release;
-    Timestamp finish;
-    bool deadline_missed = false;
-    /** A stage exhausted its watchdog retries; the frame was abandoned
-     *  (downstream stages cancelled) and produced no result. */
-    bool failed = false;
-    /** The stage that abandoned the frame (valid when failed). */
-    StageId failed_stage = 0;
-    /** spans[s] = span of stage s; indexed by StageId. */
-    std::vector<StageSpan> spans;
-
-    Duration latency() const { return finish - release; }
-};
 
 /**
  * Watchdog policy for one stage: how the runtime supervises the
@@ -129,12 +106,51 @@ struct RunOptions
     obs::TraceRecorder *trace = nullptr;
 };
 
+/** Options for an asynchronous pipeline-parallel batch run. */
+struct AsyncOptions
+{
+    std::size_t frames = 1;
+    /**
+     * Release cadence. Zero = self-paced: a frame releases the moment
+     * the admission window has room, so the pipeline saturates at the
+     * bottleneck lane's rate. Positive = frame f is *due* at f*period
+     * but still waits for admission (backpressure defers it to the
+     * completion that frees a slot).
+     */
+    Duration period = Duration::zero();
+    /**
+     * Admission window: maximum frames in flight, i.e. the payload
+     * double-buffer depth. 2 = classic double buffering (frame N+1
+     * sensing while frame N perceives).
+     */
+    std::size_t max_in_flight = 2;
+    /** False forces the window to 1 — no cross-frame overlap. With a
+     *  zero period this reproduces single-shot mode bit for bit (the
+     *  sync-equivalence gate of bench_dataflow). */
+    bool overlap = true;
+    /** Per-frame deadline measured from release; unset = no deadline. */
+    std::optional<Duration> deadline;
+    /** Stream stage spans into this recorder (not owned; optional). */
+    obs::TraceRecorder *trace = nullptr;
+    /** Retain FrameTraces in the result. Off = the zero-allocation
+     *  configuration: finish times and counters only. */
+    bool keep_traces = true;
+};
+
 /** Result of a batch run. */
 struct RunResult
 {
     std::vector<FrameTrace> frames; //!< in completion (== frame) order
+    /** Completion time per frame, kept even when traces are not. */
+    std::vector<Timestamp> finish_times;
     std::uint64_t deadline_misses = 0;
     std::uint64_t frames_failed = 0; //!< abandoned by the watchdog
+    /** Scheduler-core container growths during the run (see
+     *  SchedulerCore::growthEvents()). */
+    std::uint64_t growth_events = 0;
+    /** Growths after the warmup prefix of an async run — the
+     *  zero-steady-state-allocation gate reads exactly this. */
+    std::uint64_t steady_growth_events = 0;
 
     const StageSpan &span(std::size_t frame, StageId stage) const
     {
@@ -147,6 +163,10 @@ struct RunResult
      */
     double steadyStateThroughputHz() const;
 
+    /** FNV-1a over every span timestamp/flag of every kept frame —
+     *  the bit-identity fingerprint of a schedule. */
+    std::uint64_t fingerprint() const;
+
     /** Record per-stage durations, per-stage "queue:<name>" delays and
      *  end-to-end totals into @p metrics. */
     void emit(const StageGraph &graph, obs::MetricRegistry &metrics) const;
@@ -155,18 +175,21 @@ struct RunResult
 /**
  * Event-driven executor binding one StageGraph to one Simulator.
  *
- * Two modes of use:
+ * Three modes of use:
  *  - releaseFrame() from your own event loop (the closed-loop sim
  *    releases one frame per planning cycle and transmits the actuation
  *    command from the completion callback);
  *  - the static run() convenience, which owns a private Simulator and
  *    releases a fixed number of frames (batch characterization and the
- *    TaskGraph scheduling front-end).
+ *    TaskGraph scheduling front-end);
+ *  - the static runAsync() convenience: admission-windowed pipeline
+ *    parallelism with recycled per-frame state (bench_dataflow and the
+ *    throughput side of the Fig. 5 characterizations).
  */
 class DataflowExecutor
 {
   public:
-    using FrameCallback = std::function<void(const FrameTrace &)>;
+    using FrameCallback = runtime::FrameCallback;
 
     DataflowExecutor(Simulator &sim, StageGraph &graph);
 
@@ -206,8 +229,13 @@ class DataflowExecutor
      * lane) plus frame spans and supervision instants into @p
      * recorder (nullptr detaches). Stage/resource names are interned
      * here, so per-frame emission stays allocation-free.
+     * @param emit_in_flight Also emit a "frames_in_flight" counter on
+     *        every release and retirement — the Perfetto view of the
+     *        async admission window. Off by default so existing traces
+     *        keep their exact event content.
      */
-    void attachTrace(obs::TraceRecorder *recorder);
+    void attachTrace(obs::TraceRecorder *recorder,
+                     bool emit_in_flight = false);
 
     /**
      * Release one frame at the current simulation time. Stage events
@@ -240,31 +268,22 @@ class DataflowExecutor
     /** Completed traces (empty when keep-traces is off). */
     const std::vector<FrameTrace> &traces() const { return traces_; }
 
+    /** Scheduler-core container growths (steady state: constant). */
+    std::uint64_t coreGrowthEvents() const { return core_.growthEvents(); }
+
     /** Run @p opts.frames frames of @p graph on a private Simulator. */
     static RunResult run(StageGraph &graph, const RunOptions &opts);
 
+    /** Asynchronous pipeline-parallel batch run of @p graph on a
+     *  private Simulator (see AsyncOptions). */
+    static RunResult runAsync(StageGraph &graph, const AsyncOptions &opts);
+
   private:
-    struct FrameState
-    {
-        FrameTrace trace;
-        std::vector<std::size_t> deps_left; //!< per stage
-        std::vector<char> ready;            //!< per stage
-        std::size_t stages_left = 0;
-        FrameCallback on_complete;
-    };
-
-    struct ResourceState
-    {
-        /** Pending (frame, stage) instances in issue order. */
-        std::deque<std::pair<std::size_t, StageId>> queue;
-        bool busy = false;
-    };
-
     /** Interned obs names, filled by attachTrace(). */
     struct TraceIds
     {
         std::vector<obs::NameId> stage_names; //!< per StageId
-        std::vector<obs::NameId> stage_tracks;
+        std::vector<obs::NameId> lane_tracks; //!< per lane
         obs::NameId cat_stage = 0;
         obs::NameId cat_frame = 0;
         obs::NameId cat_sched = 0;
@@ -276,24 +295,27 @@ class DataflowExecutor
         obs::NameId stage_timeout = 0;
         obs::NameId stage_crash = 0;
         obs::NameId stage_retry = 0;
+        obs::NameId in_flight = 0;
     };
 
-    void tryDispatch(ResourceState &resource);
-    void onStageFinish(ResourceState &resource, std::size_t frame,
-                       StageId stage, bool stage_failed);
-    void completeFrame(std::size_t frame);
-    void failFrame(std::size_t frame, StageId stage);
+    void tryDispatch(std::uint32_t lane);
+    void onStageFinish(std::uint32_t lane, std::uint32_t slot_idx,
+                       std::uint64_t frame, StageId stage,
+                       bool stage_failed);
+    void completeFrame(std::uint32_t slot_idx);
+    void failFrame(std::uint32_t slot_idx, StageId stage);
     const StagePolicy *policyFor(StageId stage) const;
     /** Emit the spans of a resolved frame into the recorder. */
     void traceFrame(const FrameTrace &trace);
+    void traceInFlight();
 
     Simulator &sim_;
     StageGraph &graph_;
-    std::map<std::string, ResourceState> resources_;
-    std::map<std::size_t, FrameState> in_flight_;
+    SchedulerCore core_;
     std::vector<FrameTrace> traces_;
     obs::MetricRegistry *metrics_ = nullptr;
     obs::TraceRecorder *recorder_ = nullptr;
+    bool trace_in_flight_ = false;
     TraceIds trace_ids_;
     DataflowHealthListener *health_ = nullptr;
     std::map<StageId, StagePolicy> policies_;

@@ -1,0 +1,169 @@
+#include "runtime/sched_core.h"
+
+#include "core/logging.h"
+
+namespace sov::runtime {
+
+void
+InstanceRing::grow()
+{
+    const std::size_t old_cap = buf_.size();
+    const std::size_t new_cap = old_cap ? old_cap * 2 : 8;
+    std::vector<Instance> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i)
+        next[i] = buf_[(head_ + i) & (old_cap - 1)];
+    buf_ = std::move(next);
+    head_ = 0;
+    ++growth_;
+}
+
+void
+InstanceRing::push(Instance inst)
+{
+    if (count_ == buf_.size())
+        grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = inst;
+    ++count_;
+}
+
+void
+InstanceRing::pop()
+{
+    SOV_ASSERT(count_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+}
+
+void
+InstanceRing::cancel(std::uint32_t slot, bool skip_head)
+{
+    const std::size_t mask = buf_.size() - 1;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Instance inst = buf_[(head_ + i) & mask];
+        if (inst.slot == slot && !(skip_head && i == 0))
+            continue;
+        buf_[(head_ + kept) & mask] = inst;
+        ++kept;
+    }
+    count_ = kept;
+}
+
+SchedulerCore::SchedulerCore(const StageGraph &graph) : graph_(graph)
+{
+    SOV_ASSERT(graph.size() > 0);
+    stage_lane_.reserve(graph.size());
+    for (StageId s = 0; s < graph.size(); ++s) {
+        const std::string &resource = graph.stage(s).resource;
+        std::uint32_t lane = 0;
+        for (; lane < lane_names_.size(); ++lane) {
+            if (lane_names_[lane] == resource)
+                break;
+        }
+        if (lane == lane_names_.size()) {
+            lane_names_.push_back(resource);
+            lanes_.emplace_back();
+        }
+        stage_lane_.push_back(lane);
+    }
+}
+
+std::uint32_t
+SchedulerCore::acquire(std::uint64_t frame, Timestamp now)
+{
+    if (free_.empty()) {
+        slots_.push_back(std::make_unique<FrameSlot>());
+        free_.push_back(static_cast<std::uint32_t>(slots_.size() - 1));
+        ++slot_growth_;
+    }
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+
+    const std::size_t n = graph_.size();
+    FrameSlot &slot = *slots_[idx];
+    slot.frame = frame;
+    slot.active = true;
+    // Reset scalar fields in place: assigning a fresh FrameTrace would
+    // move an empty spans vector in and throw the recycled capacity
+    // away — the one allocation this pool exists to avoid.
+    slot.trace.frame = frame;
+    slot.trace.release = now;
+    slot.trace.finish = Timestamp{};
+    slot.trace.deadline_missed = false;
+    slot.trace.failed = false;
+    slot.trace.failed_stage = 0;
+    slot.trace.spans.resize(n);
+    slot.deps_left.resize(n);
+    slot.ready.resize(n);
+    slot.stages_left = n;
+
+    for (StageId s = 0; s < n; ++s) {
+        StageSpan &span = slot.trace.spans[s];
+        span = StageSpan{};
+        span.stage = s;
+        span.frame = frame;
+        span.released = now;
+        slot.deps_left[s] =
+            static_cast<std::uint32_t>(graph_.stage(s).deps.size());
+        slot.ready[s] = slot.deps_left[s] == 0;
+        if (slot.ready[s])
+            span.ready = now;
+        lanes_[stage_lane_[s]].queue.push(
+            Instance{idx, static_cast<std::uint32_t>(s)});
+    }
+    return idx;
+}
+
+void
+SchedulerCore::recycle(std::uint32_t idx)
+{
+    FrameSlot &slot = *slots_[idx];
+    SOV_ASSERT(slot.active);
+    slot.active = false;
+    slot.on_complete = nullptr;
+    free_.push_back(idx);
+}
+
+void
+SchedulerCore::cancelQueued(std::uint32_t idx)
+{
+    for (Lane &lane : lanes_)
+        lane.queue.cancel(idx, lane.busy);
+}
+
+std::uint64_t
+SchedulerCore::growthEvents() const
+{
+    std::uint64_t growth = slot_growth_;
+    for (const Lane &lane : lanes_)
+        growth += lane.queue.growthEvents();
+    return growth;
+}
+
+FramePayloadRing::FramePayloadRing(std::size_t depth,
+                                   std::size_t first_block_bytes)
+{
+    SOV_ASSERT(depth > 0);
+    arenas_.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i)
+        arenas_.emplace_back(first_block_bytes);
+}
+
+FrameArena &
+FramePayloadRing::acquire(std::uint64_t frame)
+{
+    FrameArena &arena = slot(frame);
+    arena.reset();
+    return arena;
+}
+
+std::size_t
+FramePayloadRing::systemAllocations() const
+{
+    std::size_t total = 0;
+    for (const FrameArena &arena : arenas_)
+        total += arena.systemAllocations();
+    return total;
+}
+
+} // namespace sov::runtime

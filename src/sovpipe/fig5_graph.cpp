@@ -82,4 +82,55 @@ buildFig5Graph(runtime::StageGraph &graph, const PlatformModel &model,
     return ids;
 }
 
+Fig5Stages
+buildFig5AcceleratorGraph(runtime::StageGraph &graph,
+                          const PlatformModel &model,
+                          const AcceleratorModel &accel,
+                          const SovPipelineConfig &config,
+                          std::size_t overlap_depth)
+{
+    SOV_ASSERT(overlap_depth > 0);
+    // The on-chip buffer is statically partitioned across the four
+    // perception engines (depth, detection, tracking, localization).
+    constexpr std::size_t kEngines = 4;
+    const auto accelLatency = [&](TaskKind task) {
+        return accel.stageLatency(task, overlap_depth, kEngines);
+    };
+
+    Fig5Stages ids;
+    // Sensing stays on the sensor SoC (deterministic mean, as in the
+    // Mean-mode Fig. 5 graph).
+    ids.sensing = graph.addFixed(
+        "sensing", "sensor-fpga",
+        model.latency(TaskKind::Sensing, Platform::ZynqFpga).mean());
+    ids.depth = graph.addFixed("depth", "accel-depth",
+                               accelLatency(TaskKind::DepthEstimation),
+                               {ids.sensing});
+    ids.detection = graph.addFixed("detection", "accel-detect",
+                                   accelLatency(TaskKind::Detection),
+                                   {ids.sensing});
+    if (config.radar_tracking) {
+        // Radar tracking + spatial sync ~ 1 ms on the CPU (Sec. VI-B).
+        ids.tracking = graph.addFixed("tracking", "cpu",
+                                      Duration::millisF(1.0),
+                                      {ids.detection});
+    } else {
+        ids.tracking = graph.addFixed("tracking", "accel-track",
+                                      accelLatency(TaskKind::KcfTracking),
+                                      {ids.detection});
+    }
+    ids.localization = graph.addFixed(
+        "localization", "accel-loc",
+        accelLatency(TaskKind::Localization), {ids.sensing});
+    ids.planning = graph.addFixed(
+        "planning", "cpu",
+        model.latency(config.planner == PlannerKind::LaneMpc
+                          ? TaskKind::MpcPlanning
+                          : TaskKind::EmPlanning,
+                      Platform::CoffeeLakeCpu)
+            .mean(),
+        {ids.depth, ids.tracking, ids.localization});
+    return ids;
+}
+
 } // namespace sov

@@ -18,7 +18,10 @@
  */
 #pragma once
 
+#include <cstddef>
+
 #include "core/rng.h"
+#include "platform/accelerator.h"
 #include "platform/platform_model.h"
 #include "runtime/stage_graph.h"
 
@@ -66,5 +69,23 @@ Fig5Stages buildFig5Graph(runtime::StageGraph &graph,
                           const PlatformModel &model,
                           const SovPipelineConfig &config, Rng *rng,
                           Fig5Latency mode = Fig5Latency::Sampled);
+
+/**
+ * Accelerator-mapped variant of the same DAG: each perception stage
+ * runs on its own dedicated dataflow engine (lanes "accel-depth",
+ * "accel-detect", "accel-track", "accel-loc"), so depth and detection
+ * no longer serialize on a shared scene platform and successive frames
+ * stream through the engines. Stage durations are the deterministic
+ * AcceleratorModel latencies — issue + compute + the spill penalty of
+ * keeping @p overlap_depth frames' working sets resident. Sensing
+ * stays on the sensor SoC and planning on the CPU (analytic means), so
+ * the comparison against buildFig5Graph isolates the perception
+ * mapping.
+ */
+Fig5Stages buildFig5AcceleratorGraph(runtime::StageGraph &graph,
+                                     const PlatformModel &model,
+                                     const AcceleratorModel &accel,
+                                     const SovPipelineConfig &config,
+                                     std::size_t overlap_depth = 2);
 
 } // namespace sov

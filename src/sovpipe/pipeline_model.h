@@ -37,6 +37,10 @@ struct PipelineStats
     /** Histograms: sensing/perception/planning/total (milliseconds). */
     obs::MetricRegistry metrics;
     double throughput_hz = 0.0;
+    /** Throughput of the asynchronous pipeline-parallel mode: frames
+     *  admitted whenever the overlap window has room (self-paced), so
+     *  the bottleneck lane — not the release cadence — sets the rate. */
+    double async_throughput_hz = 0.0;
     Duration best_case;
     Duration mean;
     Duration p99;

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "platform/accelerator.h"
+#include "platform/calibration.h"
+
+namespace sov {
+namespace {
+
+TEST(Accelerator, CalibratedConfigMatchesConstants)
+{
+    const AcceleratorConfig c = AcceleratorConfig::calibrated();
+    EXPECT_DOUBLE_EQ(c.issue_latency.toMicros(),
+                     calibration::kAccelIssueUs);
+    EXPECT_EQ(c.onchip_buffer_bytes,
+              static_cast<std::size_t>(calibration::kAccelOnchipBytes));
+    EXPECT_DOUBLE_EQ(c.dram_bytes_per_sec,
+                     calibration::kAccelDramBytesPerSec);
+    EXPECT_DOUBLE_EQ(c.engine_power.toWatts(),
+                     calibration::kAccelEnginePowerW);
+}
+
+TEST(Accelerator, ProfileCoversEveryTask)
+{
+    const AcceleratorModel model;
+    for (int t = 0; t <= static_cast<int>(TaskKind::EmPlanning); ++t) {
+        const AccelStageProfile p =
+            model.profile(static_cast<TaskKind>(t));
+        EXPECT_GT(p.compute, Duration::zero());
+        EXPECT_GT(p.working_set_bytes, 0u);
+    }
+}
+
+TEST(Accelerator, NoSpillWhenWorkingSetFits)
+{
+    const AcceleratorModel model;
+    // Single-buffered depth (6 MiB) fits an 8 MiB engine partition.
+    const AccelStageProfile depth =
+        model.profile(TaskKind::DepthEstimation);
+    EXPECT_EQ(model.spilledBytes(depth, 1, 4), 0u);
+    EXPECT_EQ(model.spillPenalty(depth, 1, 4), Duration::zero());
+}
+
+TEST(Accelerator, DoubleBufferingSpillsTheOverflow)
+{
+    const AcceleratorModel model;
+    const AccelStageProfile depth =
+        model.profile(TaskKind::DepthEstimation);
+    const std::size_t capacity =
+        AcceleratorConfig::calibrated().onchip_buffer_bytes / 4;
+    const std::size_t expected = 2 * depth.working_set_bytes - capacity;
+    EXPECT_EQ(model.spilledBytes(depth, 2, 4), expected);
+    EXPECT_GT(model.spillPenalty(depth, 2, 4), Duration::zero());
+}
+
+TEST(Accelerator, StageLatencyIsIssuePlusComputePlusSpill)
+{
+    const AcceleratorModel model;
+    const AccelStageProfile depth =
+        model.profile(TaskKind::DepthEstimation);
+    const Duration lat =
+        model.stageLatency(TaskKind::DepthEstimation, 2, 4);
+    EXPECT_EQ(lat, model.config().issue_latency + depth.compute +
+                       model.spillPenalty(depth, 2, 4));
+    // Deeper overlap can only add memory pressure.
+    EXPECT_GE(model.stageLatency(TaskKind::DepthEstimation, 3, 4), lat);
+    EXPECT_GE(lat, model.stageLatency(TaskKind::DepthEstimation, 1, 4));
+}
+
+TEST(Accelerator, EnergyOrdersOfMagnitudeBelowGpu)
+{
+    const AcceleratorModel accel;
+    const PlatformModel soc;
+    // Dedicated engine vs time-shared discrete GPU: the engine's
+    // detection energy must undercut the GPU's by at least 10x.
+    const double accel_j =
+        accel.stageEnergy(TaskKind::Detection, 2, 4).toJoules();
+    const double gpu_j =
+        soc.energy(TaskKind::Detection, Platform::Gtx1060).toJoules();
+    EXPECT_LT(accel_j * 10.0, gpu_j);
+    EXPECT_GT(accel_j, 0.0);
+}
+
+TEST(Accelerator, SpillEnergyAddsDramCost)
+{
+    const AcceleratorModel model;
+    const Energy fits = model.stageEnergy(TaskKind::DepthEstimation, 1, 4);
+    const Energy spills =
+        model.stageEnergy(TaskKind::DepthEstimation, 2, 4);
+    EXPECT_GT(spills.toJoules(), fits.toJoules());
+}
+
+} // namespace
+} // namespace sov
