@@ -26,20 +26,38 @@
  *  - zero_steady_state_alloc: once warm, releasing and retiring frames
  *    grows no executor container and the FramePayloadRing performs no
  *    system allocation — and double-buffered payloads are never
- *    corrupted by cross-frame overlap.
+ *    corrupted by cross-frame overlap;
+ *  - supervised_noop_equivalence: a full supervision stack (watchdog +
+ *    retries + backoff + a fault plan whose channels never fire) on
+ *    the async path is bit-identical to the unsupervised async
+ *    schedule — supervision costs nothing until a fault fires;
+ *  - failover_throughput_floor / failover_recovers: an accelerator
+ *    lane fault fails over to the resident CPU executor while the RPR
+ *    engine re-streams the bitstream; pipeline throughput never drops
+ *    below the sequential baseline during the failover window, the
+ *    fabric recovers (or parks CPU-resident when the reconfiguration
+ *    retry budget is exhausted), and the failover schedule fingerprint
+ *    is identical on 1/2/8 pool threads.
  *
  * Usage:
  *   bench_dataflow [smoke=1] [frames=N] [out=BENCH_dataflow.json]
  */
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "core/config.h"
+#include "core/rng.h"
 #include "core/thread_pool.h"
+#include "fault/fault_plan.h"
+#include "fault/stage_faults.h"
 #include "harness.h"
 #include "platform/accelerator.h"
+#include "platform/lane_failover.h"
+#include "platform/rpr.h"
 #include "runtime/dataflow.h"
 #include "runtime/sched_core.h"
+#include "sim/simulator.h"
 #include "sovpipe/fig5_graph.h"
 
 using namespace sov;
@@ -125,6 +143,89 @@ payloadRun(runtime::FramePayloadRing &ring, std::size_t frames,
         runtime::DataflowExecutor::runAsync(graph, opts);
     mismatches = bad;
     return result;
+}
+
+/** One lane-failover characterization on the accelerator-mapped graph:
+ *  the localization engine faults at @p fault_frame, the lane fails
+ *  over to the resident CPU implementation, and (policy permitting)
+ *  the RPR engine restores the fabric. */
+struct FailoverOutcome
+{
+    std::uint64_t fingerprint = 0;
+    /** 1 / max completion gap after warmup — the throughput floor the
+     *  pipeline holds through the failover window. */
+    double floor_hz = 0.0;
+    /** Steady throughput over the last quarter of the run. */
+    double recovered_hz = 0.0;
+    std::uint64_t accel_invocations = 0;
+    std::uint64_t cpu_invocations = 0;
+    std::uint64_t reconfigurations = 0;
+    double reconfig_ms = 0.0;
+    double reconfig_energy_mj = 0.0;
+    LaneState final_state = LaneState::Accelerated;
+};
+
+FailoverOutcome
+runFailover(const PlatformModel &model, const AcceleratorModel &accel,
+            const SovPipelineConfig &pipe_config, std::size_t frames,
+            const LaneFailoverConfig &policy, std::size_t fault_frame)
+{
+    Simulator sim;
+    runtime::StageGraph graph;
+    const Fig5Stages stages =
+        buildFig5AcceleratorGraph(graph, model, accel, pipe_config, 2);
+
+    const RprEngine engine;
+    RprLaneFailover failover(engine, policy, Rng(99).fork("rpr-lane"));
+
+    // Wrap the localization engine's executor: accelerated while the
+    // fabric is healthy, the (slower) resident CPU implementation
+    // while it is stale. CPU localization stays under the sensing
+    // bottleneck, which is exactly why this lane degrades gracefully.
+    auto accel_exec = graph.replaceExecutor(
+        stages.localization,
+        std::make_unique<runtime::FixedExecutor>(Duration::zero()));
+    auto cpu_exec = std::make_unique<runtime::FixedExecutor>(
+        model.latency(TaskKind::Localization, Platform::CoffeeLakeCpu)
+            .mean());
+    auto wrapper = std::make_unique<FailoverStageExecutor>(
+        std::move(accel_exec), std::move(cpu_exec), failover,
+        [&sim] { return sim.now(); },
+        [fault_frame](std::size_t frame, Timestamp) {
+            return frame == fault_frame;
+        });
+    const FailoverStageExecutor *fo = wrapper.get();
+    graph.replaceExecutor(stages.localization, std::move(wrapper));
+
+    runtime::AsyncOptions opts;
+    opts.frames = frames;
+    opts.max_in_flight = 2;
+    opts.keep_traces = false;
+    const runtime::RunResult run =
+        runtime::DataflowExecutor::runAsync(sim, graph, opts);
+
+    FailoverOutcome out;
+    out.fingerprint = run.fingerprint();
+    const std::vector<Timestamp> &finish = run.finish_times;
+    const std::size_t warm = 4;
+    Duration max_gap = Duration::zero();
+    for (std::size_t f = warm; f < finish.size(); ++f)
+        max_gap = std::max(max_gap, finish[f] - finish[f - 1]);
+    out.floor_hz =
+        max_gap > Duration::zero() ? 1.0 / max_gap.toSeconds() : 0.0;
+    const std::size_t tail = finish.size() - finish.size() / 4;
+    const double tail_s = (finish.back() - finish[tail - 1]).toSeconds();
+    out.recovered_hz =
+        tail_s > 0.0
+            ? static_cast<double>(finish.size() - tail) / tail_s
+            : 0.0;
+    out.accel_invocations = fo->accelInvocations();
+    out.cpu_invocations = fo->cpuInvocations();
+    out.reconfigurations = failover.reconfigurations();
+    out.reconfig_ms = failover.totalReconfigTime().toMillis();
+    out.reconfig_energy_mj = failover.totalReconfigEnergy().toMillijoules();
+    out.final_state = failover.state(sim.now());
+    return out;
 }
 
 } // namespace
@@ -316,6 +417,150 @@ main(int argc, char **argv)
     report.gate("zero_steady_state_alloc", zero_alloc,
                 "warm async frames must allocate nothing and never "
                 "corrupt a double-buffered payload");
+
+    // ---- gate: supervision is free until a fault fires --------------
+    // A full supervision stack — watchdog timeout above every stage
+    // duration, bounded retries with backoff, and a fault plan whose
+    // channels have probability 0 (no draws, no injections) — must
+    // reproduce the unsupervised async schedule bit for bit.
+    runtime::StageGraph sup_graph = meanGraph(model, pipe_config);
+    fault::FaultPlan noop_plan(Rng(7).fork("noop-plan"));
+    for (const char *stage : {"depth", "localization", "planning"}) {
+        fault::FaultSpec spec;
+        spec.name = std::string("noop-crash-") + stage;
+        spec.target = fault::FaultTarget::PipelineStage;
+        spec.mode = fault::FaultMode::Crash;
+        spec.stage = stage;
+        spec.probability = 0.0;
+        noop_plan.add(spec);
+    }
+    Simulator sup_sim;
+    const std::size_t sup_wrapped = fault::installStageFaults(
+        sup_graph, noop_plan, [&sup_sim] { return sup_sim.now(); });
+    runtime::AsyncOptions sup_opts;
+    sup_opts.frames = fp_frames;
+    sup_opts.max_in_flight = 3;
+    runtime::StagePolicy sup_policy;
+    sup_policy.timeout = Duration::seconds(10.0);
+    sup_policy.max_retries = 2;
+    sup_policy.retry_backoff = Duration::millisF(50.0);
+    sup_opts.stage_policy = sup_policy;
+    const std::uint64_t sup_fp =
+        runtime::DataflowExecutor::runAsync(sup_sim, sup_graph, sup_opts)
+            .fingerprint();
+    const std::uint64_t plain_fp =
+        asyncFingerprint(model, pipe_config, fp_frames);
+    std::printf("\nsupervised no-op: %zu stages wrapped, %llu "
+                "injections, fingerprint %s plain async\n",
+                sup_wrapped,
+                static_cast<unsigned long long>(
+                    noop_plan.totalInjections()),
+                sup_fp == plain_fp ? "==" : "!=");
+    report.gate("supervised_noop_equivalence",
+                sup_fp == plain_fp && sup_wrapped == 3 &&
+                    noop_plan.totalInjections() == 0,
+                "supervision + never-firing fault plan must be "
+                "bit-identical to the unsupervised async schedule");
+
+    // ---- lane failover: accelerator fault -> CPU fallback -> RPR ----
+    // Enough frames past the fault for even the ~3.3 s CPU-driven
+    // reconfiguration to land inside the run.
+    const std::size_t fo_frames = smoke ? 72 : 128;
+    const std::size_t fo_fault_frame = fo_frames / 3;
+    LaneFailoverConfig rpr_cfg; // hardware engine, first attempt lands
+    LaneFailoverConfig cpu_cfg; // CPU-driven reconfiguration baseline
+    cpu_cfg.cpu_driven = true;
+    LaneFailoverConfig exhausted_cfg; // CRC nearly always fails
+    exhausted_cfg.reconfig_failure_probability = 0.999;
+    exhausted_cfg.max_retries = 2;
+    struct FailoverCase
+    {
+        const char *name;
+        const LaneFailoverConfig *config;
+        LaneState expect;
+    };
+    const FailoverCase fo_cases[] = {
+        {"rpr-engine", &rpr_cfg, LaneState::Accelerated},
+        {"cpu-driven", &cpu_cfg, LaneState::Accelerated},
+        {"budget-exhausted", &exhausted_cfg, LaneState::CpuResident},
+    };
+    std::printf("\n--- accelerator lane failover (localization engine "
+                "faults at frame %zu) ---\n",
+                fo_fault_frame);
+    bool fo_floor_ok = true;
+    bool fo_recovers_ok = true;
+    std::vector<std::uint64_t> fo_fps;
+    for (const FailoverCase &fc : fo_cases) {
+        const FailoverOutcome out = runFailover(
+            model, accel, pipe_config, fo_frames, *fc.config,
+            fo_fault_frame);
+        fo_fps.push_back(out.fingerprint);
+        std::printf("%-18s floor=%5.2f Hz  recovered=%5.2f Hz  "
+                    "cpu/accel=%llu/%llu  reconfigs=%llu "
+                    "(%.1f ms, %.1f mJ)  final=%s\n",
+                    fc.name, out.floor_hz, out.recovered_hz,
+                    static_cast<unsigned long long>(out.cpu_invocations),
+                    static_cast<unsigned long long>(
+                        out.accel_invocations),
+                    static_cast<unsigned long long>(out.reconfigurations),
+                    out.reconfig_ms, out.reconfig_energy_mj,
+                    toString(out.final_state));
+        report.addRow("failover")
+            .set("policy", fc.name)
+            .set("floor_hz", out.floor_hz)
+            .set("recovered_hz", out.recovered_hz)
+            .set("sequential_hz", seq_hz)
+            .set("cpu_invocations", out.cpu_invocations)
+            .set("accel_invocations", out.accel_invocations)
+            .set("reconfigurations", out.reconfigurations)
+            .set("reconfig_ms", out.reconfig_ms)
+            .set("reconfig_energy_mj", out.reconfig_energy_mj)
+            .set("final_state", toString(out.final_state));
+        // The CPU implementation of the faulted lane stays under the
+        // sensing bottleneck, so even mid-failover the pipeline must
+        // beat the single-shot baseline.
+        if (out.floor_hz < seq_hz)
+            fo_floor_ok = false;
+        // Policies whose reconfiguration lands must end re-accelerated
+        // (with the CPU having carried the stale window); an exhausted
+        // budget must park the lane CPU-resident.
+        if (out.final_state != fc.expect || out.cpu_invocations == 0)
+            fo_recovers_ok = false;
+        if (fc.expect == LaneState::Accelerated &&
+            out.accel_invocations <= fo_fault_frame)
+            fo_recovers_ok = false;
+    }
+    report.gate("failover_throughput_floor", fo_floor_ok,
+                "throughput during RPR failover must stay >= the "
+                "sequential baseline");
+    report.gate("failover_recovers", fo_recovers_ok,
+                "fabric recovers after reconfiguration (or parks "
+                "CPU-resident on an exhausted retry budget)");
+
+    // The failover schedule is simulation-clock pure: characterizing
+    // it on 1/2/8 host threads (one case per pool job) must reproduce
+    // the same fingerprints.
+    std::vector<std::uint64_t> fo_combined;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::uint64_t> fps(3, 0);
+        pool.parallelFor(3, [&](std::size_t j) {
+            fps[j] = runFailover(model, accel, pipe_config, fo_frames,
+                                 *fo_cases[j].config, fo_fault_frame)
+                         .fingerprint;
+        });
+        fo_combined.push_back(
+            bench::fnv1a(fps.data(), fps.size() * sizeof(fps[0])));
+    }
+    const bool fo_thread_independent =
+        fo_combined[0] == fo_combined[1] &&
+        fo_combined[1] == fo_combined[2] &&
+        fo_combined[0] == bench::fnv1a(fo_fps.data(),
+                                       fo_fps.size() * sizeof(fo_fps[0]));
+    report.meta("failover_fingerprint", bench::hex(fo_combined[0]));
+    report.gate("failover_thread_independent", fo_thread_independent,
+                "failover schedule fingerprints identical on 1/2/8 "
+                "pool threads");
 
     return report.write(out_path);
 }

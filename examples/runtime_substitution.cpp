@@ -9,20 +9,28 @@
  * only the per-stage executor changes.
  *
  * Run: ./runtime_substitution [scale=4] [frames=2] [backend=reference]
- *                             [mode=sync]
+ *                             [mode=sync] [faults=none]
  * `scale` maps host wall-clock into model time (the SoV's embedded
  * SoC is several times slower than a build machine). `backend=fast`
  * runs the optimized perception kernels (vision/kernels.h) in the
  * stereo and detection stages instead of the reference oracles.
  * `mode=async` additionally runs the analytic graph through the
  * asynchronous pipeline-parallel executor and reports the throughput
- * win. Unknown values for either argument print this usage and exit.
+ * win. `faults=<preset>` (a fleet::faultMatrixPresets() name, e.g.
+ * loc-hang@2s) injects that fault scenario into a supervised
+ * async run — the watchdog truncates the hang, revokes the abandoned
+ * frame's in-flight stages and the pipeline keeps streaming. Unknown
+ * values for any of these print this usage and exit.
  */
 #include <cstdio>
 #include <string>
 
 #include "core/config.h"
+#include "fault/fault_plan.h"
+#include "fault/stage_faults.h"
+#include "fleet/scenario.h"
 #include "runtime/dataflow.h"
+#include "sim/simulator.h"
 #include "sovpipe/fig5_graph.h"
 #include "vision/detector.h"
 #include "vision/features.h"
@@ -39,9 +47,61 @@ usage(const char *arg, const std::string &value)
     std::fprintf(stderr,
                  "runtime_substitution: unknown %s '%s'\n"
                  "usage: runtime_substitution [scale=4] [frames=2] "
-                 "[backend=reference|fast] [mode=sync|async]\n",
+                 "[backend=reference|fast] [mode=sync|async] "
+                 "[faults=none|<preset>]\n"
+                 "fault presets:",
                  arg, value.c_str());
+    for (const fleet::FaultPreset &p : fleet::faultMatrixPresets())
+        std::fprintf(stderr, " %s", p.name.c_str());
+    std::fprintf(stderr, "\n");
     return 2;
+}
+
+/**
+ * The faults= demo: run the analytic Fig. 5 graph through the async
+ * executor with the preset's pipeline-stage channels injected and a
+ * watchdog policy supervising every stage. Sensor/CAN channels of the
+ * preset have no pipeline surface here and stay idle — the point is
+ * the runtime layer surviving a misbehaving stage.
+ */
+void
+runSupervisedFaultDemo(const PlatformModel &platform,
+                       const fleet::FaultPreset &preset)
+{
+    Simulator sim;
+    runtime::StageGraph graph;
+    buildFig5Graph(graph, platform, SovPipelineConfig{}, nullptr,
+                   Fig5Latency::Mean);
+    fault::FaultPlan plan(Rng(42).fork("demo/" + preset.name));
+    for (const fault::FaultSpec &spec : preset.specs)
+        plan.add(spec);
+    const std::size_t wrapped = fault::installStageFaults(
+        graph, plan, [&sim] { return sim.now(); });
+
+    runtime::AsyncOptions opts;
+    opts.frames = 64;
+    opts.max_in_flight = 3;
+    runtime::StagePolicy policy;
+    policy.timeout = Duration::millisF(400.0);
+    policy.max_retries = 1;
+    policy.retry_backoff = Duration::millisF(5.0);
+    opts.stage_policy = policy;
+    const runtime::RunResult run =
+        runtime::DataflowExecutor::runAsync(sim, graph, opts);
+
+    std::printf("\n=== faults=%s: supervised async run (%zu frames, "
+                "%zu stages fault-wrapped) ===\n",
+                preset.name.c_str(), opts.frames, wrapped);
+    std::printf("injections=%llu  frames failed=%llu  in-flight stages "
+                "cancelled=%llu  completed=%zu\n",
+                static_cast<unsigned long long>(plan.totalInjections()),
+                static_cast<unsigned long long>(run.frames_failed),
+                static_cast<unsigned long long>(run.stage_cancellations),
+                run.finish_times.size());
+    std::printf("steady throughput %.2f Hz — the watchdog truncates "
+                "hung attempts, abandoned\nframes release their lanes "
+                "(no head-of-line blocking) and the stream continues.\n",
+                run.steadyStateThroughputHz());
 }
 
 } // namespace
@@ -62,6 +122,17 @@ main(int argc, char **argv)
     const std::string mode = cfg.getString("mode", "sync");
     if (mode != "sync" && mode != "async")
         return usage("mode", mode);
+    const std::string faults_name = cfg.getString("faults", "none");
+    const fleet::FaultPreset *fault_preset = nullptr;
+    const std::vector<fleet::FaultPreset> presets =
+        fleet::faultMatrixPresets();
+    if (faults_name != "none") {
+        for (const fleet::FaultPreset &p : presets)
+            if (p.name == faults_name)
+                fault_preset = &p;
+        if (!fault_preset)
+            return usage("faults", faults_name);
+    }
 
     // ----------------------------------------------- shared test scene
     World world;
@@ -192,5 +263,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         async_run.steady_growth_events));
     }
+    if (fault_preset)
+        runSupervisedFaultDemo(platform, *fault_preset);
     return 0;
 }

@@ -20,10 +20,16 @@ ScenarioOutcome
 FleetRunner::runScenario(const ScenarioSpec &spec,
                          obs::MetricRegistry *metrics) const
 {
-    // The scenario's whole random universe forks from its identity:
-    // outcome = f(master_seed, spec), independent of scheduling.
+    // The scenario's whole random universe forks from its
+    // *environment* identity — world, fault preset and seed, but not
+    // the stack: outcome = f(master_seed, environment, stack
+    // semantics), independent of scheduling, and every stack faces
+    // bit-identical world and fault draws (the controlled-experiment
+    // contract of the fault matrix's stack columns).
     const Rng master(config_.master_seed);
-    const Rng scenario_rng = master.fork(spec.name);
+    const std::string env = spec.world.name + "/" + spec.faults.name +
+                            "#s" + std::to_string(spec.seed);
+    const Rng scenario_rng = master.fork(env);
 
     World world;
     Rng world_rng = scenario_rng.fork("world");

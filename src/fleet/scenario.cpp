@@ -337,6 +337,24 @@ supervisedStack()
 }
 
 StackPreset
+bareAsyncStack()
+{
+    StackPreset s = bareStack();
+    s.name = "bare-async";
+    s.loop.pipeline_mode = PipelineMode::Async;
+    return s;
+}
+
+StackPreset
+supervisedAsyncStack()
+{
+    StackPreset s = supervisedStack();
+    s.name = "supervised-async";
+    s.loop.pipeline_mode = PipelineMode::Async;
+    return s;
+}
+
+StackPreset
 syncPipelineStack()
 {
     StackPreset s = supervisedStack();

@@ -63,8 +63,11 @@ struct StackPreset
 /** One fully specified closed-loop run. */
 struct ScenarioSpec
 {
-    /** Composed "world/fault/stack#s<seed>" identity; keys the
-     *  scenario's forked Rng streams. */
+    /** Composed "world/fault/stack#s<seed>" identity (report row key).
+     *  The scenario's Rng streams fork from the *environment* part
+     *  only (world/fault#seed, no stack), so every stack preset faces
+     *  bit-identical world and fault draws — the fault matrix compares
+     *  stacks as a controlled experiment. */
     std::string name;
     /** Position in the enumerated matrix (report row order). */
     std::size_t index = 0;
@@ -147,6 +150,15 @@ StackPreset bareStack();
 /** Bare stack plus HealthMonitor + DegradationManager and stage
  *  watchdogs (the "supervised" column). */
 StackPreset supervisedStack();
+
+/** Bare stack running the pipeline in async (backpressure-deferred)
+ *  mode — congested cycles park their frame instead of shedding it. */
+StackPreset bareAsyncStack();
+
+/** Supervised stack in async mode: the fault matrix's check that
+ *  supervision composes with backpressure admission — collision and
+ *  availability outcomes must match the sync supervised column. */
+StackPreset supervisedAsyncStack();
 
 /** Supervised stack with the pipeline admission window forced to one
  *  frame: no cross-frame overlap, every planning cycle that would

@@ -1,0 +1,91 @@
+#include "platform/lane_failover.h"
+
+#include "core/logging.h"
+
+namespace sov {
+
+const char *
+toString(LaneState state)
+{
+    switch (state) {
+    case LaneState::Accelerated:
+        return "accelerated";
+    case LaneState::Reconfiguring:
+        return "reconfiguring";
+    case LaneState::CpuResident:
+        return "cpu-resident";
+    }
+    return "?";
+}
+
+void
+RprLaneFailover::onLaneFault(Timestamp now)
+{
+    ++faults_observed_;
+    if (state(now) != LaneState::Accelerated) {
+        // The fabric is already stale: the in-flight reconfiguration
+        // (or the permanent CPU fallback) absorbs this fault too.
+        return;
+    }
+
+    RprFaultyResult r;
+    if (config_.cpu_driven) {
+        // The CPU-driven baseline has no engine-side CRC/DONE retry
+        // machinery; one long transfer restores the fabric.
+        r.total = engine_.cpuDrivenReconfigure(config_.bitstream_bytes);
+        r.attempts = 1;
+        r.success = true;
+    } else {
+        r = engine_.reconfigureWithFaults(
+            config_.bitstream_bytes, config_.reconfig_failure_probability,
+            config_.max_retries, rng_);
+    }
+    last_result_ = r;
+    total_reconfig_time_ += r.total.duration;
+    total_reconfig_energy_ += r.total.energy;
+
+    if (!r.success) {
+        // Retry budget exhausted with the fabric stale: the lane is
+        // parked on the resident CPU implementation for good.
+        cpu_resident_ = true;
+        return;
+    }
+    reconfig_until_ = now + r.total.duration;
+    ++reconfigurations_;
+}
+
+FailoverStageExecutor::FailoverStageExecutor(
+    std::unique_ptr<runtime::StageExecutor> accel,
+    std::unique_ptr<runtime::StageExecutor> cpu, RprLaneFailover &failover,
+    Clock clock, FaultFn fault)
+    : accel_(std::move(accel)), cpu_(std::move(cpu)), failover_(failover),
+      clock_(std::move(clock)), fault_(std::move(fault))
+{
+    SOV_ASSERT(accel_ && cpu_ && clock_);
+}
+
+Duration
+FailoverStageExecutor::execute(std::size_t frame)
+{
+    const Timestamp now = clock_();
+    if (fault_ && failover_.state(now) == LaneState::Accelerated &&
+        fault_(frame, now)) {
+        failover_.onLaneFault(now);
+    }
+    runtime::StageExecutor &exec =
+        failover_.state(now) == LaneState::Accelerated ? *accel_ : *cpu_;
+    if (&exec == accel_.get())
+        ++accel_invocations_;
+    else
+        ++cpu_invocations_;
+    last_ = &exec;
+    return exec.execute(frame);
+}
+
+runtime::StageOutcome
+FailoverStageExecutor::lastOutcome() const
+{
+    return last_ ? last_->lastOutcome() : runtime::StageOutcome::Ok;
+}
+
+} // namespace sov

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fault-driven accelerator-lane failover through the RPR engine.
+ *
+ * An accelerator engine that faults (SEU, configuration corruption,
+ * logic upset) cannot simply be retried: its fabric is stale until a
+ * partial bitstream is re-streamed through the ICAP (Sec. V-B3). This
+ * layer models the recovery path the paper's RPR engine enables, as a
+ * small state machine per lane:
+ *
+ *   Accelerated --fault--> Reconfiguring --done--> Accelerated
+ *        |                      |
+ *        +---- retry budget exhausted ----> CpuResident (permanent)
+ *
+ * While the fabric is stale (Reconfiguring, or CpuResident after the
+ * reconfiguration retry budget ran out) the stage's invocations run on
+ * the resident CPU implementation instead — graceful throughput
+ * degradation instead of a stalled pipeline. The reconfiguration
+ * itself is costed by RprEngine::reconfigureWithFaults (hardware
+ * engine, ~2.9 ms for a 1 MB bitstream) or cpuDrivenReconfigure
+ * (~3.3 s baseline), so the bench can contrast how long the pipeline
+ * rides the CPU in each design.
+ *
+ * Everything here is simulation-clock pure: state(now) is a function
+ * of the fault history and the clock, so the same fault sequence
+ * yields the same schedule at any host thread count (the TSan gate of
+ * bench_dataflow's failover table).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "platform/rpr.h"
+#include "runtime/stage_executor.h"
+
+namespace sov {
+
+/** Where one accelerator lane's stage currently executes. */
+enum class LaneState
+{
+    Accelerated,   //!< dedicated engine healthy
+    Reconfiguring, //!< bitstream in flight; CPU carries the stage
+    CpuResident,   //!< retry budget exhausted; CPU carries it for good
+};
+
+const char *toString(LaneState state);
+
+/** Recovery policy of one accelerator lane. */
+struct LaneFailoverConfig
+{
+    /** Partial bitstream of the lane's engine (~1 MB calibrated). */
+    std::uint64_t bitstream_bytes = 1000000;
+    /** Per-attempt probability that the reconfiguration itself fails
+     *  its post-transfer CRC/DONE check (zero draws no RNG). */
+    double reconfig_failure_probability = 0.0;
+    /** Reconfiguration attempts after a failed one; when the budget
+     *  runs out the lane goes CpuResident. */
+    std::uint32_t max_retries = 3;
+    /** Use the CPU-driven reconfiguration baseline (~300 KB/s) instead
+     *  of the hardware RPR engine — the Sec. V-B3 comparison. */
+    bool cpu_driven = false;
+};
+
+/**
+ * The per-lane failover state machine. onLaneFault() marks the fabric
+ * stale and starts (and costs) the reconfiguration; state(now) reports
+ * where the lane's stage executes at a given simulation time. Faults
+ * reported while the fabric is already stale are absorbed by the
+ * in-flight reconfiguration (counted, not re-triggered).
+ */
+class RprLaneFailover
+{
+  public:
+    RprLaneFailover(const RprEngine &engine,
+                    const LaneFailoverConfig &config, Rng rng)
+        : engine_(engine), config_(config), rng_(std::move(rng))
+    {
+    }
+
+    /** Lane state at @p now (pure; monotonic queries expected). */
+    LaneState state(Timestamp now) const
+    {
+        if (cpu_resident_)
+            return LaneState::CpuResident;
+        if (now < reconfig_until_)
+            return LaneState::Reconfiguring;
+        return LaneState::Accelerated;
+    }
+
+    /**
+     * An engine fault was detected at @p now. If the lane was healthy,
+     * kick off the reconfiguration: its accumulated duration (every
+     * attempt) books the recovery window, and an exhausted retry
+     * budget parks the lane on the CPU permanently.
+     */
+    void onLaneFault(Timestamp now);
+
+    /** Faults reported, including ones absorbed while already stale. */
+    std::uint64_t faultsObserved() const { return faults_observed_; }
+    /** Successful reconfigurations (fabric restored). */
+    std::uint64_t reconfigurations() const { return reconfigurations_; }
+    /** Result of the most recent reconfiguration (attempts, totals). */
+    const RprFaultyResult &lastResult() const { return last_result_; }
+    /** End of the most recent recovery window (the lane is Accelerated
+     *  again from this time on, unless CpuResident). */
+    Timestamp recoveredAt() const { return reconfig_until_; }
+    /** Accumulated reconfiguration time/energy over every fault. */
+    Duration totalReconfigTime() const { return total_reconfig_time_; }
+    Energy totalReconfigEnergy() const { return total_reconfig_energy_; }
+
+  private:
+    const RprEngine &engine_; //!< not owned; must outlive this
+    LaneFailoverConfig config_;
+    Rng rng_;
+    Timestamp reconfig_until_;
+    bool cpu_resident_ = false;
+    std::uint64_t faults_observed_ = 0;
+    std::uint64_t reconfigurations_ = 0;
+    RprFaultyResult last_result_;
+    Duration total_reconfig_time_ = Duration::zero();
+    Energy total_reconfig_energy_;
+};
+
+/**
+ * StageExecutor that routes each invocation by the lane's failover
+ * state: the dedicated engine while Accelerated, the resident CPU
+ * implementation while the fabric is stale. An optional fault hook
+ * (driven by a fault::FaultChannel in the benches/tests) decides per
+ * invocation whether the engine faults; the faulting invocation itself
+ * already runs on the CPU — the engine produced garbage, the frame
+ * must not consume it.
+ */
+class FailoverStageExecutor final : public runtime::StageExecutor
+{
+  public:
+    using Clock = std::function<Timestamp()>;
+    /** True when the engine faults on this invocation. */
+    using FaultFn = std::function<bool(std::size_t frame, Timestamp now)>;
+
+    FailoverStageExecutor(std::unique_ptr<runtime::StageExecutor> accel,
+                          std::unique_ptr<runtime::StageExecutor> cpu,
+                          RprLaneFailover &failover, Clock clock,
+                          FaultFn fault = {});
+
+    Duration execute(std::size_t frame) override;
+    runtime::StageOutcome lastOutcome() const override;
+    const char *kind() const override { return "failover"; }
+
+    /** Invocations carried by each implementation. */
+    std::uint64_t accelInvocations() const { return accel_invocations_; }
+    std::uint64_t cpuInvocations() const { return cpu_invocations_; }
+
+  private:
+    std::unique_ptr<runtime::StageExecutor> accel_;
+    std::unique_ptr<runtime::StageExecutor> cpu_;
+    RprLaneFailover &failover_; //!< not owned; may be shared per lane
+    Clock clock_;
+    FaultFn fault_;
+    runtime::StageExecutor *last_ = nullptr;
+    std::uint64_t accel_invocations_ = 0;
+    std::uint64_t cpu_invocations_ = 0;
+};
+
+} // namespace sov

@@ -59,7 +59,8 @@ RunResult::fingerprint() const
             fnvMix(h, static_cast<std::uint64_t>(span.finish.ns()));
             fnvMix(h, span.attempts);
             fnvMix(h, (span.timed_out ? 1u : 0u) |
-                          (span.crashed ? 2u : 0u));
+                          (span.crashed ? 2u : 0u) |
+                          (span.cancelled ? 4u : 0u));
         }
     }
     for (const Timestamp t : finish_times)
@@ -117,6 +118,7 @@ DataflowExecutor::attachTrace(obs::TraceRecorder *recorder,
     trace_ids_.stage_timeout = recorder_->intern("stage_timeout");
     trace_ids_.stage_crash = recorder_->intern("stage_crash");
     trace_ids_.stage_retry = recorder_->intern("stage_retry");
+    trace_ids_.stage_cancelled = recorder_->intern("stage_cancelled");
     if (trace_in_flight_)
         trace_ids_.in_flight = recorder_->intern("frames_in_flight");
 }
@@ -207,7 +209,7 @@ DataflowExecutor::tryDispatch(std::uint32_t lane)
         return;
     const std::uint64_t f = slot.frame;
 
-    core_.setLaneBusy(lane, true);
+    const std::uint64_t serial = core_.beginDispatch(lane, head.slot);
     StageSpan &span = slot.trace.spans[s];
     span.start = sim_.now();
 
@@ -259,22 +261,28 @@ DataflowExecutor::tryDispatch(std::uint32_t lane)
                                trace_ids_.lane_tracks[lane],
                                span.start + elapsed, f);
         }
+        // Restart cost: the retry begins after the backoff, with the
+        // retry instant above marking where the attempt failed.
+        elapsed += policy->retry_backoff;
     }
     span.attempts = attempts;
     span.finish = span.start + elapsed;
-    sim_.schedule(elapsed, [this, lane, idx = head.slot, f, s,
+    sim_.schedule(elapsed, [this, lane, serial, idx = head.slot, f, s,
                             failed = attempt_failed] {
-        onStageFinish(lane, idx, f, s, failed);
+        onStageFinish(lane, serial, idx, f, s, failed);
     });
 }
 
 void
-DataflowExecutor::onStageFinish(std::uint32_t lane, std::uint32_t slot_idx,
-                                std::uint64_t frame, StageId stage,
-                                bool stage_failed)
+DataflowExecutor::onStageFinish(std::uint32_t lane, std::uint64_t serial,
+                                std::uint32_t slot_idx, std::uint64_t frame,
+                                StageId stage, bool stage_failed)
 {
-    core_.setLaneBusy(lane, false);
-    core_.laneQueue(lane).pop();
+    if (!core_.finishDispatch(lane, serial)) {
+        // The dispatch was revoked by frame abandonment while this
+        // finish event was in flight; the lane has already moved on.
+        return;
+    }
 
     FrameSlot &slot = core_.slot(slot_idx);
     if (!slot.active || slot.frame != frame) {
@@ -346,9 +354,29 @@ DataflowExecutor::failFrame(std::uint32_t slot_idx, StageId stage)
     FrameSlot &slot = core_.slot(slot_idx);
     SOV_ASSERT(slot.active);
 
-    // Cancel queued-but-not-started instances of the frame; a running
-    // instance (the busy head of a lane) keeps its slot and is
-    // discarded when its finish event fires.
+    // Revoke the frame's in-flight instances on the other lanes: each
+    // lane frees immediately (its outstanding finish event goes stale
+    // via the dispatch serial), so frames N+1... are not head-of-line
+    // blocked behind work whose result is already discarded.
+    for (std::uint32_t lane = 0; lane < core_.laneCount(); ++lane) {
+        const auto revoked = core_.revokeInFlight(lane, slot_idx);
+        if (!revoked)
+            continue;
+        StageSpan &span = slot.trace.spans[*revoked];
+        span.finish = sim_.now(); // truncated at the revocation
+        span.cancelled = true;
+        ++stage_cancellations_;
+        if (metrics_)
+            metrics_->incr("stage_cancellations");
+        if (recorder_) {
+            recorder_->instant(trace_ids_.stage_cancelled,
+                               trace_ids_.cat_fault,
+                               trace_ids_.lane_tracks[lane], sim_.now(),
+                               slot.frame);
+        }
+    }
+
+    // Then cancel the queued-but-not-started instances of the frame.
     core_.cancelQueued(slot_idx);
 
     FrameTrace &trace = slot.trace;
@@ -370,6 +398,12 @@ DataflowExecutor::failFrame(std::uint32_t slot_idx, StageId stage)
     if (on_complete)
         on_complete(keep_traces_ ? traces_.back() : trace);
     core_.recycle(slot_idx);
+
+    // Re-arm every lane: revocation and cancellation may have exposed
+    // ready heads (of later frames) on lanes that were busy or blocked
+    // behind this frame's instances a moment ago.
+    for (std::uint32_t lane = 0; lane < core_.laneCount(); ++lane)
+        tryDispatch(lane);
 }
 
 RunResult
@@ -421,6 +455,7 @@ DataflowExecutor::run(StageGraph &graph, const RunOptions &opts)
         result.finish_times.push_back(frame.finish);
     result.deadline_misses = exec.deadlineMisses();
     result.frames_failed = exec.framesFailed();
+    result.stage_cancellations = exec.stageCancellations();
     result.growth_events = exec.coreGrowthEvents();
     return result;
 }
@@ -429,9 +464,20 @@ RunResult
 DataflowExecutor::runAsync(StageGraph &graph, const AsyncOptions &opts)
 {
     Simulator sim;
+    return runAsync(sim, graph, opts);
+}
+
+RunResult
+DataflowExecutor::runAsync(Simulator &sim, StageGraph &graph,
+                           const AsyncOptions &opts)
+{
     DataflowExecutor exec(sim, graph);
     exec.setDeadline(opts.deadline);
     exec.setKeepTraces(opts.keep_traces);
+    if (opts.stage_policy)
+        exec.setAllStagePolicies(*opts.stage_policy);
+    exec.setHealthListener(opts.health);
+    exec.attachMetrics(opts.metrics);
     if (opts.trace)
         exec.attachTrace(opts.trace, /*emit_in_flight=*/true);
 
@@ -489,9 +535,12 @@ DataflowExecutor::runAsync(StageGraph &graph, const AsyncOptions &opts)
     if (driver.self_paced) {
         driver.pump();
     } else {
+        // Release ticks are anchored at the caller's current time, so
+        // a shared (already advanced) Simulator never schedules into
+        // its past; with a private Simulator this is the origin.
+        const Timestamp base = sim.now();
         for (std::size_t f = 0; f < opts.frames; ++f) {
-            sim.scheduleAt(Timestamp::origin() +
-                               opts.period * static_cast<double>(f),
+            sim.scheduleAt(base + opts.period * static_cast<double>(f),
                            [&driver] {
                                ++driver.due;
                                driver.pump();
@@ -504,6 +553,7 @@ DataflowExecutor::runAsync(StageGraph &graph, const AsyncOptions &opts)
     result.frames = std::move(exec.traces_);
     result.deadline_misses = exec.deadlineMisses();
     result.frames_failed = exec.framesFailed();
+    result.stage_cancellations = exec.stageCancellations();
     result.growth_events = exec.coreGrowthEvents();
     result.steady_growth_events =
         opts.frames > warmup ? result.growth_events - warmup_growth

@@ -65,6 +65,10 @@ struct StagePolicy
     std::optional<Duration> timeout;
     /** Extra attempts after a crashed or timed-out one. */
     std::uint32_t max_retries = 0;
+    /** Pause between a failed attempt and its retry (restart cost /
+     *  fault clearing time). Zero keeps retries back to back and the
+     *  schedule bit-identical to the pre-backoff supervisor. */
+    Duration retry_backoff = Duration::zero();
 };
 
 /**
@@ -135,6 +139,16 @@ struct AsyncOptions
     /** Retain FrameTraces in the result. Off = the zero-allocation
      *  configuration: finish times and counters only. */
     bool keep_traces = true;
+    /** Watchdog policy applied to every stage (timeout, bounded retry
+     *  with backoff); unset = unsupervised. A policy that never fires
+     *  (no fault plan installed, timeout above every stage duration)
+     *  leaves the schedule bit-identical to an unsupervised run. */
+    std::optional<StagePolicy> stage_policy;
+    /** Supervision observer (not owned; optional) — the async
+     *  front-end's hook for HealthMonitor + DegradationManager. */
+    DataflowHealthListener *health = nullptr;
+    /** Stream span samples + supervision counters (not owned). */
+    obs::MetricRegistry *metrics = nullptr;
 };
 
 /** Result of a batch run. */
@@ -145,6 +159,9 @@ struct RunResult
     std::vector<Timestamp> finish_times;
     std::uint64_t deadline_misses = 0;
     std::uint64_t frames_failed = 0; //!< abandoned by the watchdog
+    /** In-flight stage instances revoked when their frame was
+     *  abandoned (head-of-line blocking removed). */
+    std::uint64_t stage_cancellations = 0;
     /** Scheduler-core container growths during the run (see
      *  SchedulerCore::growthEvents()). */
     std::uint64_t growth_events = 0;
@@ -264,6 +281,8 @@ class DataflowExecutor
     std::uint64_t stageCrashes() const { return stage_crashes_; }
     /** Watchdog-driven re-executions of a stage. */
     std::uint64_t stageRetries() const { return stage_retries_; }
+    /** In-flight stage instances revoked by frame abandonment. */
+    std::uint64_t stageCancellations() const { return stage_cancellations_; }
 
     /** Completed traces (empty when keep-traces is off). */
     const std::vector<FrameTrace> &traces() const { return traces_; }
@@ -277,6 +296,12 @@ class DataflowExecutor
     /** Asynchronous pipeline-parallel batch run of @p graph on a
      *  private Simulator (see AsyncOptions). */
     static RunResult runAsync(StageGraph &graph, const AsyncOptions &opts);
+
+    /** Same, but on the caller's Simulator — the closed-loop sim and
+     *  fault benches share one clock with the fault plan and health
+     *  layer this way. The simulator is run to quiescence. */
+    static RunResult runAsync(Simulator &sim, StageGraph &graph,
+                              const AsyncOptions &opts);
 
   private:
     /** Interned obs names, filled by attachTrace(). */
@@ -295,13 +320,14 @@ class DataflowExecutor
         obs::NameId stage_timeout = 0;
         obs::NameId stage_crash = 0;
         obs::NameId stage_retry = 0;
+        obs::NameId stage_cancelled = 0;
         obs::NameId in_flight = 0;
     };
 
     void tryDispatch(std::uint32_t lane);
-    void onStageFinish(std::uint32_t lane, std::uint32_t slot_idx,
-                       std::uint64_t frame, StageId stage,
-                       bool stage_failed);
+    void onStageFinish(std::uint32_t lane, std::uint64_t serial,
+                       std::uint32_t slot_idx, std::uint64_t frame,
+                       StageId stage, bool stage_failed);
     void completeFrame(std::uint32_t slot_idx);
     void failFrame(std::uint32_t slot_idx, StageId stage);
     const StagePolicy *policyFor(StageId stage) const;
@@ -328,6 +354,7 @@ class DataflowExecutor
     std::uint64_t stage_timeouts_ = 0;
     std::uint64_t stage_crashes_ = 0;
     std::uint64_t stage_retries_ = 0;
+    std::uint64_t stage_cancellations_ = 0;
 };
 
 } // namespace sov::runtime

@@ -114,6 +114,41 @@ SchedulerCore::acquire(std::uint64_t frame, Timestamp now)
     return idx;
 }
 
+std::uint64_t
+SchedulerCore::beginDispatch(std::uint32_t lane, std::uint32_t slot)
+{
+    Lane &l = lanes_[lane];
+    SOV_ASSERT(!l.busy);
+    l.busy = true;
+    l.busy_slot = slot;
+    return ++l.serial;
+}
+
+bool
+SchedulerCore::finishDispatch(std::uint32_t lane, std::uint64_t serial)
+{
+    Lane &l = lanes_[lane];
+    if (!l.busy || l.serial != serial)
+        return false; // revoked while the finish event was in flight
+    l.busy = false;
+    l.queue.pop();
+    return true;
+}
+
+std::optional<std::uint32_t>
+SchedulerCore::revokeInFlight(std::uint32_t lane, std::uint32_t slot)
+{
+    Lane &l = lanes_[lane];
+    if (!l.busy || l.busy_slot != slot)
+        return std::nullopt;
+    SOV_ASSERT(!l.queue.empty() && l.queue.front().slot == slot);
+    const std::uint32_t stage = l.queue.front().stage;
+    l.queue.pop();
+    l.busy = false;
+    ++l.serial; // the outstanding finish event is now stale
+    return stage;
+}
+
 void
 SchedulerCore::recycle(std::uint32_t idx)
 {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct StageSpan
     bool timed_out = false;
     /** Final attempt crashed (fault injection). */
     bool crashed = false;
+    /** The in-flight instance was revoked because another stage of the
+     *  same frame exhausted its retries; finish is the revocation time,
+     *  not the execution end. */
+    bool cancelled = false;
 
     /** Time spent waiting for the resource after becoming ready. */
     Duration queueing() const { return start - ready; }
@@ -154,14 +159,42 @@ class SchedulerCore
         return lane_names_[lane];
     }
     bool laneBusy(std::uint32_t lane) const { return lanes_[lane].busy; }
-    void setLaneBusy(std::uint32_t lane, bool busy)
+    /** Slot of the in-flight (dispatched) instance; valid when busy. */
+    std::uint32_t busySlot(std::uint32_t lane) const
     {
-        lanes_[lane].busy = busy;
+        return lanes_[lane].busy_slot;
     }
     InstanceRing &laneQueue(std::uint32_t lane)
     {
         return lanes_[lane].queue;
     }
+
+    /**
+     * Mark @p lane busy executing its head instance (of @p slot) and
+     * return the dispatch serial the finish event must present to
+     * finishDispatch(). Serials are bumped by every dispatch and every
+     * revocation, so a finish event whose dispatch was revoked in the
+     * meantime identifies itself as stale.
+     */
+    std::uint64_t beginDispatch(std::uint32_t lane, std::uint32_t slot);
+
+    /**
+     * Resolve the dispatch identified by @p serial: free the lane and
+     * pop the completed head instance. Returns false — and touches
+     * nothing — when the dispatch was revoked while its finish event
+     * was in flight (the lane may already be busy with another frame).
+     */
+    bool finishDispatch(std::uint32_t lane, std::uint64_t serial);
+
+    /**
+     * Revoke the in-flight dispatch of @p slot on @p lane, if any: the
+     * head instance is removed, the lane freed immediately, and the
+     * outstanding finish event invalidated (its serial no longer
+     * matches). Returns the revoked stage id, or no value when the
+     * lane was not busy with @p slot.
+     */
+    std::optional<std::uint32_t> revokeInFlight(std::uint32_t lane,
+                                                std::uint32_t slot);
 
     // ---- frame slots ------------------------------------------------
     /**
@@ -196,6 +229,10 @@ class SchedulerCore
     {
         InstanceRing queue;
         bool busy = false;
+        /** Slot of the dispatched head instance (valid while busy). */
+        std::uint32_t busy_slot = 0;
+        /** Monotonic dispatch serial; see beginDispatch(). */
+        std::uint64_t serial = 0;
     };
 
     const StageGraph &graph_;

@@ -61,6 +61,7 @@ ClosedLoopSim::ClosedLoopSim(World &world, Polyline2 route,
         runtime::StagePolicy policy;
         policy.timeout = config_.stage_watchdog;
         policy.max_retries = config_.stage_max_retries;
+        policy.retry_backoff = config_.stage_retry_backoff;
         pipeline_exec_.setAllStagePolicies(policy);
     }
 
@@ -106,6 +107,7 @@ ClosedLoopSim::reset()
     was_moving_ = false;
     safe_stop_commanded_ = false;
     last_camera_ = CameraSnapshot{};
+    pending_release_.reset();
     transitions_traced_ = 0;
     reactive_triggers_traced_ = 0;
 }
@@ -125,6 +127,7 @@ ClosedLoopSim::setTraceRecorder(obs::TraceRecorder *recorder)
     trace_ids_.cat_fault = recorder_->intern("fault");
     trace_ids_.cat_health = recorder_->intern("health");
     trace_ids_.load_shed = recorder_->intern("load_shed");
+    trace_ids_.frame_deferred = recorder_->intern("frame_deferred");
     trace_ids_.camera_dropout = recorder_->intern("camera_dropout");
     trace_ids_.radar_dropout = recorder_->intern("radar_dropout");
     trace_ids_.safe_stop = recorder_->intern("safe_stop");
@@ -222,17 +225,24 @@ ClosedLoopSim::planningCycle()
         health_->noteHeartbeat("camera", now);
     ++proactive_cycles_;
 
-    // Load shedding: when a latency tail backs the pipeline up, drop
-    // this cycle's frame rather than queue work that would only yield
-    // a stale command hundreds of milliseconds late.
+    // Congestion disposition: when a latency tail backs the pipeline
+    // up, sync mode drops this cycle's frame rather than queue work
+    // that would only yield a stale command hundreds of milliseconds
+    // late; async mode still plans but parks the frame under
+    // backpressure (admitted by the completion that frees a slot).
+    bool defer = false;
     if (!config_.fixed_compute_latency &&
         pipeline_exec_.framesInFlight() >= config_.max_frames_in_flight) {
-        ++result_.frames_dropped;
-        if (recorder_) {
-            recorder_->instant(trace_ids_.load_shed, trace_ids_.cat_sched,
-                               trace_ids_.track_loop, now);
+        if (config_.pipeline_mode == PipelineMode::Sync) {
+            ++result_.frames_dropped;
+            if (recorder_) {
+                recorder_->instant(trace_ids_.load_shed,
+                                   trace_ids_.cat_sched,
+                                   trace_ids_.track_loop, now);
+            }
+            return;
         }
-        return;
+        defer = true;
     }
 
     // Perception oracle with modelled latency: the planner sees the
@@ -287,13 +297,25 @@ ClosedLoopSim::planningCycle()
                       [this, cmd = plan.command] { dispatchCommand(cmd); });
         return;
     }
+    if (defer) {
+        // Async backpressure: park this cycle's plan until a window
+        // slot frees. Latest wins — a plan superseded before admission
+        // is the async analogue of a shed frame.
+        ++result_.frames_deferred;
+        if (pending_release_)
+            ++result_.frames_dropped;
+        pending_release_ = plan.command;
+        if (recorder_) {
+            recorder_->instant(trace_ids_.frame_deferred,
+                               trace_ids_.cat_sched, trace_ids_.track_loop,
+                               now);
+        }
+        return;
+    }
     if (cam.extra_latency > Duration::zero()) {
         // Sensor latency spike: the frame enters the pipeline late.
         sim_.schedule(cam.extra_latency, [this, cmd = plan.command] {
-            pipeline_exec_.releaseFrame(
-                [this, cmd](const runtime::FrameTrace &) {
-                    dispatchCommand(cmd);
-                });
+            releasePipelineFrame(cmd);
         });
         return;
     }
@@ -302,13 +324,33 @@ ClosedLoopSim::planningCycle()
     // Per-resource in-order issue keeps command delivery in cycle
     // order even when a frame hits a latency tail. An abandoned frame
     // (watchdog retries exhausted) never fires the callback with a
-    // command transmit — see the failed check below.
+    // command transmit — see releasePipelineFrame.
+    releasePipelineFrame(plan.command);
+}
+
+void
+ClosedLoopSim::releasePipelineFrame(const ControlCommand &command)
+{
     pipeline_exec_.releaseFrame(
-        [this, cmd = plan.command](const runtime::FrameTrace &trace) {
-            if (trace.failed)
-                return; // skip-frame: no stale/garbage command
-            dispatchCommand(cmd);
+        [this, cmd = command](const runtime::FrameTrace &trace) {
+            // skip-frame: an abandoned frame transmits no stale/garbage
+            // command, but its retirement still frees a window slot.
+            if (!trace.failed)
+                dispatchCommand(cmd);
+            pumpPending();
         });
+}
+
+void
+ClosedLoopSim::pumpPending()
+{
+    if (!pending_release_)
+        return;
+    if (pipeline_exec_.framesInFlight() >= config_.max_frames_in_flight)
+        return;
+    const ControlCommand cmd = *pending_release_;
+    pending_release_.reset();
+    releasePipelineFrame(cmd);
 }
 
 void

@@ -37,6 +37,25 @@
 
 namespace sov {
 
+/**
+ * How planning cycles feed the Fig. 5 pipeline when it is congested.
+ *
+ * Sync is the classic load-shedding loop: a cycle whose frame finds
+ * max_frames_in_flight frames already in flight drops it outright.
+ * Async mirrors DataflowExecutor::runAsync's admission window inside
+ * the closed loop: the congested cycle still plans, but its frame is
+ * *deferred* — parked until the completion that frees a window slot
+ * admits it (backpressure instead of loss). A newer cycle supersedes
+ * an un-admitted deferral (the stale plan is dropped), so at most one
+ * frame waits and commands never act on state older than one cycle.
+ * Availability and degradation accounting are identical in both modes.
+ */
+enum class PipelineMode
+{
+    Sync,
+    Async,
+};
+
 /** Closed-loop simulation settings. */
 struct ClosedLoopConfig
 {
@@ -79,6 +98,13 @@ struct ClosedLoopConfig
     std::optional<Duration> stage_watchdog;
     /** Retries per stage attempt before the frame is abandoned. */
     std::uint32_t stage_max_retries = 1;
+    /** Pause between a failed stage attempt and its retry (restart
+     *  cost); zero keeps the pre-backoff supervised schedule. */
+    Duration stage_retry_backoff = Duration::zero();
+    /** Congestion behavior of the proactive pipeline (see
+     *  PipelineMode): shed the frame (Sync) or defer it under
+     *  backpressure (Async). */
+    PipelineMode pipeline_mode = PipelineMode::Sync;
 };
 
 /** Outcome of a scenario run. */
@@ -94,8 +120,13 @@ struct ClosedLoopResult
     double reactive_fraction = 0.0;
     /** Pipeline frames that blew config.pipeline_deadline. */
     std::uint64_t deadline_misses = 0;
-    /** Planning cycles shed because the pipeline was congested. */
+    /** Planning cycles shed because the pipeline was congested. In
+     *  async mode a frame is only counted here when a newer cycle
+     *  superseded it before it was admitted. */
     std::uint64_t frames_dropped = 0;
+    /** Async mode: cycles whose frame was parked under backpressure
+     *  instead of released immediately (zero in sync mode). */
+    std::uint64_t frames_deferred = 0;
     /** Frames abandoned after a stage exhausted its watchdog retries. */
     std::uint64_t pipeline_frames_failed = 0;
     /** Command frames eaten by an injected CAN loss fault. */
@@ -173,6 +204,11 @@ class ClosedLoopSim
     void planningCycle();
     void physicsStep();
     void dispatchCommand(const ControlCommand &command);
+    /** Release a frame whose completion transmits @p command (and, in
+     *  async mode, admits any deferred frame). */
+    void releasePipelineFrame(const ControlCommand &command);
+    /** Async mode: admit the deferred frame if the window has room. */
+    void pumpPending();
     /** Emit any degradation transitions not yet in the trace. */
     void traceNewTransitions();
 
@@ -206,6 +242,9 @@ class ClosedLoopSim
     fault::FaultChannel *radar_dropout_ = nullptr;
     std::unique_ptr<health::HealthMonitor> health_;
     CameraSnapshot last_camera_;
+    /** Async mode: the command of the one frame parked under
+     *  backpressure (latest wins; see PipelineMode). */
+    std::optional<ControlCommand> pending_release_;
 
     // Trace wiring (all optional; inert when recorder_ is null).
     obs::TraceRecorder *recorder_ = nullptr;
@@ -217,6 +256,7 @@ class ClosedLoopSim
         obs::NameId cat_fault = 0;
         obs::NameId cat_health = 0;
         obs::NameId load_shed = 0;
+        obs::NameId frame_deferred = 0;
         obs::NameId camera_dropout = 0;
         obs::NameId radar_dropout = 0;
         obs::NameId safe_stop = 0;

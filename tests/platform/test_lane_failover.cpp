@@ -1,0 +1,154 @@
+/**
+ * RprLaneFailover state machine and FailoverStageExecutor routing:
+ * fault -> Reconfiguring (CPU carries the stage) -> Accelerated, an
+ * exhausted retry budget parks the lane CpuResident, faults while the
+ * fabric is stale are absorbed, and the CPU-driven baseline books its
+ * three-orders-slower recovery window.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rng.h"
+#include "platform/calibration.h"
+#include "platform/lane_failover.h"
+#include "runtime/stage_executor.h"
+
+namespace sov {
+namespace {
+
+constexpr auto kBytes =
+    static_cast<std::uint64_t>(calibration::kBitstreamBytes);
+
+TEST(LaneFailover, FaultOpensRecoveryWindowThenReaccelerates)
+{
+    const RprEngine engine;
+    LaneFailoverConfig cfg;
+    cfg.bitstream_bytes = kBytes;
+    RprLaneFailover failover(engine, cfg, Rng(1));
+
+    const Timestamp t0 = Timestamp::seconds(1.0);
+    EXPECT_EQ(failover.state(t0), LaneState::Accelerated);
+    failover.onLaneFault(t0);
+
+    // p = 0: the first attempt lands; the window is one hardware
+    // reconfiguration (~2.9 ms for the calibrated 1 MB bitstream).
+    const Duration window = engine.reconfigure(kBytes).duration;
+    EXPECT_EQ(failover.recoveredAt().ns(), (t0 + window).ns());
+    EXPECT_EQ(failover.state(t0), LaneState::Reconfiguring);
+    EXPECT_EQ(failover.state(t0 + window - Duration::nanos(1)),
+              LaneState::Reconfiguring);
+    EXPECT_EQ(failover.state(t0 + window), LaneState::Accelerated);
+    EXPECT_EQ(failover.reconfigurations(), 1u);
+    EXPECT_EQ(failover.faultsObserved(), 1u);
+    EXPECT_TRUE(failover.lastResult().success);
+    EXPECT_EQ(failover.lastResult().attempts, 1u);
+    EXPECT_EQ(failover.totalReconfigTime().ns(), window.ns());
+}
+
+TEST(LaneFailover, FaultsWhileStaleAreAbsorbed)
+{
+    const RprEngine engine;
+    LaneFailoverConfig cfg;
+    cfg.bitstream_bytes = kBytes;
+    RprLaneFailover failover(engine, cfg, Rng(1));
+
+    const Timestamp t0 = Timestamp::origin();
+    failover.onLaneFault(t0);
+    const Timestamp recovered = failover.recoveredAt();
+
+    // A second fault mid-window is counted but does not restart (or
+    // extend) the in-flight reconfiguration.
+    failover.onLaneFault(t0 + Duration::micros(500));
+    EXPECT_EQ(failover.faultsObserved(), 2u);
+    EXPECT_EQ(failover.reconfigurations(), 1u);
+    EXPECT_EQ(failover.recoveredAt().ns(), recovered.ns());
+
+    // A fault after recovery triggers a fresh reconfiguration.
+    failover.onLaneFault(recovered + Duration::millis(1));
+    EXPECT_EQ(failover.reconfigurations(), 2u);
+}
+
+TEST(LaneFailover, ExhaustedRetryBudgetParksLaneCpuResident)
+{
+    const RprEngine engine;
+    LaneFailoverConfig cfg;
+    cfg.bitstream_bytes = kBytes;
+    cfg.reconfig_failure_probability = 0.999;
+    cfg.max_retries = 2;
+    RprLaneFailover failover(engine, cfg, Rng(7));
+
+    const Timestamp t0 = Timestamp::origin();
+    failover.onLaneFault(t0);
+    EXPECT_FALSE(failover.lastResult().success);
+    EXPECT_EQ(failover.lastResult().attempts, 3u); // 1 + 2 retries
+    // Every attempt is costed even though the fabric stayed stale.
+    const Duration single = engine.reconfigure(kBytes).duration;
+    EXPECT_EQ(failover.totalReconfigTime().ns(), (single * 3.0).ns());
+    EXPECT_EQ(failover.reconfigurations(), 0u);
+    // CpuResident is permanent: no time heals it, later faults are
+    // absorbed without a new reconfiguration attempt.
+    EXPECT_EQ(failover.state(Timestamp::seconds(1e6)),
+              LaneState::CpuResident);
+    failover.onLaneFault(Timestamp::seconds(10.0));
+    EXPECT_EQ(failover.faultsObserved(), 2u);
+    EXPECT_EQ(failover.totalReconfigTime().ns(), (single * 3.0).ns());
+}
+
+TEST(LaneFailover, CpuDrivenBaselineBooksSecondsNotMillis)
+{
+    const RprEngine engine;
+    LaneFailoverConfig cfg;
+    cfg.bitstream_bytes = kBytes;
+    cfg.cpu_driven = true;
+    RprLaneFailover failover(engine, cfg, Rng(1));
+
+    failover.onLaneFault(Timestamp::origin());
+    // Sec. V-B3: ~300 KB/s CPU-driven path -> ~3.33 s for 1 MB,
+    // versus < 3 ms for the hardware engine.
+    EXPECT_NEAR(failover.totalReconfigTime().toSeconds(), 3.33, 0.01);
+    EXPECT_EQ(failover.lastResult().attempts, 1u);
+    EXPECT_TRUE(failover.lastResult().success);
+    EXPECT_EQ(failover.state(Timestamp::seconds(1.0)),
+              LaneState::Reconfiguring);
+    EXPECT_EQ(failover.state(Timestamp::seconds(3.5)),
+              LaneState::Accelerated);
+}
+
+TEST(LaneFailover, ExecutorRoutesByStateAndCountsInvocations)
+{
+    const RprEngine engine;
+    LaneFailoverConfig cfg;
+    cfg.bitstream_bytes = kBytes;
+    RprLaneFailover failover(engine, cfg, Rng(1));
+
+    const Duration accel_d = Duration::millisF(5.0);
+    const Duration cpu_d = Duration::millisF(60.0);
+    Timestamp now = Timestamp::origin();
+    FailoverStageExecutor exec(
+        std::make_unique<runtime::FixedExecutor>(accel_d),
+        std::make_unique<runtime::FixedExecutor>(cpu_d), failover,
+        [&now] { return now; },
+        [](std::size_t frame, Timestamp) { return frame == 1; });
+
+    // Healthy: the dedicated engine carries the stage.
+    EXPECT_EQ(exec.execute(0).ns(), accel_d.ns());
+    // The faulting invocation itself already runs on the CPU — the
+    // engine produced garbage, the frame must not consume it.
+    now = now + Duration::millis(10);
+    EXPECT_EQ(exec.execute(1).ns(), cpu_d.ns());
+    // Mid-window: still on the CPU.
+    now = now + Duration::millisF(1.0);
+    EXPECT_EQ(exec.execute(2).ns(), cpu_d.ns());
+    // Past the recovery window: re-accelerated.
+    now = failover.recoveredAt() + Duration::millis(1);
+    EXPECT_EQ(exec.execute(3).ns(), accel_d.ns());
+
+    EXPECT_EQ(exec.accelInvocations(), 2u);
+    EXPECT_EQ(exec.cpuInvocations(), 2u);
+    EXPECT_EQ(failover.faultsObserved(), 1u);
+    EXPECT_EQ(exec.lastOutcome(), runtime::StageOutcome::Ok);
+}
+
+} // namespace
+} // namespace sov

@@ -131,6 +131,27 @@ TEST(RprFaults, RetriesAccumulateTimeAndEnergy)
     EXPECT_DOUBLE_EQ(faulty.total.throughput_mb_s, 0.0);
 }
 
+TEST(RprFaults, ZeroRetryBudgetExhaustsOnFirstFailure)
+{
+    // max_retries = 0: the first failed CRC/DONE check already
+    // exhausts the budget. Exactly one attempt is costed and exactly
+    // one bernoulli is drawn from the stream.
+    const RprEngine engine;
+    Rng rng(7);
+    const auto base = engine.reconfigure(1'000'000);
+    const auto faulty =
+        engine.reconfigureWithFaults(1'000'000, 0.999, 0, rng);
+    EXPECT_FALSE(faulty.success);
+    EXPECT_EQ(faulty.attempts, 1u);
+    EXPECT_EQ(faulty.total.duration.ns(), base.duration.ns());
+    EXPECT_NEAR(faulty.total.energy.toMillijoules(),
+                base.energy.toMillijoules(), 1e-12);
+    // Stream position: one draw consumed, no more, no fewer.
+    Rng fresh(7);
+    fresh.bernoulli(0.999);
+    EXPECT_DOUBLE_EQ(rng.uniform(), fresh.uniform());
+}
+
 TEST(RprFaults, OccasionalFailureEventuallySucceeds)
 {
     const RprEngine engine;

@@ -8,18 +8,26 @@ Two classes of change fail the diff:
     candidate (new gates and newly-passing gates are reported but OK);
   * performance drift — a named latency/throughput value in a row
     table or the meta block moving by more than --tolerance (default
-    10%) in either direction.
+    10%) in either direction;
+  * fault-outcome drift — a row's categorical outcome ("outcome",
+    "worst_level", "final_state") changing at all, or its
+    "availability" drifting out of tolerance. This is what turns a
+    fault-matrix regression (a scenario that used to stop now
+    collides, a policy that used to stay Degraded now hits SafeStop)
+    into a CI failure.
 
 Performance keys are recognised by name: anything containing
-"latency" or "throughput", or ending in "_ms", "_hz" or "per_sec".
-Wall-clock keys ("wall_*") are machine noise and never compared; the
-simulated-time metrics are deterministic, so drift there is a real
-behaviour change, not jitter.
+"latency", "throughput" or "availability", or ending in "_ms", "_hz"
+or "per_sec". Wall-clock keys ("wall_*") are machine noise and never
+compared; the simulated-time metrics are deterministic, so drift
+there is a real behaviour change, not jitter.
 
-Row tables are aligned by the row's first string-valued field (its
-label, e.g. mode= or preset=) falling back to row index. A report
-pair whose `smoke` flags disagree is skipped — a smoke matrix and a
-full matrix legitimately produce different numbers.
+Row tables are aligned by a composite of the row's known label keys
+(fault/scenario/policy/mode/preset/stack/name — so the fault matrix's
+4 cells per fault land on distinct labels), falling back to the first
+string-valued field, then the row index. A report pair whose `smoke`
+flags disagree is skipped — a smoke matrix and a full matrix
+legitimately produce different numbers.
 
 Usage:
     tools/bench_diff.py BASELINE_DIR CANDIDATE_DIR [--tolerance 0.10]
@@ -36,12 +44,22 @@ import sys
 
 PERF_SUFFIXES = ("_ms", "_hz", "per_sec")
 
+# Row fields that identify a row rather than measure it, in label
+# order. The fault matrix repeats the same fault name across its
+# policy x mode cells; compounding the keys keeps each cell distinct.
+LABEL_KEYS = ("fault", "scenario", "policy", "mode", "preset", "stack",
+              "name")
+
+# Categorical per-row results: any change is a behaviour regression.
+OUTCOME_KEYS = ("outcome", "worst_level", "final_state")
+
 
 def is_perf_key(key):
     lowered = key.lower()
     if lowered.startswith("wall"):
         return False
-    if "latency" in lowered or "throughput" in lowered:
+    if ("latency" in lowered or "throughput" in lowered
+            or "availability" in lowered):
         return True
     return lowered.endswith(PERF_SUFFIXES)
 
@@ -51,6 +69,10 @@ def is_number(value):
 
 
 def row_label(row, index):
+    parts = [row[key] for key in LABEL_KEYS
+             if isinstance(row.get(key), str)]
+    if parts:
+        return "/".join(parts)
     for value in row.values():
         if isinstance(value, str):
             return value
@@ -75,6 +97,16 @@ def diff_values(path, base, cand, tolerance, problems):
             problems.append(
                 f"{path}.{key}: {base_value:g} -> {cand_value:g} "
                 f"({drift * 100.0:+.1f}% > {tolerance * 100.0:.0f}%)")
+
+
+def diff_outcomes(path, base, cand, problems):
+    """Flag any change in a row's categorical fault outcome."""
+    for key in OUTCOME_KEYS:
+        if key not in base:
+            continue
+        if base.get(key) != cand.get(key):
+            problems.append(f"{path}.{key}: '{base.get(key)}' -> "
+                            f"'{cand.get(key)}'")
 
 
 def diff_report(name, base, cand, tolerance):
@@ -111,6 +143,8 @@ def diff_report(name, base, cand, tolerance):
                 continue
             diff_values(f"{name}.{table}[{label}]", row, cand_row,
                         tolerance, problems)
+            diff_outcomes(f"{name}.{table}[{label}]", row, cand_row,
+                          problems)
     return problems
 
 
