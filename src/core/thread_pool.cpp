@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/logging.h"
+
 namespace sov {
 
 std::size_t
@@ -34,26 +36,106 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
-std::future<void>
-ThreadPool::submit(std::function<void()> task)
+void
+ThreadPool::enqueue(Entry entry)
 {
-    auto packaged = std::make_shared<std::packaged_task<void()>>(
-        std::move(task));
-    std::future<void> future = packaged->get_future();
-
     const std::size_t shard =
         next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
     {
         std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-        shards_[shard]->tasks.emplace_back(
-            [packaged] { (*packaged)(); });
+        shards_[shard]->tasks.push_back(std::move(entry));
     }
     {
         std::lock_guard<std::mutex> lock(wake_mutex_);
         ++pending_;
     }
     wake_.notify_one();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+    enqueue(Entry{[packaged] { (*packaged)(); }, 0});
     return future;
+}
+
+void
+ThreadPool::submitTagged(std::uint64_t tag, std::function<void()> task)
+{
+    SOV_ASSERT(tag != 0);
+    // Count the task up *before* it becomes poppable so drainTag()
+    // can never observe a moment where the task exists but is not
+    // reflected in the outstanding count.
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        ++tag_outstanding_[tag];
+    }
+    enqueue(Entry{std::move(task), tag});
+}
+
+std::size_t
+ThreadPool::cancelTag(std::uint64_t tag)
+{
+    SOV_ASSERT(tag != 0);
+    std::size_t removed = 0;
+    for (const std::unique_ptr<Shard> &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        auto &q = shard->tasks;
+        for (auto it = q.begin(); it != q.end();) {
+            if (it->tag == tag) {
+                it = q.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (removed > 0) {
+        {
+            std::lock_guard<std::mutex> lock(wake_mutex_);
+            pending_ -= static_cast<std::int64_t>(removed);
+        }
+        finishTagged(tag, removed);
+    }
+    return removed;
+}
+
+void
+ThreadPool::finishTagged(std::uint64_t tag, std::size_t n)
+{
+    bool drained = false;
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        auto it = tag_outstanding_.find(tag);
+        SOV_ASSERT(it != tag_outstanding_.end() && it->second >= n);
+        it->second -= n;
+        if (it->second == 0) {
+            tag_outstanding_.erase(it);
+            drained = true;
+        }
+    }
+    if (drained)
+        drain_cv_.notify_all();
+}
+
+void
+ThreadPool::drainTag(std::uint64_t tag)
+{
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    drain_cv_.wait(lock, [this, tag] {
+        return tag_outstanding_.find(tag) == tag_outstanding_.end();
+    });
+}
+
+std::size_t
+ThreadPool::taggedOutstanding(std::uint64_t tag) const
+{
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    const auto it = tag_outstanding_.find(tag);
+    return it == tag_outstanding_.end() ? 0 : it->second;
 }
 
 void
@@ -83,33 +165,36 @@ ThreadPool::parallelFor(std::size_t count,
 bool
 ThreadPool::runOne(std::size_t self)
 {
-    std::function<void()> task;
+    Entry entry;
     {
         Shard &own = *shards_[self];
         std::lock_guard<std::mutex> lock(own.mutex);
         if (!own.tasks.empty()) {
-            task = std::move(own.tasks.front());
+            entry = std::move(own.tasks.front());
             own.tasks.pop_front();
         }
     }
-    if (!task) {
+    if (!entry.fn) {
         // Steal from the back of the first non-empty victim.
-        for (std::size_t off = 1; off < shards_.size() && !task; ++off) {
+        for (std::size_t off = 1; off < shards_.size() && !entry.fn;
+             ++off) {
             Shard &victim = *shards_[(self + off) % shards_.size()];
             std::lock_guard<std::mutex> lock(victim.mutex);
             if (!victim.tasks.empty()) {
-                task = std::move(victim.tasks.back());
+                entry = std::move(victim.tasks.back());
                 victim.tasks.pop_back();
             }
         }
     }
-    if (!task)
+    if (!entry.fn)
         return false;
     {
         std::lock_guard<std::mutex> lock(wake_mutex_);
         --pending_;
     }
-    task(); // packaged_task: exceptions land in the future
+    entry.fn(); // packaged_task path: exceptions land in the future
+    if (entry.tag != 0)
+        finishTagged(entry.tag, 1);
     return true;
 }
 
@@ -121,7 +206,7 @@ ThreadPool::workerLoop(std::size_t self)
             continue;
         std::unique_lock<std::mutex> lock(wake_mutex_);
         wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
-        if (stop_ && pending_ == 0)
+        if (stop_ && pending_ <= 0)
             return;
     }
 }

@@ -17,15 +17,24 @@
  * results. Exceptions thrown by a task are captured into its future
  * and rethrown at get(); parallelFor() rethrows the lowest-index
  * failure so even error reporting is thread-count independent.
+ *
+ * Tagged submission (the serving layer's cancellation substrate): a
+ * long-running owner (sov::serve jobs) tags its tasks with a nonzero
+ * id. cancelTag() removes every still-queued task with that tag, and
+ * drainTag() blocks until no queued *or running* task carries it — so
+ * an owner can guarantee, before tearing its own state down, that the
+ * pool holds no orphaned task that would race the teardown.
  */
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -58,6 +67,33 @@ class ThreadPool
     std::future<void> submit(std::function<void()> task);
 
     /**
+     * Enqueue @p task under @p tag (nonzero; 0 is reserved for
+     * untagged submissions). No future: completion is tracked by the
+     * tag's outstanding count — see drainTag(). The task must handle
+     * its own errors; an escaping exception terminates the process.
+     */
+    void submitTagged(std::uint64_t tag, std::function<void()> task);
+
+    /**
+     * Remove every still-queued task carrying @p tag from the worker
+     * deques (already-running tasks are not interrupted) and return
+     * how many were removed. The owner decides what removal means —
+     * sov::serve revokes the corresponding job shards.
+     */
+    std::size_t cancelTag(std::uint64_t tag);
+
+    /**
+     * Block until no queued or running task carries @p tag. Combined
+     * with cancelTag() this is the shutdown handshake: cancel the
+     * queued tail, drain the running remainder, then tear down the
+     * state those tasks referenced — nothing can race the teardown.
+     */
+    void drainTag(std::uint64_t tag);
+
+    /** Outstanding (queued + running) tasks under @p tag. */
+    std::size_t taggedOutstanding(std::uint64_t tag) const;
+
+    /**
      * Run body(0..count-1) across the workers and block until all
      * complete. If any invocation throws, the exception of the
      * lowest failing index is rethrown (deterministic across thread
@@ -70,13 +106,22 @@ class ThreadPool
     static std::size_t defaultThreads();
 
   private:
+    /** One queued task plus its owner tag (0 = untagged). */
+    struct Entry
+    {
+        std::function<void()> fn;
+        std::uint64_t tag = 0;
+    };
+
     /** One worker's deque; owner pops the front, thieves the back. */
     struct Shard
     {
         std::mutex mutex;
-        std::deque<std::function<void()>> tasks;
+        std::deque<Entry> tasks;
     };
 
+    void enqueue(Entry entry);
+    void finishTagged(std::uint64_t tag, std::size_t n);
     void workerLoop(std::size_t self);
     /** Pop own work or steal; true if a task was run. */
     bool runOne(std::size_t self);
@@ -85,10 +130,18 @@ class ThreadPool
     std::vector<std::thread> workers_;
 
     /** Guards sleep/wake; pending_ mutates under it so a submit racing
-     *  a worker's sleep check cannot lose the wakeup. */
-    std::mutex wake_mutex_;
+     *  a worker's sleep check cannot lose the wakeup. Signed: a worker
+     *  may pop (and count down) a task whose submit has pushed it but
+     *  not yet counted it up, so the count can dip below zero
+     *  transiently; the sleep predicate treats <= 0 as "no work",
+     *  which is correct because the only uncounted task was already
+     *  taken. (An unsigned count would wrap and spin the workers.) */
+    mutable std::mutex wake_mutex_;
     std::condition_variable wake_;
-    std::size_t pending_ = 0; //!< queued, not yet popped
+    std::condition_variable drain_cv_; //!< drainTag() waiters
+    std::int64_t pending_ = 0;         //!< queued, not yet popped
+    /** Queued-or-running count per nonzero tag; erased at zero. */
+    std::map<std::uint64_t, std::size_t> tag_outstanding_;
     bool stop_ = false;
 
     std::atomic<std::size_t> next_shard_{0};

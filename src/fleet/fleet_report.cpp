@@ -120,14 +120,36 @@ FleetReport::merge(const FleetReport &other)
 }
 
 void
+FleetReport::mergeRow(ScenarioOutcome row)
+{
+    // Canonical-position insert: the row lands exactly where a
+    // full-sort rebuild would put it, so the sortedness invariant
+    // survives without re-sorting — deriveAggregates() asserts it.
+    const auto it = std::lower_bound(
+        rows_.begin(), rows_.end(), row.index,
+        [](const ScenarioOutcome &o, std::size_t index) {
+            return o.index < index;
+        });
+    SOV_ASSERT(it == rows_.end() || it->index != row.index);
+    rows_.insert(it, std::move(row));
+    deriveAggregates();
+}
+
+void
 FleetReport::rebuild()
 {
     std::sort(rows_.begin(), rows_.end(),
               [](const ScenarioOutcome &a, const ScenarioOutcome &b) {
                   return a.index < b.index;
               });
+    deriveAggregates();
+}
+
+void
+FleetReport::deriveAggregates()
+{
     for (std::size_t i = 1; i < rows_.size(); ++i)
-        SOV_ASSERT(rows_[i].index != rows_[i - 1].index);
+        SOV_ASSERT(rows_[i].index > rows_[i - 1].index);
 
     // Aggregates are re-derived from scratch, folding rows in index
     // order: the result depends only on the row set, never on how the

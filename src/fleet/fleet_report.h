@@ -92,6 +92,19 @@ class FleetReport
      *  aggregates; order-independent (see file comment). */
     void merge(const FleetReport &other);
 
+    /**
+     * Stream one completed row into the report: the row is inserted
+     * at its canonical position (rows stay sorted by index; a
+     * duplicate index is a caller bug and asserts) and the aggregates
+     * are re-derived by the same canonical index-order fold as
+     * fromOutcomes(). Consequence: streaming rows in ANY completion
+     * order yields a report bit-identical to fromOutcomes() over the
+     * same row set — this is what lets sov::serve expose partial
+     * results shard by shard without forking the determinism
+     * contract.
+     */
+    void mergeRow(ScenarioOutcome row);
+
     const std::vector<ScenarioOutcome> &outcomes() const { return rows_; }
     const FleetAggregate &aggregate() const { return aggregate_; }
 
@@ -104,6 +117,8 @@ class FleetReport
 
   private:
     void rebuild();
+    /** Assert canonical ordering, then fold the aggregates. */
+    void deriveAggregates();
 
     std::vector<ScenarioOutcome> rows_; //!< sorted by index
     FleetAggregate aggregate_;

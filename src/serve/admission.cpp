@@ -1,0 +1,91 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sov::serve {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s), burst_(burst), tokens_(burst)
+{
+    SOV_ASSERT(rate_per_s >= 0.0 && burst >= 0.0);
+}
+
+void
+TokenBucket::refill(double now_s)
+{
+    if (now_s > last_s_) {
+        tokens_ = std::min(burst_,
+                           tokens_ + rate_per_s_ * (now_s - last_s_));
+        last_s_ = now_s;
+    }
+}
+
+bool
+TokenBucket::tryTake(double n, double now_s)
+{
+    refill(now_s);
+    if (tokens_ < n)
+        return false;
+    tokens_ -= n;
+    return true;
+}
+
+double
+TokenBucket::available(double now_s)
+{
+    refill(now_s);
+    return tokens_;
+}
+
+AdmissionController::AdmissionController(std::vector<TenantConfig> tenants)
+    : tenants_(std::move(tenants))
+{
+    buckets_.reserve(tenants_.size());
+    for (const TenantConfig &t : tenants_)
+        buckets_.emplace_back(t.rate_scenarios_per_s, t.burst_scenarios);
+}
+
+const TenantConfig *
+AdmissionController::find(const std::string &tenant) const
+{
+    for (const TenantConfig &t : tenants_)
+        if (t.name == tenant)
+            return &t;
+    return nullptr;
+}
+
+std::optional<std::string>
+AdmissionController::decide(const std::string &tenant,
+                            std::size_t scenarios,
+                            std::size_t queued_scenarios, double now_s)
+{
+    const TenantConfig *config = nullptr;
+    std::size_t slot = 0;
+    for (; slot < tenants_.size(); ++slot) {
+        if (tenants_[slot].name == tenant) {
+            config = &tenants_[slot];
+            break;
+        }
+    }
+    if (config == nullptr)
+        return kRejectUnknownTenant;
+    if (scenarios == 0)
+        return kRejectEmptyJob;
+    const auto n = static_cast<double>(scenarios);
+    // A job larger than the bucket can ever hold would starve forever
+    // on the rate check; reject it with a distinct code so the tenant
+    // learns to split the sweep instead of retrying.
+    if (n > config->burst_scenarios)
+        return kRejectOverBurst;
+    // Backlog check first: it consumes nothing, so an over-backlog
+    // retry storm cannot drain the tenant's own tokens.
+    if (queued_scenarios + scenarios > config->max_queued_scenarios)
+        return kRejectOverBacklog;
+    if (!buckets_[slot].tryTake(n, now_s))
+        return kRejectOverRate;
+    return std::nullopt;
+}
+
+} // namespace sov::serve

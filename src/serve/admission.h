@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Batched admission control: per-tenant token buckets + backlog caps.
+ *
+ * The serving layer's first line of defense against overload (the
+ * paper's availability envelope argument, applied to the fleet
+ * service): a tenant submitting faster than its provisioned rate is
+ * rejected at the door, not queued into an unbounded backlog that
+ * would erode every other tenant's time-to-first-result.
+ *
+ * Admission is batched: a job of N scenarios needs N tokens at once
+ * (no partial admission — a half-admitted sweep is useless to the
+ * tenant) and is additionally bounced while the tenant already has
+ * max_queued_scenarios waiting, which bounds the per-tenant backlog
+ * and therefore the worst-case queueing delay of everyone else.
+ *
+ * Time is supplied by the caller (monotonic seconds), never sampled
+ * here — the unit tests drive the clock explicitly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sov::serve {
+
+/** Provisioning of one tenant. */
+struct TenantConfig
+{
+    std::string name;
+    /** Sustained admission rate, scenarios per second. */
+    double rate_scenarios_per_s = 100.0;
+    /** Bucket capacity: the largest burst admissible at once. */
+    double burst_scenarios = 200.0;
+    /** Max scenarios queued (admitted, not yet dispatched) before
+     *  further jobs are rejected with "over_backlog". */
+    std::size_t max_queued_scenarios = 1000;
+    /** DRR quantum: relative share of the worker pool under
+     *  contention (scenarios granted per scheduler round). */
+    std::uint32_t weight = 1;
+};
+
+/** Rejection codes (the line protocol's ERR reasons). */
+inline constexpr const char *kRejectUnknownTenant = "unknown_tenant";
+inline constexpr const char *kRejectOverRate = "over_rate";
+inline constexpr const char *kRejectOverBacklog = "over_backlog";
+inline constexpr const char *kRejectEmptyJob = "empty_job";
+inline constexpr const char *kRejectOverBurst = "over_burst";
+
+/** Classic token bucket over a caller-supplied clock. */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+    TokenBucket(double rate_per_s, double burst);
+
+    /** Refill for the elapsed time, then take @p n tokens if — and
+     *  only if — all n are available. @p now_s must not go backwards. */
+    bool tryTake(double n, double now_s);
+
+    /** Tokens available at @p now_s (refilled, not consumed). */
+    double available(double now_s);
+
+  private:
+    void refill(double now_s);
+
+    double rate_per_s_ = 0.0;
+    double burst_ = 0.0;
+    double tokens_ = 0.0;
+    double last_s_ = 0.0;
+};
+
+/** Admission decisions across the configured tenant set. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(std::vector<TenantConfig> tenants = {});
+
+    /**
+     * Decide one submission of @p scenarios scenarios by @p tenant,
+     * given its current backlog of @p queued_scenarios, at monotonic
+     * time @p now_s. Returns std::nullopt on admission (tokens are
+     * consumed) or a rejection code (nothing is consumed).
+     */
+    std::optional<std::string> decide(const std::string &tenant,
+                                      std::size_t scenarios,
+                                      std::size_t queued_scenarios,
+                                      double now_s);
+
+    const TenantConfig *find(const std::string &tenant) const;
+    const std::vector<TenantConfig> &tenants() const { return tenants_; }
+
+  private:
+    std::vector<TenantConfig> tenants_;
+    std::vector<TokenBucket> buckets_; //!< parallel to tenants_
+};
+
+} // namespace sov::serve

@@ -1,0 +1,134 @@
+#include "serve/catalog.h"
+
+#include <utility>
+
+namespace sov::serve {
+
+namespace {
+
+using fleet::ScenarioMatrix;
+using fleet::ScenarioSpec;
+using fleet::WorldPreset;
+
+/** Enumerate @p matrix with the catalog params applied. */
+std::vector<ScenarioSpec>
+enumerateWith(ScenarioMatrix matrix, const CatalogParams &params)
+{
+    ScenarioMatrix out;
+    for (WorldPreset w : matrix.worlds()) {
+        w.horizon_s = params.horizon_s;
+        out.addWorld(std::move(w));
+    }
+    out.addFaults(matrix.faults());
+    for (const fleet::StackPreset &s : matrix.stacks())
+        out.addStack(s);
+    out.addSeeds(params.seed, params.seeds);
+    return out.enumerate();
+}
+
+} // namespace
+
+void
+ScenarioCatalog::add(std::string name, std::string description,
+                     Builder builder)
+{
+    entries_.push_back(
+        Entry{std::move(name), std::move(description), std::move(builder)});
+}
+
+bool
+ScenarioCatalog::has(const std::string &name) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+std::optional<std::vector<ScenarioSpec>>
+ScenarioCatalog::build(const std::string &name,
+                       const CatalogParams &params) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return e.builder(params);
+    return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ScenarioCatalog::entries() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.emplace_back(e.name, e.description);
+    return out;
+}
+
+ScenarioCatalog
+ScenarioCatalog::standard()
+{
+    ScenarioCatalog catalog;
+    catalog.add("open_road", "obstacle-free baseline, bare stack",
+                [](const CatalogParams &p) {
+                    ScenarioMatrix m;
+                    m.addWorld(fleet::openRoadWorld());
+                    m.addFault(fleet::noFaultPreset());
+                    m.addStack(fleet::bareStack());
+                    return enumerateWith(std::move(m), p);
+                });
+    catalog.add("sudden_wall",
+                "Sec. IV wall at 30/40/50 m, bare + supervised",
+                [](const CatalogParams &p) {
+                    ScenarioMatrix m;
+                    for (double wall_x : {30.0, 40.0, 50.0})
+                        m.addWorld(fleet::suddenWallWorld(wall_x));
+                    m.addFault(fleet::noFaultPreset());
+                    m.addStack(fleet::bareStack());
+                    m.addStack(fleet::supervisedStack());
+                    return enumerateWith(std::move(m), p);
+                });
+    catalog.add("crossing", "crossing pedestrian, bare + supervised",
+                [](const CatalogParams &p) {
+                    ScenarioMatrix m;
+                    m.addWorld(fleet::crossingPedestrianWorld(150.0, 0.5));
+                    m.addFault(fleet::noFaultPreset());
+                    m.addStack(fleet::bareStack());
+                    m.addStack(fleet::supervisedStack());
+                    return enumerateWith(std::move(m), p);
+                });
+    catalog.add("traffic", "6-vehicle corridor, bare + supervised",
+                [](const CatalogParams &p) {
+                    ScenarioMatrix m;
+                    m.addWorld(fleet::trafficWorld(6));
+                    m.addFault(fleet::noFaultPreset());
+                    m.addStack(fleet::bareStack());
+                    m.addStack(fleet::supervisedStack());
+                    return enumerateWith(std::move(m), p);
+                });
+    catalog.add("fault_smoke", "reduced fault matrix (CI smoke slice)",
+                [](const CatalogParams &p) {
+                    ScenarioMatrix m;
+                    m.addWorld(fleet::suddenWallWorld(40.0));
+                    m.addWorld(fleet::openRoadWorld());
+                    m.addFaults(fleet::faultMatrixPresets());
+                    m.addStack(fleet::bareStack());
+                    m.addStack(fleet::supervisedStack());
+                    m.smokeOnly();
+                    return enumerateWith(std::move(m), p);
+                });
+    catalog.add("fault_matrix",
+                "all 11 Sec. III-C faults x bare/supervised",
+                [](const CatalogParams &p) {
+                    ScenarioMatrix m;
+                    m.addWorld(fleet::suddenWallWorld(40.0));
+                    m.addWorld(fleet::openRoadWorld());
+                    m.addFaults(fleet::faultMatrixPresets());
+                    m.addStack(fleet::bareStack());
+                    m.addStack(fleet::supervisedStack());
+                    return enumerateWith(std::move(m), p);
+                });
+    return catalog;
+}
+
+} // namespace sov::serve

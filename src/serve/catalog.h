@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Named scenario sets for the service front end.
+ *
+ * A socket client cannot ship a C++ WorldPreset closure over the
+ * wire; it names a catalog entry instead. Each entry is a builder
+ * from (seed, seeds, horizon) to a concrete scenario list — the same
+ * preset-registry discipline fleet/scenario.h established, lifted to
+ * whole matrices. The in-process API accepts raw scenario lists; the
+ * catalog is the serializable subset.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fleet/scenario.h"
+
+namespace sov::serve {
+
+/** Parameters a client may vary per submission. */
+struct CatalogParams
+{
+    std::uint64_t seed = 1;
+    std::size_t seeds = 1;    //!< seed, seed+1, ..., seed+seeds-1
+    double horizon_s = 12.0;  //!< per-scenario sim horizon
+};
+
+/** Registry of named scenario-set builders. */
+class ScenarioCatalog
+{
+  public:
+    using Builder =
+        std::function<std::vector<fleet::ScenarioSpec>(const CatalogParams &)>;
+
+    void add(std::string name, std::string description, Builder builder);
+
+    /** Build @p name with @p params; nullopt for an unknown set. */
+    std::optional<std::vector<fleet::ScenarioSpec>>
+    build(const std::string &name, const CatalogParams &params) const;
+
+    bool has(const std::string &name) const;
+    /** (name, description) pairs in registration order. */
+    std::vector<std::pair<std::string, std::string>> entries() const;
+
+    /**
+     * The stock catalog:
+     *   open_road     — obstacle-free baseline, bare stack
+     *   sudden_wall   — Sec. IV wall at 30/40/50 m, bare + supervised
+     *   crossing      — crossing pedestrian, bare + supervised
+     *   traffic       — 6-vehicle corridor, bare + supervised
+     *   fault_smoke   — the reduced (smoke) fault matrix
+     *   fault_matrix  — all 11 Sec. III-C faults x bare/supervised
+     */
+    static ScenarioCatalog standard();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        Builder builder;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace sov::serve

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Job model of the scenario-serving layer.
+ *
+ * A job is one tenant's request to evaluate a list of scenarios. The
+ * service decomposes it into shards (one scenario each), schedules
+ * the shards fair-share across tenants, and streams completed rows
+ * back as they finish. Everything a client can observe about a job is
+ * captured by a JobSnapshot — a value copy, safe to hand across the
+ * service boundary (and over the wire).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/scenario.h"
+
+namespace sov::serve {
+
+/** Service-unique job handle (monotonically allocated, never 0). */
+using JobId = std::uint64_t;
+
+/** Job lifecycle; Completed/Cancelled/TimedOut are terminal. */
+enum class JobState
+{
+    Queued,    //!< admitted, no shard dispatched yet
+    Running,   //!< at least one shard dispatched
+    Completed, //!< every row merged
+    Cancelled, //!< revoked by the tenant
+    TimedOut,  //!< wall-clock deadline expired first
+};
+
+const char *toString(JobState state);
+bool isTerminal(JobState state);
+
+/** One tenant submission: a scenario list plus options. */
+struct JobRequest
+{
+    std::string tenant;
+    /** Free-form label echoed in snapshots and reports. */
+    std::string label;
+    std::vector<fleet::ScenarioSpec> scenarios;
+    /** Wall-clock budget from admission to completion; unset = none.
+     *  Expiry cancels the remaining shards (state TimedOut); rows
+     *  merged before expiry stay visible. */
+    std::optional<double> deadline_s;
+};
+
+/** Client-visible state of a job at one instant. */
+struct JobSnapshot
+{
+    JobId id = 0;
+    std::string tenant;
+    std::string label;
+    JobState state = JobState::Queued;
+    std::size_t total = 0;       //!< scenarios in the job
+    std::size_t completed = 0;   //!< rows merged so far
+    std::size_t cache_hits = 0;  //!< rows replayed from the cache
+    std::size_t revoked = 0;     //!< shards revoked by cancel/timeout
+    /** Wall milliseconds from admission to the first merged row;
+     *  negative until one lands (the bench's TTFR sample). */
+    double ttfr_ms = -1.0;
+    /** Wall milliseconds from admission to now (terminal: to the
+     *  terminal transition). */
+    double wall_ms = 0.0;
+    /** FleetReport fingerprint over the rows merged so far. */
+    std::uint64_t fingerprint = 0;
+};
+
+/** Admission verdict for one submission. */
+struct SubmitResult
+{
+    bool admitted = false;
+    JobId id = 0;             //!< valid only when admitted
+    std::string reason;       //!< rejection reason (admission code)
+};
+
+} // namespace sov::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fingerprint-keyed result cache for scenario evaluations.
+ *
+ * The fleet determinism contract makes scenario results cacheable at
+ * all: a ScenarioOutcome is a pure function of (master seed, scenario
+ * identity, stack semantics), so a row computed once can be replayed
+ * bit-identically for every later job that asks for the same
+ * scenario — the serving layer's cheapest scenarios/sec are the ones
+ * it never re-simulates.
+ *
+ * The key is an FNV-1a fingerprint over the scenario's *semantic*
+ * identity: master seed, per-scenario seed, world preset (name,
+ * horizon, route geometry), every FaultSpec field, and the stack
+ * preset name plus the loop knobs that vary across the registry's
+ * stacks. Preset names stand in for their closures (a WorldPreset's
+ * build lambda is not hashable) — the same registry discipline the
+ * scenario Rng forking already relies on: a preset's name IS its
+ * semantics. Two presets sharing a name but not behavior would alias;
+ * that is a registry bug, not a cache bug.
+ *
+ * Replay detail: the cached row stores the outcome of the *scenario*;
+ * its position in the asking job's matrix (index, composed name) is
+ * patched at replay so a hit is bit-identical to what a cold run at
+ * that position would have produced.
+ *
+ * Not thread-safe; the ScenarioService serializes access.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "fleet/fleet_report.h"
+#include "fleet/scenario.h"
+#include "obs/metrics.h"
+
+namespace sov::serve {
+
+/** Semantic identity hash of one scenario under @p master_seed. */
+std::uint64_t scenarioFingerprint(const fleet::ScenarioSpec &spec,
+                                  std::uint64_t master_seed);
+
+/** Everything a shard evaluation produces (row + its registry). */
+struct CachedResult
+{
+    fleet::ScenarioOutcome row;
+    obs::MetricRegistry metrics;
+};
+
+/** LRU map fingerprint -> CachedResult with hit/miss counters. */
+class ResultCache
+{
+  public:
+    /** @param capacity Max entries; 0 disables the cache entirely. */
+    explicit ResultCache(std::size_t capacity);
+
+    bool enabled() const { return capacity_ > 0; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Copy-out lookup; a hit refreshes the entry's LRU position. */
+    std::optional<CachedResult> lookup(std::uint64_t key);
+
+    /** Insert (or refresh) @p key, evicting the LRU tail if full. */
+    void insert(std::uint64_t key, CachedResult value);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    using Entry = std::pair<std::uint64_t, CachedResult>;
+
+    std::size_t capacity_;
+    std::list<Entry> lru_; //!< front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace sov::serve

@@ -1,0 +1,99 @@
+#include "serve/scheduler.h"
+
+#include "core/logging.h"
+
+namespace sov::serve {
+
+DrrScheduler::Tenant *
+DrrScheduler::find(const std::string &name)
+{
+    for (Tenant &t : tenants_)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+void
+DrrScheduler::addTenant(const std::string &name, std::uint32_t weight)
+{
+    SOV_ASSERT(weight >= 1);
+    SOV_ASSERT(find(name) == nullptr);
+    Tenant t;
+    t.name = name;
+    t.weight = weight;
+    tenants_.push_back(std::move(t));
+}
+
+void
+DrrScheduler::enqueue(const std::string &tenant, JobId job,
+                      std::uint32_t first_slot, std::uint32_t count)
+{
+    Tenant *t = find(tenant);
+    SOV_ASSERT(t != nullptr);
+    for (std::uint32_t i = 0; i < count; ++i)
+        t->queue.push_back(Shard{job, first_slot + i});
+    queued_ += count;
+}
+
+std::optional<Shard>
+DrrScheduler::next()
+{
+    if (queued_ == 0 || tenants_.empty())
+        return std::nullopt;
+    // One full round always reaches a backlogged tenant and grants it
+    // weight >= 1 deficit, so <= size()+1 visits suffice.
+    for (std::size_t visits = 0; visits <= tenants_.size(); ++visits) {
+        Tenant &t = tenants_[cursor_];
+        if (t.queue.empty()) {
+            // No banking while idle: credit earned against an empty
+            // queue would let a returning tenant burst past its share.
+            t.deficit = 0.0;
+            cursor_ = (cursor_ + 1) % tenants_.size();
+            continue;
+        }
+        if (t.deficit < 1.0)
+            t.deficit += static_cast<double>(t.weight); // fresh turn
+        t.deficit -= 1.0;
+        const Shard shard = t.queue.front();
+        t.queue.pop_front();
+        --queued_;
+        if (t.queue.empty())
+            t.deficit = 0.0;
+        if (t.deficit < 1.0)
+            cursor_ = (cursor_ + 1) % tenants_.size(); // turn is over
+        return shard;
+    }
+    SOV_PANIC("DrrScheduler: queued shards but no dispatchable tenant");
+}
+
+std::size_t
+DrrScheduler::removeJob(JobId job)
+{
+    std::size_t removed = 0;
+    for (Tenant &t : tenants_) {
+        auto &q = t.queue;
+        for (auto it = q.begin(); it != q.end();) {
+            if (it->job == job) {
+                it = q.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+        if (q.empty())
+            t.deficit = 0.0;
+    }
+    queued_ -= removed;
+    return removed;
+}
+
+std::size_t
+DrrScheduler::queuedFor(const std::string &tenant) const
+{
+    for (const Tenant &t : tenants_)
+        if (t.name == tenant)
+            return t.queue.size();
+    return 0;
+}
+
+} // namespace sov::serve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deficit-round-robin fair-share scheduler over tenant shard queues.
+ *
+ * The serving layer's answer to "millions of users on one compute
+ * substrate": tenants enqueue shards (one scenario each) into
+ * per-tenant FIFOs, and the dispatcher pulls the next shard to run
+ * via classic DRR — each visit to a backlogged tenant grants it
+ * `weight` deficit; a shard costs 1. Consequence: over any contended
+ * window, tenant throughput converges to the weight ratio regardless
+ * of how skewed the submit rates are, and an idle tenant's unused
+ * share redistributes to the backlogged ones (work conservation). A
+ * tenant rejoining after idling gets no banked credit — its deficit
+ * restarts at zero, so bursts cannot mortgage the future.
+ *
+ * Not thread-safe by design: the ScenarioService serializes access
+ * under its own mutex (the scheduler is pure bookkeeping; all the
+ * blocking lives in the pool).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace sov::serve {
+
+/** One schedulable unit: scenario @p slot of job @p job. */
+struct Shard
+{
+    JobId job = 0;
+    std::uint32_t slot = 0;
+};
+
+/** DRR scheduler; tenants are registered once, queues ebb and flow. */
+class DrrScheduler
+{
+  public:
+    /** Register a tenant (once, before any enqueue). */
+    void addTenant(const std::string &name, std::uint32_t weight);
+
+    /** Append shards slot..slot+count-1 of @p job to @p tenant. */
+    void enqueue(const std::string &tenant, JobId job,
+                 std::uint32_t first_slot, std::uint32_t count);
+
+    /** Pop the next shard by DRR order; nullopt when all idle. */
+    std::optional<Shard> next();
+
+    /** Drop every queued shard of @p job; returns how many. */
+    std::size_t removeJob(JobId job);
+
+    std::size_t queued() const { return queued_; }
+    bool empty() const { return queued_ == 0; }
+    /** Queued shards of one tenant (admission backlog accounting). */
+    std::size_t queuedFor(const std::string &tenant) const;
+
+  private:
+    struct Tenant
+    {
+        std::string name;
+        std::uint32_t weight = 1;
+        double deficit = 0.0;
+        std::deque<Shard> queue;
+    };
+
+    Tenant *find(const std::string &name);
+
+    std::vector<Tenant> tenants_;
+    std::size_t cursor_ = 0; //!< round-robin position
+    std::size_t queued_ = 0;
+};
+
+} // namespace sov::serve

@@ -1,0 +1,402 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace sov::serve {
+
+const char *
+toString(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Completed: return "completed";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::TimedOut: return "timed_out";
+    }
+    return "?";
+}
+
+bool
+isTerminal(JobState state)
+{
+    return state == JobState::Completed ||
+           state == JobState::Cancelled || state == JobState::TimedOut;
+}
+
+ScenarioService::ScenarioService(ServiceConfig config)
+    : config_(std::move(config)),
+      max_inflight_(0),
+      epoch_(std::chrono::steady_clock::now()),
+      admission_(config_.tenants),
+      cache_(config_.cache_capacity),
+      runner_(fleet::FleetConfig{1, config_.master_seed}),
+      pool_(config_.workers)
+{
+    max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
+                                              : pool_.numThreads();
+    for (const TenantConfig &t : config_.tenants)
+        scheduler_.addTenant(t.name, t.weight);
+}
+
+ScenarioService::~ScenarioService()
+{
+    std::vector<JobId> ids;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        for (auto &[id, job] : jobs_) {
+            ids.push_back(id);
+            if (!isTerminal(job->state)) {
+                finalizeLocked(*job, JobState::Cancelled);
+                metrics_.incr("serve.jobs_cancelled");
+            }
+        }
+    }
+    cv_.notify_all();
+    // The shutdown handshake: drop every queued serve task, then wait
+    // for the running remainder — after this, no pool task references
+    // the members the destructor is about to tear down.
+    for (JobId id : ids)
+        pool_.cancelTag(id);
+    for (JobId id : ids)
+        pool_.drainTag(id);
+}
+
+double
+ScenarioService::nowSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+double
+ScenarioService::elapsedMsLocked(const Job &job) const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - job.submitted)
+        .count();
+}
+
+SubmitResult
+ScenarioService::submit(JobRequest request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.incr("serve.jobs_submitted");
+    if (stopping_) {
+        metrics_.incr("serve.jobs_rejected");
+        return SubmitResult{false, 0, "shutting_down"};
+    }
+    const std::size_t n = request.scenarios.size();
+    const auto backlog_it = backlog_.find(request.tenant);
+    const std::size_t backlog =
+        backlog_it == backlog_.end() ? 0 : backlog_it->second;
+    if (const auto reason =
+            admission_.decide(request.tenant, n, backlog, nowSeconds())) {
+        metrics_.incr("serve.jobs_rejected");
+        metrics_.incr("serve.tenant." + request.tenant + ".rejected");
+        return SubmitResult{false, 0, *reason};
+    }
+
+    auto job = std::make_shared<Job>();
+    job->id = next_id_++;
+    job->tenant = std::move(request.tenant);
+    job->label = std::move(request.label);
+    job->scenarios = std::move(request.scenarios);
+    // Row indices are the job's private report order; re-indexing by
+    // position makes them unique by construction (mergeRow asserts
+    // uniqueness) without changing matrix-enumerated jobs, which
+    // already arrive as 0..n-1.
+    for (std::size_t i = 0; i < job->scenarios.size(); ++i)
+        job->scenarios[i].index = i;
+    job->submitted = std::chrono::steady_clock::now();
+    if (request.deadline_s) {
+        job->deadline = job->submitted +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                *request.deadline_s));
+    }
+
+    jobs_.emplace(job->id, job);
+    backlog_[job->tenant] += n;
+    scheduler_.enqueue(job->tenant, job->id, 0,
+                       static_cast<std::uint32_t>(n));
+    metrics_.incr("serve.jobs_admitted");
+    metrics_.incr("serve.tenant." + job->tenant + ".admitted");
+    metrics_.incr("serve.scenarios_admitted", n);
+
+    const JobId id = job->id;
+    pumpLocked();
+    return SubmitResult{true, id, ""};
+}
+
+void
+ScenarioService::finalizeLocked(Job &job, JobState state)
+{
+    SOV_ASSERT(!isTerminal(job.state));
+    job.state = state;
+    job.wall_ms = elapsedMsLocked(job);
+    // The revoke idiom: every dispatch carried the old serial, so any
+    // shard still running (or queued in the pool) discards itself on
+    // completion instead of merging into a terminal job.
+    ++job.revoke_serial;
+    const std::size_t dropped = scheduler_.removeJob(job.id);
+    job.revoked += dropped;
+    auto it = backlog_.find(job.tenant);
+    SOV_ASSERT(it != backlog_.end() && it->second >= dropped);
+    it->second -= dropped;
+}
+
+bool
+ScenarioService::enforceDeadlineLocked(Job &job)
+{
+    if (isTerminal(job.state) || !job.deadline)
+        return false;
+    if (std::chrono::steady_clock::now() < *job.deadline)
+        return false;
+    finalizeLocked(job, JobState::TimedOut);
+    metrics_.incr("serve.jobs_timed_out");
+    return true;
+}
+
+void
+ScenarioService::pumpLocked()
+{
+    while (inflight_ < max_inflight_) {
+        const auto shard = scheduler_.next();
+        if (!shard)
+            break;
+        const auto it = jobs_.find(shard->job);
+        SOV_ASSERT(it != jobs_.end());
+        const JobPtr &job = it->second;
+        // finalizeLocked drops a job's queued shards, so a scheduled
+        // shard always belongs to a live job.
+        SOV_ASSERT(!isTerminal(job->state));
+        auto backlog_it = backlog_.find(job->tenant);
+        SOV_ASSERT(backlog_it != backlog_.end() &&
+                   backlog_it->second >= 1);
+        --backlog_it->second;
+        if (enforceDeadlineLocked(*job))
+            continue;
+        if (job->state == JobState::Queued)
+            job->state = JobState::Running;
+        ++inflight_;
+        pool_.submitTagged(
+            job->id,
+            [this, job, slot = shard->slot,
+             serial = job->revoke_serial] { runShard(job, slot, serial); });
+    }
+}
+
+void
+ScenarioService::runShard(JobPtr job, std::uint32_t slot,
+                          std::uint64_t serial)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ || serial != job->revoke_serial ||
+            isTerminal(job->state)) {
+            ++job->revoked;
+            metrics_.incr("serve.shards_revoked");
+            --inflight_;
+            pumpLocked();
+            cv_.notify_all();
+            return;
+        }
+    }
+
+    const fleet::ScenarioSpec &spec = job->scenarios[slot];
+    const std::uint64_t key =
+        cache_.enabled() ? scenarioFingerprint(spec, config_.master_seed)
+                         : 0;
+    std::optional<CachedResult> cached;
+    if (cache_.enabled()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cached = cache_.lookup(key);
+    }
+    const bool hit = cached.has_value();
+    CachedResult result;
+    if (hit) {
+        result = std::move(*cached);
+    } else {
+        // The 99%: one closed-loop simulation, outside every lock.
+        result.row = runner_.runScenario(spec, &result.metrics);
+        if (cache_.enabled()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cache_.insert(key, result);
+        }
+    }
+    // Patch the scenario's position in THIS job's matrix; everything
+    // else about the row is position-independent (pure function of
+    // the scenario identity), which is what makes the cache replay
+    // bit-identical.
+    result.row.index = spec.index;
+    result.row.name = spec.name;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    --inflight_;
+    if (stopping_ || serial != job->revoke_serial ||
+        isTerminal(job->state)) {
+        // Revoked mid-flight: discard before touching the merge state
+        // (cancellation leaves the registry merge-consistent).
+        ++job->revoked;
+        metrics_.incr("serve.shards_revoked");
+    } else {
+        job->partial.mergeRow(result.row);
+        job->metrics.merge(result.metrics);
+        job->stream.push_back(std::move(result.row));
+        ++job->completed;
+        if (job->ttfr_ms < 0.0) {
+            job->ttfr_ms = elapsedMsLocked(*job);
+            metrics_.recordValue("serve.ttfr_ms", job->ttfr_ms);
+        }
+        if (hit) {
+            ++job->cache_hits;
+        }
+        metrics_.incr("serve.scenarios_completed");
+        metrics_.incr("serve.tenant." + job->tenant + ".completed");
+        if (job->completed == job->scenarios.size()) {
+            job->state = JobState::Completed;
+            job->wall_ms = elapsedMsLocked(*job);
+            metrics_.incr("serve.jobs_completed");
+            metrics_.recordValue("serve.job_wall_ms", job->wall_ms);
+        }
+    }
+    pumpLocked();
+    lock.unlock();
+    cv_.notify_all();
+}
+
+JobSnapshot
+ScenarioService::snapshotLocked(const Job &job) const
+{
+    JobSnapshot s;
+    s.id = job.id;
+    s.tenant = job.tenant;
+    s.label = job.label;
+    s.state = job.state;
+    s.total = job.scenarios.size();
+    s.completed = job.completed;
+    s.cache_hits = job.cache_hits;
+    s.revoked = job.revoked;
+    s.ttfr_ms = job.ttfr_ms;
+    s.wall_ms = isTerminal(job.state) ? job.wall_ms
+                                      : elapsedMsLocked(job);
+    s.fingerprint = job.partial.fingerprint();
+    return s;
+}
+
+std::optional<JobSnapshot>
+ScenarioService::status(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    enforceDeadlineLocked(*it->second);
+    return snapshotLocked(*it->second);
+}
+
+bool
+ScenarioService::cancel(JobId id)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(id);
+        if (it == jobs_.end() || isTerminal(it->second->state))
+            return false;
+        finalizeLocked(*it->second, JobState::Cancelled);
+        metrics_.incr("serve.jobs_cancelled");
+    }
+    cv_.notify_all();
+    return true;
+}
+
+std::optional<JobSnapshot>
+ScenarioService::wait(JobId id, double timeout_s)
+{
+    using clock = std::chrono::steady_clock;
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const JobPtr job = it->second;
+    const auto forever = clock::time_point::max();
+    const auto until =
+        timeout_s < 0.0
+            ? forever
+            : clock::now() + std::chrono::duration_cast<clock::duration>(
+                                 std::chrono::duration<double>(timeout_s));
+    for (;;) {
+        enforceDeadlineLocked(*job);
+        if (isTerminal(job->state))
+            break;
+        const auto now = clock::now();
+        if (now >= until)
+            break;
+        // Bounded nap: a job deadline must fire even when no shard
+        // completion ever wakes the cv (e.g. an idle, empty pool).
+        auto next = std::min(until, now + std::chrono::milliseconds(50));
+        if (job->deadline)
+            next = std::min(next, *job->deadline);
+        cv_.wait_until(lock, next);
+    }
+    return snapshotLocked(*job);
+}
+
+std::vector<fleet::ScenarioOutcome>
+ScenarioService::fetchRows(JobId id, std::size_t from)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return {};
+    const auto &stream = it->second->stream;
+    if (from >= stream.size())
+        return {};
+    return {stream.begin() + static_cast<std::ptrdiff_t>(from),
+            stream.end()};
+}
+
+std::optional<fleet::FleetReport>
+ScenarioService::report(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return it->second->partial;
+}
+
+std::optional<obs::MetricRegistry>
+ScenarioService::jobMetrics(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return it->second->metrics;
+}
+
+obs::MetricRegistry
+ScenarioService::metricsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::MetricRegistry out = metrics_;
+    out.incr("serve.cache.hits", cache_.hits());
+    out.incr("serve.cache.misses", cache_.misses());
+    out.incr("serve.cache.evictions", cache_.evictions());
+    out.setGauge("serve.cache.size",
+                 static_cast<double>(cache_.size()));
+    out.setGauge("serve.inflight", static_cast<double>(inflight_));
+    out.setGauge("serve.queued_shards",
+                 static_cast<double>(scheduler_.queued()));
+    return out;
+}
+
+} // namespace sov::serve

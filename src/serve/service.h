@@ -1,0 +1,192 @@
+/**
+ * @file
+ * ScenarioService: fleet-as-a-service over the FleetRunner.
+ *
+ * Turns the one-shot batch sweep engine into a long-running,
+ * multi-tenant serving system — the ROADMAP's "heavy traffic from
+ * millions of users" step, architected the way the SDV microservice
+ * evaluation (arxiv 2412.09995) layers a service API over a shared
+ * compute substrate:
+ *
+ *   submit -> admission (token bucket + backlog cap, serve/admission)
+ *          -> per-tenant queue -> DRR fair share (serve/scheduler)
+ *          -> tagged dispatch onto core/ThreadPool
+ *          -> shard evaluation (FleetRunner::runScenario), short-
+ *             circuited by the fingerprint-keyed LRU result cache
+ *          -> streamed FleetReport::mergeRow / MetricRegistry::merge
+ *
+ * Determinism carries through the service layer: a job's final
+ * FleetReport fingerprint is a pure function of (master seed, its
+ * scenario list) — independent of worker count, of the other tenants'
+ * traffic, and of whether rows came from the simulator or the cache.
+ *
+ * Cancellation reuses the PR 7 revoke idiom at job granularity: every
+ * dispatch carries the job's revoke serial (cf. SchedulerCore::
+ * beginDispatch); cancel/timeout bumps the serial and cancels the
+ * job's queued pool tag, and a shard that finishes with a stale
+ * serial is discarded before touching the job's report — the merge
+ * state stays consistent, exactly like a revoked in-flight frame
+ * never reaches the downstream lanes.
+ *
+ * Threading: one mutex guards all bookkeeping (jobs, scheduler,
+ * cache, counters); the only work done under it is O(rows) merge
+ * bookkeeping. Simulation — the 99% — runs on pool workers outside
+ * the lock.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "fleet/fleet_runner.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/job.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
+
+namespace sov::serve {
+
+/** Service provisioning. */
+struct ServiceConfig
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t workers = 0;
+    /** Max shards in flight; 0 = workers (keeps the DRR scheduler,
+     *  not the pool's FIFO, in charge of what runs next). */
+    std::size_t max_inflight = 0;
+    /** Master seed of every scenario evaluation (the determinism
+     *  root; also part of every cache key). */
+    std::uint64_t master_seed = 1;
+    /** Result cache entries; 0 disables caching. */
+    std::size_t cache_capacity = 4096;
+    /** The tenant universe; submissions from others are rejected. */
+    std::vector<TenantConfig> tenants;
+};
+
+/** Long-running multi-tenant scenario-serving engine. */
+class ScenarioService
+{
+  public:
+    explicit ScenarioService(ServiceConfig config);
+
+    /** Cancels every live job, drains the pool, then tears down. */
+    ~ScenarioService();
+
+    ScenarioService(const ScenarioService &) = delete;
+    ScenarioService &operator=(const ScenarioService &) = delete;
+
+    /** Admission decision + enqueue; never blocks on simulation. */
+    SubmitResult submit(JobRequest request);
+
+    /** Snapshot a job; nullopt for an unknown id. Lazily enforces an
+     *  expired deadline (the job flips to TimedOut on observation if
+     *  no dispatch got there first). */
+    std::optional<JobSnapshot> status(JobId id);
+
+    /** Cancel a live job: queued shards are revoked immediately,
+     *  running shards are discarded on completion (stale revoke
+     *  serial). False if unknown or already terminal. */
+    bool cancel(JobId id);
+
+    /** Block until @p id is terminal or @p timeout_s elapses
+     *  (negative = wait forever); returns the final snapshot, or the
+     *  live snapshot on timeout. nullopt for an unknown id. */
+    std::optional<JobSnapshot> wait(JobId id, double timeout_s = -1.0);
+
+    /**
+     * The streaming read: completed rows of @p id in completion
+     * order, starting at stream position @p from. A client polling
+     * fetchRows(id, n.next) sees every row exactly once, as shards
+     * finish — partial results long before the job completes.
+     */
+    std::vector<fleet::ScenarioOutcome> fetchRows(JobId id,
+                                                  std::size_t from);
+
+    /** The job's (partial or final) deterministic report. */
+    std::optional<fleet::FleetReport> report(JobId id);
+
+    /** The job's merged per-stage metric registry (streamed merge of
+     *  its completed shards; fingerprint is merge-order independent). */
+    std::optional<obs::MetricRegistry> jobMetrics(JobId id);
+
+    /** Service-level counters (admissions, rejections, cache hits,
+     *  TTFR histogram, per-tenant completions), copied out. */
+    obs::MetricRegistry metricsSnapshot() const;
+
+    /** Monotonic seconds since service start (the admission clock). */
+    double nowSeconds() const;
+
+    std::size_t workers() const { return pool_.numThreads(); }
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    struct Job
+    {
+        JobId id = 0;
+        std::string tenant;
+        std::string label;
+        std::vector<fleet::ScenarioSpec> scenarios;
+        JobState state = JobState::Queued;
+        std::size_t completed = 0;
+        std::size_t cache_hits = 0;
+        std::size_t revoked = 0;
+        /** Dispatches carry this; cancel/timeout bumps it, and a
+         *  completion with a stale serial is discarded (the PR 7
+         *  revokeInFlight idiom at job granularity). */
+        std::uint64_t revoke_serial = 0;
+        fleet::FleetReport partial; //!< mergeRow-streamed
+        obs::MetricRegistry metrics;
+        std::vector<fleet::ScenarioOutcome> stream; //!< completion order
+        std::chrono::steady_clock::time_point submitted;
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+        double ttfr_ms = -1.0;
+        double wall_ms = 0.0; //!< set at the terminal transition
+    };
+
+    using JobPtr = std::shared_ptr<Job>;
+
+    JobSnapshot snapshotLocked(const Job &job) const;
+    double elapsedMsLocked(const Job &job) const;
+    /** Flip @p job to terminal @p state: bump the revoke serial, drop
+     *  its queued shards from the scheduler and the pool. */
+    void finalizeLocked(Job &job, JobState state);
+    /** True (and finalizes) if the deadline already passed. */
+    bool enforceDeadlineLocked(Job &job);
+    /** Dispatch shards while capacity allows and the DRR has work. */
+    void pumpLocked();
+    /** Worker-side shard evaluation + streamed merge. */
+    void runShard(JobPtr job, std::uint32_t slot,
+                  std::uint64_t serial);
+
+    ServiceConfig config_;
+    std::size_t max_inflight_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_; //!< job completion / wait() wakeups
+    AdmissionController admission_;
+    DrrScheduler scheduler_;
+    ResultCache cache_;
+    std::map<JobId, JobPtr> jobs_;
+    std::map<std::string, std::size_t> backlog_; //!< queued scen/tenant
+    obs::MetricRegistry metrics_;
+    std::size_t inflight_ = 0;
+    JobId next_id_ = 1;
+    bool stopping_ = false;
+
+    fleet::FleetRunner runner_;
+    /** Last member: destroyed first, so workers quiesce while every
+     *  field above is still alive (no orphaned-task teardown race). */
+    ThreadPool pool_;
+};
+
+} // namespace sov::serve

@@ -113,6 +113,110 @@ TEST(ThreadPool, WorkSubmittedFromWorkerThreadCompletes)
     EXPECT_EQ(counter.load(), 8);
 }
 
+TEST(ThreadPool, TaggedTasksRunAndDrainToZero)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submitTagged(7, [&counter] { ++counter; });
+    pool.drainTag(7);
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(pool.taggedOutstanding(7), 0u);
+}
+
+TEST(ThreadPool, CancelTagRemovesOnlyQueuedTasksOfThatTag)
+{
+    ThreadPool pool(1); // single worker so queued tasks stay queued
+    std::mutex gate;
+    gate.lock(); // hold the worker hostage on the first task
+    pool.submit([&gate] {
+        gate.lock();
+        gate.unlock();
+    });
+
+    std::atomic<int> mine{0};
+    std::atomic<int> theirs{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submitTagged(1, [&mine] { ++mine; });
+    for (int i = 0; i < 10; ++i)
+        pool.submitTagged(2, [&theirs] { ++theirs; });
+
+    const std::size_t removed = pool.cancelTag(1);
+    EXPECT_EQ(removed, 10u);
+    EXPECT_EQ(pool.taggedOutstanding(1), 0u);
+    EXPECT_EQ(pool.taggedOutstanding(2), 10u);
+
+    gate.unlock(); // release the worker
+    pool.drainTag(2);
+    EXPECT_EQ(mine.load(), 0);    // cancelled before running
+    EXPECT_EQ(theirs.load(), 10); // other tag untouched
+}
+
+TEST(ThreadPool, DrainTagWaitsForRunningTask)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> finished{false};
+    pool.submitTagged(9, [&finished] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        finished.store(true);
+    });
+    // drainTag must block across the running task, not just the queue.
+    pool.drainTag(9);
+    EXPECT_TRUE(finished.load());
+    EXPECT_EQ(pool.taggedOutstanding(9), 0u);
+}
+
+TEST(ThreadPool, DrainTagOnIdleTagReturnsImmediately)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.taggedOutstanding(1234), 0u);
+    pool.drainTag(1234); // never submitted: must not block
+    EXPECT_EQ(pool.cancelTag(1234), 0u);
+}
+
+TEST(ThreadPool, TaggedAndUntaggedTasksCoexist)
+{
+    ThreadPool pool(4);
+    std::atomic<int> tagged{0};
+    std::atomic<int> untagged{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i) {
+        pool.submitTagged(3, [&tagged] { ++tagged; });
+        futures.push_back(pool.submit([&untagged] { ++untagged; }));
+    }
+    pool.drainTag(3);
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(tagged.load(), 50);
+    EXPECT_EQ(untagged.load(), 50);
+}
+
+TEST(ThreadPool, ShutdownRaceSubmitVersusDrainingWorkers)
+{
+    // Regression guard for the pending-count underflow: a worker can
+    // pop a task after submit() pushed it but before submit() counted
+    // it. With an unsigned count this wrapped and spun/hung the
+    // workers; the signed count makes the dip benign. Hammer the
+    // window from several submitters while pools tear down under load.
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> counter{0};
+        {
+            ThreadPool pool(4);
+            std::vector<std::thread> submitters;
+            for (int s = 0; s < 4; ++s) {
+                submitters.emplace_back([&pool, &counter] {
+                    for (int i = 0; i < 50; ++i)
+                        pool.submit([&counter] { ++counter; });
+                });
+            }
+            for (auto &t : submitters)
+                t.join();
+            // Destructor drains: must neither hang nor drop tasks.
+        }
+        ASSERT_EQ(counter.load(), 200) << "round " << round;
+    }
+}
+
 TEST(ThreadPool, DefaultThreadCountIsAtLeastOne)
 {
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "serve/admission.h"
+
+namespace sov::serve {
+namespace {
+
+std::vector<TenantConfig>
+oneTenant(double rate, double burst, std::size_t max_queued)
+{
+    TenantConfig t;
+    t.name = "acme";
+    t.rate_scenarios_per_s = rate;
+    t.burst_scenarios = burst;
+    t.max_queued_scenarios = max_queued;
+    return {t};
+}
+
+TEST(TokenBucket, StartsFullAndDepletes)
+{
+    TokenBucket bucket(10.0, 20.0);
+    EXPECT_DOUBLE_EQ(bucket.available(0.0), 20.0);
+    EXPECT_TRUE(bucket.tryTake(20.0, 0.0));
+    EXPECT_FALSE(bucket.tryTake(1.0, 0.0)); // empty, nothing partial
+    EXPECT_DOUBLE_EQ(bucket.available(0.0), 0.0);
+}
+
+TEST(TokenBucket, RefillsAtRateAndCapsAtBurst)
+{
+    TokenBucket bucket(10.0, 20.0);
+    ASSERT_TRUE(bucket.tryTake(20.0, 0.0));
+    EXPECT_DOUBLE_EQ(bucket.available(1.0), 10.0); // 1 s at 10/s
+    EXPECT_TRUE(bucket.tryTake(10.0, 1.0));
+    // A long idle period saturates at the burst, never beyond.
+    EXPECT_DOUBLE_EQ(bucket.available(100.0), 20.0);
+}
+
+TEST(TokenBucket, FailedTakeConsumesNothing)
+{
+    TokenBucket bucket(1.0, 5.0);
+    EXPECT_FALSE(bucket.tryTake(6.0, 0.0)); // over burst: all-or-nothing
+    EXPECT_DOUBLE_EQ(bucket.available(0.0), 5.0);
+}
+
+TEST(Admission, UnknownTenantRejected)
+{
+    AdmissionController admission(oneTenant(100.0, 200.0, 1000));
+    const auto verdict = admission.decide("ghost", 1, 0, 0.0);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, kRejectUnknownTenant);
+}
+
+TEST(Admission, EmptyJobRejected)
+{
+    AdmissionController admission(oneTenant(100.0, 200.0, 1000));
+    const auto verdict = admission.decide("acme", 0, 0, 0.0);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, kRejectEmptyJob);
+}
+
+TEST(Admission, JobLargerThanBurstRejectedOutright)
+{
+    // A job that could NEVER be admitted (needs more tokens than the
+    // bucket can hold) gets its own code, not a misleading over_rate.
+    AdmissionController admission(oneTenant(100.0, 50.0, 1000));
+    const auto verdict = admission.decide("acme", 51, 0, 0.0);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, kRejectOverBurst);
+}
+
+TEST(Admission, BatchedTokensDepleteAndRefill)
+{
+    AdmissionController admission(oneTenant(10.0, 20.0, 1000));
+    EXPECT_FALSE(admission.decide("acme", 20, 0, 0.0)); // burst admits
+    const auto verdict = admission.decide("acme", 5, 0, 0.0);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, kRejectOverRate);
+    // 1 s refills 10 tokens at rate 10/s.
+    EXPECT_FALSE(admission.decide("acme", 10, 0, 1.0));
+}
+
+TEST(Admission, BacklogCapRejectsWithoutConsumingTokens)
+{
+    AdmissionController admission(oneTenant(10.0, 20.0, 30));
+    const auto verdict = admission.decide("acme", 5, /*queued=*/30, 0.0);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, kRejectOverBacklog);
+    // The rejection must not have eaten tokens: the full burst is
+    // still admissible once the backlog drains.
+    EXPECT_FALSE(admission.decide("acme", 20, 0, 0.0));
+}
+
+TEST(Admission, TenantsAreIsolated)
+{
+    TenantConfig a;
+    a.name = "a";
+    a.rate_scenarios_per_s = 10.0;
+    a.burst_scenarios = 10.0;
+    TenantConfig b = a;
+    b.name = "b";
+    AdmissionController admission({a, b});
+
+    EXPECT_FALSE(admission.decide("a", 10, 0, 0.0));
+    // a's exhaustion must not touch b's bucket.
+    EXPECT_TRUE(admission.decide("a", 1, 0, 0.0).has_value());
+    EXPECT_FALSE(admission.decide("b", 10, 0, 0.0));
+}
+
+TEST(Admission, FindReturnsConfig)
+{
+    AdmissionController admission(oneTenant(100.0, 200.0, 1000));
+    ASSERT_NE(admission.find("acme"), nullptr);
+    EXPECT_EQ(admission.find("acme")->name, "acme");
+    EXPECT_EQ(admission.find("ghost"), nullptr);
+}
+
+} // namespace
+} // namespace sov::serve

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/result_cache.h"
+
+namespace sov::serve {
+namespace {
+
+using fleet::ScenarioMatrix;
+using fleet::ScenarioSpec;
+
+/** Real enumerated specs: 2 worlds x 2 stacks x 2 seeds = 8. */
+std::vector<ScenarioSpec>
+sampleSpecs()
+{
+    ScenarioMatrix m;
+    m.addWorld(fleet::openRoadWorld())
+        .addWorld(fleet::suddenWallWorld(40.0))
+        .addFault(fleet::noFaultPreset())
+        .addStack(fleet::bareStack())
+        .addStack(fleet::supervisedStack())
+        .addSeeds(1, 2);
+    return m.enumerate();
+}
+
+CachedResult
+resultStub(double min_gap)
+{
+    CachedResult r;
+    r.row.min_gap = min_gap;
+    return r;
+}
+
+TEST(ScenarioFingerprint, StableForIdenticalSpecs)
+{
+    const auto specs = sampleSpecs();
+    for (const ScenarioSpec &spec : specs)
+        EXPECT_EQ(scenarioFingerprint(spec, 42),
+                  scenarioFingerprint(spec, 42));
+}
+
+TEST(ScenarioFingerprint, DistinguishesEveryAxisAndMasterSeed)
+{
+    const auto specs = sampleSpecs();
+    // Pairwise distinct across the enumerated space (worlds, stacks,
+    // seeds all differ somewhere).
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t j = i + 1; j < specs.size(); ++j)
+            EXPECT_NE(scenarioFingerprint(specs[i], 42),
+                      scenarioFingerprint(specs[j], 42))
+                << specs[i].name << " vs " << specs[j].name;
+    // The master seed is part of the identity.
+    EXPECT_NE(scenarioFingerprint(specs[0], 42),
+              scenarioFingerprint(specs[0], 43));
+}
+
+TEST(ScenarioFingerprint, IgnoresMatrixPosition)
+{
+    // index/name are the job's private coordinates, not scenario
+    // identity: the same scenario at a different matrix position must
+    // hit the cache.
+    auto specs = sampleSpecs();
+    ScenarioSpec moved = specs[0];
+    moved.index = 99;
+    moved.name = "elsewhere/in/another#job";
+    EXPECT_EQ(scenarioFingerprint(specs[0], 42),
+              scenarioFingerprint(moved, 42));
+}
+
+TEST(ResultCache, MissThenHitWithCounters)
+{
+    ResultCache cache(8);
+    EXPECT_FALSE(cache.lookup(1).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.insert(1, resultStub(5.0));
+    const auto hit = cache.lookup(1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->row.min_gap, 5.0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed)
+{
+    ResultCache cache(2);
+    cache.insert(1, resultStub(1.0));
+    cache.insert(2, resultStub(2.0));
+    cache.insert(3, resultStub(3.0)); // evicts 1 (oldest)
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.lookup(1).has_value());
+    EXPECT_TRUE(cache.lookup(2).has_value());
+    EXPECT_TRUE(cache.lookup(3).has_value());
+}
+
+TEST(ResultCache, HitRefreshesRecency)
+{
+    ResultCache cache(2);
+    cache.insert(1, resultStub(1.0));
+    cache.insert(2, resultStub(2.0));
+    ASSERT_TRUE(cache.lookup(1).has_value()); // 1 becomes most recent
+    cache.insert(3, resultStub(3.0));         // so 2 is the victim
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_FALSE(cache.lookup(2).has_value());
+}
+
+TEST(ResultCache, ReinsertRefreshesInsteadOfDuplicating)
+{
+    ResultCache cache(2);
+    cache.insert(1, resultStub(1.0));
+    cache.insert(1, resultStub(9.0));
+    EXPECT_EQ(cache.size(), 1u);
+    const auto hit = cache.lookup(1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->row.min_gap, 9.0);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesEverything)
+{
+    ResultCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.insert(1, resultStub(1.0));
+    EXPECT_FALSE(cache.lookup(1).has_value());
+    EXPECT_EQ(cache.size(), 0u);
+    // Disabled means invisible: no counter churn either.
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+} // namespace
+} // namespace sov::serve

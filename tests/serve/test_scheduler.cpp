@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.h"
+
+namespace sov::serve {
+namespace {
+
+/** Drain @p n shards, returning the owning job of each in order. */
+std::vector<JobId>
+drain(DrrScheduler &s, std::size_t n)
+{
+    std::vector<JobId> order;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto shard = s.next();
+        if (!shard)
+            break;
+        order.push_back(shard->job);
+    }
+    return order;
+}
+
+TEST(DrrScheduler, EmptySchedulerReturnsNullopt)
+{
+    DrrScheduler s;
+    s.addTenant("a", 1);
+    EXPECT_FALSE(s.next().has_value());
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DrrScheduler, EqualWeightsAlternateStrictly)
+{
+    DrrScheduler s;
+    s.addTenant("a", 1);
+    s.addTenant("b", 1);
+    s.enqueue("a", 1, 0, 4);
+    s.enqueue("b", 2, 0, 4);
+    EXPECT_EQ(drain(s, 8),
+              (std::vector<JobId>{1, 2, 1, 2, 1, 2, 1, 2}));
+}
+
+TEST(DrrScheduler, WeightsGrantProportionalBursts)
+{
+    DrrScheduler s;
+    s.addTenant("heavy", 3);
+    s.addTenant("light", 1);
+    s.enqueue("heavy", 1, 0, 6);
+    s.enqueue("light", 2, 0, 2);
+    // weight 3 => three shards per turn; weight 1 => one.
+    EXPECT_EQ(drain(s, 8),
+              (std::vector<JobId>{1, 1, 1, 2, 1, 1, 1, 2}));
+}
+
+TEST(DrrScheduler, ShardsOfOneTenantStayFifo)
+{
+    DrrScheduler s;
+    s.addTenant("a", 1);
+    s.enqueue("a", 7, 0, 3);
+    s.enqueue("a", 8, 0, 2);
+    std::vector<std::uint32_t> slots;
+    std::vector<JobId> jobs;
+    for (int i = 0; i < 5; ++i) {
+        const auto shard = s.next();
+        ASSERT_TRUE(shard.has_value());
+        jobs.push_back(shard->job);
+        slots.push_back(shard->slot);
+    }
+    EXPECT_EQ(jobs, (std::vector<JobId>{7, 7, 7, 8, 8}));
+    EXPECT_EQ(slots, (std::vector<std::uint32_t>{0, 1, 2, 0, 1}));
+}
+
+TEST(DrrScheduler, IdleTenantEarnsNoBankedCredit)
+{
+    DrrScheduler s;
+    s.addTenant("a", 1);
+    s.addTenant("b", 1);
+    // b idles while a drains a long backlog...
+    s.enqueue("a", 1, 0, 6);
+    EXPECT_EQ(drain(s, 6), (std::vector<JobId>{1, 1, 1, 1, 1, 1}));
+    // ...then both become backlogged: b must NOT burst ahead on
+    // credit "earned" while idle — strict alternation resumes.
+    s.enqueue("a", 1, 6, 3);
+    s.enqueue("b", 2, 0, 3);
+    const std::vector<JobId> order = drain(s, 6);
+    std::map<JobId, int> window;
+    for (std::size_t i = 0; i < 2; ++i)
+        ++window[order[i]];
+    EXPECT_EQ(window[1], 1);
+    EXPECT_EQ(window[2], 1);
+}
+
+TEST(DrrScheduler, WorkConservationWhenOthersIdle)
+{
+    DrrScheduler s;
+    s.addTenant("a", 1);
+    s.addTenant("b", 1);
+    s.addTenant("c", 1);
+    s.enqueue("b", 9, 0, 5);
+    // Only b is backlogged: every dispatch goes to b, no idle slots.
+    EXPECT_EQ(drain(s, 5), (std::vector<JobId>{9, 9, 9, 9, 9}));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DrrScheduler, RemoveJobDropsOnlyThatJob)
+{
+    DrrScheduler s;
+    s.addTenant("a", 1);
+    s.enqueue("a", 1, 0, 3);
+    s.enqueue("a", 2, 0, 4);
+    EXPECT_EQ(s.queued(), 7u);
+    EXPECT_EQ(s.removeJob(1), 3u);
+    EXPECT_EQ(s.queued(), 4u);
+    EXPECT_EQ(s.queuedFor("a"), 4u);
+    EXPECT_EQ(drain(s, 4), (std::vector<JobId>{2, 2, 2, 2}));
+    EXPECT_EQ(s.removeJob(2), 0u); // already drained
+}
+
+TEST(DrrScheduler, LongRunFairnessUnderSkewedBacklogs)
+{
+    // One tenant floods 10x the shards of the others; over the
+    // contended window every backlogged tenant still gets its share.
+    DrrScheduler s;
+    s.addTenant("flood", 1);
+    s.addTenant("t1", 1);
+    s.addTenant("t2", 1);
+    s.enqueue("flood", 1, 0, 100);
+    s.enqueue("t1", 2, 0, 10);
+    s.enqueue("t2", 3, 0, 10);
+    // While all three are backlogged (first 30 dispatches), counts
+    // must be equal: the flood cannot crowd out the small tenants.
+    std::map<JobId, int> counts;
+    for (const JobId id : drain(s, 30))
+        ++counts[id];
+    EXPECT_EQ(counts[1], 10);
+    EXPECT_EQ(counts[2], 10);
+    EXPECT_EQ(counts[3], 10);
+}
+
+} // namespace
+} // namespace sov::serve

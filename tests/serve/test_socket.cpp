@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/socket_server.h"
+
+namespace sov::serve {
+namespace {
+
+ServiceConfig
+serviceConfig()
+{
+    TenantConfig t;
+    t.name = "acme";
+    t.rate_scenarios_per_s = 1e6;
+    t.burst_scenarios = 1e6;
+    t.max_queued_scenarios = 1000000;
+    ServiceConfig config;
+    config.workers = 2;
+    config.master_seed = 7;
+    config.tenants = {t};
+    return config;
+}
+
+/** Run one line through the protocol engine, expect @p n responses. */
+std::vector<std::string>
+roundTrip(SocketServer &server, const std::string &line,
+          bool expect_keep = true)
+{
+    std::vector<std::string> out;
+    EXPECT_EQ(server.handleLine(line, out), expect_keep) << line;
+    EXPECT_FALSE(out.empty()) << line;
+    return out;
+}
+
+TEST(SocketServer, SubmitStatusWaitRowsFlow)
+{
+    ScenarioService service(serviceConfig());
+    SocketServer server(service, ScenarioCatalog::standard(),
+                        SocketServerConfig{}); // no listeners needed
+
+    // SUBMIT with a short horizon so the sim is milliseconds.
+    const auto submit = roundTrip(
+        server, "SUBMIT acme open_road horizon_s=2 label=itest");
+    ASSERT_EQ(submit.size(), 1u);
+    ASSERT_EQ(submit[0].rfind("OK job=", 0), 0u) << submit[0];
+    const JobId id = std::stoull(submit[0].substr(7));
+
+    const auto wait =
+        roundTrip(server, "WAIT " + std::to_string(id) + " timeout_s=25");
+    ASSERT_EQ(wait.size(), 1u);
+    EXPECT_NE(wait[0].find("state=completed"), std::string::npos)
+        << wait[0];
+    EXPECT_NE(wait[0].find("label=itest"), std::string::npos);
+
+    const auto status = roundTrip(server, "STATUS " + std::to_string(id));
+    EXPECT_NE(status[0].find("state=completed"), std::string::npos);
+
+    const auto rows =
+        roundTrip(server, "ROWS " + std::to_string(id) + " from=0");
+    ASSERT_GE(rows.size(), 2u); // >= 1 ROW line + terminal OK
+    EXPECT_EQ(rows[0].rfind("ROW ", 0), 0u);
+    EXPECT_EQ(rows.back().rfind("OK rows=", 0), 0u);
+
+    // Incremental fetch from the end is empty but still OK.
+    const auto tail = roundTrip(
+        server, "ROWS " + std::to_string(id) + " from=1000");
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0].rfind("OK rows=0", 0), 0u);
+}
+
+TEST(SocketServer, CancelAndStatsThroughProtocol)
+{
+    ScenarioService service(serviceConfig());
+    SocketServer server(service, ScenarioCatalog::standard(),
+                        SocketServerConfig{});
+
+    const auto submit = roundTrip(
+        server, "SUBMIT acme sudden_wall horizon_s=2 seeds=4");
+    ASSERT_EQ(submit[0].rfind("OK job=", 0), 0u) << submit[0];
+    const JobId id = std::stoull(submit[0].substr(7));
+
+    const auto cancel = roundTrip(server, "CANCEL " + std::to_string(id));
+    EXPECT_EQ(cancel[0], "OK cancelled=1");
+    const auto wait =
+        roundTrip(server, "WAIT " + std::to_string(id) + " timeout_s=25");
+    EXPECT_NE(wait[0].find("state=cancelled"), std::string::npos);
+
+    const auto stats = roundTrip(server, "STATS");
+    EXPECT_NE(stats[0].find("admitted=1"), std::string::npos)
+        << stats[0];
+    EXPECT_NE(stats[0].find("cancelled=1"), std::string::npos);
+}
+
+TEST(SocketServer, ProtocolErrorsAreErrLines)
+{
+    ScenarioService service(serviceConfig());
+    SocketServer server(service, ScenarioCatalog::standard(),
+                        SocketServerConfig{});
+
+    EXPECT_EQ(roundTrip(server, "SUBMIT acme no_such_set")[0].rfind(
+                  "ERR unknown_set", 0),
+              0u);
+    EXPECT_EQ(roundTrip(server, "SUBMIT ghost open_road")[0].rfind(
+                  "ERR unknown_tenant", 0),
+              0u);
+    EXPECT_EQ(roundTrip(server, "STATUS 424242")[0].rfind(
+                  "ERR unknown_job", 0),
+              0u);
+    EXPECT_EQ(roundTrip(server, "FROBNICATE")[0].rfind("ERR bad_request",
+                                                       0),
+              0u);
+    EXPECT_EQ(roundTrip(server, "PING")[0], "OK pong");
+    EXPECT_EQ(roundTrip(server, "QUIT", /*expect_keep=*/false)[0],
+              "OK bye");
+}
+
+TEST(SocketServer, CatalogListsEveryStandardSet)
+{
+    ScenarioService service(serviceConfig());
+    SocketServer server(service, ScenarioCatalog::standard(),
+                        SocketServerConfig{});
+    const auto out = roundTrip(server, "CATALOG");
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_EQ(out.back().rfind("OK sets=", 0), 0u);
+    bool saw_fault_matrix = false;
+    for (const std::string &line : out)
+        if (line.rfind("SET fault_matrix ", 0) == 0)
+            saw_fault_matrix = true;
+    EXPECT_TRUE(saw_fault_matrix);
+}
+
+TEST(SocketServer, TcpRoundTripOverEphemeralPort)
+{
+    ScenarioService service(serviceConfig());
+    SocketServerConfig transport;
+    transport.tcp_port = 0; // ephemeral
+    SocketServer server(service, ScenarioCatalog::standard(), transport);
+    ASSERT_TRUE(server.start());
+    ASSERT_GT(server.tcpPort(), 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.tcpPort()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+
+    const std::string request = "PING\nQUIT\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string reply;
+    char buf[256];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break; // server closed after QUIT
+        reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_EQ(reply, "OK pong\nOK bye\n");
+    server.stop();
+}
+
+} // namespace
+} // namespace sov::serve

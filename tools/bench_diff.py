@@ -17,10 +17,12 @@ Two classes of change fail the diff:
     into a CI failure.
 
 Performance keys are recognised by name: anything containing
-"latency", "throughput" or "availability", or ending in "_ms", "_hz"
-or "per_sec". Wall-clock keys ("wall_*") are machine noise and never
-compared; the simulated-time metrics are deterministic, so drift
-there is a real behaviour change, not jitter.
+"latency", "throughput", "availability", "ttfr" or "fairness", or
+ending in "_ms", "_hz" or "per_sec". Wall-clock keys (anything with
+"wall" in the name, e.g. "wall_s" or "cold_wall_ms") are machine
+noise and never compared; the simulated-time metrics are
+deterministic, so drift there is a real behaviour change, not
+jitter.
 
 Row tables are aligned by a composite of the row's known label keys
 (fault/scenario/policy/mode/preset/stack/name — so the fault matrix's
@@ -47,8 +49,9 @@ PERF_SUFFIXES = ("_ms", "_hz", "per_sec")
 # Row fields that identify a row rather than measure it, in label
 # order. The fault matrix repeats the same fault name across its
 # policy x mode cells; compounding the keys keeps each cell distinct.
+# "tenant" keys the fleet-service fairness table (one row per tenant).
 LABEL_KEYS = ("fault", "scenario", "policy", "mode", "preset", "stack",
-              "name")
+              "tenant", "name")
 
 # Categorical per-row results: any change is a behaviour regression.
 OUTCOME_KEYS = ("outcome", "worst_level", "final_state")
@@ -56,10 +59,11 @@ OUTCOME_KEYS = ("outcome", "worst_level", "final_state")
 
 def is_perf_key(key):
     lowered = key.lower()
-    if lowered.startswith("wall"):
+    if "wall" in lowered:
         return False
     if ("latency" in lowered or "throughput" in lowered
-            or "availability" in lowered):
+            or "availability" in lowered or "ttfr" in lowered
+            or "fairness" in lowered):
         return True
     return lowered.endswith(PERF_SUFFIXES)
 

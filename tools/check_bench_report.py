@@ -3,8 +3,8 @@
 
 Stdlib-only validator for the JSON-Schema subset the report schema
 actually uses: type (including lists of types and "integer"), const,
-enum, pattern, required, properties, additionalProperties (boolean or
-schema), and items. Exits nonzero and lists every violation if any
+enum, pattern, minimum, maximum, required, properties,
+additionalProperties (boolean or schema), and items. Exits nonzero and lists every violation if any
 report fails; prints one OK line per valid report.
 
 Usage:
@@ -58,6 +58,14 @@ def validate(value, schema, path, errors):
         if not re.search(schema["pattern"], value):
             errors.append(f"{path}: {value!r} does not match pattern "
                           f"{schema['pattern']!r}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value!r} below minimum "
+                          f"{schema['minimum']!r}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value!r} above maximum "
+                          f"{schema['maximum']!r}")
 
     if isinstance(value, dict):
         props = schema.get("properties", {})

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Line-protocol client for the sov::serve scenario service.
+
+Speaks the newline-delimited protocol from DESIGN.md over TCP or a
+Unix socket. Every command's response is one or more lines; the final
+line always starts with "OK" or "ERR", which is how the client frames
+multi-line replies (CATALOG's SET lines, ROWS' ROW lines).
+
+Usage:
+    tools/serve_client.py --tcp HOST:PORT COMMAND [ARG ...]
+    tools/serve_client.py --unix /path/to.sock COMMAND [ARG ...]
+
+Commands:
+    ping                          liveness check
+    catalog                       list scenario sets
+    stats                         service-wide counters
+    submit TENANT SET [K=V ...]   enqueue a job (seed=, seeds=,
+                                  horizon_s=, deadline_s=, label=);
+                                  add --wait to block until terminal,
+                                  --rows to stream outcome rows
+    status JOB                    one snapshot line
+    wait JOB [TIMEOUT_S]          block until terminal (or timeout)
+    rows JOB [FROM]               fetch outcome rows from index FROM
+    cancel JOB                    revoke queued + in-flight shards
+    repl                          interactive prompt (QUIT to exit)
+
+Exits 0 when the final response line is OK, 1 on ERR, 2 on usage or
+connection errors.
+"""
+
+import argparse
+import socket
+import sys
+
+
+class LineClient:
+    """Buffered newline-framed request/response over a stream socket."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = b""
+
+    @classmethod
+    def connect(cls, tcp, unix):
+        if unix:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(unix)
+        else:
+            host, _, port = tcp.rpartition(":")
+            sock = socket.create_connection((host or "127.0.0.1",
+                                             int(port)))
+        return cls(sock)
+
+    def read_line(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        line, _, self.buffer = self.buffer.partition(b"\n")
+        return line.decode("utf-8", errors="replace").rstrip("\r")
+
+    def request(self, line):
+        """Send one command; return the response lines (terminal last)."""
+        self.sock.sendall(line.encode("utf-8") + b"\n")
+        lines = []
+        while True:
+            response = self.read_line()
+            lines.append(response)
+            if response.startswith(("OK", "ERR")):
+                return lines
+
+    def close(self):
+        self.sock.close()
+
+
+def run_request(client, line, quiet_prefixes=()):
+    lines = client.request(line)
+    for response in lines:
+        if not response.startswith(quiet_prefixes):
+            print(response)
+    return 0 if lines[-1].startswith("OK") else 1
+
+
+def parse_field(line, key):
+    """Pull `key=value` out of a snapshot/response line."""
+    for token in line.split():
+        if token.startswith(key + "="):
+            return token[len(key) + 1:]
+    return None
+
+
+def cmd_submit(client, args):
+    line = f"SUBMIT {args.tenant} {args.set}"
+    for option in args.options:
+        if "=" not in option:
+            print(f"serve_client: option {option!r} is not k=v",
+                  file=sys.stderr)
+            return 2
+        line += " " + option
+    lines = client.request(line)
+    for response in lines:
+        print(response)
+    if not lines[-1].startswith("OK"):
+        return 1
+    job = parse_field(lines[-1], "job")
+    if args.wait or args.rows:
+        status = run_request(client, f"WAIT {job} timeout_s=86400")
+        if status:
+            return status
+    if args.rows:
+        return run_request(client, f"ROWS {job} from=0")
+    return 0
+
+
+def repl(client):
+    print("connected; QUIT to exit", file=sys.stderr)
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            for response in client.request(line):
+                print(response)
+            if line.upper() == "QUIT":
+                return 0
+    except (ConnectionError, KeyboardInterrupt):
+        pass
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, add_help=True,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    transport = parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument("--tcp", metavar="HOST:PORT")
+    transport.add_argument("--unix", metavar="SOCKET_PATH")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for simple in ("ping", "catalog", "stats", "repl"):
+        sub.add_parser(simple)
+    submit = sub.add_parser("submit")
+    submit.add_argument("tenant")
+    submit.add_argument("set")
+    submit.add_argument("options", nargs="*", metavar="K=V")
+    submit.add_argument("--wait", action="store_true")
+    submit.add_argument("--rows", action="store_true")
+    for job_command in ("status", "cancel"):
+        sub.add_parser(job_command).add_argument("job")
+    wait = sub.add_parser("wait")
+    wait.add_argument("job")
+    wait.add_argument("timeout_s", nargs="?", default="86400")
+    rows = sub.add_parser("rows")
+    rows.add_argument("job")
+    rows.add_argument("from_index", nargs="?", default="0",
+                      metavar="FROM")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        client = LineClient.connect(args.tcp, args.unix)
+    except (OSError, ValueError) as exc:
+        print(f"serve_client: cannot connect: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.command == "repl":
+            return repl(client)
+        if args.command == "submit":
+            return cmd_submit(client, args)
+        if args.command == "wait":
+            return run_request(
+                client, f"WAIT {args.job} timeout_s={args.timeout_s}")
+        if args.command == "rows":
+            return run_request(
+                client, f"ROWS {args.job} from={args.from_index}")
+        if args.command in ("status", "cancel"):
+            return run_request(
+                client, f"{args.command.upper()} {args.job}")
+        return run_request(client, args.command.upper())
+    except ConnectionError as exc:
+        print(f"serve_client: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
