@@ -13,7 +13,10 @@
  * `scale` maps host wall-clock into model time (the SoV's embedded
  * SoC is several times slower than a build machine). `backend=fast`
  * runs the optimized perception kernels (vision/kernels.h) in the
- * stereo and detection stages instead of the reference oracles.
+ * stereo and detection stages instead of the reference oracles;
+ * `backend=simd` additionally dispatches the vectorized kernel tier
+ * (core/simd.h — falls back to the scalar Fast bodies on hosts
+ * without SSE2/AVX2, with bit-identical output either way).
  * `mode=async` additionally runs the analytic graph through the
  * asynchronous pipeline-parallel executor and reports the throughput
  * win. `faults=<preset>` (a fleet::faultMatrixPresets() name, e.g.
@@ -47,7 +50,7 @@ usage(const char *arg, const std::string &value)
     std::fprintf(stderr,
                  "runtime_substitution: unknown %s '%s'\n"
                  "usage: runtime_substitution [scale=4] [frames=2] "
-                 "[backend=reference|fast] [mode=sync|async] "
+                 "[backend=reference|fast|simd] [mode=sync|async] "
                  "[faults=none|<preset>]\n"
                  "fault presets:",
                  arg, value.c_str());
@@ -116,7 +119,8 @@ main(int argc, char **argv)
     // usage line, not silently fall back (or abort inside the kernel
     // layer's fatal parser).
     const std::string backend_name = cfg.getString("backend", "reference");
-    if (backend_name != "reference" && backend_name != "fast")
+    if (backend_name != "reference" && backend_name != "fast" &&
+        backend_name != "simd")
         return usage("backend", backend_name);
     const KernelBackend backend = kernelBackendFromName(backend_name);
     const std::string mode = cfg.getString("mode", "sync");

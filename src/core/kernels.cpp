@@ -1,4 +1,4 @@
-#include "vision/kernels.h"
+#include "core/kernels.h"
 
 #include "core/logging.h"
 
@@ -12,6 +12,8 @@ kernelBackendName(KernelBackend backend)
         return "reference";
     case KernelBackend::Fast:
         return "fast";
+    case KernelBackend::Simd:
+        return "simd";
     }
     SOV_PANIC("unknown kernel backend");
 }
@@ -23,6 +25,8 @@ kernelBackendFromName(const std::string &name)
         return KernelBackend::Reference;
     if (name == "fast")
         return KernelBackend::Fast;
+    if (name == "simd")
+        return KernelBackend::Simd;
     SOV_PANIC(("unknown kernel backend name: " + name).c_str());
 }
 

@@ -1,0 +1,55 @@
+#include "core/simd.h"
+
+#if defined(SOV_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define SOV_SIMD_X86 1
+#else
+#define SOV_SIMD_X86 0
+#endif
+
+namespace sov {
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Sse2:
+        return "sse2";
+    case SimdLevel::Avx2:
+        return "avx2";
+    case SimdLevel::None:
+        break;
+    }
+    return "none";
+}
+
+bool
+simdCompiledIn()
+{
+    return SOV_SIMD_X86 != 0;
+}
+
+namespace {
+
+SimdLevel
+probe()
+{
+#if SOV_SIMD_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return SimdLevel::Avx2;
+    if (__builtin_cpu_supports("sse2"))
+        return SimdLevel::Sse2;
+#endif
+    return SimdLevel::None;
+}
+
+} // namespace
+
+SimdLevel
+detectSimdLevel()
+{
+    static const SimdLevel level = probe();
+    return level;
+}
+
+} // namespace sov

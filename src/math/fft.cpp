@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "math/simd_kernels.h"
 
 namespace sov {
 
@@ -51,23 +52,37 @@ fft(std::vector<Complex> &data, bool inverse)
     }
 }
 
+void
+fftRealInto(const std::vector<double> &data, std::vector<Complex> &out)
+{
+    out.resize(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out[i] = Complex(data[i], 0.0);
+    fft(out, false);
+}
+
 std::vector<Complex>
 fftReal(const std::vector<double> &data)
 {
-    std::vector<Complex> c(data.size());
-    for (std::size_t i = 0; i < data.size(); ++i)
-        c[i] = Complex(data[i], 0.0);
-    fft(c, false);
+    std::vector<Complex> c;
+    fftRealInto(data, c);
     return c;
+}
+
+void
+ifftToRealInto(std::vector<Complex> &spectrum, std::vector<double> &out)
+{
+    fft(spectrum, true);
+    out.resize(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+        out[i] = spectrum[i].real();
 }
 
 std::vector<double>
 ifftToReal(std::vector<Complex> spectrum)
 {
-    fft(spectrum, true);
-    std::vector<double> out(spectrum.size());
-    for (std::size_t i = 0; i < spectrum.size(); ++i)
-        out[i] = spectrum[i].real();
+    std::vector<double> out;
+    ifftToRealInto(spectrum, out);
     return out;
 }
 
@@ -100,23 +115,40 @@ fft2d(std::vector<Complex> &data, std::size_t rows, std::size_t cols,
     }
 }
 
+void
+hadamardInto(const std::vector<Complex> &a,
+             const std::vector<Complex> &b, std::vector<Complex> &out)
+{
+    SOV_ASSERT(a.size() == b.size());
+    out.resize(a.size());
+    simd::hadamardMul(out.data(), a.data(), b.data(), a.size(), false,
+                      SimdLevel::None);
+}
+
 std::vector<Complex>
 hadamard(const std::vector<Complex> &a, const std::vector<Complex> &b)
 {
-    SOV_ASSERT(a.size() == b.size());
-    std::vector<Complex> out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * b[i];
+    std::vector<Complex> out;
+    hadamardInto(a, b, out);
     return out;
+}
+
+void
+hadamardConjInto(const std::vector<Complex> &a,
+                 const std::vector<Complex> &b,
+                 std::vector<Complex> &out)
+{
+    SOV_ASSERT(a.size() == b.size());
+    out.resize(a.size());
+    simd::hadamardMul(out.data(), a.data(), b.data(), a.size(), true,
+                      SimdLevel::None);
 }
 
 std::vector<Complex>
 hadamardConj(const std::vector<Complex> &a, const std::vector<Complex> &b)
 {
-    SOV_ASSERT(a.size() == b.size());
-    std::vector<Complex> out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * std::conj(b[i]);
+    std::vector<Complex> out;
+    hadamardConjInto(a, b, out);
     return out;
 }
 

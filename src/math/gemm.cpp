@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "math/simd_kernels.h"
+
 namespace sov {
 
 namespace {
@@ -13,29 +15,26 @@ constexpr std::size_t kBlockK = 64;
 
 void
 gemmF32(std::size_t m, std::size_t n, std::size_t k,
-        const float *a, const float *b, float *c)
+        const float *a, const float *b, float *c, SimdLevel level)
 {
     // k is blocked for B reuse across the i sweep; within a block the
     // reduction still runs in ascending k per output element, so
-    // blocking never changes the rounding sequence.
+    // blocking never changes the rounding sequence. The j-loop is the
+    // element-wise axpy microkernel — identical rounding at any level.
     for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
         const std::size_t k1 = std::min(k0 + kBlockK, k);
         for (std::size_t i = 0; i < m; ++i) {
             float *crow = c + i * n;
             const float *arow = a + i * k;
-            for (std::size_t kk = k0; kk < k1; ++kk) {
-                const float av = arow[kk];
-                const float *brow = b + kk * n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
+            for (std::size_t kk = k0; kk < k1; ++kk)
+                simd::axpy(crow, b + kk * n, arow[kk], n, level);
         }
     }
 }
 
 void
 gemmTnF32(std::size_t m, std::size_t n, std::size_t k,
-          const float *a, const float *b, float *c)
+          const float *a, const float *b, float *c, SimdLevel level)
 {
     // A is [k x m]: walk the reduction as the outer loop so both A and
     // B are read row-contiguously; per output element k stays
@@ -44,32 +43,24 @@ gemmTnF32(std::size_t m, std::size_t n, std::size_t k,
         const std::size_t k1 = std::min(k0 + kBlockK, k);
         for (std::size_t i = 0; i < m; ++i) {
             float *crow = c + i * n;
-            for (std::size_t kk = k0; kk < k1; ++kk) {
-                const float av = a[kk * m + i];
-                const float *brow = b + kk * n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
+            for (std::size_t kk = k0; kk < k1; ++kk)
+                simd::axpy(crow, b + kk * n, a[kk * m + i], n, level);
         }
     }
 }
 
 void
 gemmNtF32(std::size_t m, std::size_t n, std::size_t k,
-          const float *a, const float *b, float *c)
+          const float *a, const float *b, float *c, SimdLevel level)
 {
     // B is [n x k]: every output is a dot product of two contiguous
-    // rows. The scalar accumulator keeps k ascending.
+    // rows. Vector levels hold lane partials and fold them in fixed
+    // order — deterministic, but reassociated relative to scalar.
     for (std::size_t i = 0; i < m; ++i) {
         const float *arow = a + i * k;
         float *crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = b + j * k;
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] += acc;
-        }
+        for (std::size_t j = 0; j < n; ++j)
+            crow[j] += simd::dot(arow, b + j * k, k, level);
     }
 }
 

@@ -12,23 +12,35 @@
  * block sizes and match a direct reference convolution term-for-term
  * (up to FMA contraction, which the build does not enable on the
  * targets we support).
+ *
+ * The optional @p level runs the microkernels through the Simd tier
+ * (math/simd_kernels.h). gemmF32/gemmTnF32 vectorize their j-loop
+ * element-wise — bit-identical to the scalar path at any level —
+ * while gemmNtF32's dot-product reduction is lane-reassociated at
+ * Avx2: deterministic, but an epsilon away from scalar (callers gate
+ * accordingly; conv backward already compares with a tolerance).
  */
 #pragma once
 
 #include <cstddef>
 
+#include "core/simd.h"
+
 namespace sov {
 
 /** C[m x n] += A[m x k] * B[k x n]. */
 void gemmF32(std::size_t m, std::size_t n, std::size_t k,
-             const float *a, const float *b, float *c);
+             const float *a, const float *b, float *c,
+             SimdLevel level = SimdLevel::None);
 
 /** C[m x n] += A^T * B where A is stored [k x m]. */
 void gemmTnF32(std::size_t m, std::size_t n, std::size_t k,
-               const float *a, const float *b, float *c);
+               const float *a, const float *b, float *c,
+               SimdLevel level = SimdLevel::None);
 
 /** C[m x n] += A * B^T where B is stored [n x k]. */
 void gemmNtF32(std::size_t m, std::size_t n, std::size_t k,
-               const float *a, const float *b, float *c);
+               const float *a, const float *b, float *c,
+               SimdLevel level = SimdLevel::None);
 
 } // namespace sov

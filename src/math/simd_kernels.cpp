@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Scalar and vector bodies of the Simd-tier primitives.
+ *
+ * The whole translation unit compiles for the generic target; every
+ * vector body carries a per-function target attribute and is only
+ * reachable through the level dispatch, which never hands a body an
+ * instruction set the host lacks (core/simd.h probes with
+ * __builtin_cpu_supports). Note that target("avx2") deliberately does
+ * NOT enable FMA: keeping mul and add as separate, individually
+ * rounded instructions is what makes the element-wise bodies
+ * bit-identical to their scalar twins.
+ */
+#include "math/simd_kernels.h"
+
+#include <cmath>
+
+#if defined(SOV_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define SOV_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SOV_SIMD_X86 0
+#endif
+
+namespace sov::simd {
+
+namespace {
+
+// ------------------------------------------------------ scalar bodies
+
+template <bool Add>
+void
+absDiffAccumScalar(float *dst, const float *a, const float *b,
+                   std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float d = std::fabs(a[i] - b[i]);
+        dst[i] = Add ? dst[i] + d : dst[i] - d;
+    }
+}
+
+void
+axpyScalar(float *dst, const float *src, float s, std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j)
+        dst[j] += s * src[j];
+}
+
+float
+dotScalar(const float *a, const float *b, std::size_t n)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+butterflyScalar(Complex *lo, Complex *hi, const Complex *w,
+                std::size_t half)
+{
+    for (std::size_t k = 0; k < half; ++k) {
+        const Complex u = lo[k];
+        const Complex v = hi[k] * w[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
+    }
+}
+
+template <bool ConjB>
+void
+hadamardScalar(Complex *out, const Complex *a, const Complex *b,
+               std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = ConjB ? a[i] * std::conj(b[i]) : a[i] * b[i];
+}
+
+void
+scaleScalar(Complex *data, double s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] *= s;
+}
+
+void
+nearestLeafScalar(const double *xs, const double *ys, const double *zs,
+                  std::size_t begin, std::size_t n, double qx, double qy,
+                  double qz, double &best_d2, std::size_t &best_off)
+{
+    for (std::size_t i = begin; i < n; ++i) {
+        const double dx = xs[i] - qx;
+        const double dy = ys[i] - qy;
+        const double dz = zs[i] - qz;
+        // Left-associated like Vec3::squaredNorm's running sum.
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best_off = i;
+        }
+    }
+}
+
+void
+icpAccumScalar(const double *px, const double *py, const double *pz,
+               const double *rx, const double *ry, const double *rz,
+               std::size_t begin, std::size_t n, IcpStats &s)
+{
+    for (std::size_t i = begin; i < n; ++i) {
+        const double x = px[i], y = py[i], z = pz[i];
+        s.sxx += x * x;
+        s.syy += y * y;
+        s.szz += z * z;
+        s.sxy += x * y;
+        s.sxz += x * z;
+        s.syz += y * z;
+        s.spx += x;
+        s.spy += y;
+        s.spz += z;
+        const double ex = rx[i], ey = ry[i], ez = rz[i];
+        s.scx += y * ez - z * ey;
+        s.scy += z * ex - x * ez;
+        s.scz += x * ey - y * ex;
+        s.srx += ex;
+        s.sry += ey;
+        s.srz += ez;
+    }
+}
+
+#if SOV_SIMD_X86
+
+// ------------------------------------------------------ vector bodies
+
+template <bool Add>
+__attribute__((target("avx2"))) void
+absDiffAccumAvx2(float *dst, const float *a, const float *b,
+                 std::size_t n)
+{
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 d = _mm256_andnot_ps(
+            sign, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                _mm256_loadu_ps(b + i)));
+        const __m256 acc = _mm256_loadu_ps(dst + i);
+        _mm256_storeu_ps(dst + i,
+                         Add ? _mm256_add_ps(acc, d)
+                             : _mm256_sub_ps(acc, d));
+    }
+    absDiffAccumScalar<Add>(dst + i, a + i, b + i, n - i);
+}
+
+template <bool Add>
+__attribute__((target("sse2"))) void
+absDiffAccumSse2(float *dst, const float *a, const float *b,
+                 std::size_t n)
+{
+    const __m128 sign = _mm_set1_ps(-0.0f);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 d = _mm_andnot_ps(
+            sign,
+            _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+        const __m128 acc = _mm_loadu_ps(dst + i);
+        _mm_storeu_ps(dst + i,
+                      Add ? _mm_add_ps(acc, d) : _mm_sub_ps(acc, d));
+    }
+    absDiffAccumScalar<Add>(dst + i, a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void
+axpyAvx2(float *dst, const float *src, float s, std::size_t n)
+{
+    const __m256 vs = _mm256_set1_ps(s);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 acc = _mm256_add_ps(
+            _mm256_loadu_ps(dst + j),
+            _mm256_mul_ps(vs, _mm256_loadu_ps(src + j)));
+        _mm256_storeu_ps(dst + j, acc);
+    }
+    axpyScalar(dst + j, src + j, s, n - j);
+}
+
+__attribute__((target("sse2"))) void
+axpySse2(float *dst, const float *src, float s, std::size_t n)
+{
+    const __m128 vs = _mm_set1_ps(s);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m128 acc =
+            _mm_add_ps(_mm_loadu_ps(dst + j),
+                       _mm_mul_ps(vs, _mm_loadu_ps(src + j)));
+        _mm_storeu_ps(dst + j, acc);
+    }
+    axpyScalar(dst + j, src + j, s, n - j);
+}
+
+__attribute__((target("avx2"))) float
+dotAvx2(const float *a, const float *b, std::size_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_add_ps(acc,
+                            _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, acc);
+    // Fixed lane-fold order keeps the reassociation deterministic.
+    float sum = 0.0f;
+    for (float lane : lanes)
+        sum += lane;
+    for (; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+__attribute__((target("sse2"))) float
+dotSse2(const float *a, const float *b, std::size_t n)
+{
+    __m128 acc = _mm_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(a + i),
+                                         _mm_loadu_ps(b + i)));
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, acc);
+    float sum = 0.0f;
+    for (float lane : lanes)
+        sum += lane;
+    for (; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+/**
+ * Two packed complex products per vector: with w split into
+ * duplicated real and imaginary lanes, addsub realizes
+ * (hr·wr − hi·wi, hi·wr + hr·wi) with the same per-op rounding as the
+ * scalar naive formula.
+ */
+__attribute__((target("avx2"))) inline __m256d
+complexMulAvx2(__m256d u, __m256d w)
+{
+    const __m256d wr = _mm256_movedup_pd(w);
+    const __m256d wi = _mm256_permute_pd(w, 0xF);
+    const __m256d us = _mm256_permute_pd(u, 0x5);
+    return _mm256_addsub_pd(_mm256_mul_pd(u, wr),
+                            _mm256_mul_pd(us, wi));
+}
+
+__attribute__((target("avx2"))) void
+butterflyAvx2(Complex *lo, Complex *hi, const Complex *w,
+              std::size_t half)
+{
+    auto *lod = reinterpret_cast<double *>(lo);
+    auto *hid = reinterpret_cast<double *>(hi);
+    const auto *wd = reinterpret_cast<const double *>(w);
+    std::size_t k = 0;
+    for (; k + 2 <= half; k += 2) {
+        const __m256d u = _mm256_loadu_pd(lod + 2 * k);
+        const __m256d h = _mm256_loadu_pd(hid + 2 * k);
+        const __m256d v =
+            complexMulAvx2(h, _mm256_loadu_pd(wd + 2 * k));
+        _mm256_storeu_pd(lod + 2 * k, _mm256_add_pd(u, v));
+        _mm256_storeu_pd(hid + 2 * k, _mm256_sub_pd(u, v));
+    }
+    butterflyScalar(lo + k, hi + k, w + k, half - k);
+}
+
+template <bool ConjB>
+__attribute__((target("avx2"))) void
+hadamardAvx2(Complex *out, const Complex *a, const Complex *b,
+             std::size_t n)
+{
+    auto *od = reinterpret_cast<double *>(out);
+    const auto *ad = reinterpret_cast<const double *>(a);
+    const auto *bd = reinterpret_cast<const double *>(b);
+    // Conjugation = exact sign flip of the imaginary lanes.
+    const __m256d conj_mask = _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m256d vb = _mm256_loadu_pd(bd + 2 * i);
+        if (ConjB)
+            vb = _mm256_xor_pd(vb, conj_mask);
+        _mm256_storeu_pd(
+            od + 2 * i,
+            complexMulAvx2(_mm256_loadu_pd(ad + 2 * i), vb));
+    }
+    hadamardScalar<ConjB>(out + i, a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void
+scaleAvx2(Complex *data, double s, std::size_t n)
+{
+    auto *d = reinterpret_cast<double *>(data);
+    const __m256d vs = _mm256_set1_pd(s);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        _mm256_storeu_pd(d + 2 * i,
+                         _mm256_mul_pd(_mm256_loadu_pd(d + 2 * i), vs));
+    scaleScalar(data + i, s, n - i);
+}
+
+__attribute__((target("avx2"))) void
+nearestLeafAvx2(const double *xs, const double *ys, const double *zs,
+                std::size_t n, double qx, double qy, double qz,
+                double &best_d2, std::size_t &best_off)
+{
+    const __m256d vqx = _mm256_set1_pd(qx);
+    const __m256d vqy = _mm256_set1_pd(qy);
+    const __m256d vqz = _mm256_set1_pd(qz);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vqx);
+        const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vqy);
+        const __m256d dz = _mm256_sub_pd(_mm256_loadu_pd(zs + i), vqz);
+        const __m256d d2 = _mm256_add_pd(
+            _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+            _mm256_mul_pd(dz, dz));
+        const int mask = _mm256_movemask_pd(
+            _mm256_cmp_pd(d2, _mm256_set1_pd(best_d2), _CMP_LT_OQ));
+        if (mask) {
+            // Rare path: resolve lanes in order to keep the scalar
+            // first-strict-improvement tie semantics.
+            alignas(32) double lanes[4];
+            _mm256_store_pd(lanes, d2);
+            for (std::size_t lane = 0; lane < 4; ++lane) {
+                if (lanes[lane] < best_d2) {
+                    best_d2 = lanes[lane];
+                    best_off = i + lane;
+                }
+            }
+        }
+    }
+    nearestLeafScalar(xs, ys, zs, i, n, qx, qy, qz, best_d2, best_off);
+}
+
+/** Fixed-order lane fold; a named function because lambdas do not
+ *  inherit the enclosing function's target attribute. */
+__attribute__((target("avx2"))) inline double
+foldAvx2(__m256d v)
+{
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, v);
+    return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+__attribute__((target("avx2"))) void
+icpAccumAvx2(const double *px, const double *py, const double *pz,
+             const double *rx, const double *ry, const double *rz,
+             std::size_t n, IcpStats &s)
+{
+    __m256d sxx = _mm256_setzero_pd(), syy = sxx, szz = sxx;
+    __m256d sxy = sxx, sxz = sxx, syz = sxx;
+    __m256d spx = sxx, spy = sxx, spz = sxx;
+    __m256d scx = sxx, scy = sxx, scz = sxx;
+    __m256d srx = sxx, sry = sxx, srz = sxx;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d x = _mm256_loadu_pd(px + i);
+        const __m256d y = _mm256_loadu_pd(py + i);
+        const __m256d z = _mm256_loadu_pd(pz + i);
+        sxx = _mm256_add_pd(sxx, _mm256_mul_pd(x, x));
+        syy = _mm256_add_pd(syy, _mm256_mul_pd(y, y));
+        szz = _mm256_add_pd(szz, _mm256_mul_pd(z, z));
+        sxy = _mm256_add_pd(sxy, _mm256_mul_pd(x, y));
+        sxz = _mm256_add_pd(sxz, _mm256_mul_pd(x, z));
+        syz = _mm256_add_pd(syz, _mm256_mul_pd(y, z));
+        spx = _mm256_add_pd(spx, x);
+        spy = _mm256_add_pd(spy, y);
+        spz = _mm256_add_pd(spz, z);
+        const __m256d ex = _mm256_loadu_pd(rx + i);
+        const __m256d ey = _mm256_loadu_pd(ry + i);
+        const __m256d ez = _mm256_loadu_pd(rz + i);
+        scx = _mm256_add_pd(
+            scx, _mm256_sub_pd(_mm256_mul_pd(y, ez),
+                               _mm256_mul_pd(z, ey)));
+        scy = _mm256_add_pd(
+            scy, _mm256_sub_pd(_mm256_mul_pd(z, ex),
+                               _mm256_mul_pd(x, ez)));
+        scz = _mm256_add_pd(
+            scz, _mm256_sub_pd(_mm256_mul_pd(x, ey),
+                               _mm256_mul_pd(y, ex)));
+        srx = _mm256_add_pd(srx, ex);
+        sry = _mm256_add_pd(sry, ey);
+        srz = _mm256_add_pd(srz, ez);
+    }
+    s.sxx += foldAvx2(sxx);
+    s.syy += foldAvx2(syy);
+    s.szz += foldAvx2(szz);
+    s.sxy += foldAvx2(sxy);
+    s.sxz += foldAvx2(sxz);
+    s.syz += foldAvx2(syz);
+    s.spx += foldAvx2(spx);
+    s.spy += foldAvx2(spy);
+    s.spz += foldAvx2(spz);
+    s.scx += foldAvx2(scx);
+    s.scy += foldAvx2(scy);
+    s.scz += foldAvx2(scz);
+    s.srx += foldAvx2(srx);
+    s.sry += foldAvx2(sry);
+    s.srz += foldAvx2(srz);
+    icpAccumScalar(px, py, pz, rx, ry, rz, i, n, s);
+}
+
+#endif // SOV_SIMD_X86
+
+} // namespace
+
+// --------------------------------------------------------- dispatchers
+
+void
+absDiffAdd(float *dst, const float *a, const float *b, std::size_t n,
+           [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return absDiffAccumAvx2<true>(dst, a, b, n);
+    if (level == SimdLevel::Sse2)
+        return absDiffAccumSse2<true>(dst, a, b, n);
+#endif
+    absDiffAccumScalar<true>(dst, a, b, n);
+}
+
+void
+absDiffSub(float *dst, const float *a, const float *b, std::size_t n,
+           [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return absDiffAccumAvx2<false>(dst, a, b, n);
+    if (level == SimdLevel::Sse2)
+        return absDiffAccumSse2<false>(dst, a, b, n);
+#endif
+    absDiffAccumScalar<false>(dst, a, b, n);
+}
+
+void
+axpy(float *dst, const float *src, float s, std::size_t n,
+     [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return axpyAvx2(dst, src, s, n);
+    if (level == SimdLevel::Sse2)
+        return axpySse2(dst, src, s, n);
+#endif
+    axpyScalar(dst, src, s, n);
+}
+
+float
+dot(const float *a, const float *b, std::size_t n,
+    [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return dotAvx2(a, b, n);
+    if (level == SimdLevel::Sse2)
+        return dotSse2(a, b, n);
+#endif
+    return dotScalar(a, b, n);
+}
+
+void
+butterfly(Complex *lo, Complex *hi, const Complex *w, std::size_t half,
+          [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return butterflyAvx2(lo, hi, w, half);
+#endif
+    butterflyScalar(lo, hi, w, half);
+}
+
+void
+hadamardMul(Complex *out, const Complex *a, const Complex *b,
+            std::size_t n, bool conj_b,
+            [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2) {
+        if (conj_b)
+            return hadamardAvx2<true>(out, a, b, n);
+        return hadamardAvx2<false>(out, a, b, n);
+    }
+#endif
+    if (conj_b)
+        hadamardScalar<true>(out, a, b, n);
+    else
+        hadamardScalar<false>(out, a, b, n);
+}
+
+void
+scale(Complex *data, double s, std::size_t n,
+      [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return scaleAvx2(data, s, n);
+#endif
+    scaleScalar(data, s, n);
+}
+
+void
+nearestLeaf(const double *xs, const double *ys, const double *zs,
+            std::size_t n, double qx, double qy, double qz,
+            double &best_d2, std::size_t &best_off,
+            [[maybe_unused]] SimdLevel level)
+{
+    best_off = kNoImprovement;
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return nearestLeafAvx2(xs, ys, zs, n, qx, qy, qz, best_d2,
+                               best_off);
+#endif
+    nearestLeafScalar(xs, ys, zs, 0, n, qx, qy, qz, best_d2, best_off);
+}
+
+void
+icpAccum(const double *px, const double *py, const double *pz,
+         const double *rx, const double *ry, const double *rz,
+         std::size_t n, IcpStats &stats,
+         [[maybe_unused]] SimdLevel level)
+{
+#if SOV_SIMD_X86
+    if (level == SimdLevel::Avx2)
+        return icpAccumAvx2(px, py, pz, rx, ry, rz, n, stats);
+#endif
+    icpAccumScalar(px, py, pz, rx, ry, rz, 0, n, stats);
+}
+
+} // namespace sov::simd

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 
+#include "core/kernels.h"
 #include "math/quat.h"
 #include "memsim/mem_trace.h"
 #include "pointcloud/kdtree.h"
@@ -33,6 +34,21 @@ struct IcpConfig
     double max_correspondence_distance = 2.0;
     /** Stop when the update norm falls below this. */
     double convergence_threshold = 1e-6;
+    /**
+     * Implementation tier (core/kernels.h). Reference accumulates the
+     * normal equations term-by-term; Fast batches correspondences
+     * through KdTree::nearestFast and a closed-form JᵀJ/Jᵀr
+     * assembly; Simd additionally vectorizes the leaf scans and the
+     * accumulation. Runs with a MemTrace always take the Reference
+     * path — the Fig. 4 experiments need its touch hooks.
+     */
+    KernelBackend backend = KernelBackend::Reference;
+    /**
+     * Fast/Simd: approximate-nearest-neighbor bound ε forwarded to
+     * KdTree::nearestFast (0 = exact search, identical
+     * correspondences to Reference).
+     */
+    double approx_nn_epsilon = 0.0;
 };
 
 /** Result of an ICP run. */

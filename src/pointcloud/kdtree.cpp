@@ -5,8 +5,38 @@
 #include <numeric>
 
 #include "core/logging.h"
+#include "math/simd_kernels.h"
 
 namespace sov {
+
+namespace {
+
+/**
+ * Scalar leaf scan, inlined for the SimdLevel::None tier: rounds
+ * exactly like simd::nearestLeaf's scalar body (left-associated sum,
+ * strict improvement — which the vector paths replay bit-for-bit), so
+ * the tiers stay bitwise interchangeable while the None path skips a
+ * cross-TU call plus level dispatch per leaf — real money on
+ * kLeafSize-point leaves visited once per query.
+ */
+inline void
+scanLeafInline(const double *xs, const double *ys, const double *zs,
+               std::size_t n, const double qc[3], double &best_d2,
+               std::size_t &best_off)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - qc[0];
+        const double dy = ys[i] - qc[1];
+        const double dz = zs[i] - qc[2];
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best_off = i;
+        }
+    }
+}
+
+} // namespace
 
 KdTree::KdTree(const PointCloud &cloud, std::uint32_t tree_id)
     : cloud_(cloud), tree_id_(tree_id)
@@ -15,6 +45,62 @@ KdTree::KdTree(const PointCloud &cloud, std::uint32_t tree_id)
     std::iota(indices_.begin(), indices_.end(), 0u);
     if (!cloud.empty())
         root_ = build(0, static_cast<std::uint32_t>(cloud.size()), 0);
+
+    // Leaf-ordered SoA mirror for nearestFast: one sequential pass at
+    // build time buys contiguous (and vectorizable) leaf scans on
+    // every query.
+    leaf_x_.resize(cloud.size());
+    leaf_y_.resize(cloud.size());
+    leaf_z_.resize(cloud.size());
+    for (std::size_t i = 0; i < indices_.size(); ++i) {
+        const Vec3 &p = cloud_[indices_[i]];
+        leaf_x_[i] = p.x();
+        leaf_y_[i] = p.y();
+        leaf_z_[i] = p.z();
+    }
+
+    buildLeafPaths();
+}
+
+void
+KdTree::buildLeafPaths()
+{
+    leaf_of_point_.assign(cloud_.size(), -1);
+    path_begin_.assign(nodes_.size(), 0);
+    path_count_.assign(nodes_.size(), 0);
+    if (root_ < 0)
+        return;
+
+    // DFS carrying the ancestor-plane path; at each leaf, flush the
+    // path (deepest plane first — tightest prune first on replay) and
+    // record the leaf id for every point it holds.
+    std::vector<PathEntry> path; // ancestors of the current node
+    const auto dfs = [&](const auto &self, std::int32_t node_id) -> void {
+        const Node &node = nodes_[node_id];
+        if (node.leaf) {
+            path_begin_[node_id] =
+                static_cast<std::uint32_t>(path_entries_.size());
+            path_count_[node_id] =
+                static_cast<std::uint32_t>(path.size());
+            for (auto it = path.rbegin(); it != path.rend(); ++it)
+                path_entries_.push_back(*it);
+            for (std::uint32_t i = node.begin; i < node.end; ++i)
+                leaf_of_point_[indices_[i]] = node_id;
+            return;
+        }
+        PathEntry entry;
+        entry.split = node.split;
+        entry.dim = node.dim;
+        entry.far = node.right;
+        entry.via_left = 1;
+        path.push_back(entry);
+        self(self, node.left);
+        path.back().far = node.left;
+        path.back().via_left = 0;
+        self(self, node.right);
+        path.pop_back();
+    };
+    dfs(dfs, root_);
 }
 
 std::int32_t
@@ -102,6 +188,233 @@ KdTree::searchNearest(std::int32_t node_id, const Vec3 &query,
     searchNearest(near, query, best, trace);
     if (delta * delta < best.squared_distance)
         searchNearest(far, query, best, trace);
+}
+
+void
+KdTree::descendNearest(std::int32_t node_id, const double qc[3],
+                       Neighbor &best, double prune_scale,
+                       SimdLevel level) const
+{
+    // Deferred far subtrees, deepest on top — popping them after the
+    // near descent replays the recursive near/far visit order exactly,
+    // and each pop re-tests its split distance against the *current*
+    // best, just like the recursion does on unwind.
+    struct Deferred
+    {
+        std::int32_t node;
+        double delta2;
+    };
+    Deferred stack[64];
+    std::size_t top = 0;
+
+    for (;;) {
+        const Node &node = nodes_[node_id];
+        if (!node.leaf) {
+            const double delta = qc[node.dim] - node.split;
+            const double delta2 = delta * delta;
+            const std::int32_t far =
+                delta <= 0.0 ? node.right : node.left;
+            // Defer the far child only while it is still reachable:
+            // the prune test is strict and best only shrinks, so a
+            // subtree failing it now would fail it on unwind too —
+            // skipping the push changes nothing but the stack traffic
+            // (the big win for warm-started queries, whose tight
+            // initial best rejects nearly every far subtree here).
+            if (delta2 < best.squared_distance * prune_scale) {
+                SOV_ASSERT(top < sizeof(stack) / sizeof(stack[0]));
+                stack[top++] = Deferred{far, delta2};
+            }
+            node_id = delta <= 0.0 ? node.left : node.right;
+            continue;
+        }
+
+        double best_d2 = best.squared_distance;
+        std::size_t off = simd::kNoImprovement;
+        if (level == SimdLevel::None)
+            scanLeafInline(leaf_x_.data() + node.begin,
+                           leaf_y_.data() + node.begin,
+                           leaf_z_.data() + node.begin,
+                           node.end - node.begin, qc, best_d2, off);
+        else
+            simd::nearestLeaf(leaf_x_.data() + node.begin,
+                              leaf_y_.data() + node.begin,
+                              leaf_z_.data() + node.begin,
+                              node.end - node.begin, qc[0], qc[1],
+                              qc[2], best_d2, off, level);
+        if (off != simd::kNoImprovement)
+            best = Neighbor{indices_[node.begin +
+                                     static_cast<std::uint32_t>(off)],
+                            best_d2};
+
+        // Unwind: first deferred subtree still worth visiting.
+        for (;;) {
+            if (top == 0)
+                return;
+            const Deferred d = stack[--top];
+            if (d.delta2 < best.squared_distance * prune_scale) {
+                node_id = d.node;
+                break;
+            }
+        }
+    }
+}
+
+std::optional<Neighbor>
+KdTree::nearestFast(const Vec3 &query, SimdLevel level,
+                    double approx_epsilon,
+                    std::uint32_t seed_index) const
+{
+    if (root_ < 0)
+        return std::nullopt;
+
+    // With ε > 0 a far subtree is only visited when it could beat the
+    // best by more than (1+ε) in distance: delta² < best/(1+ε)².
+    const double prune_scale =
+        1.0 / ((1.0 + approx_epsilon) * (1.0 + approx_epsilon));
+
+    Neighbor best{0, std::numeric_limits<double>::max()};
+    const double qc[3] = {query.x(), query.y(), query.z()};
+
+    if (seed_index == kNoSeed || seed_index >= cloud_.size()) {
+        descendNearest(root_, qc, best, prune_scale, level);
+        return best;
+    }
+
+    // Warm start — bottom-up from the seed's leaf. Seeding best with
+    // a known-good candidate can only tighten the pruning bound, so
+    // the returned distance is still the exact (or ε-approximate)
+    // nearest; scans replace only on strict improvement, so a tie
+    // keeps the seed. Only tie-breaking may differ from the unseeded
+    // query. Instead of chasing root→leaf pointers, jump straight to
+    // the seed's leaf, scan it, then replay its precomputed ancestor
+    // planes (deepest first): the far sibling is descended only when
+    // the query sits on its side of the plane (the pose moved the
+    // point across a split, so the subtree may hold arbitrarily close
+    // points) or the plane is nearer than the current best — exactly
+    // the subtrees a top-down traversal could not prune. For a tight
+    // seed this is a branch-free linear scan that prunes everything.
+    {
+        const Vec3 &s = cloud_[seed_index];
+        const double dx = s.x() - qc[0];
+        const double dy = s.y() - qc[1];
+        const double dz = s.z() - qc[2];
+        best = Neighbor{seed_index, dx * dx + dy * dy + dz * dz};
+    }
+
+    const std::int32_t leaf_id = leaf_of_point_[seed_index];
+    const Node &leaf = nodes_[leaf_id];
+    double best_d2 = best.squared_distance;
+    std::size_t off = simd::kNoImprovement;
+    if (level == SimdLevel::None)
+        scanLeafInline(leaf_x_.data() + leaf.begin,
+                       leaf_y_.data() + leaf.begin,
+                       leaf_z_.data() + leaf.begin,
+                       leaf.end - leaf.begin, qc, best_d2, off);
+    else
+        simd::nearestLeaf(leaf_x_.data() + leaf.begin,
+                          leaf_y_.data() + leaf.begin,
+                          leaf_z_.data() + leaf.begin,
+                          leaf.end - leaf.begin, qc[0], qc[1], qc[2],
+                          best_d2, off, level);
+    if (off != simd::kNoImprovement)
+        best = Neighbor{
+            indices_[leaf.begin + static_cast<std::uint32_t>(off)],
+            best_d2};
+
+    const PathEntry *entry = path_entries_.data() + path_begin_[leaf_id];
+    const PathEntry *end = entry + path_count_[leaf_id];
+    for (; entry != end; ++entry) {
+        const double delta = qc[entry->dim] - entry->split;
+        // Query on the sibling's side of the plane (delta > 0 leads
+        // right; ties lead left, like the recursion's near choice)?
+        const bool wrong_side =
+            entry->via_left ? delta > 0.0 : delta <= 0.0;
+        if (wrong_side ||
+            delta * delta < best.squared_distance * prune_scale)
+            descendNearest(entry->far, qc, best, prune_scale, level);
+    }
+    return best;
+}
+
+void
+KdTree::nearestBatch(const double *qx, const double *qy,
+                     const double *qz, std::size_t n,
+                     const std::uint32_t *seeds,
+                     std::uint32_t *out_index, double *out_d2,
+                     SimdLevel level, double approx_epsilon) const
+{
+    if (root_ < 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out_index[i] = kNoSeed;
+            out_d2[i] = std::numeric_limits<double>::max();
+        }
+        return;
+    }
+
+    // A lone descent keeps its whole state — current node, best, the
+    // deferred stack — in registers; measured against that, software
+    // round-robin interleaving of several traversals spills every
+    // lane's state to the stack and runs ~2× slower per query. So the
+    // batch runs queries back to back, and its win over caller-side
+    // nearestFast calls is the inlined per-query setup (no Vec3 or
+    // optional round trips) on top of the SoA-friendly interface.
+    // The body below IS nearestFast's seeded/unseeded logic verbatim,
+    // so results are bitwise identical to sequential calls.
+    const double prune_scale =
+        1.0 / ((1.0 + approx_epsilon) * (1.0 + approx_epsilon));
+    const std::size_t cloud_size = cloud_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double qc[3] = {qx[i], qy[i], qz[i]};
+        Neighbor best{0, std::numeric_limits<double>::max()};
+        const std::uint32_t seed = seeds ? seeds[i] : kNoSeed;
+        if (seed == kNoSeed || seed >= cloud_size) {
+            descendNearest(root_, qc, best, prune_scale, level);
+            out_index[i] = best.index;
+            out_d2[i] = best.squared_distance;
+            continue;
+        }
+
+        const Vec3 &s = cloud_[seed];
+        const double dx = s.x() - qc[0];
+        const double dy = s.y() - qc[1];
+        const double dz = s.z() - qc[2];
+        best = Neighbor{seed, dx * dx + dy * dy + dz * dz};
+
+        const std::int32_t leaf_id = leaf_of_point_[seed];
+        const Node &leaf = nodes_[leaf_id];
+        double best_d2 = best.squared_distance;
+        std::size_t off = simd::kNoImprovement;
+        if (level == SimdLevel::None)
+            scanLeafInline(leaf_x_.data() + leaf.begin,
+                           leaf_y_.data() + leaf.begin,
+                           leaf_z_.data() + leaf.begin,
+                           leaf.end - leaf.begin, qc, best_d2, off);
+        else
+            simd::nearestLeaf(leaf_x_.data() + leaf.begin,
+                              leaf_y_.data() + leaf.begin,
+                              leaf_z_.data() + leaf.begin,
+                              leaf.end - leaf.begin, qc[0], qc[1],
+                              qc[2], best_d2, off, level);
+        if (off != simd::kNoImprovement)
+            best = Neighbor{
+                indices_[leaf.begin + static_cast<std::uint32_t>(off)],
+                best_d2};
+
+        const PathEntry *entry =
+            path_entries_.data() + path_begin_[leaf_id];
+        const PathEntry *end = entry + path_count_[leaf_id];
+        for (; entry != end; ++entry) {
+            const double delta = qc[entry->dim] - entry->split;
+            const bool wrong_side =
+                entry->via_left ? delta > 0.0 : delta <= 0.0;
+            if (wrong_side ||
+                delta * delta < best.squared_distance * prune_scale)
+                descendNearest(entry->far, qc, best, prune_scale,
+                               level);
+        }
+        out_index[i] = best.index;
+        out_d2[i] = best.squared_distance;
+    }
 }
 
 std::vector<Neighbor>

@@ -92,7 +92,7 @@ Conv2d::forward(Tensor input, bool cache_for_backward)
 {
     SOV_ASSERT(input.channels() == in_c_);
     Tensor out(out_c_, input.height(), input.width());
-    if (backend_ == KernelBackend::Fast)
+    if (backend_ != KernelBackend::Reference)
         forwardFast(input, out);
     else
         forwardReference(input, out);
@@ -190,13 +190,15 @@ Conv2d::forwardFast(const Tensor &input, Tensor &out)
     float *od = out.data().data();
     for (std::size_t o = 0; o < out_c_; ++o)
         std::fill_n(od + o * n, n, bias_[o]);
-    gemmF32(out_c_, n, kk, weights_.data(), col, od);
+    gemmF32(out_c_, n, kk, weights_.data(), col, od,
+            backend_ == KernelBackend::Simd ? detectSimdLevel()
+                                            : SimdLevel::None);
 }
 
 Tensor
 Conv2d::backward(const Tensor &grad_output)
 {
-    if (backend_ == KernelBackend::Fast)
+    if (backend_ != KernelBackend::Reference)
         return backwardFast(grad_output);
     return backwardReference(grad_output);
 }
@@ -269,12 +271,16 @@ Conv2d::backwardFast(const Tensor &grad_output)
         grad_bias_[o] += acc;
     }
 
+    const SimdLevel level = backend_ == KernelBackend::Simd
+        ? detectSimdLevel()
+        : SimdLevel::None;
+
     // dW += dOut [out_c x n] * col^T  (col stored row-major [kk x n]).
-    gemmNtF32(out_c_, kk, n, go, col, grad_weights_.data());
+    gemmNtF32(out_c_, kk, n, go, col, grad_weights_.data(), level);
 
     // dCol = W^T [kk x out_c] * dOut  (weights stored [out_c x kk]).
     std::fill_n(gcol, kk * n, 0.0f);
-    gemmTnF32(kk, n, out_c_, weights_.data(), go, gcol);
+    gemmTnF32(kk, n, out_c_, weights_.data(), go, gcol, level);
 
     Tensor grad_input(in_c_, h, w);
     col2imAdd(gcol, in_c_, k_, h, w, grad_input);

@@ -7,7 +7,11 @@
 
 namespace sov {
 
-KcfTracker::KcfTracker(const KcfConfig &config) : config_(config)
+KcfTracker::KcfTracker(const KcfConfig &config)
+    : config_(config),
+      level_(config.backend == KernelBackend::Simd ? detectSimdLevel()
+                                                   : SimdLevel::None),
+      plan_(config.window, config.window)
 {
     SOV_ASSERT(isPowerOfTwo(config.window));
     const std::size_t n = config_.window;
@@ -35,35 +39,54 @@ KcfTracker::KcfTracker(const KcfConfig &config) : config_(config)
                 0.0);
         }
     }
-    fft2d(target, n, n, false);
+    transform(target, false);
     target_fft_ = std::move(target);
+
+    // Size the per-frame scratch once; update() never grows it.
+    values_.resize(n * n);
+    f_.resize(n * n);
+    f_new_.resize(n * n);
+    response_.resize(n * n);
 }
 
-std::vector<Complex>
-KcfTracker::patchSpectrum(const Image &frame, double cx, double cy) const
+void
+KcfTracker::transform(std::vector<Complex> &data, bool inverse)
 {
     const std::size_t n = config_.window;
-    std::vector<Complex> patch(n * n);
+    if (config_.backend == KernelBackend::Reference) {
+        fft2d(data, n, n, inverse);
+        return;
+    }
+    if (inverse)
+        plan_.inverse(data.data(), level_);
+    else
+        plan_.forward(data.data(), level_);
+}
+
+void
+KcfTracker::patchSpectrumInto(const Image &frame, double cx, double cy,
+                              std::vector<Complex> &out)
+{
+    const std::size_t n = config_.window;
+    out.resize(n * n);
     const double half = static_cast<double>(n) / 2.0;
 
     // Extract, then zero-mean and Hann-window to suppress boundary
     // effects of the circular correlation.
     double mean = 0.0;
-    std::vector<double> values(n * n);
     for (std::size_t y = 0; y < n; ++y) {
         for (std::size_t x = 0; x < n; ++x) {
             const double v = frame.sampleBilinear(cx - half + x,
                                                   cy - half + y);
-            values[y * n + x] = v;
+            values_[y * n + x] = v;
             mean += v;
         }
     }
     mean /= static_cast<double>(n * n);
     for (std::size_t i = 0; i < n * n; ++i)
-        patch[i] = Complex((values[i] - mean) * hann_[i], 0.0);
+        out[i] = Complex((values_[i] - mean) * hann_[i], 0.0);
 
-    fft2d(patch, n, n, false);
-    return patch;
+    transform(out, false);
 }
 
 void
@@ -72,13 +95,13 @@ KcfTracker::init(const Image &frame, double x, double y)
     const std::size_t n = config_.window;
     x_ = x;
     y_ = y;
-    const auto f = patchSpectrum(frame, x_, y_);
+    patchSpectrumInto(frame, x_, y_, f_);
 
     numerator_.assign(n * n, Complex(0, 0));
     denominator_.assign(n * n, Complex(0, 0));
     for (std::size_t i = 0; i < n * n; ++i) {
-        numerator_[i] = target_fft_[i] * std::conj(f[i]);
-        denominator_[i] = f[i] * std::conj(f[i]) +
+        numerator_[i] = target_fft_[i] * std::conj(f_[i]);
+        denominator_[i] = f_[i] * std::conj(f_[i]) +
             Complex(config_.lambda, 0.0);
     }
     initialized_ = true;
@@ -90,20 +113,19 @@ KcfTracker::update(const Image &frame)
     SOV_ASSERT(initialized_);
     const std::size_t n = config_.window;
 
-    const auto f = patchSpectrum(frame, x_, y_);
+    patchSpectrumInto(frame, x_, y_, f_);
 
     // Response = IFFT(H ⊙ F), H = numerator / denominator.
-    std::vector<Complex> response_fft(n * n);
     for (std::size_t i = 0; i < n * n; ++i)
-        response_fft[i] = numerator_[i] / denominator_[i] * f[i];
-    fft2d(response_fft, n, n, true);
+        response_[i] = numerator_[i] / denominator_[i] * f_[i];
+    transform(response_, true);
 
     // Peak location.
     double peak = -1e18;
     std::size_t px = 0, py = 0;
     for (std::size_t y = 0; y < n; ++y) {
         for (std::size_t x = 0; x < n; ++x) {
-            const double v = response_fft[y * n + x].real();
+            const double v = response_[y * n + x].real();
             if (v > peak) {
                 peak = v;
                 px = x;
@@ -120,7 +142,7 @@ KcfTracker::update(const Image &frame)
             const long dy = static_cast<long>(y) - static_cast<long>(py);
             if (std::labs(dx) <= 5 && std::labs(dy) <= 5)
                 continue;
-            sidelobe.add(response_fft[y * n + x].real());
+            sidelobe.add(response_[y * n + x].real());
         }
     }
     const double psr = sidelobe.stddev() > 1e-12
@@ -148,13 +170,13 @@ KcfTracker::update(const Image &frame)
         x_ += dx;
         y_ += dy;
         // Online model update at the new location.
-        const auto f_new = patchSpectrum(frame, x_, y_);
+        patchSpectrumInto(frame, x_, y_, f_new_);
         const double lr = config_.learning_rate;
         for (std::size_t i = 0; i < n * n; ++i) {
             numerator_[i] = numerator_[i] * (1.0 - lr) +
-                target_fft_[i] * std::conj(f_new[i]) * lr;
+                target_fft_[i] * std::conj(f_new_[i]) * lr;
             denominator_[i] = denominator_[i] * (1.0 - lr) +
-                (f_new[i] * std::conj(f_new[i]) +
+                (f_new_[i] * std::conj(f_new_[i]) +
                  Complex(config_.lambda, 0.0)) * lr;
         }
     }

@@ -12,7 +12,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/kernels.h"
+#include "core/simd.h"
 #include "math/fft.h"
+#include "math/fft_plan.h"
 #include "vision/image.h"
 
 namespace sov {
@@ -25,6 +28,16 @@ struct KcfConfig
     double lambda = 1e-4;        //!< ridge regularization
     double learning_rate = 0.08; //!< online model update factor
     double psr_threshold = 4.0;  //!< peak-to-sidelobe quality gate
+    /**
+     * Implementation tier (core/kernels.h). Reference runs every
+     * transform through the ad-hoc fft2d(); Fast routes them through a
+     * precomputed Fft2dPlan with reused patch/response buffers, so
+     * steady-state frames perform no heap allocation; Simd additionally
+     * runs the butterfly loops vectorized. All three tiers are
+     * bit-identical (the plan replays the ad-hoc twiddle rounding and
+     * the vector butterflies round like the scalar ones).
+     */
+    KernelBackend backend = KernelBackend::Reference;
 };
 
 /** Tracker state after an update. */
@@ -56,15 +69,27 @@ class KcfTracker
     double y() const { return y_; }
 
   private:
-    /** Windowed, zero-mean patch centered at (cx, cy) as a spectrum. */
-    std::vector<Complex> patchSpectrum(const Image &frame, double cx,
-                                       double cy) const;
+    /** Windowed, zero-mean patch centered at (cx, cy), written as a
+     *  spectrum into @p out (resized to window²). */
+    void patchSpectrumInto(const Image &frame, double cx, double cy,
+                           std::vector<Complex> &out);
+
+    /** Forward/inverse 2-D transform via the configured tier. */
+    void transform(std::vector<Complex> &data, bool inverse);
 
     KcfConfig config_;
+    SimdLevel level_ = SimdLevel::None; //!< resolved once from backend
+    Fft2dPlan plan_;                 //!< planned FFT for Fast/Simd
     std::vector<double> hann_;       //!< 2-D Hann window (w*w)
     std::vector<Complex> target_fft_; //!< Gaussian label spectrum
     std::vector<Complex> numerator_;
     std::vector<Complex> denominator_;
+    // Scratch reused across frames so Fast/Simd updates are
+    // allocation-free in steady state.
+    std::vector<double> values_;
+    std::vector<Complex> f_;
+    std::vector<Complex> f_new_;
+    std::vector<Complex> response_;
     double x_ = 0.0;
     double y_ = 0.0;
     bool initialized_ = false;

@@ -1,38 +1,10 @@
 /**
  * @file
- * Kernel backend selection for the perception hot path.
- *
- * Every optimized perception kernel (sliding-window stereo SAD,
- * im2col GEMM convolution) keeps its naive scalar implementation as a
- * reference oracle. The backend switch selects between them at the
- * algorithm-config level so benchmarks, tests and the
- * KernelExecutor-driven pipelines can run either side of the
- * comparison on the same inputs.
- *
- * Determinism contract (Fast backend): outputs depend only on the
- * inputs and the kernel configuration — never on the thread count of
- * the ThreadPool executing it. Parallel kernels partition work into
- * fixed-size blocks (config-derived, not thread-derived) and reduce
- * results in block order. bench_kernels and tests/vision/test_kernels
- * enforce this with cross-thread-count fingerprints.
+ * Forwarding header: the kernel backend enum moved to core/kernels.h
+ * when the pointcloud layer (ICP) gained a backend switch — vision is
+ * no longer the only consumer, and pointcloud does not link vision.
+ * Existing includes of "vision/kernels.h" keep compiling.
  */
 #pragma once
 
-#include <string>
-
-namespace sov {
-
-/** Which implementation of a perception kernel runs. */
-enum class KernelBackend
-{
-    Reference, //!< naive scalar oracle
-    Fast,      //!< optimized (sliding-window / im2col GEMM / arena)
-};
-
-/** Canonical lowercase name ("reference" / "fast"). */
-const char *kernelBackendName(KernelBackend backend);
-
-/** Parse a backend name; fatal on anything else. */
-KernelBackend kernelBackendFromName(const std::string &name);
-
-} // namespace sov
+#include "core/kernels.h"

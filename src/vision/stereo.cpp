@@ -100,7 +100,7 @@ StereoMatcher::matchRightPixel(const Image &left, const Image &right,
 std::vector<SupportPoint>
 StereoMatcher::supportPoints(const Image &left, const Image &right) const
 {
-    if (config_.backend == KernelBackend::Fast)
+    if (config_.backend != KernelBackend::Reference)
         return supportPointsFast(left, right);
 
     std::vector<SupportPoint> points;
@@ -125,7 +125,7 @@ StereoMatcher::match(const Image &left, const Image &right) const
 {
     SOV_ASSERT(left.width() == right.width() &&
                left.height() == right.height());
-    if (config_.backend == KernelBackend::Fast)
+    if (config_.backend != KernelBackend::Reference)
         return matchFast(left, right);
     return matchReference(left, right);
 }

@@ -39,7 +39,9 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
+#include "math/simd_kernels.h"
 #include "vision/stereo.h"
 
 namespace sov {
@@ -55,6 +57,8 @@ struct FastParams
     int D = 0;    //!< largest tabulated disparity (max_disparity + margin)
     int span = 0; //!< padded column range: w + 2r
     int n = 0;    //!< window element count (2r+1)^2
+    /** Vector level of the SAD inner loop (None for the Fast tier). */
+    SimdLevel simd = SimdLevel::None;
 };
 
 /** Per-task scratch, carved from the arena before the fan-out. */
@@ -103,21 +107,24 @@ fillPaddedRows(const Image &left, const Image &right, const FastParams &p,
         s.pad_r[j] = rrow[std::clamp(j - p.r - p.D, 0, p.w - 1)];
 }
 
-/** colsum_d(x) (+/-)= |L(x, yc) - R(x-d, yc)| for the padded row. */
+/**
+ * colsum_d(x) (+/-)= |L(x, yc) - R(x-d, yc)| for the padded row — the
+ * SAD hot loop. Dispatches through the shared Simd-tier primitive:
+ * p.simd == None runs its scalar body (the Fast tier), SSE2/AVX2 the
+ * vector ones, all bit-identical per element.
+ */
 template <bool Add>
 void
 accumulateAdRow(const FastParams &p, const Scratch &s)
 {
+    const auto span = static_cast<std::size_t>(p.span);
     for (int d = 0; d <= p.D; ++d) {
         float *cs = s.colsum + static_cast<std::size_t>(d) * p.span;
         const float *b = s.pad_r + (p.D - d);
-        if (Add) {
-            for (int xs = 0; xs < p.span; ++xs)
-                cs[xs] += std::fabs(s.pad_l[xs] - b[xs]);
-        } else {
-            for (int xs = 0; xs < p.span; ++xs)
-                cs[xs] -= std::fabs(s.pad_l[xs] - b[xs]);
-        }
+        if (Add)
+            simd::absDiffAdd(cs, s.pad_l, b, span, p.simd);
+        else
+            simd::absDiffSub(cs, s.pad_l, b, span, p.simd);
     }
 }
 
@@ -279,6 +286,8 @@ makeParams(const Image &left, const StereoConfig &config)
     p.D = config.max_disparity + config.prior_margin;
     p.span = p.w + 2 * p.r;
     p.n = (2 * p.r + 1) * (2 * p.r + 1);
+    p.simd = config.backend == KernelBackend::Simd ? detectSimdLevel()
+                                                   : SimdLevel::None;
     return p;
 }
 
@@ -331,6 +340,41 @@ StereoMatcher::supportPointsFast(const Image &left,
     return points;
 }
 
+/**
+ * 1/dist² for every integer dist² the support prior can accept
+ * (dx² + dy² + 1 under the 40 px cutoff ⇒ 1..1600). Supports and
+ * pixels sit on integer grids, so dist² is a sum of small integer
+ * squares — exact in double — and looking the reciprocal up is
+ * bit-identical to dividing by it.
+ */
+const double *
+invDist2Table()
+{
+    static const std::vector<double> table = [] {
+        std::vector<double> t(1601, 0.0);
+        for (int i = 1; i <= 1600; ++i)
+            t[i] = 1.0 / static_cast<double>(i);
+        return t;
+    }();
+    return table.data();
+}
+
+/**
+ * One support row of the Simd tier's windowed prior scan: the
+ * supports with a fixed dy, plus the sliding [b, e) range of those
+ * inside this pixel's x-window. |dx| <= reach ⇔ dx² + dy² + 1 <= 1600,
+ * exactly — integer arithmetic on both sides — so the window admits
+ * precisely the candidates the Fast tier's distance test keeps.
+ */
+struct PriorRow
+{
+    const SupportPoint *end;
+    const SupportPoint *b;
+    const SupportPoint *e;
+    int dy_sq;
+    int reach;
+};
+
 DisparityMap
 StereoMatcher::matchFast(const Image &left, const Image &right) const
 {
@@ -376,9 +420,70 @@ StereoMatcher::matchFast(const Image &left, const Image &right) const
                 supports.begin(), supports.end(), y + 39,
                 [](int yy, const SupportPoint &sp) { return yy < sp.y; });
 
+            // Simd tier: the same weighted sums in the same order,
+            // but each support row keeps a two-pointer x-window (the
+            // circle test degenerates to |dx| <= reach per row) so
+            // rejected candidates are never visited, and the integer
+            // -valued 1/dist² weight comes from a table. Both
+            // restructurings are bit-exact, so the tiers still share
+            // one checksum; the Fast tier deliberately keeps the
+            // original scan as the gated baseline in bench_kernels.
+            const bool windowed =
+                config_.backend == KernelBackend::Simd;
+            PriorRow prior_rows[80];
+            std::size_t nrows = 0;
+            if (windowed) {
+                const SupportPoint *base = supports.data();
+                const SupportPoint *it =
+                    base + (lo - supports.begin());
+                const SupportPoint *row_hi =
+                    base + (hi - supports.begin());
+                while (it != row_hi) {
+                    const int sy = it->y;
+                    const SupportPoint *run = it;
+                    while (run != row_hi && run->y == sy)
+                        ++run;
+                    const int dy = sy - y;
+                    const int rem = 1599 - dy * dy;
+                    int reach = static_cast<int>(
+                        std::sqrt(static_cast<double>(rem)));
+                    while ((reach + 1) * (reach + 1) <= rem)
+                        ++reach;
+                    while (reach > 0 && reach * reach > rem)
+                        --reach;
+                    prior_rows[nrows++] =
+                        PriorRow{run, it, it, dy * dy, reach};
+                    it = run;
+                }
+            }
+            const double *inv_dist2 = invDist2Table();
+
             for (int x = 0; x < p.w; ++x) {
                 double prior = -1.0;
-                if (!supports.empty()) {
+                if (windowed) {
+                    double wsum = 0.0, dsum = 0.0;
+                    for (std::size_t s = 0; s < nrows; ++s) {
+                        PriorRow &row = prior_rows[s];
+                        const int xlo = x - row.reach;
+                        const int xhi = x + row.reach;
+                        while (row.b != row.end && row.b->x < xlo)
+                            ++row.b;
+                        if (row.e < row.b)
+                            row.e = row.b;
+                        while (row.e != row.end && row.e->x <= xhi)
+                            ++row.e;
+                        for (const SupportPoint *sp = row.b;
+                             sp != row.e; ++sp) {
+                            const int dxi = sp->x - x;
+                            const double wgt =
+                                inv_dist2[dxi * dxi + row.dy_sq + 1];
+                            wsum += wgt;
+                            dsum += wgt * sp->disparity;
+                        }
+                    }
+                    if (wsum > 0.0)
+                        prior = dsum / wsum;
+                } else if (!supports.empty()) {
                     double wsum = 0.0, dsum = 0.0;
                     for (auto it = lo; it != hi; ++it) {
                         const double dx =

@@ -54,7 +54,13 @@ LABEL_KEYS = ("fault", "scenario", "policy", "mode", "preset", "stack",
               "tenant", "name")
 
 # Categorical per-row results: any change is a behaviour regression.
-OUTCOME_KEYS = ("outcome", "worst_level", "final_state")
+# The kernel-bench equivalence fields ride along: "equivalent" flips
+# when a backend diverges from its oracle, and the checksums are
+# bit-identical across hosts and SIMD levels by design, so any drift
+# is a numerics regression even when the timings are all within
+# tolerance.
+OUTCOME_KEYS = ("outcome", "worst_level", "final_state", "equivalent",
+                "checksum_ref", "checksum_fast")
 
 
 def is_perf_key(key):

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Summarize a TraceRecorder Chrome-trace export into a per-stage
+latency table (the Fig. 10 breakdown) without rerunning the sim.
+
+Input is the JSON written by TraceRecorder::writeChromeTrace():
+"X" duration events carry per-execution spans (ts/dur in microseconds
+of SIMULATION time), "M" thread_name metadata names the tracks. The
+summary aggregates spans by name — count, best, mean, p99, worst — in
+milliseconds, sorted by name so the output is deterministic.
+
+Stdlib-only by design: this runs anywhere the trace file lands (CI
+artifact download, a vehicle log pull) with no environment to set up.
+
+Usage:
+  trace_summarize.py TRACE.json                  # table to stdout
+  trace_summarize.py TRACE.json --category stage # only "cat":"stage"
+  trace_summarize.py TRACE.json --format csv
+  trace_summarize.py TRACE.json --check GOLDEN   # exit 1 on mismatch
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_spans(path, category=None, track=None):
+    """Parse the export; return ({name: [dur_ms, ...]}, {tid: track})."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", [])
+
+    track_names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            track_names[ev.get("tid")] = ev.get("args", {}).get("name", "")
+
+    spans = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        if category is not None and ev.get("cat") != category:
+            continue
+        if track is not None and \
+                track_names.get(ev.get("tid")) != track:
+            continue
+        spans.setdefault(ev["name"], []).append(
+            float(ev.get("dur", 0.0)) / 1000.0)
+    return spans, track_names
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending-sorted list."""
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def summarize(spans):
+    """Per-name stats rows sorted by name: (name, count, best, mean,
+    p99, worst), all latencies in milliseconds."""
+    rows = []
+    for name in sorted(spans):
+        durs = sorted(spans[name])
+        rows.append((name, len(durs), durs[0],
+                     sum(durs) / len(durs), percentile(durs, 0.99),
+                     durs[-1]))
+    return rows
+
+
+def render_table(rows):
+    header = ("stage", "count", "best_ms", "mean_ms", "p99_ms",
+              "worst_ms")
+    width = max([len(header[0])] + [len(r[0]) for r in rows])
+    lines = ["%-*s %7s %10s %10s %10s %10s" % (width, *header)]
+    for name, count, best, mean, p99, worst in rows:
+        lines.append("%-*s %7d %10.3f %10.3f %10.3f %10.3f"
+                     % (width, name, count, best, mean, p99, worst))
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(rows):
+    lines = ["stage,count,best_ms,mean_ms,p99_ms,worst_ms"]
+    for name, count, best, mean, p99, worst in rows:
+        lines.append("%s,%d,%.3f,%.3f,%.3f,%.3f"
+                     % (name, count, best, mean, p99, worst))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Per-stage latency table from a Chrome trace "
+                    "export (Fig. 10).")
+    parser.add_argument("trace", help="writeChromeTrace() JSON file")
+    parser.add_argument("--category",
+                        help="only spans with this \"cat\" "
+                             "(e.g. stage, frame)")
+    parser.add_argument("--track",
+                        help="only spans on this named track")
+    parser.add_argument("--format", choices=("table", "csv"),
+                        default="table")
+    parser.add_argument("--check", metavar="GOLDEN",
+                        help="compare against a golden rendering; "
+                             "exit 1 and show a diff on mismatch")
+    args = parser.parse_args(argv)
+
+    spans, _ = load_spans(args.trace, args.category, args.track)
+    if not spans:
+        print("no matching spans in %s" % args.trace, file=sys.stderr)
+        return 1
+    rows = summarize(spans)
+    rendered = (render_csv(rows) if args.format == "csv"
+                else render_table(rows))
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            golden = fh.read()
+        if rendered != golden:
+            sys.stderr.write("trace summary drifted from %s\n"
+                             % args.check)
+            got = rendered.splitlines()
+            want = golden.splitlines()
+            for i in range(max(len(got), len(want))):
+                g = got[i] if i < len(got) else "<missing>"
+                w = want[i] if i < len(want) else "<missing>"
+                if g != w:
+                    sys.stderr.write("  line %d:\n    golden: %s\n"
+                                     "    got:    %s\n" % (i + 1, w, g))
+            return 1
+        print("trace summary matches %s" % args.check)
+        return 0
+
+    sys.stdout.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
