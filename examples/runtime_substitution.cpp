@@ -8,15 +8,16 @@
  * measurement. The topology, resource lanes and scheduler are shared;
  * only the per-stage executor changes.
  *
- * Run: ./runtime_substitution [scale=4] [frames=2] [backend=reference]
+ * Run: ./runtime_substitution [scale=4] [frames=2] [backend=simd]
  *                             [mode=sync] [faults=none]
  * `scale` maps host wall-clock into model time (the SoV's embedded
- * SoC is several times slower than a build machine). `backend=fast`
- * runs the optimized perception kernels (vision/kernels.h) in the
- * stereo and detection stages instead of the reference oracles;
- * `backend=simd` additionally dispatches the vectorized kernel tier
- * (core/simd.h — falls back to the scalar Fast bodies on hosts
- * without SSE2/AVX2, with bit-identical output either way).
+ * SoC is several times slower than a build machine). `backend`
+ * selects the kernel tier; the default is the production Simd tier
+ * (core/defaultKernelBackend()), which dispatches the vectorized
+ * kernels of core/simd.h and falls back to the scalar Fast bodies on
+ * hosts without SSE2/AVX2 with bit-identical output either way.
+ * `backend=reference` runs the naive scalar oracles instead and
+ * `backend=fast` the optimized scalar kernels (vision/kernels.h).
  * `mode=async` additionally runs the analytic graph through the
  * asynchronous pipeline-parallel executor and reports the throughput
  * win. `faults=<preset>` (a fleet::faultMatrixPresets() name, e.g.
@@ -118,7 +119,8 @@ main(int argc, char **argv)
     // Validate enum-valued arguments up front: a typo must print the
     // usage line, not silently fall back (or abort inside the kernel
     // layer's fatal parser).
-    const std::string backend_name = cfg.getString("backend", "reference");
+    const std::string backend_name =
+        cfg.getString("backend", kernelBackendName(defaultKernelBackend()));
     if (backend_name != "reference" && backend_name != "fast" &&
         backend_name != "simd")
         return usage("backend", backend_name);

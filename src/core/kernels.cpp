@@ -30,4 +30,10 @@ kernelBackendFromName(const std::string &name)
     SOV_PANIC(("unknown kernel backend name: " + name).c_str());
 }
 
+KernelBackend
+defaultKernelBackend()
+{
+    return KernelBackend::Simd;
+}
+
 } // namespace sov

@@ -50,4 +50,14 @@ const char *kernelBackendName(KernelBackend backend);
 /** Parse a backend name; fatal on anything else. */
 KernelBackend kernelBackendFromName(const std::string &name);
 
+/**
+ * The production default tier: Simd. Closed-loop stacks and sweep
+ * configs start here (runtime dispatch falls back to the Fast scalar
+ * loops on hosts without vector support, so the default is safe
+ * everywhere); per-kernel configs that exist to *gate* the tiers
+ * (StereoConfig, DetectorConfig, ...) keep Reference as their default
+ * so the oracle comparisons stay explicit.
+ */
+KernelBackend defaultKernelBackend();
+
 } // namespace sov

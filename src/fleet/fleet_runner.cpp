@@ -51,6 +51,8 @@ FleetRunner::runScenario(const ScenarioSpec &spec,
         sim.setTraceRecorder(config_.trace);
     const ClosedLoopResult r =
         sim.run(Duration::seconds(spec.world.horizon_s));
+    if (config_.scenario_hook)
+        config_.scenario_hook(spec, r);
 
     ScenarioOutcome o;
     o.name = spec.name;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fleet/fleet_report.h"
@@ -41,6 +42,18 @@ struct FleetConfig
      * buffers, so workers never contend). Observational only.
      */
     obs::TraceRecorder *trace = nullptr;
+    /**
+     * Optional per-scenario tap, called on the worker thread right
+     * after each simulation with the full ClosedLoopResult — the
+     * channel for facts that ride outside the hashed ScenarioOutcome
+     * row (near-miss triage: min_ttc, offending obstacle). Invoked
+     * concurrently from multiple workers; to stay inside the fleet
+     * determinism contract, write into per-index slots (keyed by
+     * spec.index) and fold in index order, never accumulate in call
+     * order.
+     */
+    std::function<void(const ScenarioSpec &, const ClosedLoopResult &)>
+        scenario_hook = nullptr;
 };
 
 /** Wall-clock facts of a sweep (non-deterministic; never hashed). */

@@ -1,0 +1,122 @@
+#include "fleet/fuzzer.h"
+
+#include <memory>
+#include <string>
+
+#include "world/agent.h"
+
+namespace sov::fleet {
+
+namespace {
+
+/** Populate @p world from @p rng (the seed-forked fuzz stream). */
+void
+populate(World &world, Rng &rng, const FuzzRanges &ranges)
+{
+    const double lo_x = 25.0;
+    const double hi_x = ranges.route_length - 20.0;
+
+    // Pedestrians: spawn off-road, walking in to cross near a drawn x.
+    const auto peds = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(ranges.max_pedestrians)));
+    for (std::size_t i = 0; i < peds; ++i) {
+        Obstacle o;
+        o.cls = ObjectClass::Pedestrian;
+        const double x = rng.uniform(lo_x, hi_x);
+        const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        o.footprint =
+            OrientedBox2{Pose2{Vec2(x, side * rng.uniform(4.0, 7.0)), 0.0},
+                         0.3, 0.3};
+        o.height = 1.7;
+        PedestrianAgent::Params p;
+        p.walk_speed = rng.uniform(0.9, 1.9);
+        p.hesitate_probability = rng.uniform(0.2, 0.8);
+        p.yield_radius = rng.uniform(4.0, 9.0);
+        world.spawnAgent(std::make_unique<PedestrianAgent>(
+            o, p, rng.fork("ped" + std::to_string(i))));
+    }
+
+    // Cyclists: riding the corridor ahead of the ego, weaving.
+    const auto bikes = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(ranges.max_cyclists)));
+    for (std::size_t i = 0; i < bikes; ++i) {
+        Obstacle o;
+        o.cls = ObjectClass::Bicycle;
+        const double x = rng.uniform(12.0, 0.5 * ranges.route_length);
+        o.footprint =
+            OrientedBox2{Pose2{Vec2(x, rng.uniform(-1.0, 1.0)), 0.0},
+                         0.9, 0.3};
+        o.height = 1.6;
+        CyclistAgent::Params p;
+        p.cruise_speed = rng.uniform(3.0, 5.5);
+        p.weave_amplitude = rng.uniform(0.3, 1.2);
+        p.weave_period_s = rng.uniform(2.0, 5.0);
+        world.spawnAgent(std::make_unique<CyclistAgent>(
+            o, p, rng.fork("bike" + std::to_string(i))));
+    }
+
+    // Vehicles: adjacent lane, some of them cutting in.
+    const auto cars = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(ranges.max_vehicles)));
+    for (std::size_t i = 0; i < cars; ++i) {
+        Obstacle o;
+        o.cls = ObjectClass::Car;
+        const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        const double x = rng.uniform(8.0, 0.6 * ranges.route_length);
+        o.footprint =
+            OrientedBox2{Pose2{Vec2(x, side * rng.uniform(3.0, 4.5)), 0.0},
+                         2.0, 0.9};
+        o.height = 1.5;
+        VehicleAgent::Params p;
+        p.cruise_speed = rng.uniform(2.5, 5.0);
+        p.cut_in = rng.bernoulli(0.6);
+        p.cut_in_x = rng.uniform(lo_x, hi_x);
+        p.cut_in_rate = rng.uniform(0.8, 1.6);
+        world.spawnAgent(std::make_unique<VehicleAgent>(
+            o, p, rng.fork("car" + std::to_string(i))));
+    }
+
+    // Occasional static wall: the Sec. IV scenario, procedurally.
+    if (rng.bernoulli(ranges.wall_probability)) {
+        Obstacle wall;
+        wall.cls = ObjectClass::Static;
+        wall.footprint = OrientedBox2{
+            Pose2{Vec2(rng.uniform(lo_x, hi_x), 0.0), 0.0}, 0.5, 2.5};
+        wall.height = 2.0;
+        world.addObstacle(wall);
+    }
+}
+
+} // namespace
+
+WorldPreset
+fuzzWorldPreset(std::uint64_t seed, double horizon_s,
+                const FuzzRanges &ranges)
+{
+    WorldPreset w;
+    w.name = "fuzz-" + std::to_string(seed);
+    w.horizon_s = horizon_s;
+    w.route = Polyline2({Vec2(0.0, 0.0), Vec2(ranges.route_length, 0.0)});
+    // Self-seeded build: the runner-supplied stream is ignored so the
+    // same fuzz seed reproduces the same world under any master seed
+    // (the triage replay contract).
+    w.build = [seed, ranges](World &world, Rng &) {
+        Rng rng = Rng(seed).fork("fuzz");
+        populate(world, rng, ranges);
+    };
+    return w;
+}
+
+std::vector<WorldPreset>
+fuzzWorlds(const FuzzConfig &config)
+{
+    std::vector<WorldPreset> out;
+    out.reserve(config.worlds);
+    for (std::size_t i = 0; i < config.worlds; ++i) {
+        out.push_back(fuzzWorldPreset(config.base_seed + i,
+                                      config.horizon_s, config.ranges));
+    }
+    return out;
+}
+
+} // namespace sov::fleet

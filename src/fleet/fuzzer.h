@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Procedural scenario fuzzing: sample agent-populated worlds from a
+ * seed-forked generator into ordinary WorldPresets.
+ *
+ * The matrix of hand-written presets covers the paper's field
+ * scenarios; coverage of the scenario *space* comes from here. Each
+ * fuzz world is identified by one 64-bit seed: the preset's build
+ * closure ignores the runner-supplied Rng and draws everything —
+ * agent counts, spawn poses, behavior parameters — from
+ * Rng(seed).fork("fuzz"). That self-seeding IS the replay contract:
+ * a triage row that names a fuzz seed reproduces its exact world with
+ * fuzzWorldPreset(seed), under any master seed and any matrix
+ * composition, which is what lets the serve layer mine a failure and
+ * hand back a one-seed repro.
+ *
+ * Worlds mix the behavioral agents of world/agent.h (crossing
+ * pedestrians that hesitate and yield, weaving cyclists, adjacent-
+ * lane vehicles that brake and cut in) with occasional static walls —
+ * the populations the near-miss triage (fleet/triage.h) is built to
+ * rank.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/scenario.h"
+
+namespace sov::fleet {
+
+/** Population ranges one fuzz draw samples from. */
+struct FuzzRanges
+{
+    std::size_t max_pedestrians = 3; //!< 0..max per world
+    std::size_t max_cyclists = 2;
+    std::size_t max_vehicles = 2;
+    double wall_probability = 0.15;  //!< static wall across the lane
+    double route_length = 140.0;     //!< meters of straight corridor
+};
+
+/** A fuzzing campaign: worlds seed, seed+1, ..., seed+worlds-1. */
+struct FuzzConfig
+{
+    std::uint64_t base_seed = 1;
+    std::size_t worlds = 200;
+    double horizon_s = 20.0;
+    FuzzRanges ranges;
+};
+
+/**
+ * The world identified by @p seed: name "fuzz-<seed>", population
+ * drawn from Rng(seed).fork("fuzz") (self-seeded; see file comment).
+ */
+WorldPreset fuzzWorldPreset(std::uint64_t seed, double horizon_s = 20.0,
+                            const FuzzRanges &ranges = {});
+
+/** The campaign's presets, in seed order. */
+std::vector<WorldPreset> fuzzWorlds(const FuzzConfig &config);
+
+} // namespace sov::fleet

@@ -1,0 +1,116 @@
+#include "fleet/triage.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace sov::fleet {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+hashBytes(std::uint64_t &h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+hashU64(std::uint64_t &h, std::uint64_t v)
+{
+    hashBytes(h, &v, sizeof(v));
+}
+
+void
+hashDouble(std::uint64_t &h, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    hashU64(h, bits);
+}
+
+bool
+isNearMiss(const TriageRow &r, double near_miss_gap, double near_miss_ttc)
+{
+    return !r.collided
+        && (r.min_gap <= near_miss_gap || r.min_ttc <= near_miss_ttc);
+}
+
+} // namespace
+
+void
+TriageReport::addRow(TriageRow row)
+{
+    const auto it = std::lower_bound(
+        rows_.begin(), rows_.end(), row.index,
+        [](const TriageRow &r, std::size_t index) {
+            return r.index < index;
+        });
+    SOV_ASSERT(it == rows_.end() || it->index != row.index);
+    rows_.insert(it, std::move(row));
+}
+
+TriageSummary
+TriageReport::summarize(double near_miss_gap, double near_miss_ttc) const
+{
+    TriageSummary s;
+    for (const TriageRow &r : rows_) {
+        ++s.scenarios;
+        if (r.collided)
+            ++s.collisions;
+        else if (isNearMiss(r, near_miss_gap, near_miss_ttc))
+            ++s.near_misses;
+        s.min_gap_digest.add(r.min_gap);
+        if (r.min_ttc < 1e17)
+            s.min_ttc_digest.add(r.min_ttc);
+    }
+    return s;
+}
+
+std::vector<TriageRow>
+TriageReport::incidents(double near_miss_gap, double near_miss_ttc) const
+{
+    std::vector<TriageRow> out;
+    for (const TriageRow &r : rows_) {
+        if (r.collided || isNearMiss(r, near_miss_gap, near_miss_ttc))
+            out.push_back(r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TriageRow &a, const TriageRow &b) {
+                  if (a.collided != b.collided)
+                      return a.collided;
+                  if (a.min_ttc != b.min_ttc)
+                      return a.min_ttc < b.min_ttc;
+                  if (a.min_gap != b.min_gap)
+                      return a.min_gap < b.min_gap;
+                  return a.index < b.index;
+              });
+    return out;
+}
+
+std::uint64_t
+TriageReport::fingerprint() const
+{
+    std::uint64_t h = kFnvOffset;
+    hashU64(h, rows_.size());
+    for (const TriageRow &r : rows_) {
+        hashU64(h, r.scenario.size());
+        hashBytes(h, r.scenario.data(), r.scenario.size());
+        hashU64(h, r.index);
+        hashU64(h, r.fuzz_seed);
+        hashU64(h, r.collided ? 1 : 0);
+        hashDouble(h, r.min_gap);
+        hashDouble(h, r.min_ttc);
+        hashU64(h, r.offender);
+    }
+    return h;
+}
+
+} // namespace sov::fleet

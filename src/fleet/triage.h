@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Near-miss triage: mine fuzzed fleet sweeps for the scenarios that
+ * almost went wrong and rank them for replay.
+ *
+ * A fuzz campaign's value is its tail: the handful of worlds where an
+ * agent forced a collision or a sub-meter pass. TriageReport collects
+ * one row per scenario — minimum gap, minimum time-to-collision, the
+ * offending agent id, and the fuzz seed that reproduces the world
+ * (fleet/fuzzer.h's self-seeding contract) — and derives aggregate
+ * digests and an incident shortlist by folding rows in canonical index
+ * order, the same determinism discipline as FleetReport: for any
+ * worker thread count the report, its incident ranking, and its
+ * fingerprint() are bit-identical.
+ *
+ * Rows are fed from FleetConfig::scenario_hook, which hands each
+ * worker the full ClosedLoopResult (the un-hashed triage facts
+ * min_ttc / nearest_obstacle ride there, never in ScenarioOutcome, so
+ * triage cannot perturb existing fleet fingerprints).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace sov::fleet {
+
+/** One scenario's triage facts. */
+struct TriageRow
+{
+    std::string scenario; //!< full spec name ("fuzz-7/none#s1")
+    std::size_t index = 0;
+    /** Seed that rebuilds this world via fuzzWorldPreset(seed). */
+    std::uint64_t fuzz_seed = 0;
+    bool collided = false;
+    double min_gap = 1e18;
+    /** Minimum time-to-collision on a closing course (s); 1e18 when
+     *  never closing, 0 on collision. */
+    double min_ttc = 1e18;
+    /** Id of the agent/obstacle that produced min_gap. */
+    std::uint64_t offender = 0;
+};
+
+/** Aggregate view of a triage report (derived, never accumulated). */
+struct TriageSummary
+{
+    std::uint64_t scenarios = 0;
+    std::uint64_t collisions = 0;
+    /** Non-collisions whose min_gap or min_ttc crossed the near-miss
+     *  thresholds passed to summarize(). */
+    std::uint64_t near_misses = 0;
+    QuantileDigest min_gap_digest{0.01};
+    QuantileDigest min_ttc_digest{0.01};
+};
+
+/** Deterministic collection of triage rows for one sweep. */
+class TriageReport
+{
+  public:
+    /** Insert a row at its canonical index position (duplicate index
+     *  asserts); any insertion order yields the same report. */
+    void addRow(TriageRow row);
+
+    const std::vector<TriageRow> &rows() const { return rows_; }
+
+    /** Derive the aggregate over all rows (index-order fold). */
+    TriageSummary summarize(double near_miss_gap = 1.0,
+                            double near_miss_ttc = 1.5) const;
+
+    /**
+     * The incident shortlist: collisions first, then near misses,
+     * ordered by severity (collisions by min_gap ascending, near
+     * misses by min_ttc then min_gap ascending; index breaks ties so
+     * the ranking is total).
+     */
+    std::vector<TriageRow> incidents(double near_miss_gap = 1.0,
+                                     double near_miss_ttc = 1.5) const;
+
+    /** FNV-1a over the canonical row serialization: equal fingerprints
+     *  <=> bit-identical triage. */
+    std::uint64_t fingerprint() const;
+
+  private:
+    std::vector<TriageRow> rows_; //!< sorted by index
+};
+
+} // namespace sov::fleet

@@ -5,7 +5,7 @@
 namespace sov {
 
 PointCloud
-LidarModel::scan(const World &world, const Pose2 &pose, Timestamp t,
+LidarModel::scan(const WorldSnapshot &world, const Pose2 &pose, Timestamp t,
                  std::uint32_t cloud_id)
 {
     PointCloud cloud(cloud_id);

@@ -44,7 +44,7 @@ class LidarModel
      * Capture one scan from @p pose at time @p t.
      * @param cloud_id Id to stamp onto the produced cloud.
      */
-    PointCloud scan(const World &world, const Pose2 &pose, Timestamp t,
+    PointCloud scan(const WorldSnapshot &world, const Pose2 &pose, Timestamp t,
                     std::uint32_t cloud_id);
 
     const LidarConfig &config() const { return config_; }

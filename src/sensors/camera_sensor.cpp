@@ -10,7 +10,7 @@ CameraSensor::poseAt(const Trajectory &trajectory, Timestamp t) const
 }
 
 CameraFrame
-CameraSensor::capture(const World &world, const Trajectory &trajectory,
+CameraSensor::capture(const WorldSnapshot &world, const Trajectory &trajectory,
                       Timestamp t) const
 {
     CameraFrame out;
@@ -20,7 +20,7 @@ CameraSensor::capture(const World &world, const Trajectory &trajectory,
 }
 
 std::vector<FeatureObservation>
-CameraSensor::observeLandmarks(const World &world,
+CameraSensor::observeLandmarks(const WorldSnapshot &world,
                                const Trajectory &trajectory, Timestamp t)
 {
     const CameraPose pose = poseAt(trajectory, t);

@@ -52,7 +52,7 @@ class CameraSensor
         : model_(model), config_(config), rng_(std::move(rng)) {}
 
     /** Render a frame with the vehicle at its time-@p t pose. */
-    CameraFrame capture(const World &world, const Trajectory &trajectory,
+    CameraFrame capture(const WorldSnapshot &world, const Trajectory &trajectory,
                         Timestamp t) const;
 
     /**
@@ -60,7 +60,7 @@ class CameraSensor
      * feature front-end.
      */
     std::vector<FeatureObservation>
-    observeLandmarks(const World &world, const Trajectory &trajectory,
+    observeLandmarks(const WorldSnapshot &world, const Trajectory &trajectory,
                      Timestamp t);
 
     /** World-frame camera pose at time t. */

@@ -5,7 +5,7 @@
 namespace sov {
 
 std::vector<RadarDetection>
-RadarModel::scan(const World &world, const Pose2 &body,
+RadarModel::scan(const WorldSnapshot &world, const Pose2 &body,
                  const Vec2 &ego_velocity, Timestamp t)
 {
     std::vector<RadarDetection> detections;
@@ -43,7 +43,7 @@ RadarModel::scan(const World &world, const Pose2 &body,
 }
 
 std::optional<double>
-RadarModel::nearestInPath(const World &world, const Pose2 &body,
+RadarModel::nearestInPath(const WorldSnapshot &world, const Pose2 &body,
                           double corridor_half_width, Timestamp t) const
 {
     if (dropout_filter_ && dropout_filter_(t))

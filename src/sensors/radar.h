@@ -55,7 +55,7 @@ class RadarModel
      * One scan from the vehicle at @p body, time @p t, moving with
      * planar velocity @p ego_velocity (for relative radial velocity).
      */
-    std::vector<RadarDetection> scan(const World &world, const Pose2 &body,
+    std::vector<RadarDetection> scan(const WorldSnapshot &world, const Pose2 &body,
                                      const Vec2 &ego_velocity, Timestamp t);
 
     /**
@@ -65,7 +65,7 @@ class RadarModel
      * @param corridor_half_width Lateral half-width of the checked
      *        corridor, typically half the vehicle width plus margin.
      */
-    std::optional<double> nearestInPath(const World &world,
+    std::optional<double> nearestInPath(const WorldSnapshot &world,
                                         const Pose2 &body,
                                         double corridor_half_width,
                                         Timestamp t) const;

@@ -5,7 +5,7 @@
 namespace sov {
 
 SonarReading
-SonarModel::ping(const World &world, const Pose2 &body, Timestamp t)
+SonarModel::ping(const WorldSnapshot &world, const Pose2 &body, Timestamp t)
 {
     SonarReading reading;
     reading.trigger_time = t;

@@ -41,7 +41,7 @@ class SonarModel
         : config_(config), rng_(std::move(rng)) {}
 
     /** Ping from the vehicle at @p body, time @p t. */
-    SonarReading ping(const World &world, const Pose2 &body, Timestamp t);
+    SonarReading ping(const WorldSnapshot &world, const Pose2 &body, Timestamp t);
 
     /** Fault hook: when set and returning true at a ping time, the
      *  unit returns an empty reading (transducer dropout). */

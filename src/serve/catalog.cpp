@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fleet/fuzzer.h"
+
 namespace sov::serve {
 
 namespace {
@@ -127,6 +129,25 @@ ScenarioCatalog::standard()
                     m.addStack(fleet::bareStack());
                     m.addStack(fleet::supervisedStack());
                     return enumerateWith(std::move(m), p);
+                });
+    catalog.add("scenario_fuzz",
+                "procedurally fuzzed agent worlds (seed, seeds, horizon "
+                "map to base seed, world count, per-world horizon)",
+                [](const CatalogParams &p) {
+                    // Fuzz presets set their own horizon and are keyed
+                    // by seed; the catalog params are the campaign
+                    // knobs, so enumerateWith's overrides don't apply.
+                    fleet::FuzzConfig cfg;
+                    cfg.base_seed = p.seed;
+                    cfg.worlds = p.seeds;
+                    cfg.horizon_s = p.horizon_s;
+                    ScenarioMatrix m;
+                    for (WorldPreset &w : fleet::fuzzWorlds(cfg))
+                        m.addWorld(std::move(w));
+                    m.addFault(fleet::noFaultPreset());
+                    m.addStack(fleet::bareStack());
+                    m.addSeed(p.seed);
+                    return m.enumerate();
                 });
     return catalog;
 }

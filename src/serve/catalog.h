@@ -55,6 +55,9 @@ class ScenarioCatalog
      *   traffic       — 6-vehicle corridor, bare + supervised
      *   fault_smoke   — the reduced (smoke) fault matrix
      *   fault_matrix  — all 11 Sec. III-C faults x bare/supervised
+     *   scenario_fuzz — procedurally fuzzed agent worlds; params map
+     *                   to (base seed, world count, horizon), and each
+     *                   world replays from its own fuzz seed
      */
     static ScenarioCatalog standard();
 

@@ -101,6 +101,7 @@ ClosedLoopSim::reset()
     initial.acceleration = 0.0;
     vehicle_.applyActuator(initial);
     result_ = ClosedLoopResult{};
+    prev_gaps_.clear();
     cycles_ = 0;
     reactive_cycles_ = 0;
     proactive_cycles_ = 0;
@@ -166,6 +167,11 @@ void
 ClosedLoopSim::planningCycle()
 {
     const Timestamp now = sim_.now();
+    // Step the agent timeline to this cycle's epoch: behavioral
+    // agents observe the ego as of now. Constant-velocity worlds are
+    // unaffected (their published rows never change), keeping legacy
+    // scenarios bit-identical.
+    world_.advanceTo(now, vehicle_.pose(), vehicle_.speed());
     ++cycles_;
     if (reactive_.active())
         ++reactive_cycles_;
@@ -259,7 +265,8 @@ ClosedLoopSim::planningCycle()
         // world view (objects have moved on; the plan is stale).
         input.objects = last_camera_.objects;
     } else {
-        for (const auto &obs : world_.obstaclesNear(
+        const WorldSnapshot snap = world_.snapshot();
+        for (const auto &obs : snap.obstaclesNear(
                  vehicle_.pose().position, config_.perception_range,
                  now)) {
             // Injected vision failure: the detector misses this
@@ -359,6 +366,10 @@ ClosedLoopSim::physicsStep()
     const Duration dt =
         Duration::seconds(1.0 / config_.physics_rate_hz);
 
+    // Step the agent timeline before any sensing this step.
+    world_.advanceTo(sim_.now(), vehicle_.pose(), vehicle_.speed());
+    const WorldSnapshot snap = world_.snapshot();
+
     // Reactive path: the radar watch runs at sensor rate, far faster
     // than the planner (it bypasses the computing pipeline, Sec. IV).
     // Once SAFE_STOP latched the override, nothing may release it.
@@ -375,7 +386,7 @@ ClosedLoopSim::physicsStep()
         } else {
             if (health_)
                 health_->noteHeartbeat("radar", sim_.now());
-            reactive_.evaluate(world_, vehicle_.pose(), vehicle_.speed(),
+            reactive_.evaluate(snap, vehicle_.pose(), vehicle_.speed(),
                                sim_.now());
             if (recorder_) {
                 // Surface each new reactive-brake engagement as an
@@ -393,14 +404,32 @@ ClosedLoopSim::physicsStep()
 
     vehicle_.step(dt);
 
-    // Gap and collision monitoring against every obstacle.
-    for (const auto &obs : world_.obstacles()) {
+    // Gap and collision monitoring against every obstacle, plus the
+    // triage facts (offending agent, time-to-collision) the scenario
+    // fuzzer mines for near misses.
+    const auto &obstacles = snap.obstacles();
+    if (prev_gaps_.size() != obstacles.size())
+        prev_gaps_.assign(obstacles.size(), 1e18);
+    for (std::size_t i = 0; i < obstacles.size(); ++i) {
+        const Obstacle &obs = obstacles[i];
         const OrientedBox2 box = obs.footprintAt(sim_.now());
         const OrientedBox2 ego{vehicle_.pose(), 1.3, 0.7};
         const double gap = ego.distanceTo(box);
-        result_.min_gap = std::min(result_.min_gap, gap);
+        if (gap < result_.min_gap) {
+            result_.min_gap = gap;
+            result_.nearest_obstacle = obs.id;
+        }
+        // TTC estimate from the closing rate over one physics step.
+        const double closing = (prev_gaps_[i] - gap) / dt.toSeconds();
+        if (prev_gaps_[i] < 1e17 && closing > 1e-9 && gap > 0.0) {
+            result_.min_ttc =
+                std::min(result_.min_ttc, gap / closing);
+        }
+        prev_gaps_[i] = gap;
         if (gap <= 0.0) {
             result_.collided = true;
+            result_.min_ttc = 0.0;
+            result_.nearest_obstacle = obs.id;
             sim_.stop();
             return;
         }

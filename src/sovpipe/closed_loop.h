@@ -143,6 +143,16 @@ struct ClosedLoopResult
      *  under fault load. */
     double availability = 0.0;
     Duration elapsed;
+
+    // Near-miss triage facts (scenario-fuzzer mining; never part of
+    // the hashed ScenarioOutcome row, so adding them cannot perturb
+    // existing fleet fingerprints).
+    /** Minimum time-to-collision observed against any obstacle while
+     *  on a closing course, seconds; 1e18 when never closing. Zero on
+     *  a collision. */
+    double min_ttc = 1e18;
+    /** Id of the obstacle/agent that produced min_gap. */
+    ObstacleId nearest_obstacle = 0;
 };
 
 /** The closed-loop simulator. */
@@ -269,6 +279,9 @@ class ClosedLoopSim
 
     // Run bookkeeping.
     ClosedLoopResult result_;
+    /** Previous physics step's gap per obstacle (index-aligned with
+     *  world obstacles), for the TTC closing-rate estimate. */
+    std::vector<double> prev_gaps_;
     std::uint64_t cycles_ = 0;
     std::uint64_t reactive_cycles_ = 0;
     std::uint64_t proactive_cycles_ = 0;

@@ -3,7 +3,7 @@
 namespace sov {
 
 std::optional<double>
-ReactivePath::evaluate(const World &world, const Pose2 &body, double speed,
+ReactivePath::evaluate(const WorldSnapshot &world, const Pose2 &body, double speed,
                        Timestamp t)
 {
     const auto distance = radar_.nearestInPath(

@@ -50,7 +50,7 @@ class ReactivePath
      * moving at @p speed. Triggers or releases the emergency brake.
      * @return The measured nearest in-path distance, if any.
      */
-    std::optional<double> evaluate(const World &world, const Pose2 &body,
+    std::optional<double> evaluate(const WorldSnapshot &world, const Pose2 &body,
                                    double speed, Timestamp t);
 
     std::uint64_t triggerCount() const { return triggers_; }

@@ -186,7 +186,7 @@ classLabel(ObjectClass c)
 }
 
 std::vector<PatchExample>
-buildPatchDataset(const World &world, const CameraModel &camera,
+buildPatchDataset(const WorldSnapshot &world, const CameraModel &camera,
                   std::size_t views, std::size_t patch_size, Rng &rng)
 {
     Renderer renderer;
@@ -268,7 +268,7 @@ buildPatchDataset(const World &world, const CameraModel &camera,
 }
 
 ObjectDetector
-trainSiteDetector(const World &world, const CameraModel &camera,
+trainSiteDetector(const WorldSnapshot &world, const CameraModel &camera,
                   std::size_t views, std::size_t epochs, Rng &rng,
                   const DetectorConfig &config)
 {

@@ -111,7 +111,7 @@ std::size_t classLabel(ObjectClass c);
  * random background patches (the "deployment-specific training data"
  * of Sec. IV).
  */
-std::vector<PatchExample> buildPatchDataset(const World &world,
+std::vector<PatchExample> buildPatchDataset(const WorldSnapshot &world,
                                             const CameraModel &camera,
                                             std::size_t views,
                                             std::size_t patch_size,
@@ -121,7 +121,7 @@ std::vector<PatchExample> buildPatchDataset(const World &world,
  * Train a fresh site-specific detector on @p world.
  * @param epochs SGD epochs over the generated dataset.
  */
-ObjectDetector trainSiteDetector(const World &world,
+ObjectDetector trainSiteDetector(const WorldSnapshot &world,
                                  const CameraModel &camera,
                                  std::size_t views, std::size_t epochs,
                                  Rng &rng,

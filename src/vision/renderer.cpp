@@ -78,7 +78,7 @@ Renderer::groundTexture(double wx, double wy, double scale)
 }
 
 RenderedFrame
-Renderer::render(const World &world, const CameraModel &camera,
+Renderer::render(const WorldSnapshot &world, const CameraModel &camera,
                  const CameraPose &pose, Timestamp t) const
 {
     const auto &intr = camera.intrinsics();

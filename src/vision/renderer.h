@@ -45,7 +45,7 @@ class Renderer
      * Render the world as seen by @p camera at pose @p pose and time
      * @p t (moving obstacles are advanced to t).
      */
-    RenderedFrame render(const World &world, const CameraModel &camera,
+    RenderedFrame render(const WorldSnapshot &world, const CameraModel &camera,
                          const CameraPose &pose, Timestamp t) const;
 
     /**

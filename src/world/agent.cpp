@@ -1,0 +1,232 @@
+#include "world/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sov {
+
+// ---- KinematicAgent --------------------------------------------------
+
+KinematicAgent::KinematicAgent(Obstacle spawn, Rng rng)
+    : Agent(std::move(spawn)), rng_(std::move(rng)),
+      position_(spawn_.footprint.pose.position), velocity_(spawn_.velocity)
+{
+}
+
+void
+KinematicAgent::integrate(double dt)
+{
+    position_ += velocity_ * dt;
+}
+
+Obstacle
+KinematicAgent::publish(Timestamp epoch) const
+{
+    Obstacle o = spawn_;
+    // Rebase so the unchanged closed-form query code extrapolates the
+    // current velocity from the current epoch:
+    //   footprintAt(t) = base + v * t  ==  position + v * (t - epoch).
+    o.footprint.pose.position = position_ - velocity_ * epoch.toSeconds();
+    o.velocity = velocity_;
+    return o;
+}
+
+// ---- PedestrianAgent -------------------------------------------------
+
+PedestrianAgent::PedestrianAgent(Obstacle spawn, Params params, Rng rng)
+    : KinematicAgent(std::move(spawn), std::move(rng)), params_(params)
+{
+    // Walk toward the road from whichever side we spawned on.
+    cross_dir_ = position_.y() >= 0.0 ? -1.0 : 1.0;
+    velocity_ = Vec2(0.0, cross_dir_ * params_.walk_speed);
+}
+
+bool
+PedestrianAgent::egoClose(const AgentView &view, double radius) const
+{
+    return view.ego_pose.position.distanceTo(position_) <= radius;
+}
+
+void
+PedestrianAgent::step(const AgentView &view)
+{
+    switch (state_) {
+      case State::Approach:
+        velocity_ = Vec2(0.0, cross_dir_ * params_.walk_speed);
+        if (std::fabs(position_.y()) <= params_.curb_y) {
+            // Curb decision: one bernoulli + one duration draw, made
+            // exactly once per crossing regardless of tick cadence.
+            if (rng_.bernoulli(params_.hesitate_probability)) {
+                hesitate_left_ = rng_.uniform(params_.hesitate_min_s,
+                                              params_.hesitate_max_s);
+                state_ = State::Hesitate;
+                velocity_ = Vec2(0.0, 0.0);
+            } else {
+                state_ = State::Cross;
+            }
+        }
+        break;
+      case State::Hesitate:
+        velocity_ = Vec2(0.0, 0.0);
+        hesitate_left_ -= view.dt;
+        // Don't step off the curb into a vehicle that is almost here.
+        if (hesitate_left_ <= 0.0 &&
+            !egoClose(view, 0.8 * params_.yield_radius))
+            state_ = State::Cross;
+        break;
+      case State::Cross:
+        velocity_ = Vec2(0.0, cross_dir_ * params_.walk_speed);
+        // Mid-road yield: freeze when the ego bears down on us.
+        if (egoClose(view, params_.yield_radius) &&
+            view.ego_pose.position.x() < position_.x() &&
+            view.ego_speed > 0.5) {
+            state_ = State::Yield;
+            velocity_ = Vec2(0.0, 0.0);
+        }
+        break;
+      case State::Yield:
+        velocity_ = Vec2(0.0, 0.0);
+        // Resume once the ego has passed or backed off.
+        if (view.ego_pose.position.x() > position_.x() + 1.0 ||
+            !egoClose(view, 1.5 * params_.yield_radius))
+            state_ = State::Cross;
+        break;
+      case State::Done:
+        velocity_ = Vec2(0.0, 0.0);
+        break;
+    }
+    integrate(view.dt);
+    if (state_ != State::Done &&
+        cross_dir_ * position_.y() >= params_.done_y) {
+        state_ = State::Done;
+        velocity_ = Vec2(0.0, 0.0);
+    }
+}
+
+// ---- CyclistAgent ----------------------------------------------------
+
+CyclistAgent::CyclistAgent(Obstacle spawn, Params params, Rng rng)
+    : KinematicAgent(std::move(spawn), std::move(rng)), params_(params)
+{
+    velocity_ = Vec2(params_.cruise_speed, 0.0);
+}
+
+void
+CyclistAgent::step(const AgentView &view)
+{
+    const Vec2 ego = view.ego_pose.position;
+    const double dx = position_.x() - ego.x();
+    const bool ego_behind = dx > 0.0 && dx <= params_.evade_gap &&
+                            std::fabs(ego.y() - position_.y()) < 2.0 &&
+                            view.ego_speed > velocity_.x();
+    if (ego_behind) {
+        // Swerve out of the corridor and sprint clear.
+        const double evade =
+            position_.y() >= ego.y() ? 1.0 : -1.0;
+        velocity_.y() = evade * 1.2;
+        velocity_.x() = std::min(velocity_.x() + 2.0 * params_.accel *
+                                                      view.dt,
+                                 1.2 * params_.cruise_speed);
+    } else {
+        // Weave: sinusoidal lateral drift; amplitude and period are
+        // re-drawn from our stream once per completed cycle.
+        phase_s_ += view.dt;
+        if (phase_s_ >= params_.weave_period_s) {
+            phase_s_ -= params_.weave_period_s;
+            params_.weave_amplitude = rng_.uniform(0.3, 1.2);
+            params_.weave_period_s = rng_.uniform(2.0, 5.0);
+        }
+        const double omega = 2.0 * M_PI / params_.weave_period_s;
+        velocity_.y() = params_.weave_amplitude *
+                        std::sin(omega * phase_s_);
+        // Recover cruise speed after an evade.
+        if (velocity_.x() < params_.cruise_speed) {
+            velocity_.x() = std::min(
+                velocity_.x() + params_.accel * view.dt,
+                params_.cruise_speed);
+        } else {
+            velocity_.x() = params_.cruise_speed;
+        }
+    }
+    integrate(view.dt);
+}
+
+// ---- VehicleAgent ----------------------------------------------------
+
+VehicleAgent::VehicleAgent(Obstacle spawn, Params params, Rng rng)
+    : KinematicAgent(std::move(spawn), std::move(rng)), params_(params)
+{
+    velocity_ = Vec2(params_.cruise_speed, 0.0);
+}
+
+bool
+VehicleAgent::leadAhead(const AgentView &view, double *lead_speed) const
+{
+    bool found = false;
+    double best_dx = params_.headway;
+    // Other agents' previous-epoch rows, projected to now.
+    if (view.others) {
+        for (const Obstacle &o : *view.others) {
+            if (o.id == id())
+                continue;
+            const Vec2 p = o.positionAt(view.now);
+            const double dx = p.x() - position_.x();
+            if (dx > 0.0 && dx <= best_dx &&
+                std::fabs(p.y() - position_.y()) < 1.5) {
+                best_dx = dx;
+                *lead_speed = o.velocity.x();
+                found = true;
+            }
+        }
+    }
+    // The ego vehicle is a lead like any other.
+    const Vec2 ego = view.ego_pose.position;
+    const double ego_dx = ego.x() - position_.x();
+    if (ego_dx > 0.0 && ego_dx <= best_dx &&
+        std::fabs(ego.y() - position_.y()) < 1.5) {
+        *lead_speed = view.ego_speed;
+        found = true;
+    }
+    return found;
+}
+
+void
+VehicleAgent::step(const AgentView &view)
+{
+    // Longitudinal control: brake toward the lead's speed, otherwise
+    // recover cruise speed.
+    double lead_speed = 0.0;
+    if (leadAhead(view, &lead_speed)) {
+        const double target = std::max(0.0, lead_speed);
+        velocity_.x() = std::max(
+            target, velocity_.x() - params_.brake_decel * view.dt);
+    } else {
+        velocity_.x() = std::min(
+            params_.cruise_speed,
+            velocity_.x() + params_.accel * view.dt);
+    }
+
+    // Lateral state machine: cut into the ego lane past the trigger.
+    switch (state_) {
+      case State::Follow:
+        velocity_.y() = 0.0;
+        if (params_.cut_in && position_.x() >= params_.cut_in_x)
+            state_ = State::CutIn;
+        break;
+      case State::CutIn: {
+        const double toward = position_.y() > 0.0 ? -1.0 : 1.0;
+        velocity_.y() = toward * params_.cut_in_rate;
+        if (std::fabs(position_.y()) <= 0.2) {
+            state_ = State::InLane;
+            velocity_.y() = 0.0;
+        }
+        break;
+      }
+      case State::InLane:
+        velocity_.y() = 0.0;
+        break;
+    }
+    integrate(view.dt);
+}
+
+} // namespace sov

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Behavioral traffic agents: the entities a WorldTimeline steps.
+ *
+ * The legacy world model froze every obstacle's motion at spawn time
+ * (closed-form constant velocity); nothing ever reacted to the ego
+ * vehicle. An Agent instead carries a small behavior state machine
+ * that is advanced once per timeline tick: it perceives the ego pose
+ * and the other agents' last published rows, updates its kinematic
+ * state, and re-publishes an Obstacle whose closed-form
+ * footprintAt()/positionAt() extrapolation is valid until the next
+ * tick (piecewise-linear motion, so every sensor query signature
+ * keeps working unchanged between ticks).
+ *
+ * Determinism contract: an agent's trajectory is a pure function of
+ * its spawn row, its parameters, and its own forked Rng stream plus
+ * the observations it is handed — never of wall clock, call cadence,
+ * or thread count. Draws happen only at construction and at state
+ * transitions, one fixed pattern per tick, so stepping N ticks in one
+ * advanceTo() call or across N calls yields bit-identical state.
+ *
+ * The base Agent *is* the constant-velocity agent: step() is a no-op
+ * and publish() returns the spawn row untouched, byte for byte — this
+ * is what keeps every legacy preset, fingerprint and BENCH baseline
+ * bit-identical under the stepped-world refactor (gated in
+ * bench_scenario_fuzz and tests/world/test_agents.cpp).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "math/geometry.h"
+#include "world/obstacle.h"
+
+namespace sov {
+
+/** What an agent perceives when it is stepped one tick. */
+struct AgentView
+{
+    Timestamp now;        //!< the epoch this step lands on
+    double dt = 0.1;      //!< tick length, seconds
+    Pose2 ego_pose;       //!< ego vehicle pose at the advanceTo() call
+    double ego_speed = 0.0;
+    /** Every agent's row as published at the *previous* epoch
+     *  (double-buffered, so step order cannot leak between agents). */
+    const std::vector<Obstacle> *others = nullptr;
+};
+
+/**
+ * Base agent = constant-velocity agent. step() does nothing and
+ * publish() returns the spawn obstacle unchanged, so the published
+ * row's closed-form motion is bitwise identical to the legacy
+ * analytic World at every time, stepped or not.
+ */
+class Agent
+{
+  public:
+    explicit Agent(Obstacle spawn) : spawn_(std::move(spawn)) {}
+    virtual ~Agent() = default;
+
+    ObstacleId id() const { return spawn_.id; }
+    /** The timeline assigns the id at spawn registration. */
+    void setId(ObstacleId id) { spawn_.id = id; }
+    const Obstacle &spawn() const { return spawn_; }
+
+    /** Advance the behavior one tick. Base: closed form, no-op. */
+    virtual void step(const AgentView &view) { (void)view; }
+
+    /** The row served for queries in [epoch, epoch + tick). */
+    virtual Obstacle publish(Timestamp epoch) const
+    {
+        (void)epoch;
+        return spawn_;
+    }
+
+    virtual const char *behavior() const { return "constant-velocity"; }
+
+    /**
+     * Whether stepping can ever change this agent's published row.
+     * The base CV agent returns false, which lets the timeline skip
+     * the per-tick publish loop entirely for legacy worlds (the spawn
+     * row is what publish() would return anyway, byte for byte).
+     */
+    virtual bool reactive() const { return false; }
+
+  protected:
+    Obstacle spawn_;
+};
+
+/** Named alias for readability at spawn sites. */
+using ConstantVelocityAgent = Agent;
+
+/**
+ * Shared kinematics of the behavioral agents: integrated position and
+ * piecewise-constant velocity, re-published every tick with the
+ * footprint rebased so that footprintAt(t) linearly extrapolates the
+ * *current* velocity from the current epoch.
+ */
+class KinematicAgent : public Agent
+{
+  public:
+    KinematicAgent(Obstacle spawn, Rng rng);
+
+    Obstacle publish(Timestamp epoch) const override;
+    bool reactive() const override { return true; }
+
+    const Vec2 &position() const { return position_; }
+    const Vec2 &velocity() const { return velocity_; }
+
+  protected:
+    /** position += velocity * dt. */
+    void integrate(double dt);
+
+    Rng rng_;
+    Vec2 position_;
+    Vec2 velocity_;
+};
+
+/**
+ * A pedestrian crossing the route corridor (the road runs along +x at
+ * y = 0): approach the curb, maybe hesitate there, cross — but yield
+ * (freeze mid-road) when the ego vehicle bears down, and resume once
+ * it has passed. Parameters are drawn by the caller; the hesitation
+ * decision and its duration come from the agent's own Rng at the curb.
+ */
+class PedestrianAgent : public KinematicAgent
+{
+  public:
+    struct Params
+    {
+        double walk_speed = 1.4;          //!< m/s
+        double curb_y = 2.5;              //!< |y| of the decision point
+        double done_y = 6.0;              //!< |y| of the far-side exit
+        double hesitate_probability = 0.5;
+        double hesitate_min_s = 0.5;
+        double hesitate_max_s = 2.0;
+        double yield_radius = 7.0;        //!< ego distance that stops us
+    };
+
+    enum class State { Approach, Hesitate, Cross, Yield, Done };
+
+    PedestrianAgent(Obstacle spawn, Params params, Rng rng);
+
+    void step(const AgentView &view) override;
+    const char *behavior() const override { return "pedestrian"; }
+    State state() const { return state_; }
+
+  private:
+    bool egoClose(const AgentView &view, double radius) const;
+
+    Params params_;
+    State state_ = State::Approach;
+    double cross_dir_ = 1.0;   //!< +1 = walking toward +y
+    double hesitate_left_ = 0.0;
+};
+
+/**
+ * A cyclist riding along the corridor ahead of the ego, weaving
+ * laterally (amplitude/period re-drawn from its Rng each weave cycle)
+ * and swerving aside + sprinting when the ego closes in from behind.
+ */
+class CyclistAgent : public KinematicAgent
+{
+  public:
+    struct Params
+    {
+        double cruise_speed = 4.5;     //!< m/s along +x
+        double weave_amplitude = 0.8;  //!< m/s lateral peak
+        double weave_period_s = 3.0;
+        double evade_gap = 5.0;        //!< ego this close behind -> evade
+        double accel = 1.5;            //!< m/s^2 speed recovery
+    };
+
+    CyclistAgent(Obstacle spawn, Params params, Rng rng);
+
+    void step(const AgentView &view) override;
+    const char *behavior() const override { return "cyclist"; }
+
+  private:
+    Params params_;
+    double phase_s_ = 0.0; //!< position within the current weave cycle
+};
+
+/**
+ * A vehicle driving an adjacent lane: follow at cruise speed, brake
+ * for whatever is ahead in its lane (other agents or the ego), and —
+ * once past a trigger x — cut into the ego lane at a fixed lateral
+ * rate. The classic near-miss generator.
+ */
+class VehicleAgent : public KinematicAgent
+{
+  public:
+    struct Params
+    {
+        double cruise_speed = 4.0;  //!< m/s along +x
+        double headway = 8.0;       //!< brake when a lead is this close
+        double brake_decel = 3.0;   //!< m/s^2
+        double accel = 1.5;         //!< m/s^2
+        bool cut_in = false;
+        double cut_in_x = 60.0;     //!< trigger position
+        double cut_in_rate = 1.2;   //!< m/s lateral toward y = 0
+    };
+
+    enum class State { Follow, CutIn, InLane };
+
+    VehicleAgent(Obstacle spawn, Params params, Rng rng);
+
+    void step(const AgentView &view) override;
+    const char *behavior() const override { return "vehicle"; }
+    State state() const { return state_; }
+
+  private:
+    /** Speed of the nearest lead within headway, if any. */
+    bool leadAhead(const AgentView &view, double *lead_speed) const;
+
+    Params params_;
+    State state_ = State::Follow;
+};
+
+} // namespace sov

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * World object value types: obstacles and visual landmarks.
+ *
+ * Split out of world/world.h so the agent/timeline layer can publish
+ * Obstacle rows without a circular include on the World facade. An
+ * Obstacle is a *published view*, not a live entity: whoever owns it
+ * (a spawn list, a WorldTimeline epoch) guarantees the closed-form
+ * footprintAt()/positionAt() extrapolation is valid over the interval
+ * the row is served for.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.h"
+#include "math/geometry.h"
+#include "math/vec.h"
+
+namespace sov {
+
+using ObstacleId = std::uint32_t;
+
+/** Object classes the detector distinguishes (YOLO-style labels). */
+enum class ObjectClass { Pedestrian, Car, Bicycle, Static };
+
+/** Printable name of an object class. */
+const char *toString(ObjectClass c);
+
+/** A world object the vehicle must perceive and avoid. */
+struct Obstacle
+{
+    ObstacleId id = 0;
+    ObjectClass cls = ObjectClass::Static;
+    OrientedBox2 footprint;   //!< pose + extents at the reference time
+    Vec2 velocity{0.0, 0.0};  //!< world frame, m/s (piecewise constant)
+    double height = 1.7;      //!< meters; used for camera projection
+
+    /** Footprint advanced to time @p t (constant-velocity motion). */
+    OrientedBox2 footprintAt(Timestamp t) const;
+    Vec2 positionAt(Timestamp t) const;
+};
+
+/** A 3-D visual landmark observable by the cameras (VIO features). */
+struct Landmark
+{
+    std::uint32_t id = 0;
+    Vec3 position;
+    double intensity = 1.0; //!< rendered brightness in [0,1]
+};
+
+} // namespace sov

@@ -32,12 +32,12 @@ Obstacle::positionAt(Timestamp t) const
     return footprint.pose.position + velocity * t.toSeconds();
 }
 
-ObstacleId
-World::addObstacle(Obstacle o)
+void
+World::reset()
 {
-    o.id = next_obstacle_id_++;
-    obstacles_.push_back(o);
-    return o.id;
+    timeline_.clear();
+    landmarks_.clear();
+    next_landmark_id_ = 0;
 }
 
 std::uint32_t
@@ -72,14 +72,19 @@ World::scatterLandmarks(const Polyline2 &path, std::size_t count,
 }
 
 std::optional<double>
-World::raycast(const Vec2 &origin, const Vec2 &direction, double max_range,
-               Timestamp t) const
+WorldSnapshot::raycast(const Vec2 &origin, const Vec2 &direction,
+                       double max_range, Timestamp t) const
 {
     SOV_ASSERT(max_range > 0.0);
+    // A zero-length direction defines no ray: see nothing rather than
+    // panic inside normalized() (sensors can produce degenerate beam
+    // directions at singular mount configurations).
+    if (direction.squaredNorm() == 0.0)
+        return std::nullopt;
     const Vec2 dir = direction.normalized();
     const Segment2 ray{origin, origin + dir * max_range};
     std::optional<double> best;
-    for (const auto &obs : obstacles_) {
+    for (const auto &obs : *obstacles_) {
         const OrientedBox2 box = obs.footprintAt(t);
         // Ray starting inside a box hits at distance 0.
         if (box.contains(origin)) {
@@ -99,10 +104,11 @@ World::raycast(const Vec2 &origin, const Vec2 &direction, double max_range,
 }
 
 std::vector<Obstacle>
-World::obstaclesNear(const Vec2 &position, double range, Timestamp t) const
+WorldSnapshot::obstaclesNear(const Vec2 &position, double range,
+                             Timestamp t) const
 {
     std::vector<Obstacle> out;
-    for (const auto &obs : obstacles_) {
+    for (const auto &obs : *obstacles_) {
         if (obs.positionAt(t).distanceTo(position) <= range)
             out.push_back(obs);
     }

@@ -1,12 +1,32 @@
 /**
  * @file
- * The synthetic deployment site: lane map + obstacles + visual
- * landmarks. This is the proprietary-field-data substitute: everything
- * the real vehicle would sense, we generate from this world model.
+ * The synthetic deployment site: immutable scene (lane map + visual
+ * landmarks) plus a stepped WorldTimeline of traffic agents. This is
+ * the proprietary-field-data substitute: everything the real vehicle
+ * would sense, we generate from this world model.
+ *
+ * Two ways to read the world:
+ *  - World keeps the legacy query surface (raycast / obstaclesNear /
+ *    obstacles()) for compatibility; it delegates to a snapshot of
+ *    the current epoch.
+ *  - WorldSnapshot is the time-indexed view the sensing layers take:
+ *    a cheap immutable facade over (lane map, published obstacle
+ *    rows, landmarks) at one timeline epoch. It converts implicitly
+ *    from `const World &`, which is what lets the seven consumer
+ *    layers (radar, sonar, lidar, renderer, detector, reactive path,
+ *    closed loop) migrate mechanically: their signatures take
+ *    snapshots, their call sites keep passing worlds.
+ *
+ * Motion semantics: an un-stepped world (nobody calls advanceTo) is
+ * bit-identical to the legacy analytic model — every addObstacle()
+ * wraps a constant-velocity agent whose published row *is* the spawn
+ * row, so footprintAt(t) evaluates the same closed form as before.
+ * Stepping only matters once behavioral agents are in play.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,41 +36,63 @@
 #include "math/geometry.h"
 #include "math/vec.h"
 #include "world/lane_map.h"
+#include "world/obstacle.h"
+#include "world/timeline.h"
 #include "world/trajectory.h"
 
 namespace sov {
 
-using ObstacleId = std::uint32_t;
+class World;
 
-/** Object classes the detector distinguishes (YOLO-style labels). */
-enum class ObjectClass { Pedestrian, Car, Bicycle, Static };
-
-/** Printable name of an object class. */
-const char *toString(ObjectClass c);
-
-/** A world object the vehicle must perceive and avoid. */
-struct Obstacle
+/**
+ * Immutable time-indexed view of a world at one timeline epoch: what
+ * every sensor model queries. Holds references — valid only while the
+ * backing world outlives it and is not advanced (take it, query it,
+ * drop it; the closed loop takes one per planning/physics step).
+ */
+class WorldSnapshot
 {
-    ObstacleId id = 0;
-    ObjectClass cls = ObjectClass::Static;
-    OrientedBox2 footprint;   //!< pose + extents at spawn time
-    Vec2 velocity{0.0, 0.0};  //!< world frame, m/s (constant)
-    double height = 1.7;      //!< meters; used for camera projection
+  public:
+    /** View of @p world at its current epoch (intentionally implicit:
+     *  this conversion is the consumers' migration path). */
+    WorldSnapshot(const World &world);
 
-    /** Footprint advanced to time @p t (constant-velocity motion). */
-    OrientedBox2 footprintAt(Timestamp t) const;
-    Vec2 positionAt(Timestamp t) const;
+    WorldSnapshot(const LaneMap &map,
+                  const std::vector<Obstacle> &obstacles,
+                  const std::vector<Landmark> &landmarks, Timestamp epoch)
+        : map_(&map), obstacles_(&obstacles), landmarks_(&landmarks),
+          epoch_(epoch)
+    {
+    }
+
+    const LaneMap &map() const { return *map_; }
+    const std::vector<Obstacle> &obstacles() const { return *obstacles_; }
+    const std::vector<Landmark> &landmarks() const { return *landmarks_; }
+    /** The timeline epoch the obstacle rows were published at. */
+    Timestamp epoch() const { return epoch_; }
+
+    /**
+     * Distance from @p origin along @p direction to the first obstacle
+     * hit at time @p t, up to @p max_range. The physics behind the
+     * radar/sonar models and the reactive path (Sec. IV). A
+     * zero-length direction sees nothing (nullopt), not a panic.
+     */
+    std::optional<double> raycast(const Vec2 &origin,
+                                  const Vec2 &direction, double max_range,
+                                  Timestamp t) const;
+
+    /** Obstacles whose center is within @p range of @p position at t. */
+    std::vector<Obstacle> obstaclesNear(const Vec2 &position, double range,
+                                        Timestamp t) const;
+
+  private:
+    const LaneMap *map_;
+    const std::vector<Obstacle> *obstacles_;
+    const std::vector<Landmark> *landmarks_;
+    Timestamp epoch_;
 };
 
-/** A 3-D visual landmark observable by the cameras (VIO features). */
-struct Landmark
-{
-    std::uint32_t id = 0;
-    Vec3 position;
-    double intensity = 1.0; //!< rendered brightness in [0,1]
-};
-
-/** The complete synthetic environment. */
+/** The complete synthetic environment: scene + agent timeline. */
 class World
 {
   public:
@@ -60,12 +102,45 @@ class World
     const LaneMap &map() const { return map_; }
     LaneMap &map() { return map_; }
 
-    /** Add an obstacle; returns its id. */
-    ObstacleId addObstacle(Obstacle o);
-    const std::vector<Obstacle> &obstacles() const { return obstacles_; }
-    std::size_t numObstacles() const { return obstacles_.size(); }
-    /** Remove all obstacles (scenario reset). */
-    void clearObstacles() { obstacles_.clear(); }
+    /** Add a constant-velocity obstacle; returns its id. */
+    ObstacleId addObstacle(Obstacle o)
+    {
+        return timeline_.addObstacle(std::move(o));
+    }
+    /** Register a behavioral agent; returns its id. */
+    ObstacleId spawnAgent(std::unique_ptr<Agent> agent)
+    {
+        return timeline_.spawn(std::move(agent));
+    }
+    /** The published row of every agent at the current epoch. */
+    const std::vector<Obstacle> &obstacles() const
+    {
+        return timeline_.published();
+    }
+    std::size_t numObstacles() const { return timeline_.size(); }
+    /** Remove all obstacles/agents and restart id assignment from 0
+     *  (scenario reset; also rewinds the timeline epoch). */
+    void clearObstacles() { timeline_.clear(); }
+
+    /** Full scenario reset: obstacles, landmarks, both id counters
+     *  and the timeline epoch — a reset world rebuilt from the same
+     *  Rng stream is bit-identical to a fresh one. */
+    void reset();
+
+    /** Step the agent timeline across every tick boundary up to
+     *  @p t; @p ego_pose / @p ego_speed are what agents observe. */
+    void advanceTo(Timestamp t, const Pose2 &ego_pose, double ego_speed)
+    {
+        timeline_.advanceTo(t, ego_pose, ego_speed);
+    }
+    const WorldTimeline &timeline() const { return timeline_; }
+
+    /** View of the current epoch for the sensing layers. */
+    WorldSnapshot snapshot() const
+    {
+        return WorldSnapshot(map_, timeline_.published(), landmarks_,
+                             timeline_.epoch());
+    }
 
     /** Add a landmark; returns its id. */
     std::uint32_t addLandmark(const Vec3 &position, double intensity = 1.0);
@@ -81,24 +156,29 @@ class World
                           double corridor_half_width, double height_range,
                           Rng &rng);
 
-    /**
-     * Distance from @p origin along @p direction to the first obstacle
-     * hit at time @p t, up to @p max_range. The physics behind the
-     * radar/sonar models and the reactive path (Sec. IV).
-     */
+    /** Legacy query surface; delegates to snapshot(). */
     std::optional<double> raycast(const Vec2 &origin, const Vec2 &direction,
-                                  double max_range, Timestamp t) const;
-
-    /** Obstacles whose center is within @p range of @p position at t. */
+                                  double max_range, Timestamp t) const
+    {
+        return snapshot().raycast(origin, direction, max_range, t);
+    }
     std::vector<Obstacle> obstaclesNear(const Vec2 &position, double range,
-                                        Timestamp t) const;
+                                        Timestamp t) const
+    {
+        return snapshot().obstaclesNear(position, range, t);
+    }
 
   private:
     LaneMap map_;
-    std::vector<Obstacle> obstacles_;
+    WorldTimeline timeline_;
     std::vector<Landmark> landmarks_;
-    ObstacleId next_obstacle_id_ = 0;
     std::uint32_t next_landmark_id_ = 0;
 };
+
+inline WorldSnapshot::WorldSnapshot(const World &world)
+    : map_(&world.map()), obstacles_(&world.obstacles()),
+      landmarks_(&world.landmarks()), epoch_(world.timeline().epoch())
+{
+}
 
 } // namespace sov

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_runner.h"
+#include "fleet/fuzzer.h"
+#include "fleet/triage.h"
+
+namespace sov::fleet {
+namespace {
+
+std::vector<ScenarioSpec>
+fuzzScenarios(std::uint64_t base_seed, std::size_t worlds,
+              double horizon_s)
+{
+    FuzzConfig cfg;
+    cfg.base_seed = base_seed;
+    cfg.worlds = worlds;
+    cfg.horizon_s = horizon_s;
+    ScenarioMatrix m;
+    for (WorldPreset &w : fuzzWorlds(cfg))
+        m.addWorld(std::move(w));
+    m.addFault(noFaultPreset());
+    m.addStack(bareStack());
+    m.addSeed(base_seed);
+    return m.enumerate();
+}
+
+struct TriagedRun
+{
+    FleetReport report;
+    TriageReport triage;
+};
+
+TriagedRun
+runTriaged(const std::vector<ScenarioSpec> &scenarios,
+           std::size_t threads)
+{
+    TriagedRun out;
+    std::vector<TriageRow> slots(scenarios.size());
+    FleetConfig cfg;
+    cfg.threads = threads;
+    cfg.master_seed = 1;
+    cfg.scenario_hook = [&slots](const ScenarioSpec &spec,
+                                 const ClosedLoopResult &r) {
+        TriageRow row;
+        row.scenario = spec.name;
+        row.index = spec.index;
+        row.collided = r.collided;
+        row.min_gap = r.min_gap;
+        row.min_ttc = r.min_ttc;
+        row.offender = r.nearest_obstacle;
+        slots[spec.index] = std::move(row);
+    };
+    out.report = FleetRunner(cfg).run(scenarios);
+    for (TriageRow &row : slots)
+        out.triage.addRow(std::move(row));
+    return out;
+}
+
+TEST(Fuzzer, SameSeedSameWorldPopulation)
+{
+    // The build closure is self-seeded: under *different* runner Rng
+    // streams, the same fuzz seed must produce byte-identical worlds.
+    const WorldPreset a = fuzzWorldPreset(42);
+    const WorldPreset b = fuzzWorldPreset(42);
+    World wa;
+    World wb;
+    Rng ra(1);
+    Rng rb(999); // deliberately different runner stream
+    a.build(wa, ra);
+    b.build(wb, rb);
+    ASSERT_EQ(wa.numObstacles(), wb.numObstacles());
+    for (std::size_t i = 0; i < wa.obstacles().size(); ++i) {
+        const Obstacle &oa = wa.obstacles()[i];
+        const Obstacle &ob = wb.obstacles()[i];
+        EXPECT_EQ(oa.id, ob.id);
+        EXPECT_EQ(oa.cls, ob.cls);
+        EXPECT_EQ(oa.footprint.pose.position.x(),
+                  ob.footprint.pose.position.x());
+        EXPECT_EQ(oa.footprint.pose.position.y(),
+                  ob.footprint.pose.position.y());
+    }
+}
+
+TEST(Fuzzer, DifferentSeedsProduceDifferentWorlds)
+{
+    bool any_difference = false;
+    World first;
+    Rng rng(1);
+    fuzzWorldPreset(100).build(first, rng);
+    for (std::uint64_t seed = 101; seed < 106 && !any_difference;
+         ++seed) {
+        World other;
+        fuzzWorldPreset(seed).build(other, rng);
+        if (other.numObstacles() != first.numObstacles()) {
+            any_difference = true;
+            break;
+        }
+        for (std::size_t i = 0; i < other.obstacles().size(); ++i) {
+            if (other.obstacles()[i].footprint.pose.position.x()
+                != first.obstacles()[i].footprint.pose.position.x())
+                any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Fuzzer, CampaignNamesAndHorizonsFollowConfig)
+{
+    FuzzConfig cfg;
+    cfg.base_seed = 7;
+    cfg.worlds = 3;
+    cfg.horizon_s = 9.5;
+    const std::vector<WorldPreset> worlds = fuzzWorlds(cfg);
+    ASSERT_EQ(worlds.size(), 3u);
+    EXPECT_EQ(worlds[0].name, "fuzz-7");
+    EXPECT_EQ(worlds[2].name, "fuzz-9");
+    for (const WorldPreset &w : worlds)
+        EXPECT_EQ(w.horizon_s, 9.5);
+}
+
+TEST(Fuzzer, TriageAndFleetFingerprintsAreThreadCountIndependent)
+{
+    const auto scenarios = fuzzScenarios(1, 6, 8.0);
+    const TriagedRun one = runTriaged(scenarios, 1);
+    const TriagedRun three = runTriaged(scenarios, 3);
+    EXPECT_EQ(one.report.fingerprint(), three.report.fingerprint());
+    EXPECT_EQ(one.triage.fingerprint(), three.triage.fingerprint());
+    EXPECT_EQ(one.triage.rows().size(), scenarios.size());
+}
+
+TEST(Fuzzer, TriageRowReplaysFromItsSeed)
+{
+    // Run a small campaign, pick any row, rebuild just that world from
+    // its fuzz seed and re-run it alone: collided/min_gap must match —
+    // the one-seed repro contract.
+    const auto scenarios = fuzzScenarios(20, 4, 8.0);
+    const TriagedRun campaign = runTriaged(scenarios, 2);
+    ASSERT_FALSE(campaign.triage.rows().empty());
+    const TriageRow &row = campaign.triage.rows()[1];
+    const std::uint64_t fuzz_seed =
+        std::stoull(scenarios[row.index].world.name.substr(5));
+
+    ScenarioMatrix replay;
+    replay.addWorld(fuzzWorldPreset(fuzz_seed, 8.0));
+    replay.addFault(noFaultPreset());
+    replay.addStack(bareStack());
+    replay.addSeed(20);
+    const TriagedRun rerun = runTriaged(replay.enumerate(), 1);
+    ASSERT_EQ(rerun.triage.rows().size(), 1u);
+    EXPECT_EQ(rerun.triage.rows()[0].collided, row.collided);
+    EXPECT_EQ(rerun.triage.rows()[0].min_gap, row.min_gap);
+    EXPECT_EQ(rerun.triage.rows()[0].min_ttc, row.min_ttc);
+    EXPECT_EQ(rerun.triage.rows()[0].offender, row.offender);
+}
+
+TEST(Triage, IncidentsRankCollisionsFirstThenBySeverity)
+{
+    TriageReport t;
+    TriageRow safe;
+    safe.index = 0;
+    safe.scenario = "safe";
+    safe.min_gap = 9.0;
+    safe.min_ttc = 8.0;
+    t.addRow(safe);
+    TriageRow crash;
+    crash.index = 1;
+    crash.scenario = "crash";
+    crash.collided = true;
+    crash.min_gap = 0.0;
+    crash.min_ttc = 0.0;
+    t.addRow(crash);
+    TriageRow close_call;
+    close_call.index = 2;
+    close_call.scenario = "close";
+    close_call.min_gap = 0.4;
+    close_call.min_ttc = 0.9;
+    t.addRow(close_call);
+
+    const auto incidents = t.incidents();
+    ASSERT_EQ(incidents.size(), 2u);
+    EXPECT_EQ(incidents[0].scenario, "crash");
+    EXPECT_EQ(incidents[1].scenario, "close");
+
+    const TriageSummary s = t.summarize();
+    EXPECT_EQ(s.scenarios, 3u);
+    EXPECT_EQ(s.collisions, 1u);
+    EXPECT_EQ(s.near_misses, 1u);
+}
+
+TEST(Triage, InsertionOrderDoesNotChangeFingerprint)
+{
+    auto row = [](std::size_t index) {
+        TriageRow r;
+        r.index = index;
+        r.scenario = "s";
+        r.scenario += std::to_string(index);
+        r.min_gap = static_cast<double>(index);
+        return r;
+    };
+    TriageReport forward;
+    TriageReport backward;
+    for (std::size_t i = 0; i < 5; ++i)
+        forward.addRow(row(i));
+    for (std::size_t i = 5; i-- > 0;)
+        backward.addRow(row(i));
+    EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+}
+
+} // namespace
+} // namespace sov::fleet
